@@ -1,0 +1,912 @@
+//! Barnes-Hut N-body simulation, Section 3.3 of the paper.
+//!
+//! A reproduction of the SPLASH-2 Barnes-Hut application on top of the DIVA
+//! shared-variable interface. The main data structure is the Barnes-Hut
+//! octree; every cell and every body is a global variable, and the tree is
+//! rebuilt (with fresh cell variables, i.e. "with pointers") in every time
+//! step. Each step runs the six phases of the paper, separated by barriers:
+//!
+//! 1. **tree build** — processors insert their bodies into the shared octree,
+//!    protected by per-cell locks;
+//! 2. **centre of mass** — an upward pass computes mass, centre of mass and
+//!    aggregated work counts, level by level;
+//! 3. **partition** — costzones: every processor takes a contiguous zone of
+//!    the tree's body sequence whose work equals its fair share. Processor
+//!    identifiers follow the left-to-right leaf order of the mesh
+//!    decomposition tree, so physical locality translates into topological
+//!    locality (the property the access-tree strategy exploits);
+//! 4. **force computation** — the dominant phase: each processor traverses
+//!    the tree once per assigned body with the opening criterion
+//!    `size/distance < θ`;
+//! 5. **update** — leapfrog integration of the assigned bodies;
+//! 6. **bounds** — a small reduction computes the bounding cube of the next
+//!    step.
+
+use crate::workload::{bounding_cube, Body};
+use dm_diva::{Diva, ProcCtx, RunReport, VarHandle};
+use dm_mesh::{DecompositionTree, TreeShape};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Gravitational softening used by both the parallel and the reference code.
+pub const SOFTENING: f64 = 0.025;
+/// Maximum octree depth before coincident bodies are stored side by side.
+const MAX_DEPTH: u32 = 48;
+/// Modelled floating-point operations per body/cell interaction.
+const FLOPS_PER_INTERACTION: u64 = 25;
+
+/// Reference to a child slot of an octree cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildRef {
+    /// No child.
+    Empty,
+    /// A single body (leaf).
+    Body(VarHandle),
+    /// A sub-cell.
+    Cell(VarHandle),
+}
+
+/// An octree cell, stored in a global variable.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Geometric centre of the cell.
+    pub centre: [f64; 3],
+    /// Half of the cell's side length.
+    pub half: f64,
+    /// Depth in the tree (root = 0).
+    pub depth: u32,
+    /// The eight child slots.
+    pub children: [ChildRef; 8],
+    /// Centre of mass (valid after phase 2).
+    pub com: [f64; 3],
+    /// Total mass (valid after phase 2).
+    pub mass: f64,
+    /// Number of bodies below this cell (valid after phase 2).
+    pub count: u32,
+    /// Aggregated work of the bodies below this cell (valid after phase 2).
+    pub work: u64,
+}
+
+impl Cell {
+    fn new(centre: [f64; 3], half: f64, depth: u32) -> Self {
+        Cell {
+            centre,
+            half,
+            depth,
+            children: [ChildRef::Empty; 8],
+            com: [0.0; 3],
+            mass: 0.0,
+            count: 0,
+            work: 0,
+        }
+    }
+
+    /// Index of the octant of `pos` relative to the cell centre.
+    fn octant(&self, pos: &[f64; 3]) -> usize {
+        (0..3).fold(0, |acc, d| acc | (usize::from(pos[d] >= self.centre[d]) << d))
+    }
+
+    /// Centre of the child cell in octant `idx`.
+    fn child_centre(&self, idx: usize) -> [f64; 3] {
+        let q = self.half / 2.0;
+        [
+            self.centre[0] + if idx & 1 != 0 { q } else { -q },
+            self.centre[1] + if idx & 2 != 0 { q } else { -q },
+            self.centre[2] + if idx & 4 != 0 { q } else { -q },
+        ]
+    }
+}
+
+/// Approximate size of a cell variable in bytes (the paper's cells carry a
+/// similar amount of data: geometry, child pointers and mass information).
+const CELL_BYTES: u32 = 160;
+/// Approximate size of a body variable in bytes.
+const BODY_BYTES: u32 = 80;
+
+/// Parameters of the N-body experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct BhParams {
+    /// Number of bodies.
+    pub n_bodies: usize,
+    /// Number of simulated time steps (the paper simulates 7).
+    pub timesteps: usize,
+    /// Leading steps excluded from the measurement (the paper excludes 2).
+    pub warmup_steps: usize,
+    /// Opening criterion θ of the force computation.
+    pub theta: f64,
+    /// Integration time step.
+    pub dt: f64,
+    /// Whether to model the force-computation floating-point time.
+    pub include_compute: bool,
+}
+
+impl BhParams {
+    /// Parameters with the paper's defaults for a given body count (7 steps,
+    /// the last 5 measured, θ = 1.0).
+    pub fn new(n_bodies: usize) -> Self {
+        BhParams {
+            n_bodies,
+            timesteps: 7,
+            warmup_steps: 2,
+            theta: 1.0,
+            dt: 0.025,
+            include_compute: true,
+        }
+    }
+
+    /// A small configuration for tests: fewer steps, no warm-up.
+    pub fn small(n_bodies: usize, timesteps: usize) -> Self {
+        BhParams {
+            n_bodies,
+            timesteps,
+            warmup_steps: 0,
+            theta: 0.8,
+            dt: 0.0125,
+            include_compute: false,
+        }
+    }
+}
+
+/// Outcome of an N-body run.
+pub struct BhOutcome {
+    /// Simulation statistics (regions: `tree-build`, `com`, `partition`,
+    /// `force`, `update`, `bounds` — accumulated over the measured steps —
+    /// plus `warmup` for the excluded leading steps).
+    pub report: RunReport,
+    /// Final body states, indexed like the input body slice.
+    pub bodies: Vec<Body>,
+    /// Total number of body/cell interactions computed in the force phases.
+    pub interactions: u64,
+}
+
+/// The acceleration exerted on a body at `pos` by a point mass at `src`.
+fn pairwise_accel(pos: &[f64; 3], src: &[f64; 3], mass: f64) -> [f64; 3] {
+    let dx = src[0] - pos[0];
+    let dy = src[1] - pos[1];
+    let dz = src[2] - pos[2];
+    let dist2 = dx * dx + dy * dy + dz * dz + SOFTENING * SOFTENING;
+    let inv = 1.0 / (dist2 * dist2.sqrt());
+    [mass * dx * inv, mass * dy * inv, mass * dz * inv]
+}
+
+/// Run the Barnes-Hut simulation through the DIVA shared-variable interface.
+pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcome {
+    assert_eq!(bodies.len(), params.n_bodies);
+    let nprocs = diva.num_procs();
+    let n = params.n_bodies;
+    assert!(n >= nprocs, "need at least one body per processor");
+
+    // Pre-allocate one global variable per body; the initial owner follows a
+    // block distribution over the decomposition-tree leaf order (bodies are
+    // generated in no particular spatial order, so this mirrors the paper's
+    // "each processor initially holds about an equal number of bodies").
+    let leaf_order: Vec<usize> = DecompositionTree::build(&diva.config().mesh, TreeShape::binary())
+        .leaf_order()
+        .iter()
+        .map(|p| p.index())
+        .collect();
+    let mut body_vars = Vec::with_capacity(n);
+    let mut initial_assignment: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+    for (i, b) in bodies.iter().enumerate() {
+        let owner = leaf_order[i * nprocs / n];
+        let h = diva.alloc(owner, BODY_BYTES, *b);
+        initial_assignment[owner].push(i);
+        body_vars.push(h);
+    }
+    let handle_to_index: HashMap<VarHandle, usize> =
+        body_vars.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+
+    // Shared control variables.
+    let (centre, half) = bounding_cube(bodies);
+    let root_ptr = diva.alloc(0, 16, VarHandle(u32::MAX));
+    let bounds_var = diva.alloc(0, 64, (centre, half));
+    let depth_var = diva.alloc(0, 8, 0u32);
+    // Per-processor reduction slots (bounds and tree depth contributions).
+    let reduce_vars: Vec<VarHandle> = (0..nprocs)
+        .map(|p| diva.alloc(p, 64, ([0.0f64; 3], [0.0f64; 3], 0u32)))
+        .collect();
+
+    let body_vars = Arc::new(body_vars);
+    let reduce_vars = Arc::new(reduce_vars);
+    let initial_assignment = Arc::new(initial_assignment);
+
+    let outcome = {
+        let body_vars = Arc::clone(&body_vars);
+        diva.run(move |ctx| {
+            let me = ctx.proc_id();
+            let nprocs = ctx.num_procs();
+            // Bodies this processor loads into the tree / owns this step.
+            let mut my_bodies: Vec<VarHandle> = initial_assignment[me]
+                .iter()
+                .map(|&i| body_vars[i])
+                .collect();
+            // Cells created by this processor in the current step, with depth.
+            let mut my_cells: Vec<(u32, VarHandle)> = Vec::new();
+            let mut interactions_total = 0u64;
+            let mut final_bodies: Vec<(VarHandle, Body)> = Vec::new();
+
+            for step in 0..params.timesteps {
+                let measured = step >= params.warmup_steps;
+                let region = |name: &str| {
+                    if measured {
+                        name.to_string()
+                    } else {
+                        "warmup".to_string()
+                    }
+                };
+                my_cells.clear();
+
+                // ---- Phase 1: load bodies into the tree -------------------
+                ctx.region(&region("tree-build"));
+                if me == 0 {
+                    let (centre, half) = *ctx.read::<([f64; 3], f64)>(bounds_var);
+                    let root = ctx.alloc(CELL_BYTES, Cell::new(centre, half, 0));
+                    my_cells.push((0, root));
+                    ctx.write(root_ptr, root);
+                }
+                ctx.barrier();
+                let root = *ctx.read::<VarHandle>(root_ptr);
+                for &b in &my_bodies {
+                    let pos = ctx.read::<Body>(b).pos;
+                    insert_body(ctx, root, b, pos, &mut my_cells);
+                }
+                ctx.barrier();
+
+                // ---- Phase 2: centres of mass ------------------------------
+                ctx.region(&region("com"));
+                let my_depth = my_cells.iter().map(|&(d, _)| d).max().unwrap_or(0);
+                ctx.write(reduce_vars[me], ([0.0f64; 3], [0.0f64; 3], my_depth));
+                ctx.barrier();
+                if me == 0 {
+                    let max_depth = (0..nprocs)
+                        .map(|p| ctx.read::<([f64; 3], [f64; 3], u32)>(reduce_vars[p]).2)
+                        .max()
+                        .unwrap_or(0);
+                    ctx.write(depth_var, max_depth);
+                }
+                ctx.barrier();
+                let max_depth = *ctx.read::<u32>(depth_var);
+                for depth in (0..=max_depth).rev() {
+                    for &(d, cell_var) in &my_cells {
+                        if d != depth {
+                            continue;
+                        }
+                        let mut cell = (*ctx.read::<Cell>(cell_var)).clone();
+                        let mut mass = 0.0;
+                        let mut com = [0.0f64; 3];
+                        let mut count = 0u32;
+                        let mut work = 0u64;
+                        for child in cell.children {
+                            match child {
+                                ChildRef::Empty => {}
+                                ChildRef::Body(b) => {
+                                    let body = ctx.read::<Body>(b);
+                                    mass += body.mass;
+                                    for k in 0..3 {
+                                        com[k] += body.mass * body.pos[k];
+                                    }
+                                    count += 1;
+                                    work += body.work.max(1);
+                                }
+                                ChildRef::Cell(c) => {
+                                    let sub = ctx.read::<Cell>(c);
+                                    mass += sub.mass;
+                                    for k in 0..3 {
+                                        com[k] += sub.mass * sub.com[k];
+                                    }
+                                    count += sub.count;
+                                    work += sub.work;
+                                }
+                            }
+                        }
+                        if mass > 0.0 {
+                            for k in 0..3 {
+                                com[k] /= mass;
+                            }
+                        } else {
+                            com = cell.centre;
+                        }
+                        cell.mass = mass;
+                        cell.com = com;
+                        cell.count = count;
+                        cell.work = work;
+                        ctx.write(cell_var, cell);
+                    }
+                    ctx.barrier();
+                }
+
+                // ---- Phase 3: costzones partitioning -----------------------
+                ctx.region(&region("partition"));
+                let root_cell = ctx.read::<Cell>(root);
+                let total_work = root_cell.work.max(1);
+                let lo = total_work * me as u64 / nprocs as u64;
+                let hi = total_work * (me as u64 + 1) / nprocs as u64;
+                let mut assigned: Vec<VarHandle> = Vec::new();
+                costzones_collect(ctx, root, 0, lo, hi, &mut assigned);
+                my_bodies = assigned;
+                ctx.barrier();
+
+                // ---- Phase 4: force computation ----------------------------
+                ctx.region(&region("force"));
+                let mut updates: Vec<(VarHandle, [f64; 3], u64)> = Vec::with_capacity(my_bodies.len());
+                for &b in &my_bodies {
+                    let body = ctx.read::<Body>(b);
+                    let (acc, count) =
+                        compute_force(ctx, root, b, &body.pos, params.theta, params.include_compute);
+                    interactions_total += count;
+                    updates.push((b, acc, count));
+                }
+                ctx.barrier();
+
+                // ---- Phase 5: advance bodies -------------------------------
+                ctx.region(&region("update"));
+                let mut local_min = [f64::INFINITY; 3];
+                let mut local_max = [f64::NEG_INFINITY; 3];
+                for (b, acc, count) in updates {
+                    let mut body = (*ctx.read::<Body>(b)).clone();
+                    for k in 0..3 {
+                        body.vel[k] += acc[k] * params.dt;
+                        body.pos[k] += body.vel[k] * params.dt;
+                        local_min[k] = local_min[k].min(body.pos[k]);
+                        local_max[k] = local_max[k].max(body.pos[k]);
+                    }
+                    body.work = count.max(1);
+                    ctx.write(b, body);
+                }
+                ctx.barrier();
+
+                // ---- Phase 6: new bounding cube ----------------------------
+                ctx.region(&region("bounds"));
+                ctx.write(reduce_vars[me], (local_min, local_max, 0u32));
+                ctx.barrier();
+                if me == 0 {
+                    let mut min = [f64::INFINITY; 3];
+                    let mut max = [f64::NEG_INFINITY; 3];
+                    for p in 0..nprocs {
+                        let (lmin, lmax, _) = *ctx.read::<([f64; 3], [f64; 3], u32)>(reduce_vars[p]);
+                        for k in 0..3 {
+                            min[k] = min[k].min(lmin[k]);
+                            max[k] = max[k].max(lmax[k]);
+                        }
+                    }
+                    let centre = [
+                        (min[0] + max[0]) / 2.0,
+                        (min[1] + max[1]) / 2.0,
+                        (min[2] + max[2]) / 2.0,
+                    ];
+                    let half = (0..3)
+                        .map(|k| (max[k] - min[k]) / 2.0)
+                        .fold(0.0f64, f64::max)
+                        .max(1e-6)
+                        * 1.001;
+                    ctx.write(bounds_var, (centre, half));
+                }
+                ctx.barrier();
+
+                if step + 1 == params.timesteps {
+                    for &b in &my_bodies {
+                        final_bodies.push((b, (*ctx.read::<Body>(b)).clone()));
+                    }
+                }
+            }
+            (final_bodies, interactions_total)
+        })
+    };
+
+    let mut final_bodies = bodies.to_vec();
+    let mut interactions = 0u64;
+    for (list, count) in outcome.results {
+        interactions += count;
+        for (handle, body) in list {
+            let idx = handle_to_index[&handle];
+            final_bodies[idx] = body;
+        }
+    }
+    BhOutcome {
+        report: outcome.report,
+        bodies: final_bodies,
+        interactions,
+    }
+}
+
+/// Insert `body` (at `pos`) into the shared octree rooted at `root`,
+/// protecting modified cells with their locks. Newly created cells are
+/// recorded in `created`.
+fn insert_body(
+    ctx: &mut ProcCtx,
+    root: VarHandle,
+    body: VarHandle,
+    pos: [f64; 3],
+    created: &mut Vec<(u32, VarHandle)>,
+) {
+    let mut cur = root;
+    loop {
+        let cell = ctx.read::<Cell>(cur);
+        let idx = cell.octant(&pos);
+        match cell.children[idx] {
+            ChildRef::Cell(next) => {
+                cur = next;
+            }
+            _ => {
+                // The slot needs to be modified: take the cell's lock and
+                // re-examine (another processor may have raced us).
+                ctx.lock(cur);
+                let fresh = (*ctx.read::<Cell>(cur)).clone();
+                match fresh.children[idx] {
+                    ChildRef::Cell(_) => {
+                        ctx.unlock(cur);
+                        // Retry the descent from the same cell.
+                    }
+                    ChildRef::Empty => {
+                        let mut updated = fresh;
+                        updated.children[idx] = ChildRef::Body(body);
+                        ctx.write(cur, updated);
+                        ctx.unlock(cur);
+                        return;
+                    }
+                    ChildRef::Body(other) => {
+                        let other_pos = ctx.read::<Body>(other).pos;
+                        let sub = subdivide(
+                            ctx,
+                            &fresh,
+                            idx,
+                            (body, pos),
+                            (other, other_pos),
+                            created,
+                        );
+                        let mut updated = fresh;
+                        updated.children[idx] = ChildRef::Cell(sub);
+                        ctx.write(cur, updated);
+                        ctx.unlock(cur);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Create the chain of cells needed to separate two bodies that fall into the
+/// same octant of `parent`, and return the handle of the topmost new cell.
+fn subdivide(
+    ctx: &mut ProcCtx,
+    parent: &Cell,
+    octant: usize,
+    a: (VarHandle, [f64; 3]),
+    b: (VarHandle, [f64; 3]),
+    created: &mut Vec<(u32, VarHandle)>,
+) -> VarHandle {
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut centre = parent.child_centre(octant);
+    let mut half = parent.half / 2.0;
+    let mut depth = parent.depth + 1;
+    loop {
+        let cell = Cell::new(centre, half, depth);
+        let ia = cell.octant(&a.1);
+        let ib = cell.octant(&b.1);
+        if ia != ib || depth >= MAX_DEPTH {
+            let mut leaf = cell;
+            if ia != ib {
+                leaf.children[ia] = ChildRef::Body(a.0);
+                leaf.children[ib] = ChildRef::Body(b.0);
+            } else {
+                // Coincident (or nearly coincident) bodies: place them in the
+                // first two free slots of the deepest allowed cell.
+                leaf.children[ia] = ChildRef::Body(a.0);
+                let free = (0..8).find(|&i| i != ia).unwrap();
+                leaf.children[free] = ChildRef::Body(b.0);
+            }
+            cells.push(leaf);
+            break;
+        }
+        let next_centre = cell.child_centre(ia);
+        cells.push(cell);
+        centre = next_centre;
+        half /= 2.0;
+        depth += 1;
+    }
+    // Allocate from the deepest cell upwards, wiring child pointers.
+    let mut child_handle: Option<VarHandle> = None;
+    for cell in cells.into_iter().rev() {
+        let mut cell = cell;
+        if let Some(ch) = child_handle {
+            let idx = cell.octant(&a.1);
+            cell.children[idx] = ChildRef::Cell(ch);
+        }
+        let depth = cell.depth;
+        let handle = ctx.alloc(CELL_BYTES, cell);
+        created.push((depth, handle));
+        child_handle = Some(handle);
+    }
+    child_handle.expect("subdivision created no cells")
+}
+
+/// Costzones: collect the bodies whose cumulative work lies in `[lo, hi)`,
+/// walking the tree in child order. Returns the cumulative work after the
+/// subtree.
+fn costzones_collect(
+    ctx: &mut ProcCtx,
+    cell_var: VarHandle,
+    offset: u64,
+    lo: u64,
+    hi: u64,
+    out: &mut Vec<VarHandle>,
+) -> u64 {
+    let cell = ctx.read::<Cell>(cell_var);
+    let end = offset + cell.work;
+    if end <= lo || offset >= hi {
+        return end;
+    }
+    let mut off = offset;
+    for child in cell.children {
+        match child {
+            ChildRef::Empty => {}
+            ChildRef::Body(b) => {
+                let work = ctx.read::<Body>(b).work.max(1);
+                // A body belongs to the processor whose zone contains its
+                // starting offset, so every body is assigned exactly once.
+                if off >= lo && off < hi {
+                    out.push(b);
+                }
+                off += work;
+            }
+            ChildRef::Cell(c) => {
+                off = costzones_collect(ctx, c, off, lo, hi, out);
+            }
+        }
+    }
+    off
+}
+
+/// Compute the acceleration on the body stored in `body_var` at position
+/// `pos` by traversing the shared tree. Returns the acceleration and the
+/// number of interactions.
+fn compute_force(
+    ctx: &mut ProcCtx,
+    root: VarHandle,
+    body_var: VarHandle,
+    pos: &[f64; 3],
+    theta: f64,
+    include_compute: bool,
+) -> ([f64; 3], u64) {
+    let mut acc = [0.0f64; 3];
+    let mut interactions = 0u64;
+    let mut stack = vec![root];
+    while let Some(cell_var) = stack.pop() {
+        let cell = ctx.read::<Cell>(cell_var);
+        if cell.count == 0 {
+            continue;
+        }
+        let dx = cell.com[0] - pos[0];
+        let dy = cell.com[1] - pos[1];
+        let dz = cell.com[2] - pos[2];
+        let dist = (dx * dx + dy * dy + dz * dz).sqrt().max(1e-12);
+        if (2.0 * cell.half) / dist < theta {
+            let a = pairwise_accel(pos, &cell.com, cell.mass);
+            for k in 0..3 {
+                acc[k] += a[k];
+            }
+            interactions += 1;
+        } else {
+            for child in cell.children {
+                match child {
+                    ChildRef::Empty => {}
+                    ChildRef::Body(b) => {
+                        if b == body_var {
+                            continue;
+                        }
+                        let other = ctx.read::<Body>(b);
+                        let a = pairwise_accel(pos, &other.pos, other.mass);
+                        for k in 0..3 {
+                            acc[k] += a[k];
+                        }
+                        interactions += 1;
+                    }
+                    ChildRef::Cell(c) => stack.push(c),
+                }
+            }
+        }
+    }
+    if include_compute {
+        ctx.compute_flops(interactions * FLOPS_PER_INTERACTION);
+    }
+    (acc, interactions)
+}
+
+// ---------------------------------------------------------------------------
+// Sequential reference implementation (plain data structures, no DIVA).
+// ---------------------------------------------------------------------------
+
+/// A node of the sequential reference octree.
+enum RefNode {
+    Body(usize),
+    Cell(Box<RefCell>),
+}
+
+struct RefCell {
+    centre: [f64; 3],
+    half: f64,
+    children: [Option<RefNode>; 8],
+    com: [f64; 3],
+    mass: f64,
+}
+
+impl RefCell {
+    fn new(centre: [f64; 3], half: f64) -> Self {
+        RefCell {
+            centre,
+            half,
+            children: Default::default(),
+            com: [0.0; 3],
+            mass: 0.0,
+        }
+    }
+
+    fn octant(&self, pos: &[f64; 3]) -> usize {
+        (0..3).fold(0, |acc, d| acc | (usize::from(pos[d] >= self.centre[d]) << d))
+    }
+
+    fn child_centre(&self, idx: usize) -> [f64; 3] {
+        let q = self.half / 2.0;
+        [
+            self.centre[0] + if idx & 1 != 0 { q } else { -q },
+            self.centre[1] + if idx & 2 != 0 { q } else { -q },
+            self.centre[2] + if idx & 4 != 0 { q } else { -q },
+        ]
+    }
+
+    fn insert(&mut self, idx_body: usize, bodies: &[Body], depth: u32) {
+        let pos = bodies[idx_body].pos;
+        let oct = self.octant(&pos);
+        match self.children[oct].take() {
+            None => self.children[oct] = Some(RefNode::Body(idx_body)),
+            Some(RefNode::Cell(mut cell)) => {
+                cell.insert(idx_body, bodies, depth + 1);
+                self.children[oct] = Some(RefNode::Cell(cell));
+            }
+            Some(RefNode::Body(other)) => {
+                let mut cell = RefCell::new(self.child_centre(oct), self.half / 2.0);
+                if depth >= MAX_DEPTH {
+                    // Mirror the parallel fallback for coincident bodies.
+                    cell.children[0] = Some(RefNode::Body(other));
+                    cell.children[1] = Some(RefNode::Body(idx_body));
+                } else {
+                    cell.insert(other, bodies, depth + 1);
+                    cell.insert(idx_body, bodies, depth + 1);
+                }
+                self.children[oct] = Some(RefNode::Cell(Box::new(cell)));
+            }
+        }
+    }
+
+    fn compute_com(&mut self, bodies: &[Body]) -> (f64, [f64; 3]) {
+        let mut mass = 0.0;
+        let mut com = [0.0f64; 3];
+        for child in self.children.iter_mut().flatten() {
+            match child {
+                RefNode::Body(i) => {
+                    let b = &bodies[*i];
+                    mass += b.mass;
+                    for k in 0..3 {
+                        com[k] += b.mass * b.pos[k];
+                    }
+                }
+                RefNode::Cell(c) => {
+                    let (m, cc) = c.compute_com(bodies);
+                    mass += m;
+                    for k in 0..3 {
+                        com[k] += m * cc[k];
+                    }
+                }
+            }
+        }
+        if mass > 0.0 {
+            for k in 0..3 {
+                com[k] /= mass;
+            }
+        } else {
+            com = self.centre;
+        }
+        self.mass = mass;
+        self.com = com;
+        (mass, com)
+    }
+
+    fn force(&self, me: usize, bodies: &[Body], theta: f64, acc: &mut [f64; 3]) {
+        let pos = bodies[me].pos;
+        let dx = self.com[0] - pos[0];
+        let dy = self.com[1] - pos[1];
+        let dz = self.com[2] - pos[2];
+        let dist = (dx * dx + dy * dy + dz * dz).sqrt().max(1e-12);
+        if (2.0 * self.half) / dist < theta {
+            let a = pairwise_accel(&pos, &self.com, self.mass);
+            for k in 0..3 {
+                acc[k] += a[k];
+            }
+            return;
+        }
+        for child in self.children.iter().flatten() {
+            match child {
+                RefNode::Body(i) => {
+                    if *i == me {
+                        continue;
+                    }
+                    let a = pairwise_accel(&pos, &bodies[*i].pos, bodies[*i].mass);
+                    for k in 0..3 {
+                        acc[k] += a[k];
+                    }
+                }
+                RefNode::Cell(c) => c.force(me, bodies, theta, acc),
+            }
+        }
+    }
+}
+
+/// Advance `bodies` by `timesteps` leapfrog steps of the sequential
+/// Barnes-Hut algorithm with the same opening criterion as the parallel code.
+pub fn reference_simulation(bodies: &[Body], theta: f64, dt: f64, timesteps: usize) -> Vec<Body> {
+    let mut bodies = bodies.to_vec();
+    for _ in 0..timesteps {
+        let (centre, half) = bounding_cube(&bodies);
+        let mut root = RefCell::new(centre, half);
+        for i in 0..bodies.len() {
+            root.insert(i, &bodies, 0);
+        }
+        root.compute_com(&bodies);
+        let mut accs = vec![[0.0f64; 3]; bodies.len()];
+        for (i, acc) in accs.iter_mut().enumerate() {
+            root.force(i, &bodies, theta, acc);
+        }
+        for (b, acc) in bodies.iter_mut().zip(&accs) {
+            for k in 0..3 {
+                b.vel[k] += acc[k] * dt;
+                b.pos[k] += b.vel[k] * dt;
+            }
+        }
+    }
+    bodies
+}
+
+/// Compute the exact (O(N²)) accelerations — used by tests to bound the
+/// Barnes-Hut approximation error.
+pub fn direct_accelerations(bodies: &[Body]) -> Vec<[f64; 3]> {
+    let mut accs = vec![[0.0f64; 3]; bodies.len()];
+    for i in 0..bodies.len() {
+        for j in 0..bodies.len() {
+            if i == j {
+                continue;
+            }
+            let a = pairwise_accel(&bodies[i].pos, &bodies[j].pos, bodies[j].mass);
+            for k in 0..3 {
+                accs[i][k] += a[k];
+            }
+        }
+    }
+    accs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::plummer_bodies;
+    use dm_diva::{DivaConfig, StrategyKind};
+    use dm_mesh::{Mesh, TreeShape};
+
+    fn diva(side: usize, strategy: StrategyKind) -> Diva {
+        Diva::new(DivaConfig::new(Mesh::square(side), strategy))
+    }
+
+    #[test]
+    fn octant_and_child_centre_are_consistent() {
+        let cell = Cell::new([0.0; 3], 2.0, 0);
+        for idx in 0..8 {
+            let c = cell.child_centre(idx);
+            assert_eq!(cell.octant(&c), idx);
+        }
+    }
+
+    #[test]
+    fn reference_tree_matches_direct_forces_for_small_theta() {
+        let bodies = plummer_bodies(11, 80);
+        let direct = direct_accelerations(&bodies);
+        // With θ → 0 the tree never approximates, so forces must match the
+        // direct sum almost exactly.
+        let (centre, half) = bounding_cube(&bodies);
+        let mut root = RefCell::new(centre, half);
+        for i in 0..bodies.len() {
+            root.insert(i, &bodies, 0);
+        }
+        root.compute_com(&bodies);
+        for i in 0..bodies.len() {
+            let mut acc = [0.0; 3];
+            root.force(i, &bodies, 1e-9, &mut acc);
+            for k in 0..3 {
+                assert!((acc[k] - direct[i][k]).abs() < 1e-9, "body {i} axis {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_simulation_matches_the_sequential_reference() {
+        let params = BhParams {
+            n_bodies: 120,
+            timesteps: 2,
+            warmup_steps: 0,
+            theta: 0.7,
+            dt: 0.01,
+            include_compute: false,
+        };
+        let bodies = plummer_bodies(5, params.n_bodies);
+        let expected = reference_simulation(&bodies, params.theta, params.dt, params.timesteps);
+        for strategy in [
+            StrategyKind::AccessTree(TreeShape::quad()),
+            StrategyKind::FixedHome,
+        ] {
+            let out = run_shared(diva(2, strategy), params, &bodies);
+            assert_eq!(out.bodies.len(), expected.len());
+            for (i, (got, want)) in out.bodies.iter().zip(&expected).enumerate() {
+                for k in 0..3 {
+                    assert!(
+                        (got.pos[k] - want.pos[k]).abs() < 1e-6,
+                        "body {i} axis {k}: {} vs {}",
+                        got.pos[k],
+                        want.pos[k]
+                    );
+                }
+            }
+            assert!(out.interactions > 0);
+        }
+    }
+
+    #[test]
+    fn run_produces_phase_regions_and_traffic() {
+        let params = BhParams {
+            n_bodies: 200,
+            timesteps: 2,
+            warmup_steps: 1,
+            theta: 1.0,
+            dt: 0.01,
+            include_compute: true,
+        };
+        let bodies = plummer_bodies(9, params.n_bodies);
+        let out = run_shared(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params, &bodies);
+        let report = &out.report;
+        for phase in ["tree-build", "com", "partition", "force", "update", "bounds", "warmup"] {
+            assert!(report.region(phase).is_some(), "missing region {phase}");
+        }
+        // The force phase dominates the traffic among the measured phases of a
+        // freshly built tree... at minimum it must produce traffic and time.
+        let force = report.region("force").unwrap();
+        assert!(force.total_msgs > 0);
+        assert!(force.wall_time > 0);
+        assert!(report.counter(dm_diva::Counter::Locks) >= params.n_bodies as u64 / 2);
+        assert!(report.congestion_msgs() > 0);
+    }
+
+    #[test]
+    fn access_tree_beats_fixed_home_on_tree_build_congestion() {
+        // Figure 9's qualitative claim at small scale: the hot root cell makes
+        // the fixed home a bottleneck, the access tree distributes the copies.
+        let params = BhParams {
+            n_bodies: 256,
+            timesteps: 1,
+            warmup_steps: 0,
+            theta: 1.0,
+            dt: 0.01,
+            include_compute: false,
+        };
+        let bodies = plummer_bodies(21, params.n_bodies);
+        let at = run_shared(
+            diva(4, StrategyKind::AccessTree(TreeShape::quad())),
+            params,
+            &bodies,
+        );
+        let fh = run_shared(diva(4, StrategyKind::FixedHome), params, &bodies);
+        assert!(
+            at.report.congestion_msgs() < fh.report.congestion_msgs(),
+            "access tree {} vs fixed home {}",
+            at.report.congestion_msgs(),
+            fh.report.congestion_msgs()
+        );
+    }
+}

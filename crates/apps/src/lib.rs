@@ -1,0 +1,30 @@
+//! # dm-apps — the benchmark applications of the DIVA evaluation
+//!
+//! The three applications Section 3 of the paper uses to evaluate the
+//! access-tree strategy, each implemented on top of the [`dm_diva`] library:
+//!
+//! * [`matmul`] — matrix multiplication (matrix square) with the staggered
+//!   read schedule of the paper and a hand-optimized message-passing baseline
+//!   that achieves minimal congestion (Figures 3 and 4).
+//! * [`bitonic`] — bitonic sorting with merge&split steps on the
+//!   decomposition-tree wire numbering, plus its message-passing baseline
+//!   (Figures 6 and 7).
+//! * [`barnes_hut`] — the SPLASH-2 Barnes-Hut N-body simulation adapted to
+//!   DIVA: a shared octree rebuilt every step under per-cell locks,
+//!   centre-of-mass pass, costzones partitioning, force computation and
+//!   integration (Figures 8–11).
+//! * [`workload`] — deterministic input generators (matrix blocks, sort keys,
+//!   Plummer bodies).
+//!
+//! Every application comes with a sequential reference implementation used by
+//! the test suite to verify that the parallel runs compute correct results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barnes_hut;
+pub mod bitonic;
+pub mod matmul;
+pub mod workload;
+
+pub use workload::Body;

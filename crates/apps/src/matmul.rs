@@ -1,0 +1,375 @@
+//! Matrix multiplication (matrix square), Section 3.1 of the paper.
+//!
+//! The paper computes the matrix square `A := A · A` (rather than a general
+//! product) because it forces the data-management strategies to invalidate
+//! copies in the write phase. The `n × n` matrix is partitioned into `P`
+//! blocks of `m = n²/P` integers; processor `p_{i,j}` owns block `A[i][j]`
+//! (the only copy initially resides in its cache) and computes its new value
+//! as `Σ_k A[i][k] · A[k][j]`.
+//!
+//! Three variants are provided:
+//!
+//! * [`run_shared`] — the DIVA version: blocks are global variables, the read
+//!   phase uses the staggered schedule of the paper (`k = (k' + i + j) mod
+//!   √P`, so at most two processors read the same block in the same step), a
+//!   barrier separates it from the write phase.
+//! * [`run_hand_optimized`] — the message-passing baseline: every processor
+//!   pipelines its block along its row and column (neighbour-to-neighbour
+//!   forwarding), which achieves minimal congestion `m · √P`.
+//! * [`reference_square`] — a sequential implementation used to verify both.
+
+use crate::workload::block_matrix;
+use dm_diva::{Diva, RunReport, VarHandle};
+use std::sync::Arc;
+
+/// Parameters of the matrix-square experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct MatmulParams {
+    /// Block size `m` in matrix entries (the paper uses 64…4096 integers).
+    pub block_ints: usize,
+    /// Whether to model the local block-multiplication time. The paper's
+    /// Figure 3/4 measure the *communication* time (compute removed), so the
+    /// harness sets this to `false`.
+    pub include_compute: bool,
+}
+
+impl MatmulParams {
+    /// Parameters with a given block size, without modelled computation.
+    pub fn new(block_ints: usize) -> Self {
+        MatmulParams {
+            block_ints,
+            include_compute: false,
+        }
+    }
+
+    /// Side length `b` of a block (`m = b²`).
+    ///
+    /// # Panics
+    /// Panics if `block_ints` is not a perfect square.
+    pub fn block_side(&self) -> usize {
+        let b = (self.block_ints as f64).sqrt().round() as usize;
+        assert_eq!(b * b, self.block_ints, "block size must be a perfect square");
+        b
+    }
+}
+
+/// The outcome of one matrix-square run.
+pub struct MatmulOutcome {
+    /// Simulation statistics.
+    pub report: RunReport,
+    /// Resulting blocks, indexed by processor id (row-major block order).
+    pub blocks: Vec<Vec<i64>>,
+}
+
+/// Multiply two `b × b` blocks and add the result into `acc`.
+pub fn block_multiply_add(acc: &mut [i64], a: &[i64], b: &[i64], side: usize) {
+    debug_assert_eq!(acc.len(), side * side);
+    debug_assert_eq!(a.len(), side * side);
+    debug_assert_eq!(b.len(), side * side);
+    for i in 0..side {
+        for k in 0..side {
+            let aik = a[i * side + k];
+            if aik == 0 {
+                continue;
+            }
+            for j in 0..side {
+                acc[i * side + j] += aik * b[k * side + j];
+            }
+        }
+    }
+}
+
+/// Sequentially compute the blocked matrix square of `blocks` (a `q × q` grid
+/// of `b × b` blocks), returning the resulting blocks in the same layout.
+pub fn reference_square(blocks: &[Vec<i64>], q: usize, side: usize) -> Vec<Vec<i64>> {
+    let mut out = vec![vec![0i64; side * side]; q * q];
+    for i in 0..q {
+        for j in 0..q {
+            for k in 0..q {
+                let (a, b) = (&blocks[i * q + k], &blocks[k * q + j]);
+                block_multiply_add(&mut out[i * q + j], a, b, side);
+            }
+        }
+    }
+    out
+}
+
+/// Modelled cost of one block multiply-add (`2·b³` integer operations).
+fn block_multiply_ops(side: usize) -> u64 {
+    2 * (side as u64).pow(3)
+}
+
+/// Allocate the initial blocks (one per processor, owned by that processor)
+/// and return their handles in row-major block order.
+fn allocate_blocks(diva: &mut Diva, params: &MatmulParams, q: usize) -> Vec<VarHandle> {
+    let side = params.block_side();
+    let bytes = (params.block_ints * diva.config().machine.word_bytes as usize) as u32;
+    (0..q * q)
+        .map(|p| {
+            let (i, j) = (p / q, p % q);
+            diva.alloc(p, bytes, block_matrix(i, j, side))
+        })
+        .collect()
+}
+
+/// Check that the mesh is square and return its side length `√P`.
+fn grid_side(diva: &Diva) -> usize {
+    let mesh = &diva.config().mesh;
+    assert_eq!(
+        mesh.rows(),
+        mesh.cols(),
+        "the matrix-square experiment requires a square mesh"
+    );
+    mesh.rows()
+}
+
+/// Run the matrix square through the DIVA shared-variable interface.
+pub fn run_shared(mut diva: Diva, params: MatmulParams) -> MatmulOutcome {
+    let q = grid_side(&diva);
+    let side = params.block_side();
+    let vars = Arc::new(allocate_blocks(&mut diva, &params, q));
+    let include_compute = params.include_compute;
+    let outcome = diva.run(move |ctx| {
+        let p = ctx.proc_id();
+        let (i, j) = (p / q, p % q);
+        let mut h = vec![0i64; side * side];
+        ctx.region("read-phase");
+        for kp in 0..q {
+            let k = (kp + i + j) % q;
+            let a = ctx.read::<Vec<i64>>(vars[i * q + k]);
+            let b = ctx.read::<Vec<i64>>(vars[k * q + j]);
+            if include_compute {
+                ctx.compute_int_ops(block_multiply_ops(side));
+            }
+            block_multiply_add(&mut h, &a, &b, side);
+        }
+        ctx.barrier();
+        ctx.region("write-phase");
+        ctx.write(vars[i * q + j], h.clone());
+        ctx.barrier();
+        h
+    });
+    MatmulOutcome {
+        report: outcome.report,
+        blocks: outcome.results,
+    }
+}
+
+/// Message tags of the hand-optimized variant (one per forwarding direction).
+const TAG_EAST: u64 = 1;
+const TAG_WEST: u64 = 2;
+const TAG_SOUTH: u64 = 3;
+const TAG_NORTH: u64 = 4;
+
+/// Run the matrix square with the hand-optimized message-passing strategy:
+/// every block is pipelined along its row and its column by
+/// neighbour-to-neighbour messages, which achieves minimal congestion.
+pub fn run_hand_optimized(diva: Diva, params: MatmulParams) -> MatmulOutcome {
+    let q = grid_side(&diva);
+    let side = params.block_side();
+    // The baseline does not use shared variables; blocks live in local memory.
+    let word = diva.config().machine.word_bytes as usize;
+    let block_bytes = (params.block_ints * word) as u32;
+    let include_compute = params.include_compute;
+    let outcome = diva.run(move |ctx| {
+        let p = ctx.proc_id();
+        let (i, j) = (p / q, p % q);
+        let own: Vec<i64> = block_matrix(i, j, side);
+        // Blocks of my row (indexed by column) and my column (indexed by row).
+        let mut row_blocks: Vec<Option<Vec<i64>>> = vec![None; q];
+        let mut col_blocks: Vec<Option<Vec<i64>>> = vec![None; q];
+        row_blocks[j] = Some(own.clone());
+        col_blocks[i] = Some(own.clone());
+
+        let proc_of = |r: usize, c: usize| r * q + c;
+        // Kick off the four pipelines with the processor's own block.
+        if j + 1 < q {
+            ctx.send_msg(proc_of(i, j + 1), block_bytes, TAG_EAST, (j, own.clone()));
+        }
+        if j > 0 {
+            ctx.send_msg(proc_of(i, j - 1), block_bytes, TAG_WEST, (j, own.clone()));
+        }
+        if i + 1 < q {
+            ctx.send_msg(proc_of(i + 1, j), block_bytes, TAG_SOUTH, (i, own.clone()));
+        }
+        if i > 0 {
+            ctx.send_msg(proc_of(i - 1, j), block_bytes, TAG_NORTH, (i, own.clone()));
+        }
+        // Expected number of blocks from each direction.
+        let mut remaining = [j, q - 1 - j, i, q - 1 - i]; // east←west, west←east, south←north, north←south
+        loop {
+            let mut progressed = false;
+            // Round-robin over the four directions to keep all pipelines moving.
+            for dir in 0..4 {
+                if remaining[dir] == 0 {
+                    continue;
+                }
+                progressed = true;
+                remaining[dir] -= 1;
+                match dir {
+                    0 => {
+                        // Block travelling east, received from the west neighbour.
+                        let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i, j - 1), TAG_EAST);
+                        let (col, block) = (*msg).clone();
+                        if j + 1 < q {
+                            ctx.send_msg(proc_of(i, j + 1), block_bytes, TAG_EAST, (col, block.clone()));
+                        }
+                        row_blocks[col] = Some(block);
+                    }
+                    1 => {
+                        let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i, j + 1), TAG_WEST);
+                        let (col, block) = (*msg).clone();
+                        if j > 0 {
+                            ctx.send_msg(proc_of(i, j - 1), block_bytes, TAG_WEST, (col, block.clone()));
+                        }
+                        row_blocks[col] = Some(block);
+                    }
+                    2 => {
+                        let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i - 1, j), TAG_SOUTH);
+                        let (row, block) = (*msg).clone();
+                        if i + 1 < q {
+                            ctx.send_msg(proc_of(i + 1, j), block_bytes, TAG_SOUTH, (row, block.clone()));
+                        }
+                        col_blocks[row] = Some(block);
+                    }
+                    3 => {
+                        let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i + 1, j), TAG_NORTH);
+                        let (row, block) = (*msg).clone();
+                        if i > 0 {
+                            ctx.send_msg(proc_of(i - 1, j), block_bytes, TAG_NORTH, (row, block.clone()));
+                        }
+                        col_blocks[row] = Some(block);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // All blocks of row i and column j are local: compute the new block.
+        let mut h = vec![0i64; side * side];
+        for k in 0..q {
+            let a = row_blocks[k].as_ref().expect("missing row block");
+            let b = col_blocks[k].as_ref().expect("missing column block");
+            if include_compute {
+                ctx.compute_int_ops(block_multiply_ops(side));
+            }
+            block_multiply_add(&mut h, a, b, side);
+        }
+        ctx.barrier();
+        h
+    });
+    MatmulOutcome {
+        report: outcome.report,
+        blocks: outcome.results,
+    }
+}
+
+/// The initial blocks of the experiment (used by tests to verify results).
+pub fn initial_blocks(q: usize, side: usize) -> Vec<Vec<i64>> {
+    (0..q * q).map(|p| block_matrix(p / q, p % q, side)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_diva::{DivaConfig, StrategyKind};
+    use dm_mesh::{Mesh, TreeShape};
+
+    fn diva(side: usize, strategy: StrategyKind) -> Diva {
+        Diva::new(DivaConfig::new(Mesh::square(side), strategy))
+    }
+
+    #[test]
+    fn block_multiply_matches_naive() {
+        let a = vec![1, 2, 3, 4];
+        let b = vec![5, 6, 7, 8];
+        let mut acc = vec![0i64; 4];
+        block_multiply_add(&mut acc, &a, &b, 2);
+        assert_eq!(acc, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn reference_square_of_identity_blocks() {
+        // A block-diagonal identity squared is itself.
+        let q = 2;
+        let side = 2;
+        let mut blocks = vec![vec![0i64; 4]; 4];
+        blocks[0] = vec![1, 0, 0, 1];
+        blocks[3] = vec![1, 0, 0, 1];
+        let sq = reference_square(&blocks, q, side);
+        assert_eq!(sq, blocks);
+    }
+
+    #[test]
+    fn shared_version_computes_the_correct_square() {
+        for strategy in [
+            StrategyKind::AccessTree(TreeShape::quad()),
+            StrategyKind::FixedHome,
+        ] {
+            let params = MatmulParams::new(16);
+            let out = run_shared(diva(4, strategy), params);
+            let expected = reference_square(&initial_blocks(4, 4), 4, 4);
+            assert_eq!(out.blocks, expected);
+        }
+    }
+
+    #[test]
+    fn hand_optimized_version_computes_the_correct_square() {
+        let params = MatmulParams::new(16);
+        let out = run_hand_optimized(
+            diva(4, StrategyKind::AccessTree(TreeShape::quad())),
+            params,
+        );
+        let expected = reference_square(&initial_blocks(4, 4), 4, 4);
+        assert_eq!(out.blocks, expected);
+    }
+
+    #[test]
+    fn shared_and_hand_optimized_agree_on_a_bigger_mesh() {
+        let params = MatmulParams::new(64);
+        let a = run_shared(diva(8, StrategyKind::AccessTree(TreeShape::quad())), params);
+        let b = run_hand_optimized(diva(8, StrategyKind::FixedHome), params);
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn hand_optimized_congestion_is_close_to_the_lower_bound() {
+        // The paper: the hand-optimized strategy achieves congestion m·√P
+        // (in words). Allow protocol headers as slack.
+        let params = MatmulParams::new(256);
+        let out = run_hand_optimized(diva(4, StrategyKind::FixedHome), params);
+        let word = 4;
+        let lower_bound = (256 * word * 4) as u64; // m bytes · √P
+        let measured = out.report.congestion_bytes();
+        assert!(measured >= lower_bound / 2, "congestion {measured} below plausible range");
+        assert!(
+            measured <= lower_bound * 2,
+            "congestion {measured} far above the m·√P bound {lower_bound}"
+        );
+    }
+
+    #[test]
+    fn access_tree_produces_less_congestion_than_fixed_home() {
+        // The central claim of Figure 3, at small scale.
+        let params = MatmulParams::new(256);
+        let at = run_shared(diva(8, StrategyKind::AccessTree(TreeShape::quad())), params);
+        let fh = run_shared(diva(8, StrategyKind::FixedHome), params);
+        assert!(
+            at.report.congestion_bytes() < fh.report.congestion_bytes(),
+            "access tree {} vs fixed home {}",
+            at.report.congestion_bytes(),
+            fh.report.congestion_bytes()
+        );
+    }
+
+    #[test]
+    fn read_phase_carries_almost_all_the_traffic() {
+        let params = MatmulParams::new(256);
+        let out = run_shared(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params);
+        let read = out.report.region("read-phase").unwrap();
+        let write = out.report.region("write-phase").unwrap();
+        assert!(read.total_bytes > 5 * write.total_bytes);
+    }
+}

@@ -1,0 +1,174 @@
+//! Deterministic workload generators shared by the applications and the
+//! experiment harness.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The deterministic initial matrix block for block row `i`, block column `j`
+/// with side length `side`. Entries are small so that repeated squaring stays
+/// well inside `i64` for the block sizes of the paper.
+pub fn block_matrix(i: usize, j: usize, side: usize) -> Vec<i64> {
+    let mut block = Vec::with_capacity(side * side);
+    for r in 0..side {
+        for c in 0..side {
+            let v = (i * 31 + j * 17 + r * 7 + c * 3) % 5;
+            block.push(v as i64);
+        }
+    }
+    block
+}
+
+/// Deterministic pseudo-random sort keys for the bitonic-sorting experiment:
+/// `m` keys for the processor simulating wire `wire`.
+pub fn sort_keys(seed: u64, wire: usize, m: usize) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (wire as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (0..m).map(|_| rng.gen::<u64>()).collect()
+}
+
+/// A body of the N-body simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+    /// Mass.
+    pub mass: f64,
+    /// Work counter: interactions computed for this body in the previous
+    /// force-computation phase (used by the costzones partitioning).
+    pub work: u64,
+}
+
+/// Generate `n` bodies following the Plummer model, the standard initial
+/// distribution of the SPLASH-2 Barnes-Hut benchmark. Positions are clipped
+/// to a bounded region so the octree depth stays reasonable.
+pub fn plummer_bodies(seed: u64, n: usize) -> Vec<Body> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut bodies = Vec::with_capacity(n);
+    let mass = 1.0 / n as f64;
+    while bodies.len() < n {
+        // Plummer radial distribution: r = (u^(-2/3) - 1)^(-1/2).
+        let u: f64 = rng.gen_range(1e-6..1.0);
+        let r = (u.powf(-2.0 / 3.0) - 1.0).powf(-0.5);
+        if r > 8.0 {
+            continue; // clip the rare far outliers
+        }
+        let (x, y, z) = random_direction(&mut rng, r);
+        // Velocities from the standard rejection technique (von Neumann).
+        let mut q: f64;
+        loop {
+            q = rng.gen_range(0.0..1.0);
+            let g: f64 = rng.gen_range(0.0..0.1);
+            if g < q * q * (1.0 - q * q).powf(3.5) {
+                break;
+            }
+        }
+        let v_escape = std::f64::consts::SQRT_2 * (1.0 + r * r).powf(-0.25);
+        let speed = q * v_escape;
+        let (vx, vy, vz) = random_direction(&mut rng, speed);
+        bodies.push(Body {
+            pos: [x, y, z],
+            vel: [vx, vy, vz],
+            mass,
+            work: 1,
+        });
+    }
+    bodies
+}
+
+/// A uniformly random direction scaled to length `r`.
+fn random_direction(rng: &mut ChaCha8Rng, r: f64) -> (f64, f64, f64) {
+    loop {
+        let x: f64 = rng.gen_range(-1.0..1.0);
+        let y: f64 = rng.gen_range(-1.0..1.0);
+        let z: f64 = rng.gen_range(-1.0..1.0);
+        let len2 = x * x + y * y + z * z;
+        if len2 > 1e-12 && len2 <= 1.0 {
+            let s = r / len2.sqrt();
+            return (x * s, y * s, z * s);
+        }
+    }
+}
+
+/// The bounding cube (centre, half-width) of a set of bodies, slightly
+/// enlarged so insertions at the boundary are safe.
+pub fn bounding_cube(bodies: &[Body]) -> ([f64; 3], f64) {
+    let mut min = [f64::INFINITY; 3];
+    let mut max = [f64::NEG_INFINITY; 3];
+    for b in bodies {
+        for d in 0..3 {
+            min[d] = min[d].min(b.pos[d]);
+            max[d] = max[d].max(b.pos[d]);
+        }
+    }
+    let centre = [
+        (min[0] + max[0]) / 2.0,
+        (min[1] + max[1]) / 2.0,
+        (min[2] + max[2]) / 2.0,
+    ];
+    let half = (0..3)
+        .map(|d| (max[d] - min[d]) / 2.0)
+        .fold(0.0f64, f64::max)
+        .max(1e-6)
+        * 1.001;
+    (centre, half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_matrix_is_deterministic_and_bounded() {
+        let a = block_matrix(1, 2, 8);
+        let b = block_matrix(1, 2, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|&v| (0..5).contains(&v)));
+        assert_ne!(block_matrix(0, 0, 8), block_matrix(2, 1, 8));
+    }
+
+    #[test]
+    fn sort_keys_are_deterministic_per_wire() {
+        assert_eq!(sort_keys(1, 5, 100), sort_keys(1, 5, 100));
+        assert_ne!(sort_keys(1, 5, 100), sort_keys(1, 6, 100));
+        assert_ne!(sort_keys(1, 5, 100), sort_keys(2, 5, 100));
+    }
+
+    #[test]
+    fn plummer_generates_the_requested_number_of_bodies() {
+        let bodies = plummer_bodies(42, 500);
+        assert_eq!(bodies.len(), 500);
+        // Total mass normalised to 1.
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Positions are clipped to the ball of radius 8.
+        assert!(bodies
+            .iter()
+            .all(|b| b.pos.iter().map(|x| x * x).sum::<f64>() <= 64.0 + 1e-9));
+        // The distribution is centrally concentrated: more than half of the
+        // bodies lie within radius 1.5 (true for the Plummer model).
+        let inner = bodies
+            .iter()
+            .filter(|b| b.pos.iter().map(|x| x * x).sum::<f64>() < 1.5 * 1.5)
+            .count();
+        assert!(inner * 2 > bodies.len(), "only {inner} of {} inside r=1.5", bodies.len());
+    }
+
+    #[test]
+    fn plummer_is_deterministic_per_seed() {
+        assert_eq!(plummer_bodies(7, 50), plummer_bodies(7, 50));
+        assert_ne!(plummer_bodies(7, 50), plummer_bodies(8, 50));
+    }
+
+    #[test]
+    fn bounding_cube_contains_all_bodies() {
+        let bodies = plummer_bodies(3, 200);
+        let (centre, half) = bounding_cube(&bodies);
+        for b in &bodies {
+            for d in 0..3 {
+                assert!((b.pos[d] - centre[d]).abs() <= half + 1e-12);
+            }
+        }
+    }
+}

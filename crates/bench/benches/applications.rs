@@ -1,0 +1,71 @@
+//! Criterion benchmarks of whole application simulations at reduced scale —
+//! these measure the *simulator's* throughput (how fast the reproduction can
+//! evaluate a configuration), complementing the figure binaries which report
+//! the *simulated* quantities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dm_apps::barnes_hut::{run_shared as bh_run, BhParams};
+use dm_apps::bitonic::{run_shared as bitonic_run, BitonicParams};
+use dm_apps::matmul::{run_hand_optimized, run_shared as matmul_run, MatmulParams};
+use dm_apps::workload::plummer_bodies;
+use dm_diva::{Diva, DivaConfig, StrategyKind};
+use dm_mesh::{Mesh, TreeShape};
+
+fn diva(side: usize, strategy: StrategyKind) -> Diva {
+    Diva::new(DivaConfig::new(Mesh::square(side), strategy))
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_4x4_block256");
+    group.sample_size(10);
+    let params = MatmulParams::new(256);
+    group.bench_function("4-ary access tree", |b| {
+        b.iter(|| matmul_run(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params).report.total_time)
+    });
+    group.bench_function("fixed home", |b| {
+        b.iter(|| matmul_run(diva(4, StrategyKind::FixedHome), params).report.total_time)
+    });
+    group.bench_function("hand-optimized", |b| {
+        b.iter(|| run_hand_optimized(diva(4, StrategyKind::FixedHome), params).report.total_time)
+    });
+    group.finish();
+}
+
+fn bench_bitonic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitonic_4x4_keys256");
+    group.sample_size(10);
+    let params = BitonicParams::new(256);
+    group.bench_function("2-4-ary access tree", |b| {
+        b.iter(|| bitonic_run(diva(4, StrategyKind::AccessTree(TreeShape::lk(2, 4))), params).report.total_time)
+    });
+    group.bench_function("fixed home", |b| {
+        b.iter(|| bitonic_run(diva(4, StrategyKind::FixedHome), params).report.total_time)
+    });
+    group.finish();
+}
+
+fn bench_barnes_hut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barnes_hut_4x4");
+    group.sample_size(10);
+    let params = BhParams {
+        n_bodies: 400,
+        timesteps: 1,
+        warmup_steps: 0,
+        theta: 1.0,
+        dt: 0.01,
+        include_compute: true,
+    };
+    let bodies = plummer_bodies(77, params.n_bodies);
+    for (name, strategy) in [
+        ("4-ary access tree", StrategyKind::AccessTree(TreeShape::quad())),
+        ("fixed home", StrategyKind::FixedHome),
+    ] {
+        group.bench_with_input(BenchmarkId::new("400_bodies", name), &strategy, |b, &s| {
+            b.iter(|| bh_run(diva(4, s), params, &bodies).report.total_time)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_bitonic, bench_barnes_hut);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Barnes-Hut experiments (Figures 8, 9, 10 and 11).
+
+use crate::{barnes_hut_shapes, make_diva, HarnessOpts};
+use dm_apps::barnes_hut::{run_shared, BhParams};
+use dm_apps::workload::plummer_bodies;
+use dm_diva::{RunReport, StrategyKind};
+use dm_mesh::TreeShape;
+use serde::Serialize;
+
+/// Measurements of one Barnes-Hut run, reduced to the quantities the four
+/// figures plot.
+#[derive(Debug, Clone, Serialize)]
+pub struct BhRow {
+    /// Strategy name.
+    pub strategy: String,
+    /// Mesh dimensions.
+    pub mesh: (usize, usize),
+    /// Number of bodies.
+    pub n_bodies: usize,
+    /// Total congestion in messages (Figure 8, left).
+    pub congestion_msgs: u64,
+    /// Total execution time of the measured steps in ns (Figure 8, right).
+    pub exec_time_ns: u64,
+    /// Tree-building phase congestion in messages (Figure 9, left).
+    pub tree_build_congestion_msgs: u64,
+    /// Tree-building phase time in ns (Figure 9, right).
+    pub tree_build_time_ns: u64,
+    /// Force-computation phase congestion in messages (Figure 10, left).
+    pub force_congestion_msgs: u64,
+    /// Force-computation phase time in ns (Figure 10, right).
+    pub force_time_ns: u64,
+    /// Local computation time inside the force phase in ns (Figure 10/11).
+    pub force_compute_ns: u64,
+    /// Total interactions computed (sanity/diagnostics).
+    pub interactions: u64,
+}
+
+fn report_to_row(
+    strategy: String,
+    mesh: (usize, usize),
+    n_bodies: usize,
+    report: &RunReport,
+    interactions: u64,
+) -> BhRow {
+    let region = |name: &str| report.region(name).cloned();
+    let warmup = region("warmup");
+    // Total over the measured steps = whole run minus the warm-up region.
+    let measured_time = report
+        .total_time
+        .saturating_sub(warmup.as_ref().map(|r| r.wall_time).unwrap_or(0));
+    let measured_congestion = report.congestion_msgs();
+    let tree = region("tree-build");
+    let force = region("force");
+    BhRow {
+        strategy,
+        mesh,
+        n_bodies,
+        congestion_msgs: measured_congestion,
+        exec_time_ns: measured_time,
+        tree_build_congestion_msgs: tree.as_ref().map(|r| r.congestion_msgs).unwrap_or(0),
+        tree_build_time_ns: tree.as_ref().map(|r| r.wall_time).unwrap_or(0),
+        force_congestion_msgs: force.as_ref().map(|r| r.congestion_msgs).unwrap_or(0),
+        force_time_ns: force.as_ref().map(|r| r.wall_time).unwrap_or(0),
+        force_compute_ns: force.as_ref().map(|r| r.compute_time).unwrap_or(0),
+        interactions,
+    }
+}
+
+/// Run one Barnes-Hut configuration and reduce it to a [`BhRow`].
+pub fn run_point(
+    mesh: (usize, usize),
+    n_bodies: usize,
+    strategy_name: &str,
+    strategy: StrategyKind,
+    params: BhParams,
+    seed: u64,
+) -> BhRow {
+    let bodies = plummer_bodies(seed ^ n_bodies as u64, n_bodies);
+    let diva = make_diva(mesh.0, mesh.1, strategy, seed);
+    let out = run_shared(diva, params, &bodies);
+    report_to_row(strategy_name.to_string(), mesh, n_bodies, &out.report, out.interactions)
+}
+
+/// The body-count sweep of Figures 8–10: a fixed mesh, all five strategies.
+pub fn body_sweep(opts: &HarnessOpts) -> Vec<BhRow> {
+    let mesh = if opts.paper { (16, 16) } else { (8, 8) };
+    let body_counts: Vec<usize> = if opts.paper {
+        vec![10_000, 20_000, 30_000, 40_000, 50_000, 60_000]
+    } else {
+        vec![1_000, 2_000, 4_000]
+    };
+    let mut params_proto = if opts.paper {
+        BhParams::new(0)
+    } else {
+        BhParams {
+            timesteps: 3,
+            warmup_steps: 1,
+            ..BhParams::new(0)
+        }
+    };
+    let mut rows = Vec::new();
+    for &n in &body_counts {
+        params_proto.n_bodies = n;
+        for (name, strategy) in barnes_hut_shapes() {
+            rows.push(run_point(mesh, n, &name, strategy, params_proto, opts.seed));
+        }
+    }
+    rows
+}
+
+/// The network-size sweep of Figure 11: the number of bodies grows with the
+/// number of processors (the paper uses N = 200·P), comparing the fixed home
+/// against the 4-8-ary access tree.
+pub fn scaling_sweep(opts: &HarnessOpts) -> Vec<BhRow> {
+    let meshes: Vec<(usize, usize)> = if opts.paper {
+        vec![(8, 8), (8, 16), (16, 16), (16, 32)]
+    } else {
+        vec![(4, 4), (4, 8), (8, 8)]
+    };
+    let bodies_per_proc = if opts.paper { 200 } else { 50 };
+    let params_proto = if opts.paper {
+        BhParams::new(0)
+    } else {
+        BhParams {
+            timesteps: 3,
+            warmup_steps: 1,
+            ..BhParams::new(0)
+        }
+    };
+    let strategies = vec![
+        ("fixed home".to_string(), StrategyKind::FixedHome),
+        (
+            "4-8-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::lk(4, 8)),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for &mesh in &meshes {
+        let n = bodies_per_proc * mesh.0 * mesh.1;
+        let mut params = params_proto;
+        params.n_bodies = n;
+        for (name, strategy) in &strategies {
+            rows.push(run_point(mesh, n, name, *strategy, params, opts.seed));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_point_produces_sensible_phase_breakdown() {
+        let params = BhParams {
+            n_bodies: 300,
+            timesteps: 2,
+            warmup_steps: 1,
+            theta: 1.0,
+            dt: 0.01,
+            include_compute: true,
+        };
+        let row = run_point(
+            (4, 4),
+            300,
+            "4-ary access tree",
+            StrategyKind::AccessTree(dm_mesh::TreeShape::quad()),
+            params,
+            3,
+        );
+        assert!(row.exec_time_ns > 0);
+        assert!(row.congestion_msgs > 0);
+        assert!(row.tree_build_time_ns > 0);
+        assert!(row.force_time_ns > 0);
+        assert!(row.force_compute_ns > 0);
+        assert!(row.force_time_ns >= row.force_compute_ns);
+        assert!(row.interactions > 300);
+        // Phase congestion cannot exceed total congestion.
+        assert!(row.tree_build_congestion_msgs <= row.congestion_msgs);
+        assert!(row.force_congestion_msgs <= row.congestion_msgs);
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 10: Barnes-Hut N-body simulation — congestion, execution time and
+//! local computation time of the force-computation phase.
+
+use dm_bench::bh_exp::body_sweep;
+use dm_bench::table::{secs, Table};
+use dm_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let rows = body_sweep(&opts);
+    let mut table = Table::new(&[
+        "bodies",
+        "strategy",
+        "force congestion[msgs]",
+        "force time[s]",
+        "local compute[s]",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.n_bodies.to_string(),
+            r.strategy.clone(),
+            r.force_congestion_msgs.to_string(),
+            secs(r.force_time_ns),
+            secs(r.force_compute_ns),
+        ]);
+    }
+    println!(
+        "Figure 10 — Barnes-Hut force-computation phase on a {}x{} mesh",
+        rows[0].mesh.0, rows[0].mesh.1
+    );
+    println!("{}", table.render());
+    opts.write_json(&rows);
+}

@@ -1,0 +1,34 @@
+//! Figure 11: Barnes-Hut N-body simulation — congestion and execution time
+//! when the network is scaled and the number of bodies grows with the number
+//! of processors, comparing the fixed-home strategy with the 4-8-ary access
+//! tree.
+
+use dm_bench::bh_exp::scaling_sweep;
+use dm_bench::table::{secs, Table};
+use dm_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let rows = scaling_sweep(&opts);
+    let mut table = Table::new(&[
+        "mesh",
+        "bodies",
+        "strategy",
+        "congestion[msgs]",
+        "exec time[s]",
+        "force local compute[s]",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            format!("{}x{}", r.mesh.0, r.mesh.1),
+            r.n_bodies.to_string(),
+            r.strategy.clone(),
+            r.congestion_msgs.to_string(),
+            secs(r.exec_time_ns),
+            secs(r.force_compute_ns),
+        ]);
+    }
+    println!("Figure 11 — Barnes-Hut scaling the network size (N = bodies grows with P)");
+    println!("{}", table.render());
+    opts.write_json(&rows);
+}

@@ -1,0 +1,42 @@
+//! Figure 3: matrix multiplication on a fixed mesh — congestion and
+//! communication-time ratios vs block size, for the fixed-home strategy and
+//! the 4-ary access tree, relative to the hand-optimized message-passing
+//! baseline. `--arity-sweep` additionally reproduces the access-tree arity
+//! comparison discussed in the text of Section 3.1.
+
+use dm_bench::matmul_exp::{arity_strategies, figure3, run_point};
+use dm_bench::table::{f2, secs, Table};
+use dm_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let arity_sweep = std::env::args().any(|a| a == "--arity-sweep");
+    let rows = if arity_sweep {
+        let mesh = if opts.paper { 16 } else { 8 };
+        let block = if opts.paper { 4096 } else { 1024 };
+        run_point(mesh, block, &arity_strategies(), opts.seed)
+    } else {
+        figure3(&opts)
+    };
+    let mut table = Table::new(&[
+        "block",
+        "strategy",
+        "congestion[B]",
+        "congestion ratio",
+        "comm time[s]",
+        "time ratio",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.block_ints.to_string(),
+            r.strategy.clone(),
+            r.congestion_bytes.to_string(),
+            f2(r.congestion_ratio),
+            secs(r.comm_time_ns),
+            f2(r.time_ratio),
+        ]);
+    }
+    println!("Figure 3 — matrix multiplication on a {0}x{0} mesh", rows[0].mesh_side);
+    println!("{}", table.render());
+    opts.write_json(&rows);
+}

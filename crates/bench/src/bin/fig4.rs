@@ -1,0 +1,32 @@
+//! Figure 4: matrix multiplication with a fixed block size — congestion and
+//! communication-time ratios vs network size.
+
+use dm_bench::matmul_exp::figure4;
+use dm_bench::table::{f2, secs, Table};
+use dm_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let rows = figure4(&opts);
+    let mut table = Table::new(&[
+        "mesh",
+        "strategy",
+        "congestion[B]",
+        "congestion ratio",
+        "comm time[s]",
+        "time ratio",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            format!("{0}x{0}", r.mesh_side),
+            r.strategy.clone(),
+            r.congestion_bytes.to_string(),
+            f2(r.congestion_ratio),
+            secs(r.comm_time_ns),
+            f2(r.time_ratio),
+        ]);
+    }
+    println!("Figure 4 — matrix multiplication, block size {}", rows[0].block_ints);
+    println!("{}", table.render());
+    opts.write_json(&rows);
+}

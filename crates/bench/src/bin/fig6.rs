@@ -1,0 +1,41 @@
+//! Figure 6: bitonic sorting on a fixed mesh — congestion and execution-time
+//! ratios vs keys per processor, for the fixed-home strategy and the 2-4-ary
+//! access tree relative to the hand-optimized baseline. `--arity-sweep`
+//! reproduces the 2-ary / 2-4-ary / 4-ary comparison of Section 3.2.
+
+use dm_bench::bitonic_exp::{arity_strategies, figure6, run_point};
+use dm_bench::table::{f2, secs, Table};
+use dm_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let arity_sweep = std::env::args().any(|a| a == "--arity-sweep");
+    let rows = if arity_sweep {
+        let mesh = if opts.paper { 16 } else { 8 };
+        let keys = if opts.paper { 4096 } else { 1024 };
+        run_point(mesh, keys, &arity_strategies(), opts.seed)
+    } else {
+        figure6(&opts)
+    };
+    let mut table = Table::new(&[
+        "keys/proc",
+        "strategy",
+        "congestion[B]",
+        "congestion ratio",
+        "exec time[s]",
+        "time ratio",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.keys_per_proc.to_string(),
+            r.strategy.clone(),
+            r.congestion_bytes.to_string(),
+            f2(r.congestion_ratio),
+            secs(r.exec_time_ns),
+            f2(r.time_ratio),
+        ]);
+    }
+    println!("Figure 6 — bitonic sorting on a {0}x{0} mesh", rows[0].mesh_side);
+    println!("{}", table.render());
+    opts.write_json(&rows);
+}

@@ -1,0 +1,27 @@
+//! Figure 8: Barnes-Hut N-body simulation — total congestion (in messages)
+//! and execution time of the measured time steps, vs the number of bodies,
+//! for the fixed-home strategy and the 2/4/16-ary and 4-16-ary access trees.
+
+use dm_bench::bh_exp::body_sweep;
+use dm_bench::table::{secs, Table};
+use dm_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let rows = body_sweep(&opts);
+    let mut table = Table::new(&["bodies", "strategy", "congestion[msgs]", "exec time[s]"]);
+    for r in &rows {
+        table.row(vec![
+            r.n_bodies.to_string(),
+            r.strategy.clone(),
+            r.congestion_msgs.to_string(),
+            secs(r.exec_time_ns),
+        ]);
+    }
+    println!(
+        "Figure 8 — Barnes-Hut on a {}x{} mesh (measured steps only)",
+        rows[0].mesh.0, rows[0].mesh.1
+    );
+    println!("{}", table.render());
+    opts.write_json(&rows);
+}

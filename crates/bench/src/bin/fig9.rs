@@ -1,0 +1,27 @@
+//! Figure 9: Barnes-Hut N-body simulation — congestion and execution time of
+//! the tree-building phase (the phase in which the fixed home of the root
+//! cell becomes a serial bottleneck).
+
+use dm_bench::bh_exp::body_sweep;
+use dm_bench::table::{secs, Table};
+use dm_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let rows = body_sweep(&opts);
+    let mut table = Table::new(&["bodies", "strategy", "tree-build congestion[msgs]", "tree-build time[s]"]);
+    for r in &rows {
+        table.row(vec![
+            r.n_bodies.to_string(),
+            r.strategy.clone(),
+            r.tree_build_congestion_msgs.to_string(),
+            secs(r.tree_build_time_ns),
+        ]);
+    }
+    println!(
+        "Figure 9 — Barnes-Hut tree-building phase on a {}x{} mesh",
+        rows[0].mesh.0, rows[0].mesh.1
+    );
+    println!("{}", table.render());
+    opts.write_json(&rows);
+}

@@ -1,0 +1,141 @@
+//! Bitonic-sorting experiments (Figures 6 and 7 and the arity comparison of
+//! Section 3.2).
+
+use crate::{make_diva, ratio, HarnessOpts};
+use dm_apps::bitonic::{run_hand_optimized, run_shared, BitonicParams};
+use dm_diva::StrategyKind;
+use dm_mesh::TreeShape;
+use serde::Serialize;
+
+/// One row of a bitonic-sorting figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct BitonicRow {
+    /// Strategy name.
+    pub strategy: String,
+    /// Mesh side length (√P).
+    pub mesh_side: usize,
+    /// Keys per processor.
+    pub keys_per_proc: usize,
+    /// Congestion (bytes over the hottest link).
+    pub congestion_bytes: u64,
+    /// Execution time in virtual nanoseconds.
+    pub exec_time_ns: u64,
+    /// Congestion ratio vs the hand-optimized baseline.
+    pub congestion_ratio: f64,
+    /// Execution-time ratio vs the hand-optimized baseline.
+    pub time_ratio: f64,
+}
+
+/// The strategies Figure 6/7 compare against the baseline (the paper plots
+/// the fixed home and the 2-4-ary access tree).
+pub fn figure_strategies() -> Vec<(String, StrategyKind)> {
+    vec![
+        ("fixed home".to_string(), StrategyKind::FixedHome),
+        (
+            "2-4-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::lk(2, 4)),
+        ),
+    ]
+}
+
+/// The arity comparison of the text of Section 3.2.
+pub fn arity_strategies() -> Vec<(String, StrategyKind)> {
+    vec![
+        (
+            "2-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::binary()),
+        ),
+        (
+            "2-4-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::lk(2, 4)),
+        ),
+        (
+            "4-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
+    ]
+}
+
+/// Run the bitonic sort for one (mesh, keys) point with the given strategies
+/// plus the baseline.
+pub fn run_point(
+    mesh_side: usize,
+    keys_per_proc: usize,
+    strategies: &[(String, StrategyKind)],
+    seed: u64,
+) -> Vec<BitonicRow> {
+    let params = BitonicParams::new(keys_per_proc);
+    let baseline = run_hand_optimized(
+        make_diva(mesh_side, mesh_side, StrategyKind::FixedHome, seed),
+        params,
+    );
+    let base_congestion = baseline.report.congestion_bytes();
+    let base_time = baseline.report.total_time;
+    let mut rows = vec![BitonicRow {
+        strategy: "hand-optimized".to_string(),
+        mesh_side,
+        keys_per_proc,
+        congestion_bytes: base_congestion,
+        exec_time_ns: base_time,
+        congestion_ratio: 1.0,
+        time_ratio: 1.0,
+    }];
+    for (name, strategy) in strategies {
+        let out = run_shared(make_diva(mesh_side, mesh_side, *strategy, seed), params);
+        rows.push(BitonicRow {
+            strategy: name.clone(),
+            mesh_side,
+            keys_per_proc,
+            congestion_bytes: out.report.congestion_bytes(),
+            exec_time_ns: out.report.total_time,
+            congestion_ratio: ratio(out.report.congestion_bytes(), base_congestion),
+            time_ratio: ratio(out.report.total_time, base_time),
+        });
+    }
+    rows
+}
+
+/// Figure 6: fixed mesh, keys-per-processor sweep.
+pub fn figure6(opts: &HarnessOpts) -> Vec<BitonicRow> {
+    let mesh_side = if opts.paper { 16 } else { 8 };
+    let keys: Vec<usize> = if opts.paper {
+        vec![256, 1024, 4096, 16384]
+    } else {
+        vec![256, 1024, 4096]
+    };
+    let strategies = figure_strategies();
+    keys.into_iter()
+        .flat_map(|k| run_point(mesh_side, k, &strategies, opts.seed))
+        .collect()
+}
+
+/// Figure 7: fixed keys per processor, network size sweep.
+pub fn figure7(opts: &HarnessOpts) -> Vec<BitonicRow> {
+    let sides: Vec<usize> = if opts.paper {
+        vec![4, 8, 16, 32]
+    } else {
+        vec![4, 8, 16]
+    };
+    let keys = if opts.paper { 4096 } else { 1024 };
+    let strategies = figure_strategies();
+    sides
+        .into_iter()
+        .flat_map(|s| run_point(s, keys, &strategies, opts.seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_point_reproduces_the_ordering_of_the_paper() {
+        let rows = run_point(4, 256, &figure_strategies(), 11);
+        let fh = rows.iter().find(|r| r.strategy == "fixed home").unwrap();
+        let at = rows.iter().find(|r| r.strategy.contains("2-4-ary")).unwrap();
+        // Both dynamic strategies pay a congestion factor over the baseline;
+        // the access tree pays less than the fixed home.
+        assert!(at.congestion_ratio >= 1.0);
+        assert!(fh.congestion_ratio > at.congestion_ratio);
+    }
+}

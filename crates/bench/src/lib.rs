@@ -1,0 +1,164 @@
+//! # dm-bench — the experiment harness of the DIVA reproduction
+//!
+//! One module per group of paper figures, plus shared helpers. Every figure of
+//! the evaluation section has a corresponding binary in `src/bin/` that
+//! regenerates the figure's rows:
+//!
+//! | binary  | paper figure | content |
+//! |---------|--------------|---------|
+//! | `fig3`  | Figure 3     | matrix multiplication on a fixed mesh: congestion and communication-time ratios vs block size |
+//! | `fig4`  | Figure 4     | matrix multiplication with a fixed block size: ratios vs network size |
+//! | `fig6`  | Figure 6     | bitonic sorting on a fixed mesh: ratios vs keys per processor |
+//! | `fig7`  | Figure 7     | bitonic sorting with fixed keys: ratios vs network size |
+//! | `fig8`  | Figure 8     | Barnes-Hut: total congestion and execution time vs number of bodies |
+//! | `fig9`  | Figure 9     | Barnes-Hut: tree-building phase congestion and time |
+//! | `fig10` | Figure 10    | Barnes-Hut: force-computation phase congestion, time and local computation |
+//! | `fig11` | Figure 11    | Barnes-Hut: scaling the network size with N = bodies-per-processor · P |
+//!
+//! All binaries accept `--paper` to run at the paper's full scale (a 16×16 or
+//! 32×32 mesh and up to 60 000 bodies — minutes to hours of simulation) and
+//! default to a reduced scale that finishes in seconds to a few minutes while
+//! preserving the qualitative shape of every result. `--json FILE` writes the
+//! rows as JSON (used to fill `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bh_exp;
+pub mod bitonic_exp;
+pub mod matmul_exp;
+pub mod table;
+
+use dm_diva::{Diva, DivaConfig, StrategyKind};
+use dm_engine::MachineConfig;
+use dm_mesh::{Mesh, TreeShape};
+use serde::Serialize;
+
+/// Command-line options shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Run at the paper's full scale.
+    pub paper: bool,
+    /// Optional path to write the result rows as JSON.
+    pub json: Option<String>,
+    /// Optional seed override.
+    pub seed: u64,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            paper: false,
+            json: None,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parse the options from command-line arguments (ignores unknown flags).
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper" => opts.paper = true,
+                "--json" => {
+                    i += 1;
+                    opts.json = args.get(i).cloned();
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(opts.seed);
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: <fig> [--paper] [--json FILE] [--seed N]");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Write `rows` to the JSON file if one was requested.
+    pub fn write_json<T: Serialize>(&self, rows: &T) {
+        if let Some(path) = &self.json {
+            let json = serde_json::to_string_pretty(rows).expect("serializing rows");
+            std::fs::write(path, json).expect("writing JSON output");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Construct a DIVA instance for an experiment.
+pub fn make_diva(side_rows: usize, side_cols: usize, strategy: StrategyKind, seed: u64) -> Diva {
+    let cfg = DivaConfig::new(Mesh::new(side_rows, side_cols), strategy)
+        .with_seed(seed)
+        .with_machine(MachineConfig::parsytec_gcel());
+    Diva::new(cfg)
+}
+
+/// The access-tree shapes evaluated by the Barnes-Hut figures, in the order
+/// the paper lists them.
+pub fn barnes_hut_shapes() -> Vec<(String, StrategyKind)> {
+    vec![
+        ("fixed home".to_string(), StrategyKind::FixedHome),
+        (
+            "16-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::hex16()),
+        ),
+        (
+            "4-16-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::lk(4, 16)),
+        ),
+        (
+            "4-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
+        (
+            "2-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::binary()),
+        ),
+    ]
+}
+
+/// Ratio of two quantities as used throughout the paper's figures.
+pub fn ratio(value: u64, baseline: u64) -> f64 {
+    if baseline == 0 {
+        f64::NAN
+    } else {
+        value as f64 / baseline as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_baseline() {
+        assert!(ratio(5, 0).is_nan());
+        assert!((ratio(30, 10) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barnes_hut_shape_list_matches_the_paper() {
+        let shapes = barnes_hut_shapes();
+        assert_eq!(shapes.len(), 5);
+        assert_eq!(shapes[0].0, "fixed home");
+        assert_eq!(shapes[4].0, "2-ary access tree");
+    }
+
+    #[test]
+    fn make_diva_uses_the_requested_strategy() {
+        let d = make_diva(4, 4, StrategyKind::FixedHome, 1);
+        assert_eq!(d.num_procs(), 16);
+        assert_eq!(d.config().strategy, StrategyKind::FixedHome);
+    }
+}

@@ -1,0 +1,165 @@
+//! Matrix-multiplication experiments (Figures 3 and 4 and the arity sweep of
+//! Section 3.1).
+
+use crate::{make_diva, ratio, HarnessOpts};
+use dm_apps::matmul::{run_hand_optimized, run_shared, MatmulParams};
+use dm_diva::StrategyKind;
+use dm_mesh::TreeShape;
+use serde::Serialize;
+
+/// One row of a matrix-multiplication figure: the congestion and
+/// communication-time ratios of a dynamic strategy relative to the
+/// hand-optimized message-passing baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatmulRow {
+    /// Strategy name.
+    pub strategy: String,
+    /// Mesh side length (√P).
+    pub mesh_side: usize,
+    /// Block size in integers.
+    pub block_ints: usize,
+    /// Congestion (bytes over the hottest link).
+    pub congestion_bytes: u64,
+    /// Communication time in virtual nanoseconds.
+    pub comm_time_ns: u64,
+    /// Congestion ratio vs the hand-optimized baseline.
+    pub congestion_ratio: f64,
+    /// Communication-time ratio vs the hand-optimized baseline.
+    pub time_ratio: f64,
+}
+
+/// Run the matrix square for one (mesh, block size) point with the two
+/// dynamic strategies of Figure 3/4 plus the baseline, and return the rows.
+pub fn run_point(
+    mesh_side: usize,
+    block_ints: usize,
+    strategies: &[(String, StrategyKind)],
+    seed: u64,
+) -> Vec<MatmulRow> {
+    let params = MatmulParams::new(block_ints);
+    let baseline = run_hand_optimized(
+        make_diva(mesh_side, mesh_side, StrategyKind::FixedHome, seed),
+        params,
+    );
+    let base_congestion = baseline.report.congestion_bytes();
+    let base_time = baseline.report.comm_time();
+    let mut rows = vec![MatmulRow {
+        strategy: "hand-optimized".to_string(),
+        mesh_side,
+        block_ints,
+        congestion_bytes: base_congestion,
+        comm_time_ns: base_time,
+        congestion_ratio: 1.0,
+        time_ratio: 1.0,
+    }];
+    for (name, strategy) in strategies {
+        let out = run_shared(make_diva(mesh_side, mesh_side, *strategy, seed), params);
+        rows.push(MatmulRow {
+            strategy: name.clone(),
+            mesh_side,
+            block_ints,
+            congestion_bytes: out.report.congestion_bytes(),
+            comm_time_ns: out.report.comm_time(),
+            congestion_ratio: ratio(out.report.congestion_bytes(), base_congestion),
+            time_ratio: ratio(out.report.comm_time(), base_time),
+        });
+    }
+    rows
+}
+
+/// The two strategies Figure 3 and 4 compare against the baseline.
+pub fn figure_strategies() -> Vec<(String, StrategyKind)> {
+    vec![
+        ("fixed home".to_string(), StrategyKind::FixedHome),
+        (
+            "4-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
+    ]
+}
+
+/// The access-tree arity sweep discussed in the text of Section 3.1.
+pub fn arity_strategies() -> Vec<(String, StrategyKind)> {
+    vec![
+        (
+            "2-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::binary()),
+        ),
+        (
+            "2-4-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::lk(2, 4)),
+        ),
+        (
+            "4-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
+        (
+            "4-16-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::lk(4, 16)),
+        ),
+        (
+            "16-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::hex16()),
+        ),
+    ]
+}
+
+/// Figure 3: fixed mesh, block size sweep.
+pub fn figure3(opts: &HarnessOpts) -> Vec<MatmulRow> {
+    let mesh_side = if opts.paper { 16 } else { 8 };
+    let blocks: Vec<usize> = if opts.paper {
+        vec![64, 256, 1024, 4096]
+    } else {
+        vec![64, 256, 1024]
+    };
+    let strategies = figure_strategies();
+    blocks
+        .into_iter()
+        .flat_map(|b| run_point(mesh_side, b, &strategies, opts.seed))
+        .collect()
+}
+
+/// Figure 4: fixed block size, network size sweep.
+pub fn figure4(opts: &HarnessOpts) -> Vec<MatmulRow> {
+    let sides: Vec<usize> = if opts.paper {
+        vec![4, 8, 16, 32]
+    } else {
+        vec![4, 8, 16]
+    };
+    let block = if opts.paper { 4096 } else { 1024 };
+    let strategies = figure_strategies();
+    sides
+        .into_iter()
+        .flat_map(|s| run_point(s, block, &strategies, opts.seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_point_reproduces_the_ordering_of_the_paper() {
+        // At any scale: hand-optimized < access tree < fixed home in
+        // congestion, and the access tree beats the fixed home in time.
+        let rows = run_point(8, 256, &figure_strategies(), 7);
+        assert_eq!(rows.len(), 3);
+        let base = &rows[0];
+        let fh = rows.iter().find(|r| r.strategy == "fixed home").unwrap();
+        let at = rows.iter().find(|r| r.strategy.contains("4-ary")).unwrap();
+        assert_eq!(base.congestion_ratio, 1.0);
+        assert!(at.congestion_ratio > 1.0, "access tree ratio {}", at.congestion_ratio);
+        assert!(
+            fh.congestion_ratio > at.congestion_ratio,
+            "fixed home {} vs access tree {}",
+            fh.congestion_ratio,
+            at.congestion_ratio
+        );
+        assert!(
+            fh.comm_time_ns > at.comm_time_ns,
+            "fixed home time {} vs access tree time {}",
+            fh.comm_time_ns,
+            at.comm_time_ns
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Combining-tree barrier synchronisation.
+//!
+//! The DIVA library provides barrier synchronisation built on the same
+//! hierarchical mesh decomposition as the access trees. We implement the
+//! classic combining tree: every processor reports its arrival to its leaf's
+//! parent; an internal node that has heard from all of its children reports to
+//! its own parent; when the root has heard from everybody it broadcasts a
+//! release wave back down the tree. All arrive/release hops are real simulated
+//! messages, so barriers contribute (a small amount of) traffic and latency,
+//! identically for every data-management strategy.
+//!
+//! The barrier tree uses a fixed, deterministic embedding (every tree node is
+//! simulated by the centre processor of its submesh), since there is exactly
+//! one barrier object shared by all processors.
+
+use dm_mesh::{DecompositionTree, Mesh, NodeId, TreeNodeId, TreeShape};
+use std::sync::Arc;
+
+/// A barrier protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierMsg {
+    /// All processors below `node` have arrived; reported to `node`'s parent's
+    /// simulator — the message is addressed to tree node `node`.
+    Arrive {
+        /// Tree node the arrival is reported to.
+        node: TreeNodeId,
+    },
+    /// Release wave travelling down; addressed to tree node `node`.
+    Release {
+        /// Tree node the release is delivered to.
+        node: TreeNodeId,
+    },
+}
+
+/// An action the runtime must perform on behalf of the barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierAction {
+    /// Send `msg` from mesh node `from` to mesh node `to`.
+    Send {
+        /// Sending mesh node.
+        from: NodeId,
+        /// Receiving mesh node.
+        to: NodeId,
+        /// The barrier message.
+        msg: BarrierMsg,
+    },
+    /// Wake processor `proc`, whose `barrier()` call completes now.
+    Wake {
+        /// The processor to wake.
+        proc: NodeId,
+    },
+}
+
+/// The combining-tree barrier state machine.
+///
+/// The barrier itself performs no I/O: [`TreeBarrier::arrive`] and
+/// [`TreeBarrier::on_message`] return the [`BarrierAction`]s the runtime must
+/// carry out (sending messages through the network model, waking blocked
+/// processors).
+pub struct TreeBarrier {
+    tree: Arc<DecompositionTree>,
+    /// Mesh position simulating each tree node.
+    pos: Vec<NodeId>,
+    /// Arrivals seen so far per internal tree node.
+    arrived: Vec<u32>,
+}
+
+impl TreeBarrier {
+    /// Build a barrier over `mesh` using a combining tree of the given shape.
+    pub fn new(mesh: &Mesh, shape: TreeShape) -> Self {
+        let tree = Arc::new(DecompositionTree::build(mesh, shape));
+        let pos = tree
+            .node_ids()
+            .map(|id| {
+                let s = tree.submesh(id);
+                mesh.node_at(s.row0 + s.rows / 2, s.col0 + s.cols / 2)
+            })
+            .collect();
+        let arrived = vec![0; tree.len()];
+        TreeBarrier { tree, pos, arrived }
+    }
+
+    /// Mesh node simulating tree node `id`.
+    pub fn position(&self, id: TreeNodeId) -> NodeId {
+        self.pos[id.index()]
+    }
+
+    /// Processor `proc` arrives at the barrier.
+    pub fn arrive(&mut self, proc: NodeId) -> Vec<BarrierAction> {
+        let leaf = self.tree.leaf_of(proc);
+        match self.tree.parent(leaf) {
+            None => vec![BarrierAction::Wake { proc }], // single-processor mesh
+            Some(parent) => vec![BarrierAction::Send {
+                from: proc,
+                to: self.position(parent),
+                msg: BarrierMsg::Arrive { node: parent },
+            }],
+        }
+    }
+
+    /// A barrier message arrived at its tree node.
+    pub fn on_message(&mut self, msg: BarrierMsg) -> Vec<BarrierAction> {
+        match msg {
+            BarrierMsg::Arrive { node } => {
+                let idx = node.index();
+                self.arrived[idx] += 1;
+                if self.arrived[idx] < self.tree.children(node).len() as u32 {
+                    return Vec::new();
+                }
+                self.arrived[idx] = 0;
+                match self.tree.parent(node) {
+                    Some(parent) => vec![BarrierAction::Send {
+                        from: self.position(node),
+                        to: self.position(parent),
+                        msg: BarrierMsg::Arrive { node: parent },
+                    }],
+                    None => self.release(node),
+                }
+            }
+            BarrierMsg::Release { node } => {
+                if let Some(proc) = self.tree.node(node).proc {
+                    vec![BarrierAction::Wake { proc }]
+                } else {
+                    self.release(node)
+                }
+            }
+        }
+    }
+
+    /// Broadcast the release wave from `node` to its children.
+    fn release(&self, node: TreeNodeId) -> Vec<BarrierAction> {
+        self.tree
+            .children(node)
+            .iter()
+            .map(|&c| {
+                if let Some(proc) = self.tree.node(c).proc {
+                    // Leaf children that are simulated by the same processor as
+                    // `node` still get an explicit (local, cheap) message so
+                    // their wake time is well defined.
+                    BarrierAction::Send {
+                        from: self.position(node),
+                        to: proc,
+                        msg: BarrierMsg::Release { node: c },
+                    }
+                } else {
+                    BarrierAction::Send {
+                        from: self.position(node),
+                        to: self.position(c),
+                        msg: BarrierMsg::Release { node: c },
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashSet, VecDeque};
+
+    /// Drive the barrier to completion with instant message delivery and
+    /// return the set of woken processors and the number of messages sent.
+    fn run_barrier(mesh: &Mesh, shape: TreeShape, arrivals: &[u32]) -> (HashSet<u32>, usize) {
+        let mut barrier = TreeBarrier::new(mesh, shape);
+        let mut queue: VecDeque<BarrierMsg> = VecDeque::new();
+        let mut woken = HashSet::new();
+        let mut messages = 0;
+        let handle = |actions: Vec<BarrierAction>,
+                          queue: &mut VecDeque<BarrierMsg>,
+                          woken: &mut HashSet<u32>,
+                          messages: &mut usize| {
+            for a in actions {
+                match a {
+                    BarrierAction::Send { msg, .. } => {
+                        *messages += 1;
+                        queue.push_back(msg);
+                    }
+                    BarrierAction::Wake { proc } => {
+                        woken.insert(proc.0);
+                    }
+                }
+            }
+        };
+        for &p in arrivals {
+            let acts = barrier.arrive(NodeId(p));
+            handle(acts, &mut queue, &mut woken, &mut messages);
+        }
+        while let Some(msg) = queue.pop_front() {
+            let acts = barrier.on_message(msg);
+            handle(acts, &mut queue, &mut woken, &mut messages);
+        }
+        (woken, messages)
+    }
+
+    #[test]
+    fn nobody_is_released_until_everyone_arrived() {
+        let mesh = Mesh::square(4);
+        let all_but_one: Vec<u32> = (0..15).collect();
+        let (woken, _) = run_barrier(&mesh, TreeShape::quad(), &all_but_one);
+        assert!(woken.is_empty());
+    }
+
+    #[test]
+    fn everyone_is_released_after_all_arrived() {
+        for shape in [TreeShape::binary(), TreeShape::quad(), TreeShape::hex16()] {
+            let mesh = Mesh::square(4);
+            let all: Vec<u32> = (0..16).collect();
+            let (woken, messages) = run_barrier(&mesh, shape, &all);
+            assert_eq!(woken.len(), 16, "{shape:?}");
+            // Arrive wave + release wave: at most 2 messages per tree edge.
+            assert!(messages <= 4 * mesh.nodes(), "{shape:?}: {messages} messages");
+        }
+    }
+
+    #[test]
+    fn arrival_order_does_not_matter() {
+        let mesh = Mesh::new(3, 5);
+        let mut order: Vec<u32> = (0..15).collect();
+        order.reverse();
+        let (woken, _) = run_barrier(&mesh, TreeShape::quad(), &order);
+        assert_eq!(woken.len(), 15);
+    }
+
+    #[test]
+    fn consecutive_barriers_reuse_the_state_machine() {
+        let mesh = Mesh::square(2);
+        let mut barrier = TreeBarrier::new(&mesh, TreeShape::quad());
+        for _round in 0..3 {
+            let mut queue: VecDeque<BarrierMsg> = VecDeque::new();
+            let mut woken = HashSet::new();
+            for p in 0..4u32 {
+                for a in barrier.arrive(NodeId(p)) {
+                    match a {
+                        BarrierAction::Send { msg, .. } => queue.push_back(msg),
+                        BarrierAction::Wake { proc } => {
+                            woken.insert(proc.0);
+                        }
+                    }
+                }
+            }
+            while let Some(msg) = queue.pop_front() {
+                for a in barrier.on_message(msg) {
+                    match a {
+                        BarrierAction::Send { msg, .. } => queue.push_back(msg),
+                        BarrierAction::Wake { proc } => {
+                            woken.insert(proc.0);
+                        }
+                    }
+                }
+            }
+            assert_eq!(woken.len(), 4);
+        }
+    }
+
+    #[test]
+    fn single_processor_mesh_wakes_immediately() {
+        let mesh = Mesh::new(1, 1);
+        let mut barrier = TreeBarrier::new(&mesh, TreeShape::quad());
+        let acts = barrier.arrive(NodeId(0));
+        assert_eq!(acts, vec![BarrierAction::Wake { proc: NodeId(0) }]);
+    }
+
+    #[test]
+    fn barrier_nodes_are_embedded_in_their_submesh() {
+        let mesh = Mesh::new(8, 4);
+        let barrier = TreeBarrier::new(&mesh, TreeShape::quad());
+        let tree = DecompositionTree::build(&mesh, TreeShape::quad());
+        for id in tree.node_ids() {
+            assert!(tree.submesh(id).contains(&mesh, barrier.position(id)));
+        }
+    }
+}

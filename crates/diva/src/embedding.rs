@@ -1,0 +1,263 @@
+//! Embedding of access trees into the mesh.
+//!
+//! Every global variable has its own *access tree* — a copy of the
+//! decomposition tree — whose nodes must be mapped to processors of the mesh.
+//! The theoretical analysis uses a fully random embedding (every tree node is
+//! mapped to a uniformly random processor of its submesh). The DIVA library
+//! uses the *modified* (regular) embedding described in Section 2 of the
+//! paper: only the root is placed at random; every other node copies the
+//! relative position of its parent, reduced modulo its own submesh size. The
+//! modified embedding shortens expected distances between neighbouring tree
+//! nodes at the price of correlations the theory does not cover — the paper
+//! reports no adverse effects, and both variants are available here.
+
+use dm_mesh::{DecompositionTree, Mesh, NodeId, TreeNodeId};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which embedding rule maps access-tree nodes to processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EmbeddingMode {
+    /// The practical embedding of the DIVA library: the root is random, every
+    /// descendant reuses its parent's relative position modulo its own
+    /// submesh dimensions.
+    Modified,
+    /// The embedding of the theoretical analysis: every tree node is mapped
+    /// to an independently (pseudo-)random processor of its submesh, derived
+    /// deterministically from the variable's seed.
+    Random,
+}
+
+/// Per-variable randomness driving the embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarPlacement {
+    /// Processor the root of the variable's access tree is mapped to.
+    pub root: NodeId,
+    /// Seed for the per-node pseudo-random choices of the [`EmbeddingMode::Random`] mode.
+    pub seed: u64,
+}
+
+/// Maps access-tree nodes of individual variables to mesh processors.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    tree: Arc<DecompositionTree>,
+    mode: EmbeddingMode,
+}
+
+/// SplitMix64 — a small, high-quality mixing function used to derive
+/// per-tree-node pseudo-random values from a variable seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Embedder {
+    /// Create an embedder for the given decomposition tree and mode.
+    pub fn new(tree: Arc<DecompositionTree>, mode: EmbeddingMode) -> Self {
+        Embedder { tree, mode }
+    }
+
+    /// The decomposition tree all access trees are copies of.
+    pub fn tree(&self) -> &DecompositionTree {
+        &self.tree
+    }
+
+    /// A cheap shared handle to the decomposition tree.
+    pub fn tree_arc(&self) -> Arc<DecompositionTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// The mesh the trees are embedded into.
+    pub fn mesh(&self) -> &Mesh {
+        self.tree.mesh()
+    }
+
+    /// The embedding mode.
+    pub fn mode(&self) -> EmbeddingMode {
+        self.mode
+    }
+
+    /// The processor that simulates tree node `node` of the access tree of a
+    /// variable with placement `placement`.
+    ///
+    /// Leaves are always mapped to the processor they represent, regardless of
+    /// the mode.
+    pub fn position(&self, placement: VarPlacement, node: TreeNodeId) -> NodeId {
+        if let Some(p) = self.tree.node(node).proc {
+            return p;
+        }
+        match self.mode {
+            EmbeddingMode::Modified => self.position_modified(placement, node),
+            EmbeddingMode::Random => self.position_random(placement, node),
+        }
+    }
+
+    /// Modified embedding: fold the root position down the path from the root
+    /// to `node`, taking the parent's relative coordinates modulo the child's
+    /// submesh dimensions at every step.
+    fn position_modified(&self, placement: VarPlacement, node: TreeNodeId) -> NodeId {
+        let mesh = self.tree.mesh();
+        // Path root -> node (path_to_root is node -> root, so iterate reversed).
+        let path = self.tree.path_to_root(node);
+        let root_sub = self.tree.submesh(self.tree.root());
+        let (root_r, root_c) = mesh.coord(placement.root);
+        // Relative coordinates of the current position within the current submesh.
+        let mut rel_r = root_r - root_sub.row0;
+        let mut rel_c = root_c - root_sub.col0;
+        for &child in path.iter().rev().skip(1) {
+            let sub = self.tree.submesh(child);
+            rel_r %= sub.rows;
+            rel_c %= sub.cols;
+        }
+        let sub = self.tree.submesh(node);
+        mesh.node_at(sub.row0 + rel_r, sub.col0 + rel_c)
+    }
+
+    /// Random embedding: an independent pseudo-random processor of the node's
+    /// submesh, derived from the variable seed and the tree-node id.
+    fn position_random(&self, placement: VarPlacement, node: TreeNodeId) -> NodeId {
+        if node == self.tree.root() {
+            return placement.root;
+        }
+        let mesh = self.tree.mesh();
+        let sub = self.tree.submesh(node);
+        let h = splitmix64(placement.seed ^ ((node.0 as u64) << 32 | 0xA5A5_5A5A));
+        let idx = (h % sub.size() as u64) as usize;
+        let dr = idx / sub.cols;
+        let dc = idx % sub.cols;
+        mesh.node_at(sub.row0 + dr, sub.col0 + dc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_mesh::TreeShape;
+
+    fn embedder(rows: usize, cols: usize, shape: TreeShape, mode: EmbeddingMode) -> Embedder {
+        let mesh = Mesh::new(rows, cols);
+        Embedder::new(Arc::new(DecompositionTree::build(&mesh, shape)), mode)
+    }
+
+    fn placements(mesh_nodes: usize) -> Vec<VarPlacement> {
+        (0..mesh_nodes as u32)
+            .map(|i| VarPlacement {
+                root: NodeId(i),
+                seed: 0x1234_5678_9ABC_DEF0 ^ (i as u64) * 7919,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_node_lands_in_its_submesh() {
+        for mode in [EmbeddingMode::Modified, EmbeddingMode::Random] {
+            for shape in [TreeShape::binary(), TreeShape::quad(), TreeShape::lk(2, 4)] {
+                let e = embedder(8, 8, shape, mode);
+                let mesh = e.mesh().clone();
+                for placement in placements(mesh.nodes()).into_iter().step_by(7) {
+                    for t in e.tree().node_ids() {
+                        let pos = e.position(placement, t);
+                        assert!(
+                            e.tree().submesh(t).contains(&mesh, pos),
+                            "{mode:?} {shape:?} node {t:?} mapped outside its submesh"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_map_to_their_processor() {
+        for mode in [EmbeddingMode::Modified, EmbeddingMode::Random] {
+            let e = embedder(6, 5, TreeShape::binary(), mode);
+            let placement = VarPlacement { root: NodeId(13), seed: 42 };
+            for p in e.mesh().clone().node_ids() {
+                let leaf = e.tree().leaf_of(p);
+                assert_eq!(e.position(placement, leaf), p);
+            }
+        }
+    }
+
+    #[test]
+    fn root_maps_to_the_placement_root() {
+        for mode in [EmbeddingMode::Modified, EmbeddingMode::Random] {
+            let e = embedder(8, 8, TreeShape::quad(), mode);
+            for placement in placements(64) {
+                assert_eq!(e.position(placement, e.tree().root()), placement.root);
+            }
+        }
+    }
+
+    #[test]
+    fn modified_embedding_follows_the_paper_rule() {
+        // On an 8x8 mesh with the 4-ary tree, a root at relative position
+        // (r, c) puts the child for quadrant (qr, qc) at
+        // (4*qr + r mod 4, 4*qc + c mod 4).
+        let e = embedder(8, 8, TreeShape::quad(), EmbeddingMode::Modified);
+        let mesh = e.mesh().clone();
+        let root_pos = mesh.node_at(5, 6);
+        let placement = VarPlacement { root: root_pos, seed: 0 };
+        let root = e.tree().root();
+        for &child in e.tree().children(root) {
+            let sub = e.tree().submesh(child);
+            let pos = e.position(placement, child);
+            let (r, c) = mesh.coord(pos);
+            assert_eq!(r, sub.row0 + 5 % sub.rows);
+            assert_eq!(c, sub.col0 + 6 % sub.cols);
+        }
+    }
+
+    #[test]
+    fn modified_embedding_keeps_parent_child_distance_small() {
+        // The whole point of the modified embedding: the expected distance
+        // between a node and its parent is at most about the side length of
+        // the parent's submesh.
+        let e = embedder(16, 16, TreeShape::quad(), EmbeddingMode::Modified);
+        let mesh = e.mesh().clone();
+        for placement in placements(mesh.nodes()).into_iter().step_by(13) {
+            for t in e.tree().node_ids() {
+                if let Some(parent) = e.tree().parent(t) {
+                    let d = mesh.distance(e.position(placement, t), e.position(placement, parent));
+                    let parent_sub = e.tree().submesh(parent);
+                    assert!(
+                        d <= parent_sub.rows + parent_sub.cols,
+                        "parent-child distance {d} too large"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_embedding_is_deterministic_per_seed() {
+        let e = embedder(8, 8, TreeShape::binary(), EmbeddingMode::Random);
+        let p1 = VarPlacement { root: NodeId(3), seed: 99 };
+        let p2 = VarPlacement { root: NodeId(3), seed: 99 };
+        let p3 = VarPlacement { root: NodeId(3), seed: 100 };
+        let mut differs = false;
+        for t in e.tree().node_ids() {
+            assert_eq!(e.position(p1, t), e.position(p2, t));
+            if e.position(p1, t) != e.position(p3, t) {
+                differs = true;
+            }
+        }
+        assert!(differs, "different seeds should give different embeddings");
+    }
+
+    #[test]
+    fn random_embedding_spreads_over_the_submesh() {
+        // The root's children under the random mode should not all collapse to
+        // the same relative position across many variables.
+        let e = embedder(16, 16, TreeShape::quad(), EmbeddingMode::Random);
+        let root_child = e.tree().children(e.tree().root())[0];
+        let mut distinct = std::collections::HashSet::new();
+        for placement in placements(256) {
+            distinct.insert(e.position(placement, root_child));
+        }
+        assert!(distinct.len() > 16, "random embedding not spreading: {}", distinct.len());
+    }
+}

@@ -1,0 +1,83 @@
+//! # dm-diva — the DIVA (Distributed Variables) library
+//!
+//! A from-scratch Rust reproduction of the DIVA library of Krick, Meyer auf
+//! der Heide, Räcke, Vöcking and Westermann ("Data Management in Networks:
+//! Experimental Evaluation of a Provably Good Strategy", SPAA 1999): fully
+//! transparent access to *global variables* (shared data objects) for
+//! mesh-connected parallel machines, together with the two data-management
+//! strategies the paper compares and the synchronisation primitives the
+//! applications need.
+//!
+//! ## What it provides
+//!
+//! * [`Diva`] / [`DivaConfig`] — a simulated mesh machine with a configurable
+//!   data-management strategy. Programs are ordinary Rust closures, executed
+//!   once per simulated processor, that access shared data through
+//!   [`ProcCtx`]: typed [`ProcCtx::read`] / [`ProcCtx::write`] on
+//!   [`VarHandle`]s, [`ProcCtx::barrier`], per-variable [`ProcCtx::lock`] /
+//!   [`ProcCtx::unlock`], modelled local computation via [`ProcCtx::compute`],
+//!   and explicit [`ProcCtx::send_msg`] / [`ProcCtx::recv_msg`] message
+//!   passing for hand-optimized baselines.
+//! * The **access-tree strategy**
+//!   ([`policy::access_tree::AccessTreePolicy`]): per-variable access trees
+//!   derived from the hierarchical mesh decomposition, embedded randomly but
+//!   locality-preservingly into the mesh, with the caching protocol of the
+//!   paper (copies form a connected tree component; reads extend it towards
+//!   the reader; writes invalidate everything outside the path from the
+//!   update point to the writer). All tree shapes of the paper are supported:
+//!   2-ary, 4-ary, 16-ary and ℓ-k-ary.
+//! * The **fixed-home strategy**
+//!   ([`policy::fixed_home::FixedHomePolicy`]): the classical ownership
+//!   scheme run at a random home processor per variable — the CC-NUMA-like
+//!   baseline of the paper.
+//! * A combining-tree [`barrier`](crate::barrier::TreeBarrier) and
+//!   FIFO distributed locks, both generating real simulated traffic.
+//! * A [`RunReport`] with execution time, congestion (in messages and bytes),
+//!   protocol counters and per-region (per-phase) statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use dm_diva::{Diva, DivaConfig, StrategyKind};
+//! use dm_mesh::{Mesh, TreeShape};
+//!
+//! // An 8x8 mesh managed by the 4-ary access-tree strategy.
+//! let mut diva = Diva::new(DivaConfig::new(
+//!     Mesh::square(8),
+//!     StrategyKind::AccessTree(TreeShape::quad()),
+//! ));
+//! // One shared object, initially cached at processor 0.
+//! let shared = diva.alloc(0, 1024, vec![0u32; 256]);
+//! let outcome = diva.run(|ctx| {
+//!     // Every processor reads the object; the access tree distributes
+//!     // copies along its branches.
+//!     let data = ctx.read::<Vec<u32>>(shared);
+//!     ctx.barrier();
+//!     data.len()
+//! });
+//! assert!(outcome.results.iter().all(|&n| n == 256));
+//! println!("{}", outcome.report.summary());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod embedding;
+pub mod policy;
+pub mod report;
+mod runtime;
+pub mod var;
+
+pub use embedding::{Embedder, EmbeddingMode, VarPlacement};
+pub use policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId};
+pub use report::{RegionReport, RunReport};
+pub use runtime::{Diva, DivaConfig, ProcCtx, RunOutcome, StrategyKind};
+pub use var::{Value, VarHandle, VarRegistry};
+
+/// Convenience re-exports of the substrate crates most callers need.
+pub mod prelude {
+    pub use crate::{Diva, DivaConfig, ProcCtx, RunOutcome, StrategyKind, VarHandle};
+    pub use dm_engine::MachineConfig;
+    pub use dm_mesh::{Mesh, TreeShape};
+}

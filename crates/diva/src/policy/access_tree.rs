@@ -1,0 +1,616 @@
+//! The access-tree data-management strategy (the paper's contribution).
+//!
+//! Every global variable has its own access tree — a copy of the hierarchical
+//! mesh-decomposition tree — embedded into the mesh by a randomized but
+//! locality-preserving rule (see [`crate::embedding`]). The nodes of the tree
+//! that hold a copy of the variable always form a *connected component*
+//! containing at least one node. Reads and writes are routed along the tree:
+//!
+//! * **read** — the request climbs from the reader's leaf towards the root
+//!   until it reaches either a node holding a copy or a node whose subtree
+//!   contains the copy component; in the latter case it descends towards the
+//!   topmost copy node. The value then travels back along the same path,
+//!   leaving a copy at every tree node it passes.
+//! * **write** — the new value travels to the nearest copy node `u` the same
+//!   way; `u` multicasts invalidations over the copy component (following the
+//!   tree edges, acknowledgements aggregate back to `u`), updates its own
+//!   copy and sends the modified value back to the writer, again leaving
+//!   copies on the path. Afterwards exactly the path from `u` to the writer
+//!   holds copies.
+//!
+//! Every tree-edge hop is a real simulated message between the embedded
+//! positions of the two tree nodes, so flatter trees (4-ary, 16-ary, ℓ-k-ary)
+//! trade congestion for fewer per-message startup costs exactly as discussed
+//! in the paper.
+
+use super::{AccessKind, Counter, LockTable, Policy, PolicyEnv, PolicyMsg, TxId, VarGate};
+use crate::embedding::{Embedder, EmbeddingMode, VarPlacement};
+use crate::var::VarHandle;
+use dm_mesh::{DecompositionTree, Mesh, NodeId, TreeNodeId, TreeShape};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// Per-variable state of the access-tree strategy.
+#[derive(Debug)]
+struct AtVar {
+    placement: VarPlacement,
+    /// Tree nodes currently holding a copy; always a connected component.
+    copies: HashSet<TreeNodeId>,
+    /// The copy node closest to the root.
+    top: TreeNodeId,
+    gate: VarGate,
+}
+
+/// Per-transaction protocol state.
+#[derive(Debug)]
+struct AtTx {
+    proc: NodeId,
+    kind: AccessKind,
+    /// Tree nodes visited by the request, starting at the requester's leaf.
+    path: Vec<TreeNodeId>,
+    /// Invalidation multicast structure (write transactions only).
+    inval_children: HashMap<TreeNodeId, Vec<TreeNodeId>>,
+    inval_parent: HashMap<TreeNodeId, TreeNodeId>,
+    pending_acks: HashMap<TreeNodeId, u32>,
+}
+
+/// The access-tree data-management policy.
+pub struct AccessTreePolicy {
+    embedder: Embedder,
+    shape: TreeShape,
+    rng: ChaCha8Rng,
+    vars: Vec<Option<AtVar>>,
+    txs: HashMap<TxId, AtTx>,
+    locks: LockTable,
+}
+
+impl AccessTreePolicy {
+    /// Create an access-tree policy for `mesh` with trees of the given shape
+    /// and embedding mode. `seed` drives the random placement of tree roots.
+    pub fn new(mesh: &Mesh, shape: TreeShape, mode: EmbeddingMode, seed: u64) -> Self {
+        let tree = Arc::new(DecompositionTree::build(mesh, shape));
+        AccessTreePolicy {
+            embedder: Embedder::new(tree, mode),
+            shape,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x00AC_CE55_00EE_u64),
+            vars: Vec::new(),
+            txs: HashMap::new(),
+            locks: LockTable::new(),
+        }
+    }
+
+    /// The decomposition tree shared by all access trees.
+    pub fn tree(&self) -> &DecompositionTree {
+        self.embedder.tree()
+    }
+
+    /// The shape of the access trees.
+    pub fn shape(&self) -> TreeShape {
+        self.shape
+    }
+
+    /// The tree nodes currently holding a copy of `var` (for tests).
+    pub fn copy_set(&self, var: VarHandle) -> Option<&HashSet<TreeNodeId>> {
+        self.vars.get(var.index()).and_then(|v| v.as_ref()).map(|v| &v.copies)
+    }
+
+    /// Check that the copy set of `var` is a non-empty connected component of
+    /// the tree whose topmost node is the recorded `top` (test helper).
+    pub fn assert_copy_invariants(&self, var: VarHandle) {
+        let tree = self.embedder.tree();
+        let v = self.var(var);
+        assert!(!v.copies.is_empty(), "{var}: copy set must never be empty");
+        assert!(v.copies.contains(&v.top), "{var}: top must hold a copy");
+        for &c in &v.copies {
+            // Walking up from any copy node must stay inside the copy set
+            // until `top` is reached (connectivity + top is the unique
+            // highest node).
+            let mut cur = c;
+            while cur != v.top {
+                let parent = tree
+                    .parent(cur)
+                    .unwrap_or_else(|| panic!("{var}: node above top without reaching it"));
+                assert!(
+                    v.copies.contains(&parent),
+                    "{var}: copy component is disconnected at {cur:?}"
+                );
+                cur = parent;
+            }
+        }
+    }
+
+    fn var(&self, var: VarHandle) -> &AtVar {
+        self.vars
+            .get(var.index())
+            .and_then(|v| v.as_ref())
+            .unwrap_or_else(|| panic!("unknown variable {var}"))
+    }
+
+    fn var_mut(&mut self, var: VarHandle) -> &mut AtVar {
+        self.vars
+            .get_mut(var.index())
+            .and_then(|v| v.as_mut())
+            .unwrap_or_else(|| panic!("unknown variable {var}"))
+    }
+
+    fn embed(&self, var: &AtVar, node: TreeNodeId) -> NodeId {
+        self.embedder.position(var.placement, node)
+    }
+
+    fn data_bytes(&self, env: &dyn PolicyEnv, var: VarHandle) -> u32 {
+        env.var_bytes(var) + env.config().header_bytes
+    }
+
+    /// Start an admitted access (the gate has already been passed).
+    fn start_access(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        proc: NodeId,
+        var: VarHandle,
+        kind: AccessKind,
+    ) {
+        let tree = self.embedder.tree();
+        let leaf = tree.leaf_of(proc);
+        let holds_leaf = self.var(var).copies.contains(&leaf);
+        match kind {
+            AccessKind::Read => {
+                debug_assert!(!holds_leaf, "read hits are filtered before start_access");
+                env.bump(Counter::ReadMiss, 1);
+                self.txs.insert(
+                    tx,
+                    AtTx {
+                        proc,
+                        kind,
+                        path: vec![leaf],
+                        inval_children: HashMap::new(),
+                        inval_parent: HashMap::new(),
+                        pending_acks: HashMap::new(),
+                    },
+                );
+                self.forward_request(env, tx, var, leaf);
+            }
+            AccessKind::Write => {
+                let only_copy_at_writer =
+                    holds_leaf && self.var(var).copies.len() == 1;
+                if only_copy_at_writer {
+                    env.bump(Counter::WriteLocal, 1);
+                    env.complete_at(tx, env.now() + env.config().local_access_ns());
+                    self.finish_tx_no_record(env, var, kind);
+                    return;
+                }
+                env.bump(Counter::WriteRemote, 1);
+                self.txs.insert(
+                    tx,
+                    AtTx {
+                        proc,
+                        kind,
+                        path: vec![leaf],
+                        inval_children: HashMap::new(),
+                        inval_parent: HashMap::new(),
+                        pending_acks: HashMap::new(),
+                    },
+                );
+                if holds_leaf {
+                    // The writer already holds a copy (read-before-write): the
+                    // nearest copy node is its own leaf, no request travels.
+                    self.start_invalidation(env, tx, var, leaf);
+                } else {
+                    self.forward_request(env, tx, var, leaf);
+                }
+            }
+        }
+    }
+
+    /// Forward the request of `tx` one tree hop from `from` towards the
+    /// nearest copy node (climbing, or descending towards `top` once an
+    /// ancestor of `top` has been reached).
+    fn forward_request(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, from: TreeNodeId) {
+        let tree = self.embedder.tree_arc();
+        let (next, step_kind) = {
+            let v = self.var(var);
+            if tree.is_ancestor(from, v.top) {
+                // Descend towards the topmost copy node.
+                let next = *tree
+                    .children(from)
+                    .iter()
+                    .find(|&&c| tree.is_ancestor(c, v.top))
+                    .expect("descending node must have a child towards top");
+                (next, self.txs[&tx].kind)
+            } else {
+                let next = tree
+                    .parent(from)
+                    .expect("climbing past the root — top not found");
+                (next, self.txs[&tx].kind)
+            }
+        };
+        let (from_pos, next_pos, bytes) = {
+            let v = self.var(var);
+            let bytes = match step_kind {
+                // Read requests are small control messages, write requests
+                // carry the new value.
+                AccessKind::Read => env.config().control_msg_bytes,
+                AccessKind::Write => self.data_bytes(env, var),
+            };
+            (self.embed(v, from), self.embed(v, next), bytes)
+        };
+        match step_kind {
+            AccessKind::Read => env.bump(Counter::ControlMessages, 1),
+            AccessKind::Write => env.bump(Counter::DataMessages, 1),
+        }
+        let msg = match step_kind {
+            AccessKind::Read => PolicyMsg::AtReadStep { tx, var, at: next },
+            AccessKind::Write => PolicyMsg::AtWriteStep { tx, var, at: next },
+        };
+        env.send(from_pos, next_pos, bytes, msg);
+    }
+
+    /// A request step arrived at tree node `at`.
+    fn on_request_step(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, at: TreeNodeId) {
+        self.txs.get_mut(&tx).expect("unknown transaction").path.push(at);
+        let has_copy = self.var(var).copies.contains(&at);
+        if has_copy {
+            match self.txs[&tx].kind {
+                AccessKind::Read => self.start_read_return(env, tx, var),
+                AccessKind::Write => self.start_invalidation(env, tx, var, at),
+            }
+        } else {
+            self.forward_request(env, tx, var, at);
+        }
+    }
+
+    /// The nearest copy has been found at the end of the recorded path; send
+    /// the value back towards the reader, creating copies along the way.
+    fn start_read_return(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+        let path = &self.txs[&tx].path;
+        debug_assert!(path.len() >= 2);
+        let u = *path.last().unwrap();
+        let prev = path[path.len() - 2];
+        let bytes = self.data_bytes(env, var);
+        let (from_pos, to_pos) = {
+            let v = self.var(var);
+            (self.embed(v, u), self.embed(v, prev))
+        };
+        env.bump(Counter::DataMessages, 1);
+        env.send(
+            from_pos,
+            to_pos,
+            bytes,
+            PolicyMsg::AtReadData { tx, var, path_pos: (path.len() - 2) as u32 },
+        );
+    }
+
+    /// A data message (read return or write-back) arrived at the path
+    /// position `path_pos`; create a copy there and forward it towards the
+    /// requester.
+    fn on_data_step(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, path_pos: u32) {
+        let tree = self.embedder.tree_arc();
+        let at = self.txs[&tx].path[path_pos as usize];
+        // Create a copy at this tree node.
+        {
+            let v = self.var_mut(var);
+            if v.copies.insert(at) {
+                env.bump(Counter::CopiesCreated, 1);
+                if tree.is_ancestor(at, v.top) {
+                    v.top = at;
+                }
+            }
+        }
+        if let Some(p) = tree.node(at).proc {
+            env.set_presence(p, var, true);
+        }
+        if path_pos == 0 {
+            // The value reached the requester.
+            env.complete(tx);
+            let kind = self.txs[&tx].kind;
+            self.txs.remove(&tx);
+            self.finish_tx_no_record(env, var, kind);
+        } else {
+            let next_pos = path_pos - 1;
+            let next = self.txs[&tx].path[next_pos as usize];
+            let bytes = self.data_bytes(env, var);
+            let (from_pos, to_pos) = {
+                let v = self.var(var);
+                (self.embed(v, at), self.embed(v, next))
+            };
+            env.bump(Counter::DataMessages, 1);
+            let kind = self.txs[&tx].kind;
+            let msg = match kind {
+                AccessKind::Read => PolicyMsg::AtReadData { tx, var, path_pos: next_pos },
+                AccessKind::Write => PolicyMsg::AtWriteData { tx, var, path_pos: next_pos },
+            };
+            env.send(from_pos, to_pos, bytes, msg);
+        }
+    }
+
+    /// The write request reached the nearest copy node `u`: invalidate every
+    /// other copy by a multicast over the copy component, then (once all
+    /// acknowledgements returned) send the modified value back to the writer.
+    fn start_invalidation(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, u: TreeNodeId) {
+        let tree = self.embedder.tree_arc();
+        // Build the multicast tree: BFS over the copy component starting at u.
+        let (children_map, parent_map, victims) = {
+            let v = self.var(var);
+            let mut children: HashMap<TreeNodeId, Vec<TreeNodeId>> = HashMap::new();
+            let mut parent: HashMap<TreeNodeId, TreeNodeId> = HashMap::new();
+            let mut victims: Vec<TreeNodeId> = Vec::new();
+            let mut seen: HashSet<TreeNodeId> = HashSet::new();
+            let mut queue = VecDeque::new();
+            seen.insert(u);
+            queue.push_back(u);
+            while let Some(n) = queue.pop_front() {
+                // Component neighbours: tree parent and tree children that hold copies.
+                let mut neighbours: Vec<TreeNodeId> = Vec::new();
+                if let Some(p) = tree.parent(n) {
+                    if v.copies.contains(&p) {
+                        neighbours.push(p);
+                    }
+                }
+                for &c in tree.children(n) {
+                    if v.copies.contains(&c) {
+                        neighbours.push(c);
+                    }
+                }
+                for nb in neighbours {
+                    if seen.insert(nb) {
+                        children.entry(n).or_default().push(nb);
+                        parent.insert(nb, n);
+                        victims.push(nb);
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            (children, parent, victims)
+        };
+
+        // Invalidate the state now (writes are exclusive on this variable).
+        {
+            let v = self.var_mut(var);
+            for &victim in &victims {
+                v.copies.remove(&victim);
+            }
+            v.top = u;
+            env.bump(Counter::Invalidations, victims.len() as u64);
+        }
+        for &victim in &victims {
+            if let Some(p) = tree.node(victim).proc {
+                env.set_presence(p, var, false);
+            }
+        }
+
+        let t = self.txs.get_mut(&tx).expect("unknown transaction");
+        t.inval_children = children_map;
+        t.inval_parent = parent_map;
+        let direct: Vec<TreeNodeId> = t.inval_children.get(&u).cloned().unwrap_or_default();
+        if direct.is_empty() {
+            // Nothing to invalidate: go straight to the write-back phase.
+            self.start_write_back(env, tx, var);
+            return;
+        }
+        self.txs.get_mut(&tx).unwrap().pending_acks.insert(u, direct.len() as u32);
+        let control = env.config().control_msg_bytes;
+        let u_pos = {
+            let v = self.var(var);
+            self.embed(v, u)
+        };
+        for c in direct {
+            let to_pos = {
+                let v = self.var(var);
+                self.embed(v, c)
+            };
+            env.bump(Counter::ControlMessages, 1);
+            env.send(u_pos, to_pos, control, PolicyMsg::AtInval { tx, var, at: c });
+        }
+    }
+
+    /// An invalidation arrived at tree node `at`: forward it to the component
+    /// children (per the multicast plan) or acknowledge if there are none.
+    fn on_inval(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, at: TreeNodeId) {
+        let control = env.config().control_msg_bytes;
+        let children: Vec<TreeNodeId> = self.txs[&tx]
+            .inval_children
+            .get(&at)
+            .cloned()
+            .unwrap_or_default();
+        let at_pos = {
+            let v = self.var(var);
+            self.embed(v, at)
+        };
+        if children.is_empty() {
+            let parent = self.txs[&tx].inval_parent[&at];
+            let to_pos = {
+                let v = self.var(var);
+                self.embed(v, parent)
+            };
+            env.bump(Counter::ControlMessages, 1);
+            env.send(at_pos, to_pos, control, PolicyMsg::AtInvalAck { tx, var, from: at, to: parent });
+        } else {
+            self.txs.get_mut(&tx).unwrap().pending_acks.insert(at, children.len() as u32);
+            for c in children {
+                let to_pos = {
+                    let v = self.var(var);
+                    self.embed(v, c)
+                };
+                env.bump(Counter::ControlMessages, 1);
+                env.send(at_pos, to_pos, control, PolicyMsg::AtInval { tx, var, at: c });
+            }
+        }
+    }
+
+    /// An acknowledgement arrived at tree node `to`.
+    fn on_inval_ack(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, to: TreeNodeId) {
+        let remaining = {
+            let t = self.txs.get_mut(&tx).expect("unknown transaction");
+            let counter = t.pending_acks.get_mut(&to).expect("ack without pending count");
+            *counter -= 1;
+            *counter
+        };
+        if remaining > 0 {
+            return;
+        }
+        let u = *self.txs[&tx].path.last().unwrap();
+        if to == u {
+            // All copies invalidated; send the modified value back to the writer.
+            self.start_write_back(env, tx, var);
+        } else {
+            let parent = self.txs[&tx].inval_parent[&to];
+            let control = env.config().control_msg_bytes;
+            let (from_pos, to_pos) = {
+                let v = self.var(var);
+                (self.embed(v, to), self.embed(v, parent))
+            };
+            env.bump(Counter::ControlMessages, 1);
+            env.send(from_pos, to_pos, control, PolicyMsg::AtInvalAck { tx, var, from: to, to: parent });
+        }
+    }
+
+    /// Send the modified value from the update point back to the writer along
+    /// the recorded path (or complete immediately if the writer is the update
+    /// point).
+    fn start_write_back(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+        let path_len = self.txs[&tx].path.len();
+        if path_len == 1 {
+            // The writer's leaf was the nearest copy: it already holds the
+            // (only) copy.
+            let proc = self.txs[&tx].proc;
+            env.set_presence(proc, var, true);
+            env.complete(tx);
+            let kind = self.txs[&tx].kind;
+            self.txs.remove(&tx);
+            self.finish_tx_no_record(env, var, kind);
+            return;
+        }
+        let u = self.txs[&tx].path[path_len - 1];
+        let prev = self.txs[&tx].path[path_len - 2];
+        let bytes = self.data_bytes(env, var);
+        let (from_pos, to_pos) = {
+            let v = self.var(var);
+            (self.embed(v, u), self.embed(v, prev))
+        };
+        env.bump(Counter::DataMessages, 1);
+        env.send(
+            from_pos,
+            to_pos,
+            bytes,
+            PolicyMsg::AtWriteData { tx, var, path_pos: (path_len - 2) as u32 },
+        );
+    }
+
+    /// Release the variable gate after a transaction of `kind` finished and
+    /// start any newly admitted transactions.
+    fn finish_tx_no_record(&mut self, env: &mut dyn PolicyEnv, var: VarHandle, kind: AccessKind) {
+        let admitted = self.var_mut(var).gate.release(kind);
+        for (tx, proc, kind) in admitted {
+            self.start_access(env, tx, proc, var, kind);
+        }
+    }
+
+    /// The manager node of the lock of `var`: the embedded root of the
+    /// variable's access tree.
+    fn lock_manager(&self, var: VarHandle) -> NodeId {
+        let v = self.var(var);
+        self.embed(v, self.embedder.tree().root())
+    }
+}
+
+impl Policy for AccessTreePolicy {
+    fn name(&self) -> String {
+        format!("{} access tree", self.shape.name())
+    }
+
+    fn register_var(&mut self, var: VarHandle, owner: NodeId, bytes: u32) {
+        let mesh = self.embedder.mesh().clone();
+        let root = NodeId(self.rng.gen_range(0..mesh.nodes() as u32));
+        let seed = self.rng.gen::<u64>();
+        let leaf = self.embedder.tree().leaf_of(owner);
+        let mut copies = HashSet::new();
+        copies.insert(leaf);
+        let idx = var.index();
+        if self.vars.len() <= idx {
+            self.vars.resize_with(idx + 1, || None);
+        }
+        let _ = bytes; // size is tracked by the registry, not per policy
+        self.vars[idx] = Some(AtVar {
+            placement: VarPlacement { root, seed },
+            copies,
+            top: leaf,
+            gate: VarGate::new(),
+        });
+    }
+
+    fn on_access(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        proc: NodeId,
+        var: VarHandle,
+        kind: AccessKind,
+    ) {
+        // Reads that hit a local copy bypass the gate entirely (they would be
+        // served from the cache without any protocol action).
+        if kind == AccessKind::Read {
+            let leaf = self.embedder.tree().leaf_of(proc);
+            if self.var(var).copies.contains(&leaf) {
+                env.bump(Counter::ReadHit, 1);
+                env.complete_at(tx, env.now() + env.config().local_access_ns());
+                return;
+            }
+        }
+        if self.var_mut(var).gate.admit(tx, proc, kind) {
+            self.start_access(env, tx, proc, var, kind);
+        }
+    }
+
+    fn on_lock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle) {
+        let manager = self.lock_manager(var);
+        self.locks.acquire(env, tx, proc, var, manager);
+    }
+
+    fn on_unlock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle) {
+        let manager = self.lock_manager(var);
+        self.locks.release(env, tx, proc, var, manager);
+    }
+
+    fn on_message(&mut self, env: &mut dyn PolicyEnv, at: NodeId, msg: PolicyMsg) {
+        // Lock messages are shared between the policies.
+        let handled = {
+            // Work around the borrow checker: compute the manager lazily via a
+            // clone of the minimal data needed.
+            let managers: Vec<(VarHandle, NodeId)> = match &msg {
+                PolicyMsg::LockRelease { var, .. } => vec![(*var, self.lock_manager(*var))],
+                _ => Vec::new(),
+            };
+            let lookup = move |v: VarHandle| {
+                managers
+                    .iter()
+                    .find(|(h, _)| *h == v)
+                    .map(|(_, m)| *m)
+                    .expect("lock manager lookup for unknown variable")
+            };
+            if matches!(
+                msg,
+                PolicyMsg::LockReq { .. } | PolicyMsg::LockGrant { .. } | PolicyMsg::LockRelease { .. }
+            ) {
+                self.locks.on_message(env, at, &msg, lookup)
+            } else {
+                false
+            }
+        };
+        if handled {
+            return;
+        }
+        match msg {
+            PolicyMsg::AtReadStep { tx, var, at } | PolicyMsg::AtWriteStep { tx, var, at } => {
+                self.on_request_step(env, tx, var, at)
+            }
+            PolicyMsg::AtReadData { tx, var, path_pos } | PolicyMsg::AtWriteData { tx, var, path_pos } => {
+                self.on_data_step(env, tx, var, path_pos)
+            }
+            PolicyMsg::AtInval { tx, var, at } => self.on_inval(env, tx, var, at),
+            PolicyMsg::AtInvalAck { tx, var, to, .. } => self.on_inval_ack(env, tx, var, to),
+            other => panic!("access-tree policy received foreign message {other:?}"),
+        }
+    }
+}

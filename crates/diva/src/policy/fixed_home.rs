@@ -1,0 +1,363 @@
+//! The fixed-home (ownership) caching strategy — the CC-NUMA-like baseline.
+//!
+//! Every variable is assigned a *home* processor chosen uniformly at random.
+//! The home plays the role of the main memory module of the classical
+//! bus-based ownership scheme the paper describes:
+//!
+//! * at any time either one processor or the home ("main memory") owns the
+//!   variable;
+//! * a read by a processor without a valid copy asks the home; if a processor
+//!   owns the variable, the home first fetches the value from the owner
+//!   (ownership returns to the home), then forwards it to the reader, which
+//!   keeps a cached copy;
+//! * a write by a non-owner asks the home to invalidate every existing copy
+//!   (one point-to-point invalidation message per copy holder, acknowledged
+//!   back to the home — there is no snooping bus in a mesh), after which
+//!   ownership is granted to the writer;
+//! * reads and writes by a processor that already holds the necessary copy or
+//!   ownership are served locally.
+//!
+//! Because the home serialises the distribution of copies and the collection
+//! of acknowledgements, a heavily shared variable (e.g. the root cell of the
+//! Barnes-Hut tree) makes both the home's links and its communication port a
+//! bottleneck — exactly the effect the paper measures.
+
+use super::{AccessKind, Counter, LockTable, Policy, PolicyEnv, PolicyMsg, TxId, VarGate};
+use crate::var::VarHandle;
+use dm_mesh::{Mesh, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Per-variable state of the fixed-home strategy.
+#[derive(Debug)]
+struct FhVar {
+    home: NodeId,
+    /// `Some(p)` — processor `p` owns the variable (its cached value is the
+    /// only up-to-date one). `None` — the home's main-memory copy is valid.
+    owner: Option<NodeId>,
+    /// Processors holding a valid cached copy.
+    copies: HashSet<NodeId>,
+    gate: VarGate,
+}
+
+/// Per-transaction protocol state.
+#[derive(Debug)]
+struct FhTx {
+    proc: NodeId,
+    pending_acks: u32,
+}
+
+/// The fixed-home / ownership data-management policy.
+pub struct FixedHomePolicy {
+    mesh: Mesh,
+    rng: ChaCha8Rng,
+    vars: Vec<Option<FhVar>>,
+    txs: HashMap<TxId, FhTx>,
+    locks: LockTable,
+}
+
+impl FixedHomePolicy {
+    /// Create a fixed-home policy for `mesh`; `seed` drives the random home
+    /// assignment.
+    pub fn new(mesh: &Mesh, seed: u64) -> Self {
+        FixedHomePolicy {
+            mesh: mesh.clone(),
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x00F1_0ED0_0E00_u64),
+            vars: Vec::new(),
+            txs: HashMap::new(),
+            locks: LockTable::new(),
+        }
+    }
+
+    /// The home processor of `var` (for tests).
+    pub fn home_of(&self, var: VarHandle) -> NodeId {
+        self.var(var).home
+    }
+
+    /// The processors currently holding a valid copy of `var` (for tests).
+    pub fn copy_set(&self, var: VarHandle) -> &HashSet<NodeId> {
+        &self.var(var).copies
+    }
+
+    /// The current owner of `var` (`None` = the home's main memory).
+    pub fn owner_of(&self, var: VarHandle) -> Option<NodeId> {
+        self.var(var).owner
+    }
+
+    fn var(&self, var: VarHandle) -> &FhVar {
+        self.vars
+            .get(var.index())
+            .and_then(|v| v.as_ref())
+            .unwrap_or_else(|| panic!("unknown variable {var}"))
+    }
+
+    fn var_mut(&mut self, var: VarHandle) -> &mut FhVar {
+        self.vars
+            .get_mut(var.index())
+            .and_then(|v| v.as_mut())
+            .unwrap_or_else(|| panic!("unknown variable {var}"))
+    }
+
+    fn data_bytes(&self, env: &dyn PolicyEnv, var: VarHandle) -> u32 {
+        env.var_bytes(var) + env.config().header_bytes
+    }
+
+    /// Start an admitted access.
+    fn start_access(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        proc: NodeId,
+        var: VarHandle,
+        kind: AccessKind,
+    ) {
+        let control = env.config().control_msg_bytes;
+        match kind {
+            AccessKind::Read => {
+                debug_assert!(!self.var(var).copies.contains(&proc));
+                env.bump(Counter::ReadMiss, 1);
+                let home = self.var(var).home;
+                self.txs.insert(tx, FhTx { proc, pending_acks: 0 });
+                env.bump(Counter::ControlMessages, 1);
+                env.send(proc, home, control, PolicyMsg::FhReadReq { tx, var });
+            }
+            AccessKind::Write => {
+                let v = self.var(var);
+                if v.owner == Some(proc) && v.copies.len() == 1 {
+                    // The writer owns the only copy: local write.
+                    env.bump(Counter::WriteLocal, 1);
+                    env.complete_at(tx, env.now() + env.config().local_access_ns());
+                    self.finish_access(env, var, kind);
+                    return;
+                }
+                env.bump(Counter::WriteRemote, 1);
+                let home = v.home;
+                self.txs.insert(tx, FhTx { proc, pending_acks: 0 });
+                env.bump(Counter::ControlMessages, 1);
+                env.send(proc, home, control, PolicyMsg::FhWriteReq { tx, var });
+            }
+        }
+    }
+
+    /// A read request arrived at the home.
+    fn on_read_req(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+        let home = self.var(var).home;
+        let owner = self.var(var).owner;
+        match owner {
+            Some(q) if q != home => {
+                // Fetch the up-to-date value from the owner first.
+                let control = env.config().control_msg_bytes;
+                env.bump(Counter::ControlMessages, 1);
+                env.send(home, q, control, PolicyMsg::FhFetchOwner { tx, var });
+            }
+            _ => {
+                // Main memory (or the home's own cache) is valid.
+                self.send_read_data(env, tx, var);
+            }
+        }
+    }
+
+    /// The owner returns the value to the home; ownership moves back to main
+    /// memory and the home forwards the value to the reader.
+    fn on_owner_data(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+        self.var_mut(var).owner = None;
+        self.send_read_data(env, tx, var);
+    }
+
+    fn send_read_data(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+        let home = self.var(var).home;
+        let reader = self.txs[&tx].proc;
+        let bytes = self.data_bytes(env, var);
+        env.bump(Counter::DataMessages, 1);
+        env.send(home, reader, bytes, PolicyMsg::FhReadData { tx, var });
+    }
+
+    /// The value arrived at the reader.
+    fn on_read_data(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+        let reader = self.txs[&tx].proc;
+        if self.var_mut(var).copies.insert(reader) {
+            env.bump(Counter::CopiesCreated, 1);
+        }
+        env.set_presence(reader, var, true);
+        env.complete(tx);
+        self.txs.remove(&tx);
+        self.finish_access(env, var, AccessKind::Read);
+    }
+
+    /// A write request arrived at the home: invalidate every other copy, then
+    /// grant ownership to the writer.
+    fn on_write_req(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+        let home = self.var(var).home;
+        let writer = self.txs[&tx].proc;
+        let victims: Vec<NodeId> = {
+            let v = self.var(var);
+            let mut targets: HashSet<NodeId> = v.copies.clone();
+            if let Some(q) = v.owner {
+                targets.insert(q);
+            }
+            targets.remove(&writer);
+            let mut targets: Vec<NodeId> = targets.into_iter().collect();
+            targets.sort(); // deterministic invalidation order
+            targets
+        };
+        // Update the bookkeeping now (writes are exclusive on this variable);
+        // the invalidation/ack messages model the communication cost.
+        {
+            let v = self.var_mut(var);
+            v.copies.retain(|c| *c == writer);
+            env.bump(Counter::Invalidations, victims.len() as u64);
+        }
+        for &victim in &victims {
+            env.set_presence(victim, var, false);
+        }
+        if victims.is_empty() {
+            self.send_write_grant(env, tx, var, home);
+            return;
+        }
+        self.txs.get_mut(&tx).unwrap().pending_acks = victims.len() as u32;
+        let control = env.config().control_msg_bytes;
+        for victim in victims {
+            env.bump(Counter::ControlMessages, 1);
+            env.send(home, victim, control, PolicyMsg::FhInval { tx, var });
+        }
+    }
+
+    /// An invalidation arrived at a copy holder: acknowledge to the home.
+    fn on_inval(&mut self, env: &mut dyn PolicyEnv, at: NodeId, tx: TxId, var: VarHandle) {
+        let home = self.var(var).home;
+        let control = env.config().control_msg_bytes;
+        env.bump(Counter::ControlMessages, 1);
+        env.send(at, home, control, PolicyMsg::FhInvalAck { tx, var });
+    }
+
+    /// An acknowledgement arrived at the home.
+    fn on_inval_ack(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+        let home = self.var(var).home;
+        let remaining = {
+            let t = self.txs.get_mut(&tx).expect("unknown transaction");
+            t.pending_acks -= 1;
+            t.pending_acks
+        };
+        if remaining == 0 {
+            self.send_write_grant(env, tx, var, home);
+        }
+    }
+
+    fn send_write_grant(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, home: NodeId) {
+        let writer = self.txs[&tx].proc;
+        let control = env.config().control_msg_bytes;
+        env.bump(Counter::ControlMessages, 1);
+        env.send(home, writer, control, PolicyMsg::FhWriteGrant { tx, var });
+    }
+
+    /// The grant arrived at the writer: it now owns the only copy.
+    fn on_write_grant(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+        let writer = self.txs[&tx].proc;
+        {
+            let v = self.var_mut(var);
+            v.owner = Some(writer);
+            v.copies.clear();
+            v.copies.insert(writer);
+        }
+        env.set_presence(writer, var, true);
+        env.bump(Counter::CopiesCreated, 1);
+        env.complete(tx);
+        self.txs.remove(&tx);
+        self.finish_access(env, var, AccessKind::Write);
+    }
+
+    /// Release the gate and start newly admitted transactions.
+    fn finish_access(&mut self, env: &mut dyn PolicyEnv, var: VarHandle, kind: AccessKind) {
+        let admitted = self.var_mut(var).gate.release(kind);
+        for (tx, proc, kind) in admitted {
+            self.start_access(env, tx, proc, var, kind);
+        }
+    }
+}
+
+impl Policy for FixedHomePolicy {
+    fn name(&self) -> String {
+        "fixed home".to_string()
+    }
+
+    fn register_var(&mut self, var: VarHandle, owner: NodeId, _bytes: u32) {
+        let home = NodeId(self.rng.gen_range(0..self.mesh.nodes() as u32));
+        let mut copies = HashSet::new();
+        copies.insert(owner);
+        let idx = var.index();
+        if self.vars.len() <= idx {
+            self.vars.resize_with(idx + 1, || None);
+        }
+        self.vars[idx] = Some(FhVar {
+            home,
+            owner: Some(owner),
+            copies,
+            gate: VarGate::new(),
+        });
+    }
+
+    fn on_access(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        proc: NodeId,
+        var: VarHandle,
+        kind: AccessKind,
+    ) {
+        if kind == AccessKind::Read && self.var(var).copies.contains(&proc) {
+            env.bump(Counter::ReadHit, 1);
+            env.complete_at(tx, env.now() + env.config().local_access_ns());
+            return;
+        }
+        if self.var_mut(var).gate.admit(tx, proc, kind) {
+            self.start_access(env, tx, proc, var, kind);
+        }
+    }
+
+    fn on_lock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle) {
+        let manager = self.var(var).home;
+        self.locks.acquire(env, tx, proc, var, manager);
+    }
+
+    fn on_unlock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle) {
+        let manager = self.var(var).home;
+        self.locks.release(env, tx, proc, var, manager);
+    }
+
+    fn on_message(&mut self, env: &mut dyn PolicyEnv, at: NodeId, msg: PolicyMsg) {
+        if matches!(
+            msg,
+            PolicyMsg::LockReq { .. } | PolicyMsg::LockGrant { .. } | PolicyMsg::LockRelease { .. }
+        ) {
+            let homes: HashMap<VarHandle, NodeId> = match &msg {
+                PolicyMsg::LockRelease { var, .. } => {
+                    let mut m = HashMap::new();
+                    m.insert(*var, self.var(*var).home);
+                    m
+                }
+                _ => HashMap::new(),
+            };
+            let lookup = move |v: VarHandle| *homes.get(&v).expect("lock manager for unknown variable");
+            self.locks.on_message(env, at, &msg, lookup);
+            return;
+        }
+        match msg {
+            PolicyMsg::FhReadReq { tx, var } => self.on_read_req(env, tx, var),
+            PolicyMsg::FhFetchOwner { tx, var } => {
+                // The owner answers with the data.
+                let home = self.var(var).home;
+                let bytes = self.data_bytes(env, var);
+                env.bump(Counter::DataMessages, 1);
+                env.send(at, home, bytes, PolicyMsg::FhOwnerData { tx, var });
+            }
+            PolicyMsg::FhOwnerData { tx, var } => self.on_owner_data(env, tx, var),
+            PolicyMsg::FhReadData { tx, var } => self.on_read_data(env, tx, var),
+            PolicyMsg::FhWriteReq { tx, var } => self.on_write_req(env, tx, var),
+            PolicyMsg::FhInval { tx, var } => self.on_inval(env, at, tx, var),
+            PolicyMsg::FhInvalAck { tx, var } => self.on_inval_ack(env, tx, var),
+            PolicyMsg::FhWriteGrant { tx, var } => self.on_write_grant(env, tx, var),
+            other => panic!("fixed-home policy received foreign message {other:?}"),
+        }
+    }
+}

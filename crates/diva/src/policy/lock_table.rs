@@ -1,0 +1,147 @@
+//! Distributed locks on global variables.
+//!
+//! The paper states that the DIVA library implements locking (and barriers)
+//! with "elegant algorithms that use access trees" but gives no further
+//! detail. We model each lock as a FIFO queue managed at a single *manager
+//! node* — the embedded root of the variable's access tree for the
+//! access-tree strategy, the variable's home for the fixed-home strategy (see
+//! DESIGN.md for the substitution rationale). Requests, grants and releases
+//! are real simulated messages, so lock contention produces network traffic
+//! and serialisation at the manager, which is the behaviour that matters for
+//! the Barnes-Hut tree-building phase.
+
+use super::{Counter, PolicyEnv, PolicyMsg, TxId};
+use crate::var::VarHandle;
+use dm_mesh::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<NodeId>,
+    /// Waiting requests: (transaction, requesting processor).
+    queue: VecDeque<(TxId, NodeId)>,
+}
+
+/// Lock bookkeeping shared by both policies.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<VarHandle, LockState>,
+}
+
+impl LockTable {
+    /// Create an empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A processor wants to acquire the lock of `var`, whose manager node is
+    /// `manager`.
+    pub fn acquire(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        proc: NodeId,
+        var: VarHandle,
+        manager: NodeId,
+    ) {
+        env.bump(Counter::Locks, 1);
+        if proc == manager {
+            let state = self.locks.entry(var).or_default();
+            if state.held_by.is_none() {
+                state.held_by = Some(proc);
+                env.complete(tx);
+            } else {
+                state.queue.push_back((tx, proc));
+            }
+        } else {
+            let bytes = env.config().control_msg_bytes;
+            env.bump(Counter::ControlMessages, 1);
+            env.send(proc, manager, bytes, PolicyMsg::LockReq { tx, var, proc });
+        }
+    }
+
+    /// A processor releases the lock of `var` (manager node `manager`). The
+    /// release completes for the caller as soon as the release message has
+    /// left its communication port.
+    pub fn release(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        proc: NodeId,
+        var: VarHandle,
+        manager: NodeId,
+    ) {
+        if proc == manager {
+            self.do_release(env, var, manager);
+            env.complete(tx);
+        } else {
+            let bytes = env.config().control_msg_bytes;
+            env.bump(Counter::ControlMessages, 1);
+            let sender_free = env.send(proc, manager, bytes, PolicyMsg::LockRelease { var, proc });
+            env.complete_at(tx, sender_free);
+        }
+    }
+
+    /// Handle a lock protocol message arriving at mesh node `at`. Returns
+    /// `true` if the message was a lock message (and has been handled).
+    pub fn on_message(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        at: NodeId,
+        msg: &PolicyMsg,
+        manager_of: impl Fn(VarHandle) -> NodeId,
+    ) -> bool {
+        match *msg {
+            PolicyMsg::LockReq { tx, var, proc } => {
+                let state = self.locks.entry(var).or_default();
+                if state.held_by.is_none() {
+                    state.held_by = Some(proc);
+                    let bytes = env.config().control_msg_bytes;
+                    env.bump(Counter::ControlMessages, 1);
+                    env.send(at, proc, bytes, PolicyMsg::LockGrant { tx, var });
+                } else {
+                    state.queue.push_back((tx, proc));
+                }
+                true
+            }
+            PolicyMsg::LockGrant { tx, .. } => {
+                env.complete(tx);
+                true
+            }
+            PolicyMsg::LockRelease { var, .. } => {
+                let manager = manager_of(var);
+                self.do_release(env, var, manager);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Release the lock of `var` at its manager and grant it to the next
+    /// waiter, if any.
+    fn do_release(&mut self, env: &mut dyn PolicyEnv, var: VarHandle, manager: NodeId) {
+        let state = self.locks.entry(var).or_default();
+        assert!(state.held_by.is_some(), "unlock of a lock that is not held ({var})");
+        state.held_by = None;
+        if let Some((tx, proc)) = state.queue.pop_front() {
+            state.held_by = Some(proc);
+            if proc == manager {
+                env.complete(tx);
+            } else {
+                let bytes = env.config().control_msg_bytes;
+                env.bump(Counter::ControlMessages, 1);
+                env.send(manager, proc, bytes, PolicyMsg::LockGrant { tx, var });
+            }
+        }
+    }
+
+    /// Current holder of the lock of `var`, if any (for tests and diagnostics).
+    pub fn holder(&self, var: VarHandle) -> Option<NodeId> {
+        self.locks.get(&var).and_then(|s| s.held_by)
+    }
+
+    /// Number of processors waiting for the lock of `var`.
+    pub fn waiting(&self, var: VarHandle) -> usize {
+        self.locks.get(&var).map(|s| s.queue.len()).unwrap_or(0)
+    }
+}

@@ -1,0 +1,358 @@
+//! Data-management policies (strategies).
+//!
+//! A [`Policy`] decides how copies of global variables are created, located
+//! and invalidated. The two policies of the paper are implemented:
+//!
+//! * [`AccessTreePolicy`](access_tree::AccessTreePolicy) — the access-tree
+//!   strategy (the paper's contribution), and
+//! * [`FixedHomePolicy`](fixed_home::FixedHomePolicy) — the standard
+//!   fixed-home / ownership caching scheme used as the baseline.
+//!
+//! Policies are driven by the runtime: `on_access` is called when a processor
+//! issues a read or write that cannot be satisfied locally, `on_lock` /
+//! `on_unlock` when it acquires or releases a variable lock, and `on_message`
+//! whenever a protocol message scheduled by the policy arrives at its
+//! destination. Policies talk back to the runtime exclusively through
+//! [`PolicyEnv`]: they send messages (which are routed, timed and counted by
+//! the network model) and eventually complete the transaction.
+
+pub mod access_tree;
+pub mod fixed_home;
+mod gate;
+mod lock_table;
+#[cfg(test)]
+mod proto_tests;
+
+pub use gate::VarGate;
+pub use lock_table::LockTable;
+
+use crate::var::VarHandle;
+use dm_engine::{MachineConfig, SimTime};
+use dm_mesh::{Mesh, NodeId, TreeNodeId};
+
+/// Identifier of an in-flight transaction (one blocked processor operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u64);
+
+/// Kind of a shared-variable access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+/// Statistics counters a policy can bump; they end up in the
+/// [`RunReport`](crate::RunReport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Read satisfied by a copy already held by the reading processor.
+    ReadHit,
+    /// Read that required protocol communication.
+    ReadMiss,
+    /// Write served locally (the writer already held the only copy).
+    WriteLocal,
+    /// Write that required protocol communication.
+    WriteRemote,
+    /// Copies of variables created (on any node of an access tree, or any
+    /// processor cache for the fixed-home strategy).
+    CopiesCreated,
+    /// Copies invalidated.
+    Invalidations,
+    /// Control messages sent (requests, invalidations, acknowledgements,
+    /// lock traffic).
+    ControlMessages,
+    /// Data-carrying messages sent.
+    DataMessages,
+    /// Copies evicted because of bounded memory capacity.
+    Evictions,
+    /// Lock acquisitions.
+    Locks,
+}
+
+/// Number of distinct [`Counter`] variants (size of the counter table).
+pub const COUNTER_COUNT: usize = 10;
+
+impl Counter {
+    /// Dense index of the counter.
+    pub fn index(self) -> usize {
+        match self {
+            Counter::ReadHit => 0,
+            Counter::ReadMiss => 1,
+            Counter::WriteLocal => 2,
+            Counter::WriteRemote => 3,
+            Counter::CopiesCreated => 4,
+            Counter::Invalidations => 5,
+            Counter::ControlMessages => 6,
+            Counter::DataMessages => 7,
+            Counter::Evictions => 8,
+            Counter::Locks => 9,
+        }
+    }
+
+    /// All counters, in index order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::ReadHit,
+        Counter::ReadMiss,
+        Counter::WriteLocal,
+        Counter::WriteRemote,
+        Counter::CopiesCreated,
+        Counter::Invalidations,
+        Counter::ControlMessages,
+        Counter::DataMessages,
+        Counter::Evictions,
+        Counter::Locks,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::ReadHit => "read_hits",
+            Counter::ReadMiss => "read_misses",
+            Counter::WriteLocal => "writes_local",
+            Counter::WriteRemote => "writes_remote",
+            Counter::CopiesCreated => "copies_created",
+            Counter::Invalidations => "invalidations",
+            Counter::ControlMessages => "control_messages",
+            Counter::DataMessages => "data_messages",
+            Counter::Evictions => "evictions",
+            Counter::Locks => "locks",
+        }
+    }
+}
+
+/// A protocol message in flight between two mesh nodes.
+///
+/// The variants cover both policies and the shared lock protocol; each policy
+/// only ever receives the variants it sent.
+#[derive(Debug, Clone)]
+pub enum PolicyMsg {
+    // ---- access-tree strategy -------------------------------------------------
+    /// Read request travelling up/down the access tree; `at` is the tree node
+    /// that processes the message next.
+    AtReadStep {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being read.
+        var: VarHandle,
+        /// Tree node the message is arriving at.
+        at: TreeNodeId,
+    },
+    /// Data message carrying the value back towards the reader, creating a
+    /// copy at every tree node it passes. `path_pos` indexes into the
+    /// transaction's recorded path (counting down towards the requester).
+    AtReadData {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being read.
+        var: VarHandle,
+        /// Index into the recorded request path of the node being visited.
+        path_pos: u32,
+    },
+    /// Write request (carrying the new value) travelling towards the nearest
+    /// copy.
+    AtWriteStep {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being written.
+        var: VarHandle,
+        /// Tree node the message is arriving at.
+        at: TreeNodeId,
+    },
+    /// Invalidation multicast over the copy component.
+    AtInval {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being written.
+        var: VarHandle,
+        /// Tree node being invalidated.
+        at: TreeNodeId,
+    },
+    /// Acknowledgement of an invalidation subtree, travelling back towards the
+    /// multicast root.
+    AtInvalAck {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being written.
+        var: VarHandle,
+        /// Tree node that sends the acknowledgement (towards its multicast parent).
+        from: TreeNodeId,
+        /// Tree node the acknowledgement is delivered to.
+        to: TreeNodeId,
+    },
+    /// Modified value travelling back from the update point to the writer,
+    /// creating copies along the way.
+    AtWriteData {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being written.
+        var: VarHandle,
+        /// Index into the recorded request path of the node being visited.
+        path_pos: u32,
+    },
+
+    // ---- fixed-home strategy ---------------------------------------------------
+    /// Read request arriving at the variable's home.
+    FhReadReq {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being read.
+        var: VarHandle,
+    },
+    /// Home asks the current owner for the up-to-date value.
+    FhFetchOwner {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being read.
+        var: VarHandle,
+    },
+    /// Owner returns the value to the home (main memory).
+    FhOwnerData {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being read.
+        var: VarHandle,
+    },
+    /// Home delivers the value to the reader.
+    FhReadData {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being read.
+        var: VarHandle,
+    },
+    /// Write request arriving at the variable's home.
+    FhWriteReq {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being written.
+        var: VarHandle,
+    },
+    /// Invalidation of one cached copy.
+    FhInval {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being written.
+        var: VarHandle,
+    },
+    /// Acknowledgement of an invalidation, back to the home.
+    FhInvalAck {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being written.
+        var: VarHandle,
+    },
+    /// Home grants ownership to the writer.
+    FhWriteGrant {
+        /// Transaction this message belongs to.
+        tx: TxId,
+        /// Variable being written.
+        var: VarHandle,
+    },
+
+    // ---- distributed locks (shared by both policies) ----------------------------
+    /// Lock request arriving at the lock manager node.
+    LockReq {
+        /// Transaction of the requesting processor's `lock` call.
+        tx: TxId,
+        /// Variable whose lock is requested.
+        var: VarHandle,
+        /// Requesting processor.
+        proc: NodeId,
+    },
+    /// Lock grant arriving at the requesting processor.
+    LockGrant {
+        /// Transaction of the requesting processor's `lock` call.
+        tx: TxId,
+        /// Variable whose lock is granted.
+        var: VarHandle,
+    },
+    /// Lock release arriving at the lock manager node.
+    LockRelease {
+        /// Variable whose lock is released.
+        var: VarHandle,
+        /// Processor releasing the lock.
+        proc: NodeId,
+    },
+}
+
+/// The interface through which a policy interacts with the runtime.
+///
+/// All sends are routed along dimension-order paths, timed by the
+/// [`dm_engine::LinkNetwork`] model, and counted towards the congestion
+/// statistics. `complete` wakes the processor whose operation started the
+/// transaction.
+pub trait PolicyEnv {
+    /// Current virtual time (issue time of the operation being handled, or
+    /// arrival time of the message being handled).
+    fn now(&self) -> SimTime;
+    /// The machine parameters.
+    fn config(&self) -> &MachineConfig;
+    /// The mesh.
+    fn mesh(&self) -> &Mesh;
+    /// Size of a variable in bytes.
+    fn var_bytes(&self, var: VarHandle) -> u32;
+    /// Send a protocol message of `bytes` bytes from mesh node `from` to mesh
+    /// node `to`; it is delivered to [`Policy::on_message`] at its arrival
+    /// time. Returns the time at which the sender's communication port is
+    /// free again.
+    fn send(&mut self, from: NodeId, to: NodeId, bytes: u32, msg: PolicyMsg) -> SimTime;
+    /// Complete a transaction at the current time, waking the processor that
+    /// issued it.
+    fn complete(&mut self, tx: TxId);
+    /// Complete a transaction at an explicit time `at` (≥ `now`).
+    fn complete_at(&mut self, tx: TxId, at: SimTime);
+    /// Update the runtime's fast-path information: processor `proc` now does /
+    /// does not hold a readable copy of `var`.
+    fn set_presence(&mut self, proc: NodeId, var: VarHandle, present: bool);
+    /// Bump a statistics counter by `n`.
+    fn bump(&mut self, counter: Counter, n: u64);
+}
+
+/// A data-management strategy.
+pub trait Policy: Send {
+    /// Human-readable strategy name (used in reports and tables).
+    fn name(&self) -> String;
+
+    /// Register a newly created variable whose only copy lives at `owner`.
+    fn register_var(&mut self, var: VarHandle, owner: NodeId, bytes: u32);
+
+    /// A processor issued a read or write that was not satisfied from its
+    /// local cache.
+    fn on_access(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        proc: NodeId,
+        var: VarHandle,
+        kind: AccessKind,
+    );
+
+    /// A processor wants to acquire the lock attached to `var`.
+    fn on_lock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle);
+
+    /// A processor releases the lock attached to `var`.
+    fn on_unlock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle);
+
+    /// A protocol message previously sent via [`PolicyEnv::send`] arrived at
+    /// mesh node `at`.
+    fn on_message(&mut self, env: &mut dyn PolicyEnv, at: NodeId, msg: PolicyMsg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_indices_are_dense_and_unique() {
+        let mut seen = vec![false; COUNTER_COUNT];
+        for c in Counter::ALL {
+            let i = c.index();
+            assert!(i < COUNTER_COUNT);
+            assert!(!seen[i], "duplicate counter index {i}");
+            seen[i] = true;
+            assert!(!c.name().is_empty());
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+}

@@ -1,0 +1,422 @@
+//! Protocol-level unit tests for the data-management policies, driven by a
+//! mock environment that delivers messages instantly (but in FIFO order) and
+//! records completions, presence updates and counters.
+
+use super::access_tree::AccessTreePolicy;
+use super::fixed_home::FixedHomePolicy;
+use super::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId, COUNTER_COUNT};
+use crate::embedding::EmbeddingMode;
+use crate::var::VarHandle;
+use dm_engine::{MachineConfig, SimTime};
+use dm_mesh::{Mesh, NodeId, TreeShape};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A deterministic mock of the runtime environment: messages are queued and
+/// delivered in FIFO order with a fixed latency of 1 time unit per hop-free
+/// message; no link model, no port model.
+struct MockEnv {
+    mesh: Mesh,
+    cfg: MachineConfig,
+    now: SimTime,
+    queue: VecDeque<(NodeId, PolicyMsg)>,
+    completed: Vec<(TxId, SimTime)>,
+    presence: HashMap<(NodeId, VarHandle), bool>,
+    counters: [u64; COUNTER_COUNT],
+    var_sizes: HashMap<VarHandle, u32>,
+    messages_sent: u64,
+    bytes_sent: u64,
+}
+
+impl MockEnv {
+    fn new(mesh: Mesh) -> Self {
+        MockEnv {
+            mesh,
+            cfg: MachineConfig::parsytec_gcel(),
+            now: 0,
+            queue: VecDeque::new(),
+            completed: Vec::new(),
+            presence: HashMap::new(),
+            counters: [0; COUNTER_COUNT],
+            var_sizes: HashMap::new(),
+            messages_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Deliver queued messages until the protocol quiesces.
+    fn run(&mut self, policy: &mut dyn Policy) {
+        let mut steps = 0;
+        while let Some((to, msg)) = self.queue.pop_front() {
+            self.now += 1;
+            policy.on_message(self, to, msg);
+            steps += 1;
+            assert!(steps < 1_000_000, "protocol does not quiesce");
+        }
+    }
+
+    fn completed_txs(&self) -> Vec<TxId> {
+        self.completed.iter().map(|(t, _)| *t).collect()
+    }
+
+    fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    fn has_presence(&self, proc: NodeId, var: VarHandle) -> bool {
+        *self.presence.get(&(proc, var)).unwrap_or(&false)
+    }
+}
+
+impl PolicyEnv for MockEnv {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+    fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+    fn var_bytes(&self, var: VarHandle) -> u32 {
+        *self.var_sizes.get(&var).unwrap_or(&64)
+    }
+    fn send(&mut self, _from: NodeId, to: NodeId, bytes: u32, msg: PolicyMsg) -> SimTime {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        self.queue.push_back((to, msg));
+        self.now
+    }
+    fn complete(&mut self, tx: TxId) {
+        self.completed.push((tx, self.now));
+    }
+    fn complete_at(&mut self, tx: TxId, at: SimTime) {
+        self.completed.push((tx, at));
+    }
+    fn set_presence(&mut self, proc: NodeId, var: VarHandle, present: bool) {
+        self.presence.insert((proc, var), present);
+    }
+    fn bump(&mut self, counter: Counter, n: u64) {
+        self.counters[counter.index()] += n;
+    }
+}
+
+fn setup_at(shape: TreeShape, side: usize) -> (AccessTreePolicy, MockEnv) {
+    let mesh = Mesh::square(side);
+    let policy = AccessTreePolicy::new(&mesh, shape, EmbeddingMode::Modified, 7);
+    let env = MockEnv::new(mesh);
+    (policy, env)
+}
+
+fn setup_fh(side: usize) -> (FixedHomePolicy, MockEnv) {
+    let mesh = Mesh::square(side);
+    let policy = FixedHomePolicy::new(&mesh, 7);
+    let env = MockEnv::new(mesh);
+    (policy, env)
+}
+
+// ---------------------------------------------------------------------------
+// Access-tree strategy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn at_read_miss_creates_copies_on_the_tree_path() {
+    let (mut policy, mut env) = setup_at(TreeShape::binary(), 4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(0), 64);
+    policy.assert_copy_invariants(var);
+    let reader = NodeId(15);
+    policy.on_access(&mut env, TxId(1), reader, var, AccessKind::Read);
+    env.run(&mut policy);
+    assert_eq!(env.completed_txs(), vec![TxId(1)]);
+    policy.assert_copy_invariants(var);
+    // Both the owner's leaf and the reader's leaf must now hold copies, and
+    // the component spans their tree path.
+    let tree = policy.tree();
+    let copies = policy.copy_set(var).unwrap();
+    assert!(copies.contains(&tree.leaf_of(NodeId(0))));
+    assert!(copies.contains(&tree.leaf_of(reader)));
+    assert!(copies.len() >= tree.tree_distance(tree.leaf_of(NodeId(0)), tree.leaf_of(reader)));
+    assert!(env.has_presence(reader, var));
+    assert_eq!(env.counter(Counter::ReadMiss), 1);
+    assert!(env.counter(Counter::DataMessages) >= 1);
+}
+
+#[test]
+fn at_read_hit_costs_nothing_on_the_network() {
+    let (mut policy, mut env) = setup_at(TreeShape::quad(), 4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(5), 64);
+    policy.on_access(&mut env, TxId(1), NodeId(5), var, AccessKind::Read);
+    env.run(&mut policy);
+    assert_eq!(env.completed_txs(), vec![TxId(1)]);
+    assert_eq!(env.messages_sent, 0);
+    assert_eq!(env.counter(Counter::ReadHit), 1);
+}
+
+#[test]
+fn at_write_by_sole_owner_is_local() {
+    let (mut policy, mut env) = setup_at(TreeShape::quad(), 4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(3), 256);
+    policy.on_access(&mut env, TxId(9), NodeId(3), var, AccessKind::Write);
+    env.run(&mut policy);
+    assert_eq!(env.completed_txs(), vec![TxId(9)]);
+    assert_eq!(env.messages_sent, 0);
+    assert_eq!(env.counter(Counter::WriteLocal), 1);
+}
+
+#[test]
+fn at_write_after_shared_reads_invalidates_all_other_copies() {
+    let (mut policy, mut env) = setup_at(TreeShape::binary(), 4);
+    let var = VarHandle(0);
+    let owner = NodeId(0);
+    policy.register_var(var, owner, 128);
+    // Several processors read the variable, creating a large copy component.
+    for (i, reader) in [5u32, 10, 15, 12].iter().enumerate() {
+        policy.on_access(&mut env, TxId(i as u64 + 1), NodeId(*reader), var, AccessKind::Read);
+        env.run(&mut policy);
+        policy.assert_copy_invariants(var);
+    }
+    let copies_before = policy.copy_set(var).unwrap().len();
+    assert!(copies_before > 2);
+    // Now the owner writes: every other copy must be invalidated and exactly
+    // the path from the nearest copy (the owner's own leaf) remains.
+    policy.on_access(&mut env, TxId(100), owner, var, AccessKind::Write);
+    env.run(&mut policy);
+    assert!(env.completed_txs().contains(&TxId(100)));
+    policy.assert_copy_invariants(var);
+    let tree = policy.tree();
+    let copies_after = policy.copy_set(var).unwrap();
+    assert_eq!(copies_after.len(), 1);
+    assert!(copies_after.contains(&tree.leaf_of(owner)));
+    assert!(env.counter(Counter::Invalidations) >= (copies_before - 1) as u64);
+    // Presence of the previous readers has been revoked.
+    for reader in [5u32, 10, 15, 12] {
+        assert!(!env.has_presence(NodeId(reader), var));
+    }
+    assert!(env.has_presence(owner, var));
+}
+
+#[test]
+fn at_write_by_non_copy_holder_moves_the_copy_path_to_the_writer() {
+    let (mut policy, mut env) = setup_at(TreeShape::quad(), 4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(0), 64);
+    let writer = NodeId(15);
+    policy.on_access(&mut env, TxId(1), writer, var, AccessKind::Write);
+    env.run(&mut policy);
+    assert_eq!(env.completed_txs(), vec![TxId(1)]);
+    policy.assert_copy_invariants(var);
+    let tree = policy.tree();
+    let copies = policy.copy_set(var).unwrap();
+    assert!(copies.contains(&tree.leaf_of(writer)));
+    // Exactly the tree path from the nearest copy (the old owner's leaf, which
+    // keeps its copy per the protocol: "u modifies its own copy") to the
+    // writer's leaf holds copies after the write.
+    let owner_leaf = tree.leaf_of(NodeId(0));
+    let writer_leaf = tree.leaf_of(writer);
+    assert!(copies.contains(&owner_leaf));
+    assert_eq!(copies.len(), tree.tree_distance(owner_leaf, writer_leaf) + 1);
+    assert!(env.has_presence(writer, var));
+    assert_eq!(env.counter(Counter::WriteRemote), 1);
+}
+
+#[test]
+fn at_copy_component_stays_connected_under_random_workload() {
+    // Property-style test: a pseudo-random sequence of reads and writes from
+    // random processors never breaks the connectivity invariant.
+    for shape in [TreeShape::binary(), TreeShape::quad(), TreeShape::lk(2, 4), TreeShape::hex16()] {
+        let (mut policy, mut env) = setup_at(shape, 8);
+        let var = VarHandle(0);
+        policy.register_var(var, NodeId(17), 64);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for i in 0..200u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let proc = NodeId((state >> 33) as u32 % 64);
+            let kind = if (state >> 7) & 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            policy.on_access(&mut env, TxId(i + 1), proc, var, kind);
+            env.run(&mut policy);
+            policy.assert_copy_invariants(var);
+        }
+        // Every submitted transaction completed exactly once.
+        let mut seen = HashSet::new();
+        for t in env.completed_txs() {
+            assert!(seen.insert(t), "transaction {t:?} completed twice");
+        }
+        assert_eq!(seen.len(), 200);
+    }
+}
+
+#[test]
+fn at_flatter_trees_use_fewer_messages_per_read() {
+    // A 16-ary tree has fewer levels than a 2-ary tree, so a single far read
+    // needs fewer protocol messages (fewer startups) — the trade-off the
+    // paper discusses.
+    let mut msgs = Vec::new();
+    for shape in [TreeShape::binary(), TreeShape::quad(), TreeShape::hex16()] {
+        let (mut policy, mut env) = setup_at(shape, 16);
+        let var = VarHandle(0);
+        policy.register_var(var, NodeId(0), 1024);
+        policy.on_access(&mut env, TxId(1), NodeId(255), var, AccessKind::Read);
+        env.run(&mut policy);
+        msgs.push(env.messages_sent);
+    }
+    assert!(msgs[0] > msgs[1], "2-ary should need more messages than 4-ary: {msgs:?}");
+    assert!(msgs[1] > msgs[2], "4-ary should need more messages than 16-ary: {msgs:?}");
+}
+
+#[test]
+fn at_lock_is_mutually_exclusive_and_fifo() {
+    let (mut policy, mut env) = setup_at(TreeShape::quad(), 4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(0), 64);
+    // Three processors request the lock; only the first succeeds immediately.
+    policy.on_lock(&mut env, TxId(1), NodeId(1), var);
+    policy.on_lock(&mut env, TxId(2), NodeId(2), var);
+    policy.on_lock(&mut env, TxId(3), NodeId(3), var);
+    env.run(&mut policy);
+    assert_eq!(env.completed_txs(), vec![TxId(1)]);
+    // Unlock by the holder grants to the next requester, in FIFO order.
+    policy.on_unlock(&mut env, TxId(10), NodeId(1), var);
+    env.run(&mut policy);
+    assert_eq!(env.completed_txs(), vec![TxId(1), TxId(10), TxId(2)]);
+    policy.on_unlock(&mut env, TxId(11), NodeId(2), var);
+    env.run(&mut policy);
+    assert!(env.completed_txs().contains(&TxId(3)));
+    policy.on_unlock(&mut env, TxId(12), NodeId(3), var);
+    env.run(&mut policy);
+    assert_eq!(env.counter(Counter::Locks), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-home strategy
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fh_read_miss_fetches_from_owner_via_home() {
+    let (mut policy, mut env) = setup_fh(4);
+    let var = VarHandle(0);
+    let owner = NodeId(6);
+    policy.register_var(var, owner, 64);
+    assert_eq!(policy.owner_of(var), Some(owner));
+    let reader = NodeId(9);
+    policy.on_access(&mut env, TxId(1), reader, var, AccessKind::Read);
+    env.run(&mut policy);
+    assert_eq!(env.completed_txs(), vec![TxId(1)]);
+    // After the read, ownership is back at main memory and both processors
+    // hold copies.
+    let home = policy.home_of(var);
+    let expected_owner = if home == owner { Some(owner) } else { None };
+    assert_eq!(policy.owner_of(var), expected_owner);
+    assert!(policy.copy_set(var).contains(&reader));
+    assert!(policy.copy_set(var).contains(&owner));
+    assert!(env.has_presence(reader, var));
+    assert_eq!(env.counter(Counter::ReadMiss), 1);
+}
+
+#[test]
+fn fh_read_hit_is_local() {
+    let (mut policy, mut env) = setup_fh(4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(2), 64);
+    policy.on_access(&mut env, TxId(1), NodeId(2), var, AccessKind::Read);
+    env.run(&mut policy);
+    assert_eq!(env.messages_sent, 0);
+    assert_eq!(env.counter(Counter::ReadHit), 1);
+}
+
+#[test]
+fn fh_write_invalidates_all_copies_and_transfers_ownership() {
+    let (mut policy, mut env) = setup_fh(4);
+    let var = VarHandle(0);
+    let owner = NodeId(0);
+    policy.register_var(var, owner, 64);
+    // Three readers create copies.
+    for (i, r) in [3u32, 7, 11].iter().enumerate() {
+        policy.on_access(&mut env, TxId(i as u64 + 1), NodeId(*r), var, AccessKind::Read);
+        env.run(&mut policy);
+    }
+    assert_eq!(policy.copy_set(var).len(), 4);
+    // Processor 7 writes.
+    let writer = NodeId(7);
+    policy.on_access(&mut env, TxId(50), writer, var, AccessKind::Write);
+    env.run(&mut policy);
+    assert!(env.completed_txs().contains(&TxId(50)));
+    assert_eq!(policy.owner_of(var), Some(writer));
+    assert_eq!(policy.copy_set(var).len(), 1);
+    assert!(policy.copy_set(var).contains(&writer));
+    assert!(env.counter(Counter::Invalidations) >= 3);
+    assert!(!env.has_presence(NodeId(3), var));
+    assert!(!env.has_presence(NodeId(11), var));
+    assert!(env.has_presence(writer, var));
+}
+
+#[test]
+fn fh_owner_write_after_exclusive_acquisition_is_local() {
+    let (mut policy, mut env) = setup_fh(4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(5), 64);
+    // Processor 5 owns the only copy, so its writes stay local.
+    policy.on_access(&mut env, TxId(1), NodeId(5), var, AccessKind::Write);
+    env.run(&mut policy);
+    assert_eq!(env.messages_sent, 0);
+    assert_eq!(env.counter(Counter::WriteLocal), 1);
+    // After another processor reads, a second write by 5 is remote again.
+    policy.on_access(&mut env, TxId(2), NodeId(9), var, AccessKind::Read);
+    env.run(&mut policy);
+    policy.on_access(&mut env, TxId(3), NodeId(5), var, AccessKind::Write);
+    env.run(&mut policy);
+    assert_eq!(env.counter(Counter::WriteRemote), 1);
+    assert_eq!(policy.copy_set(var).len(), 1);
+}
+
+#[test]
+fn fh_read_write_sequence_matches_ownership_scheme_counts() {
+    // Write-after-read from the same processor: the read moves a copy to the
+    // processor, the write invalidates the other copies — the "read before
+    // write" pattern the paper notes makes the fixed-home strategy behave
+    // like a P-ary access tree.
+    let (mut policy, mut env) = setup_fh(4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(1), 64);
+    let p = NodeId(14);
+    policy.on_access(&mut env, TxId(1), p, var, AccessKind::Read);
+    env.run(&mut policy);
+    policy.on_access(&mut env, TxId(2), p, var, AccessKind::Write);
+    env.run(&mut policy);
+    assert_eq!(env.completed_txs(), vec![TxId(1), TxId(2)]);
+    assert_eq!(policy.owner_of(var), Some(p));
+    assert_eq!(policy.copy_set(var).iter().copied().collect::<Vec<_>>(), vec![p]);
+}
+
+#[test]
+fn fh_lock_contention_is_serialised_at_the_home() {
+    let (mut policy, mut env) = setup_fh(4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(0), 64);
+    policy.on_lock(&mut env, TxId(1), NodeId(4), var);
+    policy.on_lock(&mut env, TxId(2), NodeId(8), var);
+    env.run(&mut policy);
+    assert_eq!(env.completed_txs(), vec![TxId(1)]);
+    policy.on_unlock(&mut env, TxId(3), NodeId(4), var);
+    env.run(&mut policy);
+    assert!(env.completed_txs().contains(&TxId(2)));
+}
+
+#[test]
+fn fh_many_readers_make_the_home_a_message_hotspot() {
+    // Every read miss routes through the home — the congestion offset the
+    // paper attributes to the fixed-home strategy for hot variables.
+    let (mut policy, mut env) = setup_fh(4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(0), 1024);
+    for i in 1..16u32 {
+        policy.on_access(&mut env, TxId(i as u64), NodeId(i), var, AccessKind::Read);
+        env.run(&mut policy);
+    }
+    // 15 read misses, each at least request + data = 2 messages, and the
+    // first one also fetches from the owner.
+    assert!(env.messages_sent >= 32);
+    assert_eq!(env.counter(Counter::ReadMiss), 15);
+    assert_eq!(policy.copy_set(var).len(), 16);
+}

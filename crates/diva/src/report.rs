@@ -1,0 +1,216 @@
+//! Statistics reported by a simulation run.
+
+use crate::policy::{Counter, COUNTER_COUNT};
+use dm_engine::{ns_to_secs, SimTime};
+use dm_mesh::LinkStats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-region (per-phase) measurements.
+///
+/// Regions are declared by the application with
+/// [`ProcCtx::region`](crate::ProcCtx::region); the Barnes-Hut harness uses
+/// them to reproduce the per-phase congestion and time figures of the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionReport {
+    /// Wall-clock (virtual) time spent in the region — the maximum over all
+    /// processors of the time between entering and leaving the region.
+    pub wall_time: SimTime,
+    /// Modelled local-computation time inside the region (maximum over
+    /// processors).
+    pub compute_time: SimTime,
+    /// Maximum number of messages over any single link, attributed to this
+    /// region.
+    pub congestion_msgs: u64,
+    /// Maximum number of bytes over any single link, attributed to this region.
+    pub congestion_bytes: u64,
+    /// Total messages attributed to this region.
+    pub total_msgs: u64,
+    /// Total bytes attributed to this region.
+    pub total_bytes: u64,
+}
+
+impl RegionReport {
+    /// Time spent communicating (wall time minus modelled computation).
+    pub fn comm_time(&self) -> SimTime {
+        self.wall_time.saturating_sub(self.compute_time)
+    }
+}
+
+/// The outcome of a simulated execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the data-management strategy that produced this run.
+    pub strategy: String,
+    /// Virtual time at which the last processor finished (and all protocol
+    /// traffic quiesced).
+    pub total_time: SimTime,
+    /// Per-link traffic statistics of the whole run.
+    pub link_stats: LinkStats,
+    /// Protocol counters (hits, misses, copies, invalidations, messages, ...).
+    counters: [u64; COUNTER_COUNT],
+    /// Per-region measurements, keyed by the region name.
+    pub regions: BTreeMap<String, RegionReport>,
+    /// Total messages handed to the network (including node-local ones).
+    pub messages_sent: u64,
+    /// Total bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Modelled local computation time (maximum over processors).
+    pub compute_time: SimTime,
+    /// Number of barrier synchronisations executed.
+    pub barriers: u64,
+}
+
+impl RunReport {
+    /// Construct a report (used by the runtime).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        strategy: String,
+        total_time: SimTime,
+        link_stats: LinkStats,
+        counters: [u64; COUNTER_COUNT],
+        regions: BTreeMap<String, RegionReport>,
+        messages_sent: u64,
+        bytes_sent: u64,
+        compute_time: SimTime,
+        barriers: u64,
+    ) -> Self {
+        RunReport {
+            strategy,
+            total_time,
+            link_stats,
+            counters,
+            regions,
+            messages_sent,
+            bytes_sent,
+            compute_time,
+            barriers,
+        }
+    }
+
+    /// Congestion in messages: the maximum number of messages that crossed any
+    /// single directed link (the unit of the paper's Barnes-Hut figures).
+    pub fn congestion_msgs(&self) -> u64 {
+        self.link_stats.congestion_msgs()
+    }
+
+    /// Congestion in bytes: the maximum number of bytes that crossed any
+    /// single directed link.
+    pub fn congestion_bytes(&self) -> u64 {
+        self.link_stats.congestion_bytes()
+    }
+
+    /// Total bytes over all links ("total communication load").
+    pub fn total_traffic_bytes(&self) -> u64 {
+        self.link_stats.total_bytes()
+    }
+
+    /// Value of a protocol counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// The execution time in (virtual) seconds.
+    pub fn total_time_secs(&self) -> f64 {
+        ns_to_secs(self.total_time)
+    }
+
+    /// Wall time minus modelled computation time, in nanoseconds — the
+    /// "communication time" of the paper's matrix-multiplication experiments.
+    pub fn comm_time(&self) -> SimTime {
+        self.total_time.saturating_sub(self.compute_time)
+    }
+
+    /// A region report by name, if the application declared it.
+    pub fn region(&self, name: &str) -> Option<&RegionReport> {
+        self.regions.get(name)
+    }
+
+    /// A compact human-readable summary (used by examples and the harness).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("strategy:            {}\n", self.strategy));
+        s.push_str(&format!(
+            "execution time:      {:.3} s (compute {:.3} s, communication {:.3} s)\n",
+            self.total_time_secs(),
+            ns_to_secs(self.compute_time),
+            ns_to_secs(self.comm_time()),
+        ));
+        s.push_str(&format!(
+            "congestion:          {} messages / {} bytes on the hottest link\n",
+            self.congestion_msgs(),
+            self.congestion_bytes()
+        ));
+        s.push_str(&format!(
+            "network totals:      {} messages, {} bytes\n",
+            self.messages_sent, self.bytes_sent
+        ));
+        s.push_str(&format!("barriers:            {}\n", self.barriers));
+        for c in Counter::ALL {
+            s.push_str(&format!("{:<20} {}\n", format!("{}:", c.name()), self.counter(c)));
+        }
+        for (name, r) in &self.regions {
+            s.push_str(&format!(
+                "region {:<13} wall {:.3} s, compute {:.3} s, congestion {} msgs / {} bytes\n",
+                name,
+                ns_to_secs(r.wall_time),
+                ns_to_secs(r.compute_time),
+                r.congestion_msgs,
+                r.congestion_bytes
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_mesh::Mesh;
+
+    #[test]
+    fn report_accessors() {
+        let mesh = Mesh::square(2);
+        let mut stats = LinkStats::new(&mesh);
+        let link = mesh.link_ids().next().unwrap();
+        stats.record(link, 100);
+        stats.record(link, 50);
+        let mut counters = [0u64; COUNTER_COUNT];
+        counters[Counter::ReadHit.index()] = 7;
+        let mut regions = BTreeMap::new();
+        regions.insert(
+            "force".to_string(),
+            RegionReport {
+                wall_time: 10_000,
+                compute_time: 4_000,
+                congestion_msgs: 3,
+                congestion_bytes: 300,
+                total_msgs: 9,
+                total_bytes: 900,
+            },
+        );
+        let r = RunReport::new(
+            "4-ary access tree".into(),
+            2_000_000_000,
+            stats,
+            counters,
+            regions,
+            12,
+            1234,
+            500_000_000,
+            3,
+        );
+        assert_eq!(r.congestion_bytes(), 150);
+        assert_eq!(r.congestion_msgs(), 2);
+        assert_eq!(r.counter(Counter::ReadHit), 7);
+        assert_eq!(r.counter(Counter::ReadMiss), 0);
+        assert!((r.total_time_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(r.comm_time(), 1_500_000_000);
+        assert_eq!(r.region("force").unwrap().comm_time(), 6_000);
+        assert!(r.region("missing").is_none());
+        let s = r.summary();
+        assert!(s.contains("4-ary access tree"));
+        assert!(s.contains("read_hits"));
+        assert!(s.contains("region force"));
+    }
+}

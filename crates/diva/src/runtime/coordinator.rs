@@ -1,0 +1,509 @@
+//! The coordinator: a deterministic discrete-event loop that drives the
+//! worker threads, the data-management policy, the barrier and the explicit
+//! message-passing layer over the simulated network.
+
+use super::shared::{Request, Response, SharedState, TimedRequest};
+use crate::barrier::{BarrierAction, BarrierMsg, TreeBarrier};
+use crate::policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId, COUNTER_COUNT};
+use crate::report::{RegionReport, RunReport};
+use crate::var::{Value, VarHandle, VarRegistry};
+use dm_engine::{EventQueue, LinkNetwork, MachineConfig, RegionId, SimTime};
+use dm_mesh::{Mesh, NodeId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// What a blocked processor is waiting for (determines the response payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxKind {
+    Read,
+    Write,
+    Lock,
+    Unlock,
+}
+
+/// Bookkeeping for one in-flight transaction.
+#[derive(Debug)]
+pub(crate) struct TxRec {
+    pub proc: usize,
+    pub var: Option<VarHandle>,
+    pub kind: TxKind,
+}
+
+/// Events of the coordinator's discrete-event loop.
+pub(crate) enum Event {
+    /// A protocol message arrives at mesh node `at`.
+    PolicyDeliver { at: NodeId, msg: PolicyMsg },
+    /// A barrier message arrives at its tree node.
+    BarrierDeliver { msg: BarrierMsg },
+    /// An explicit message-passing payload arrives at processor `to`.
+    MpDeliver {
+        to: usize,
+        from: usize,
+        tag: u64,
+        value: Value,
+    },
+}
+
+/// The part of the coordinator state the policy is allowed to see
+/// (implements [`PolicyEnv`]).
+pub(crate) struct EnvState {
+    pub now: SimTime,
+    pub machine: MachineConfig,
+    pub mesh: Mesh,
+    pub network: LinkNetwork,
+    pub events: EventQueue<Event>,
+    pub registry: VarRegistry,
+    pub shared: Arc<SharedState>,
+    pub counters: [u64; COUNTER_COUNT],
+    pub tx_table: HashMap<TxId, TxRec>,
+    pub completions: Vec<(TxId, SimTime)>,
+    pub proc_region: Vec<RegionId>,
+    next_tx: u64,
+}
+
+impl EnvState {
+    fn new_tx(&mut self, proc: usize, var: Option<VarHandle>, kind: TxKind) -> TxId {
+        self.next_tx += 1;
+        let tx = TxId(self.next_tx);
+        self.tx_table.insert(tx, TxRec { proc, var, kind });
+        tx
+    }
+}
+
+impl PolicyEnv for EnvState {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn config(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    fn var_bytes(&self, var: VarHandle) -> u32 {
+        self.registry.bytes(var)
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, bytes: u32, msg: PolicyMsg) -> SimTime {
+        let region = self.proc_region[from.index()];
+        let d = self.network.transmit(self.now, from, to, bytes, region);
+        self.events.push(d.arrival, Event::PolicyDeliver { at: to, msg });
+        d.sender_free
+    }
+
+    fn complete(&mut self, tx: TxId) {
+        let at = self.now;
+        self.completions.push((tx, at));
+    }
+
+    fn complete_at(&mut self, tx: TxId, at: SimTime) {
+        self.completions.push((tx, at.max(self.now)));
+    }
+
+    fn set_presence(&mut self, proc: NodeId, var: VarHandle, present: bool) {
+        self.shared.set_copy(proc.index(), var, present);
+    }
+
+    fn bump(&mut self, counter: Counter, n: u64) {
+        self.counters[counter.index()] += n;
+    }
+}
+
+/// The coordinator thread of a [`Diva::run`](crate::Diva::run) execution.
+pub(crate) struct Coordinator {
+    pub env: EnvState,
+    policy: Box<dyn Policy>,
+    barrier: TreeBarrier,
+    req_rx: Receiver<TimedRequest>,
+    resp_tx: Vec<Sender<Response>>,
+    nprocs: usize,
+    active: usize,
+    finished: usize,
+    strategy_name: String,
+
+    proc_clock: Vec<SimTime>,
+    proc_compute: Vec<SimTime>,
+    barrier_arrivals: u64,
+
+    // Measurement regions: index 0 is the implicit whole-run region, named
+    // regions start at 1.
+    region_ids: HashMap<String, RegionId>,
+    region_names: Vec<String>,
+    region_enter: Vec<SimTime>,
+    region_wall: Vec<Vec<SimTime>>,
+    region_compute: Vec<Vec<SimTime>>,
+
+    // Explicit message passing.
+    mailbox: HashMap<(usize, usize, u64), VecDeque<(SimTime, Value)>>,
+    pending_recv: HashMap<(usize, usize, u64), VecDeque<SimTime>>,
+
+    last_event_time: SimTime,
+}
+
+impl Coordinator {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        mesh: Mesh,
+        machine: MachineConfig,
+        barrier: TreeBarrier,
+        policy: Box<dyn Policy>,
+        registry: VarRegistry,
+        shared: Arc<SharedState>,
+        req_rx: Receiver<TimedRequest>,
+        resp_tx: Vec<Sender<Response>>,
+    ) -> Self {
+        let nprocs = mesh.nodes();
+        let strategy_name = policy.name();
+        let network = LinkNetwork::new(mesh.clone(), machine);
+        Coordinator {
+            env: EnvState {
+                now: 0,
+                machine,
+                mesh,
+                network,
+                events: EventQueue::new(),
+                registry,
+                shared,
+                counters: [0; COUNTER_COUNT],
+                tx_table: HashMap::new(),
+                completions: Vec::new(),
+                proc_region: vec![dm_engine::GLOBAL_REGION; nprocs],
+                next_tx: 0,
+            },
+            policy,
+            barrier,
+            req_rx,
+            resp_tx,
+            nprocs,
+            active: nprocs,
+            finished: 0,
+            strategy_name,
+            proc_clock: vec![0; nprocs],
+            proc_compute: vec![0; nprocs],
+            barrier_arrivals: 0,
+            region_ids: HashMap::new(),
+            region_names: Vec::new(),
+            region_enter: vec![0; nprocs],
+            region_wall: vec![vec![0; nprocs]],
+            region_compute: vec![vec![0; nprocs]],
+            mailbox: HashMap::new(),
+            pending_recv: HashMap::new(),
+            last_event_time: 0,
+        }
+    }
+
+    /// Run the event loop to completion and produce the report.
+    pub(crate) fn run(mut self) -> RunReport {
+        loop {
+            // 1. Gather requests until every worker is blocked or finished.
+            let mut batch = Vec::new();
+            while self.active > 0 {
+                let req = self
+                    .req_rx
+                    .recv()
+                    .expect("a worker thread terminated without notifying the coordinator");
+                self.active -= 1;
+                batch.push(req);
+            }
+            if !batch.is_empty() {
+                // Deterministic handling order: by issue time, then processor id.
+                batch.sort_by_key(|r| (self.issue_time(r), r.req.proc()));
+                for r in batch {
+                    self.handle_request(r);
+                }
+                self.flush_completions();
+                continue;
+            }
+            // 2. All workers blocked: advance the simulation.
+            if self.finished == self.nprocs && self.env.events.is_empty() {
+                break;
+            }
+            match self.env.events.pop() {
+                Some((t, ev)) => {
+                    self.env.now = t;
+                    self.last_event_time = self.last_event_time.max(t);
+                    self.handle_event(ev);
+                    self.flush_completions();
+                }
+                None => self.report_deadlock(),
+            }
+        }
+        self.build_report()
+    }
+
+    /// Issue time of a request: the processor's clock plus the locally
+    /// accumulated compute/overhead time it carries.
+    fn issue_time(&self, r: &TimedRequest) -> SimTime {
+        self.proc_clock[r.req.proc()] + r.compute_ns + r.overhead_ns
+    }
+
+    fn respond(&mut self, proc: usize, resp: Response) {
+        self.resp_tx[proc]
+            .send(resp)
+            .expect("worker thread terminated while waiting for a response");
+        self.active += 1;
+    }
+
+    fn handle_request(&mut self, timed: TimedRequest) {
+        let TimedRequest {
+            req,
+            compute_ns,
+            overhead_ns,
+            hits,
+        } = timed;
+        let proc = req.proc();
+        let region = self.env.proc_region[proc];
+        self.region_compute[region.0 as usize][proc] += compute_ns;
+        self.proc_compute[proc] += compute_ns;
+        self.proc_clock[proc] += compute_ns + overhead_ns;
+        self.env.counters[Counter::ReadHit.index()] += hits;
+        let now = self.proc_clock[proc];
+        self.env.now = now;
+
+        match req {
+            Request::Access { var, kind, value, .. } => {
+                if let Some(v) = value {
+                    self.env.shared.set_value(var, v);
+                }
+                let tx_kind = match kind {
+                    AccessKind::Read => TxKind::Read,
+                    AccessKind::Write => TxKind::Write,
+                };
+                let tx = self.env.new_tx(proc, Some(var), tx_kind);
+                self.policy
+                    .on_access(&mut self.env, tx, NodeId(proc as u32), var, kind);
+            }
+            Request::Alloc { bytes, value, .. } => {
+                let owner = NodeId(proc as u32);
+                let var = self.env.registry.register(bytes, owner);
+                let idx = self.env.shared.push_value(value);
+                debug_assert_eq!(idx, var.index(), "value store out of sync with registry");
+                self.policy.register_var(var, owner, bytes);
+                self.env.shared.set_copy(proc, var, true);
+                self.proc_clock[proc] += self.env.machine.local_access_ns();
+                self.respond(proc, Response::Handle(var));
+            }
+            Request::Barrier { .. } => {
+                self.barrier_arrivals += 1;
+                let actions = self.barrier.arrive(NodeId(proc as u32));
+                self.apply_barrier_actions(actions, now);
+            }
+            Request::Lock { var, .. } => {
+                let tx = self.env.new_tx(proc, Some(var), TxKind::Lock);
+                self.policy.on_lock(&mut self.env, tx, NodeId(proc as u32), var);
+            }
+            Request::Unlock { var, .. } => {
+                let tx = self.env.new_tx(proc, Some(var), TxKind::Unlock);
+                self.policy.on_unlock(&mut self.env, tx, NodeId(proc as u32), var);
+            }
+            Request::Send {
+                to,
+                bytes,
+                tag,
+                value,
+                ..
+            } => {
+                let d = self.env.network.transmit(
+                    now,
+                    NodeId(proc as u32),
+                    NodeId(to as u32),
+                    bytes,
+                    region,
+                );
+                self.env.events.push(
+                    d.arrival,
+                    Event::MpDeliver {
+                        to,
+                        from: proc,
+                        tag,
+                        value,
+                    },
+                );
+                // Non-blocking send: the sender continues once its send-side
+                // startup is done.
+                self.proc_clock[proc] = d.sender_free;
+                self.respond(proc, Response::Done);
+            }
+            Request::Recv { from, tag, .. } => {
+                let key = (proc, from, tag);
+                if let Some((arrival, value)) = self.mailbox.get_mut(&key).and_then(|q| q.pop_front()) {
+                    self.proc_clock[proc] = now.max(arrival);
+                    self.respond(proc, Response::Value(value));
+                } else {
+                    self.pending_recv.entry(key).or_default().push_back(now);
+                }
+            }
+            Request::Region { name, .. } => {
+                self.switch_region(proc, &name, now);
+                self.respond(proc, Response::Done);
+            }
+            Request::Finish { .. } => {
+                self.flush_region_time(proc, now);
+                self.finished += 1;
+            }
+        }
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::PolicyDeliver { at, msg } => {
+                self.policy.on_message(&mut self.env, at, msg);
+            }
+            Event::BarrierDeliver { msg } => {
+                let actions = self.barrier.on_message(msg);
+                let now = self.env.now;
+                self.apply_barrier_actions(actions, now);
+            }
+            Event::MpDeliver {
+                to,
+                from,
+                tag,
+                value,
+            } => {
+                let key = (to, from, tag);
+                let now = self.env.now;
+                if let Some(issue) = self
+                    .pending_recv
+                    .get_mut(&key)
+                    .and_then(|q| q.pop_front())
+                {
+                    self.proc_clock[to] = issue.max(now);
+                    self.respond(to, Response::Value(value));
+                } else {
+                    self.mailbox.entry(key).or_default().push_back((now, value));
+                }
+            }
+        }
+    }
+
+    fn apply_barrier_actions(&mut self, actions: Vec<BarrierAction>, now: SimTime) {
+        for action in actions {
+            match action {
+                BarrierAction::Send { from, to, msg } => {
+                    let region = self.env.proc_region[from.index()];
+                    let bytes = self.env.machine.control_msg_bytes;
+                    let d = self.env.network.transmit(now, from, to, bytes, region);
+                    self.env
+                        .events
+                        .push(d.arrival, Event::BarrierDeliver { msg });
+                }
+                BarrierAction::Wake { proc } => {
+                    let p = proc.index();
+                    self.proc_clock[p] = self.proc_clock[p].max(now);
+                    self.respond(p, Response::Done);
+                }
+            }
+        }
+    }
+
+    /// Deliver all pending transaction completions to their processors.
+    fn flush_completions(&mut self) {
+        while !self.env.completions.is_empty() {
+            let completions = std::mem::take(&mut self.env.completions);
+            for (tx, at) in completions {
+                let rec = self
+                    .env
+                    .tx_table
+                    .remove(&tx)
+                    .expect("completion of an unknown transaction");
+                let proc = rec.proc;
+                self.proc_clock[proc] = self.proc_clock[proc].max(at);
+                let resp = match rec.kind {
+                    TxKind::Read => {
+                        let var = rec.var.expect("read transaction without a variable");
+                        Response::Value(self.env.shared.value(var))
+                    }
+                    TxKind::Write | TxKind::Lock | TxKind::Unlock => Response::Done,
+                };
+                self.respond(proc, resp);
+            }
+        }
+    }
+
+    fn switch_region(&mut self, proc: usize, name: &str, now: SimTime) {
+        self.flush_region_time(proc, now);
+        let next_id = self.region_names.len() as u16 + 1;
+        let id = *self.region_ids.entry(name.to_string()).or_insert_with(|| {
+            self.region_names.push(name.to_string());
+            RegionId(next_id)
+        });
+        if self.region_wall.len() <= id.0 as usize {
+            self.region_wall.resize(id.0 as usize + 1, vec![0; self.nprocs]);
+            self.region_compute
+                .resize(id.0 as usize + 1, vec![0; self.nprocs]);
+        }
+        self.env.proc_region[proc] = id;
+        self.region_enter[proc] = now;
+    }
+
+    /// Add the time since the processor entered its current region to that
+    /// region's wall-time accumulator.
+    fn flush_region_time(&mut self, proc: usize, now: SimTime) {
+        let region = self.env.proc_region[proc];
+        let elapsed = now.saturating_sub(self.region_enter[proc]);
+        self.region_wall[region.0 as usize][proc] += elapsed;
+        self.region_enter[proc] = now;
+    }
+
+    fn report_deadlock(&self) -> ! {
+        let waiting_recvs: usize = self.pending_recv.values().map(|q| q.len()).sum();
+        let open_txs = self.env.tx_table.len();
+        panic!(
+            "simulation deadlock: {} of {} processors finished, {} open transactions, \
+             {} processors waiting in recv(), no pending events — the application is \
+             most likely missing a matching send/recv, barrier or unlock",
+            self.finished, self.nprocs, open_txs, waiting_recvs
+        );
+    }
+
+    fn build_report(mut self) -> RunReport {
+        let proc_max = self.proc_clock.iter().copied().max().unwrap_or(0);
+        let total_time = proc_max.max(self.last_event_time);
+        let compute_time = self.proc_compute.iter().copied().max().unwrap_or(0);
+        // Close the current region of every processor at its final clock so
+        // per-region wall times are complete even without explicit region
+        // switches before finishing.
+        let mut regions = BTreeMap::new();
+        for (i, name) in self.region_names.iter().enumerate() {
+            let id = RegionId(i as u16 + 1);
+            let stats = self.env.network.region_stats(id);
+            let wall = self.region_wall[id.0 as usize].iter().copied().max().unwrap_or(0);
+            let compute = self.region_compute[id.0 as usize]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            regions.insert(
+                name.clone(),
+                RegionReport {
+                    wall_time: wall,
+                    compute_time: compute,
+                    congestion_msgs: stats.congestion_msgs(),
+                    congestion_bytes: stats.congestion_bytes(),
+                    total_msgs: stats.total_msgs(),
+                    total_bytes: stats.total_bytes(),
+                },
+            );
+        }
+        let barriers = if self.nprocs > 0 {
+            self.barrier_arrivals / self.nprocs as u64
+        } else {
+            0
+        };
+        RunReport::new(
+            std::mem::take(&mut self.strategy_name),
+            total_time,
+            self.env.network.stats().clone(),
+            self.env.counters,
+            regions,
+            self.env.network.messages_sent(),
+            self.env.network.bytes_sent(),
+            compute_time,
+            barriers,
+        )
+    }
+}

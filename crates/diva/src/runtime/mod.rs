@@ -1,0 +1,275 @@
+//! The DIVA runtime: configuration, variable pre-allocation and program
+//! execution.
+
+mod coordinator;
+mod proc_ctx;
+mod shared;
+
+pub use proc_ctx::ProcCtx;
+
+use crate::barrier::TreeBarrier;
+use crate::embedding::EmbeddingMode;
+use crate::policy::access_tree::AccessTreePolicy;
+use crate::policy::fixed_home::FixedHomePolicy;
+use crate::policy::Policy;
+use crate::report::RunReport;
+use crate::var::{Value, VarHandle, VarRegistry};
+use coordinator::Coordinator;
+use dm_engine::MachineConfig;
+use dm_mesh::{Mesh, NodeId, TreeShape};
+use shared::SharedState;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Which data-management strategy a [`Diva`] instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// The access-tree strategy with trees of the given shape (2-ary, 4-ary,
+    /// 16-ary, ℓ-k-ary).
+    AccessTree(TreeShape),
+    /// The fixed-home / ownership baseline.
+    FixedHome,
+}
+
+impl StrategyKind {
+    /// Short human-readable name of the strategy.
+    pub fn name(&self) -> String {
+        match self {
+            StrategyKind::AccessTree(shape) => format!("{} access tree", shape.name()),
+            StrategyKind::FixedHome => "fixed home".to_string(),
+        }
+    }
+}
+
+/// Configuration of a DIVA instance.
+#[derive(Debug, Clone)]
+pub struct DivaConfig {
+    /// The mesh of processors.
+    pub mesh: Mesh,
+    /// Hardware parameters of the simulated machine.
+    pub machine: MachineConfig,
+    /// The data-management strategy.
+    pub strategy: StrategyKind,
+    /// How access trees are embedded into the mesh.
+    pub embedding: EmbeddingMode,
+    /// Seed for all randomized placement decisions (homes, tree roots).
+    pub seed: u64,
+    /// Whether reads that hit a local copy bypass the coordinator (fast path).
+    /// Disable for exact bookkeeping experiments.
+    pub fast_path: bool,
+    /// Shape of the combining tree used for barrier synchronisation.
+    pub barrier_shape: TreeShape,
+}
+
+impl DivaConfig {
+    /// A configuration with the defaults used throughout the paper's
+    /// experiments: GCel machine parameters, the modified embedding, a 4-ary
+    /// barrier tree and the fast path enabled.
+    pub fn new(mesh: Mesh, strategy: StrategyKind) -> Self {
+        DivaConfig {
+            mesh,
+            machine: MachineConfig::parsytec_gcel(),
+            strategy,
+            embedding: EmbeddingMode::Modified,
+            seed: 0x19990604, // SPAA'99
+            fast_path: true,
+            barrier_shape: TreeShape::quad(),
+        }
+    }
+
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the machine parameters.
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+}
+
+/// The result of running a program on a [`Diva`] instance.
+pub struct RunOutcome<R> {
+    /// Timing, congestion and protocol statistics of the run.
+    pub report: RunReport,
+    /// The per-processor return values of the program closure, indexed by
+    /// processor id.
+    pub results: Vec<R>,
+}
+
+/// A DIVA instance: a simulated mesh machine with a data-management strategy,
+/// ready to allocate global variables and run a program on every processor.
+///
+/// ```
+/// use dm_diva::{Diva, DivaConfig, StrategyKind};
+/// use dm_mesh::{Mesh, TreeShape};
+///
+/// let mut diva = Diva::new(DivaConfig::new(
+///     Mesh::square(4),
+///     StrategyKind::AccessTree(TreeShape::quad()),
+/// ));
+/// let counter = diva.alloc(0, 8, 0u64);
+/// let outcome = diva.run(|ctx| {
+///     // every processor reads the shared counter once
+///     let v = ctx.read::<u64>(counter);
+///     ctx.barrier();
+///     *v
+/// });
+/// assert!(outcome.results.iter().all(|&v| v == 0));
+/// assert!(outcome.report.total_time > 0);
+/// ```
+pub struct Diva {
+    cfg: DivaConfig,
+    registry: VarRegistry,
+    values: Vec<Value>,
+    policy: Box<dyn Policy>,
+}
+
+impl Diva {
+    /// Create a DIVA instance from a configuration.
+    pub fn new(cfg: DivaConfig) -> Self {
+        let policy: Box<dyn Policy> = match cfg.strategy {
+            StrategyKind::AccessTree(shape) => Box::new(AccessTreePolicy::new(
+                &cfg.mesh,
+                shape,
+                cfg.embedding,
+                cfg.seed,
+            )),
+            StrategyKind::FixedHome => Box::new(FixedHomePolicy::new(&cfg.mesh, cfg.seed)),
+        };
+        Diva {
+            cfg,
+            registry: VarRegistry::new(),
+            values: Vec::new(),
+            policy,
+        }
+    }
+
+    /// The configuration of this instance.
+    pub fn config(&self) -> &DivaConfig {
+        &self.cfg
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.cfg.mesh.nodes()
+    }
+
+    /// Allocate a global variable of `bytes` bytes before the run. Its only
+    /// copy initially resides at processor `owner` (as in the paper's matrix
+    /// experiments, where block `A[i][j]` starts out cached at processor
+    /// `p_{i,j}`).
+    pub fn alloc<T: Any + Send + Sync>(&mut self, owner: usize, bytes: u32, value: T) -> VarHandle {
+        self.alloc_value(owner, bytes, Arc::new(value))
+    }
+
+    /// Allocate a global variable holding a dynamically typed value.
+    pub fn alloc_value(&mut self, owner: usize, bytes: u32, value: Value) -> VarHandle {
+        assert!(owner < self.num_procs(), "owner processor {owner} does not exist");
+        let var = self.registry.register(bytes, NodeId(owner as u32));
+        self.values.push(value);
+        self.policy.register_var(var, NodeId(owner as u32), bytes);
+        var
+    }
+
+    /// Run `program` on every simulated processor and return the per-processor
+    /// results together with the run report.
+    ///
+    /// The closure is invoked once per processor (with a [`ProcCtx`] whose
+    /// `proc_id()` identifies the processor) on its own OS thread; the
+    /// coordinator thread serialises their blocking operations
+    /// deterministically and advances virtual time.
+    pub fn run<F, R>(self, program: F) -> RunOutcome<R>
+    where
+        F: Fn(&mut ProcCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        let Diva {
+            cfg,
+            registry,
+            values,
+            policy,
+        } = self;
+        let nprocs = cfg.mesh.nodes();
+        let shared = Arc::new(SharedState::new(
+            nprocs,
+            cfg.fast_path,
+            cfg.machine.local_access_ns(),
+        ));
+        {
+            let mut store = shared.values.write().expect("values lock poisoned");
+            *store = values;
+        }
+        for idx in 0..registry.len() {
+            let var = VarHandle(idx as u32);
+            let owner = registry.info(var).owner;
+            shared.set_copy(owner.index(), var, true);
+        }
+
+        let (req_tx, req_rx) = mpsc::channel();
+        let mut resp_senders = Vec::with_capacity(nprocs);
+        let mut ctxs = Vec::with_capacity(nprocs);
+        for proc in 0..nprocs {
+            let (tx, rx) = mpsc::channel();
+            resp_senders.push(tx);
+            ctxs.push(ProcCtx {
+                proc,
+                nprocs,
+                mesh_dims: (cfg.mesh.rows(), cfg.mesh.cols()),
+                shared: Arc::clone(&shared),
+                req_tx: req_tx.clone(),
+                resp_rx: rx,
+                machine: cfg.machine,
+                pending_compute_ns: 0,
+                pending_overhead_ns: 0,
+                pending_hits: 0,
+                finished: false,
+            });
+        }
+        drop(req_tx);
+
+        let barrier = TreeBarrier::new(&cfg.mesh, cfg.barrier_shape);
+        let coordinator = Coordinator::new(
+            cfg.mesh.clone(),
+            cfg.machine,
+            barrier,
+            policy,
+            registry,
+            Arc::clone(&shared),
+            req_rx,
+            resp_senders,
+        );
+
+        let program = &program;
+        std::thread::scope(move |scope| {
+            let handles: Vec<_> = ctxs
+                .into_iter()
+                .map(|mut ctx| {
+                    scope.spawn(move || {
+                        let result = catch_unwind(AssertUnwindSafe(|| program(&mut ctx)));
+                        // Always tell the coordinator we are done, even when the
+                        // program panicked, so the simulation can unwind cleanly.
+                        ctx.finish();
+                        match result {
+                            Ok(r) => r,
+                            Err(e) => resume_unwind(e),
+                        }
+                    })
+                })
+                .collect();
+            let report = coordinator.run();
+            let results = handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => resume_unwind(e),
+                })
+                .collect();
+            RunOutcome { report, results }
+        })
+    }
+}

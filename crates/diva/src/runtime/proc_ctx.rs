@@ -1,0 +1,238 @@
+//! The per-processor handle through which application code accesses DIVA.
+
+use super::shared::{Request, Response, SharedState, TimedRequest};
+use crate::policy::AccessKind;
+use crate::var::{Value, VarHandle};
+use dm_engine::{us_to_ns, MachineConfig};
+use std::any::Any;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// The interface a simulated processor uses to access global variables,
+/// synchronise, and (for the hand-optimized baselines) exchange explicit
+/// messages.
+///
+/// One `ProcCtx` is handed to the program closure of every simulated
+/// processor by [`Diva::run`](crate::Diva::run). All methods account virtual
+/// time: local cache hits and `compute()` calls accumulate locally and are
+/// charged at the next blocking operation; everything else blocks the
+/// simulated processor until the simulated operation completes.
+pub struct ProcCtx {
+    pub(crate) proc: usize,
+    pub(crate) nprocs: usize,
+    pub(crate) mesh_dims: (usize, usize),
+    pub(crate) shared: Arc<SharedState>,
+    pub(crate) req_tx: Sender<TimedRequest>,
+    pub(crate) resp_rx: Receiver<Response>,
+    pub(crate) machine: MachineConfig,
+    pub(crate) pending_compute_ns: u64,
+    pub(crate) pending_overhead_ns: u64,
+    pub(crate) pending_hits: u64,
+    pub(crate) finished: bool,
+}
+
+impl ProcCtx {
+    /// The id of this simulated processor (row-major mesh numbering).
+    pub fn proc_id(&self) -> usize {
+        self.proc
+    }
+
+    /// Total number of simulated processors.
+    pub fn num_procs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Mesh dimensions `(rows, cols)`.
+    pub fn mesh_dims(&self) -> (usize, usize) {
+        self.mesh_dims
+    }
+
+    /// The machine parameters of the simulated platform.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Read a global variable, returning a shared handle to its current value.
+    ///
+    /// # Panics
+    /// Panics if the stored value is not of type `T`.
+    pub fn read<T: Any + Send + Sync>(&mut self, var: VarHandle) -> Arc<T> {
+        let value = self.read_value(var);
+        value
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("variable {var} does not hold a value of the requested type"))
+    }
+
+    /// Read a global variable as a dynamically typed value.
+    pub fn read_value(&mut self, var: VarHandle) -> Value {
+        if self.shared.fast_path && self.shared.has_copy(self.proc, var) {
+            self.pending_overhead_ns += self.shared.local_access_ns;
+            self.pending_hits += 1;
+            return self.shared.value(var);
+        }
+        let resp = self.request(Request::Access {
+            proc: self.proc,
+            var,
+            kind: AccessKind::Read,
+            value: None,
+        });
+        match resp {
+            Response::Value(v) => v,
+            other => panic!("unexpected response to read: {other:?}"),
+        }
+    }
+
+    /// Write a new value into a global variable.
+    pub fn write<T: Any + Send + Sync>(&mut self, var: VarHandle, value: T) {
+        self.write_value(var, Arc::new(value));
+    }
+
+    /// Write a dynamically typed value into a global variable.
+    pub fn write_value(&mut self, var: VarHandle, value: Value) {
+        let resp = self.request(Request::Access {
+            proc: self.proc,
+            var,
+            kind: AccessKind::Write,
+            value: Some(value),
+        });
+        debug_assert!(matches!(resp, Response::Done));
+    }
+
+    /// Allocate a new global variable of `bytes` bytes whose only copy
+    /// initially resides at this processor.
+    pub fn alloc<T: Any + Send + Sync>(&mut self, bytes: u32, value: T) -> VarHandle {
+        self.alloc_value(bytes, Arc::new(value))
+    }
+
+    /// Allocate a new global variable holding a dynamically typed value.
+    pub fn alloc_value(&mut self, bytes: u32, value: Value) -> VarHandle {
+        let resp = self.request(Request::Alloc {
+            proc: self.proc,
+            bytes,
+            value,
+        });
+        match resp {
+            Response::Handle(h) => h,
+            other => panic!("unexpected response to alloc: {other:?}"),
+        }
+    }
+
+    /// Wait until every processor has reached the barrier.
+    pub fn barrier(&mut self) {
+        let resp = self.request(Request::Barrier { proc: self.proc });
+        debug_assert!(matches!(resp, Response::Done));
+    }
+
+    /// Acquire the lock attached to `var` (blocking, FIFO).
+    pub fn lock(&mut self, var: VarHandle) {
+        let resp = self.request(Request::Lock { proc: self.proc, var });
+        debug_assert!(matches!(resp, Response::Done));
+    }
+
+    /// Release the lock attached to `var`.
+    pub fn unlock(&mut self, var: VarHandle) {
+        let resp = self.request(Request::Unlock { proc: self.proc, var });
+        debug_assert!(matches!(resp, Response::Done));
+    }
+
+    /// Account `us` microseconds of local computation.
+    pub fn compute(&mut self, us: f64) {
+        debug_assert!(us >= 0.0);
+        self.pending_compute_ns += us_to_ns(us);
+    }
+
+    /// Account the modelled time of `n` integer operations.
+    pub fn compute_int_ops(&mut self, n: u64) {
+        self.pending_compute_ns += self.machine.int_ops_ns(n);
+    }
+
+    /// Account the modelled time of `n` floating-point operations.
+    pub fn compute_flops(&mut self, n: u64) {
+        self.pending_compute_ns += self.machine.flops_ns(n);
+    }
+
+    /// Send an explicit message of `bytes` bytes carrying `value` to
+    /// processor `to` (non-blocking; used by the hand-optimized baselines).
+    pub fn send_msg<T: Any + Send + Sync>(&mut self, to: usize, bytes: u32, tag: u64, value: T) {
+        self.send_msg_value(to, bytes, tag, Arc::new(value));
+    }
+
+    /// Send an explicit, dynamically typed message.
+    pub fn send_msg_value(&mut self, to: usize, bytes: u32, tag: u64, value: Value) {
+        assert!(to < self.nprocs, "send to non-existent processor {to}");
+        let resp = self.request(Request::Send {
+            proc: self.proc,
+            to,
+            bytes,
+            tag,
+            value,
+        });
+        debug_assert!(matches!(resp, Response::Done));
+    }
+
+    /// Receive the next explicit message with tag `tag` from processor `from`
+    /// (blocking).
+    pub fn recv_msg<T: Any + Send + Sync>(&mut self, from: usize, tag: u64) -> Arc<T> {
+        self.recv_msg_value(from, tag)
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("message from {from} (tag {tag}) has an unexpected type"))
+    }
+
+    /// Receive the next explicit message as a dynamically typed value.
+    pub fn recv_msg_value(&mut self, from: usize, tag: u64) -> Value {
+        assert!(from < self.nprocs, "receive from non-existent processor {from}");
+        let resp = self.request(Request::Recv {
+            proc: self.proc,
+            from,
+            tag,
+        });
+        match resp {
+            Response::Value(v) => v,
+            other => panic!("unexpected response to recv: {other:?}"),
+        }
+    }
+
+    /// Enter the named measurement region; subsequent traffic and time of this
+    /// processor is attributed to it (until the next `region` call).
+    pub fn region(&mut self, name: &str) {
+        let resp = self.request(Request::Region {
+            proc: self.proc,
+            name: name.to_string(),
+        });
+        debug_assert!(matches!(resp, Response::Done));
+    }
+
+    /// Send a blocking request to the coordinator and wait for its response.
+    fn request(&mut self, req: Request) -> Response {
+        let timed = TimedRequest {
+            req,
+            compute_ns: std::mem::take(&mut self.pending_compute_ns),
+            overhead_ns: std::mem::take(&mut self.pending_overhead_ns),
+            hits: std::mem::take(&mut self.pending_hits),
+        };
+        self.req_tx
+            .send(timed)
+            .expect("coordinator terminated before the program finished");
+        self.resp_rx
+            .recv()
+            .expect("coordinator terminated before responding")
+    }
+
+    /// Notify the coordinator that this processor's program has finished.
+    /// Called automatically by the runtime; idempotent.
+    pub(crate) fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let timed = TimedRequest {
+            req: Request::Finish { proc: self.proc },
+            compute_ns: std::mem::take(&mut self.pending_compute_ns),
+            overhead_ns: std::mem::take(&mut self.pending_overhead_ns),
+            hits: std::mem::take(&mut self.pending_hits),
+        };
+        // The coordinator may already be gone if another worker panicked; the
+        // error is ignored so the original panic propagates cleanly.
+        let _ = self.req_tx.send(timed);
+    }
+}

@@ -1,0 +1,145 @@
+//! State shared between the worker threads and the coordinator, and the
+//! request/response protocol between them.
+
+use crate::policy::AccessKind;
+use crate::var::{Value, VarHandle};
+use std::collections::HashSet;
+use std::sync::{Mutex, RwLock};
+
+/// State shared (read-mostly) between all simulated processors and the
+/// coordinator.
+///
+/// The coordinator only mutates this state while every worker thread is
+/// blocked waiting for a response, so workers never observe torn updates; the
+/// locks exist to satisfy the compiler and are effectively uncontended.
+pub(crate) struct SharedState {
+    /// Current value of every global variable, indexed by `VarHandle`.
+    pub values: RwLock<Vec<Value>>,
+    /// Per-processor set of variables with a valid local copy (the read fast
+    /// path).
+    pub presence: Vec<Mutex<HashSet<u32>>>,
+    /// Whether the read fast path is enabled.
+    pub fast_path: bool,
+    /// Cost of a local cache hit, in nanoseconds.
+    pub local_access_ns: u64,
+}
+
+impl SharedState {
+    pub(crate) fn new(nprocs: usize, fast_path: bool, local_access_ns: u64) -> Self {
+        SharedState {
+            values: RwLock::new(Vec::new()),
+            presence: (0..nprocs).map(|_| Mutex::new(HashSet::new())).collect(),
+            fast_path,
+            local_access_ns,
+        }
+    }
+
+    /// Whether processor `proc` holds a valid copy of `var`.
+    pub(crate) fn has_copy(&self, proc: usize, var: VarHandle) -> bool {
+        self.presence[proc].lock().expect("presence lock poisoned").contains(&var.0)
+    }
+
+    /// Update the presence bit of (`proc`, `var`).
+    pub(crate) fn set_copy(&self, proc: usize, var: VarHandle, present: bool) {
+        let mut set = self.presence[proc].lock().expect("presence lock poisoned");
+        if present {
+            set.insert(var.0);
+        } else {
+            set.remove(&var.0);
+        }
+    }
+
+    /// Current value of `var`.
+    pub(crate) fn value(&self, var: VarHandle) -> Value {
+        self.values.read().expect("values lock poisoned")[var.index()].clone()
+    }
+
+    /// Overwrite the value of `var`.
+    pub(crate) fn set_value(&self, var: VarHandle, value: Value) {
+        self.values.write().expect("values lock poisoned")[var.index()] = value;
+    }
+
+    /// Append the value of a newly allocated variable (its handle must equal
+    /// the current length).
+    pub(crate) fn push_value(&self, value: Value) -> usize {
+        let mut values = self.values.write().expect("values lock poisoned");
+        values.push(value);
+        values.len() - 1
+    }
+}
+
+/// A blocking operation issued by a worker thread.
+#[derive(Debug)]
+pub(crate) enum Request {
+    /// Read or write a global variable (the read fast path was not taken).
+    Access {
+        proc: usize,
+        var: VarHandle,
+        kind: AccessKind,
+        /// New value for writes.
+        value: Option<Value>,
+    },
+    /// Allocate a new global variable owned by `proc`.
+    Alloc { proc: usize, bytes: u32, value: Value },
+    /// Barrier synchronisation.
+    Barrier { proc: usize },
+    /// Acquire the lock attached to `var`.
+    Lock { proc: usize, var: VarHandle },
+    /// Release the lock attached to `var`.
+    Unlock { proc: usize, var: VarHandle },
+    /// Explicit message-passing send (non-blocking).
+    Send {
+        proc: usize,
+        to: usize,
+        bytes: u32,
+        tag: u64,
+        value: Value,
+    },
+    /// Explicit message-passing receive (blocks until a matching send arrives).
+    Recv { proc: usize, from: usize, tag: u64 },
+    /// Enter a named measurement region.
+    Region { proc: usize, name: String },
+    /// The worker's program returned.
+    Finish { proc: usize },
+}
+
+impl Request {
+    /// The processor that issued the request.
+    pub(crate) fn proc(&self) -> usize {
+        match self {
+            Request::Access { proc, .. }
+            | Request::Alloc { proc, .. }
+            | Request::Barrier { proc }
+            | Request::Lock { proc, .. }
+            | Request::Unlock { proc, .. }
+            | Request::Send { proc, .. }
+            | Request::Recv { proc, .. }
+            | Request::Region { proc, .. }
+            | Request::Finish { proc } => *proc,
+        }
+    }
+}
+
+/// A request together with the locally accumulated time since the worker's
+/// previous blocking operation.
+#[derive(Debug)]
+pub(crate) struct TimedRequest {
+    pub req: Request,
+    /// Modelled computation time accumulated via `compute()`, in ns.
+    pub compute_ns: u64,
+    /// Library overhead accumulated by fast-path hits, in ns.
+    pub overhead_ns: u64,
+    /// Number of fast-path read hits since the previous blocking operation.
+    pub hits: u64,
+}
+
+/// The coordinator's answer to a blocking operation.
+#[derive(Debug)]
+pub(crate) enum Response {
+    /// The value of a read or receive.
+    Value(Value),
+    /// The handle of a newly allocated variable.
+    Handle(VarHandle),
+    /// Completion of an operation without a payload.
+    Done,
+}

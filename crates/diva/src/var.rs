@@ -1,0 +1,107 @@
+//! Global variables (shared data objects) and their registry.
+
+use dm_mesh::NodeId;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::sync::Arc;
+
+/// Handle to a DIVA global variable.
+///
+/// A global variable is a shared data object that every processor can read
+/// and write through [`crate::ProcCtx`]. Handles are plain `u32` indices and
+/// can therefore be stored inside other global variables (this is how the
+/// Barnes-Hut application builds its shared tree "with pointers", as the
+/// paper describes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarHandle(pub u32);
+
+impl VarHandle {
+    /// The handle as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VarHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "var{}", self.0)
+    }
+}
+
+/// The dynamically typed value of a global variable.
+///
+/// Values live in one logical store (the simulator does not physically
+/// replicate payloads — only the *accounting* of copies is distributed), so
+/// they are shared as `Arc<dyn Any>` and downcast by the typed accessors of
+/// [`crate::ProcCtx`].
+pub type Value = Arc<dyn Any + Send + Sync>;
+
+/// Static metadata of a global variable.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// Size of the object in bytes; determines the size of every data message
+    /// that carries the variable.
+    pub bytes: u32,
+    /// Processor that created the variable and initially holds its only copy.
+    pub owner: NodeId,
+}
+
+/// Registry of all global variables of a run.
+#[derive(Debug, Default)]
+pub struct VarRegistry {
+    vars: Vec<VarInfo>,
+}
+
+impl VarRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new variable and return its handle.
+    pub fn register(&mut self, bytes: u32, owner: NodeId) -> VarHandle {
+        let h = VarHandle(self.vars.len() as u32);
+        self.vars.push(VarInfo { bytes, owner });
+        h
+    }
+
+    /// Metadata of a variable.
+    pub fn info(&self, var: VarHandle) -> &VarInfo {
+        &self.vars[var.index()]
+    }
+
+    /// Size of a variable in bytes.
+    pub fn bytes(&self, var: VarHandle) -> u32 {
+        self.vars[var.index()].bytes
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variable has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_sequential_handles() {
+        let mut r = VarRegistry::new();
+        assert!(r.is_empty());
+        let a = r.register(100, NodeId(0));
+        let b = r.register(200, NodeId(3));
+        assert_eq!(a, VarHandle(0));
+        assert_eq!(b, VarHandle(1));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.bytes(a), 100);
+        assert_eq!(r.info(b).owner, NodeId(3));
+        assert_eq!(a.to_string(), "var0");
+    }
+}

@@ -1,0 +1,350 @@
+//! Timing and accounting model of the mesh interconnect.
+
+use crate::config::MachineConfig;
+use crate::time::SimTime;
+use dm_mesh::{LinkStats, Mesh, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A measurement region messages can be attributed to (e.g. the Barnes-Hut
+/// "tree build" or "force computation" phase). Region 0 is the implicit
+/// whole-run region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u16);
+
+/// The implicit region covering the whole run.
+pub const GLOBAL_REGION: RegionId = RegionId(0);
+
+/// Result of scheduling a message on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Virtual time at which the receiving processor has fully received the
+    /// message and finished its receive-side startup processing.
+    pub arrival: SimTime,
+    /// Virtual time at which the sending processor has finished its send-side
+    /// startup processing and is free to continue.
+    pub sender_free: SimTime,
+    /// Number of links the message crossed.
+    pub hops: usize,
+}
+
+/// The mesh interconnect: per-link bandwidth occupancy, per-node
+/// communication-port occupancy, and traffic statistics.
+///
+/// ## Timing model
+///
+/// The GCel uses wormhole routing along dimension-order paths. We model a
+/// message of `b` bytes from `u` to `v` as follows:
+///
+/// 1. The sender's communication port is occupied for `startup_send` starting
+///    no earlier than the issue time and no earlier than the port being free
+///    (per-node serialisation of sends — this is what makes a single "home"
+///    node distributing many copies a bottleneck).
+/// 2. The message head then advances hop by hop along the dimension-order
+///    path. On each link it waits until the link is free, then occupies the
+///    link for `b / bandwidth`; the head moves on after `per_hop_latency`
+///    while the body streams behind it (virtual cut-through approximation of
+///    wormhole routing; upstream blocking of stalled worms is not modelled).
+/// 3. At the destination the message occupies the receiver's communication
+///    port for `startup_recv`; the returned arrival time is when that
+///    processing has finished.
+///
+/// Messages between co-located endpoints cost `local_msg` and touch no link.
+///
+/// Every link crossing adds the message size to the link's byte counter and
+/// one to its message counter, both globally and for the currently attributed
+/// [`RegionId`]. Congestion — the paper's key metric — is the maximum counter
+/// over all links.
+pub struct LinkNetwork {
+    mesh: Mesh,
+    cfg: MachineConfig,
+    /// Time at which each directed link becomes free.
+    link_free: Vec<SimTime>,
+    /// Time at which each node's communication port becomes free.
+    port_free: Vec<SimTime>,
+    /// Whole-run traffic statistics.
+    global: LinkStats,
+    /// Per-region traffic statistics (index = RegionId.0), lazily grown.
+    regions: Vec<LinkStats>,
+    /// Total number of messages scheduled (including local ones).
+    messages_sent: u64,
+    /// Total number of bytes handed to the network (including local messages).
+    bytes_sent: u64,
+}
+
+impl LinkNetwork {
+    /// Create an idle network for `mesh` with hardware parameters `cfg`.
+    pub fn new(mesh: Mesh, cfg: MachineConfig) -> Self {
+        let links = mesh.link_slots();
+        let nodes = mesh.nodes();
+        let global = LinkStats::new(&mesh);
+        LinkNetwork {
+            mesh,
+            cfg,
+            link_free: vec![0; links],
+            port_free: vec![0; nodes],
+            global,
+            regions: Vec::new(),
+            messages_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// The mesh this network connects.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The machine parameters.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Schedule a message of `bytes` bytes from `from` to `to`, issued at
+    /// virtual time `now`, attributed to `region`.
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u32,
+        region: RegionId,
+    ) -> Delivery {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        if from == to {
+            // Co-located endpoints: library-internal hand-off, no link crossed.
+            let done = now + self.cfg.local_msg_ns();
+            return Delivery {
+                arrival: done,
+                sender_free: done,
+                hops: 0,
+            };
+        }
+
+        // 1. Sender startup (serialised on the sender's communication port).
+        let send_start = now.max(self.port_free[from.index()]);
+        let sender_free = send_start + self.cfg.startup_send_ns();
+        self.port_free[from.index()] = sender_free;
+
+        // 2. Hop-by-hop head propagation with per-link bandwidth occupancy.
+        let transfer = self.cfg.transfer_ns(bytes);
+        let hop_latency = self.cfg.hop_latency_ns();
+        let mut head_ready = sender_free;
+        let mut hops = 0usize;
+        let mut links = Vec::new();
+        self.mesh.for_each_route_link(from, to, |l| links.push(l));
+        for l in &links {
+            let idx = l.index();
+            let depart = head_ready.max(self.link_free[idx]);
+            self.link_free[idx] = depart + transfer;
+            head_ready = depart + hop_latency;
+            hops += 1;
+            self.global.record(*l, bytes as u64);
+            if region != GLOBAL_REGION {
+                self.region_stats_mut(region).record(*l, bytes as u64);
+            }
+        }
+        // The tail arrives one full transfer after the head departed the last
+        // link's queueing point.
+        let last_link_free = links
+            .last()
+            .map(|l| self.link_free[l.index()])
+            .unwrap_or(head_ready);
+        let body_arrived = last_link_free.max(head_ready);
+
+        // 3. Receiver startup (serialised on the receiver's port).
+        let recv_start = body_arrived.max(self.port_free[to.index()]);
+        let arrival = recv_start + self.cfg.startup_recv_ns();
+        self.port_free[to.index()] = arrival;
+
+        Delivery {
+            arrival,
+            sender_free,
+            hops,
+        }
+    }
+
+    /// Occupy the communication port of `node` starting at `now` for `dur`
+    /// nanoseconds (used for protocol processing at intermediate nodes that is
+    /// not already covered by a send or receive startup).
+    pub fn occupy_port(&mut self, now: SimTime, node: NodeId, dur: SimTime) -> SimTime {
+        let start = now.max(self.port_free[node.index()]);
+        let end = start + dur;
+        self.port_free[node.index()] = end;
+        end
+    }
+
+    fn region_stats_mut(&mut self, region: RegionId) -> &mut LinkStats {
+        let idx = region.0 as usize;
+        while self.regions.len() <= idx {
+            self.regions.push(LinkStats::new(&self.mesh));
+        }
+        &mut self.regions[idx]
+    }
+
+    /// Whole-run traffic statistics.
+    pub fn stats(&self) -> &LinkStats {
+        &self.global
+    }
+
+    /// Traffic statistics of a region (zeroed stats if the region never saw
+    /// traffic). Region 0 returns the whole-run statistics.
+    pub fn region_stats(&self, region: RegionId) -> LinkStats {
+        if region == GLOBAL_REGION {
+            return self.global.clone();
+        }
+        self.regions
+            .get(region.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| LinkStats::new(&self.mesh))
+    }
+
+    /// Number of messages handed to the network (including local ones).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Number of bytes handed to the network (including local messages).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(side: usize, cfg: MachineConfig) -> LinkNetwork {
+        LinkNetwork::new(Mesh::square(side), cfg)
+    }
+
+    #[test]
+    fn local_message_touches_no_link() {
+        let mut n = net(4, MachineConfig::parsytec_gcel());
+        let a = n.mesh().node_at(1, 1);
+        let d = n.transmit(0, a, a, 1000, GLOBAL_REGION);
+        assert_eq!(d.hops, 0);
+        assert_eq!(n.stats().total_bytes(), 0);
+        assert_eq!(d.arrival, n.config().local_msg_ns());
+    }
+
+    #[test]
+    fn single_hop_timing_without_contention() {
+        let cfg = MachineConfig::parsytec_gcel();
+        let mut n = net(4, cfg);
+        let a = n.mesh().node_at(0, 0);
+        let b = n.mesh().node_at(0, 1);
+        let d = n.transmit(0, a, b, 1000, GLOBAL_REGION);
+        assert_eq!(d.hops, 1);
+        // send startup + max(transfer, hop latency) + recv startup
+        let expected =
+            cfg.startup_send_ns() + cfg.transfer_ns(1000).max(cfg.hop_latency_ns()) + cfg.startup_recv_ns();
+        assert_eq!(d.arrival, expected);
+        assert_eq!(d.sender_free, cfg.startup_send_ns());
+    }
+
+    #[test]
+    fn multi_hop_route_records_every_link() {
+        let mut n = net(8, MachineConfig::bandwidth_only());
+        let a = n.mesh().node_at(7, 0);
+        let b = n.mesh().node_at(0, 7);
+        let d = n.transmit(0, a, b, 500, GLOBAL_REGION);
+        assert_eq!(d.hops, 14);
+        assert_eq!(n.stats().total_msgs(), 14);
+        assert_eq!(n.stats().total_bytes(), 14 * 500);
+        assert_eq!(n.stats().congestion_bytes(), 500);
+    }
+
+    #[test]
+    fn contention_on_a_shared_link_serialises_transfers() {
+        // Two messages that share their first link: the second must wait for
+        // the first to clear the link.
+        let cfg = MachineConfig::bandwidth_only();
+        let mut n = net(4, cfg);
+        let a = n.mesh().node_at(0, 0);
+        let b = n.mesh().node_at(0, 3);
+        let d1 = n.transmit(0, a, b, 1000, GLOBAL_REGION);
+        let d2 = n.transmit(0, a, b, 1000, GLOBAL_REGION);
+        assert!(d2.arrival >= d1.arrival + cfg.transfer_ns(1000) - 1);
+        // Congestion on the shared links is 2 messages / 2000 bytes.
+        assert_eq!(n.stats().congestion_msgs(), 2);
+        assert_eq!(n.stats().congestion_bytes(), 2000);
+    }
+
+    #[test]
+    fn sender_port_serialises_successive_sends() {
+        // A node sending k messages pays k startup costs back to back — the
+        // fixed-home bottleneck the paper describes.
+        let cfg = MachineConfig::parsytec_gcel();
+        let mut n = net(4, cfg);
+        let home = n.mesh().node_at(0, 0);
+        let mut last_sender_free = 0;
+        for i in 0..5u32 {
+            let dst = n.mesh().node_at(1 + (i as usize % 3), 1);
+            let d = n.transmit(0, home, dst, 64, GLOBAL_REGION);
+            assert!(d.sender_free >= last_sender_free + cfg.startup_send_ns());
+            last_sender_free = d.sender_free;
+        }
+        assert_eq!(last_sender_free, 5 * cfg.startup_send_ns());
+    }
+
+    #[test]
+    fn receiver_port_serialises_concurrent_arrivals() {
+        let cfg = MachineConfig::parsytec_gcel();
+        let mut n = net(4, cfg);
+        let dst = n.mesh().node_at(2, 2);
+        let s1 = n.mesh().node_at(2, 0);
+        let s2 = n.mesh().node_at(0, 2);
+        let d1 = n.transmit(0, s1, dst, 64, GLOBAL_REGION);
+        let d2 = n.transmit(0, s2, dst, 64, GLOBAL_REGION);
+        // Different paths, but the receive startups cannot overlap.
+        assert!(d2.arrival >= d1.arrival.min(d2.arrival) + cfg.startup_recv_ns());
+    }
+
+    #[test]
+    fn region_attribution() {
+        let mut n = net(4, MachineConfig::bandwidth_only());
+        let a = n.mesh().node_at(0, 0);
+        let b = n.mesh().node_at(0, 2);
+        n.transmit(0, a, b, 100, RegionId(1));
+        n.transmit(0, a, b, 100, RegionId(2));
+        n.transmit(0, a, b, 100, RegionId(2));
+        assert_eq!(n.region_stats(RegionId(1)).total_msgs(), 2);
+        assert_eq!(n.region_stats(RegionId(2)).total_msgs(), 4);
+        assert_eq!(n.region_stats(RegionId(3)).total_msgs(), 0);
+        // Global stats see everything.
+        assert_eq!(n.stats().total_msgs(), 6);
+        assert_eq!(n.region_stats(GLOBAL_REGION).total_msgs(), 6);
+    }
+
+    #[test]
+    fn occupy_port_advances_port_time() {
+        let mut n = net(2, MachineConfig::parsytec_gcel());
+        let a = n.mesh().node_at(0, 0);
+        let end1 = n.occupy_port(100, a, 50);
+        assert_eq!(end1, 150);
+        let end2 = n.occupy_port(100, a, 50);
+        assert_eq!(end2, 200);
+    }
+
+    #[test]
+    fn later_issue_time_is_respected() {
+        let cfg = MachineConfig::bandwidth_only();
+        let mut n = net(4, cfg);
+        let a = n.mesh().node_at(0, 0);
+        let b = n.mesh().node_at(0, 1);
+        let d = n.transmit(1_000_000, a, b, 100, GLOBAL_REGION);
+        assert!(d.arrival >= 1_000_000 + cfg.transfer_ns(100));
+    }
+
+    #[test]
+    fn message_and_byte_counters() {
+        let mut n = net(4, MachineConfig::parsytec_gcel());
+        let a = n.mesh().node_at(0, 0);
+        let b = n.mesh().node_at(3, 3);
+        n.transmit(0, a, b, 100, GLOBAL_REGION);
+        n.transmit(0, a, a, 100, GLOBAL_REGION);
+        assert_eq!(n.messages_sent(), 2);
+        assert_eq!(n.bytes_sent(), 200);
+    }
+}

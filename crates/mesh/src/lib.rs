@@ -1,0 +1,35 @@
+//! # dm-mesh — 2-D mesh topology and hierarchical decomposition
+//!
+//! This crate provides the network substrate used throughout the DIVA
+//! reproduction:
+//!
+//! * [`Mesh`] — a 2-dimensional mesh of processors with row-major node
+//!   numbering, bidirectional links between orthogonal neighbours, and
+//!   dimension-by-dimension order ("X-Y") routing, exactly the routing
+//!   discipline of the Parsytec GCel wormhole router assumed by the paper.
+//! * [`Submesh`] — rectangular sub-regions of a mesh.
+//! * [`DecompositionTree`] — the recursive hierarchical mesh decomposition of
+//!   Section 2 of the paper, in its 2-ary form and in the flattened 4-ary,
+//!   16-ary and ℓ-k-ary variants used by the DIVA library.
+//! * [`LinkStats`] — per-link byte/message counters from which congestion (the
+//!   maximum over all links) is computed.
+//!
+//! The crate is deliberately free of any simulation or protocol logic: it only
+//! answers combinatorial questions ("which links does a message from node `u`
+//! to node `v` cross?", "which processors form the level-3 submesh containing
+//! node `u`?").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decomp;
+mod ids;
+mod mesh;
+mod stats;
+mod submesh;
+
+pub use decomp::{DecompNode, DecompositionTree, TreeNodeId, TreeShape};
+pub use ids::{Direction, LinkId, NodeId};
+pub use mesh::Mesh;
+pub use stats::LinkStats;
+pub use submesh::Submesh;

@@ -1,0 +1,178 @@
+//! Per-link traffic statistics and congestion.
+
+use crate::{LinkId, Mesh};
+use serde::{Deserialize, Serialize};
+
+/// Byte and message counters for every directed link of a mesh.
+///
+/// The *congestion* of an execution — the central metric of the paper — is
+/// the maximum amount of data transmitted over any single link, available
+/// here both in bytes ([`LinkStats::congestion_bytes`]) and in number of
+/// messages ([`LinkStats::congestion_msgs`], the unit used by the Barnes-Hut
+/// figures).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    bytes: Vec<u64>,
+    msgs: Vec<u64>,
+}
+
+impl LinkStats {
+    /// Create zeroed statistics for `mesh`.
+    pub fn new(mesh: &Mesh) -> Self {
+        LinkStats {
+            bytes: vec![0; mesh.link_slots()],
+            msgs: vec![0; mesh.link_slots()],
+        }
+    }
+
+    /// Record one message of `bytes` bytes crossing `link`.
+    #[inline]
+    pub fn record(&mut self, link: LinkId, bytes: u64) {
+        self.bytes[link.index()] += bytes;
+        self.msgs[link.index()] += 1;
+    }
+
+    /// Bytes transmitted over `link` so far.
+    pub fn bytes_on(&self, link: LinkId) -> u64 {
+        self.bytes[link.index()]
+    }
+
+    /// Messages transmitted over `link` so far.
+    pub fn msgs_on(&self, link: LinkId) -> u64 {
+        self.msgs[link.index()]
+    }
+
+    /// Maximum bytes over any single link (congestion in bytes).
+    pub fn congestion_bytes(&self) -> u64 {
+        self.bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum messages over any single link (congestion in messages).
+    pub fn congestion_msgs(&self) -> u64 {
+        self.msgs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total bytes over all links (the "total communication load" of the
+    /// earlier theoretical work the paper contrasts itself with).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total messages over all links.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// The link with the highest byte load, if any traffic was recorded.
+    pub fn hottest_link(&self) -> Option<(LinkId, u64)> {
+        self.bytes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &b)| b)
+            .filter(|(_, &b)| b > 0)
+            .map(|(i, &b)| (LinkId(i as u32), b))
+    }
+
+    /// Add all counters of `other` into `self`.
+    ///
+    /// # Panics
+    /// Panics if the two statistics belong to meshes of different sizes.
+    pub fn merge(&mut self, other: &LinkStats) {
+        assert_eq!(self.bytes.len(), other.bytes.len(), "mismatched meshes");
+        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
+            *a += b;
+        }
+        for (a, b) in self.msgs.iter_mut().zip(&other.msgs) {
+            *a += b;
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        self.bytes.iter_mut().for_each(|b| *b = 0);
+        self.msgs.iter_mut().for_each(|m| *m = 0);
+    }
+
+    /// A snapshot of the difference `self - earlier` (per-link), used for
+    /// per-phase congestion measurements.
+    ///
+    /// # Panics
+    /// Panics if `earlier` has more traffic than `self` on some link.
+    pub fn since(&self, earlier: &LinkStats) -> LinkStats {
+        assert_eq!(self.bytes.len(), earlier.bytes.len(), "mismatched meshes");
+        let bytes = self
+            .bytes
+            .iter()
+            .zip(&earlier.bytes)
+            .map(|(a, b)| a.checked_sub(*b).expect("earlier snapshot has more traffic"))
+            .collect();
+        let msgs = self
+            .msgs
+            .iter()
+            .zip(&earlier.msgs)
+            .map(|(a, b)| a.checked_sub(*b).expect("earlier snapshot has more traffic"))
+            .collect();
+        LinkStats { bytes, msgs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+
+    #[test]
+    fn record_and_congestion() {
+        let mesh = Mesh::square(3);
+        let mut s = LinkStats::new(&mesh);
+        let l1 = mesh.link(mesh.node_at(0, 0), Direction::East);
+        let l2 = mesh.link(mesh.node_at(1, 1), Direction::South);
+        s.record(l1, 100);
+        s.record(l1, 50);
+        s.record(l2, 120);
+        assert_eq!(s.bytes_on(l1), 150);
+        assert_eq!(s.msgs_on(l1), 2);
+        assert_eq!(s.congestion_bytes(), 150);
+        assert_eq!(s.congestion_msgs(), 2);
+        assert_eq!(s.total_bytes(), 270);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.hottest_link(), Some((l1, 150)));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let mesh = Mesh::square(2);
+        let s = LinkStats::new(&mesh);
+        assert_eq!(s.congestion_bytes(), 0);
+        assert_eq!(s.congestion_msgs(), 0);
+        assert_eq!(s.hottest_link(), None);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mesh = Mesh::square(2);
+        let l = mesh.link(mesh.node_at(0, 0), Direction::East);
+        let mut a = LinkStats::new(&mesh);
+        let mut b = LinkStats::new(&mesh);
+        a.record(l, 10);
+        b.record(l, 5);
+        a.merge(&b);
+        assert_eq!(a.bytes_on(l), 15);
+        assert_eq!(a.msgs_on(l), 2);
+        a.reset();
+        assert_eq!(a.total_bytes(), 0);
+    }
+
+    #[test]
+    fn since_computes_phase_delta() {
+        let mesh = Mesh::square(2);
+        let l = mesh.link(mesh.node_at(0, 0), Direction::South);
+        let mut s = LinkStats::new(&mesh);
+        s.record(l, 10);
+        let snap = s.clone();
+        s.record(l, 30);
+        let delta = s.since(&snap);
+        assert_eq!(delta.bytes_on(l), 30);
+        assert_eq!(delta.msgs_on(l), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the DIVA reproduction workspace.
+//!
+//! The actual functionality lives in the member crates:
+//! [`dm_mesh`], [`dm_engine`], [`dm_diva`], and [`dm_apps`].
+//! This crate re-exports them so examples and integration tests can use a
+//! single dependency, and so `cargo doc` produces one entry point.
+
+pub use dm_apps as apps;
+pub use dm_diva as diva;
+pub use dm_engine as engine;
+pub use dm_mesh as mesh;
