@@ -23,7 +23,7 @@
 //!    step.
 
 use crate::workload::{bounding_cube, Body};
-use dm_diva::{Diva, ProcCtx, RunReport, VarHandle};
+use dm_diva::{Diva, Op, ProcCtx, ProcProgram, RunReport, StepCtx, VarHandle};
 use dm_mesh::{DecompositionTree, TreeShape};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -83,7 +83,9 @@ impl Cell {
 
     /// Index of the octant of `pos` relative to the cell centre.
     fn octant(&self, pos: &[f64; 3]) -> usize {
-        (0..3).fold(0, |acc, d| acc | (usize::from(pos[d] >= self.centre[d]) << d))
+        (0..3).fold(0, |acc, d| {
+            acc | (usize::from(pos[d] >= self.centre[d]) << d)
+        })
     }
 
     /// Centre of the child cell in octant `idx`.
@@ -328,11 +330,18 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
 
                 // ---- Phase 4: force computation ----------------------------
                 ctx.region(&region("force"));
-                let mut updates: Vec<(VarHandle, [f64; 3], u64)> = Vec::with_capacity(my_bodies.len());
+                let mut updates: Vec<(VarHandle, [f64; 3], u64)> =
+                    Vec::with_capacity(my_bodies.len());
                 for &b in &my_bodies {
                     let body = ctx.read::<Body>(b);
-                    let (acc, count) =
-                        compute_force(ctx, root, b, &body.pos, params.theta, params.include_compute);
+                    let (acc, count) = compute_force(
+                        ctx,
+                        root,
+                        b,
+                        &body.pos,
+                        params.theta,
+                        params.include_compute,
+                    );
                     interactions_total += count;
                     updates.push((b, acc, count));
                 }
@@ -343,7 +352,7 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
                 let mut local_min = [f64::INFINITY; 3];
                 let mut local_max = [f64::NEG_INFINITY; 3];
                 for (b, acc, count) in updates {
-                    let mut body = (*ctx.read::<Body>(b)).clone();
+                    let mut body = *ctx.read::<Body>(b);
                     for k in 0..3 {
                         body.vel[k] += acc[k] * params.dt;
                         body.pos[k] += body.vel[k] * params.dt;
@@ -363,7 +372,8 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
                     let mut min = [f64::INFINITY; 3];
                     let mut max = [f64::NEG_INFINITY; 3];
                     for p in 0..nprocs {
-                        let (lmin, lmax, _) = *ctx.read::<([f64; 3], [f64; 3], u32)>(reduce_vars[p]);
+                        let (lmin, lmax, _) =
+                            *ctx.read::<([f64; 3], [f64; 3], u32)>(reduce_vars[p]);
                         for k in 0..3 {
                             min[k] = min[k].min(lmin[k]);
                             max[k] = max[k].max(lmax[k]);
@@ -385,7 +395,7 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
 
                 if step + 1 == params.timesteps {
                     for &b in &my_bodies {
-                        final_bodies.push((b, (*ctx.read::<Body>(b)).clone()));
+                        final_bodies.push((b, (*ctx.read::<Body>(b))));
                     }
                 }
             }
@@ -446,14 +456,8 @@ fn insert_body(
                     }
                     ChildRef::Body(other) => {
                         let other_pos = ctx.read::<Body>(other).pos;
-                        let sub = subdivide(
-                            ctx,
-                            &fresh,
-                            idx,
-                            (body, pos),
-                            (other, other_pos),
-                            created,
-                        );
+                        let sub =
+                            subdivide(ctx, &fresh, idx, (body, pos), (other, other_pos), created);
                         let mut updated = fresh;
                         updated.children[idx] = ChildRef::Cell(sub);
                         ctx.write(cur, updated);
@@ -614,6 +618,986 @@ fn compute_force(
 }
 
 // ---------------------------------------------------------------------------
+// Event-driven variant: the six phases as one explicit state machine.
+// ---------------------------------------------------------------------------
+
+/// State of the driven Barnes-Hut program. One variant per suspension point
+/// of the threaded closure; the recursive tree walks (insert, costzones,
+/// force) carry explicit stacks in the program's scratch fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BhSt {
+    /// Begin a timestep: clear per-step state, enter the tree-build region.
+    StepBegin,
+    /// Tree-build region entered.
+    TbRegion,
+    /// (me == 0) bounding cube read; allocate the root cell.
+    TbBounds,
+    /// (me == 0) root cell allocated; publish it.
+    TbRootAlloc,
+    /// (me == 0) root pointer written; synchronise.
+    TbRootWritten,
+    /// Pre-insert barrier passed; read the root pointer.
+    TbSynced,
+    /// Root pointer read; start inserting bodies.
+    TbRootPtr,
+    /// Issue the position read of the next body to insert (or finish P1).
+    InsNext,
+    /// Body position read; start the descent at the root.
+    InsPos,
+    /// A cell along the descent was read.
+    InsCell,
+    /// The cell to modify is locked; re-read it.
+    InsLocked,
+    /// The locked cell was re-read; decide how to modify it.
+    InsFresh,
+    /// Lost the race (slot filled by a sub-cell): unlocked, retry the cell.
+    InsRetry,
+    /// A colliding body's position was read; allocate the subdivision chain.
+    InsOtherPos,
+    /// One subdivision cell was allocated; allocate the next or link up.
+    InsAlloc,
+    /// The modified cell was written back; release its lock.
+    InsWrote,
+    /// Lock released; move to the next body.
+    InsUnlocked,
+    /// Post-insert barrier passed; enter the centre-of-mass region.
+    ComBegin,
+    /// Region entered; publish this processor's tree depth.
+    ComRegion,
+    /// Depth contribution written; synchronise.
+    ComReduceW,
+    /// First COM barrier passed.
+    ComSync1,
+    /// (me == 0) one depth contribution read.
+    ComReadRed,
+    /// (me == 0) global depth written; synchronise.
+    ComDepthW,
+    /// Second COM barrier passed; read the global depth.
+    ComSync2,
+    /// Global depth read; start the per-level upward pass.
+    ComDepth,
+    /// Find this processor's next cell of the current level.
+    ComScan,
+    /// A cell of the current level was read; aggregate its children.
+    ComCell,
+    /// Iterate the children of the current cell.
+    ComChild,
+    /// A child body was read.
+    ComChildBody,
+    /// A child cell was read.
+    ComChildCell,
+    /// The aggregated cell was written back.
+    ComCellW,
+    /// Per-level barrier passed; next level or partition phase.
+    ComLevelSync,
+    /// Partition region entered; read the root cell.
+    PartRegion,
+    /// Root cell read; start the costzones walk.
+    PartRoot,
+    /// A cell of the costzones walk was read.
+    CzCell,
+    /// Advance the costzones walk (local bookkeeping).
+    CzAdvance,
+    /// A body's work counter was read during the costzones walk.
+    CzBody,
+    /// Post-partition barrier passed; enter the force region.
+    ForceBegin,
+    /// Force region entered.
+    ForceRegion,
+    /// Issue the read of the next assigned body (or finish P4).
+    FNext,
+    /// An assigned body was read; start its tree traversal.
+    FBody,
+    /// Pop the next cell of the traversal stack.
+    FPop,
+    /// A traversal cell was read; open it or approximate.
+    FCell,
+    /// Iterate the children of an opened cell.
+    FChild,
+    /// A child body was read during the traversal.
+    FChildBody,
+    /// Post-force barrier passed; enter the update region.
+    UpdBegin,
+    /// Update region entered.
+    UpdRegion,
+    /// Issue the read of the next body to advance (or finish P5).
+    UNext,
+    /// A body was read; integrate and write it back.
+    UBody,
+    /// The advanced body was written.
+    UWrote,
+    /// Post-update barrier passed; enter the bounds region.
+    BndBegin,
+    /// Bounds region entered; publish the local bounding box.
+    BndRegion,
+    /// Local box written; synchronise.
+    BndReduceW,
+    /// First bounds barrier passed.
+    BndSync1,
+    /// (me == 0) one local box read.
+    BndRead,
+    /// (me == 0) next bounding cube written; synchronise.
+    BndW,
+    /// Final barrier of the step passed.
+    BndSync2,
+    /// Read the next owned body's final state (last step only).
+    FinNext,
+    /// A final body state was read.
+    FinBody,
+    /// Program complete.
+    Finished,
+}
+
+/// The event-driven twin of the [`run_shared`] closure. Operation-equivalent
+/// to the threaded version (bit-identical run reports); the recursion of the
+/// tree walks is replaced by the explicit stacks below.
+struct BhProgram {
+    params: BhParams,
+    me: usize,
+    nprocs: usize,
+    root_ptr: VarHandle,
+    bounds_var: VarHandle,
+    depth_var: VarHandle,
+    reduce_vars: Arc<Vec<VarHandle>>,
+    st: BhSt,
+    step_no: usize,
+    my_bodies: Vec<VarHandle>,
+    my_cells: Vec<(u32, VarHandle)>,
+    interactions_total: u64,
+    final_bodies: Vec<(VarHandle, Body)>,
+    root: VarHandle,
+
+    // Insert scratch.
+    body_idx: usize,
+    ins_body: VarHandle,
+    ins_pos: [f64; 3],
+    ins_cur: VarHandle,
+    ins_oct: usize,
+    ins_fresh: Option<Cell>,
+    ins_other: VarHandle,
+    ins_chain: Vec<Cell>,
+    ins_chain_pos: usize,
+
+    // Centre-of-mass scratch.
+    reduce_idx: usize,
+    depth_acc: u32,
+    depth_iter: u32,
+    cell_scan: usize,
+    com_cell_var: VarHandle,
+    com_cell: Option<Cell>,
+    com_child: usize,
+    com_mass: f64,
+    com_com: [f64; 3],
+    com_count: u32,
+    com_work: u64,
+
+    // Costzones scratch.
+    cz_frames: Vec<(Arc<Cell>, usize)>,
+    cz_off: u64,
+    cz_lo: u64,
+    cz_hi: u64,
+    cz_body: VarHandle,
+    assigned: Vec<VarHandle>,
+
+    // Force scratch.
+    f_stack: Vec<VarHandle>,
+    f_cell: Option<Arc<Cell>>,
+    f_child: usize,
+    f_pos: [f64; 3],
+    f_body: VarHandle,
+    f_acc: [f64; 3],
+    f_inter: u64,
+    updates: Vec<(VarHandle, [f64; 3], u64)>,
+
+    // Update / bounds scratch.
+    upd_idx: usize,
+    local_min: [f64; 3],
+    local_max: [f64; 3],
+    bnd_min: [f64; 3],
+    bnd_max: [f64; 3],
+}
+
+impl BhProgram {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        me: usize,
+        nprocs: usize,
+        params: BhParams,
+        my_bodies: Vec<VarHandle>,
+        root_ptr: VarHandle,
+        bounds_var: VarHandle,
+        depth_var: VarHandle,
+        reduce_vars: Arc<Vec<VarHandle>>,
+    ) -> Self {
+        BhProgram {
+            params,
+            me,
+            nprocs,
+            root_ptr,
+            bounds_var,
+            depth_var,
+            reduce_vars,
+            st: BhSt::StepBegin,
+            step_no: 0,
+            my_bodies,
+            my_cells: Vec::new(),
+            interactions_total: 0,
+            final_bodies: Vec::new(),
+            root: VarHandle(u32::MAX),
+            body_idx: 0,
+            ins_body: VarHandle(u32::MAX),
+            ins_pos: [0.0; 3],
+            ins_cur: VarHandle(u32::MAX),
+            ins_oct: 0,
+            ins_fresh: None,
+            ins_other: VarHandle(u32::MAX),
+            ins_chain: Vec::new(),
+            ins_chain_pos: 0,
+            reduce_idx: 0,
+            depth_acc: 0,
+            depth_iter: 0,
+            cell_scan: 0,
+            com_cell_var: VarHandle(u32::MAX),
+            com_cell: None,
+            com_child: 0,
+            com_mass: 0.0,
+            com_com: [0.0; 3],
+            com_count: 0,
+            com_work: 0,
+            cz_frames: Vec::new(),
+            cz_off: 0,
+            cz_lo: 0,
+            cz_hi: 0,
+            cz_body: VarHandle(u32::MAX),
+            assigned: Vec::new(),
+            f_stack: Vec::new(),
+            f_cell: None,
+            f_child: 0,
+            f_pos: [0.0; 3],
+            f_body: VarHandle(u32::MAX),
+            f_acc: [0.0; 3],
+            f_inter: 0,
+            updates: Vec::new(),
+            upd_idx: 0,
+            local_min: [f64::INFINITY; 3],
+            local_max: [f64::NEG_INFINITY; 3],
+            bnd_min: [f64::INFINITY; 3],
+            bnd_max: [f64::NEG_INFINITY; 3],
+        }
+    }
+
+    /// Region name of the current step ("warmup" while excluded).
+    fn region(&self, name: &str) -> String {
+        if self.step_no >= self.params.warmup_steps {
+            name.to_string()
+        } else {
+            "warmup".to_string()
+        }
+    }
+
+    /// Advance by one transition; `None` means only local bookkeeping
+    /// happened and the caller should advance again.
+    fn advance(&mut self, ctx: &mut StepCtx<'_>) -> Option<Op> {
+        match self.st {
+            BhSt::StepBegin => {
+                self.my_cells.clear();
+                self.st = BhSt::TbRegion;
+                Some(Op::Region(self.region("tree-build")))
+            }
+            BhSt::TbRegion => {
+                if self.me == 0 {
+                    self.st = BhSt::TbBounds;
+                    Some(Op::Read(self.bounds_var))
+                } else {
+                    self.st = BhSt::TbSynced;
+                    Some(Op::Barrier)
+                }
+            }
+            BhSt::TbBounds => {
+                let (centre, half) = *ctx.take::<([f64; 3], f64)>();
+                self.st = BhSt::TbRootAlloc;
+                Some(Op::Alloc {
+                    bytes: CELL_BYTES,
+                    value: Arc::new(Cell::new(centre, half, 0)),
+                })
+            }
+            BhSt::TbRootAlloc => {
+                let root = ctx.take_handle();
+                self.my_cells.push((0, root));
+                self.st = BhSt::TbRootWritten;
+                Some(Op::Write(self.root_ptr, Arc::new(root)))
+            }
+            BhSt::TbRootWritten => {
+                self.st = BhSt::TbSynced;
+                Some(Op::Barrier)
+            }
+            BhSt::TbSynced => {
+                self.st = BhSt::TbRootPtr;
+                Some(Op::Read(self.root_ptr))
+            }
+            BhSt::TbRootPtr => {
+                self.root = *ctx.take::<VarHandle>();
+                self.body_idx = 0;
+                self.st = BhSt::InsNext;
+                None
+            }
+            BhSt::InsNext => {
+                if self.body_idx < self.my_bodies.len() {
+                    self.ins_body = self.my_bodies[self.body_idx];
+                    self.st = BhSt::InsPos;
+                    Some(Op::Read(self.ins_body))
+                } else {
+                    self.st = BhSt::ComBegin;
+                    Some(Op::Barrier)
+                }
+            }
+            BhSt::InsPos => {
+                self.ins_pos = ctx.take::<Body>().pos;
+                self.ins_cur = self.root;
+                self.st = BhSt::InsCell;
+                Some(Op::Read(self.ins_cur))
+            }
+            BhSt::InsCell => {
+                let cell = ctx.take::<Cell>();
+                let idx = cell.octant(&self.ins_pos);
+                match cell.children[idx] {
+                    ChildRef::Cell(next) => {
+                        self.ins_cur = next;
+                        Some(Op::Read(self.ins_cur))
+                    }
+                    _ => {
+                        self.st = BhSt::InsLocked;
+                        Some(Op::Lock(self.ins_cur))
+                    }
+                }
+            }
+            BhSt::InsLocked => {
+                self.st = BhSt::InsFresh;
+                Some(Op::Read(self.ins_cur))
+            }
+            BhSt::InsFresh => {
+                let fresh = (*ctx.take::<Cell>()).clone();
+                let idx = fresh.octant(&self.ins_pos);
+                self.ins_oct = idx;
+                match fresh.children[idx] {
+                    ChildRef::Cell(_) => {
+                        // Another processor filled the slot: retry the
+                        // descent from the same cell.
+                        self.st = BhSt::InsRetry;
+                        Some(Op::Unlock(self.ins_cur))
+                    }
+                    ChildRef::Empty => {
+                        let mut updated = fresh;
+                        updated.children[idx] = ChildRef::Body(self.ins_body);
+                        self.st = BhSt::InsWrote;
+                        Some(Op::Write(self.ins_cur, Arc::new(updated)))
+                    }
+                    ChildRef::Body(other) => {
+                        self.ins_fresh = Some(fresh);
+                        self.ins_other = other;
+                        self.st = BhSt::InsOtherPos;
+                        Some(Op::Read(other))
+                    }
+                }
+            }
+            BhSt::InsRetry => {
+                self.st = BhSt::InsCell;
+                Some(Op::Read(self.ins_cur))
+            }
+            BhSt::InsOtherPos => {
+                let other_pos = ctx.take::<Body>().pos;
+                let parent = self.ins_fresh.as_ref().expect("no locked cell stashed");
+                // Build the chain of cells separating the two bodies, exactly
+                // like the threaded `subdivide`.
+                let mut cells: Vec<Cell> = Vec::new();
+                let mut centre = parent.child_centre(self.ins_oct);
+                let mut half = parent.half / 2.0;
+                let mut depth = parent.depth + 1;
+                loop {
+                    let cell = Cell::new(centre, half, depth);
+                    let ia = cell.octant(&self.ins_pos);
+                    let ib = cell.octant(&other_pos);
+                    if ia != ib || depth >= MAX_DEPTH {
+                        let mut leaf = cell;
+                        if ia != ib {
+                            leaf.children[ia] = ChildRef::Body(self.ins_body);
+                            leaf.children[ib] = ChildRef::Body(self.ins_other);
+                        } else {
+                            leaf.children[ia] = ChildRef::Body(self.ins_body);
+                            let free = (0..8).find(|&i| i != ia).unwrap();
+                            leaf.children[free] = ChildRef::Body(self.ins_other);
+                        }
+                        cells.push(leaf);
+                        break;
+                    }
+                    let next_centre = cell.child_centre(ia);
+                    cells.push(cell);
+                    centre = next_centre;
+                    half /= 2.0;
+                    depth += 1;
+                }
+                // Allocate from the deepest cell upwards.
+                self.ins_chain_pos = cells.len() - 1;
+                self.ins_chain = cells;
+                let deepest = self.ins_chain[self.ins_chain_pos].clone();
+                self.st = BhSt::InsAlloc;
+                Some(Op::Alloc {
+                    bytes: CELL_BYTES,
+                    value: Arc::new(deepest),
+                })
+            }
+            BhSt::InsAlloc => {
+                let handle = ctx.take_handle();
+                let depth = self.ins_chain[self.ins_chain_pos].depth;
+                self.my_cells.push((depth, handle));
+                if self.ins_chain_pos == 0 {
+                    // The topmost new cell links into the locked parent.
+                    let mut updated = self.ins_fresh.take().expect("no locked cell stashed");
+                    updated.children[self.ins_oct] = ChildRef::Cell(handle);
+                    self.ins_chain.clear();
+                    self.st = BhSt::InsWrote;
+                    Some(Op::Write(self.ins_cur, Arc::new(updated)))
+                } else {
+                    self.ins_chain_pos -= 1;
+                    let mut cell = self.ins_chain[self.ins_chain_pos].clone();
+                    let idx = cell.octant(&self.ins_pos);
+                    cell.children[idx] = ChildRef::Cell(handle);
+                    Some(Op::Alloc {
+                        bytes: CELL_BYTES,
+                        value: Arc::new(cell),
+                    })
+                }
+            }
+            BhSt::InsWrote => {
+                self.st = BhSt::InsUnlocked;
+                Some(Op::Unlock(self.ins_cur))
+            }
+            BhSt::InsUnlocked => {
+                self.body_idx += 1;
+                self.st = BhSt::InsNext;
+                None
+            }
+            BhSt::ComBegin => {
+                self.st = BhSt::ComRegion;
+                Some(Op::Region(self.region("com")))
+            }
+            BhSt::ComRegion => {
+                let my_depth = self.my_cells.iter().map(|&(d, _)| d).max().unwrap_or(0);
+                self.st = BhSt::ComReduceW;
+                Some(Op::Write(
+                    self.reduce_vars[self.me],
+                    Arc::new(([0.0f64; 3], [0.0f64; 3], my_depth)),
+                ))
+            }
+            BhSt::ComReduceW => {
+                self.st = BhSt::ComSync1;
+                Some(Op::Barrier)
+            }
+            BhSt::ComSync1 => {
+                if self.me == 0 {
+                    self.reduce_idx = 0;
+                    self.depth_acc = 0;
+                    self.st = BhSt::ComReadRed;
+                    Some(Op::Read(self.reduce_vars[0]))
+                } else {
+                    self.st = BhSt::ComSync2;
+                    Some(Op::Barrier)
+                }
+            }
+            BhSt::ComReadRed => {
+                let contribution = ctx.take::<([f64; 3], [f64; 3], u32)>().2;
+                self.depth_acc = self.depth_acc.max(contribution);
+                self.reduce_idx += 1;
+                if self.reduce_idx < self.nprocs {
+                    Some(Op::Read(self.reduce_vars[self.reduce_idx]))
+                } else {
+                    self.st = BhSt::ComDepthW;
+                    Some(Op::Write(self.depth_var, Arc::new(self.depth_acc)))
+                }
+            }
+            BhSt::ComDepthW => {
+                self.st = BhSt::ComSync2;
+                Some(Op::Barrier)
+            }
+            BhSt::ComSync2 => {
+                self.st = BhSt::ComDepth;
+                Some(Op::Read(self.depth_var))
+            }
+            BhSt::ComDepth => {
+                self.depth_iter = *ctx.take::<u32>();
+                self.cell_scan = 0;
+                self.st = BhSt::ComScan;
+                None
+            }
+            BhSt::ComScan => {
+                while self.cell_scan < self.my_cells.len() {
+                    let (d, cell_var) = self.my_cells[self.cell_scan];
+                    if d == self.depth_iter {
+                        self.com_cell_var = cell_var;
+                        self.st = BhSt::ComCell;
+                        return Some(Op::Read(cell_var));
+                    }
+                    self.cell_scan += 1;
+                }
+                self.st = BhSt::ComLevelSync;
+                Some(Op::Barrier)
+            }
+            BhSt::ComCell => {
+                self.com_cell = Some((*ctx.take::<Cell>()).clone());
+                self.com_child = 0;
+                self.com_mass = 0.0;
+                self.com_com = [0.0; 3];
+                self.com_count = 0;
+                self.com_work = 0;
+                self.st = BhSt::ComChild;
+                None
+            }
+            BhSt::ComChild => {
+                let cell = self.com_cell.as_ref().expect("no COM cell");
+                while self.com_child < 8 {
+                    match cell.children[self.com_child] {
+                        ChildRef::Empty => self.com_child += 1,
+                        ChildRef::Body(b) => {
+                            self.st = BhSt::ComChildBody;
+                            return Some(Op::Read(b));
+                        }
+                        ChildRef::Cell(c) => {
+                            self.st = BhSt::ComChildCell;
+                            return Some(Op::Read(c));
+                        }
+                    }
+                }
+                // All children aggregated: finalize and write back.
+                let mut cell = self.com_cell.take().expect("no COM cell");
+                if self.com_mass > 0.0 {
+                    for k in 0..3 {
+                        self.com_com[k] /= self.com_mass;
+                    }
+                } else {
+                    self.com_com = cell.centre;
+                }
+                cell.mass = self.com_mass;
+                cell.com = self.com_com;
+                cell.count = self.com_count;
+                cell.work = self.com_work;
+                self.st = BhSt::ComCellW;
+                Some(Op::Write(self.com_cell_var, Arc::new(cell)))
+            }
+            BhSt::ComChildBody => {
+                let body = ctx.take::<Body>();
+                self.com_mass += body.mass;
+                for k in 0..3 {
+                    self.com_com[k] += body.mass * body.pos[k];
+                }
+                self.com_count += 1;
+                self.com_work += body.work.max(1);
+                self.com_child += 1;
+                self.st = BhSt::ComChild;
+                None
+            }
+            BhSt::ComChildCell => {
+                let sub = ctx.take::<Cell>();
+                self.com_mass += sub.mass;
+                for k in 0..3 {
+                    self.com_com[k] += sub.mass * sub.com[k];
+                }
+                self.com_count += sub.count;
+                self.com_work += sub.work;
+                self.com_child += 1;
+                self.st = BhSt::ComChild;
+                None
+            }
+            BhSt::ComCellW => {
+                self.cell_scan += 1;
+                self.st = BhSt::ComScan;
+                None
+            }
+            BhSt::ComLevelSync => {
+                if self.depth_iter > 0 {
+                    self.depth_iter -= 1;
+                    self.cell_scan = 0;
+                    self.st = BhSt::ComScan;
+                    None
+                } else {
+                    self.st = BhSt::PartRegion;
+                    Some(Op::Region(self.region("partition")))
+                }
+            }
+            BhSt::PartRegion => {
+                self.st = BhSt::PartRoot;
+                Some(Op::Read(self.root))
+            }
+            BhSt::PartRoot => {
+                let root_cell = ctx.take::<Cell>();
+                let total_work = root_cell.work.max(1);
+                self.cz_lo = total_work * self.me as u64 / self.nprocs as u64;
+                self.cz_hi = total_work * (self.me as u64 + 1) / self.nprocs as u64;
+                self.cz_off = 0;
+                self.cz_frames.clear();
+                self.assigned.clear();
+                // The walk re-reads the root, exactly like the recursive
+                // `costzones_collect` does.
+                self.st = BhSt::CzCell;
+                Some(Op::Read(self.root))
+            }
+            BhSt::CzCell => {
+                let cell = ctx.take::<Cell>();
+                let end = self.cz_off + cell.work;
+                if end <= self.cz_lo || self.cz_off >= self.cz_hi {
+                    // Whole subtree outside the zone: skip it.
+                    self.cz_off = end;
+                } else {
+                    self.cz_frames.push((cell, 0));
+                }
+                self.st = BhSt::CzAdvance;
+                None
+            }
+            BhSt::CzAdvance => {
+                loop {
+                    let Some((cell, child)) = self.cz_frames.last_mut() else {
+                        // Walk complete: the zone's bodies are this step's
+                        // assignment.
+                        self.my_bodies = std::mem::take(&mut self.assigned);
+                        self.st = BhSt::ForceBegin;
+                        return Some(Op::Barrier);
+                    };
+                    if *child >= 8 {
+                        self.cz_frames.pop();
+                        continue;
+                    }
+                    let slot = cell.children[*child];
+                    *child += 1;
+                    match slot {
+                        ChildRef::Empty => {}
+                        ChildRef::Body(b) => {
+                            self.cz_body = b;
+                            self.st = BhSt::CzBody;
+                            return Some(Op::Read(b));
+                        }
+                        ChildRef::Cell(c) => {
+                            self.st = BhSt::CzCell;
+                            return Some(Op::Read(c));
+                        }
+                    }
+                }
+            }
+            BhSt::CzBody => {
+                let work = ctx.take::<Body>().work.max(1);
+                if self.cz_off >= self.cz_lo && self.cz_off < self.cz_hi {
+                    self.assigned.push(self.cz_body);
+                }
+                self.cz_off += work;
+                self.st = BhSt::CzAdvance;
+                None
+            }
+            BhSt::ForceBegin => {
+                self.st = BhSt::ForceRegion;
+                Some(Op::Region(self.region("force")))
+            }
+            BhSt::ForceRegion => {
+                self.body_idx = 0;
+                self.updates.clear();
+                self.st = BhSt::FNext;
+                None
+            }
+            BhSt::FNext => {
+                if self.body_idx < self.my_bodies.len() {
+                    self.f_body = self.my_bodies[self.body_idx];
+                    self.st = BhSt::FBody;
+                    Some(Op::Read(self.f_body))
+                } else {
+                    self.st = BhSt::UpdBegin;
+                    Some(Op::Barrier)
+                }
+            }
+            BhSt::FBody => {
+                self.f_pos = ctx.take::<Body>().pos;
+                self.f_acc = [0.0; 3];
+                self.f_inter = 0;
+                self.f_stack.clear();
+                self.f_stack.push(self.root);
+                self.st = BhSt::FPop;
+                None
+            }
+            BhSt::FPop => {
+                if let Some(cell_var) = self.f_stack.pop() {
+                    self.st = BhSt::FCell;
+                    Some(Op::Read(cell_var))
+                } else {
+                    // Traversal of this body complete.
+                    if self.params.include_compute {
+                        ctx.compute_flops(self.f_inter * FLOPS_PER_INTERACTION);
+                    }
+                    self.interactions_total += self.f_inter;
+                    self.updates.push((self.f_body, self.f_acc, self.f_inter));
+                    self.body_idx += 1;
+                    self.st = BhSt::FNext;
+                    None
+                }
+            }
+            BhSt::FCell => {
+                let cell = ctx.take::<Cell>();
+                if cell.count == 0 {
+                    self.st = BhSt::FPop;
+                    return None;
+                }
+                let dx = cell.com[0] - self.f_pos[0];
+                let dy = cell.com[1] - self.f_pos[1];
+                let dz = cell.com[2] - self.f_pos[2];
+                let dist = (dx * dx + dy * dy + dz * dz).sqrt().max(1e-12);
+                if (2.0 * cell.half) / dist < self.params.theta {
+                    let a = pairwise_accel(&self.f_pos, &cell.com, cell.mass);
+                    for k in 0..3 {
+                        self.f_acc[k] += a[k];
+                    }
+                    self.f_inter += 1;
+                    self.st = BhSt::FPop;
+                    None
+                } else {
+                    self.f_cell = Some(cell);
+                    self.f_child = 0;
+                    self.st = BhSt::FChild;
+                    None
+                }
+            }
+            BhSt::FChild => {
+                let cell = self.f_cell.as_ref().expect("no opened cell");
+                while self.f_child < 8 {
+                    let slot = cell.children[self.f_child];
+                    self.f_child += 1;
+                    match slot {
+                        ChildRef::Empty => {}
+                        ChildRef::Body(b) => {
+                            if b != self.f_body {
+                                self.st = BhSt::FChildBody;
+                                return Some(Op::Read(b));
+                            }
+                        }
+                        ChildRef::Cell(c) => self.f_stack.push(c),
+                    }
+                }
+                self.f_cell = None;
+                self.st = BhSt::FPop;
+                None
+            }
+            BhSt::FChildBody => {
+                let other = ctx.take::<Body>();
+                let a = pairwise_accel(&self.f_pos, &other.pos, other.mass);
+                for k in 0..3 {
+                    self.f_acc[k] += a[k];
+                }
+                self.f_inter += 1;
+                self.st = BhSt::FChild;
+                None
+            }
+            BhSt::UpdBegin => {
+                self.st = BhSt::UpdRegion;
+                Some(Op::Region(self.region("update")))
+            }
+            BhSt::UpdRegion => {
+                self.upd_idx = 0;
+                self.local_min = [f64::INFINITY; 3];
+                self.local_max = [f64::NEG_INFINITY; 3];
+                self.st = BhSt::UNext;
+                None
+            }
+            BhSt::UNext => {
+                if self.upd_idx < self.updates.len() {
+                    self.st = BhSt::UBody;
+                    Some(Op::Read(self.updates[self.upd_idx].0))
+                } else {
+                    self.st = BhSt::BndBegin;
+                    Some(Op::Barrier)
+                }
+            }
+            BhSt::UBody => {
+                let (b, acc, count) = self.updates[self.upd_idx];
+                let mut body = *ctx.take::<Body>();
+                for k in 0..3 {
+                    body.vel[k] += acc[k] * self.params.dt;
+                    body.pos[k] += body.vel[k] * self.params.dt;
+                    self.local_min[k] = self.local_min[k].min(body.pos[k]);
+                    self.local_max[k] = self.local_max[k].max(body.pos[k]);
+                }
+                body.work = count.max(1);
+                self.st = BhSt::UWrote;
+                Some(Op::Write(b, Arc::new(body)))
+            }
+            BhSt::UWrote => {
+                self.upd_idx += 1;
+                self.st = BhSt::UNext;
+                None
+            }
+            BhSt::BndBegin => {
+                self.st = BhSt::BndRegion;
+                Some(Op::Region(self.region("bounds")))
+            }
+            BhSt::BndRegion => {
+                self.st = BhSt::BndReduceW;
+                Some(Op::Write(
+                    self.reduce_vars[self.me],
+                    Arc::new((self.local_min, self.local_max, 0u32)),
+                ))
+            }
+            BhSt::BndReduceW => {
+                self.st = BhSt::BndSync1;
+                Some(Op::Barrier)
+            }
+            BhSt::BndSync1 => {
+                if self.me == 0 {
+                    self.reduce_idx = 0;
+                    self.bnd_min = [f64::INFINITY; 3];
+                    self.bnd_max = [f64::NEG_INFINITY; 3];
+                    self.st = BhSt::BndRead;
+                    Some(Op::Read(self.reduce_vars[0]))
+                } else {
+                    self.st = BhSt::BndSync2;
+                    Some(Op::Barrier)
+                }
+            }
+            BhSt::BndRead => {
+                let (lmin, lmax, _) = *ctx.take::<([f64; 3], [f64; 3], u32)>();
+                for k in 0..3 {
+                    self.bnd_min[k] = self.bnd_min[k].min(lmin[k]);
+                    self.bnd_max[k] = self.bnd_max[k].max(lmax[k]);
+                }
+                self.reduce_idx += 1;
+                if self.reduce_idx < self.nprocs {
+                    Some(Op::Read(self.reduce_vars[self.reduce_idx]))
+                } else {
+                    let centre = [
+                        (self.bnd_min[0] + self.bnd_max[0]) / 2.0,
+                        (self.bnd_min[1] + self.bnd_max[1]) / 2.0,
+                        (self.bnd_min[2] + self.bnd_max[2]) / 2.0,
+                    ];
+                    let half = (0..3)
+                        .map(|k| (self.bnd_max[k] - self.bnd_min[k]) / 2.0)
+                        .fold(0.0f64, f64::max)
+                        .max(1e-6)
+                        * 1.001;
+                    self.st = BhSt::BndW;
+                    Some(Op::Write(self.bounds_var, Arc::new((centre, half))))
+                }
+            }
+            BhSt::BndW => {
+                self.st = BhSt::BndSync2;
+                Some(Op::Barrier)
+            }
+            BhSt::BndSync2 => {
+                if self.step_no + 1 == self.params.timesteps {
+                    self.body_idx = 0;
+                    self.st = BhSt::FinNext;
+                } else {
+                    self.step_no += 1;
+                    self.st = BhSt::StepBegin;
+                }
+                None
+            }
+            BhSt::FinNext => {
+                if self.body_idx < self.my_bodies.len() {
+                    self.st = BhSt::FinBody;
+                    Some(Op::Read(self.my_bodies[self.body_idx]))
+                } else {
+                    self.st = BhSt::Finished;
+                    Some(Op::Done)
+                }
+            }
+            BhSt::FinBody => {
+                let body = *ctx.take::<Body>();
+                self.final_bodies
+                    .push((self.my_bodies[self.body_idx], body));
+                self.body_idx += 1;
+                self.st = BhSt::FinNext;
+                None
+            }
+            BhSt::Finished => Some(Op::Done),
+        }
+    }
+}
+
+impl ProcProgram for BhProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        loop {
+            if let Some(op) = self.advance(ctx) {
+                return op;
+            }
+        }
+    }
+}
+
+/// Run the Barnes-Hut simulation under the event-driven execution mode — the
+/// same simulated run as [`run_shared`] (bit-identical report), practical on
+/// much larger meshes.
+pub fn run_shared_driven(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcome {
+    assert_eq!(bodies.len(), params.n_bodies);
+    let nprocs = diva.num_procs();
+    let n = params.n_bodies;
+    assert!(n >= nprocs, "need at least one body per processor");
+
+    // Identical pre-allocation to `run_shared`.
+    let leaf_order: Vec<usize> = DecompositionTree::build(&diva.config().mesh, TreeShape::binary())
+        .leaf_order()
+        .iter()
+        .map(|p| p.index())
+        .collect();
+    let mut body_vars = Vec::with_capacity(n);
+    let mut initial_assignment: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+    for (i, b) in bodies.iter().enumerate() {
+        let owner = leaf_order[i * nprocs / n];
+        let h = diva.alloc(owner, BODY_BYTES, *b);
+        initial_assignment[owner].push(i);
+        body_vars.push(h);
+    }
+    let handle_to_index: HashMap<VarHandle, usize> =
+        body_vars.iter().enumerate().map(|(i, &h)| (h, i)).collect();
+
+    let (centre, half) = bounding_cube(bodies);
+    let root_ptr = diva.alloc(0, 16, VarHandle(u32::MAX));
+    let bounds_var = diva.alloc(0, 64, (centre, half));
+    let depth_var = diva.alloc(0, 8, 0u32);
+    let reduce_vars: Arc<Vec<VarHandle>> = Arc::new(
+        (0..nprocs)
+            .map(|p| diva.alloc(p, 64, ([0.0f64; 3], [0.0f64; 3], 0u32)))
+            .collect(),
+    );
+
+    let programs: Vec<BhProgram> = (0..nprocs)
+        .map(|me| {
+            let my_bodies = initial_assignment[me]
+                .iter()
+                .map(|&i| body_vars[i])
+                .collect();
+            BhProgram::new(
+                me,
+                nprocs,
+                params,
+                my_bodies,
+                root_ptr,
+                bounds_var,
+                depth_var,
+                Arc::clone(&reduce_vars),
+            )
+        })
+        .collect();
+
+    let outcome = diva.run_driven(programs);
+    let mut final_bodies = bodies.to_vec();
+    let mut interactions = 0u64;
+    for prog in outcome.results {
+        interactions += prog.interactions_total;
+        for (handle, body) in prog.final_bodies {
+            let idx = handle_to_index[&handle];
+            final_bodies[idx] = body;
+        }
+    }
+    BhOutcome {
+        report: outcome.report,
+        bodies: final_bodies,
+        interactions,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Sequential reference implementation (plain data structures, no DIVA).
 // ---------------------------------------------------------------------------
 
@@ -643,7 +1627,9 @@ impl RefCell {
     }
 
     fn octant(&self, pos: &[f64; 3]) -> usize {
-        (0..3).fold(0, |acc, d| acc | (usize::from(pos[d] >= self.centre[d]) << d))
+        (0..3).fold(0, |acc, d| {
+            acc | (usize::from(pos[d] >= self.centre[d]) << d)
+        })
     }
 
     fn child_centre(&self, idx: usize) -> [f64; 3] {
@@ -859,6 +1845,36 @@ mod tests {
     }
 
     #[test]
+    fn driven_and_threaded_runs_are_bit_identical() {
+        // 4x4 (16 procs) exercises multi-level access-tree paths and a real
+        // costzones split; 2x2 additionally covers the smallest tree.
+        let params = BhParams {
+            n_bodies: 200,
+            timesteps: 2,
+            warmup_steps: 1,
+            theta: 0.9,
+            dt: 0.01,
+            include_compute: true,
+        };
+        let bodies = plummer_bodies(13, params.n_bodies);
+        for side in [2usize, 4] {
+            for strategy in [
+                StrategyKind::AccessTree(TreeShape::quad()),
+                StrategyKind::FixedHome,
+            ] {
+                let threaded = run_shared(diva(side, strategy), params, &bodies);
+                let driven = run_shared_driven(diva(side, strategy), params, &bodies);
+                assert_eq!(
+                    threaded.interactions, driven.interactions,
+                    "{side} {strategy:?}"
+                );
+                assert_eq!(threaded.bodies, driven.bodies, "{side} {strategy:?}");
+                assert_eq!(threaded.report, driven.report, "{side} {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
     fn run_produces_phase_regions_and_traffic() {
         let params = BhParams {
             n_bodies: 200,
@@ -869,9 +1885,21 @@ mod tests {
             include_compute: true,
         };
         let bodies = plummer_bodies(9, params.n_bodies);
-        let out = run_shared(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params, &bodies);
+        let out = run_shared(
+            diva(4, StrategyKind::AccessTree(TreeShape::quad())),
+            params,
+            &bodies,
+        );
         let report = &out.report;
-        for phase in ["tree-build", "com", "partition", "force", "update", "bounds", "warmup"] {
+        for phase in [
+            "tree-build",
+            "com",
+            "partition",
+            "force",
+            "update",
+            "bounds",
+            "warmup",
+        ] {
             assert!(report.region(phase).is_some(), "missing region {phase}");
         }
         // The force phase dominates the traffic among the measured phases of a

@@ -20,7 +20,7 @@
 //!   congestion for this embedding).
 
 use crate::workload::sort_keys;
-use dm_diva::{Diva, RunReport, VarHandle};
+use dm_diva::{Diva, Op, ProcProgram, RunReport, StepCtx, VarHandle};
 use dm_mesh::{DecompositionTree, TreeShape};
 use std::sync::Arc;
 
@@ -63,7 +63,10 @@ pub type Comparator = (usize, usize, bool);
 /// The merge&split steps of the bitonic sorting circuit for `p` wires
 /// (a power of two), grouped by parallel step.
 pub fn bitonic_schedule(p: usize) -> Vec<Vec<Comparator>> {
-    assert!(p.is_power_of_two(), "bitonic sort requires a power-of-two number of wires");
+    assert!(
+        p.is_power_of_two(),
+        "bitonic sort requires a power-of-two number of wires"
+    );
     let mut steps = Vec::new();
     let mut k = 2;
     while k <= p {
@@ -179,6 +182,252 @@ pub fn run_shared(mut diva: Diva, params: BitonicParams) -> BitonicOutcome {
     }
 }
 
+/// State of the driven shared-variable bitonic program.
+enum BtState {
+    /// Read the own wire's keys.
+    Start,
+    /// Own keys arrived; account the initial sort and start the first step.
+    AwaitOwn,
+    /// Waiting for the partner's keys of the current step.
+    AwaitPartner,
+    /// Partner keys stashed; the pre-write barrier was issued.
+    Barriered,
+    /// Own variable rewritten; the post-write barrier was issued.
+    Written,
+    /// Post-write barrier passed; start the next step.
+    BetweenRounds,
+    /// All steps done.
+    Finish,
+}
+
+/// The event-driven twin of the [`run_shared`] closure.
+struct BitonicProgram {
+    wire: usize,
+    var_own: VarHandle,
+    vars: Arc<Vec<VarHandle>>,
+    schedule: Arc<Vec<Vec<(usize, bool)>>>,
+    include_compute: bool,
+    step_idx: usize,
+    mine: Vec<u64>,
+    other: Option<Arc<Vec<u64>>>,
+    state: BtState,
+}
+
+impl BitonicProgram {
+    /// Issue the partner read of step `step_idx`, or the end of the program.
+    fn next_round(&mut self) -> Op {
+        match self.schedule[self.wire].get(self.step_idx) {
+            Some(&(partner, _)) => {
+                self.state = BtState::AwaitPartner;
+                Op::Read(self.vars[partner])
+            }
+            None => {
+                self.state = BtState::Finish;
+                Op::Done
+            }
+        }
+    }
+}
+
+impl ProcProgram for BitonicProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        match self.state {
+            BtState::Start => {
+                self.state = BtState::AwaitOwn;
+                Op::Read(self.var_own)
+            }
+            BtState::AwaitOwn => {
+                self.mine = (*ctx.take::<Vec<u64>>()).clone();
+                if self.include_compute {
+                    ctx.compute_int_ops(
+                        (self.mine.len() as u64) * (self.mine.len().max(2) as u64).ilog2() as u64,
+                    );
+                }
+                self.next_round()
+            }
+            BtState::AwaitPartner => {
+                self.other = Some(ctx.take::<Vec<u64>>());
+                self.state = BtState::Barriered;
+                Op::Barrier
+            }
+            BtState::Barriered => {
+                let other = self.other.take().expect("partner keys missing");
+                let (_, keep_low) = self.schedule[self.wire][self.step_idx];
+                if self.include_compute {
+                    ctx.compute_int_ops(merge_ops(self.mine.len()));
+                }
+                self.mine = merge_split(&self.mine, &other, keep_low);
+                self.state = BtState::Written;
+                Op::Write(self.var_own, Arc::new(self.mine.clone()))
+            }
+            BtState::Written => {
+                self.step_idx += 1;
+                // The post-write barrier; the next round starts afterwards.
+                self.state = BtState::BetweenRounds;
+                Op::Barrier
+            }
+            BtState::BetweenRounds => self.next_round(),
+            BtState::Finish => Op::Done,
+        }
+    }
+}
+
+/// Run the bitonic sort through the DIVA interface under the event-driven
+/// execution mode (bit-identical to [`run_shared`]).
+pub fn run_shared_driven(mut diva: Diva, params: BitonicParams) -> BitonicOutcome {
+    let p = diva.num_procs();
+    let m = params.keys_per_proc;
+    let wire_of_proc = invert(&wire_to_proc(&diva));
+    let word = diva.config().machine.word_bytes.max(4) as usize;
+    let bytes = (m * word) as u32;
+    let proc_of_wire = wire_to_proc(&diva);
+    let vars: Vec<VarHandle> = (0..p)
+        .map(|w| {
+            let mut keys = sort_keys(params.seed, w, m);
+            keys.sort_unstable();
+            diva.alloc(proc_of_wire[w], bytes, keys)
+        })
+        .collect();
+    let vars = Arc::new(vars);
+    let schedule = Arc::new(per_wire_schedule(p));
+    let programs: Vec<BitonicProgram> = (0..p)
+        .map(|proc| {
+            let wire = wire_of_proc[proc];
+            BitonicProgram {
+                wire,
+                var_own: vars[wire],
+                vars: Arc::clone(&vars),
+                schedule: Arc::clone(&schedule),
+                include_compute: params.include_compute,
+                step_idx: 0,
+                mine: Vec::new(),
+                other: None,
+                state: BtState::Start,
+            }
+        })
+        .collect();
+    let outcome = diva.run_driven(programs);
+    let mut keys_per_wire = vec![Vec::new(); p];
+    for prog in outcome.results {
+        keys_per_wire[prog.wire] = prog.mine;
+    }
+    BitonicOutcome {
+        report: outcome.report,
+        keys_per_wire,
+    }
+}
+
+/// State of the driven hand-optimized bitonic program.
+enum BtHoState {
+    /// Send the own keys of the current step.
+    SendMine,
+    /// Send issued; receive the partner's keys.
+    Sent,
+    /// Waiting for the partner's keys.
+    AwaitOther,
+    /// Final barrier issued.
+    Finish,
+}
+
+/// The event-driven twin of the [`run_hand_optimized`] closure.
+struct BitonicHandOptProgram {
+    wire: usize,
+    proc_of_wire: Arc<Vec<usize>>,
+    schedule: Arc<Vec<Vec<(usize, bool)>>>,
+    include_compute: bool,
+    bytes: u32,
+    step_idx: usize,
+    mine: Vec<u64>,
+    state: BtHoState,
+}
+
+impl ProcProgram for BitonicHandOptProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        match self.state {
+            BtHoState::SendMine => {
+                if self.step_idx == 0 && self.include_compute {
+                    ctx.compute_int_ops(
+                        (self.mine.len() as u64) * (self.mine.len().max(2) as u64).ilog2() as u64,
+                    );
+                }
+                match self.schedule[self.wire].get(self.step_idx) {
+                    Some(&(partner, _)) => {
+                        self.state = BtHoState::Sent;
+                        Op::Send {
+                            to: self.proc_of_wire[partner],
+                            bytes: self.bytes,
+                            tag: self.step_idx as u64,
+                            value: Arc::new(self.mine.clone()),
+                        }
+                    }
+                    None => {
+                        self.state = BtHoState::Finish;
+                        Op::Barrier
+                    }
+                }
+            }
+            BtHoState::Sent => {
+                let (partner, _) = self.schedule[self.wire][self.step_idx];
+                self.state = BtHoState::AwaitOther;
+                Op::Recv {
+                    from: self.proc_of_wire[partner],
+                    tag: self.step_idx as u64,
+                }
+            }
+            BtHoState::AwaitOther => {
+                let other = ctx.take::<Vec<u64>>();
+                let (_, keep_low) = self.schedule[self.wire][self.step_idx];
+                if self.include_compute {
+                    ctx.compute_int_ops(merge_ops(self.mine.len()));
+                }
+                self.mine = merge_split(&self.mine, &other, keep_low);
+                self.step_idx += 1;
+                self.state = BtHoState::SendMine;
+                self.step(ctx)
+            }
+            BtHoState::Finish => Op::Done,
+        }
+    }
+}
+
+/// Run the hand-optimized bitonic sort under the event-driven execution mode
+/// (bit-identical to [`run_hand_optimized`]).
+pub fn run_hand_optimized_driven(diva: Diva, params: BitonicParams) -> BitonicOutcome {
+    let p = diva.num_procs();
+    let m = params.keys_per_proc;
+    let wire_of_proc = invert(&wire_to_proc(&diva));
+    let proc_of_wire = Arc::new(wire_to_proc(&diva));
+    let word = diva.config().machine.word_bytes.max(4) as usize;
+    let bytes = (m * word) as u32;
+    let schedule = Arc::new(per_wire_schedule(p));
+    let programs: Vec<BitonicHandOptProgram> = (0..p)
+        .map(|proc| {
+            let wire = wire_of_proc[proc];
+            let mut mine = sort_keys(params.seed, wire, m);
+            mine.sort_unstable();
+            BitonicHandOptProgram {
+                wire,
+                proc_of_wire: Arc::clone(&proc_of_wire),
+                schedule: Arc::clone(&schedule),
+                include_compute: params.include_compute,
+                bytes,
+                step_idx: 0,
+                mine,
+                state: BtHoState::SendMine,
+            }
+        })
+        .collect();
+    let outcome = diva.run_driven(programs);
+    let mut keys_per_wire = vec![Vec::new(); p];
+    for prog in outcome.results {
+        keys_per_wire[prog.wire] = prog.mine;
+    }
+    BitonicOutcome {
+        report: outcome.report,
+        keys_per_wire,
+    }
+}
+
 /// Run the bitonic sort with the hand-optimized message-passing strategy.
 pub fn run_hand_optimized(diva: Diva, params: BitonicParams) -> BitonicOutcome {
     let p = diva.num_procs();
@@ -228,14 +477,19 @@ pub fn verify_sorted(out: &BitonicOutcome, params: &BitonicParams) -> Result<(),
     let mut prev_max: Option<u64> = None;
     for (wire, keys) in out.keys_per_wire.iter().enumerate() {
         if keys.len() != m {
-            return Err(format!("wire {wire} holds {} keys, expected {m}", keys.len()));
+            return Err(format!(
+                "wire {wire} holds {} keys, expected {m}",
+                keys.len()
+            ));
         }
         if keys.windows(2).any(|w| w[0] > w[1]) {
             return Err(format!("wire {wire} is not locally sorted"));
         }
         if let (Some(pm), Some(&first)) = (prev_max, keys.first()) {
             if pm > first {
-                return Err(format!("wire {wire} starts below the previous wire's maximum"));
+                return Err(format!(
+                    "wire {wire} starts below the previous wire's maximum"
+                ));
             }
         }
         prev_max = keys.last().copied();
@@ -287,7 +541,10 @@ mod tests {
         // neighbouring wires with alternating directions.
         let steps = bitonic_schedule(8);
         assert_eq!(steps.len(), 6);
-        assert_eq!(steps[0], vec![(0, 1, true), (2, 3, false), (4, 5, true), (6, 7, false)]);
+        assert_eq!(
+            steps[0],
+            vec![(0, 1, true), (2, 3, false), (4, 5, true), (6, 7, false)]
+        );
         // The final merging phase compares with stride 4, 2, 1, all ascending.
         assert!(steps[3].iter().all(|&(a, b, asc)| asc && b == a + 4));
         assert!(steps[5].iter().all(|&(a, b, asc)| asc && b == a + 1));
@@ -328,9 +585,35 @@ mod tests {
     }
 
     #[test]
+    fn driven_and_threaded_shared_runs_are_bit_identical() {
+        for strategy in [
+            StrategyKind::AccessTree(TreeShape::lk(2, 4)),
+            StrategyKind::FixedHome,
+        ] {
+            let params = BitonicParams::new(32);
+            let threaded = run_shared(diva(4, strategy), params);
+            let driven = run_shared_driven(diva(4, strategy), params);
+            assert_eq!(threaded.keys_per_wire, driven.keys_per_wire, "{strategy:?}");
+            assert_eq!(threaded.report, driven.report, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn driven_and_threaded_hand_optimized_runs_are_bit_identical() {
+        let params = BitonicParams::new(32);
+        let threaded = run_hand_optimized(diva(4, StrategyKind::FixedHome), params);
+        let driven = run_hand_optimized_driven(diva(4, StrategyKind::FixedHome), params);
+        assert_eq!(threaded.keys_per_wire, driven.keys_per_wire);
+        assert_eq!(threaded.report, driven.report);
+    }
+
+    #[test]
     fn access_tree_congestion_stays_below_fixed_home() {
         let params = BitonicParams::new(256);
-        let at = run_shared(diva(4, StrategyKind::AccessTree(TreeShape::lk(2, 4))), params);
+        let at = run_shared(
+            diva(4, StrategyKind::AccessTree(TreeShape::lk(2, 4))),
+            params,
+        );
         let fh = run_shared(diva(4, StrategyKind::FixedHome), params);
         assert!(
             at.report.congestion_bytes() <= fh.report.congestion_bytes(),

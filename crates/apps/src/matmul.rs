@@ -19,7 +19,7 @@
 //! * [`reference_square`] — a sequential implementation used to verify both.
 
 use crate::workload::block_matrix;
-use dm_diva::{Diva, RunReport, VarHandle};
+use dm_diva::{Diva, Op, ProcProgram, RunReport, StepCtx, VarHandle};
 use std::sync::Arc;
 
 /// Parameters of the matrix-square experiment.
@@ -48,7 +48,11 @@ impl MatmulParams {
     /// Panics if `block_ints` is not a perfect square.
     pub fn block_side(&self) -> usize {
         let b = (self.block_ints as f64).sqrt().round() as usize;
-        assert_eq!(b * b, self.block_ints, "block size must be a perfect square");
+        assert_eq!(
+            b * b,
+            self.block_ints,
+            "block size must be a perfect square"
+        );
         b
     }
 }
@@ -155,6 +159,142 @@ pub fn run_shared(mut diva: Diva, params: MatmulParams) -> MatmulOutcome {
     }
 }
 
+/// State of the driven matrix-square program (see [`MatmulProgram`]).
+enum MmState {
+    /// About to enter the read phase.
+    Start,
+    /// Read-phase region entered; issue the first `A`-block read.
+    ReadA,
+    /// Waiting for the `A` block of round `kp`.
+    AwaitA,
+    /// Waiting for the `B` block of round `kp`.
+    AwaitB,
+    /// All reads done and barrier passed; enter the write phase.
+    EnterWritePhase,
+    /// Write-phase region entered; write the own block.
+    WriteOwn,
+    /// Own block written; final barrier.
+    FinalBarrier,
+    /// Final barrier passed; finish.
+    Finish,
+}
+
+/// The event-driven twin of the [`run_shared`] closure: one explicit state
+/// machine per processor performing the staggered read schedule, the barrier
+/// and the write phase. Operation-for-operation equivalent to the threaded
+/// version, so both modes produce bit-identical run reports.
+struct MatmulProgram {
+    q: usize,
+    side: usize,
+    include_compute: bool,
+    vars: Arc<Vec<VarHandle>>,
+    i: usize,
+    j: usize,
+    kp: usize,
+    a: Option<Arc<Vec<i64>>>,
+    h: Vec<i64>,
+    state: MmState,
+}
+
+impl MatmulProgram {
+    fn new(
+        proc: usize,
+        q: usize,
+        side: usize,
+        include_compute: bool,
+        vars: Arc<Vec<VarHandle>>,
+    ) -> Self {
+        MatmulProgram {
+            q,
+            side,
+            include_compute,
+            vars,
+            i: proc / q,
+            j: proc % q,
+            kp: 0,
+            a: None,
+            h: vec![0i64; side * side],
+            state: MmState::Start,
+        }
+    }
+
+    /// The staggered `k` of round `kp`: at most two processors read the same
+    /// block in the same step.
+    fn k(&self) -> usize {
+        (self.kp + self.i + self.j) % self.q
+    }
+}
+
+impl ProcProgram for MatmulProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        match self.state {
+            MmState::Start => {
+                self.state = MmState::ReadA;
+                Op::Region("read-phase".to_string())
+            }
+            MmState::ReadA => {
+                self.state = MmState::AwaitA;
+                Op::Read(self.vars[self.i * self.q + self.k()])
+            }
+            MmState::AwaitA => {
+                self.a = Some(ctx.take::<Vec<i64>>());
+                self.state = MmState::AwaitB;
+                Op::Read(self.vars[self.k() * self.q + self.j])
+            }
+            MmState::AwaitB => {
+                let b = ctx.take::<Vec<i64>>();
+                let a = self.a.take().expect("A block missing");
+                if self.include_compute {
+                    ctx.compute_int_ops(block_multiply_ops(self.side));
+                }
+                block_multiply_add(&mut self.h, &a, &b, self.side);
+                self.kp += 1;
+                if self.kp < self.q {
+                    self.state = MmState::AwaitA;
+                    Op::Read(self.vars[self.i * self.q + self.k()])
+                } else {
+                    self.state = MmState::EnterWritePhase;
+                    Op::Barrier
+                }
+            }
+            MmState::EnterWritePhase => {
+                self.state = MmState::WriteOwn;
+                Op::Region("write-phase".to_string())
+            }
+            MmState::WriteOwn => {
+                self.state = MmState::FinalBarrier;
+                Op::Write(
+                    self.vars[self.i * self.q + self.j],
+                    Arc::new(self.h.clone()),
+                )
+            }
+            MmState::FinalBarrier => {
+                self.state = MmState::Finish;
+                Op::Barrier
+            }
+            MmState::Finish => Op::Done,
+        }
+    }
+}
+
+/// Run the matrix square through the DIVA shared-variable interface under the
+/// event-driven execution mode — the same simulated run as [`run_shared`]
+/// (bit-identical report), orders of magnitude faster to simulate on large
+/// meshes.
+pub fn run_shared_driven(mut diva: Diva, params: MatmulParams) -> MatmulOutcome {
+    let q = grid_side(&diva);
+    let side = params.block_side();
+    let vars = Arc::new(allocate_blocks(&mut diva, &params, q));
+    let programs: Vec<MatmulProgram> = (0..q * q)
+        .map(|p| MatmulProgram::new(p, q, side, params.include_compute, Arc::clone(&vars)))
+        .collect();
+    let outcome = diva.run_driven(programs);
+    MatmulOutcome {
+        report: outcome.report,
+        blocks: outcome.results.into_iter().map(|p| p.h).collect(),
+    }
+}
+
 /// Message tags of the hand-optimized variant (one per forwarding direction).
 const TAG_EAST: u64 = 1;
 const TAG_WEST: u64 = 2;
@@ -212,7 +352,12 @@ pub fn run_hand_optimized(diva: Diva, params: MatmulParams) -> MatmulOutcome {
                         let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i, j - 1), TAG_EAST);
                         let (col, block) = (*msg).clone();
                         if j + 1 < q {
-                            ctx.send_msg(proc_of(i, j + 1), block_bytes, TAG_EAST, (col, block.clone()));
+                            ctx.send_msg(
+                                proc_of(i, j + 1),
+                                block_bytes,
+                                TAG_EAST,
+                                (col, block.clone()),
+                            );
                         }
                         row_blocks[col] = Some(block);
                     }
@@ -220,7 +365,12 @@ pub fn run_hand_optimized(diva: Diva, params: MatmulParams) -> MatmulOutcome {
                         let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i, j + 1), TAG_WEST);
                         let (col, block) = (*msg).clone();
                         if j > 0 {
-                            ctx.send_msg(proc_of(i, j - 1), block_bytes, TAG_WEST, (col, block.clone()));
+                            ctx.send_msg(
+                                proc_of(i, j - 1),
+                                block_bytes,
+                                TAG_WEST,
+                                (col, block.clone()),
+                            );
                         }
                         row_blocks[col] = Some(block);
                     }
@@ -228,7 +378,12 @@ pub fn run_hand_optimized(diva: Diva, params: MatmulParams) -> MatmulOutcome {
                         let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i - 1, j), TAG_SOUTH);
                         let (row, block) = (*msg).clone();
                         if i + 1 < q {
-                            ctx.send_msg(proc_of(i + 1, j), block_bytes, TAG_SOUTH, (row, block.clone()));
+                            ctx.send_msg(
+                                proc_of(i + 1, j),
+                                block_bytes,
+                                TAG_SOUTH,
+                                (row, block.clone()),
+                            );
                         }
                         col_blocks[row] = Some(block);
                     }
@@ -236,7 +391,12 @@ pub fn run_hand_optimized(diva: Diva, params: MatmulParams) -> MatmulOutcome {
                         let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i + 1, j), TAG_NORTH);
                         let (row, block) = (*msg).clone();
                         if i > 0 {
-                            ctx.send_msg(proc_of(i - 1, j), block_bytes, TAG_NORTH, (row, block.clone()));
+                            ctx.send_msg(
+                                proc_of(i - 1, j),
+                                block_bytes,
+                                TAG_NORTH,
+                                (row, block.clone()),
+                            );
                         }
                         col_blocks[row] = Some(block);
                     }
@@ -266,9 +426,219 @@ pub fn run_hand_optimized(diva: Diva, params: MatmulParams) -> MatmulOutcome {
     }
 }
 
+/// State of the driven hand-optimized program.
+enum HoState {
+    /// Issuing the kick-off sends of the four pipelines.
+    Kickoff,
+    /// Waiting for the block travelling in `cur_dir`.
+    AwaitRecv,
+    /// Forward send issued; the received block still has to be stored.
+    AfterForward,
+    /// Final barrier issued.
+    Finish,
+}
+
+/// The event-driven twin of the [`run_hand_optimized`] closure: pipelined
+/// neighbour-to-neighbour forwarding as an explicit state machine.
+struct MatmulHandOptProgram {
+    q: usize,
+    side: usize,
+    include_compute: bool,
+    block_bytes: u32,
+    i: usize,
+    j: usize,
+    row_blocks: Vec<Option<Vec<i64>>>,
+    col_blocks: Vec<Option<Vec<i64>>>,
+    /// Kick-off sends still to issue: `(to, tag, payload)`.
+    kickoff: Vec<(usize, u64, (usize, Vec<i64>))>,
+    /// Blocks still expected per direction (east←west, west←east,
+    /// south←north, north←south), as in the threaded loop.
+    remaining: [usize; 4],
+    /// Cyclic scan position over the four directions.
+    scan: usize,
+    /// Direction currently being received.
+    cur_dir: usize,
+    /// Received block waiting to be stored after its forward send.
+    stash: Option<(usize, Vec<i64>)>,
+    h: Vec<i64>,
+    state: HoState,
+}
+
+impl MatmulHandOptProgram {
+    fn new(proc: usize, q: usize, side: usize, include_compute: bool, block_bytes: u32) -> Self {
+        let (i, j) = (proc / q, proc % q);
+        let own: Vec<i64> = block_matrix(i, j, side);
+        let mut row_blocks: Vec<Option<Vec<i64>>> = vec![None; q];
+        let mut col_blocks: Vec<Option<Vec<i64>>> = vec![None; q];
+        row_blocks[j] = Some(own.clone());
+        col_blocks[i] = Some(own.clone());
+        let proc_of = |r: usize, c: usize| r * q + c;
+        // Kick-off sends in the same order as the threaded closure.
+        let mut kickoff = Vec::new();
+        if j + 1 < q {
+            kickoff.push((proc_of(i, j + 1), TAG_EAST, (j, own.clone())));
+        }
+        if j > 0 {
+            kickoff.push((proc_of(i, j - 1), TAG_WEST, (j, own.clone())));
+        }
+        if i + 1 < q {
+            kickoff.push((proc_of(i + 1, j), TAG_SOUTH, (i, own.clone())));
+        }
+        if i > 0 {
+            kickoff.push((proc_of(i - 1, j), TAG_NORTH, (i, own)));
+        }
+        kickoff.reverse(); // issued by popping from the back
+        MatmulHandOptProgram {
+            q,
+            side,
+            include_compute,
+            block_bytes,
+            i,
+            j,
+            row_blocks,
+            col_blocks,
+            kickoff,
+            remaining: [j, q - 1 - j, i, q - 1 - i],
+            scan: 0,
+            cur_dir: 0,
+            stash: None,
+            h: Vec::new(),
+            state: HoState::Kickoff,
+        }
+    }
+
+    fn proc_of(&self, r: usize, c: usize) -> usize {
+        r * self.q + c
+    }
+
+    /// The neighbour a block travelling in `dir` is received from.
+    fn recv_source(&self, dir: usize) -> (usize, u64) {
+        match dir {
+            0 => (self.proc_of(self.i, self.j - 1), TAG_EAST),
+            1 => (self.proc_of(self.i, self.j + 1), TAG_WEST),
+            2 => (self.proc_of(self.i - 1, self.j), TAG_SOUTH),
+            _ => (self.proc_of(self.i + 1, self.j), TAG_NORTH),
+        }
+    }
+
+    /// Store a received block in the row/column table of its direction.
+    fn store(&mut self, dir: usize, idx: usize, block: Vec<i64>) {
+        if dir < 2 {
+            self.row_blocks[idx] = Some(block);
+        } else {
+            self.col_blocks[idx] = Some(block);
+        }
+    }
+
+    /// Pick the next direction with outstanding blocks (cyclic scan, the
+    /// same visit sequence as the threaded round-robin loop) and issue its
+    /// receive — or, when all pipelines have drained, compute the block
+    /// product and issue the final barrier.
+    fn next_op(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        for off in 0..4 {
+            let dir = (self.scan + off) % 4;
+            if self.remaining[dir] > 0 {
+                self.remaining[dir] -= 1;
+                self.scan = (dir + 1) % 4;
+                self.cur_dir = dir;
+                self.state = HoState::AwaitRecv;
+                let (from, tag) = self.recv_source(dir);
+                return Op::Recv { from, tag };
+            }
+        }
+        // All blocks of row i and column j are local: compute the new block.
+        let mut h = vec![0i64; self.side * self.side];
+        for k in 0..self.q {
+            let a = self.row_blocks[k].as_ref().expect("missing row block");
+            let b = self.col_blocks[k].as_ref().expect("missing column block");
+            if self.include_compute {
+                ctx.compute_int_ops(block_multiply_ops(self.side));
+            }
+            block_multiply_add(&mut h, a, b, self.side);
+        }
+        self.h = h;
+        self.state = HoState::Finish;
+        Op::Barrier
+    }
+
+    /// Forward a block one hop along its pipeline, if it has further to go.
+    fn forward(&mut self, dir: usize, idx: usize, block: &[i64]) -> Option<Op> {
+        let to = match dir {
+            0 if self.j + 1 < self.q => self.proc_of(self.i, self.j + 1),
+            1 if self.j > 0 => self.proc_of(self.i, self.j - 1),
+            2 if self.i + 1 < self.q => self.proc_of(self.i + 1, self.j),
+            3 if self.i > 0 => self.proc_of(self.i - 1, self.j),
+            _ => return None,
+        };
+        let tag = [TAG_EAST, TAG_WEST, TAG_SOUTH, TAG_NORTH][dir];
+        Some(Op::Send {
+            to,
+            bytes: self.block_bytes,
+            tag,
+            value: Arc::new((idx, block.to_vec())),
+        })
+    }
+}
+
+impl ProcProgram for MatmulHandOptProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        match self.state {
+            HoState::Kickoff => {
+                if let Some((to, tag, payload)) = self.kickoff.pop() {
+                    // Stay in Kickoff until all initial sends are out.
+                    return Op::Send {
+                        to,
+                        bytes: self.block_bytes,
+                        tag,
+                        value: Arc::new(payload),
+                    };
+                }
+                self.next_op(ctx)
+            }
+            HoState::AwaitRecv => {
+                let msg = ctx.take::<(usize, Vec<i64>)>();
+                let (idx, block) = (*msg).clone();
+                let dir = self.cur_dir;
+                if let Some(op) = self.forward(dir, idx, &block) {
+                    self.stash = Some((idx, block));
+                    self.state = HoState::AfterForward;
+                    return op;
+                }
+                self.store(dir, idx, block);
+                self.next_op(ctx)
+            }
+            HoState::AfterForward => {
+                let (idx, block) = self.stash.take().expect("no forwarded block stashed");
+                self.store(self.cur_dir, idx, block);
+                self.next_op(ctx)
+            }
+            HoState::Finish => Op::Done,
+        }
+    }
+}
+
+/// Run the hand-optimized matrix square under the event-driven execution
+/// mode (bit-identical to [`run_hand_optimized`]).
+pub fn run_hand_optimized_driven(diva: Diva, params: MatmulParams) -> MatmulOutcome {
+    let q = grid_side(&diva);
+    let side = params.block_side();
+    let word = diva.config().machine.word_bytes as usize;
+    let block_bytes = (params.block_ints * word) as u32;
+    let programs: Vec<MatmulHandOptProgram> = (0..q * q)
+        .map(|p| MatmulHandOptProgram::new(p, q, side, params.include_compute, block_bytes))
+        .collect();
+    let outcome = diva.run_driven(programs);
+    MatmulOutcome {
+        report: outcome.report,
+        blocks: outcome.results.into_iter().map(|p| p.h).collect(),
+    }
+}
+
 /// The initial blocks of the experiment (used by tests to verify results).
 pub fn initial_blocks(q: usize, side: usize) -> Vec<Vec<i64>> {
-    (0..q * q).map(|p| block_matrix(p / q, p % q, side)).collect()
+    (0..q * q)
+        .map(|p| block_matrix(p / q, p % q, side))
+        .collect()
 }
 
 #[cfg(test)]
@@ -318,10 +688,7 @@ mod tests {
     #[test]
     fn hand_optimized_version_computes_the_correct_square() {
         let params = MatmulParams::new(16);
-        let out = run_hand_optimized(
-            diva(4, StrategyKind::AccessTree(TreeShape::quad())),
-            params,
-        );
+        let out = run_hand_optimized(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params);
         let expected = reference_square(&initial_blocks(4, 4), 4, 4);
         assert_eq!(out.blocks, expected);
     }
@@ -335,6 +702,32 @@ mod tests {
     }
 
     #[test]
+    fn driven_and_threaded_shared_runs_are_bit_identical() {
+        for strategy in [
+            StrategyKind::AccessTree(TreeShape::quad()),
+            StrategyKind::FixedHome,
+        ] {
+            let params = MatmulParams::new(64);
+            let threaded = run_shared(diva(4, strategy), params);
+            let driven = run_shared_driven(diva(4, strategy), params);
+            assert_eq!(threaded.blocks, driven.blocks, "{strategy:?}");
+            assert_eq!(threaded.report, driven.report, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn driven_and_threaded_hand_optimized_runs_are_bit_identical() {
+        let params = MatmulParams {
+            block_ints: 64,
+            include_compute: true,
+        };
+        let threaded = run_hand_optimized(diva(4, StrategyKind::FixedHome), params);
+        let driven = run_hand_optimized_driven(diva(4, StrategyKind::FixedHome), params);
+        assert_eq!(threaded.blocks, driven.blocks);
+        assert_eq!(threaded.report, driven.report);
+    }
+
+    #[test]
     fn hand_optimized_congestion_is_close_to_the_lower_bound() {
         // The paper: the hand-optimized strategy achieves congestion m·√P
         // (in words). Allow protocol headers as slack.
@@ -343,7 +736,10 @@ mod tests {
         let word = 4;
         let lower_bound = (256 * word * 4) as u64; // m bytes · √P
         let measured = out.report.congestion_bytes();
-        assert!(measured >= lower_bound / 2, "congestion {measured} below plausible range");
+        assert!(
+            measured >= lower_bound / 2,
+            "congestion {measured} below plausible range"
+        );
         assert!(
             measured <= lower_bound * 2,
             "congestion {measured} far above the m·√P bound {lower_bound}"

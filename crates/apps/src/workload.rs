@@ -1,8 +1,7 @@
 //! Deterministic workload generators shared by the applications and the
 //! experiment harness.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use dm_rng::ChaCha8Rng;
 
 /// The deterministic initial matrix block for block row `i`, block column `j`
 /// with side length `side`. Entries are small so that repeated squaring stays
@@ -21,8 +20,9 @@ pub fn block_matrix(i: usize, j: usize, side: usize) -> Vec<i64> {
 /// Deterministic pseudo-random sort keys for the bitonic-sorting experiment:
 /// `m` keys for the processor simulating wire `wire`.
 pub fn sort_keys(seed: u64, wire: usize, m: usize) -> Vec<u64> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (wire as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    (0..m).map(|_| rng.gen::<u64>()).collect()
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(seed ^ (wire as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (0..m).map(|_| rng.next_u64()).collect()
 }
 
 /// A body of the N-body simulation.
@@ -152,7 +152,11 @@ mod tests {
             .iter()
             .filter(|b| b.pos.iter().map(|x| x * x).sum::<f64>() < 1.5 * 1.5)
             .count();
-        assert!(inner * 2 > bodies.len(), "only {inner} of {} inside r=1.5", bodies.len());
+        assert!(
+            inner * 2 > bodies.len(),
+            "only {inner} of {} inside r=1.5",
+            bodies.len()
+        );
     }
 
     #[test]

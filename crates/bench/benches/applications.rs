@@ -1,13 +1,18 @@
-//! Criterion benchmarks of whole application simulations at reduced scale —
-//! these measure the *simulator's* throughput (how fast the reproduction can
+//! Benchmarks of whole application simulations at reduced scale — these
+//! measure the *simulator's* throughput (how fast the reproduction can
 //! evaluate a configuration), complementing the figure binaries which report
-//! the *simulated* quantities.
+//! the *simulated* quantities. Both execution backends are measured so the
+//! speedup of the event-driven driver stays visible over time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dm_apps::barnes_hut::{run_shared as bh_run, BhParams};
-use dm_apps::bitonic::{run_shared as bitonic_run, BitonicParams};
-use dm_apps::matmul::{run_hand_optimized, run_shared as matmul_run, MatmulParams};
+use dm_apps::barnes_hut::{run_shared as bh_run, run_shared_driven as bh_driven, BhParams};
+use dm_apps::bitonic::{
+    run_shared as bitonic_run, run_shared_driven as bitonic_driven, BitonicParams,
+};
+use dm_apps::matmul::{
+    run_hand_optimized, run_shared as matmul_run, run_shared_driven as matmul_driven, MatmulParams,
+};
 use dm_apps::workload::plummer_bodies;
+use dm_bench::timing::bench;
 use dm_diva::{Diva, DivaConfig, StrategyKind};
 use dm_mesh::{Mesh, TreeShape};
 
@@ -15,38 +20,68 @@ fn diva(side: usize, strategy: StrategyKind) -> Diva {
     Diva::new(DivaConfig::new(Mesh::square(side), strategy))
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul_4x4_block256");
-    group.sample_size(10);
+fn bench_matmul() {
     let params = MatmulParams::new(256);
-    group.bench_function("4-ary access tree", |b| {
-        b.iter(|| matmul_run(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params).report.total_time)
+    bench(
+        "matmul_4x4_block256/4-ary access tree (threaded)",
+        10,
+        || {
+            matmul_run(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params)
+                .report
+                .total_time
+        },
+    );
+    bench("matmul_4x4_block256/4-ary access tree (driven)", 10, || {
+        matmul_driven(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params)
+            .report
+            .total_time
     });
-    group.bench_function("fixed home", |b| {
-        b.iter(|| matmul_run(diva(4, StrategyKind::FixedHome), params).report.total_time)
+    bench("matmul_4x4_block256/fixed home (threaded)", 10, || {
+        matmul_run(diva(4, StrategyKind::FixedHome), params)
+            .report
+            .total_time
     });
-    group.bench_function("hand-optimized", |b| {
-        b.iter(|| run_hand_optimized(diva(4, StrategyKind::FixedHome), params).report.total_time)
+    bench("matmul_4x4_block256/hand-optimized (threaded)", 10, || {
+        run_hand_optimized(diva(4, StrategyKind::FixedHome), params)
+            .report
+            .total_time
     });
-    group.finish();
 }
 
-fn bench_bitonic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bitonic_4x4_keys256");
-    group.sample_size(10);
+fn bench_bitonic() {
     let params = BitonicParams::new(256);
-    group.bench_function("2-4-ary access tree", |b| {
-        b.iter(|| bitonic_run(diva(4, StrategyKind::AccessTree(TreeShape::lk(2, 4))), params).report.total_time)
+    bench(
+        "bitonic_4x4_keys256/2-4-ary access tree (threaded)",
+        10,
+        || {
+            bitonic_run(
+                diva(4, StrategyKind::AccessTree(TreeShape::lk(2, 4))),
+                params,
+            )
+            .report
+            .total_time
+        },
+    );
+    bench(
+        "bitonic_4x4_keys256/2-4-ary access tree (driven)",
+        10,
+        || {
+            bitonic_driven(
+                diva(4, StrategyKind::AccessTree(TreeShape::lk(2, 4))),
+                params,
+            )
+            .report
+            .total_time
+        },
+    );
+    bench("bitonic_4x4_keys256/fixed home (threaded)", 10, || {
+        bitonic_run(diva(4, StrategyKind::FixedHome), params)
+            .report
+            .total_time
     });
-    group.bench_function("fixed home", |b| {
-        b.iter(|| bitonic_run(diva(4, StrategyKind::FixedHome), params).report.total_time)
-    });
-    group.finish();
 }
 
-fn bench_barnes_hut(c: &mut Criterion) {
-    let mut group = c.benchmark_group("barnes_hut_4x4");
-    group.sample_size(10);
+fn bench_barnes_hut() {
     let params = BhParams {
         n_bodies: 400,
         timesteps: 1,
@@ -57,15 +92,31 @@ fn bench_barnes_hut(c: &mut Criterion) {
     };
     let bodies = plummer_bodies(77, params.n_bodies);
     for (name, strategy) in [
-        ("4-ary access tree", StrategyKind::AccessTree(TreeShape::quad())),
+        (
+            "4-ary access tree",
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
         ("fixed home", StrategyKind::FixedHome),
     ] {
-        group.bench_with_input(BenchmarkId::new("400_bodies", name), &strategy, |b, &s| {
-            b.iter(|| bh_run(diva(4, s), params, &bodies).report.total_time)
-        });
+        bench(
+            &format!("barnes_hut_4x4/400_bodies/{name} (threaded)"),
+            10,
+            || bh_run(diva(4, strategy), params, &bodies).report.total_time,
+        );
+        bench(
+            &format!("barnes_hut_4x4/400_bodies/{name} (driven)"),
+            10,
+            || {
+                bh_driven(diva(4, strategy), params, &bodies)
+                    .report
+                    .total_time
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_bitonic, bench_barnes_hut);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_bitonic();
+    bench_barnes_hut();
+}

@@ -1,0 +1,116 @@
+//! The headline benchmark of the event-driven execution mode: the protocol
+//! microbench (uniform random reads/writes over per-processor shared
+//! variables on a 16×16 mesh under the 4-ary access tree) run under both
+//! backends. The two runs simulate the *same* machine execution — their run
+//! reports are asserted bit-identical — so the wall-clock ratio is purely
+//! the cost of thread-per-processor scheduling vs inline stepping.
+//!
+//! Future PRs: run `cargo bench --bench driver_vs_threads` and keep the
+//! printed speedup from regressing (the PR that introduced the driven mode
+//! measured well above the 5× acceptance bar).
+
+use dm_bench::timing::bench;
+use dm_diva::{Diva, DivaConfig, Op, ProcProgram, RunReport, StepCtx, StrategyKind, VarHandle};
+use dm_mesh::{Mesh, TreeShape};
+use std::sync::Arc;
+
+const ROUNDS: usize = 40;
+const SIDE: usize = 16;
+
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+fn seed_of(proc: usize) -> u64 {
+    0x9E3779B97F4A7C15u64 ^ (proc as u64) << 17
+}
+
+fn make_diva() -> (Diva, Arc<Vec<VarHandle>>) {
+    let cfg = DivaConfig::new(
+        Mesh::square(SIDE),
+        StrategyKind::AccessTree(TreeShape::quad()),
+    );
+    let mut diva = Diva::new(cfg);
+    let vars: Vec<VarHandle> = (0..diva.num_procs())
+        .map(|p| diva.alloc(p, 512, 0u64))
+        .collect();
+    (diva, Arc::new(vars))
+}
+
+fn run_threaded() -> RunReport {
+    let (diva, vars) = make_diva();
+    let outcome = diva.run(move |ctx| {
+        let mut rng = seed_of(ctx.proc_id());
+        for round in 1..=ROUNDS {
+            ctx.compute_int_ops(5);
+            let r = lcg_next(&mut rng);
+            let var = vars[(r % vars.len() as u64) as usize];
+            if r & 1 == 0 {
+                let _ = ctx.read::<u64>(var);
+            } else {
+                ctx.write(var, round as u64);
+            }
+        }
+        ctx.barrier();
+    });
+    outcome.report
+}
+
+struct UniformProgram {
+    vars: Arc<Vec<VarHandle>>,
+    rng: u64,
+    round: usize,
+    done: bool,
+}
+
+impl ProcProgram for UniformProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        if self.done {
+            return Op::Done;
+        }
+        if self.round == ROUNDS {
+            self.done = true;
+            return Op::Barrier;
+        }
+        self.round += 1;
+        ctx.compute_int_ops(5);
+        let r = lcg_next(&mut self.rng);
+        let var = self.vars[(r % self.vars.len() as u64) as usize];
+        if r & 1 == 0 {
+            Op::Read(var)
+        } else {
+            Op::Write(var, Arc::new(self.round as u64))
+        }
+    }
+}
+
+fn run_driven() -> RunReport {
+    let (diva, vars) = make_diva();
+    let programs: Vec<UniformProgram> = (0..SIDE * SIDE)
+        .map(|p| UniformProgram {
+            vars: Arc::clone(&vars),
+            rng: seed_of(p),
+            round: 0,
+            done: false,
+        })
+        .collect();
+    diva.run_driven(programs).report
+}
+
+fn main() {
+    // Same simulated execution in both modes — guard against drift.
+    assert_eq!(
+        run_threaded(),
+        run_driven(),
+        "threaded and driven backends must produce bit-identical reports"
+    );
+
+    let name = format!("protocol/uniform_rw_{SIDE}x{SIDE}_quad_{ROUNDS}rounds");
+    let threaded = bench(&format!("{name}/threaded"), 10, run_threaded);
+    let driven = bench(&format!("{name}/driven"), 10, run_driven);
+    let speedup = threaded.secs() / driven.secs();
+    println!("driven-mode speedup over thread-per-processor: {speedup:.1}x");
+}

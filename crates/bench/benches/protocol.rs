@@ -1,84 +1,78 @@
-//! Criterion micro-benchmarks of the core data structures and protocols:
-//! mesh routing, decomposition-tree construction, access-tree embedding, and
-//! end-to-end protocol handling for a single hot variable under both
-//! data-management strategies.
+//! Micro-benchmarks of the core data structures and protocols: mesh routing,
+//! decomposition-tree construction, access-tree embedding, and end-to-end
+//! protocol handling for a single hot variable under both data-management
+//! strategies. Plain `harness = false` binaries built on
+//! [`dm_bench::timing`] (the workspace builds offline, without criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dm_diva::{Diva, DivaConfig, EmbeddingMode, Embedder, StrategyKind, VarPlacement};
+use dm_bench::timing::bench;
+use dm_diva::{Diva, DivaConfig, Embedder, EmbeddingMode, StrategyKind, VarPlacement};
 use dm_mesh::{DecompositionTree, Mesh, NodeId, TreeShape};
 use std::sync::Arc;
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing() {
     let mesh = Mesh::square(32);
-    c.bench_function("mesh/xy_route_32x32_corner_to_corner", |b| {
-        let from = mesh.node_at(0, 0);
-        let to = mesh.node_at(31, 31);
-        b.iter(|| {
-            let mut hops = 0u32;
-            mesh.for_each_route_link(from, to, |_| hops += 1);
-            hops
-        })
+    let from = mesh.node_at(0, 0);
+    let to = mesh.node_at(31, 31);
+    bench("mesh/xy_route_32x32_corner_to_corner", 1000, || {
+        let mut hops = 0u32;
+        mesh.for_each_route_link(from, to, |_| hops += 1);
+        hops
     });
 }
 
-fn bench_decomposition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decomposition");
+fn bench_decomposition() {
     for (name, shape) in [
         ("2-ary", TreeShape::binary()),
         ("4-ary", TreeShape::quad()),
         ("16-ary", TreeShape::hex16()),
     ] {
-        group.bench_with_input(BenchmarkId::new("build_32x32", name), &shape, |b, &shape| {
+        bench(&format!("decomposition/build_32x32/{name}"), 50, || {
             let mesh = Mesh::square(32);
-            b.iter(|| DecompositionTree::build(&mesh, shape).len())
+            DecompositionTree::build(&mesh, shape).len()
         });
     }
-    group.finish();
 }
 
-fn bench_embedding(c: &mut Criterion) {
+fn bench_embedding() {
     let mesh = Mesh::square(32);
     let tree = Arc::new(DecompositionTree::build(&mesh, TreeShape::quad()));
     let embedder = Embedder::new(tree.clone(), EmbeddingMode::Modified);
-    let placement = VarPlacement { root: NodeId(517), seed: 42 };
-    c.bench_function("embedding/modified_position_all_nodes_32x32", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for id in tree.node_ids() {
-                acc += embedder.position(placement, id).0 as u64;
-            }
-            acc
-        })
+    let placement = VarPlacement {
+        root: NodeId(517),
+        seed: 42,
+    };
+    bench("embedding/modified_position_all_nodes_32x32", 100, || {
+        let mut acc = 0u64;
+        for id in tree.node_ids() {
+            acc += embedder.position(placement, id).0 as u64;
+        }
+        acc
     });
 }
 
-fn bench_protocol_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol");
-    group.sample_size(10);
+fn bench_protocol_round() {
     for (name, strategy) in [
-        ("4-ary access tree", StrategyKind::AccessTree(TreeShape::quad())),
+        (
+            "4-ary access tree",
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
         ("fixed home", StrategyKind::FixedHome),
     ] {
-        group.bench_function(BenchmarkId::new("hot_read_8x8", name), |b| {
-            b.iter(|| {
-                let mut diva = Diva::new(DivaConfig::new(Mesh::square(8), strategy));
-                let v = diva.alloc(0, 4096, vec![0u8; 4096]);
-                let outcome = diva.run(|ctx| {
-                    let _ = ctx.read::<Vec<u8>>(v);
-                    ctx.barrier();
-                });
-                outcome.report.congestion_bytes()
-            })
+        bench(&format!("protocol/hot_read_8x8/{name}"), 10, || {
+            let mut diva = Diva::new(DivaConfig::new(Mesh::square(8), strategy));
+            let v = diva.alloc(0, 4096, vec![0u8; 4096]);
+            let outcome = diva.run(|ctx| {
+                let _ = ctx.read::<Vec<u8>>(v);
+                ctx.barrier();
+            });
+            outcome.report.congestion_bytes()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_routing,
-    bench_decomposition,
-    bench_embedding,
-    bench_protocol_round
-);
-criterion_main!(benches);
+fn main() {
+    bench_routing();
+    bench_decomposition();
+    bench_embedding();
+    bench_protocol_round();
+}

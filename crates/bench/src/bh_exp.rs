@@ -1,15 +1,14 @@
 //! Barnes-Hut experiments (Figures 8, 9, 10 and 11).
 
 use crate::{barnes_hut_shapes, make_diva, HarnessOpts};
-use dm_apps::barnes_hut::{run_shared, BhParams};
+use dm_apps::barnes_hut::{run_shared_driven, BhParams};
 use dm_apps::workload::plummer_bodies;
 use dm_diva::{RunReport, StrategyKind};
 use dm_mesh::TreeShape;
-use serde::Serialize;
 
 /// Measurements of one Barnes-Hut run, reduced to the quantities the four
 /// figures plot.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BhRow {
     /// Strategy name.
     pub strategy: String,
@@ -34,6 +33,20 @@ pub struct BhRow {
     /// Total interactions computed (sanity/diagnostics).
     pub interactions: u64,
 }
+
+crate::impl_to_json!(BhRow {
+    strategy,
+    mesh,
+    n_bodies,
+    congestion_msgs,
+    exec_time_ns,
+    tree_build_congestion_msgs,
+    tree_build_time_ns,
+    force_congestion_msgs,
+    force_time_ns,
+    force_compute_ns,
+    interactions,
+});
 
 fn report_to_row(
     strategy: String,
@@ -77,8 +90,15 @@ pub fn run_point(
 ) -> BhRow {
     let bodies = plummer_bodies(seed ^ n_bodies as u64, n_bodies);
     let diva = make_diva(mesh.0, mesh.1, strategy, seed);
-    let out = run_shared(diva, params, &bodies);
-    report_to_row(strategy_name.to_string(), mesh, n_bodies, &out.report, out.interactions)
+    // Runs under the event-driven backend (bit-identical to threaded).
+    let out = run_shared_driven(diva, params, &bodies);
+    report_to_row(
+        strategy_name.to_string(),
+        mesh,
+        n_bodies,
+        &out.report,
+        out.interactions,
+    )
 }
 
 /// The body-count sweep of Figures 8–10: a fixed mesh, all five strategies.

@@ -36,7 +36,10 @@ fn main() {
             f2(r.time_ratio),
         ]);
     }
-    println!("Figure 3 — matrix multiplication on a {0}x{0} mesh", rows[0].mesh_side);
+    println!(
+        "Figure 3 — matrix multiplication on a {0}x{0} mesh",
+        rows[0].mesh_side
+    );
     println!("{}", table.render());
     opts.write_json(&rows);
 }

@@ -26,7 +26,10 @@ fn main() {
             f2(r.time_ratio),
         ]);
     }
-    println!("Figure 4 — matrix multiplication, block size {}", rows[0].block_ints);
+    println!(
+        "Figure 4 — matrix multiplication, block size {}",
+        rows[0].block_ints
+    );
     println!("{}", table.render());
     opts.write_json(&rows);
 }

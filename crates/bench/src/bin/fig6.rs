@@ -35,7 +35,10 @@ fn main() {
             f2(r.time_ratio),
         ]);
     }
-    println!("Figure 6 — bitonic sorting on a {0}x{0} mesh", rows[0].mesh_side);
+    println!(
+        "Figure 6 — bitonic sorting on a {0}x{0} mesh",
+        rows[0].mesh_side
+    );
     println!("{}", table.render());
     opts.write_json(&rows);
 }

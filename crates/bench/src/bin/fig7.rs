@@ -26,7 +26,10 @@ fn main() {
             f2(r.time_ratio),
         ]);
     }
-    println!("Figure 7 — bitonic sorting, {} keys per processor", rows[0].keys_per_proc);
+    println!(
+        "Figure 7 — bitonic sorting, {} keys per processor",
+        rows[0].keys_per_proc
+    );
     println!("{}", table.render());
     opts.write_json(&rows);
 }

@@ -9,7 +9,12 @@ use dm_bench::HarnessOpts;
 fn main() {
     let opts = HarnessOpts::from_args();
     let rows = body_sweep(&opts);
-    let mut table = Table::new(&["bodies", "strategy", "tree-build congestion[msgs]", "tree-build time[s]"]);
+    let mut table = Table::new(&[
+        "bodies",
+        "strategy",
+        "tree-build congestion[msgs]",
+        "tree-build time[s]",
+    ]);
     for r in &rows {
         table.row(vec![
             r.n_bodies.to_string(),

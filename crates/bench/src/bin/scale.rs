@@ -1,0 +1,109 @@
+//! Beyond-paper scaling: Figure-4/7-style network-size sweeps extended to
+//! mesh sizes the paper's platform could never reach (64×64 = 4096 and
+//! 128×128 = 16384 processors).
+//!
+//! The thread-per-processor backend cannot run these sizes at all (16384 OS
+//! threads); the event-driven backend completes the whole sweep in minutes.
+//! Block and key sizes are reduced relative to the paper sweeps so the
+//! simulated data volume per processor stays constant while the network
+//! grows — the regime where the congestion-ratio curves of Figures 4 and 7
+//! are interesting.
+//!
+//! `--mega` adds the 128×128 points (the default stops at 64×64).
+
+use dm_bench::bitonic_exp::{self, BitonicRow};
+use dm_bench::matmul_exp::{self, MatmulRow};
+use dm_bench::table::{f2, secs, Table};
+use dm_bench::{impl_to_json, HarnessOpts};
+use std::time::Instant;
+
+/// The `--json` payload: both sweeps of the scaling scenario.
+struct ScaleRows {
+    matmul: Vec<MatmulRow>,
+    bitonic: Vec<BitonicRow>,
+}
+
+impl_to_json!(ScaleRows { matmul, bitonic });
+
+fn main() {
+    let opts = HarnessOpts::from_args_allowing(&["--mega"]);
+    let mega = std::env::args().any(|a| a == "--mega");
+    let sides: Vec<usize> = if mega {
+        vec![16, 32, 64, 128]
+    } else {
+        vec![16, 32, 64]
+    };
+
+    // Matrix square, Figure-4 style: fixed block size, growing mesh.
+    let block = 256;
+    let mut mm_rows = Vec::new();
+    for &side in &sides {
+        let t = Instant::now();
+        mm_rows.extend(matmul_exp::run_point(
+            side,
+            block,
+            &matmul_exp::figure_strategies(),
+            opts.seed,
+        ));
+        eprintln!("matmul {side}x{side} done in {:.1?}", t.elapsed());
+    }
+    let mut table = Table::new(&[
+        "mesh",
+        "strategy",
+        "congestion[B]",
+        "congestion ratio",
+        "comm time[s]",
+        "time ratio",
+    ]);
+    for r in &mm_rows {
+        table.row(vec![
+            format!("{0}x{0}", r.mesh_side),
+            r.strategy.clone(),
+            r.congestion_bytes.to_string(),
+            f2(r.congestion_ratio),
+            secs(r.comm_time_ns),
+            f2(r.time_ratio),
+        ]);
+    }
+    println!("Beyond-paper scaling — matrix multiplication, block size {block}");
+    println!("{}", table.render());
+
+    // Bitonic sorting, Figure-7 style: fixed keys per processor, growing mesh.
+    let keys = 256;
+    let mut bt_rows = Vec::new();
+    for &side in &sides {
+        let t = Instant::now();
+        bt_rows.extend(bitonic_exp::run_point(
+            side,
+            keys,
+            &bitonic_exp::figure_strategies(),
+            opts.seed,
+        ));
+        eprintln!("bitonic {side}x{side} done in {:.1?}", t.elapsed());
+    }
+    let mut table = Table::new(&[
+        "mesh",
+        "strategy",
+        "congestion[B]",
+        "congestion ratio",
+        "exec time[s]",
+        "time ratio",
+    ]);
+    for r in &bt_rows {
+        table.row(vec![
+            format!("{0}x{0}", r.mesh_side),
+            r.strategy.clone(),
+            r.congestion_bytes.to_string(),
+            f2(r.congestion_ratio),
+            secs(r.exec_time_ns),
+            f2(r.time_ratio),
+        ]);
+    }
+    println!("Beyond-paper scaling — bitonic sorting, {keys} keys per processor");
+    println!("{}", table.render());
+
+    opts.write_json(&ScaleRows {
+        matmul: mm_rows,
+        bitonic: bt_rows,
+    });
+}

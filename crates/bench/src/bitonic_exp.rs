@@ -2,13 +2,12 @@
 //! Section 3.2).
 
 use crate::{make_diva, ratio, HarnessOpts};
-use dm_apps::bitonic::{run_hand_optimized, run_shared, BitonicParams};
+use dm_apps::bitonic::{run_hand_optimized_driven, run_shared_driven, BitonicParams};
 use dm_diva::StrategyKind;
 use dm_mesh::TreeShape;
-use serde::Serialize;
 
 /// One row of a bitonic-sorting figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BitonicRow {
     /// Strategy name.
     pub strategy: String,
@@ -25,6 +24,16 @@ pub struct BitonicRow {
     /// Execution-time ratio vs the hand-optimized baseline.
     pub time_ratio: f64,
 }
+
+crate::impl_to_json!(BitonicRow {
+    strategy,
+    mesh_side,
+    keys_per_proc,
+    congestion_bytes,
+    exec_time_ns,
+    congestion_ratio,
+    time_ratio,
+});
 
 /// The strategies Figure 6/7 compare against the baseline (the paper plots
 /// the fixed home and the 2-4-ary access tree).
@@ -65,7 +74,8 @@ pub fn run_point(
     seed: u64,
 ) -> Vec<BitonicRow> {
     let params = BitonicParams::new(keys_per_proc);
-    let baseline = run_hand_optimized(
+    // All experiment points run under the event-driven backend.
+    let baseline = run_hand_optimized_driven(
         make_diva(mesh_side, mesh_side, StrategyKind::FixedHome, seed),
         params,
     );
@@ -81,7 +91,7 @@ pub fn run_point(
         time_ratio: 1.0,
     }];
     for (name, strategy) in strategies {
-        let out = run_shared(make_diva(mesh_side, mesh_side, *strategy, seed), params);
+        let out = run_shared_driven(make_diva(mesh_side, mesh_side, *strategy, seed), params);
         rows.push(BitonicRow {
             strategy: name.clone(),
             mesh_side,
@@ -132,7 +142,10 @@ mod tests {
     fn figure6_point_reproduces_the_ordering_of_the_paper() {
         let rows = run_point(4, 256, &figure_strategies(), 11);
         let fh = rows.iter().find(|r| r.strategy == "fixed home").unwrap();
-        let at = rows.iter().find(|r| r.strategy.contains("2-4-ary")).unwrap();
+        let at = rows
+            .iter()
+            .find(|r| r.strategy.contains("2-4-ary"))
+            .unwrap();
         // Both dynamic strategies pay a congestion factor over the baseline;
         // the access tree pays less than the fixed home.
         assert!(at.congestion_ratio >= 1.0);

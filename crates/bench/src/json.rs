@@ -1,0 +1,155 @@
+//! Minimal hand-rolled JSON output.
+//!
+//! The repository builds offline and therefore cannot depend on `serde` /
+//! `serde_json`; the experiment harness only ever serializes flat row structs
+//! of numbers and short strings, so a small writer trait is all that is
+//! needed. Output is valid JSON (RFC 8259): strings are escaped, non-finite
+//! floats become `null`.
+
+/// A value that can write itself as JSON.
+pub trait ToJson {
+    /// Append the JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// The JSON encoding as a fresh string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        out.push('"');
+        for ch in self.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        self.as_str().write_json(out);
+    }
+}
+
+impl ToJson for u64 {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl ToJson for usize {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for (usize, usize) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n ");
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+/// Implement [`ToJson`] for a plain struct by listing its fields.
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn write_json(&self, out: &mut String) {
+                out.push('{');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = first;
+                    $crate::json::ToJson::write_json(stringify!($field), out);
+                    out.push(':');
+                    $crate::json::ToJson::write_json(&self.$field, out);
+                )+
+                out.push('}');
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings_encode() {
+        assert_eq!(5u64.to_json(), "5");
+        assert_eq!(2.5f64.to_json(), "2.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b\\c\nd".to_json(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!((3usize, 4usize).to_json(), "[3,4]");
+    }
+
+    struct Row {
+        name: String,
+        count: u64,
+        ratio: f64,
+    }
+    impl_to_json!(Row { name, count, ratio });
+
+    #[test]
+    fn structs_and_vectors_encode() {
+        let rows = vec![
+            Row {
+                name: "a".into(),
+                count: 1,
+                ratio: 0.5,
+            },
+            Row {
+                name: "b".into(),
+                count: 2,
+                ratio: f64::INFINITY,
+            },
+        ];
+        let json = rows.to_json();
+        assert_eq!(
+            json,
+            "[{\"name\":\"a\",\"count\":1,\"ratio\":0.5},\n {\"name\":\"b\",\"count\":2,\"ratio\":null}]"
+        );
+    }
+}

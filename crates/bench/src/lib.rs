@@ -26,13 +26,15 @@
 
 pub mod bh_exp;
 pub mod bitonic_exp;
+pub mod json;
 pub mod matmul_exp;
 pub mod table;
+pub mod timing;
 
 use dm_diva::{Diva, DivaConfig, StrategyKind};
 use dm_engine::MachineConfig;
 use dm_mesh::{Mesh, TreeShape};
-use serde::Serialize;
+use json::ToJson;
 
 /// Command-line options shared by all figure binaries.
 #[derive(Debug, Clone)]
@@ -56,14 +58,24 @@ impl Default for HarnessOpts {
 }
 
 impl HarnessOpts {
-    /// Parse the options from command-line arguments (ignores unknown flags).
+    /// Parse the options from command-line arguments (warns about unknown
+    /// flags). Binaries with extra flags of their own list them in
+    /// [`HarnessOpts::from_args_allowing`].
     pub fn from_args() -> Self {
+        Self::from_args_allowing(&[])
+    }
+
+    /// Parse the options, additionally accepting (and ignoring) the listed
+    /// binary-specific flags — the binary itself is responsible for
+    /// consuming them.
+    pub fn from_args_allowing(extra_flags: &[&str]) -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--paper" => opts.paper = true,
+                flag if extra_flags.contains(&flag) => {}
                 "--json" => {
                     i += 1;
                     opts.json = args.get(i).cloned();
@@ -87,10 +99,9 @@ impl HarnessOpts {
     }
 
     /// Write `rows` to the JSON file if one was requested.
-    pub fn write_json<T: Serialize>(&self, rows: &T) {
+    pub fn write_json<T: ToJson>(&self, rows: &T) {
         if let Some(path) = &self.json {
-            let json = serde_json::to_string_pretty(rows).expect("serializing rows");
-            std::fs::write(path, json).expect("writing JSON output");
+            std::fs::write(path, rows.to_json()).expect("writing JSON output");
             eprintln!("wrote {path}");
         }
     }

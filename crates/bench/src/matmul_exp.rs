@@ -2,15 +2,14 @@
 //! Section 3.1).
 
 use crate::{make_diva, ratio, HarnessOpts};
-use dm_apps::matmul::{run_hand_optimized, run_shared, MatmulParams};
+use dm_apps::matmul::{run_hand_optimized_driven, run_shared_driven, MatmulParams};
 use dm_diva::StrategyKind;
 use dm_mesh::TreeShape;
-use serde::Serialize;
 
 /// One row of a matrix-multiplication figure: the congestion and
 /// communication-time ratios of a dynamic strategy relative to the
 /// hand-optimized message-passing baseline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MatmulRow {
     /// Strategy name.
     pub strategy: String,
@@ -28,6 +27,16 @@ pub struct MatmulRow {
     pub time_ratio: f64,
 }
 
+crate::impl_to_json!(MatmulRow {
+    strategy,
+    mesh_side,
+    block_ints,
+    congestion_bytes,
+    comm_time_ns,
+    congestion_ratio,
+    time_ratio,
+});
+
 /// Run the matrix square for one (mesh, block size) point with the two
 /// dynamic strategies of Figure 3/4 plus the baseline, and return the rows.
 pub fn run_point(
@@ -37,7 +46,9 @@ pub fn run_point(
     seed: u64,
 ) -> Vec<MatmulRow> {
     let params = MatmulParams::new(block_ints);
-    let baseline = run_hand_optimized(
+    // All experiment points run under the event-driven backend (bit-identical
+    // reports to the threaded one, orders of magnitude faster to simulate).
+    let baseline = run_hand_optimized_driven(
         make_diva(mesh_side, mesh_side, StrategyKind::FixedHome, seed),
         params,
     );
@@ -53,7 +64,7 @@ pub fn run_point(
         time_ratio: 1.0,
     }];
     for (name, strategy) in strategies {
-        let out = run_shared(make_diva(mesh_side, mesh_side, *strategy, seed), params);
+        let out = run_shared_driven(make_diva(mesh_side, mesh_side, *strategy, seed), params);
         rows.push(MatmulRow {
             strategy: name.clone(),
             mesh_side,
@@ -148,7 +159,11 @@ mod tests {
         let fh = rows.iter().find(|r| r.strategy == "fixed home").unwrap();
         let at = rows.iter().find(|r| r.strategy.contains("4-ary")).unwrap();
         assert_eq!(base.congestion_ratio, 1.0);
-        assert!(at.congestion_ratio > 1.0, "access tree ratio {}", at.congestion_ratio);
+        assert!(
+            at.congestion_ratio > 1.0,
+            "access tree ratio {}",
+            at.congestion_ratio
+        );
         assert!(
             fh.congestion_ratio > at.congestion_ratio,
             "fixed home {} vs access tree {}",

@@ -1,0 +1,70 @@
+//! A tiny self-contained micro-benchmark harness.
+//!
+//! The workspace builds offline and therefore cannot depend on `criterion`;
+//! the bench targets under `benches/` are plain `harness = false` binaries
+//! built on this module instead. Each benchmark runs a closure repeatedly,
+//! reports the median wall-clock time per iteration, and returns it so
+//! benches can compute ratios (e.g. threaded vs driven runtime).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measured result of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median wall-clock time of one iteration.
+    pub median: Duration,
+    /// Minimum observed iteration time.
+    pub min: Duration,
+    /// Number of measured iterations.
+    pub iters: usize,
+}
+
+impl Measurement {
+    /// Median time in seconds.
+    pub fn secs(&self) -> f64 {
+        self.median.as_secs_f64()
+    }
+}
+
+/// Run `f` once as warm-up and then `iters` measured times, printing and
+/// returning the median iteration time. The closure's result is passed
+/// through [`black_box`] so the compiler cannot elide the work.
+pub fn bench<R, F: FnMut() -> R>(name: &str, iters: usize, mut f: F) -> Measurement {
+    assert!(iters > 0);
+    black_box(f());
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    let m = Measurement {
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        iters,
+    };
+    println!(
+        "{name:<55} median {:>12.3?}  min {:>12.3?}  ({iters} iters)",
+        m.median, m.min
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_returns() {
+        let mut calls = 0u32;
+        let m = bench("noop", 5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(m.iters, 5);
+        assert_eq!(calls, 6); // warm-up + 5 measured
+        assert!(m.min <= m.median);
+    }
+}

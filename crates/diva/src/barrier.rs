@@ -167,9 +167,9 @@ mod tests {
         let mut woken = HashSet::new();
         let mut messages = 0;
         let handle = |actions: Vec<BarrierAction>,
-                          queue: &mut VecDeque<BarrierMsg>,
-                          woken: &mut HashSet<u32>,
-                          messages: &mut usize| {
+                      queue: &mut VecDeque<BarrierMsg>,
+                      woken: &mut HashSet<u32>,
+                      messages: &mut usize| {
             for a in actions {
                 match a {
                     BarrierAction::Send { msg, .. } => {
@@ -209,7 +209,10 @@ mod tests {
             let (woken, messages) = run_barrier(&mesh, shape, &all);
             assert_eq!(woken.len(), 16, "{shape:?}");
             // Arrive wave + release wave: at most 2 messages per tree edge.
-            assert!(messages <= 4 * mesh.nodes(), "{shape:?}: {messages} messages");
+            assert!(
+                messages <= 4 * mesh.nodes(),
+                "{shape:?}: {messages} messages"
+            );
         }
     }
 

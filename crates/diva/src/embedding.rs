@@ -12,11 +12,12 @@
 //! reports no adverse effects, and both variants are available here.
 
 use dm_mesh::{DecompositionTree, Mesh, NodeId, TreeNodeId};
-use serde::{Deserialize, Serialize};
+use dm_rng::splitmix64;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// Which embedding rule maps access-tree nodes to processors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EmbeddingMode {
     /// The practical embedding of the DIVA library: the root is random, every
     /// descendant reuses its parent's relative position modulo its own
@@ -29,7 +30,7 @@ pub enum EmbeddingMode {
 }
 
 /// Per-variable randomness driving the embedding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VarPlacement {
     /// Processor the root of the variable's access tree is mapped to.
     pub root: NodeId,
@@ -37,27 +38,31 @@ pub struct VarPlacement {
     pub seed: u64,
 }
 
+/// Number of entries of the direct-mapped position cache (a power of two).
+const POSITION_CACHE_SLOTS: usize = 1 << 14;
+
 /// Maps access-tree nodes of individual variables to mesh processors.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Embedder {
     tree: Arc<DecompositionTree>,
     mode: EmbeddingMode,
-}
-
-/// SplitMix64 — a small, high-quality mixing function used to derive
-/// per-tree-node pseudo-random values from a variable seed.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    /// Direct-mapped memo for [`EmbeddingMode::Modified`] positions, which
+    /// depend only on `(root, tree node)`: `(key, position)` pairs, replaced
+    /// on collision. Embedding runs a few times per simulated protocol
+    /// message, and protocol traffic revisits the same tree edges over and
+    /// over. Interior mutability keeps the lookup API `&self`; the simulator
+    /// drives each policy from a single thread.
+    cache: RefCell<Vec<(u64, NodeId)>>,
 }
 
 impl Embedder {
     /// Create an embedder for the given decomposition tree and mode.
     pub fn new(tree: Arc<DecompositionTree>, mode: EmbeddingMode) -> Self {
-        Embedder { tree, mode }
+        Embedder {
+            tree,
+            mode,
+            cache: RefCell::new(vec![(u64::MAX, NodeId(0)); POSITION_CACHE_SLOTS]),
+        }
     }
 
     /// The decomposition tree all access trees are copies of.
@@ -90,7 +95,23 @@ impl Embedder {
             return p;
         }
         match self.mode {
-            EmbeddingMode::Modified => self.position_modified(placement, node),
+            EmbeddingMode::Modified => {
+                // Modified positions depend only on (root, node) — memoize.
+                let key = (placement.root.0 as u64) << 32 | node.0 as u64;
+                let slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    >> (64 - POSITION_CACHE_SLOTS.trailing_zeros()))
+                    as usize;
+                {
+                    let cache = self.cache.borrow();
+                    let (k, pos) = cache[slot];
+                    if k == key {
+                        return pos;
+                    }
+                }
+                let pos = self.position_modified(placement, node);
+                self.cache.borrow_mut()[slot] = (key, pos);
+                pos
+            }
             EmbeddingMode::Random => self.position_random(placement, node),
         }
     }
@@ -98,22 +119,31 @@ impl Embedder {
     /// Modified embedding: fold the root position down the path from the root
     /// to `node`, taking the parent's relative coordinates modulo the child's
     /// submesh dimensions at every step.
+    ///
+    /// `position` is called several times per simulated protocol message, so
+    /// the root-to-node fold recurses along the parent chain (depth is
+    /// logarithmic in the mesh size) instead of materialising the path.
     fn position_modified(&self, placement: VarPlacement, node: TreeNodeId) -> NodeId {
         let mesh = self.tree.mesh();
-        // Path root -> node (path_to_root is node -> root, so iterate reversed).
-        let path = self.tree.path_to_root(node);
-        let root_sub = self.tree.submesh(self.tree.root());
-        let (root_r, root_c) = mesh.coord(placement.root);
-        // Relative coordinates of the current position within the current submesh.
-        let mut rel_r = root_r - root_sub.row0;
-        let mut rel_c = root_c - root_sub.col0;
-        for &child in path.iter().rev().skip(1) {
-            let sub = self.tree.submesh(child);
-            rel_r %= sub.rows;
-            rel_c %= sub.cols;
-        }
+        let (rel_r, rel_c) = self.rel_pos_modified(placement, node);
         let sub = self.tree.submesh(node);
         mesh.node_at(sub.row0 + rel_r, sub.col0 + rel_c)
+    }
+
+    /// Relative coordinates of the modified embedding within `node`'s submesh.
+    fn rel_pos_modified(&self, placement: VarPlacement, node: TreeNodeId) -> (usize, usize) {
+        match self.tree.parent(node) {
+            None => {
+                let root_sub = self.tree.submesh(node);
+                let (root_r, root_c) = self.tree.mesh().coord(placement.root);
+                (root_r - root_sub.row0, root_c - root_sub.col0)
+            }
+            Some(parent) => {
+                let (rel_r, rel_c) = self.rel_pos_modified(placement, parent);
+                let sub = self.tree.submesh(node);
+                (rel_r % sub.rows, rel_c % sub.cols)
+            }
+        }
     }
 
     /// Random embedding: an independent pseudo-random processor of the node's
@@ -146,7 +176,7 @@ mod tests {
         (0..mesh_nodes as u32)
             .map(|i| VarPlacement {
                 root: NodeId(i),
-                seed: 0x1234_5678_9ABC_DEF0 ^ (i as u64) * 7919,
+                seed: 0x1234_5678_9ABC_DEF0 ^ ((i as u64) * 7919),
             })
             .collect()
     }
@@ -174,7 +204,10 @@ mod tests {
     fn leaves_map_to_their_processor() {
         for mode in [EmbeddingMode::Modified, EmbeddingMode::Random] {
             let e = embedder(6, 5, TreeShape::binary(), mode);
-            let placement = VarPlacement { root: NodeId(13), seed: 42 };
+            let placement = VarPlacement {
+                root: NodeId(13),
+                seed: 42,
+            };
             for p in e.mesh().clone().node_ids() {
                 let leaf = e.tree().leaf_of(p);
                 assert_eq!(e.position(placement, leaf), p);
@@ -200,7 +233,10 @@ mod tests {
         let e = embedder(8, 8, TreeShape::quad(), EmbeddingMode::Modified);
         let mesh = e.mesh().clone();
         let root_pos = mesh.node_at(5, 6);
-        let placement = VarPlacement { root: root_pos, seed: 0 };
+        let placement = VarPlacement {
+            root: root_pos,
+            seed: 0,
+        };
         let root = e.tree().root();
         for &child in e.tree().children(root) {
             let sub = e.tree().submesh(child);
@@ -235,9 +271,18 @@ mod tests {
     #[test]
     fn random_embedding_is_deterministic_per_seed() {
         let e = embedder(8, 8, TreeShape::binary(), EmbeddingMode::Random);
-        let p1 = VarPlacement { root: NodeId(3), seed: 99 };
-        let p2 = VarPlacement { root: NodeId(3), seed: 99 };
-        let p3 = VarPlacement { root: NodeId(3), seed: 100 };
+        let p1 = VarPlacement {
+            root: NodeId(3),
+            seed: 99,
+        };
+        let p2 = VarPlacement {
+            root: NodeId(3),
+            seed: 99,
+        };
+        let p3 = VarPlacement {
+            root: NodeId(3),
+            seed: 100,
+        };
         let mut differs = false;
         for t in e.tree().node_ids() {
             assert_eq!(e.position(p1, t), e.position(p2, t));
@@ -258,6 +303,10 @@ mod tests {
         for placement in placements(256) {
             distinct.insert(e.position(placement, root_child));
         }
-        assert!(distinct.len() > 16, "random embedding not spreading: {}", distinct.len());
+        assert!(
+            distinct.len() > 16,
+            "random embedding not spreading: {}",
+            distinct.len()
+        );
     }
 }

@@ -1,0 +1,82 @@
+//! A minimal multiply-mix hasher for the integer-keyed hot maps of the
+//! runtime (transaction tables, mailboxes, lock tables).
+//!
+//! The default SipHash of `std::collections::HashMap` showed up prominently
+//! in simulator profiles; every key we hash is a small integer (or a tuple
+//! of them), so a single multiply-rotate round in the style of rustc's
+//! `FxHasher` is plenty and several times faster. Not DoS-resistant — all
+//! keys are generated internally by the simulator.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One multiply-rotate round per written word.
+#[derive(Default)]
+pub(crate) struct FastHasher(u64);
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(SEED).rotate_left(26);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, x: u8) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// A `HashMap` keyed by internal integer ids, using [`FastHasher`].
+pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn hashes_spread() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = FastHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+}

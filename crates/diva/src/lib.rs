@@ -11,13 +11,37 @@
 //! ## What it provides
 //!
 //! * [`Diva`] / [`DivaConfig`] — a simulated mesh machine with a configurable
-//!   data-management strategy. Programs are ordinary Rust closures, executed
-//!   once per simulated processor, that access shared data through
-//!   [`ProcCtx`]: typed [`ProcCtx::read`] / [`ProcCtx::write`] on
-//!   [`VarHandle`]s, [`ProcCtx::barrier`], per-variable [`ProcCtx::lock`] /
-//!   [`ProcCtx::unlock`], modelled local computation via [`ProcCtx::compute`],
-//!   and explicit [`ProcCtx::send_msg`] / [`ProcCtx::recv_msg`] message
-//!   passing for hand-optimized baselines.
+//!   data-management strategy, runnable in either of two execution modes
+//!   (see below).
+//! * The **threaded mode** ([`Diva::run`]): programs are ordinary Rust
+//!   closures, executed once per simulated processor on its own OS thread,
+//!   that access shared data through [`ProcCtx`]: typed [`ProcCtx::read`] /
+//!   [`ProcCtx::write`] on [`VarHandle`]s, [`ProcCtx::barrier`],
+//!   per-variable [`ProcCtx::lock`] / [`ProcCtx::unlock`], modelled local
+//!   computation via [`ProcCtx::compute`], and explicit
+//!   [`ProcCtx::send_msg`] / [`ProcCtx::recv_msg`] message passing for
+//!   hand-optimized baselines.
+//! * The **event-driven mode** ([`Diva::run_driven`]): programs are explicit
+//!   [`ProcProgram`] state machines that yield [`Op`]s, driven inline by the
+//!   coordinator — zero OS threads, zero channel hops.
+//!
+//! ## Choosing an execution mode
+//!
+//! Both modes simulate the same machine and, for operation-equivalent
+//! programs, produce **bit-identical** [`RunReport`]s (enforced by parity
+//! tests). The difference is purely how fast the simulation itself runs:
+//!
+//! * Use the **threaded** mode for exploration and small meshes — ordinary
+//!   control flow (loops, recursion, early returns) makes programs easy to
+//!   write, but every simulated processor costs an OS thread and every
+//!   blocking operation two channel hops. A 32×32 mesh already needs 1024
+//!   threads.
+//! * Use the **driven** mode for experiments and large meshes — the
+//!   coordinator steps each program state machine directly off its event
+//!   queue. The protocol microbench runs ≥5× faster at 16×16, and meshes of
+//!   64×64 and beyond (impossible to even spawn under the threaded mode)
+//!   complete in minutes. All `dm-bench` experiments use this mode; the
+//!   paper applications in `dm-apps` provide `run_*_driven` variants.
 //! * The **access-tree strategy**
 //!   ([`policy::access_tree::AccessTreePolicy`]): per-variable access trees
 //!   derived from the hierarchical mesh decomposition, embedded randomly but
@@ -64,6 +88,7 @@
 
 pub mod barrier;
 pub mod embedding;
+mod fasthash;
 pub mod policy;
 pub mod report;
 mod runtime;
@@ -72,12 +97,14 @@ pub mod var;
 pub use embedding::{Embedder, EmbeddingMode, VarPlacement};
 pub use policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId};
 pub use report::{RegionReport, RunReport};
-pub use runtime::{Diva, DivaConfig, ProcCtx, RunOutcome, StrategyKind};
+pub use runtime::{Diva, DivaConfig, Op, ProcCtx, ProcProgram, RunOutcome, StepCtx, StrategyKind};
 pub use var::{Value, VarHandle, VarRegistry};
 
 /// Convenience re-exports of the substrate crates most callers need.
 pub mod prelude {
-    pub use crate::{Diva, DivaConfig, ProcCtx, RunOutcome, StrategyKind, VarHandle};
+    pub use crate::{
+        Diva, DivaConfig, Op, ProcCtx, ProcProgram, RunOutcome, StepCtx, StrategyKind, VarHandle,
+    };
     pub use dm_engine::MachineConfig;
     pub use dm_mesh::{Mesh, TreeShape};
 }

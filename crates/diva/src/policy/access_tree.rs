@@ -25,35 +25,166 @@
 
 use super::{AccessKind, Counter, LockTable, Policy, PolicyEnv, PolicyMsg, TxId, VarGate};
 use crate::embedding::{Embedder, EmbeddingMode, VarPlacement};
+use crate::fasthash::FastMap;
 use crate::var::VarHandle;
 use dm_mesh::{DecompositionTree, Mesh, NodeId, TreeNodeId, TreeShape};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use std::collections::{HashMap, HashSet, VecDeque};
+use dm_rng::ChaCha8Rng;
 use std::sync::Arc;
+
+/// A dense bitset over the nodes of the decomposition tree — the
+/// per-variable copy set.
+///
+/// Membership tests run on the hot path of every request step and every
+/// invalidation BFS, so the set is a flat bit vector (word `n / 64`, bit
+/// `n % 64`) instead of a hash set.
+#[derive(Debug, Clone)]
+pub struct CopySet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl CopySet {
+    fn new(tree_len: usize) -> Self {
+        CopySet {
+            words: vec![0; tree_len.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Whether `node` holds a copy.
+    #[inline]
+    pub fn contains(&self, node: &TreeNodeId) -> bool {
+        self.words[node.index() / 64] >> (node.0 % 64) & 1 == 1
+    }
+
+    /// Number of tree nodes holding a copy.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no node holds a copy (never true between operations).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `node`; returns whether it was newly inserted.
+    fn insert(&mut self, node: TreeNodeId) -> bool {
+        let w = &mut self.words[node.index() / 64];
+        let bit = 1u64 << (node.0 % 64);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Remove `node`; returns whether it was present.
+    fn remove(&mut self, node: &TreeNodeId) -> bool {
+        let w = &mut self.words[node.index() / 64];
+        let bit = 1u64 << (node.0 % 64);
+        let present = *w & bit != 0;
+        *w &= !bit;
+        self.len -= usize::from(present);
+        present
+    }
+
+    /// Iterate over the members in increasing node order.
+    pub fn iter(&self) -> impl Iterator<Item = TreeNodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| TreeNodeId((wi * 64 + b) as u32))
+        })
+    }
+}
 
 /// Per-variable state of the access-tree strategy.
 #[derive(Debug)]
 struct AtVar {
     placement: VarPlacement,
     /// Tree nodes currently holding a copy; always a connected component.
-    copies: HashSet<TreeNodeId>,
+    copies: CopySet,
     /// The copy node closest to the root.
     top: TreeNodeId,
     gate: VarGate,
 }
 
-/// Per-transaction protocol state.
+/// One node of an invalidation-multicast plan.
+#[derive(Debug, Clone, Copy)]
+struct InvalNode {
+    /// The tree node.
+    node: TreeNodeId,
+    /// Its parent in the multicast tree (itself for the root).
+    parent: TreeNodeId,
+    /// Acknowledgements still outstanding from its multicast children.
+    pending: u32,
+    /// Start of its child list in [`InvalPlan::children`].
+    child_start: u32,
+    /// Length of its child list.
+    child_len: u32,
+}
+
+/// Flat, reusable invalidation-multicast plan over a copy component.
+///
+/// Replaces the per-transaction `HashMap` trio (children / parent / pending
+/// acks) of the original implementation: the plan is built once per write by
+/// a BFS, stored in three flat vectors, and recycled through the transaction
+/// pool — no per-write allocations on the steady state.
+#[derive(Debug, Default)]
+struct InvalPlan {
+    /// Nodes in BFS order; `nodes[0]` is the multicast root `u`.
+    nodes: Vec<InvalNode>,
+    /// Concatenated child lists (each node's children are contiguous).
+    children: Vec<TreeNodeId>,
+    /// `(node, index into nodes)`, sorted for O(log n) lookup.
+    index: Vec<(TreeNodeId, u32)>,
+}
+
+impl InvalPlan {
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.children.clear();
+        self.index.clear();
+    }
+
+    /// Position of `node` in `nodes`.
+    fn slot(&self, node: TreeNodeId) -> usize {
+        let i = self
+            .index
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .expect("tree node not part of the invalidation plan");
+        self.index[i].1 as usize
+    }
+
+    /// The multicast children of the node in `slot`.
+    fn children_of(&self, slot: usize) -> &[TreeNodeId] {
+        let n = &self.nodes[slot];
+        &self.children[n.child_start as usize..(n.child_start + n.child_len) as usize]
+    }
+
+    /// Build the sorted lookup index (called once after the BFS).
+    fn build_index(&mut self) {
+        self.index.clear();
+        self.index.extend(
+            self.nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.node, i as u32)),
+        );
+        self.index.sort_unstable();
+    }
+}
+
+/// Per-transaction protocol state. Recycled through
+/// [`AccessTreePolicy::tx_pool`] so steady-state transactions allocate
+/// nothing.
 #[derive(Debug)]
 struct AtTx {
     proc: NodeId,
     kind: AccessKind,
     /// Tree nodes visited by the request, starting at the requester's leaf.
     path: Vec<TreeNodeId>,
-    /// Invalidation multicast structure (write transactions only).
-    inval_children: HashMap<TreeNodeId, Vec<TreeNodeId>>,
-    inval_parent: HashMap<TreeNodeId, TreeNodeId>,
-    pending_acks: HashMap<TreeNodeId, u32>,
+    /// Invalidation multicast plan (write transactions only).
+    inval: InvalPlan,
 }
 
 /// The access-tree data-management policy.
@@ -62,8 +193,16 @@ pub struct AccessTreePolicy {
     shape: TreeShape,
     rng: ChaCha8Rng,
     vars: Vec<Option<AtVar>>,
-    txs: HashMap<TxId, AtTx>,
+    txs: FastMap<TxId, AtTx>,
     locks: LockTable,
+    /// Recycled transaction records (path and plan buffers keep their
+    /// capacity across transactions).
+    tx_pool: Vec<AtTx>,
+    /// BFS visit stamps per tree node (generation-tagged so the scratch is
+    /// never cleared).
+    bfs_seen: Vec<u64>,
+    /// Current BFS generation.
+    bfs_gen: u64,
 }
 
 impl AccessTreePolicy {
@@ -71,13 +210,40 @@ impl AccessTreePolicy {
     /// and embedding mode. `seed` drives the random placement of tree roots.
     pub fn new(mesh: &Mesh, shape: TreeShape, mode: EmbeddingMode, seed: u64) -> Self {
         let tree = Arc::new(DecompositionTree::build(mesh, shape));
+        let tree_len = tree.len();
         AccessTreePolicy {
             embedder: Embedder::new(tree, mode),
             shape,
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x00AC_CE55_00EE_u64),
             vars: Vec::new(),
-            txs: HashMap::new(),
+            txs: FastMap::default(),
             locks: LockTable::new(),
+            tx_pool: Vec::new(),
+            bfs_seen: vec![0; tree_len],
+            bfs_gen: 0,
+        }
+    }
+
+    /// A fresh (or recycled) transaction record.
+    fn make_tx(&mut self, proc: NodeId, kind: AccessKind, leaf: TreeNodeId) -> AtTx {
+        let mut tx = self.tx_pool.pop().unwrap_or_else(|| AtTx {
+            proc,
+            kind,
+            path: Vec::new(),
+            inval: InvalPlan::default(),
+        });
+        tx.proc = proc;
+        tx.kind = kind;
+        tx.path.clear();
+        tx.path.push(leaf);
+        tx.inval.clear();
+        tx
+    }
+
+    /// Remove a finished transaction and recycle its buffers.
+    fn retire_tx(&mut self, tx: TxId) {
+        if let Some(rec) = self.txs.remove(&tx) {
+            self.tx_pool.push(rec);
         }
     }
 
@@ -92,8 +258,11 @@ impl AccessTreePolicy {
     }
 
     /// The tree nodes currently holding a copy of `var` (for tests).
-    pub fn copy_set(&self, var: VarHandle) -> Option<&HashSet<TreeNodeId>> {
-        self.vars.get(var.index()).and_then(|v| v.as_ref()).map(|v| &v.copies)
+    pub fn copy_set(&self, var: VarHandle) -> Option<&CopySet> {
+        self.vars
+            .get(var.index())
+            .and_then(|v| v.as_ref())
+            .map(|v| &v.copies)
     }
 
     /// Check that the copy set of `var` is a non-empty connected component of
@@ -103,7 +272,7 @@ impl AccessTreePolicy {
         let v = self.var(var);
         assert!(!v.copies.is_empty(), "{var}: copy set must never be empty");
         assert!(v.copies.contains(&v.top), "{var}: top must hold a copy");
-        for &c in &v.copies {
+        for c in v.copies.iter() {
             // Walking up from any copy node must stay inside the copy set
             // until `top` is reached (connectivity + top is the unique
             // highest node).
@@ -159,22 +328,13 @@ impl AccessTreePolicy {
             AccessKind::Read => {
                 debug_assert!(!holds_leaf, "read hits are filtered before start_access");
                 env.bump(Counter::ReadMiss, 1);
-                self.txs.insert(
-                    tx,
-                    AtTx {
-                        proc,
-                        kind,
-                        path: vec![leaf],
-                        inval_children: HashMap::new(),
-                        inval_parent: HashMap::new(),
-                        pending_acks: HashMap::new(),
-                    },
-                );
-                self.forward_request(env, tx, var, leaf);
+                let rec = self.make_tx(proc, kind, leaf);
+                self.txs.insert(tx, rec);
+                // The leaf of `proc` is always embedded at `proc` itself.
+                self.forward_request(env, tx, var, leaf, proc, kind);
             }
             AccessKind::Write => {
-                let only_copy_at_writer =
-                    holds_leaf && self.var(var).copies.len() == 1;
+                let only_copy_at_writer = holds_leaf && self.var(var).copies.len() == 1;
                 if only_copy_at_writer {
                     env.bump(Counter::WriteLocal, 1);
                     env.complete_at(tx, env.now() + env.config().local_access_ns());
@@ -182,23 +342,14 @@ impl AccessTreePolicy {
                     return;
                 }
                 env.bump(Counter::WriteRemote, 1);
-                self.txs.insert(
-                    tx,
-                    AtTx {
-                        proc,
-                        kind,
-                        path: vec![leaf],
-                        inval_children: HashMap::new(),
-                        inval_parent: HashMap::new(),
-                        pending_acks: HashMap::new(),
-                    },
-                );
+                let rec = self.make_tx(proc, kind, leaf);
+                self.txs.insert(tx, rec);
                 if holds_leaf {
                     // The writer already holds a copy (read-before-write): the
                     // nearest copy node is its own leaf, no request travels.
-                    self.start_invalidation(env, tx, var, leaf);
+                    self.start_invalidation(env, tx, var, leaf, proc);
                 } else {
-                    self.forward_request(env, tx, var, leaf);
+                    self.forward_request(env, tx, var, leaf, proc, kind);
                 }
             }
         }
@@ -207,85 +358,125 @@ impl AccessTreePolicy {
     /// Forward the request of `tx` one tree hop from `from` towards the
     /// nearest copy node (climbing, or descending towards `top` once an
     /// ancestor of `top` has been reached).
-    fn forward_request(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, from: TreeNodeId) {
+    fn forward_request(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        var: VarHandle,
+        from: TreeNodeId,
+        from_pos: NodeId,
+        step_kind: AccessKind,
+    ) {
         let tree = self.embedder.tree_arc();
-        let (next, step_kind) = {
+        let next = {
             let v = self.var(var);
             if tree.is_ancestor(from, v.top) {
                 // Descend towards the topmost copy node.
-                let next = *tree
+                *tree
                     .children(from)
                     .iter()
                     .find(|&&c| tree.is_ancestor(c, v.top))
-                    .expect("descending node must have a child towards top");
-                (next, self.txs[&tx].kind)
+                    .expect("descending node must have a child towards top")
             } else {
-                let next = tree
-                    .parent(from)
-                    .expect("climbing past the root — top not found");
-                (next, self.txs[&tx].kind)
+                tree.parent(from)
+                    .expect("climbing past the root — top not found")
             }
         };
-        let (from_pos, next_pos, bytes) = {
-            let v = self.var(var);
-            let bytes = match step_kind {
-                // Read requests are small control messages, write requests
-                // carry the new value.
-                AccessKind::Read => env.config().control_msg_bytes,
-                AccessKind::Write => self.data_bytes(env, var),
-            };
-            (self.embed(v, from), self.embed(v, next), bytes)
+        let bytes = match step_kind {
+            // Read requests are small control messages, write requests
+            // carry the new value.
+            AccessKind::Read => env.config().control_msg_bytes,
+            AccessKind::Write => self.data_bytes(env, var),
         };
+        let next_pos = self.embed(self.var(var), next);
         match step_kind {
             AccessKind::Read => env.bump(Counter::ControlMessages, 1),
             AccessKind::Write => env.bump(Counter::DataMessages, 1),
         }
         let msg = match step_kind {
-            AccessKind::Read => PolicyMsg::AtReadStep { tx, var, at: next },
-            AccessKind::Write => PolicyMsg::AtWriteStep { tx, var, at: next },
+            AccessKind::Read => PolicyMsg::AtReadStep {
+                tx,
+                var,
+                at: next,
+                at_pos: next_pos,
+            },
+            AccessKind::Write => PolicyMsg::AtWriteStep {
+                tx,
+                var,
+                at: next,
+                at_pos: next_pos,
+            },
         };
         env.send(from_pos, next_pos, bytes, msg);
     }
 
-    /// A request step arrived at tree node `at`.
-    fn on_request_step(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, at: TreeNodeId) {
-        self.txs.get_mut(&tx).expect("unknown transaction").path.push(at);
+    /// A request step arrived at tree node `at` (embedded at `at_pos`).
+    fn on_request_step(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        var: VarHandle,
+        at: TreeNodeId,
+        at_pos: NodeId,
+        kind: AccessKind,
+    ) {
+        self.txs
+            .get_mut(&tx)
+            .expect("unknown transaction")
+            .path
+            .push(at);
         let has_copy = self.var(var).copies.contains(&at);
         if has_copy {
-            match self.txs[&tx].kind {
-                AccessKind::Read => self.start_read_return(env, tx, var),
-                AccessKind::Write => self.start_invalidation(env, tx, var, at),
+            match kind {
+                AccessKind::Read => self.start_read_return(env, tx, var, at_pos),
+                AccessKind::Write => self.start_invalidation(env, tx, var, at, at_pos),
             }
         } else {
-            self.forward_request(env, tx, var, at);
+            self.forward_request(env, tx, var, at, at_pos, kind);
         }
     }
 
     /// The nearest copy has been found at the end of the recorded path; send
     /// the value back towards the reader, creating copies along the way.
-    fn start_read_return(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+    fn start_read_return(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        var: VarHandle,
+        u_pos: NodeId,
+    ) {
         let path = &self.txs[&tx].path;
         debug_assert!(path.len() >= 2);
-        let u = *path.last().unwrap();
         let prev = path[path.len() - 2];
+        let path_pos = (path.len() - 2) as u32;
         let bytes = self.data_bytes(env, var);
-        let (from_pos, to_pos) = {
-            let v = self.var(var);
-            (self.embed(v, u), self.embed(v, prev))
-        };
+        let to_pos = self.embed(self.var(var), prev);
         env.bump(Counter::DataMessages, 1);
         env.send(
-            from_pos,
+            u_pos,
             to_pos,
             bytes,
-            PolicyMsg::AtReadData { tx, var, path_pos: (path.len() - 2) as u32 },
+            PolicyMsg::AtReadData {
+                tx,
+                var,
+                path_pos,
+                at_pos: to_pos,
+            },
         );
     }
 
     /// A data message (read return or write-back) arrived at the path
     /// position `path_pos`; create a copy there and forward it towards the
     /// requester.
-    fn on_data_step(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, path_pos: u32) {
+    fn on_data_step(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        var: VarHandle,
+        path_pos: u32,
+        at_pos: NodeId,
+        kind: AccessKind,
+    ) {
         let tree = self.embedder.tree_arc();
         let at = self.txs[&tx].path[path_pos as usize];
         // Create a copy at this tree node.
@@ -304,148 +495,210 @@ impl AccessTreePolicy {
         if path_pos == 0 {
             // The value reached the requester.
             env.complete(tx);
-            let kind = self.txs[&tx].kind;
-            self.txs.remove(&tx);
+            self.retire_tx(tx);
             self.finish_tx_no_record(env, var, kind);
         } else {
-            let next_pos = path_pos - 1;
-            let next = self.txs[&tx].path[next_pos as usize];
+            let next_idx = path_pos - 1;
+            let next = self.txs[&tx].path[next_idx as usize];
             let bytes = self.data_bytes(env, var);
-            let (from_pos, to_pos) = {
-                let v = self.var(var);
-                (self.embed(v, at), self.embed(v, next))
-            };
+            let to_pos = self.embed(self.var(var), next);
             env.bump(Counter::DataMessages, 1);
-            let kind = self.txs[&tx].kind;
             let msg = match kind {
-                AccessKind::Read => PolicyMsg::AtReadData { tx, var, path_pos: next_pos },
-                AccessKind::Write => PolicyMsg::AtWriteData { tx, var, path_pos: next_pos },
+                AccessKind::Read => PolicyMsg::AtReadData {
+                    tx,
+                    var,
+                    path_pos: next_idx,
+                    at_pos: to_pos,
+                },
+                AccessKind::Write => PolicyMsg::AtWriteData {
+                    tx,
+                    var,
+                    path_pos: next_idx,
+                    at_pos: to_pos,
+                },
             };
-            env.send(from_pos, to_pos, bytes, msg);
+            env.send(at_pos, to_pos, bytes, msg);
         }
     }
 
     /// The write request reached the nearest copy node `u`: invalidate every
     /// other copy by a multicast over the copy component, then (once all
     /// acknowledgements returned) send the modified value back to the writer.
-    fn start_invalidation(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, u: TreeNodeId) {
+    fn start_invalidation(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        var: VarHandle,
+        u: TreeNodeId,
+        u_pos: NodeId,
+    ) {
         let tree = self.embedder.tree_arc();
-        // Build the multicast tree: BFS over the copy component starting at u.
-        let (children_map, parent_map, victims) = {
+        // Build the multicast tree: BFS over the copy component starting at
+        // u, directly into the transaction's flat (recycled) plan.
+        let mut plan =
+            std::mem::take(&mut self.txs.get_mut(&tx).expect("unknown transaction").inval);
+        plan.clear();
+        let mut seen = std::mem::take(&mut self.bfs_seen);
+        self.bfs_gen += 1;
+        let gen = self.bfs_gen;
+        {
             let v = self.var(var);
-            let mut children: HashMap<TreeNodeId, Vec<TreeNodeId>> = HashMap::new();
-            let mut parent: HashMap<TreeNodeId, TreeNodeId> = HashMap::new();
-            let mut victims: Vec<TreeNodeId> = Vec::new();
-            let mut seen: HashSet<TreeNodeId> = HashSet::new();
-            let mut queue = VecDeque::new();
-            seen.insert(u);
-            queue.push_back(u);
-            while let Some(n) = queue.pop_front() {
-                // Component neighbours: tree parent and tree children that hold copies.
-                let mut neighbours: Vec<TreeNodeId> = Vec::new();
-                if let Some(p) = tree.parent(n) {
-                    if v.copies.contains(&p) {
-                        neighbours.push(p);
+            seen[u.index()] = gen;
+            plan.nodes.push(InvalNode {
+                node: u,
+                parent: u,
+                pending: 0,
+                child_start: 0,
+                child_len: 0,
+            });
+            let mut qi = 0;
+            while qi < plan.nodes.len() {
+                let n = plan.nodes[qi].node;
+                let child_start = plan.children.len() as u32;
+                // Component neighbours: tree parent and tree children that
+                // hold copies.
+                let parent_nb = tree.parent(n).filter(|p| v.copies.contains(p));
+                for nb in parent_nb.iter().copied().chain(
+                    tree.children(n)
+                        .iter()
+                        .copied()
+                        .filter(|c| v.copies.contains(c)),
+                ) {
+                    if seen[nb.index()] != gen {
+                        seen[nb.index()] = gen;
+                        plan.children.push(nb);
+                        plan.nodes.push(InvalNode {
+                            node: nb,
+                            parent: n,
+                            pending: 0,
+                            child_start: 0,
+                            child_len: 0,
+                        });
                     }
                 }
-                for &c in tree.children(n) {
-                    if v.copies.contains(&c) {
-                        neighbours.push(c);
-                    }
-                }
-                for nb in neighbours {
-                    if seen.insert(nb) {
-                        children.entry(n).or_default().push(nb);
-                        parent.insert(nb, n);
-                        victims.push(nb);
-                        queue.push_back(nb);
-                    }
-                }
+                plan.nodes[qi].child_start = child_start;
+                plan.nodes[qi].child_len = plan.children.len() as u32 - child_start;
+                qi += 1;
             }
-            (children, parent, victims)
-        };
+        }
+        self.bfs_seen = seen;
 
-        // Invalidate the state now (writes are exclusive on this variable).
+        // Invalidate the state now (writes are exclusive on this variable):
+        // every discovered node except the multicast root loses its copy.
         {
             let v = self.var_mut(var);
-            for &victim in &victims {
-                v.copies.remove(&victim);
+            for n in &plan.nodes[1..] {
+                v.copies.remove(&n.node);
             }
             v.top = u;
-            env.bump(Counter::Invalidations, victims.len() as u64);
+            env.bump(Counter::Invalidations, plan.nodes.len() as u64 - 1);
         }
-        for &victim in &victims {
-            if let Some(p) = tree.node(victim).proc {
+        for n in &plan.nodes[1..] {
+            if let Some(p) = tree.node(n.node).proc {
                 env.set_presence(p, var, false);
             }
         }
 
-        let t = self.txs.get_mut(&tx).expect("unknown transaction");
-        t.inval_children = children_map;
-        t.inval_parent = parent_map;
-        let direct: Vec<TreeNodeId> = t.inval_children.get(&u).cloned().unwrap_or_default();
-        if direct.is_empty() {
+        let direct_len = plan.nodes[0].child_len;
+        if direct_len == 0 {
             // Nothing to invalidate: go straight to the write-back phase.
-            self.start_write_back(env, tx, var);
+            self.txs.get_mut(&tx).unwrap().inval = plan;
+            self.start_write_back(env, tx, var, u_pos);
             return;
         }
-        self.txs.get_mut(&tx).unwrap().pending_acks.insert(u, direct.len() as u32);
+        // The node → slot index is only needed once invalidation messages
+        // will come back through `on_inval` / `on_inval_ack`.
+        plan.build_index();
+        plan.nodes[0].pending = direct_len;
         let control = env.config().control_msg_bytes;
-        let u_pos = {
-            let v = self.var(var);
-            self.embed(v, u)
-        };
-        for c in direct {
-            let to_pos = {
-                let v = self.var(var);
-                self.embed(v, c)
-            };
+        for i in 0..direct_len as usize {
+            let c = plan.children[i];
+            let to_pos = self.embed(self.var(var), c);
             env.bump(Counter::ControlMessages, 1);
-            env.send(u_pos, to_pos, control, PolicyMsg::AtInval { tx, var, at: c });
+            env.send(
+                u_pos,
+                to_pos,
+                control,
+                PolicyMsg::AtInval {
+                    tx,
+                    var,
+                    at: c,
+                    at_pos: to_pos,
+                },
+            );
         }
+        self.txs.get_mut(&tx).unwrap().inval = plan;
     }
 
     /// An invalidation arrived at tree node `at`: forward it to the component
     /// children (per the multicast plan) or acknowledge if there are none.
-    fn on_inval(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, at: TreeNodeId) {
+    fn on_inval(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        var: VarHandle,
+        at: TreeNodeId,
+        at_pos: NodeId,
+    ) {
         let control = env.config().control_msg_bytes;
-        let children: Vec<TreeNodeId> = self.txs[&tx]
-            .inval_children
-            .get(&at)
-            .cloned()
-            .unwrap_or_default();
-        let at_pos = {
-            let v = self.var(var);
-            self.embed(v, at)
-        };
-        if children.is_empty() {
-            let parent = self.txs[&tx].inval_parent[&at];
-            let to_pos = {
-                let v = self.var(var);
-                self.embed(v, parent)
-            };
+        let rec = &self.txs[&tx];
+        let slot = rec.inval.slot(at);
+        if rec.inval.nodes[slot].child_len == 0 {
+            let parent = rec.inval.nodes[slot].parent;
+            let to_pos = self.embed(self.var(var), parent);
             env.bump(Counter::ControlMessages, 1);
-            env.send(at_pos, to_pos, control, PolicyMsg::AtInvalAck { tx, var, from: at, to: parent });
+            env.send(
+                at_pos,
+                to_pos,
+                control,
+                PolicyMsg::AtInvalAck {
+                    tx,
+                    var,
+                    from: at,
+                    to: parent,
+                    to_pos,
+                },
+            );
         } else {
-            self.txs.get_mut(&tx).unwrap().pending_acks.insert(at, children.len() as u32);
-            for c in children {
-                let to_pos = {
-                    let v = self.var(var);
-                    self.embed(v, c)
-                };
+            {
+                let rec = self.txs.get_mut(&tx).unwrap();
+                rec.inval.nodes[slot].pending = rec.inval.nodes[slot].child_len;
+            }
+            let rec = &self.txs[&tx];
+            for &c in rec.inval.children_of(slot) {
+                let to_pos = self.embed(self.var(var), c);
                 env.bump(Counter::ControlMessages, 1);
-                env.send(at_pos, to_pos, control, PolicyMsg::AtInval { tx, var, at: c });
+                env.send(
+                    at_pos,
+                    to_pos,
+                    control,
+                    PolicyMsg::AtInval {
+                        tx,
+                        var,
+                        at: c,
+                        at_pos: to_pos,
+                    },
+                );
             }
         }
     }
 
-    /// An acknowledgement arrived at tree node `to`.
-    fn on_inval_ack(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, to: TreeNodeId) {
+    /// An acknowledgement arrived at tree node `to` (embedded at `to_pos`).
+    fn on_inval_ack(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        var: VarHandle,
+        to: TreeNodeId,
+        to_pos: NodeId,
+    ) {
         let remaining = {
             let t = self.txs.get_mut(&tx).expect("unknown transaction");
-            let counter = t.pending_acks.get_mut(&to).expect("ack without pending count");
-            *counter -= 1;
-            *counter
+            let slot = t.inval.slot(to);
+            let node = &mut t.inval.nodes[slot];
+            debug_assert!(node.pending > 0, "ack without pending count");
+            node.pending -= 1;
+            node.pending
         };
         if remaining > 0 {
             return;
@@ -453,23 +706,38 @@ impl AccessTreePolicy {
         let u = *self.txs[&tx].path.last().unwrap();
         if to == u {
             // All copies invalidated; send the modified value back to the writer.
-            self.start_write_back(env, tx, var);
+            self.start_write_back(env, tx, var, to_pos);
         } else {
-            let parent = self.txs[&tx].inval_parent[&to];
+            let rec = &self.txs[&tx];
+            let parent = rec.inval.nodes[rec.inval.slot(to)].parent;
             let control = env.config().control_msg_bytes;
-            let (from_pos, to_pos) = {
-                let v = self.var(var);
-                (self.embed(v, to), self.embed(v, parent))
-            };
+            let parent_pos = self.embed(self.var(var), parent);
             env.bump(Counter::ControlMessages, 1);
-            env.send(from_pos, to_pos, control, PolicyMsg::AtInvalAck { tx, var, from: to, to: parent });
+            env.send(
+                to_pos,
+                parent_pos,
+                control,
+                PolicyMsg::AtInvalAck {
+                    tx,
+                    var,
+                    from: to,
+                    to: parent,
+                    to_pos: parent_pos,
+                },
+            );
         }
     }
 
     /// Send the modified value from the update point back to the writer along
     /// the recorded path (or complete immediately if the writer is the update
     /// point).
-    fn start_write_back(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle) {
+    fn start_write_back(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        var: VarHandle,
+        u_pos: NodeId,
+    ) {
         let path_len = self.txs[&tx].path.len();
         if path_len == 1 {
             // The writer's leaf was the nearest copy: it already holds the
@@ -478,23 +746,24 @@ impl AccessTreePolicy {
             env.set_presence(proc, var, true);
             env.complete(tx);
             let kind = self.txs[&tx].kind;
-            self.txs.remove(&tx);
+            self.retire_tx(tx);
             self.finish_tx_no_record(env, var, kind);
             return;
         }
-        let u = self.txs[&tx].path[path_len - 1];
         let prev = self.txs[&tx].path[path_len - 2];
         let bytes = self.data_bytes(env, var);
-        let (from_pos, to_pos) = {
-            let v = self.var(var);
-            (self.embed(v, u), self.embed(v, prev))
-        };
+        let to_pos = self.embed(self.var(var), prev);
         env.bump(Counter::DataMessages, 1);
         env.send(
-            from_pos,
+            u_pos,
             to_pos,
             bytes,
-            PolicyMsg::AtWriteData { tx, var, path_pos: (path_len - 2) as u32 },
+            PolicyMsg::AtWriteData {
+                tx,
+                var,
+                path_pos: (path_len - 2) as u32,
+                at_pos: to_pos,
+            },
         );
     }
 
@@ -523,9 +792,9 @@ impl Policy for AccessTreePolicy {
     fn register_var(&mut self, var: VarHandle, owner: NodeId, bytes: u32) {
         let mesh = self.embedder.mesh().clone();
         let root = NodeId(self.rng.gen_range(0..mesh.nodes() as u32));
-        let seed = self.rng.gen::<u64>();
+        let seed = self.rng.next_u64();
         let leaf = self.embedder.tree().leaf_of(owner);
-        let mut copies = HashSet::new();
+        let mut copies = CopySet::new(self.embedder.tree().len());
         copies.insert(leaf);
         let idx = var.index();
         if self.vars.len() <= idx {
@@ -591,7 +860,9 @@ impl Policy for AccessTreePolicy {
             };
             if matches!(
                 msg,
-                PolicyMsg::LockReq { .. } | PolicyMsg::LockGrant { .. } | PolicyMsg::LockRelease { .. }
+                PolicyMsg::LockReq { .. }
+                    | PolicyMsg::LockGrant { .. }
+                    | PolicyMsg::LockRelease { .. }
             ) {
                 self.locks.on_message(env, at, &msg, lookup)
             } else {
@@ -602,14 +873,43 @@ impl Policy for AccessTreePolicy {
             return;
         }
         match msg {
-            PolicyMsg::AtReadStep { tx, var, at } | PolicyMsg::AtWriteStep { tx, var, at } => {
-                self.on_request_step(env, tx, var, at)
-            }
-            PolicyMsg::AtReadData { tx, var, path_pos } | PolicyMsg::AtWriteData { tx, var, path_pos } => {
-                self.on_data_step(env, tx, var, path_pos)
-            }
-            PolicyMsg::AtInval { tx, var, at } => self.on_inval(env, tx, var, at),
-            PolicyMsg::AtInvalAck { tx, var, to, .. } => self.on_inval_ack(env, tx, var, to),
+            PolicyMsg::AtReadStep {
+                tx,
+                var,
+                at,
+                at_pos,
+            } => self.on_request_step(env, tx, var, at, at_pos, AccessKind::Read),
+            PolicyMsg::AtWriteStep {
+                tx,
+                var,
+                at,
+                at_pos,
+            } => self.on_request_step(env, tx, var, at, at_pos, AccessKind::Write),
+            PolicyMsg::AtReadData {
+                tx,
+                var,
+                path_pos,
+                at_pos,
+            } => self.on_data_step(env, tx, var, path_pos, at_pos, AccessKind::Read),
+            PolicyMsg::AtWriteData {
+                tx,
+                var,
+                path_pos,
+                at_pos,
+            } => self.on_data_step(env, tx, var, path_pos, at_pos, AccessKind::Write),
+            PolicyMsg::AtInval {
+                tx,
+                var,
+                at,
+                at_pos,
+            } => self.on_inval(env, tx, var, at, at_pos),
+            PolicyMsg::AtInvalAck {
+                tx,
+                var,
+                to,
+                to_pos,
+                ..
+            } => self.on_inval_ack(env, tx, var, to, to_pos),
             other => panic!("access-tree policy received foreign message {other:?}"),
         }
     }

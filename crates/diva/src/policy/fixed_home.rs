@@ -23,10 +23,10 @@
 //! bottleneck — exactly the effect the paper measures.
 
 use super::{AccessKind, Counter, LockTable, Policy, PolicyEnv, PolicyMsg, TxId, VarGate};
+use crate::fasthash::FastMap;
 use crate::var::VarHandle;
 use dm_mesh::{Mesh, NodeId};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use dm_rng::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
 
 /// Per-variable state of the fixed-home strategy.
@@ -53,7 +53,7 @@ pub struct FixedHomePolicy {
     mesh: Mesh,
     rng: ChaCha8Rng,
     vars: Vec<Option<FhVar>>,
-    txs: HashMap<TxId, FhTx>,
+    txs: FastMap<TxId, FhTx>,
     locks: LockTable,
 }
 
@@ -65,7 +65,7 @@ impl FixedHomePolicy {
             mesh: mesh.clone(),
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x00F1_0ED0_0E00_u64),
             vars: Vec::new(),
-            txs: HashMap::new(),
+            txs: FastMap::default(),
             locks: LockTable::new(),
         }
     }
@@ -118,7 +118,13 @@ impl FixedHomePolicy {
                 debug_assert!(!self.var(var).copies.contains(&proc));
                 env.bump(Counter::ReadMiss, 1);
                 let home = self.var(var).home;
-                self.txs.insert(tx, FhTx { proc, pending_acks: 0 });
+                self.txs.insert(
+                    tx,
+                    FhTx {
+                        proc,
+                        pending_acks: 0,
+                    },
+                );
                 env.bump(Counter::ControlMessages, 1);
                 env.send(proc, home, control, PolicyMsg::FhReadReq { tx, var });
             }
@@ -133,7 +139,13 @@ impl FixedHomePolicy {
                 }
                 env.bump(Counter::WriteRemote, 1);
                 let home = v.home;
-                self.txs.insert(tx, FhTx { proc, pending_acks: 0 });
+                self.txs.insert(
+                    tx,
+                    FhTx {
+                        proc,
+                        pending_acks: 0,
+                    },
+                );
                 env.bump(Counter::ControlMessages, 1);
                 env.send(proc, home, control, PolicyMsg::FhWriteReq { tx, var });
             }
@@ -244,7 +256,13 @@ impl FixedHomePolicy {
         }
     }
 
-    fn send_write_grant(&mut self, env: &mut dyn PolicyEnv, tx: TxId, var: VarHandle, home: NodeId) {
+    fn send_write_grant(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        tx: TxId,
+        var: VarHandle,
+        home: NodeId,
+    ) {
         let writer = self.txs[&tx].proc;
         let control = env.config().control_msg_bytes;
         env.bump(Counter::ControlMessages, 1);
@@ -338,7 +356,8 @@ impl Policy for FixedHomePolicy {
                 }
                 _ => HashMap::new(),
             };
-            let lookup = move |v: VarHandle| *homes.get(&v).expect("lock manager for unknown variable");
+            let lookup =
+                move |v: VarHandle| *homes.get(&v).expect("lock manager for unknown variable");
             self.locks.on_message(env, at, &msg, lookup);
             return;
         }

@@ -11,9 +11,10 @@
 //! the Barnes-Hut tree-building phase.
 
 use super::{Counter, PolicyEnv, PolicyMsg, TxId};
+use crate::fasthash::FastMap;
 use crate::var::VarHandle;
 use dm_mesh::NodeId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Debug, Default)]
 struct LockState {
@@ -25,7 +26,7 @@ struct LockState {
 /// Lock bookkeeping shared by both policies.
 #[derive(Debug, Default)]
 pub struct LockTable {
-    locks: HashMap<VarHandle, LockState>,
+    locks: FastMap<VarHandle, LockState>,
 }
 
 impl LockTable {
@@ -121,7 +122,10 @@ impl LockTable {
     /// waiter, if any.
     fn do_release(&mut self, env: &mut dyn PolicyEnv, var: VarHandle, manager: NodeId) {
         let state = self.locks.entry(var).or_default();
-        assert!(state.held_by.is_some(), "unlock of a lock that is not held ({var})");
+        assert!(
+            state.held_by.is_some(),
+            "unlock of a lock that is not held ({var})"
+        );
         state.held_by = None;
         if let Some((tx, proc)) = state.queue.pop_front() {
             state.held_by = Some(proc);

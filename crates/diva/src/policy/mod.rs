@@ -138,6 +138,9 @@ pub enum PolicyMsg {
         var: VarHandle,
         /// Tree node the message is arriving at.
         at: TreeNodeId,
+        /// Mesh position of `at` (computed by the sender; carried so the
+        /// receiver does not re-derive the embedding).
+        at_pos: NodeId,
     },
     /// Data message carrying the value back towards the reader, creating a
     /// copy at every tree node it passes. `path_pos` indexes into the
@@ -149,6 +152,8 @@ pub enum PolicyMsg {
         var: VarHandle,
         /// Index into the recorded request path of the node being visited.
         path_pos: u32,
+        /// Mesh position of the visited node (carried by the sender).
+        at_pos: NodeId,
     },
     /// Write request (carrying the new value) travelling towards the nearest
     /// copy.
@@ -159,6 +164,8 @@ pub enum PolicyMsg {
         var: VarHandle,
         /// Tree node the message is arriving at.
         at: TreeNodeId,
+        /// Mesh position of `at` (carried by the sender).
+        at_pos: NodeId,
     },
     /// Invalidation multicast over the copy component.
     AtInval {
@@ -168,6 +175,8 @@ pub enum PolicyMsg {
         var: VarHandle,
         /// Tree node being invalidated.
         at: TreeNodeId,
+        /// Mesh position of `at` (carried by the sender).
+        at_pos: NodeId,
     },
     /// Acknowledgement of an invalidation subtree, travelling back towards the
     /// multicast root.
@@ -180,6 +189,8 @@ pub enum PolicyMsg {
         from: TreeNodeId,
         /// Tree node the acknowledgement is delivered to.
         to: TreeNodeId,
+        /// Mesh position of `to` (carried by the sender).
+        to_pos: NodeId,
     },
     /// Modified value travelling back from the update point to the writer,
     /// creating copies along the way.
@@ -190,6 +201,8 @@ pub enum PolicyMsg {
         var: VarHandle,
         /// Index into the recorded request path of the node being visited.
         path_pos: u32,
+        /// Mesh position of the visited node (carried by the sender).
+        at_pos: NodeId,
     },
 
     // ---- fixed-home strategy ---------------------------------------------------

@@ -173,7 +173,13 @@ fn at_write_after_shared_reads_invalidates_all_other_copies() {
     policy.register_var(var, owner, 128);
     // Several processors read the variable, creating a large copy component.
     for (i, reader) in [5u32, 10, 15, 12].iter().enumerate() {
-        policy.on_access(&mut env, TxId(i as u64 + 1), NodeId(*reader), var, AccessKind::Read);
+        policy.on_access(
+            &mut env,
+            TxId(i as u64 + 1),
+            NodeId(*reader),
+            var,
+            AccessKind::Read,
+        );
         env.run(&mut policy);
         policy.assert_copy_invariants(var);
     }
@@ -216,7 +222,10 @@ fn at_write_by_non_copy_holder_moves_the_copy_path_to_the_writer() {
     let owner_leaf = tree.leaf_of(NodeId(0));
     let writer_leaf = tree.leaf_of(writer);
     assert!(copies.contains(&owner_leaf));
-    assert_eq!(copies.len(), tree.tree_distance(owner_leaf, writer_leaf) + 1);
+    assert_eq!(
+        copies.len(),
+        tree.tree_distance(owner_leaf, writer_leaf) + 1
+    );
     assert!(env.has_presence(writer, var));
     assert_eq!(env.counter(Counter::WriteRemote), 1);
 }
@@ -225,15 +234,26 @@ fn at_write_by_non_copy_holder_moves_the_copy_path_to_the_writer() {
 fn at_copy_component_stays_connected_under_random_workload() {
     // Property-style test: a pseudo-random sequence of reads and writes from
     // random processors never breaks the connectivity invariant.
-    for shape in [TreeShape::binary(), TreeShape::quad(), TreeShape::lk(2, 4), TreeShape::hex16()] {
+    for shape in [
+        TreeShape::binary(),
+        TreeShape::quad(),
+        TreeShape::lk(2, 4),
+        TreeShape::hex16(),
+    ] {
         let (mut policy, mut env) = setup_at(shape, 8);
         let var = VarHandle(0);
         policy.register_var(var, NodeId(17), 64);
         let mut state = 0x9E3779B97F4A7C15u64;
         for i in 0..200u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let proc = NodeId((state >> 33) as u32 % 64);
-            let kind = if (state >> 7) & 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            let kind = if (state >> 7) & 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             policy.on_access(&mut env, TxId(i + 1), proc, var, kind);
             env.run(&mut policy);
             policy.assert_copy_invariants(var);
@@ -261,8 +281,14 @@ fn at_flatter_trees_use_fewer_messages_per_read() {
         env.run(&mut policy);
         msgs.push(env.messages_sent);
     }
-    assert!(msgs[0] > msgs[1], "2-ary should need more messages than 4-ary: {msgs:?}");
-    assert!(msgs[1] > msgs[2], "4-ary should need more messages than 16-ary: {msgs:?}");
+    assert!(
+        msgs[0] > msgs[1],
+        "2-ary should need more messages than 4-ary: {msgs:?}"
+    );
+    assert!(
+        msgs[1] > msgs[2],
+        "4-ary should need more messages than 16-ary: {msgs:?}"
+    );
 }
 
 #[test]
@@ -333,7 +359,13 @@ fn fh_write_invalidates_all_copies_and_transfers_ownership() {
     policy.register_var(var, owner, 64);
     // Three readers create copies.
     for (i, r) in [3u32, 7, 11].iter().enumerate() {
-        policy.on_access(&mut env, TxId(i as u64 + 1), NodeId(*r), var, AccessKind::Read);
+        policy.on_access(
+            &mut env,
+            TxId(i as u64 + 1),
+            NodeId(*r),
+            var,
+            AccessKind::Read,
+        );
         env.run(&mut policy);
     }
     assert_eq!(policy.copy_set(var).len(), 4);
@@ -386,7 +418,10 @@ fn fh_read_write_sequence_matches_ownership_scheme_counts() {
     env.run(&mut policy);
     assert_eq!(env.completed_txs(), vec![TxId(1), TxId(2)]);
     assert_eq!(policy.owner_of(var), Some(p));
-    assert_eq!(policy.copy_set(var).iter().copied().collect::<Vec<_>>(), vec![p]);
+    assert_eq!(
+        policy.copy_set(var).iter().copied().collect::<Vec<_>>(),
+        vec![p]
+    );
 }
 
 #[test]

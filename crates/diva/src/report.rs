@@ -3,7 +3,6 @@
 use crate::policy::{Counter, COUNTER_COUNT};
 use dm_engine::{ns_to_secs, SimTime};
 use dm_mesh::LinkStats;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-region (per-phase) measurements.
@@ -11,7 +10,7 @@ use std::collections::BTreeMap;
 /// Regions are declared by the application with
 /// [`ProcCtx::region`](crate::ProcCtx::region); the Barnes-Hut harness uses
 /// them to reproduce the per-phase congestion and time figures of the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionReport {
     /// Wall-clock (virtual) time spent in the region — the maximum over all
     /// processors of the time between entering and leaving the region.
@@ -38,7 +37,7 @@ impl RegionReport {
 }
 
 /// The outcome of a simulated execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Name of the data-management strategy that produced this run.
     pub strategy: String,
@@ -147,7 +146,11 @@ impl RunReport {
         ));
         s.push_str(&format!("barriers:            {}\n", self.barriers));
         for c in Counter::ALL {
-            s.push_str(&format!("{:<20} {}\n", format!("{}:", c.name()), self.counter(c)));
+            s.push_str(&format!(
+                "{:<20} {}\n",
+                format!("{}:", c.name()),
+                self.counter(c)
+            ));
         }
         for (name, r) in &self.regions {
             s.push_str(&format!(

@@ -1,16 +1,18 @@
 //! The coordinator: a deterministic discrete-event loop that drives the
-//! worker threads, the data-management policy, the barrier and the explicit
+//! simulated processors (through a [`Frontend`] — worker threads or inline
+//! state machines), the data-management policy, the barrier and the explicit
 //! message-passing layer over the simulated network.
 
+use super::frontend::Frontend;
 use super::shared::{Request, Response, SharedState, TimedRequest};
 use crate::barrier::{BarrierAction, BarrierMsg, TreeBarrier};
+use crate::fasthash::FastMap;
 use crate::policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId, COUNTER_COUNT};
 use crate::report::{RegionReport, RunReport};
 use crate::var::{Value, VarHandle, VarRegistry};
 use dm_engine::{EventQueue, LinkNetwork, MachineConfig, RegionId, SimTime};
 use dm_mesh::{Mesh, NodeId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 /// What a blocked processor is waiting for (determines the response payload).
@@ -31,6 +33,7 @@ pub(crate) struct TxRec {
 }
 
 /// Events of the coordinator's discrete-event loop.
+#[allow(clippy::enum_variant_names)] // the "Deliver" suffix is the point: all events are arrivals
 pub(crate) enum Event {
     /// A protocol message arrives at mesh node `at`.
     PolicyDeliver { at: NodeId, msg: PolicyMsg },
@@ -56,7 +59,7 @@ pub(crate) struct EnvState {
     pub registry: VarRegistry,
     pub shared: Arc<SharedState>,
     pub counters: [u64; COUNTER_COUNT],
-    pub tx_table: HashMap<TxId, TxRec>,
+    pub tx_table: FastMap<TxId, TxRec>,
     pub completions: Vec<(TxId, SimTime)>,
     pub proc_region: Vec<RegionId>,
     next_tx: u64,
@@ -91,7 +94,8 @@ impl PolicyEnv for EnvState {
     fn send(&mut self, from: NodeId, to: NodeId, bytes: u32, msg: PolicyMsg) -> SimTime {
         let region = self.proc_region[from.index()];
         let d = self.network.transmit(self.now, from, to, bytes, region);
-        self.events.push(d.arrival, Event::PolicyDeliver { at: to, msg });
+        self.events
+            .push(d.arrival, Event::PolicyDeliver { at: to, msg });
         d.sender_free
     }
 
@@ -113,15 +117,14 @@ impl PolicyEnv for EnvState {
     }
 }
 
-/// The coordinator thread of a [`Diva::run`](crate::Diva::run) execution.
-pub(crate) struct Coordinator {
+/// The coordinator of a [`Diva::run`](crate::Diva::run) /
+/// [`Diva::run_driven`](crate::Diva::run_driven) execution.
+pub(crate) struct Coordinator<F: Frontend> {
     pub env: EnvState,
     policy: Box<dyn Policy>,
     barrier: TreeBarrier,
-    req_rx: Receiver<TimedRequest>,
-    resp_tx: Vec<Sender<Response>>,
+    frontend: F,
     nprocs: usize,
-    active: usize,
     finished: usize,
     strategy_name: String,
 
@@ -138,13 +141,17 @@ pub(crate) struct Coordinator {
     region_compute: Vec<Vec<SimTime>>,
 
     // Explicit message passing.
-    mailbox: HashMap<(usize, usize, u64), VecDeque<(SimTime, Value)>>,
-    pending_recv: HashMap<(usize, usize, u64), VecDeque<SimTime>>,
+    mailbox: FastMap<(usize, usize, u64), VecDeque<(SimTime, Value)>>,
+    pending_recv: FastMap<(usize, usize, u64), VecDeque<SimTime>>,
+
+    /// Double buffer for [`Coordinator::flush_completions`] so the drain
+    /// loop reuses one allocation.
+    completion_scratch: Vec<(TxId, SimTime)>,
 
     last_event_time: SimTime,
 }
 
-impl Coordinator {
+impl<F: Frontend> Coordinator<F> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         mesh: Mesh,
@@ -153,8 +160,7 @@ impl Coordinator {
         policy: Box<dyn Policy>,
         registry: VarRegistry,
         shared: Arc<SharedState>,
-        req_rx: Receiver<TimedRequest>,
-        resp_tx: Vec<Sender<Response>>,
+        frontend: F,
     ) -> Self {
         let nprocs = mesh.nodes();
         let strategy_name = policy.name();
@@ -169,17 +175,15 @@ impl Coordinator {
                 registry,
                 shared,
                 counters: [0; COUNTER_COUNT],
-                tx_table: HashMap::new(),
+                tx_table: FastMap::default(),
                 completions: Vec::new(),
                 proc_region: vec![dm_engine::GLOBAL_REGION; nprocs],
                 next_tx: 0,
             },
             policy,
             barrier,
-            req_rx,
-            resp_tx,
+            frontend,
             nprocs,
-            active: nprocs,
             finished: 0,
             strategy_name,
             proc_clock: vec![0; nprocs],
@@ -190,35 +194,31 @@ impl Coordinator {
             region_enter: vec![0; nprocs],
             region_wall: vec![vec![0; nprocs]],
             region_compute: vec![vec![0; nprocs]],
-            mailbox: HashMap::new(),
-            pending_recv: HashMap::new(),
+            mailbox: FastMap::default(),
+            pending_recv: FastMap::default(),
+            completion_scratch: Vec::new(),
             last_event_time: 0,
         }
     }
 
-    /// Run the event loop to completion and produce the report.
-    pub(crate) fn run(mut self) -> RunReport {
+    /// Run the event loop to completion; produce the report and hand the
+    /// frontend back (the driven frontend owns the final program states).
+    pub(crate) fn run(mut self) -> (RunReport, F) {
+        let mut batch = Vec::new();
         loop {
-            // 1. Gather requests until every worker is blocked or finished.
-            let mut batch = Vec::new();
-            while self.active > 0 {
-                let req = self
-                    .req_rx
-                    .recv()
-                    .expect("a worker thread terminated without notifying the coordinator");
-                self.active -= 1;
-                batch.push(req);
-            }
+            // 1. Gather one round of requests: one blocking operation per
+            //    runnable processor.
+            self.frontend.gather(&mut batch);
             if !batch.is_empty() {
                 // Deterministic handling order: by issue time, then processor id.
                 batch.sort_by_key(|r| (self.issue_time(r), r.req.proc()));
-                for r in batch {
+                for r in batch.drain(..) {
                     self.handle_request(r);
                 }
                 self.flush_completions();
                 continue;
             }
-            // 2. All workers blocked: advance the simulation.
+            // 2. All processors blocked: advance the simulation.
             if self.finished == self.nprocs && self.env.events.is_empty() {
                 break;
             }
@@ -232,7 +232,8 @@ impl Coordinator {
                 None => self.report_deadlock(),
             }
         }
-        self.build_report()
+        let report = self.build_report();
+        (report, self.frontend)
     }
 
     /// Issue time of a request: the processor's clock plus the locally
@@ -242,10 +243,7 @@ impl Coordinator {
     }
 
     fn respond(&mut self, proc: usize, resp: Response) {
-        self.resp_tx[proc]
-            .send(resp)
-            .expect("worker thread terminated while waiting for a response");
-        self.active += 1;
+        self.frontend.respond(proc, resp);
     }
 
     fn handle_request(&mut self, timed: TimedRequest) {
@@ -265,7 +263,9 @@ impl Coordinator {
         self.env.now = now;
 
         match req {
-            Request::Access { var, kind, value, .. } => {
+            Request::Access {
+                var, kind, value, ..
+            } => {
                 if let Some(v) = value {
                     self.env.shared.set_value(var, v);
                 }
@@ -294,11 +294,13 @@ impl Coordinator {
             }
             Request::Lock { var, .. } => {
                 let tx = self.env.new_tx(proc, Some(var), TxKind::Lock);
-                self.policy.on_lock(&mut self.env, tx, NodeId(proc as u32), var);
+                self.policy
+                    .on_lock(&mut self.env, tx, NodeId(proc as u32), var);
             }
             Request::Unlock { var, .. } => {
                 let tx = self.env.new_tx(proc, Some(var), TxKind::Unlock);
-                self.policy.on_unlock(&mut self.env, tx, NodeId(proc as u32), var);
+                self.policy
+                    .on_unlock(&mut self.env, tx, NodeId(proc as u32), var);
             }
             Request::Send {
                 to,
@@ -330,7 +332,9 @@ impl Coordinator {
             }
             Request::Recv { from, tag, .. } => {
                 let key = (proc, from, tag);
-                if let Some((arrival, value)) = self.mailbox.get_mut(&key).and_then(|q| q.pop_front()) {
+                if let Some((arrival, value)) =
+                    self.mailbox.get_mut(&key).and_then(|q| q.pop_front())
+                {
                     self.proc_clock[proc] = now.max(arrival);
                     self.respond(proc, Response::Value(value));
                 } else {
@@ -366,11 +370,7 @@ impl Coordinator {
             } => {
                 let key = (to, from, tag);
                 let now = self.env.now;
-                if let Some(issue) = self
-                    .pending_recv
-                    .get_mut(&key)
-                    .and_then(|q| q.pop_front())
-                {
+                if let Some(issue) = self.pending_recv.get_mut(&key).and_then(|q| q.pop_front()) {
                     self.proc_clock[to] = issue.max(now);
                     self.respond(to, Response::Value(value));
                 } else {
@@ -403,8 +403,9 @@ impl Coordinator {
     /// Deliver all pending transaction completions to their processors.
     fn flush_completions(&mut self) {
         while !self.env.completions.is_empty() {
-            let completions = std::mem::take(&mut self.env.completions);
-            for (tx, at) in completions {
+            let mut batch = std::mem::take(&mut self.completion_scratch);
+            std::mem::swap(&mut self.env.completions, &mut batch);
+            for (tx, at) in batch.drain(..) {
                 let rec = self
                     .env
                     .tx_table
@@ -421,6 +422,7 @@ impl Coordinator {
                 };
                 self.respond(proc, resp);
             }
+            self.completion_scratch = batch;
         }
     }
 
@@ -432,7 +434,8 @@ impl Coordinator {
             RegionId(next_id)
         });
         if self.region_wall.len() <= id.0 as usize {
-            self.region_wall.resize(id.0 as usize + 1, vec![0; self.nprocs]);
+            self.region_wall
+                .resize(id.0 as usize + 1, vec![0; self.nprocs]);
             self.region_compute
                 .resize(id.0 as usize + 1, vec![0; self.nprocs]);
         }
@@ -460,7 +463,7 @@ impl Coordinator {
         );
     }
 
-    fn build_report(mut self) -> RunReport {
+    fn build_report(&mut self) -> RunReport {
         let proc_max = self.proc_clock.iter().copied().max().unwrap_or(0);
         let total_time = proc_max.max(self.last_event_time);
         let compute_time = self.proc_compute.iter().copied().max().unwrap_or(0);
@@ -471,7 +474,11 @@ impl Coordinator {
         for (i, name) in self.region_names.iter().enumerate() {
             let id = RegionId(i as u16 + 1);
             let stats = self.env.network.region_stats(id);
-            let wall = self.region_wall[id.0 as usize].iter().copied().max().unwrap_or(0);
+            let wall = self.region_wall[id.0 as usize]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
             let compute = self.region_compute[id.0 as usize]
                 .iter()
                 .copied()

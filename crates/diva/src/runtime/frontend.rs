@@ -1,0 +1,237 @@
+//! Execution-mode frontends of the coordinator.
+//!
+//! The [`Coordinator`](super::coordinator::Coordinator) drives the
+//! simulation; *how* the per-processor programs are executed is abstracted
+//! behind the [`Frontend`] trait:
+//!
+//! * [`ThreadedFrontend`] — the classic mode: one OS thread per simulated
+//!   processor running an ordinary Rust closure, blocking operations
+//!   exchanged over mpsc channels. Maximum ergonomics, poor scalability.
+//! * [`DrivenFrontend`] — the event-driven mode: programs are
+//!   [`ProcProgram`] state machines stepped inline by the coordinator. Zero
+//!   threads, zero channel hops; this is what makes 64×64+ meshes practical.
+//!
+//! Both frontends produce the same round-based request schedule: a *round*
+//! collects exactly one blocking operation from every runnable processor,
+//! the coordinator handles them sorted by (issue time, processor id), and
+//! every processor unblocked during the round issues its next operation in
+//! the following round. Identical scheduling is what makes run reports of
+//! the two modes bit-identical (see the parity tests in `dm-apps`).
+
+use super::program::{Op, ProcProgram, StepCtx};
+use super::shared::{Request, Response, SharedState, TimedRequest};
+use crate::policy::AccessKind;
+use crate::var::{Value, VarHandle};
+use dm_engine::MachineConfig;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// How the coordinator obtains blocking operations from the simulated
+/// processors and delivers their results.
+pub(crate) trait Frontend {
+    /// Collect the next round of requests — exactly one per runnable
+    /// processor — into `batch`. Leaves `batch` empty when every processor
+    /// is blocked (waiting for a completion or finished).
+    fn gather(&mut self, batch: &mut Vec<TimedRequest>);
+
+    /// Deliver the result of a blocking operation, unblocking `proc` so its
+    /// next request appears in a subsequent round.
+    fn respond(&mut self, proc: usize, resp: Response);
+}
+
+/// The thread-per-processor frontend (the classic DIVA execution mode).
+pub(crate) struct ThreadedFrontend {
+    req_rx: Receiver<TimedRequest>,
+    resp_tx: Vec<Sender<Response>>,
+    /// Number of worker threads currently running (i.e. that will send one
+    /// more request).
+    active: usize,
+}
+
+impl ThreadedFrontend {
+    pub(crate) fn new(
+        req_rx: Receiver<TimedRequest>,
+        resp_tx: Vec<Sender<Response>>,
+        nprocs: usize,
+    ) -> Self {
+        ThreadedFrontend {
+            req_rx,
+            resp_tx,
+            active: nprocs,
+        }
+    }
+}
+
+impl Frontend for ThreadedFrontend {
+    fn gather(&mut self, batch: &mut Vec<TimedRequest>) {
+        while self.active > 0 {
+            let req = self
+                .req_rx
+                .recv()
+                .expect("a worker thread terminated without notifying the coordinator");
+            self.active -= 1;
+            batch.push(req);
+        }
+    }
+
+    fn respond(&mut self, proc: usize, resp: Response) {
+        self.resp_tx[proc]
+            .send(resp)
+            .expect("worker thread terminated while waiting for a response");
+        self.active += 1;
+    }
+}
+
+/// Per-processor state of the driven frontend.
+struct Slot {
+    /// Result of the last completed `Read` / `Recv`, until the program takes it.
+    value: Option<Value>,
+    /// Result of the last completed `Alloc`.
+    handle: Option<VarHandle>,
+    /// Modelled computation time accumulated since the last blocking op.
+    pending_compute_ns: u64,
+    /// Library overhead of fast-path hits since the last blocking op.
+    pending_overhead_ns: u64,
+    /// Fast-path read hits since the last blocking op.
+    pending_hits: u64,
+}
+
+/// The event-driven frontend: [`ProcProgram`] state machines stepped inline.
+pub(crate) struct DrivenFrontend<P: ProcProgram> {
+    programs: Vec<P>,
+    slots: Vec<Slot>,
+    /// Processors whose previous operation completed; stepped at the next
+    /// [`Frontend::gather`].
+    runnable: Vec<usize>,
+    shared: Arc<SharedState>,
+    machine: MachineConfig,
+    mesh_dims: (usize, usize),
+}
+
+impl<P: ProcProgram> DrivenFrontend<P> {
+    pub(crate) fn new(
+        programs: Vec<P>,
+        shared: Arc<SharedState>,
+        machine: MachineConfig,
+        mesh_dims: (usize, usize),
+    ) -> Self {
+        let nprocs = programs.len();
+        DrivenFrontend {
+            programs,
+            slots: (0..nprocs)
+                .map(|_| Slot {
+                    value: None,
+                    handle: None,
+                    pending_compute_ns: 0,
+                    pending_overhead_ns: 0,
+                    pending_hits: 0,
+                })
+                .collect(),
+            runnable: (0..nprocs).collect(),
+            shared,
+            machine,
+            mesh_dims,
+        }
+    }
+
+    /// The final program states, consumed after the run completes.
+    pub(crate) fn into_programs(self) -> Vec<P> {
+        self.programs
+    }
+
+    /// Step `proc` until it yields a blocking operation (fast-path reads and
+    /// `Compute` are absorbed inline) and convert it into a request.
+    fn next_request(&mut self, proc: usize) -> TimedRequest {
+        let nprocs = self.programs.len();
+        let slot = &mut self.slots[proc];
+        let req = loop {
+            let mut ctx = StepCtx {
+                proc,
+                nprocs,
+                mesh_dims: self.mesh_dims,
+                machine: &self.machine,
+                value: &mut slot.value,
+                handle: &mut slot.handle,
+                pending_compute_ns: &mut slot.pending_compute_ns,
+            };
+            match self.programs[proc].step(&mut ctx) {
+                Op::Compute { ns } => slot.pending_compute_ns += ns,
+                Op::Read(var) => {
+                    if self.shared.fast_path && self.shared.has_copy(proc, var) {
+                        // Same fast path as ProcCtx::read_value: a local hit
+                        // costs only library overhead, charged to the next
+                        // blocking operation.
+                        slot.pending_overhead_ns += self.shared.local_access_ns;
+                        slot.pending_hits += 1;
+                        slot.value = Some(self.shared.value(var));
+                        continue;
+                    }
+                    break Request::Access {
+                        proc,
+                        var,
+                        kind: AccessKind::Read,
+                        value: None,
+                    };
+                }
+                Op::Write(var, value) => {
+                    break Request::Access {
+                        proc,
+                        var,
+                        kind: AccessKind::Write,
+                        value: Some(value),
+                    }
+                }
+                Op::Alloc { bytes, value } => break Request::Alloc { proc, bytes, value },
+                Op::Lock(var) => break Request::Lock { proc, var },
+                Op::Unlock(var) => break Request::Unlock { proc, var },
+                Op::Barrier => break Request::Barrier { proc },
+                Op::Region(name) => break Request::Region { proc, name },
+                Op::Send {
+                    to,
+                    bytes,
+                    tag,
+                    value,
+                } => {
+                    assert!(to < nprocs, "send to non-existent processor {to}");
+                    break Request::Send {
+                        proc,
+                        to,
+                        bytes,
+                        tag,
+                        value,
+                    };
+                }
+                Op::Recv { from, tag } => {
+                    assert!(from < nprocs, "receive from non-existent processor {from}");
+                    break Request::Recv { proc, from, tag };
+                }
+                Op::Done => break Request::Finish { proc },
+            }
+        };
+        TimedRequest {
+            req,
+            compute_ns: std::mem::take(&mut slot.pending_compute_ns),
+            overhead_ns: std::mem::take(&mut slot.pending_overhead_ns),
+            hits: std::mem::take(&mut slot.pending_hits),
+        }
+    }
+}
+
+impl<P: ProcProgram> Frontend for DrivenFrontend<P> {
+    fn gather(&mut self, batch: &mut Vec<TimedRequest>) {
+        while let Some(proc) = self.runnable.pop() {
+            let req = self.next_request(proc);
+            batch.push(req);
+        }
+    }
+
+    fn respond(&mut self, proc: usize, resp: Response) {
+        let slot = &mut self.slots[proc];
+        match resp {
+            Response::Value(v) => slot.value = Some(v),
+            Response::Handle(h) => slot.handle = Some(h),
+            Response::Done => {}
+        }
+        self.runnable.push(proc);
+    }
+}

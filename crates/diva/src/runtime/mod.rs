@@ -2,10 +2,13 @@
 //! execution.
 
 mod coordinator;
+mod frontend;
 mod proc_ctx;
+mod program;
 mod shared;
 
 pub use proc_ctx::ProcCtx;
+pub use program::{Op, ProcProgram, StepCtx};
 
 use crate::barrier::TreeBarrier;
 use crate::embedding::EmbeddingMode;
@@ -17,6 +20,7 @@ use crate::var::{Value, VarHandle, VarRegistry};
 use coordinator::Coordinator;
 use dm_engine::MachineConfig;
 use dm_mesh::{Mesh, NodeId, TreeShape};
+use frontend::{DrivenFrontend, ThreadedFrontend};
 use shared::SharedState;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -96,8 +100,9 @@ impl DivaConfig {
 pub struct RunOutcome<R> {
     /// Timing, congestion and protocol statistics of the run.
     pub report: RunReport,
-    /// The per-processor return values of the program closure, indexed by
-    /// processor id.
+    /// Per-processor results, indexed by processor id: the closure return
+    /// values under [`Diva::run`], the final program states under
+    /// [`Diva::run_driven`].
     pub results: Vec<R>,
 }
 
@@ -169,31 +174,23 @@ impl Diva {
 
     /// Allocate a global variable holding a dynamically typed value.
     pub fn alloc_value(&mut self, owner: usize, bytes: u32, value: Value) -> VarHandle {
-        assert!(owner < self.num_procs(), "owner processor {owner} does not exist");
+        assert!(
+            owner < self.num_procs(),
+            "owner processor {owner} does not exist"
+        );
         let var = self.registry.register(bytes, NodeId(owner as u32));
         self.values.push(value);
         self.policy.register_var(var, NodeId(owner as u32), bytes);
         var
     }
 
-    /// Run `program` on every simulated processor and return the per-processor
-    /// results together with the run report.
-    ///
-    /// The closure is invoked once per processor (with a [`ProcCtx`] whose
-    /// `proc_id()` identifies the processor) on its own OS thread; the
-    /// coordinator thread serialises their blocking operations
-    /// deterministically and advances virtual time.
-    pub fn run<F, R>(self, program: F) -> RunOutcome<R>
-    where
-        F: Fn(&mut ProcCtx) -> R + Send + Sync,
-        R: Send,
-    {
-        let Diva {
-            cfg,
-            registry,
-            values,
-            policy,
-        } = self;
+    /// Initialise the state shared between the processors and the
+    /// coordinator: the value store plus the initial presence bits.
+    fn setup_shared(
+        cfg: &DivaConfig,
+        registry: &VarRegistry,
+        values: Vec<Value>,
+    ) -> Arc<SharedState> {
         let nprocs = cfg.mesh.nodes();
         let shared = Arc::new(SharedState::new(
             nprocs,
@@ -209,6 +206,32 @@ impl Diva {
             let owner = registry.info(var).owner;
             shared.set_copy(owner.index(), var, true);
         }
+        shared
+    }
+
+    /// Run `program` on every simulated processor and return the per-processor
+    /// results together with the run report.
+    ///
+    /// This is the *threaded* execution mode: the closure is invoked once per
+    /// processor (with a [`ProcCtx`] whose `proc_id()` identifies the
+    /// processor) on its own OS thread; the coordinator thread serialises
+    /// their blocking operations deterministically and advances virtual time.
+    /// Maximum ergonomics — ordinary Rust control flow — at the cost of one
+    /// OS thread plus two channel hops per blocking operation. For large
+    /// meshes use [`Diva::run_driven`] instead.
+    pub fn run<F, R>(self, program: F) -> RunOutcome<R>
+    where
+        F: Fn(&mut ProcCtx) -> R + Send + Sync,
+        R: Send,
+    {
+        let Diva {
+            cfg,
+            registry,
+            values,
+            policy,
+        } = self;
+        let nprocs = cfg.mesh.nodes();
+        let shared = Self::setup_shared(&cfg, &registry, values);
 
         let (req_tx, req_rx) = mpsc::channel();
         let mut resp_senders = Vec::with_capacity(nprocs);
@@ -240,8 +263,7 @@ impl Diva {
             policy,
             registry,
             Arc::clone(&shared),
-            req_rx,
-            resp_senders,
+            ThreadedFrontend::new(req_rx, resp_senders, nprocs),
         );
 
         let program = &program;
@@ -261,7 +283,7 @@ impl Diva {
                     })
                 })
                 .collect();
-            let report = coordinator.run();
+            let (report, _frontend) = coordinator.run();
             let results = handles
                 .into_iter()
                 .map(|h| match h.join() {
@@ -271,5 +293,49 @@ impl Diva {
                 .collect();
             RunOutcome { report, results }
         })
+    }
+
+    /// Run one [`ProcProgram`] state machine per simulated processor and
+    /// return the final program states together with the run report.
+    ///
+    /// This is the *event-driven* execution mode: no OS threads and no
+    /// channels — the coordinator steps every program inline off its event
+    /// queue, which makes simulations of large meshes (64×64 and beyond)
+    /// practical. For the same configuration and an operation-equivalent
+    /// program, the produced [`RunReport`] is bit-identical to the threaded
+    /// mode's (see the parity tests in `dm-apps`).
+    ///
+    /// `programs[p]` is the state machine of processor `p`; the vector must
+    /// contain exactly one program per processor.
+    pub fn run_driven<P: ProcProgram>(self, programs: Vec<P>) -> RunOutcome<P> {
+        let Diva {
+            cfg,
+            registry,
+            values,
+            policy,
+        } = self;
+        let nprocs = cfg.mesh.nodes();
+        assert_eq!(
+            programs.len(),
+            nprocs,
+            "run_driven needs exactly one program per processor"
+        );
+        let shared = Self::setup_shared(&cfg, &registry, values);
+        let barrier = TreeBarrier::new(&cfg.mesh, cfg.barrier_shape);
+        let mesh_dims = (cfg.mesh.rows(), cfg.mesh.cols());
+        let coordinator = Coordinator::new(
+            cfg.mesh.clone(),
+            cfg.machine,
+            barrier,
+            policy,
+            registry,
+            Arc::clone(&shared),
+            DrivenFrontend::new(programs, shared, cfg.machine, mesh_dims),
+        );
+        let (report, frontend) = coordinator.run();
+        RunOutcome {
+            report,
+            results: frontend.into_programs(),
+        }
     }
 }

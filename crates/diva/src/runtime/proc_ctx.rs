@@ -58,9 +58,9 @@ impl ProcCtx {
     /// Panics if the stored value is not of type `T`.
     pub fn read<T: Any + Send + Sync>(&mut self, var: VarHandle) -> Arc<T> {
         let value = self.read_value(var);
-        value
-            .downcast::<T>()
-            .unwrap_or_else(|_| panic!("variable {var} does not hold a value of the requested type"))
+        value.downcast::<T>().unwrap_or_else(|_| {
+            panic!("variable {var} does not hold a value of the requested type")
+        })
     }
 
     /// Read a global variable as a dynamically typed value.
@@ -125,13 +125,19 @@ impl ProcCtx {
 
     /// Acquire the lock attached to `var` (blocking, FIFO).
     pub fn lock(&mut self, var: VarHandle) {
-        let resp = self.request(Request::Lock { proc: self.proc, var });
+        let resp = self.request(Request::Lock {
+            proc: self.proc,
+            var,
+        });
         debug_assert!(matches!(resp, Response::Done));
     }
 
     /// Release the lock attached to `var`.
     pub fn unlock(&mut self, var: VarHandle) {
-        let resp = self.request(Request::Unlock { proc: self.proc, var });
+        let resp = self.request(Request::Unlock {
+            proc: self.proc,
+            var,
+        });
         debug_assert!(matches!(resp, Response::Done));
     }
 
@@ -180,7 +186,10 @@ impl ProcCtx {
 
     /// Receive the next explicit message as a dynamically typed value.
     pub fn recv_msg_value(&mut self, from: usize, tag: u64) -> Value {
-        assert!(from < self.nprocs, "receive from non-existent processor {from}");
+        assert!(
+            from < self.nprocs,
+            "receive from non-existent processor {from}"
+        );
         let resp = self.request(Request::Recv {
             proc: self.proc,
             from,

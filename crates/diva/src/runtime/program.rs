@@ -1,0 +1,185 @@
+//! Coroutine-style processor programs for the event-driven execution mode.
+//!
+//! The classic [`Diva::run`](crate::Diva::run) API executes the program
+//! closure of every simulated processor on its own OS thread and serialises
+//! their blocking operations through channels. That is ergonomic but costs
+//! one thread plus two channel hops per simulated operation — prohibitive for
+//! large meshes (a 64×64 mesh would need 4096 threads).
+//!
+//! The event-driven mode inverts control: a program is an explicit state
+//! machine implementing [`ProcProgram`]. The coordinator *pulls* the next
+//! operation of a processor by calling [`ProcProgram::step`] and delivers the
+//! operation's result through the [`StepCtx`] before the next call. No
+//! threads, no channels — every simulated processor is just a struct owned by
+//! the coordinator.
+//!
+//! The contract between the driver and a program:
+//!
+//! * `step` is called exactly once per *blocking* operation; the returned
+//!   [`Op`] describes the operation to perform.
+//! * Before the next `step` call, the result of the previous operation is
+//!   available in the context: [`StepCtx::take_value`] after [`Op::Read`] /
+//!   [`Op::Recv`], [`StepCtx::take_handle`] after [`Op::Alloc`]. Other
+//!   operations complete without a payload.
+//! * Reads that hit a valid local copy are satisfied inline by the driver
+//!   (when the fast path is enabled) without a simulated protocol round trip,
+//!   exactly like the threaded mode; `step` is simply called again.
+//! * Local computation is accounted either by returning [`Op::Compute`] or by
+//!   calling the `compute*` methods on the context; both charge the time to
+//!   the next blocking operation, matching the threaded accounting.
+//! * After [`Op::Done`] the program is never stepped again.
+
+use crate::var::{Value, VarHandle};
+use dm_engine::{us_to_ns, MachineConfig};
+use std::any::Any;
+use std::sync::Arc;
+
+/// One blocking operation of a simulated processor, returned by
+/// [`ProcProgram::step`].
+#[derive(Debug)]
+pub enum Op {
+    /// Read a global variable; the value is delivered through
+    /// [`StepCtx::take_value`] before the next step.
+    Read(VarHandle),
+    /// Write a new value into a global variable.
+    Write(VarHandle, Value),
+    /// Allocate a new global variable whose only copy starts at this
+    /// processor; the handle is delivered through [`StepCtx::take_handle`].
+    Alloc {
+        /// Size of the variable in bytes (determines message sizes).
+        bytes: u32,
+        /// Initial value.
+        value: Value,
+    },
+    /// Acquire the FIFO lock attached to a variable.
+    Lock(VarHandle),
+    /// Release the lock attached to a variable.
+    Unlock(VarHandle),
+    /// Wait until every processor has reached the barrier.
+    Barrier,
+    /// Enter a named measurement region.
+    Region(String),
+    /// Explicit message-passing send (non-blocking at the receiver side; the
+    /// processor continues once its send-side startup is done).
+    Send {
+        /// Destination processor.
+        to: usize,
+        /// Message size in bytes.
+        bytes: u32,
+        /// Message tag (matched by `Recv`).
+        tag: u64,
+        /// Payload.
+        value: Value,
+    },
+    /// Explicit message-passing receive (blocks until a matching send
+    /// arrives); the payload is delivered through [`StepCtx::take_value`].
+    Recv {
+        /// Source processor.
+        from: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// Account `ns` nanoseconds of local computation and step again
+    /// immediately (no blocking operation is issued).
+    Compute {
+        /// Modelled local computation time in nanoseconds.
+        ns: u64,
+    },
+    /// The program has finished; it will not be stepped again.
+    Done,
+}
+
+/// A simulated processor program in the event-driven execution mode: an
+/// explicit state machine the coordinator drives directly off its event
+/// queue.
+///
+/// Implementations typically keep a small state enum plus whatever data the
+/// algorithm carries between operations; see the driven variants of the
+/// `dm-apps` applications for full examples.
+pub trait ProcProgram: Send {
+    /// Produce the next blocking operation. The result of the previous
+    /// operation (if it carries one) is available on `ctx`.
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op;
+}
+
+/// The per-step context handed to [`ProcProgram::step`]: identification of
+/// the simulated processor, the machine parameters, the result of the
+/// previous operation, and local-computation accounting.
+pub struct StepCtx<'a> {
+    pub(crate) proc: usize,
+    pub(crate) nprocs: usize,
+    pub(crate) mesh_dims: (usize, usize),
+    pub(crate) machine: &'a MachineConfig,
+    pub(crate) value: &'a mut Option<Value>,
+    pub(crate) handle: &'a mut Option<VarHandle>,
+    pub(crate) pending_compute_ns: &'a mut u64,
+}
+
+impl StepCtx<'_> {
+    /// The id of this simulated processor (row-major mesh numbering).
+    pub fn proc_id(&self) -> usize {
+        self.proc
+    }
+
+    /// Total number of simulated processors.
+    pub fn num_procs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Mesh dimensions `(rows, cols)`.
+    pub fn mesh_dims(&self) -> (usize, usize) {
+        self.mesh_dims
+    }
+
+    /// The machine parameters of the simulated platform.
+    pub fn machine(&self) -> &MachineConfig {
+        self.machine
+    }
+
+    /// Take the dynamically typed result of the previous `Read` / `Recv`.
+    ///
+    /// # Panics
+    /// Panics if the previous operation did not deliver a value.
+    pub fn take_value(&mut self) -> Value {
+        self.value
+            .take()
+            .expect("no value pending — the previous op was not a read or recv")
+    }
+
+    /// Take the result of the previous `Read` / `Recv` downcast to `T`.
+    ///
+    /// # Panics
+    /// Panics if no value is pending or it is not of type `T`.
+    pub fn take<T: Any + Send + Sync>(&mut self) -> Arc<T> {
+        self.take_value()
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("pending value does not have the requested type"))
+    }
+
+    /// Take the handle of the variable created by the previous `Alloc`.
+    ///
+    /// # Panics
+    /// Panics if the previous operation was not an `Alloc`.
+    pub fn take_handle(&mut self) -> VarHandle {
+        self.handle
+            .take()
+            .expect("no handle pending — the previous op was not an alloc")
+    }
+
+    /// Account `us` microseconds of local computation (charged to the next
+    /// blocking operation, like [`ProcCtx::compute`](crate::ProcCtx::compute)).
+    pub fn compute(&mut self, us: f64) {
+        debug_assert!(us >= 0.0);
+        *self.pending_compute_ns += us_to_ns(us);
+    }
+
+    /// Account the modelled time of `n` integer operations.
+    pub fn compute_int_ops(&mut self, n: u64) {
+        *self.pending_compute_ns += self.machine.int_ops_ns(n);
+    }
+
+    /// Account the modelled time of `n` floating-point operations.
+    pub fn compute_flops(&mut self, n: u64) {
+        *self.pending_compute_ns += self.machine.flops_ns(n);
+    }
+}

@@ -3,21 +3,26 @@
 
 use crate::policy::AccessKind;
 use crate::var::{Value, VarHandle};
-use std::collections::HashSet;
-use std::sync::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// State shared (read-mostly) between all simulated processors and the
 /// coordinator.
 ///
 /// The coordinator only mutates this state while every worker thread is
 /// blocked waiting for a response, so workers never observe torn updates; the
-/// locks exist to satisfy the compiler and are effectively uncontended.
+/// locks exist to satisfy the compiler and are effectively uncontended (in
+/// the event-driven mode everything runs on one thread anyway).
 pub(crate) struct SharedState {
     /// Current value of every global variable, indexed by `VarHandle`.
     pub values: RwLock<Vec<Value>>,
-    /// Per-processor set of variables with a valid local copy (the read fast
-    /// path).
-    pub presence: Vec<Mutex<HashSet<u32>>>,
+    /// Per-processor presence bitset: bit `v` of word `v / 64` says whether
+    /// the processor holds a valid local copy of variable `v` (the read fast
+    /// path). A dense bitset instead of a hash set: `has_copy` is on the hot
+    /// path of every read the simulator executes, and invalidations flip
+    /// many bits per write. Bits are atomic so the common operations need no
+    /// exclusive lock; the `RwLock` only guards growth of the word vector.
+    presence: Vec<RwLock<Vec<AtomicU64>>>,
     /// Whether the read fast path is enabled.
     pub fast_path: bool,
     /// Cost of a local cache hit, in nanoseconds.
@@ -28,7 +33,7 @@ impl SharedState {
     pub(crate) fn new(nprocs: usize, fast_path: bool, local_access_ns: u64) -> Self {
         SharedState {
             values: RwLock::new(Vec::new()),
-            presence: (0..nprocs).map(|_| Mutex::new(HashSet::new())).collect(),
+            presence: (0..nprocs).map(|_| RwLock::new(Vec::new())).collect(),
             fast_path,
             local_access_ns,
         }
@@ -36,16 +41,30 @@ impl SharedState {
 
     /// Whether processor `proc` holds a valid copy of `var`.
     pub(crate) fn has_copy(&self, proc: usize, var: VarHandle) -> bool {
-        self.presence[proc].lock().expect("presence lock poisoned").contains(&var.0)
+        let words = self.presence[proc].read().expect("presence lock poisoned");
+        words
+            .get(var.index() / 64)
+            .is_some_and(|w| w.load(Ordering::Relaxed) >> (var.0 % 64) & 1 == 1)
     }
 
     /// Update the presence bit of (`proc`, `var`).
     pub(crate) fn set_copy(&self, proc: usize, var: VarHandle, present: bool) {
-        let mut set = self.presence[proc].lock().expect("presence lock poisoned");
+        let idx = var.index() / 64;
+        let bit = 1u64 << (var.0 % 64);
+        let words = self.presence[proc].read().expect("presence lock poisoned");
         if present {
-            set.insert(var.0);
-        } else {
-            set.remove(&var.0);
+            if let Some(w) = words.get(idx) {
+                w.fetch_or(bit, Ordering::Relaxed);
+            } else {
+                drop(words);
+                let mut words = self.presence[proc].write().expect("presence lock poisoned");
+                while words.len() <= idx {
+                    words.push(AtomicU64::new(0));
+                }
+                words[idx].fetch_or(bit, Ordering::Relaxed);
+            }
+        } else if let Some(w) = words.get(idx) {
+            w.fetch_and(!bit, Ordering::Relaxed);
         }
     }
 
@@ -80,7 +99,11 @@ pub(crate) enum Request {
         value: Option<Value>,
     },
     /// Allocate a new global variable owned by `proc`.
-    Alloc { proc: usize, bytes: u32, value: Value },
+    Alloc {
+        proc: usize,
+        bytes: u32,
+        value: Value,
+    },
     /// Barrier synchronisation.
     Barrier { proc: usize },
     /// Acquire the lock attached to `var`.

@@ -1,7 +1,6 @@
 //! Global variables (shared data objects) and their registry.
 
 use dm_mesh::NodeId;
-use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -12,7 +11,7 @@ use std::sync::Arc;
 /// can therefore be stored inside other global variables (this is how the
 /// Barnes-Hut application builds its shared tree "with pointers", as the
 /// paper describes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarHandle(pub u32);
 
 impl VarHandle {

@@ -1,0 +1,168 @@
+//! Tests of the event-driven execution mode: a hand-written mini program,
+//! and bit-identical parity against the threaded mode on a randomized
+//! read/write protocol workload (the microbench workload of the issue).
+
+use dm_diva::{Diva, DivaConfig, Op, ProcProgram, RunReport, StepCtx, StrategyKind, VarHandle};
+use dm_mesh::{Mesh, TreeShape};
+use std::sync::Arc;
+
+fn config(side: usize, strategy: StrategyKind) -> DivaConfig {
+    DivaConfig::new(Mesh::square(side), strategy)
+}
+
+/// A program that reads one shared variable, synchronises, and finishes —
+/// the driven twin of the doc example of `Diva::run`.
+struct ReadOnce {
+    var: VarHandle,
+    state: u8,
+    seen: Option<usize>,
+}
+
+impl ProcProgram for ReadOnce {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        match self.state {
+            0 => {
+                self.state = 1;
+                Op::Read(self.var)
+            }
+            1 => {
+                self.seen = Some(ctx.take::<Vec<u32>>().len());
+                self.state = 2;
+                Op::Barrier
+            }
+            _ => Op::Done,
+        }
+    }
+}
+
+#[test]
+fn driven_mode_runs_a_simple_program() {
+    let mut diva = Diva::new(config(4, StrategyKind::AccessTree(TreeShape::quad())));
+    let shared = diva.alloc(0, 1024, vec![0u32; 256]);
+    let programs: Vec<ReadOnce> = (0..diva.num_procs())
+        .map(|_| ReadOnce {
+            var: shared,
+            state: 0,
+            seen: None,
+        })
+        .collect();
+    let outcome = diva.run_driven(programs);
+    assert!(outcome.results.iter().all(|p| p.seen == Some(256)));
+    assert!(outcome.report.total_time > 0);
+    assert!(outcome.report.congestion_bytes() > 0);
+}
+
+/// The protocol microbench workload: every processor performs `rounds`
+/// uniformly random reads/writes over a pool of shared variables, with
+/// modelled think time, synchronising twice.
+///
+/// A deterministic per-processor LCG drives the choices so the threaded
+/// closure and the driven state machine perform exactly the same accesses.
+#[derive(Clone, Copy)]
+struct UniformAccess {
+    rounds: usize,
+}
+
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+struct UniformProgram {
+    cfg: UniformAccess,
+    vars: Arc<Vec<VarHandle>>,
+    rng: u64,
+    round: usize,
+    state: u8,
+}
+
+impl ProcProgram for UniformProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        // Read results are left untaken — the closure twin drops them too.
+        match self.state {
+            0 => {
+                if self.round == self.cfg.rounds {
+                    self.state = 1;
+                    return Op::Barrier;
+                }
+                self.round += 1;
+                ctx.compute_int_ops(5);
+                let r = lcg_next(&mut self.rng);
+                let var = self.vars[(r % self.vars.len() as u64) as usize];
+                if r & 1 == 0 {
+                    Op::Read(var)
+                } else {
+                    Op::Write(var, Arc::new(self.round as u64))
+                }
+            }
+            _ => Op::Done,
+        }
+    }
+}
+
+fn uniform_threaded(
+    strategy: StrategyKind,
+    side: usize,
+    cfg: UniformAccess,
+    seed: u64,
+) -> RunReport {
+    let mut diva = Diva::new(config(side, strategy).with_seed(seed));
+    let nprocs = diva.num_procs();
+    let vars: Vec<VarHandle> = (0..nprocs).map(|p| diva.alloc(p, 512, 0u64)).collect();
+    let vars = Arc::new(vars);
+    let outcome = diva.run(move |ctx| {
+        let mut rng = 0x9E3779B97F4A7C15u64 ^ (ctx.proc_id() as u64) << 17;
+        for round in 1..=cfg.rounds {
+            ctx.compute_int_ops(5);
+            let r = lcg_next(&mut rng);
+            let var = vars[(r % vars.len() as u64) as usize];
+            if r & 1 == 0 {
+                let _ = ctx.read::<u64>(var);
+            } else {
+                ctx.write(var, round as u64);
+            }
+        }
+        ctx.barrier();
+    });
+    outcome.report
+}
+
+fn uniform_driven(strategy: StrategyKind, side: usize, cfg: UniformAccess, seed: u64) -> RunReport {
+    let mut diva = Diva::new(config(side, strategy).with_seed(seed));
+    let nprocs = diva.num_procs();
+    let vars: Vec<VarHandle> = (0..nprocs).map(|p| diva.alloc(p, 512, 0u64)).collect();
+    let vars = Arc::new(vars);
+    let programs: Vec<UniformProgram> = (0..nprocs)
+        .map(|p| UniformProgram {
+            cfg,
+            vars: Arc::clone(&vars),
+            rng: 0x9E3779B97F4A7C15u64 ^ (p as u64) << 17,
+            round: 0,
+            state: 0,
+        })
+        .collect();
+    diva.run_driven(programs).report
+}
+
+#[test]
+fn uniform_random_access_parity_threaded_vs_driven() {
+    let cfg = UniformAccess { rounds: 24 };
+    for strategy in [
+        StrategyKind::AccessTree(TreeShape::quad()),
+        StrategyKind::FixedHome,
+    ] {
+        let threaded = uniform_threaded(strategy, 4, cfg, 11);
+        let driven = uniform_driven(strategy, 4, cfg, 11);
+        assert_eq!(threaded, driven, "{strategy:?}");
+    }
+}
+
+#[test]
+fn driven_mode_is_deterministic_across_runs() {
+    let cfg = UniformAccess { rounds: 16 };
+    let a = uniform_driven(StrategyKind::AccessTree(TreeShape::quad()), 4, cfg, 3);
+    let b = uniform_driven(StrategyKind::AccessTree(TreeShape::quad()), 4, cfg, 3);
+    assert_eq!(a, b);
+}

@@ -131,15 +131,15 @@ fn locks_provide_mutual_exclusion_on_read_modify_write() {
 fn explicit_message_passing_round_trip() {
     // Ring communication: each processor sends its id to the next and receives
     // from the previous.
-    let mut diva = Diva::new(at_config(4, TreeShape::quad()));
+    let diva = Diva::new(at_config(4, TreeShape::quad()));
     let outcome = diva.run(|ctx| {
         let p = ctx.proc_id();
         let n = ctx.num_procs();
         let next = (p + 1) % n;
         let prev = (p + n - 1) % n;
         ctx.send_msg(next, 64, 1, p as u64);
-        let got = *ctx.recv_msg::<u64>(prev, 1);
-        got
+
+        *ctx.recv_msg::<u64>(prev, 1)
     });
     for (p, got) in outcome.results.iter().enumerate() {
         assert_eq!(*got as usize, (p + 16 - 1) % 16);
@@ -149,7 +149,7 @@ fn explicit_message_passing_round_trip() {
 
 #[test]
 fn message_passing_preserves_fifo_order_per_sender() {
-    let mut diva = Diva::new(at_config(2, TreeShape::quad()));
+    let diva = Diva::new(at_config(2, TreeShape::quad()));
     let outcome = diva.run(|ctx| {
         if ctx.proc_id() == 0 {
             for i in 0..10u64 {
@@ -209,7 +209,9 @@ fn fast_path_hits_do_not_touch_the_network() {
 fn runs_are_deterministic() {
     let run = || {
         let mut diva = Diva::new(at_config(4, TreeShape::binary()).with_seed(99));
-        let vars: Vec<VarHandle> = (0..8).map(|i| diva.alloc(i, 512, vec![i as u32; 128])).collect();
+        let vars: Vec<VarHandle> = (0..8)
+            .map(|i| diva.alloc(i, 512, vec![i as u32; 128]))
+            .collect();
         let vars = Arc::new(vars);
         let vars2 = Arc::clone(&vars);
         let outcome = diva.run(move |ctx| {
@@ -285,9 +287,11 @@ fn access_tree_beats_fixed_home_on_a_hot_shared_object() {
     // every processor reads hot shared objects, the access tree's multicast
     // distribution produces less congestion — and, once the data volume is
     // large enough for bandwidth rather than startup cost to dominate, less
-    // time — than the fixed home serving every reader itself.
-    let run = |strategy: StrategyKind| {
-        let mut diva = Diva::new(DivaConfig::new(Mesh::square(8), strategy));
+    // time — than the fixed home serving every reader itself. At this micro
+    // scale a single unlucky random placement can flip the comparison, so the
+    // claim is asserted over the aggregate of several seeds.
+    let run = |strategy: StrategyKind, seed: u64| {
+        let mut diva = Diva::new(DivaConfig::new(Mesh::square(8), strategy).with_seed(seed));
         let vars: Vec<VarHandle> = (0..4)
             .map(|i| diva.alloc(i, 16384, vec![1u8; 16384]))
             .collect();
@@ -300,23 +304,30 @@ fn access_tree_beats_fixed_home_on_a_hot_shared_object() {
         });
         outcome.report
     };
-    let at = run(StrategyKind::AccessTree(TreeShape::quad()));
-    let fh = run(StrategyKind::FixedHome);
+    let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
+    let mut at_congestion = 0u64;
+    let mut fh_congestion = 0u64;
+    let mut at_time = 0u64;
+    let mut fh_time = 0u64;
+    for &seed in &seeds {
+        let at = run(StrategyKind::AccessTree(TreeShape::quad()), seed);
+        let fh = run(StrategyKind::FixedHome, seed);
+        at_congestion += at.congestion_bytes();
+        fh_congestion += fh.congestion_bytes();
+        at_time += at.total_time;
+        fh_time += fh.total_time;
+    }
     assert!(
-        at.congestion_bytes() < fh.congestion_bytes(),
-        "access tree congestion {} should be below fixed home {}",
-        at.congestion_bytes(),
-        fh.congestion_bytes()
+        at_congestion < fh_congestion,
+        "access tree congestion {at_congestion} should be below fixed home {fh_congestion}"
     );
     // For this micro-workload (one read per processor and variable) latency
     // rather than congestion dominates, so the access tree is only required
     // not to be meaningfully slower; its time advantage at application scale
     // is covered by the matrix-multiplication and sorting experiments.
     assert!(
-        at.total_time as f64 <= fh.total_time as f64 * 1.25,
-        "access tree time {} should not exceed 1.25x fixed home {}",
-        at.total_time,
-        fh.total_time
+        at_time as f64 <= fh_time as f64 * 1.25,
+        "access tree time {at_time} should not exceed 1.25x fixed home {fh_time}"
     );
 }
 

@@ -1,7 +1,6 @@
 //! The machine model: hardware parameters of the simulated mesh computer.
 
 use crate::time::{us_to_ns, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Hardware parameters of the simulated mesh-connected machine.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Congestion results are independent of these constants (as the paper notes);
 /// they only shape the execution-time results.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
     /// Link bandwidth in bytes per microsecond (1.0 = 1 MByte/s).
     pub link_bandwidth_bytes_per_us: f64,
@@ -158,7 +157,8 @@ mod tests {
         // the same computation (bandwidth × time-per-op ≈ 3.45 bytes/op would
         // be the naive reading, the paper's 0.86 = 1 / (0.29 * 4) uses 4-byte
         // words): bytes-per-µs / (ops-per-µs * word) = 1 / (0.29*4) ≈ 0.86.
-        let ratio = cfg.link_bandwidth_bytes_per_us / ((1.0 / cfg.int_op_us) * cfg.word_bytes as f64);
+        let ratio =
+            cfg.link_bandwidth_bytes_per_us / ((1.0 / cfg.int_op_us) * cfg.word_bytes as f64);
         assert!((ratio - 0.86).abs() < 0.01);
     }
 

@@ -3,12 +3,11 @@
 use crate::config::MachineConfig;
 use crate::time::SimTime;
 use dm_mesh::{LinkStats, Mesh, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A measurement region messages can be attributed to (e.g. the Barnes-Hut
 /// "tree build" or "force computation" phase). Region 0 is the implicit
 /// whole-run region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RegionId(pub u16);
 
 /// The implicit region covering the whole run.
@@ -57,6 +56,13 @@ pub struct Delivery {
 pub struct LinkNetwork {
     mesh: Mesh,
     cfg: MachineConfig,
+    /// Fixed per-message costs in ns, precomputed from `cfg` — `transmit`
+    /// runs once per simulated message, so the float conversions are hoisted
+    /// out of the hot path.
+    send_ns: SimTime,
+    recv_ns: SimTime,
+    hop_ns: SimTime,
+    local_ns: SimTime,
     /// Time at which each directed link becomes free.
     link_free: Vec<SimTime>,
     /// Time at which each node's communication port becomes free.
@@ -80,6 +86,10 @@ impl LinkNetwork {
         LinkNetwork {
             mesh,
             cfg,
+            send_ns: cfg.startup_send_ns(),
+            recv_ns: cfg.startup_recv_ns(),
+            hop_ns: cfg.hop_latency_ns(),
+            local_ns: cfg.local_msg_ns(),
             link_free: vec![0; links],
             port_free: vec![0; nodes],
             global,
@@ -113,7 +123,7 @@ impl LinkNetwork {
         self.bytes_sent += bytes as u64;
         if from == to {
             // Co-located endpoints: library-internal hand-off, no link crossed.
-            let done = now + self.cfg.local_msg_ns();
+            let done = now + self.local_ns;
             return Delivery {
                 arrival: done,
                 sender_free: done,
@@ -123,38 +133,49 @@ impl LinkNetwork {
 
         // 1. Sender startup (serialised on the sender's communication port).
         let send_start = now.max(self.port_free[from.index()]);
-        let sender_free = send_start + self.cfg.startup_send_ns();
+        let sender_free = send_start + self.send_ns;
         self.port_free[from.index()] = sender_free;
 
         // 2. Hop-by-hop head propagation with per-link bandwidth occupancy.
+        //    The route is visited link by link without materialising it —
+        //    `transmit` runs once per simulated message, so a per-call
+        //    `Vec<LinkId>` allocation would dominate the simulator's profile.
         let transfer = self.cfg.transfer_ns(bytes);
-        let hop_latency = self.cfg.hop_latency_ns();
+        let hop_latency = self.hop_ns;
         let mut head_ready = sender_free;
         let mut hops = 0usize;
-        let mut links = Vec::new();
-        self.mesh.for_each_route_link(from, to, |l| links.push(l));
-        for l in &links {
-            let idx = l.index();
-            let depart = head_ready.max(self.link_free[idx]);
-            self.link_free[idx] = depart + transfer;
-            head_ready = depart + hop_latency;
-            hops += 1;
-            self.global.record(*l, bytes as u64);
-            if region != GLOBAL_REGION {
-                self.region_stats_mut(region).record(*l, bytes as u64);
-            }
+        let mut last_link_free = head_ready;
+        if region != GLOBAL_REGION {
+            // Materialise the region's stats before the traversal borrows
+            // the mesh and counters separately.
+            self.region_stats_mut(region);
         }
-        // The tail arrives one full transfer after the head departed the last
-        // link's queueing point.
-        let last_link_free = links
-            .last()
-            .map(|l| self.link_free[l.index()])
-            .unwrap_or(head_ready);
+        let Self {
+            mesh,
+            link_free,
+            global,
+            regions,
+            ..
+        } = self;
+        mesh.for_each_route_link(from, to, |l| {
+            let idx = l.index();
+            let depart = head_ready.max(link_free[idx]);
+            link_free[idx] = depart + transfer;
+            head_ready = depart + hop_latency;
+            // The tail arrives one full transfer after the head departed the
+            // last link's queueing point.
+            last_link_free = link_free[idx];
+            hops += 1;
+            global.record(l, bytes as u64);
+            if region != GLOBAL_REGION {
+                regions[region.0 as usize].record(l, bytes as u64);
+            }
+        });
         let body_arrived = last_link_free.max(head_ready);
 
         // 3. Receiver startup (serialised on the receiver's port).
         let recv_start = body_arrived.max(self.port_free[to.index()]);
-        let arrival = recv_start + self.cfg.startup_recv_ns();
+        let arrival = recv_start + self.recv_ns;
         self.port_free[to.index()] = arrival;
 
         Delivery {
@@ -237,8 +258,9 @@ mod tests {
         let d = n.transmit(0, a, b, 1000, GLOBAL_REGION);
         assert_eq!(d.hops, 1);
         // send startup + max(transfer, hop latency) + recv startup
-        let expected =
-            cfg.startup_send_ns() + cfg.transfer_ns(1000).max(cfg.hop_latency_ns()) + cfg.startup_recv_ns();
+        let expected = cfg.startup_send_ns()
+            + cfg.transfer_ns(1000).max(cfg.hop_latency_ns())
+            + cfg.startup_recv_ns();
         assert_eq!(d.arrival, expected);
         assert_eq!(d.sender_free, cfg.startup_send_ns());
     }

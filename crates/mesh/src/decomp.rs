@@ -20,10 +20,9 @@
 //! appropriate [`TreeShape`].
 
 use crate::{Mesh, NodeId, Submesh};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a node within a [`DecompositionTree`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TreeNodeId(pub u32);
 
 impl TreeNodeId {
@@ -40,7 +39,7 @@ impl TreeNodeId {
 /// into one tree level (1 → 2-ary, 2 → 4-ary, 4 → 16-ary). `leaf_submesh` is
 /// the submesh size at which the decomposition terminates (`1` for the pure
 /// strategies, `k` for the ℓ-k-ary variants).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TreeShape {
     /// Binary levels contracted per tree level (1, 2 or 4 in the paper).
     pub levels_per_step: u32,
@@ -51,17 +50,26 @@ pub struct TreeShape {
 impl TreeShape {
     /// The original 2-ary access tree.
     pub const fn binary() -> Self {
-        TreeShape { levels_per_step: 1, leaf_submesh: 1 }
+        TreeShape {
+            levels_per_step: 1,
+            leaf_submesh: 1,
+        }
     }
 
     /// The 4-ary access tree (skips the odd levels of the 2-ary one).
     pub const fn quad() -> Self {
-        TreeShape { levels_per_step: 2, leaf_submesh: 1 }
+        TreeShape {
+            levels_per_step: 2,
+            leaf_submesh: 1,
+        }
     }
 
     /// The 16-ary access tree (skips the odd levels of the 4-ary one).
     pub const fn hex16() -> Self {
-        TreeShape { levels_per_step: 4, leaf_submesh: 1 }
+        TreeShape {
+            levels_per_step: 4,
+            leaf_submesh: 1,
+        }
     }
 
     /// The ℓ-k-ary access tree: ℓ-ary decomposition (ℓ ∈ {2, 4}) terminated
@@ -76,7 +84,10 @@ impl TreeShape {
             _ => panic!("ℓ-k-ary trees are defined for ℓ ∈ {{2, 4}}, got {l}"),
         };
         assert!(k >= l as usize, "ℓ-k-ary trees require k ≥ ℓ");
-        TreeShape { levels_per_step, leaf_submesh: k }
+        TreeShape {
+            levels_per_step,
+            leaf_submesh: k,
+        }
     }
 
     /// Maximum number of children a non-terminal tree node can have.
@@ -96,7 +107,7 @@ impl TreeShape {
 }
 
 /// One node of a [`DecompositionTree`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecompNode {
     /// The submesh this tree node represents.
     pub submesh: Submesh,
@@ -120,7 +131,7 @@ impl DecompNode {
 
 /// A decomposition tree (equivalently, the template of every access tree) for
 /// a given mesh and tree shape.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecompositionTree {
     mesh: Mesh,
     shape: TreeShape,
@@ -129,6 +140,10 @@ pub struct DecompositionTree {
     leaf_of_proc: Vec<TreeNodeId>,
     /// Processors in left-to-right leaf order of the tree.
     leaf_order: Vec<NodeId>,
+    /// Euler-tour entry/exit times per node, for O(1) ancestor tests
+    /// (`is_ancestor` runs several times per simulated protocol hop).
+    tin: Vec<u32>,
+    tout: Vec<u32>,
 }
 
 impl DecompositionTree {
@@ -140,10 +155,35 @@ impl DecompositionTree {
             nodes: Vec::new(),
             leaf_of_proc: vec![TreeNodeId(0); mesh.nodes()],
             leaf_order: Vec::new(),
+            tin: Vec::new(),
+            tout: Vec::new(),
         };
         tree.expand(mesh.full(), None, 0);
         debug_assert_eq!(tree.leaf_order.len(), mesh.nodes());
+        tree.number_euler_tour();
         tree
+    }
+
+    /// Assign Euler-tour entry/exit numbers by an iterative DFS from the
+    /// root (the tree is built root-first, so node 0 is the root).
+    fn number_euler_tour(&mut self) {
+        self.tin = vec![0; self.nodes.len()];
+        self.tout = vec![0; self.nodes.len()];
+        let mut clock = 0u32;
+        // (node, next child index to visit)
+        let mut stack: Vec<(TreeNodeId, usize)> = vec![(TreeNodeId(0), 0)];
+        self.tin[0] = clock;
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            if let Some(&c) = self.nodes[node.index()].children.get(*child) {
+                *child += 1;
+                clock += 1;
+                self.tin[c.index()] = clock;
+                stack.push((c, 0));
+            } else {
+                self.tout[node.index()] = clock;
+                stack.pop();
+            }
+        }
     }
 
     /// Recursively create the node for `submesh` and its descendants.
@@ -279,14 +319,8 @@ impl DecompositionTree {
 
     /// Whether `ancestor` is an ancestor of (or equal to) `node`.
     pub fn is_ancestor(&self, ancestor: TreeNodeId, node: TreeNodeId) -> bool {
-        let mut cur = Some(node);
-        while let Some(c) = cur {
-            if c == ancestor {
-                return true;
-            }
-            cur = self.parent(c);
-        }
-        false
+        self.tin[ancestor.index()] <= self.tin[node.index()]
+            && self.tin[node.index()] <= self.tout[ancestor.index()]
     }
 
     /// Lowest common ancestor of two tree nodes.
@@ -369,7 +403,11 @@ mod tests {
             } else {
                 assert!(!n.children.is_empty());
                 let total: usize = n.children.iter().map(|&c| tree.submesh(c).size()).sum();
-                assert_eq!(total, n.submesh.size(), "children must partition the parent");
+                assert_eq!(
+                    total,
+                    n.submesh.size(),
+                    "children must partition the parent"
+                );
                 for &c in &n.children {
                     assert!(n.submesh.contains_submesh(&tree.submesh(c)));
                     assert_eq!(tree.parent(c), Some(id));
@@ -506,10 +544,7 @@ mod tests {
         assert_eq!(tree.lca(a, a), a);
         assert!(tree.level(tree.lca(a, b)) > tree.level(tree.lca(a, c)));
         assert_eq!(tree.lca(a, c), tree.root());
-        assert_eq!(
-            tree.tree_distance(a, c),
-            tree.level(a) + tree.level(c)
-        );
+        assert_eq!(tree.tree_distance(a, c), tree.level(a) + tree.level(c));
         assert!(tree.is_ancestor(tree.root(), a));
         assert!(!tree.is_ancestor(a, tree.root()));
     }
@@ -547,7 +582,12 @@ mod tests {
     fn non_power_of_two_meshes_are_handled() {
         for (r, c) in [(3, 5), (7, 7), (1, 9), (9, 1), (2, 2), (1, 1)] {
             let mesh = Mesh::new(r, c);
-            for shape in [TreeShape::binary(), TreeShape::quad(), TreeShape::hex16(), TreeShape::lk(2, 3)] {
+            for shape in [
+                TreeShape::binary(),
+                TreeShape::quad(),
+                TreeShape::hex16(),
+                TreeShape::lk(2, 3),
+            ] {
                 let tree = DecompositionTree::build(&mesh, shape);
                 check_invariants(&tree);
             }

@@ -1,14 +1,12 @@
 //! Strongly typed identifiers for mesh nodes, links and directions.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a processor (node) in a mesh.
 ///
 /// Nodes are numbered in row-major order: the node in row `r` and column `c`
 /// of an `rows × cols` mesh has id `r * cols + c`. This matches the processor
 /// numbering the paper uses for the modified access-tree embedding and for the
 /// bitonic-sorting wire assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -37,7 +35,7 @@ impl std::fmt::Display for NodeId {
 /// link leaving node `n` in direction `d` is `4 * n + d`. Slots that would
 /// leave the mesh (e.g. the eastern link of the last column) are never used,
 /// which wastes a few indices but keeps the mapping trivially invertible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -71,7 +69,7 @@ impl std::fmt::Display for LinkId {
 /// "East"/"West" move along a row (change the column, i.e. dimension 1 of the
 /// dimension-order routing); "South"/"North" move along a column (change the
 /// row, dimension 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Increasing column.
     East,

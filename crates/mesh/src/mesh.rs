@@ -1,7 +1,6 @@
 //! The 2-dimensional mesh and its dimension-order routing.
 
 use crate::{Direction, LinkId, NodeId, Submesh};
-use serde::{Deserialize, Serialize};
 
 /// A 2-dimensional mesh of `rows × cols` processors.
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// wormhole router and assumed in the theoretical analysis: a message first
 /// travels along its row (dimension 1, changing the column) and then along the
 /// column (dimension 2, changing the row).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mesh {
     rows: usize,
     cols: usize,
@@ -193,23 +192,47 @@ impl Mesh {
 
     /// Call `f` for every directed link crossed by the dimension-order route
     /// from `from` to `to`, without allocating the route.
+    ///
+    /// This runs once per link crossing of every simulated message, so the
+    /// link ids are computed directly from the walking node id (id
+    /// arithmetic instead of the checked [`Mesh::link`] / [`Mesh::node_at`]
+    /// path) — the route stays inside the mesh by construction.
     pub fn for_each_route_link<F: FnMut(LinkId)>(&self, from: NodeId, to: NodeId, mut f: F) {
         let (fr, fc) = self.coord(from);
         let (tr, tc) = self.coord(to);
-        let mut cur = from;
+        let mut cur = from.0;
         let mut c = fc;
         while c != tc {
-            let d = if c < tc { Direction::East } else { Direction::West };
-            f(self.link(cur, d));
-            c = if c < tc { c + 1 } else { c - 1 };
-            cur = self.node_at(fr, c);
+            let d = if c < tc {
+                Direction::East
+            } else {
+                Direction::West
+            };
+            f(LinkId(cur * 4 + d.index() as u32));
+            if c < tc {
+                c += 1;
+                cur += 1;
+            } else {
+                c -= 1;
+                cur -= 1;
+            }
         }
+        let cols = self.cols as u32;
         let mut r = fr;
         while r != tr {
-            let d = if r < tr { Direction::South } else { Direction::North };
-            f(self.link(cur, d));
-            r = if r < tr { r + 1 } else { r - 1 };
-            cur = self.node_at(r, tc);
+            let d = if r < tr {
+                Direction::South
+            } else {
+                Direction::North
+            };
+            f(LinkId(cur * 4 + d.index() as u32));
+            if r < tr {
+                r += 1;
+                cur += cols;
+            } else {
+                r -= 1;
+                cur -= cols;
+            }
         }
     }
 

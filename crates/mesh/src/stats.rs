@@ -1,7 +1,13 @@
 //! Per-link traffic statistics and congestion.
 
 use crate::{LinkId, Mesh};
-use serde::{Deserialize, Serialize};
+
+/// Byte and message counters of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct LinkLoad {
+    bytes: u64,
+    msgs: u64,
+}
 
 /// Byte and message counters for every directed link of a mesh.
 ///
@@ -10,67 +16,70 @@ use serde::{Deserialize, Serialize};
 /// here both in bytes ([`LinkStats::congestion_bytes`]) and in number of
 /// messages ([`LinkStats::congestion_msgs`], the unit used by the Barnes-Hut
 /// figures).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Both counters of a link share one entry so [`LinkStats::record`] — which
+/// runs once per link crossing of every simulated message — touches a single
+/// cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkStats {
-    bytes: Vec<u64>,
-    msgs: Vec<u64>,
+    loads: Vec<LinkLoad>,
 }
 
 impl LinkStats {
     /// Create zeroed statistics for `mesh`.
     pub fn new(mesh: &Mesh) -> Self {
         LinkStats {
-            bytes: vec![0; mesh.link_slots()],
-            msgs: vec![0; mesh.link_slots()],
+            loads: vec![LinkLoad::default(); mesh.link_slots()],
         }
     }
 
     /// Record one message of `bytes` bytes crossing `link`.
     #[inline]
     pub fn record(&mut self, link: LinkId, bytes: u64) {
-        self.bytes[link.index()] += bytes;
-        self.msgs[link.index()] += 1;
+        let load = &mut self.loads[link.index()];
+        load.bytes += bytes;
+        load.msgs += 1;
     }
 
     /// Bytes transmitted over `link` so far.
     pub fn bytes_on(&self, link: LinkId) -> u64 {
-        self.bytes[link.index()]
+        self.loads[link.index()].bytes
     }
 
     /// Messages transmitted over `link` so far.
     pub fn msgs_on(&self, link: LinkId) -> u64 {
-        self.msgs[link.index()]
+        self.loads[link.index()].msgs
     }
 
     /// Maximum bytes over any single link (congestion in bytes).
     pub fn congestion_bytes(&self) -> u64 {
-        self.bytes.iter().copied().max().unwrap_or(0)
+        self.loads.iter().map(|l| l.bytes).max().unwrap_or(0)
     }
 
     /// Maximum messages over any single link (congestion in messages).
     pub fn congestion_msgs(&self) -> u64 {
-        self.msgs.iter().copied().max().unwrap_or(0)
+        self.loads.iter().map(|l| l.msgs).max().unwrap_or(0)
     }
 
     /// Total bytes over all links (the "total communication load" of the
     /// earlier theoretical work the paper contrasts itself with).
     pub fn total_bytes(&self) -> u64 {
-        self.bytes.iter().sum()
+        self.loads.iter().map(|l| l.bytes).sum()
     }
 
     /// Total messages over all links.
     pub fn total_msgs(&self) -> u64 {
-        self.msgs.iter().sum()
+        self.loads.iter().map(|l| l.msgs).sum()
     }
 
     /// The link with the highest byte load, if any traffic was recorded.
     pub fn hottest_link(&self) -> Option<(LinkId, u64)> {
-        self.bytes
+        self.loads
             .iter()
             .enumerate()
-            .max_by_key(|(_, &b)| b)
-            .filter(|(_, &b)| b > 0)
-            .map(|(i, &b)| (LinkId(i as u32), b))
+            .max_by_key(|(_, l)| l.bytes)
+            .filter(|(_, l)| l.bytes > 0)
+            .map(|(i, l)| (LinkId(i as u32), l.bytes))
     }
 
     /// Add all counters of `other` into `self`.
@@ -78,19 +87,16 @@ impl LinkStats {
     /// # Panics
     /// Panics if the two statistics belong to meshes of different sizes.
     pub fn merge(&mut self, other: &LinkStats) {
-        assert_eq!(self.bytes.len(), other.bytes.len(), "mismatched meshes");
-        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
-            *a += b;
-        }
-        for (a, b) in self.msgs.iter_mut().zip(&other.msgs) {
-            *a += b;
+        assert_eq!(self.loads.len(), other.loads.len(), "mismatched meshes");
+        for (a, b) in self.loads.iter_mut().zip(&other.loads) {
+            a.bytes += b.bytes;
+            a.msgs += b.msgs;
         }
     }
 
     /// Reset all counters to zero.
     pub fn reset(&mut self) {
-        self.bytes.iter_mut().for_each(|b| *b = 0);
-        self.msgs.iter_mut().for_each(|m| *m = 0);
+        self.loads.iter_mut().for_each(|l| *l = LinkLoad::default());
     }
 
     /// A snapshot of the difference `self - earlier` (per-link), used for
@@ -99,20 +105,23 @@ impl LinkStats {
     /// # Panics
     /// Panics if `earlier` has more traffic than `self` on some link.
     pub fn since(&self, earlier: &LinkStats) -> LinkStats {
-        assert_eq!(self.bytes.len(), earlier.bytes.len(), "mismatched meshes");
-        let bytes = self
-            .bytes
+        assert_eq!(self.loads.len(), earlier.loads.len(), "mismatched meshes");
+        let loads = self
+            .loads
             .iter()
-            .zip(&earlier.bytes)
-            .map(|(a, b)| a.checked_sub(*b).expect("earlier snapshot has more traffic"))
+            .zip(&earlier.loads)
+            .map(|(a, b)| LinkLoad {
+                bytes: a
+                    .bytes
+                    .checked_sub(b.bytes)
+                    .expect("earlier snapshot has more traffic"),
+                msgs: a
+                    .msgs
+                    .checked_sub(b.msgs)
+                    .expect("earlier snapshot has more traffic"),
+            })
             .collect();
-        let msgs = self
-            .msgs
-            .iter()
-            .zip(&earlier.msgs)
-            .map(|(a, b)| a.checked_sub(*b).expect("earlier snapshot has more traffic"))
-            .collect();
-        LinkStats { bytes, msgs }
+        LinkStats { loads }
     }
 }
 

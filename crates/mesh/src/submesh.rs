@@ -1,7 +1,6 @@
 //! Rectangular submeshes of a 2-D mesh.
 
 use crate::{Mesh, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A rectangular region of a mesh: rows `row0 .. row0+rows`, columns
 /// `col0 .. col0+cols` (half-open on both axes).
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Submeshes are the building blocks of the hierarchical mesh decomposition
 /// (Section 2 of the paper): the mesh is recursively split along its longer
 /// side into two halves of sizes `⌈m1/2⌉ × m2` and `⌊m1/2⌋ × m2`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Submesh {
     /// First row of the region.
     pub row0: usize,
@@ -102,15 +101,17 @@ impl Submesh {
     /// order relative to the submesh.
     pub fn node_ids<'a>(&'a self, mesh: &'a Mesh) -> impl Iterator<Item = NodeId> + 'a {
         let s = *self;
-        (0..s.rows).flat_map(move |dr| {
-            (0..s.cols).map(move |dc| mesh.node_at(s.row0 + dr, s.col0 + dc))
-        })
+        (0..s.rows)
+            .flat_map(move |dr| (0..s.cols).map(move |dc| mesh.node_at(s.row0 + dr, s.col0 + dc)))
     }
 
     /// Node id of the processor in relative row `dr`, relative column `dc` of
     /// the submesh.
     pub fn node_at(&self, mesh: &Mesh, dr: usize, dc: usize) -> NodeId {
-        assert!(dr < self.rows && dc < self.cols, "relative coordinate out of range");
+        assert!(
+            dr < self.rows && dc < self.cols,
+            "relative coordinate out of range"
+        );
         mesh.node_at(self.row0 + dr, self.col0 + dc)
     }
 }

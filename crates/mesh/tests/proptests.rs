@@ -1,109 +1,156 @@
-//! Property-based tests for the mesh substrate.
+//! Property-style tests for the mesh substrate.
+//!
+//! The repository builds in offline environments without the `proptest`
+//! crate, so these tests generate their cases deterministically: an
+//! exhaustive sweep over small mesh dimensions combined with a seeded
+//! [`dm_rng::ChaCha8Rng`] for node pairs and link loads. Every property is
+//! checked over hundreds of cases and failures report the offending
+//! configuration.
 
 use dm_mesh::{DecompositionTree, Direction, LinkStats, Mesh, NodeId, TreeShape};
-use proptest::prelude::*;
+use dm_rng::ChaCha8Rng;
 use std::collections::HashSet;
 
-fn arb_mesh() -> impl Strategy<Value = Mesh> {
-    (1usize..=12, 1usize..=12).prop_map(|(r, c)| Mesh::new(r, c))
+/// The meshes every property is checked against: all dimensions up to 8×8
+/// plus a few larger and degenerate shapes.
+fn meshes() -> Vec<Mesh> {
+    let mut m: Vec<Mesh> = Vec::new();
+    for r in 1..=8 {
+        for c in 1..=8 {
+            m.push(Mesh::new(r, c));
+        }
+    }
+    m.push(Mesh::new(1, 12));
+    m.push(Mesh::new(12, 1));
+    m.push(Mesh::new(5, 11));
+    m.push(Mesh::new(11, 5));
+    m.push(Mesh::square(12));
+    m
 }
 
-fn arb_shape() -> impl Strategy<Value = TreeShape> {
-    prop_oneof![
-        Just(TreeShape::binary()),
-        Just(TreeShape::quad()),
-        Just(TreeShape::hex16()),
-        (2usize..=8).prop_map(|k| TreeShape::lk(2, k.max(2))),
-        (4usize..=16).prop_map(|k| TreeShape::lk(4, k.max(4))),
+fn shapes() -> Vec<TreeShape> {
+    vec![
+        TreeShape::binary(),
+        TreeShape::quad(),
+        TreeShape::hex16(),
+        TreeShape::lk(2, 4),
+        TreeShape::lk(2, 8),
+        TreeShape::lk(4, 8),
+        TreeShape::lk(4, 16),
     ]
 }
 
-proptest! {
-    /// Dimension-order routes have length equal to the Manhattan distance and
-    /// consist of consecutive, adjacent links.
-    #[test]
-    fn routes_are_shortest_paths(mesh in arb_mesh(), a_seed in 0u32..1000, b_seed in 0u32..1000) {
-        let a = NodeId(a_seed % mesh.nodes() as u32);
-        let b = NodeId(b_seed % mesh.nodes() as u32);
-        let route = mesh.xy_route(a, b);
-        prop_assert_eq!(route.len(), mesh.distance(a, b));
-        let mut cur = a;
-        for l in &route {
-            let (src, dst) = mesh.link_endpoints(*l);
-            prop_assert_eq!(src, cur);
-            prop_assert_eq!(mesh.distance(src, dst), 1);
-            cur = dst;
-        }
-        prop_assert_eq!(cur, b);
-    }
-
-    /// A route never changes the column after it has started changing the row
-    /// (dimension order).
-    #[test]
-    fn routes_are_dimension_ordered(mesh in arb_mesh(), a_seed in 0u32..1000, b_seed in 0u32..1000) {
-        let a = NodeId(a_seed % mesh.nodes() as u32);
-        let b = NodeId(b_seed % mesh.nodes() as u32);
-        let mut seen_row_move = false;
-        for l in mesh.xy_route(a, b) {
-            let horizontal = matches!(l.direction(), Direction::East | Direction::West);
-            if seen_row_move {
-                prop_assert!(!horizontal, "column move after row move");
+#[test]
+fn routes_are_shortest_paths() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x0507_E571);
+    for mesh in meshes() {
+        for _ in 0..20 {
+            let a = NodeId(rng.gen_range(0..mesh.nodes() as u32));
+            let b = NodeId(rng.gen_range(0..mesh.nodes() as u32));
+            let route = mesh.xy_route(a, b);
+            assert_eq!(route.len(), mesh.distance(a, b), "{mesh:?} {a} → {b}");
+            let mut cur = a;
+            for l in &route {
+                let (src, dst) = mesh.link_endpoints(*l);
+                assert_eq!(src, cur, "{mesh:?} {a} → {b}");
+                assert_eq!(mesh.distance(src, dst), 1);
+                cur = dst;
             }
-            if !horizontal {
-                seen_row_move = true;
-            }
+            assert_eq!(cur, b, "{mesh:?} {a} → {b}");
         }
     }
+}
 
-    /// Every decomposition tree partitions the mesh at every level, every
-    /// processor appears in exactly one leaf, and the leaf order is a
-    /// permutation of the processors.
-    #[test]
-    fn decomposition_tree_invariants(mesh in arb_mesh(), shape in arb_shape()) {
-        let tree = DecompositionTree::build(&mesh, shape);
-        // Children partition parents.
-        for id in tree.node_ids() {
-            let n = tree.node(id);
-            if !n.is_leaf() {
-                let total: usize = n.children.iter().map(|&c| tree.submesh(c).size()).sum();
-                prop_assert_eq!(total, n.submesh.size());
-                // Fanout never exceeds max(shape fanout, leaf submesh size).
-                prop_assert!(n.children.len() <= shape.max_fanout().max(shape.leaf_submesh));
+#[test]
+fn routes_are_dimension_ordered() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD13E_0D8E);
+    for mesh in meshes() {
+        for _ in 0..20 {
+            let a = NodeId(rng.gen_range(0..mesh.nodes() as u32));
+            let b = NodeId(rng.gen_range(0..mesh.nodes() as u32));
+            let mut seen_row_move = false;
+            for l in mesh.xy_route(a, b) {
+                let horizontal = matches!(l.direction(), Direction::East | Direction::West);
+                if seen_row_move {
+                    assert!(
+                        !horizontal,
+                        "column move after row move: {mesh:?} {a} → {b}"
+                    );
+                }
+                if !horizontal {
+                    seen_row_move = true;
+                }
             }
         }
-        let leaves: HashSet<_> = tree.leaf_ids().map(|l| tree.leaf_proc(l)).collect();
-        prop_assert_eq!(leaves.len(), mesh.nodes());
-        let order: HashSet<_> = tree.leaf_order().iter().copied().collect();
-        prop_assert_eq!(order.len(), mesh.nodes());
-        // Path to root from every leaf has length = level + 1 and ends at root.
-        for p in mesh.node_ids() {
-            let path = tree.path_to_root(tree.leaf_of(p));
-            prop_assert_eq!(*path.last().unwrap(), tree.root());
+    }
+}
+
+#[test]
+fn decomposition_tree_invariants() {
+    for mesh in meshes() {
+        for shape in shapes() {
+            let tree = DecompositionTree::build(&mesh, shape);
+            // Children partition parents.
+            for id in tree.node_ids() {
+                let n = tree.node(id);
+                if !n.is_leaf() {
+                    let total: usize = n.children.iter().map(|&c| tree.submesh(c).size()).sum();
+                    assert_eq!(total, n.submesh.size(), "{mesh:?} {shape:?}");
+                    assert!(
+                        n.children.len() <= shape.max_fanout().max(shape.leaf_submesh),
+                        "{mesh:?} {shape:?}: fanout {}",
+                        n.children.len()
+                    );
+                }
+            }
+            let leaves: HashSet<_> = tree.leaf_ids().map(|l| tree.leaf_proc(l)).collect();
+            assert_eq!(leaves.len(), mesh.nodes(), "{mesh:?} {shape:?}");
+            let order: HashSet<_> = tree.leaf_order().iter().copied().collect();
+            assert_eq!(order.len(), mesh.nodes(), "{mesh:?} {shape:?}");
+            // The path from every leaf ends at the root.
+            for p in mesh.node_ids() {
+                let path = tree.path_to_root(tree.leaf_of(p));
+                assert_eq!(*path.last().unwrap(), tree.root(), "{mesh:?} {shape:?}");
+            }
         }
     }
+}
 
-    /// The leaf order of any shape equals the leaf order of the binary tree.
-    #[test]
-    fn leaf_order_is_shape_independent(mesh in arb_mesh(), shape in arb_shape()) {
+#[test]
+fn leaf_order_is_shape_independent() {
+    for mesh in meshes() {
         let binary = DecompositionTree::build(&mesh, TreeShape::binary());
-        let other = DecompositionTree::build(&mesh, shape);
-        prop_assert_eq!(binary.leaf_order(), other.leaf_order());
-    }
-
-    /// LinkStats congestion is always at most the total and merging adds up.
-    #[test]
-    fn link_stats_congestion_bounds(mesh in arb_mesh(), loads in prop::collection::vec((0u32..500, 1u64..2000), 0..50)) {
-        let links: Vec<_> = mesh.link_ids().collect();
-        prop_assume!(!links.is_empty());
-        let mut s = LinkStats::new(&mesh);
-        for (idx, bytes) in &loads {
-            s.record(links[*idx as usize % links.len()], *bytes);
+        for shape in shapes() {
+            let other = DecompositionTree::build(&mesh, shape);
+            assert_eq!(
+                binary.leaf_order(),
+                other.leaf_order(),
+                "{mesh:?} {shape:?}"
+            );
         }
-        prop_assert!(s.congestion_bytes() <= s.total_bytes());
-        prop_assert!(s.congestion_msgs() <= s.total_msgs());
+    }
+}
+
+#[test]
+fn link_stats_congestion_bounds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57A7_5717);
+    for mesh in meshes() {
+        let links: Vec<_> = mesh.link_ids().collect();
+        if links.is_empty() {
+            continue;
+        }
+        let mut s = LinkStats::new(&mesh);
+        let loads = rng.gen_range(0usize..50);
+        for _ in 0..loads {
+            let idx = rng.gen_range(0usize..links.len());
+            let bytes = rng.gen_range(1u64..2000);
+            s.record(links[idx], bytes);
+        }
+        assert!(s.congestion_bytes() <= s.total_bytes());
+        assert!(s.congestion_msgs() <= s.total_msgs());
         let mut doubled = s.clone();
         doubled.merge(&s);
-        prop_assert_eq!(doubled.total_bytes(), 2 * s.total_bytes());
-        prop_assert_eq!(doubled.congestion_bytes(), 2 * s.congestion_bytes());
+        assert_eq!(doubled.total_bytes(), 2 * s.total_bytes());
+        assert_eq!(doubled.congestion_bytes(), 2 * s.congestion_bytes());
     }
 }

@@ -40,6 +40,11 @@ fn main() {
         TreeShape::lk(4, 16),
     ] {
         let tree = DecompositionTree::build(&mesh, shape);
-        println!("{:<12} {:>8} {:>8}", shape.name(), tree.height(), tree.len());
+        println!(
+            "{:<12} {:>8} {:>8}",
+            shape.name(),
+            tree.height(),
+            tree.len()
+        );
     }
 }

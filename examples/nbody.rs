@@ -22,7 +22,10 @@ fn main() {
     let bodies = plummer_bodies(2024, params.n_bodies);
 
     for (name, strategy) in [
-        ("4-ary access tree", StrategyKind::AccessTree(TreeShape::quad())),
+        (
+            "4-ary access tree",
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
         ("fixed home", StrategyKind::FixedHome),
     ] {
         let diva = Diva::new(DivaConfig::new(Mesh::square(8), strategy));
@@ -34,7 +37,14 @@ fn main() {
             out.report.congestion_msgs(),
             out.interactions
         );
-        for phase in ["tree-build", "com", "partition", "force", "update", "bounds"] {
+        for phase in [
+            "tree-build",
+            "com",
+            "partition",
+            "force",
+            "update",
+            "bounds",
+        ] {
             if let Some(r) = out.report.region(phase) {
                 println!(
                     "  {:<12} wall {:>8.3} s   compute {:>8.3} s   congestion {:>8} msgs",

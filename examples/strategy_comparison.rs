@@ -40,10 +40,22 @@ fn main() {
 
     let strategies = [
         ("fixed home", StrategyKind::FixedHome),
-        ("2-ary access tree", StrategyKind::AccessTree(TreeShape::binary())),
-        ("4-ary access tree", StrategyKind::AccessTree(TreeShape::quad())),
-        ("16-ary access tree", StrategyKind::AccessTree(TreeShape::hex16())),
-        ("2-4-ary access tree", StrategyKind::AccessTree(TreeShape::lk(2, 4))),
+        (
+            "2-ary access tree",
+            StrategyKind::AccessTree(TreeShape::binary()),
+        ),
+        (
+            "4-ary access tree",
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
+        (
+            "16-ary access tree",
+            StrategyKind::AccessTree(TreeShape::hex16()),
+        ),
+        (
+            "2-4-ary access tree",
+            StrategyKind::AccessTree(TreeShape::lk(2, 4)),
+        ),
     ];
     for (name, strategy) in strategies {
         let out = run_shared(make(strategy), params);

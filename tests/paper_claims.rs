@@ -69,7 +69,10 @@ fn figure4_shape_fixed_home_degrades_faster_with_network_size() {
     // superior the access tree strategy").
     let params = MatmulParams::new(256);
     let advantage = |side: usize| {
-        let at = matmul_run(diva(side, StrategyKind::AccessTree(TreeShape::quad())), params);
+        let at = matmul_run(
+            diva(side, StrategyKind::AccessTree(TreeShape::quad())),
+            params,
+        );
         let fh = matmul_run(diva(side, StrategyKind::FixedHome), params);
         fh.report.congestion_bytes() as f64 / at.report.congestion_bytes() as f64
     };
@@ -86,7 +89,10 @@ fn bitonic_sorts_correctly_and_access_tree_beats_fixed_home_in_congestion() {
     let params = BitonicParams::new(512);
     let base = bitonic_baseline(diva(4, StrategyKind::FixedHome), params);
     verify_sorted(&base, &params).unwrap();
-    let at = bitonic_run(diva(4, StrategyKind::AccessTree(TreeShape::lk(2, 4))), params);
+    let at = bitonic_run(
+        diva(4, StrategyKind::AccessTree(TreeShape::lk(2, 4))),
+        params,
+    );
     verify_sorted(&at, &params).unwrap();
     let fh = bitonic_run(diva(4, StrategyKind::FixedHome), params);
     verify_sorted(&fh, &params).unwrap();
@@ -133,7 +139,11 @@ fn barnes_hut_tree_build_favours_the_access_tree() {
         include_compute: false,
     };
     let bodies = plummer_bodies(13, params.n_bodies);
-    let at = bh_run(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params, &bodies);
+    let at = bh_run(
+        diva(4, StrategyKind::AccessTree(TreeShape::quad())),
+        params,
+        &bodies,
+    );
     let fh = bh_run(diva(4, StrategyKind::FixedHome), params, &bodies);
     let at_build = at.report.region("tree-build").unwrap();
     let fh_build = fh.report.region("tree-build").unwrap();
@@ -164,8 +174,16 @@ fn barnes_hut_total_congestion_orders_access_trees_by_height() {
         include_compute: false,
     };
     let bodies = plummer_bodies(17, params.n_bodies);
-    let binary = bh_run(diva(4, StrategyKind::AccessTree(TreeShape::binary())), params, &bodies);
-    let hex = bh_run(diva(4, StrategyKind::AccessTree(TreeShape::hex16())), params, &bodies);
+    let binary = bh_run(
+        diva(4, StrategyKind::AccessTree(TreeShape::binary())),
+        params,
+        &bodies,
+    );
+    let hex = bh_run(
+        diva(4, StrategyKind::AccessTree(TreeShape::hex16())),
+        params,
+        &bodies,
+    );
     assert!(
         binary.report.congestion_msgs() <= hex.report.congestion_msgs(),
         "2-ary {} vs 16-ary {}",
