@@ -22,6 +22,7 @@
 //! 6. **bounds** — a small reduction computes the bounding cube of the next
 //!    step.
 
+use crate::octree::{child_centre_of, octant_of, ArenaOctree, PackedChild, Slot, MAX_DEPTH};
 use crate::workload::{bounding_cube, Body};
 use dm_diva::{Diva, Op, ProcCtx, ProcProgram, RunReport, StepCtx, VarHandle};
 use dm_mesh::{DecompositionTree, TreeShape};
@@ -30,12 +31,10 @@ use std::sync::Arc;
 
 /// Gravitational softening used by both the parallel and the reference code.
 pub const SOFTENING: f64 = 0.025;
-/// Maximum octree depth before coincident bodies are stored side by side.
-const MAX_DEPTH: u32 = 48;
 /// Modelled floating-point operations per body/cell interaction.
 const FLOPS_PER_INTERACTION: u64 = 25;
 
-/// Reference to a child slot of an octree cell.
+/// Decoded reference to a child slot of an octree cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChildRef {
     /// No child.
@@ -47,33 +46,43 @@ pub enum ChildRef {
 }
 
 /// An octree cell, stored in a global variable.
+///
+/// The in-memory representation is kept compact so that the millions of cell
+/// variables a beyond-paper sweep allocates (the tree is rebuilt with fresh
+/// variables every time step) stay cheap: child slots are packed `u32`
+/// arena-style indices into the variable space (see [`PackedChild`])
+/// instead of boxed/tagged
+/// 8-byte enums, and the depth is a single byte. Note that the *simulated*
+/// size of a cell variable (`CELL_BYTES`, 160) is modelled after the paper's
+/// cell record — the host-side layout only affects how much real memory a
+/// sweep needs.
 #[derive(Debug, Clone)]
 pub struct Cell {
     /// Geometric centre of the cell.
     pub centre: [f64; 3],
     /// Half of the cell's side length.
     pub half: f64,
-    /// Depth in the tree (root = 0).
-    pub depth: u32,
-    /// The eight child slots.
-    pub children: [ChildRef; 8],
     /// Centre of mass (valid after phase 2).
     pub com: [f64; 3],
     /// Total mass (valid after phase 2).
     pub mass: f64,
-    /// Number of bodies below this cell (valid after phase 2).
-    pub count: u32,
     /// Aggregated work of the bodies below this cell (valid after phase 2).
     pub work: u64,
+    /// The eight child slots, packed.
+    children: [PackedChild; 8],
+    /// Number of bodies below this cell (valid after phase 2).
+    pub count: u32,
+    /// Depth in the tree (root = 0).
+    pub depth: u8,
 }
 
 impl Cell {
-    fn new(centre: [f64; 3], half: f64, depth: u32) -> Self {
+    fn new(centre: [f64; 3], half: f64, depth: u8) -> Self {
         Cell {
             centre,
             half,
             depth,
-            children: [ChildRef::Empty; 8],
+            children: [PackedChild::EMPTY; 8],
             com: [0.0; 3],
             mass: 0.0,
             count: 0,
@@ -81,21 +90,32 @@ impl Cell {
         }
     }
 
+    /// Decode child slot `idx`.
+    pub fn child(&self, idx: usize) -> ChildRef {
+        match self.children[idx].decode() {
+            Slot::Empty => ChildRef::Empty,
+            Slot::Body(b) => ChildRef::Body(VarHandle(b)),
+            Slot::Cell(c) => ChildRef::Cell(VarHandle(c)),
+        }
+    }
+
+    /// Store `child` in slot `idx`.
+    pub fn set_child(&mut self, idx: usize, child: ChildRef) {
+        self.children[idx] = match child {
+            ChildRef::Empty => PackedChild::EMPTY,
+            ChildRef::Body(h) => PackedChild::body(h.0),
+            ChildRef::Cell(h) => PackedChild::cell(h.0),
+        };
+    }
+
     /// Index of the octant of `pos` relative to the cell centre.
     fn octant(&self, pos: &[f64; 3]) -> usize {
-        (0..3).fold(0, |acc, d| {
-            acc | (usize::from(pos[d] >= self.centre[d]) << d)
-        })
+        octant_of(&self.centre, pos)
     }
 
     /// Centre of the child cell in octant `idx`.
     fn child_centre(&self, idx: usize) -> [f64; 3] {
-        let q = self.half / 2.0;
-        [
-            self.centre[0] + if idx & 1 != 0 { q } else { -q },
-            self.centre[1] + if idx & 2 != 0 { q } else { -q },
-            self.centre[2] + if idx & 4 != 0 { q } else { -q },
-        ]
+        child_centre_of(&self.centre, self.half, idx)
     }
 }
 
@@ -162,7 +182,7 @@ pub struct BhOutcome {
 }
 
 /// The acceleration exerted on a body at `pos` by a point mass at `src`.
-fn pairwise_accel(pos: &[f64; 3], src: &[f64; 3], mass: f64) -> [f64; 3] {
+pub fn pairwise_accel(pos: &[f64; 3], src: &[f64; 3], mass: f64) -> [f64; 3] {
     let dx = src[0] - pos[0];
     let dy = src[1] - pos[1];
     let dz = src[2] - pos[2];
@@ -172,7 +192,7 @@ fn pairwise_accel(pos: &[f64; 3], src: &[f64; 3], mass: f64) -> [f64; 3] {
 }
 
 /// Run the Barnes-Hut simulation through the DIVA shared-variable interface.
-pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcome {
+pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcome {
     assert_eq!(bodies.len(), params.n_bodies);
     let nprocs = diva.num_procs();
     let n = params.n_bodies;
@@ -214,7 +234,7 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
 
     let outcome = {
         let body_vars = Arc::clone(&body_vars);
-        diva.run(move |ctx| {
+        diva.run_prototype(move |ctx| {
             let me = ctx.proc_id();
             let nprocs = ctx.num_procs();
             // Bodies this processor loads into the tree / owns this step.
@@ -223,9 +243,15 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
                 .map(|&i| body_vars[i])
                 .collect();
             // Cells created by this processor in the current step, with depth.
-            let mut my_cells: Vec<(u32, VarHandle)> = Vec::new();
+            let mut my_cells: Vec<(u8, VarHandle)> = Vec::new();
             let mut interactions_total = 0u64;
             let mut final_bodies: Vec<(VarHandle, Body)> = Vec::new();
+            // Pooled per-step buffers: reused across time steps so a long
+            // simulation settles into zero per-step allocations.
+            let mut assigned: Vec<VarHandle> = Vec::new();
+            let mut updates: Vec<(VarHandle, [f64; 3], u64)> = Vec::new();
+            let mut chain: Vec<Cell> = Vec::new();
+            let mut stack: Vec<VarHandle> = Vec::new();
 
             for step in 0..params.timesteps {
                 let measured = step >= params.warmup_steps;
@@ -250,14 +276,17 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
                 let root = *ctx.read::<VarHandle>(root_ptr);
                 for &b in &my_bodies {
                     let pos = ctx.read::<Body>(b).pos;
-                    insert_body(ctx, root, b, pos, &mut my_cells);
+                    insert_body(ctx, root, b, pos, &mut my_cells, &mut chain);
                 }
                 ctx.barrier();
 
                 // ---- Phase 2: centres of mass ------------------------------
                 ctx.region(&region("com"));
                 let my_depth = my_cells.iter().map(|&(d, _)| d).max().unwrap_or(0);
-                ctx.write(reduce_vars[me], ([0.0f64; 3], [0.0f64; 3], my_depth));
+                ctx.write(
+                    reduce_vars[me],
+                    ([0.0f64; 3], [0.0f64; 3], u32::from(my_depth)),
+                );
                 ctx.barrier();
                 if me == 0 {
                     let max_depth = (0..nprocs)
@@ -270,7 +299,7 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
                 let max_depth = *ctx.read::<u32>(depth_var);
                 for depth in (0..=max_depth).rev() {
                     for &(d, cell_var) in &my_cells {
-                        if d != depth {
+                        if u32::from(d) != depth {
                             continue;
                         }
                         let mut cell = (*ctx.read::<Cell>(cell_var)).clone();
@@ -278,8 +307,8 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
                         let mut com = [0.0f64; 3];
                         let mut count = 0u32;
                         let mut work = 0u64;
-                        for child in cell.children {
-                            match child {
+                        for idx in 0..8 {
+                            match cell.child(idx) {
                                 ChildRef::Empty => {}
                                 ChildRef::Body(b) => {
                                     let body = ctx.read::<Body>(b);
@@ -323,15 +352,14 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
                 let total_work = root_cell.work.max(1);
                 let lo = total_work * me as u64 / nprocs as u64;
                 let hi = total_work * (me as u64 + 1) / nprocs as u64;
-                let mut assigned: Vec<VarHandle> = Vec::new();
+                assigned.clear();
                 costzones_collect(ctx, root, 0, lo, hi, &mut assigned);
-                my_bodies = assigned;
+                std::mem::swap(&mut my_bodies, &mut assigned);
                 ctx.barrier();
 
                 // ---- Phase 4: force computation ----------------------------
                 ctx.region(&region("force"));
-                let mut updates: Vec<(VarHandle, [f64; 3], u64)> =
-                    Vec::with_capacity(my_bodies.len());
+                updates.clear();
                 for &b in &my_bodies {
                     let body = ctx.read::<Body>(b);
                     let (acc, count) = compute_force(
@@ -341,6 +369,7 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
                         &body.pos,
                         params.theta,
                         params.include_compute,
+                        &mut stack,
                     );
                     interactions_total += count;
                     updates.push((b, acc, count));
@@ -351,7 +380,7 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
                 ctx.region(&region("update"));
                 let mut local_min = [f64::INFINITY; 3];
                 let mut local_max = [f64::NEG_INFINITY; 3];
-                for (b, acc, count) in updates {
+                for (b, acc, count) in updates.drain(..) {
                     let mut body = *ctx.read::<Body>(b);
                     for k in 0..3 {
                         body.vel[k] += acc[k] * params.dt;
@@ -421,19 +450,21 @@ pub fn run_shared(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcom
 
 /// Insert `body` (at `pos`) into the shared octree rooted at `root`,
 /// protecting modified cells with their locks. Newly created cells are
-/// recorded in `created`.
+/// recorded in `created`; `chain` is a pooled scratch buffer for the
+/// subdivision chain.
 fn insert_body(
     ctx: &mut ProcCtx,
     root: VarHandle,
     body: VarHandle,
     pos: [f64; 3],
-    created: &mut Vec<(u32, VarHandle)>,
+    created: &mut Vec<(u8, VarHandle)>,
+    chain: &mut Vec<Cell>,
 ) {
     let mut cur = root;
     loop {
         let cell = ctx.read::<Cell>(cur);
         let idx = cell.octant(&pos);
-        match cell.children[idx] {
+        match cell.child(idx) {
             ChildRef::Cell(next) => {
                 cur = next;
             }
@@ -442,24 +473,31 @@ fn insert_body(
                 // re-examine (another processor may have raced us).
                 ctx.lock(cur);
                 let fresh = (*ctx.read::<Cell>(cur)).clone();
-                match fresh.children[idx] {
+                match fresh.child(idx) {
                     ChildRef::Cell(_) => {
                         ctx.unlock(cur);
                         // Retry the descent from the same cell.
                     }
                     ChildRef::Empty => {
                         let mut updated = fresh;
-                        updated.children[idx] = ChildRef::Body(body);
+                        updated.set_child(idx, ChildRef::Body(body));
                         ctx.write(cur, updated);
                         ctx.unlock(cur);
                         return;
                     }
                     ChildRef::Body(other) => {
                         let other_pos = ctx.read::<Body>(other).pos;
-                        let sub =
-                            subdivide(ctx, &fresh, idx, (body, pos), (other, other_pos), created);
+                        let sub = subdivide(
+                            ctx,
+                            &fresh,
+                            idx,
+                            (body, pos),
+                            (other, other_pos),
+                            created,
+                            chain,
+                        );
                         let mut updated = fresh;
-                        updated.children[idx] = ChildRef::Cell(sub);
+                        updated.set_child(idx, ChildRef::Cell(sub));
                         ctx.write(cur, updated);
                         ctx.unlock(cur);
                         return;
@@ -470,17 +508,18 @@ fn insert_body(
     }
 }
 
-/// Create the chain of cells needed to separate two bodies that fall into the
-/// same octant of `parent`, and return the handle of the topmost new cell.
-fn subdivide(
-    ctx: &mut ProcCtx,
+/// Build (into the pooled `chain` buffer) the chain of cells needed to
+/// separate two bodies that fall into the same octant of `parent`. Shared by
+/// the threaded closure and the driven state machine so both construct
+/// bit-identical chains.
+fn build_subdivision_chain(
+    chain: &mut Vec<Cell>,
     parent: &Cell,
     octant: usize,
     a: (VarHandle, [f64; 3]),
     b: (VarHandle, [f64; 3]),
-    created: &mut Vec<(u32, VarHandle)>,
-) -> VarHandle {
-    let mut cells: Vec<Cell> = Vec::new();
+) {
+    chain.clear();
     let mut centre = parent.child_centre(octant);
     let mut half = parent.half / 2.0;
     let mut depth = parent.depth + 1;
@@ -488,34 +527,49 @@ fn subdivide(
         let cell = Cell::new(centre, half, depth);
         let ia = cell.octant(&a.1);
         let ib = cell.octant(&b.1);
-        if ia != ib || depth >= MAX_DEPTH {
+        if ia != ib || u32::from(depth) >= MAX_DEPTH {
             let mut leaf = cell;
             if ia != ib {
-                leaf.children[ia] = ChildRef::Body(a.0);
-                leaf.children[ib] = ChildRef::Body(b.0);
+                leaf.set_child(ia, ChildRef::Body(a.0));
+                leaf.set_child(ib, ChildRef::Body(b.0));
             } else {
                 // Coincident (or nearly coincident) bodies: place them in the
                 // first two free slots of the deepest allowed cell.
-                leaf.children[ia] = ChildRef::Body(a.0);
+                leaf.set_child(ia, ChildRef::Body(a.0));
                 let free = (0..8).find(|&i| i != ia).unwrap();
-                leaf.children[free] = ChildRef::Body(b.0);
+                leaf.set_child(free, ChildRef::Body(b.0));
             }
-            cells.push(leaf);
-            break;
+            chain.push(leaf);
+            return;
         }
         let next_centre = cell.child_centre(ia);
-        cells.push(cell);
+        chain.push(cell);
         centre = next_centre;
         half /= 2.0;
         depth += 1;
     }
+}
+
+/// Allocate the subdivision chain separating two bodies that fall into the
+/// same octant of `parent`, and return the handle of the topmost new cell.
+#[allow(clippy::too_many_arguments)]
+fn subdivide(
+    ctx: &mut ProcCtx,
+    parent: &Cell,
+    octant: usize,
+    a: (VarHandle, [f64; 3]),
+    b: (VarHandle, [f64; 3]),
+    created: &mut Vec<(u8, VarHandle)>,
+    chain: &mut Vec<Cell>,
+) -> VarHandle {
+    build_subdivision_chain(chain, parent, octant, a, b);
     // Allocate from the deepest cell upwards, wiring child pointers.
     let mut child_handle: Option<VarHandle> = None;
-    for cell in cells.into_iter().rev() {
+    for cell in chain.drain(..).rev() {
         let mut cell = cell;
         if let Some(ch) = child_handle {
             let idx = cell.octant(&a.1);
-            cell.children[idx] = ChildRef::Cell(ch);
+            cell.set_child(idx, ChildRef::Cell(ch));
         }
         let depth = cell.depth;
         let handle = ctx.alloc(CELL_BYTES, cell);
@@ -542,8 +596,8 @@ fn costzones_collect(
         return end;
     }
     let mut off = offset;
-    for child in cell.children {
-        match child {
+    for idx in 0..8 {
+        match cell.child(idx) {
             ChildRef::Empty => {}
             ChildRef::Body(b) => {
                 let work = ctx.read::<Body>(b).work.max(1);
@@ -563,8 +617,9 @@ fn costzones_collect(
 }
 
 /// Compute the acceleration on the body stored in `body_var` at position
-/// `pos` by traversing the shared tree. Returns the acceleration and the
-/// number of interactions.
+/// `pos` by traversing the shared tree (with a pooled traversal stack).
+/// Returns the acceleration and the number of interactions.
+#[allow(clippy::too_many_arguments)]
 fn compute_force(
     ctx: &mut ProcCtx,
     root: VarHandle,
@@ -572,10 +627,12 @@ fn compute_force(
     pos: &[f64; 3],
     theta: f64,
     include_compute: bool,
+    stack: &mut Vec<VarHandle>,
 ) -> ([f64; 3], u64) {
     let mut acc = [0.0f64; 3];
     let mut interactions = 0u64;
-    let mut stack = vec![root];
+    stack.clear();
+    stack.push(root);
     while let Some(cell_var) = stack.pop() {
         let cell = ctx.read::<Cell>(cell_var);
         if cell.count == 0 {
@@ -592,8 +649,8 @@ fn compute_force(
             }
             interactions += 1;
         } else {
-            for child in cell.children {
-                match child {
+            for idx in 0..8 {
+                match cell.child(idx) {
                     ChildRef::Empty => {}
                     ChildRef::Body(b) => {
                         if b == body_var {
@@ -748,7 +805,7 @@ enum BhSt {
     Finished,
 }
 
-/// The event-driven twin of the [`run_shared`] closure. Operation-equivalent
+/// The event-driven twin of the [`run_shared_prototype`] closure. Operation-equivalent
 /// to the threaded version (bit-identical run reports); the recursion of the
 /// tree walks is replaced by the explicit stacks below.
 struct BhProgram {
@@ -762,7 +819,7 @@ struct BhProgram {
     st: BhSt,
     step_no: usize,
     my_bodies: Vec<VarHandle>,
-    my_cells: Vec<(u32, VarHandle)>,
+    my_cells: Vec<(u8, VarHandle)>,
     interactions_total: u64,
     final_bodies: Vec<(VarHandle, Body)>,
     root: VarHandle,
@@ -960,7 +1017,7 @@ impl BhProgram {
             BhSt::InsCell => {
                 let cell = ctx.take::<Cell>();
                 let idx = cell.octant(&self.ins_pos);
-                match cell.children[idx] {
+                match cell.child(idx) {
                     ChildRef::Cell(next) => {
                         self.ins_cur = next;
                         Some(Op::Read(self.ins_cur))
@@ -979,7 +1036,7 @@ impl BhProgram {
                 let fresh = (*ctx.take::<Cell>()).clone();
                 let idx = fresh.octant(&self.ins_pos);
                 self.ins_oct = idx;
-                match fresh.children[idx] {
+                match fresh.child(idx) {
                     ChildRef::Cell(_) => {
                         // Another processor filled the slot: retry the
                         // descent from the same cell.
@@ -988,7 +1045,7 @@ impl BhProgram {
                     }
                     ChildRef::Empty => {
                         let mut updated = fresh;
-                        updated.children[idx] = ChildRef::Body(self.ins_body);
+                        updated.set_child(idx, ChildRef::Body(self.ins_body));
                         self.st = BhSt::InsWrote;
                         Some(Op::Write(self.ins_cur, Arc::new(updated)))
                     }
@@ -1007,38 +1064,18 @@ impl BhProgram {
             BhSt::InsOtherPos => {
                 let other_pos = ctx.take::<Body>().pos;
                 let parent = self.ins_fresh.as_ref().expect("no locked cell stashed");
-                // Build the chain of cells separating the two bodies, exactly
-                // like the threaded `subdivide`.
-                let mut cells: Vec<Cell> = Vec::new();
-                let mut centre = parent.child_centre(self.ins_oct);
-                let mut half = parent.half / 2.0;
-                let mut depth = parent.depth + 1;
-                loop {
-                    let cell = Cell::new(centre, half, depth);
-                    let ia = cell.octant(&self.ins_pos);
-                    let ib = cell.octant(&other_pos);
-                    if ia != ib || depth >= MAX_DEPTH {
-                        let mut leaf = cell;
-                        if ia != ib {
-                            leaf.children[ia] = ChildRef::Body(self.ins_body);
-                            leaf.children[ib] = ChildRef::Body(self.ins_other);
-                        } else {
-                            leaf.children[ia] = ChildRef::Body(self.ins_body);
-                            let free = (0..8).find(|&i| i != ia).unwrap();
-                            leaf.children[free] = ChildRef::Body(self.ins_other);
-                        }
-                        cells.push(leaf);
-                        break;
-                    }
-                    let next_centre = cell.child_centre(ia);
-                    cells.push(cell);
-                    centre = next_centre;
-                    half /= 2.0;
-                    depth += 1;
-                }
+                // Build the chain of cells separating the two bodies into the
+                // pooled buffer — the exact chain the threaded `subdivide`
+                // constructs.
+                build_subdivision_chain(
+                    &mut self.ins_chain,
+                    parent,
+                    self.ins_oct,
+                    (self.ins_body, self.ins_pos),
+                    (self.ins_other, other_pos),
+                );
                 // Allocate from the deepest cell upwards.
-                self.ins_chain_pos = cells.len() - 1;
-                self.ins_chain = cells;
+                self.ins_chain_pos = self.ins_chain.len() - 1;
                 let deepest = self.ins_chain[self.ins_chain_pos].clone();
                 self.st = BhSt::InsAlloc;
                 Some(Op::Alloc {
@@ -1053,7 +1090,7 @@ impl BhProgram {
                 if self.ins_chain_pos == 0 {
                     // The topmost new cell links into the locked parent.
                     let mut updated = self.ins_fresh.take().expect("no locked cell stashed");
-                    updated.children[self.ins_oct] = ChildRef::Cell(handle);
+                    updated.set_child(self.ins_oct, ChildRef::Cell(handle));
                     self.ins_chain.clear();
                     self.st = BhSt::InsWrote;
                     Some(Op::Write(self.ins_cur, Arc::new(updated)))
@@ -1061,7 +1098,7 @@ impl BhProgram {
                     self.ins_chain_pos -= 1;
                     let mut cell = self.ins_chain[self.ins_chain_pos].clone();
                     let idx = cell.octant(&self.ins_pos);
-                    cell.children[idx] = ChildRef::Cell(handle);
+                    cell.set_child(idx, ChildRef::Cell(handle));
                     Some(Op::Alloc {
                         bytes: CELL_BYTES,
                         value: Arc::new(cell),
@@ -1086,7 +1123,7 @@ impl BhProgram {
                 self.st = BhSt::ComReduceW;
                 Some(Op::Write(
                     self.reduce_vars[self.me],
-                    Arc::new(([0.0f64; 3], [0.0f64; 3], my_depth)),
+                    Arc::new(([0.0f64; 3], [0.0f64; 3], u32::from(my_depth))),
                 ))
             }
             BhSt::ComReduceW => {
@@ -1132,7 +1169,7 @@ impl BhProgram {
             BhSt::ComScan => {
                 while self.cell_scan < self.my_cells.len() {
                     let (d, cell_var) = self.my_cells[self.cell_scan];
-                    if d == self.depth_iter {
+                    if u32::from(d) == self.depth_iter {
                         self.com_cell_var = cell_var;
                         self.st = BhSt::ComCell;
                         return Some(Op::Read(cell_var));
@@ -1155,7 +1192,7 @@ impl BhProgram {
             BhSt::ComChild => {
                 let cell = self.com_cell.as_ref().expect("no COM cell");
                 while self.com_child < 8 {
-                    match cell.children[self.com_child] {
+                    match cell.child(self.com_child) {
                         ChildRef::Empty => self.com_child += 1,
                         ChildRef::Body(b) => {
                             self.st = BhSt::ComChildBody;
@@ -1257,7 +1294,7 @@ impl BhProgram {
                     let Some((cell, child)) = self.cz_frames.last_mut() else {
                         // Walk complete: the zone's bodies are this step's
                         // assignment.
-                        self.my_bodies = std::mem::take(&mut self.assigned);
+                        std::mem::swap(&mut self.my_bodies, &mut self.assigned);
                         self.st = BhSt::ForceBegin;
                         return Some(Op::Barrier);
                     };
@@ -1265,7 +1302,7 @@ impl BhProgram {
                         self.cz_frames.pop();
                         continue;
                     }
-                    let slot = cell.children[*child];
+                    let slot = cell.child(*child);
                     *child += 1;
                     match slot {
                         ChildRef::Empty => {}
@@ -1363,7 +1400,7 @@ impl BhProgram {
             BhSt::FChild => {
                 let cell = self.f_cell.as_ref().expect("no opened cell");
                 while self.f_child < 8 {
-                    let slot = cell.children[self.f_child];
+                    let slot = cell.child(self.f_child);
                     self.f_child += 1;
                     match slot {
                         ChildRef::Empty => {}
@@ -1526,7 +1563,7 @@ impl ProcProgram for BhProgram {
 }
 
 /// Run the Barnes-Hut simulation under the event-driven execution mode — the
-/// same simulated run as [`run_shared`] (bit-identical report), practical on
+/// same simulated run as [`run_shared_prototype`] (bit-identical report), practical on
 /// much larger meshes.
 pub fn run_shared_driven(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcome {
     assert_eq!(bodies.len(), params.n_bodies);
@@ -1534,7 +1571,7 @@ pub fn run_shared_driven(mut diva: Diva, params: BhParams, bodies: &[Body]) -> B
     let n = params.n_bodies;
     assert!(n >= nprocs, "need at least one body per processor");
 
-    // Identical pre-allocation to `run_shared`.
+    // Identical pre-allocation to `run_shared_prototype`.
     let leaf_order: Vec<usize> = DecompositionTree::build(&diva.config().mesh, TreeShape::binary())
         .leaf_order()
         .iter()
@@ -1598,151 +1635,25 @@ pub fn run_shared_driven(mut diva: Diva, params: BhParams, bodies: &[Body]) -> B
 }
 
 // ---------------------------------------------------------------------------
-// Sequential reference implementation (plain data structures, no DIVA).
+// Sequential reference implementation (arena octree, no DIVA).
 // ---------------------------------------------------------------------------
-
-/// A node of the sequential reference octree.
-enum RefNode {
-    Body(usize),
-    Cell(Box<RefCell>),
-}
-
-struct RefCell {
-    centre: [f64; 3],
-    half: f64,
-    children: [Option<RefNode>; 8],
-    com: [f64; 3],
-    mass: f64,
-}
-
-impl RefCell {
-    fn new(centre: [f64; 3], half: f64) -> Self {
-        RefCell {
-            centre,
-            half,
-            children: Default::default(),
-            com: [0.0; 3],
-            mass: 0.0,
-        }
-    }
-
-    fn octant(&self, pos: &[f64; 3]) -> usize {
-        (0..3).fold(0, |acc, d| {
-            acc | (usize::from(pos[d] >= self.centre[d]) << d)
-        })
-    }
-
-    fn child_centre(&self, idx: usize) -> [f64; 3] {
-        let q = self.half / 2.0;
-        [
-            self.centre[0] + if idx & 1 != 0 { q } else { -q },
-            self.centre[1] + if idx & 2 != 0 { q } else { -q },
-            self.centre[2] + if idx & 4 != 0 { q } else { -q },
-        ]
-    }
-
-    fn insert(&mut self, idx_body: usize, bodies: &[Body], depth: u32) {
-        let pos = bodies[idx_body].pos;
-        let oct = self.octant(&pos);
-        match self.children[oct].take() {
-            None => self.children[oct] = Some(RefNode::Body(idx_body)),
-            Some(RefNode::Cell(mut cell)) => {
-                cell.insert(idx_body, bodies, depth + 1);
-                self.children[oct] = Some(RefNode::Cell(cell));
-            }
-            Some(RefNode::Body(other)) => {
-                let mut cell = RefCell::new(self.child_centre(oct), self.half / 2.0);
-                if depth >= MAX_DEPTH {
-                    // Mirror the parallel fallback for coincident bodies.
-                    cell.children[0] = Some(RefNode::Body(other));
-                    cell.children[1] = Some(RefNode::Body(idx_body));
-                } else {
-                    cell.insert(other, bodies, depth + 1);
-                    cell.insert(idx_body, bodies, depth + 1);
-                }
-                self.children[oct] = Some(RefNode::Cell(Box::new(cell)));
-            }
-        }
-    }
-
-    fn compute_com(&mut self, bodies: &[Body]) -> (f64, [f64; 3]) {
-        let mut mass = 0.0;
-        let mut com = [0.0f64; 3];
-        for child in self.children.iter_mut().flatten() {
-            match child {
-                RefNode::Body(i) => {
-                    let b = &bodies[*i];
-                    mass += b.mass;
-                    for k in 0..3 {
-                        com[k] += b.mass * b.pos[k];
-                    }
-                }
-                RefNode::Cell(c) => {
-                    let (m, cc) = c.compute_com(bodies);
-                    mass += m;
-                    for k in 0..3 {
-                        com[k] += m * cc[k];
-                    }
-                }
-            }
-        }
-        if mass > 0.0 {
-            for k in 0..3 {
-                com[k] /= mass;
-            }
-        } else {
-            com = self.centre;
-        }
-        self.mass = mass;
-        self.com = com;
-        (mass, com)
-    }
-
-    fn force(&self, me: usize, bodies: &[Body], theta: f64, acc: &mut [f64; 3]) {
-        let pos = bodies[me].pos;
-        let dx = self.com[0] - pos[0];
-        let dy = self.com[1] - pos[1];
-        let dz = self.com[2] - pos[2];
-        let dist = (dx * dx + dy * dy + dz * dz).sqrt().max(1e-12);
-        if (2.0 * self.half) / dist < theta {
-            let a = pairwise_accel(&pos, &self.com, self.mass);
-            for k in 0..3 {
-                acc[k] += a[k];
-            }
-            return;
-        }
-        for child in self.children.iter().flatten() {
-            match child {
-                RefNode::Body(i) => {
-                    if *i == me {
-                        continue;
-                    }
-                    let a = pairwise_accel(&pos, &bodies[*i].pos, bodies[*i].mass);
-                    for k in 0..3 {
-                        acc[k] += a[k];
-                    }
-                }
-                RefNode::Cell(c) => c.force(me, bodies, theta, acc),
-            }
-        }
-    }
-}
 
 /// Advance `bodies` by `timesteps` leapfrog steps of the sequential
 /// Barnes-Hut algorithm with the same opening criterion as the parallel code.
+///
+/// The tree is an [`ArenaOctree`]; the arena and the acceleration buffer are
+/// pooled across time steps, so once warmed up the loop performs no per-step
+/// allocations — the same discipline the parallel programs follow.
 pub fn reference_simulation(bodies: &[Body], theta: f64, dt: f64, timesteps: usize) -> Vec<Body> {
     let mut bodies = bodies.to_vec();
+    let mut tree = ArenaOctree::new();
+    let mut accs: Vec<[f64; 3]> = Vec::new();
     for _ in 0..timesteps {
         let (centre, half) = bounding_cube(&bodies);
-        let mut root = RefCell::new(centre, half);
-        for i in 0..bodies.len() {
-            root.insert(i, &bodies, 0);
-        }
-        root.compute_com(&bodies);
-        let mut accs = vec![[0.0f64; 3]; bodies.len()];
-        for (i, acc) in accs.iter_mut().enumerate() {
-            root.force(i, &bodies, theta, acc);
-        }
+        tree.build(&bodies, centre, half);
+        tree.compute_com(&bodies);
+        accs.clear();
+        accs.extend((0..bodies.len()).map(|i| tree.force(i, &bodies, theta, pairwise_accel)));
         for (b, acc) in bodies.iter_mut().zip(&accs) {
             for k in 0..3 {
                 b.vel[k] += acc[k] * dt;
@@ -1798,18 +1709,26 @@ mod tests {
         // With θ → 0 the tree never approximates, so forces must match the
         // direct sum almost exactly.
         let (centre, half) = bounding_cube(&bodies);
-        let mut root = RefCell::new(centre, half);
+        let mut tree = ArenaOctree::new();
+        tree.build(&bodies, centre, half);
+        tree.compute_com(&bodies);
         for i in 0..bodies.len() {
-            root.insert(i, &bodies, 0);
-        }
-        root.compute_com(&bodies);
-        for i in 0..bodies.len() {
-            let mut acc = [0.0; 3];
-            root.force(i, &bodies, 1e-9, &mut acc);
+            let acc = tree.force(i, &bodies, 1e-9, pairwise_accel);
             for k in 0..3 {
                 assert!((acc[k] - direct[i][k]).abs() < 1e-9, "body {i} axis {k}");
             }
         }
+    }
+
+    #[test]
+    fn simulated_cell_stays_compact() {
+        // The packed-children layout is what keeps million-cell sweeps cheap;
+        // a regression here silently doubles the memory of every mega run.
+        assert!(
+            std::mem::size_of::<Cell>() <= 112,
+            "Cell grew to {} bytes",
+            std::mem::size_of::<Cell>()
+        );
     }
 
     #[test]
@@ -1828,7 +1747,7 @@ mod tests {
             StrategyKind::AccessTree(TreeShape::quad()),
             StrategyKind::FixedHome,
         ] {
-            let out = run_shared(diva(2, strategy), params, &bodies);
+            let out = run_shared_prototype(diva(2, strategy), params, &bodies);
             assert_eq!(out.bodies.len(), expected.len());
             for (i, (got, want)) in out.bodies.iter().zip(&expected).enumerate() {
                 for k in 0..3 {
@@ -1862,7 +1781,7 @@ mod tests {
                 StrategyKind::AccessTree(TreeShape::quad()),
                 StrategyKind::FixedHome,
             ] {
-                let threaded = run_shared(diva(side, strategy), params, &bodies);
+                let threaded = run_shared_prototype(diva(side, strategy), params, &bodies);
                 let driven = run_shared_driven(diva(side, strategy), params, &bodies);
                 assert_eq!(
                     threaded.interactions, driven.interactions,
@@ -1872,6 +1791,29 @@ mod tests {
                 assert_eq!(threaded.report, driven.report, "{side} {strategy:?}");
             }
         }
+    }
+
+    #[test]
+    fn driven_and_threaded_are_bit_identical_beyond_paper_scale() {
+        // The paper's largest Barnes-Hut network is 16×32 (512 processors);
+        // this parity point runs 32×32 = 1024 — a scale where the threaded
+        // frontend is only usable as a correctness oracle (1024 OS threads),
+        // while the driven backend is the production path for 64×64+ sweeps.
+        let params = BhParams {
+            n_bodies: 1536,
+            timesteps: 1,
+            warmup_steps: 0,
+            theta: 1.0,
+            dt: 0.025,
+            include_compute: true,
+        };
+        let bodies = plummer_bodies(99, params.n_bodies);
+        let strategy = StrategyKind::AccessTree(TreeShape::lk(4, 8));
+        let threaded = run_shared_prototype(diva(32, strategy), params, &bodies);
+        let driven = run_shared_driven(diva(32, strategy), params, &bodies);
+        assert_eq!(threaded.interactions, driven.interactions);
+        assert_eq!(threaded.bodies, driven.bodies);
+        assert_eq!(threaded.report, driven.report);
     }
 
     #[test]
@@ -1885,7 +1827,7 @@ mod tests {
             include_compute: true,
         };
         let bodies = plummer_bodies(9, params.n_bodies);
-        let out = run_shared(
+        let out = run_shared_prototype(
             diva(4, StrategyKind::AccessTree(TreeShape::quad())),
             params,
             &bodies,
@@ -1924,12 +1866,12 @@ mod tests {
             include_compute: false,
         };
         let bodies = plummer_bodies(21, params.n_bodies);
-        let at = run_shared(
+        let at = run_shared_prototype(
             diva(4, StrategyKind::AccessTree(TreeShape::quad())),
             params,
             &bodies,
         );
-        let fh = run_shared(diva(4, StrategyKind::FixedHome), params, &bodies);
+        let fh = run_shared_prototype(diva(4, StrategyKind::FixedHome), params, &bodies);
         assert!(
             at.report.congestion_msgs() < fh.report.congestion_msgs(),
             "access tree {} vs fixed home {}",

@@ -11,11 +11,11 @@
 //!
 //! Variants:
 //!
-//! * [`run_shared`] — DIVA version: each wire's keys live in a global
+//! * [`run_shared_prototype`] — DIVA version: each wire's keys live in a global
 //!   variable; a merge&split step reads the partner's variable and rewrites
 //!   the own one, with barriers separating the read and write halves of every
 //!   step.
-//! * [`run_hand_optimized`] — message-passing baseline: partners simply
+//! * [`run_hand_optimized_prototype`] — message-passing baseline: partners simply
 //!   exchange their keys with two point-to-point messages per step (optimal
 //!   congestion for this embedding).
 
@@ -131,7 +131,7 @@ pub fn wire_to_proc(diva: &Diva) -> Vec<usize> {
 }
 
 /// Run the bitonic sort through the DIVA shared-variable interface.
-pub fn run_shared(mut diva: Diva, params: BitonicParams) -> BitonicOutcome {
+pub fn run_shared_prototype(mut diva: Diva, params: BitonicParams) -> BitonicOutcome {
     let p = diva.num_procs();
     let m = params.keys_per_proc;
     let wire_of_proc = invert(&wire_to_proc(&diva));
@@ -150,7 +150,7 @@ pub fn run_shared(mut diva: Diva, params: BitonicParams) -> BitonicOutcome {
     let wire_of_proc = Arc::new(wire_of_proc);
     let schedule = Arc::new(per_wire_schedule(p));
     let include_compute = params.include_compute;
-    let outcome = diva.run(move |ctx| {
+    let outcome = diva.run_prototype(move |ctx| {
         let wire = wire_of_proc[ctx.proc_id()];
         let mut mine: Vec<u64> = (*ctx.read::<Vec<u64>>(vars[wire])).clone();
         if include_compute {
@@ -200,7 +200,7 @@ enum BtState {
     Finish,
 }
 
-/// The event-driven twin of the [`run_shared`] closure.
+/// The event-driven twin of the [`run_shared_prototype`] closure.
 struct BitonicProgram {
     wire: usize,
     var_own: VarHandle,
@@ -273,7 +273,7 @@ impl ProcProgram for BitonicProgram {
 }
 
 /// Run the bitonic sort through the DIVA interface under the event-driven
-/// execution mode (bit-identical to [`run_shared`]).
+/// execution mode (bit-identical to [`run_shared_prototype`]).
 pub fn run_shared_driven(mut diva: Diva, params: BitonicParams) -> BitonicOutcome {
     let p = diva.num_procs();
     let m = params.keys_per_proc;
@@ -329,7 +329,7 @@ enum BtHoState {
     Finish,
 }
 
-/// The event-driven twin of the [`run_hand_optimized`] closure.
+/// The event-driven twin of the [`run_hand_optimized_prototype`] closure.
 struct BitonicHandOptProgram {
     wire: usize,
     proc_of_wire: Arc<Vec<usize>>,
@@ -391,7 +391,7 @@ impl ProcProgram for BitonicHandOptProgram {
 }
 
 /// Run the hand-optimized bitonic sort under the event-driven execution mode
-/// (bit-identical to [`run_hand_optimized`]).
+/// (bit-identical to [`run_hand_optimized_prototype`]).
 pub fn run_hand_optimized_driven(diva: Diva, params: BitonicParams) -> BitonicOutcome {
     let p = diva.num_procs();
     let m = params.keys_per_proc;
@@ -429,7 +429,7 @@ pub fn run_hand_optimized_driven(diva: Diva, params: BitonicParams) -> BitonicOu
 }
 
 /// Run the bitonic sort with the hand-optimized message-passing strategy.
-pub fn run_hand_optimized(diva: Diva, params: BitonicParams) -> BitonicOutcome {
+pub fn run_hand_optimized_prototype(diva: Diva, params: BitonicParams) -> BitonicOutcome {
     let p = diva.num_procs();
     let m = params.keys_per_proc;
     let wire_of_proc = Arc::new(invert(&wire_to_proc(&diva)));
@@ -439,7 +439,7 @@ pub fn run_hand_optimized(diva: Diva, params: BitonicParams) -> BitonicOutcome {
     let schedule = Arc::new(per_wire_schedule(p));
     let include_compute = params.include_compute;
     let seed = params.seed;
-    let outcome = diva.run(move |ctx| {
+    let outcome = diva.run_prototype(move |ctx| {
         let wire = wire_of_proc[ctx.proc_id()];
         let mut mine = sort_keys(seed, wire, m);
         mine.sort_unstable();
@@ -565,7 +565,7 @@ mod tests {
             StrategyKind::FixedHome,
         ] {
             let params = BitonicParams::new(32);
-            let out = run_shared(diva(4, strategy), params);
+            let out = run_shared_prototype(diva(4, strategy), params);
             verify_sorted(&out, &params).unwrap();
         }
     }
@@ -573,14 +573,15 @@ mod tests {
     #[test]
     fn hand_optimized_version_sorts_correctly() {
         let params = BitonicParams::new(64);
-        let out = run_hand_optimized(diva(4, StrategyKind::FixedHome), params);
+        let out = run_hand_optimized_prototype(diva(4, StrategyKind::FixedHome), params);
         verify_sorted(&out, &params).unwrap();
     }
 
     #[test]
     fn shared_version_sorts_on_a_non_trivial_mesh() {
         let params = BitonicParams::new(16);
-        let out = run_shared(diva(8, StrategyKind::AccessTree(TreeShape::quad())), params);
+        let out =
+            run_shared_prototype(diva(8, StrategyKind::AccessTree(TreeShape::quad())), params);
         verify_sorted(&out, &params).unwrap();
     }
 
@@ -591,7 +592,7 @@ mod tests {
             StrategyKind::FixedHome,
         ] {
             let params = BitonicParams::new(32);
-            let threaded = run_shared(diva(4, strategy), params);
+            let threaded = run_shared_prototype(diva(4, strategy), params);
             let driven = run_shared_driven(diva(4, strategy), params);
             assert_eq!(threaded.keys_per_wire, driven.keys_per_wire, "{strategy:?}");
             assert_eq!(threaded.report, driven.report, "{strategy:?}");
@@ -601,7 +602,7 @@ mod tests {
     #[test]
     fn driven_and_threaded_hand_optimized_runs_are_bit_identical() {
         let params = BitonicParams::new(32);
-        let threaded = run_hand_optimized(diva(4, StrategyKind::FixedHome), params);
+        let threaded = run_hand_optimized_prototype(diva(4, StrategyKind::FixedHome), params);
         let driven = run_hand_optimized_driven(diva(4, StrategyKind::FixedHome), params);
         assert_eq!(threaded.keys_per_wire, driven.keys_per_wire);
         assert_eq!(threaded.report, driven.report);
@@ -610,11 +611,11 @@ mod tests {
     #[test]
     fn access_tree_congestion_stays_below_fixed_home() {
         let params = BitonicParams::new(256);
-        let at = run_shared(
+        let at = run_shared_prototype(
             diva(4, StrategyKind::AccessTree(TreeShape::lk(2, 4))),
             params,
         );
-        let fh = run_shared(diva(4, StrategyKind::FixedHome), params);
+        let fh = run_shared_prototype(diva(4, StrategyKind::FixedHome), params);
         assert!(
             at.report.congestion_bytes() <= fh.report.congestion_bytes(),
             "access tree {} vs fixed home {}",
@@ -626,7 +627,7 @@ mod tests {
     #[test]
     fn verify_rejects_unsorted_output() {
         let params = BitonicParams::new(8);
-        let mut out = run_hand_optimized(diva(2, StrategyKind::FixedHome), params);
+        let mut out = run_hand_optimized_prototype(diva(2, StrategyKind::FixedHome), params);
         out.keys_per_wire[0][0] = u64::MAX; // corrupt
         assert!(verify_sorted(&out, &params).is_err());
     }

@@ -13,6 +13,8 @@
 //!   DIVA: a shared octree rebuilt every step under per-cell locks,
 //!   centre-of-mass pass, costzones partitioning, force computation and
 //!   integration (Figures 8–11).
+//! * [`octree`] — arena-allocated octrees: the packed child encoding shared
+//!   by the simulated Barnes-Hut cells and the sequential reference tree.
 //! * [`workload`] — deterministic input generators (matrix blocks, sort keys,
 //!   Plummer bodies).
 //!
@@ -25,6 +27,7 @@
 pub mod barnes_hut;
 pub mod bitonic;
 pub mod matmul;
+pub mod octree;
 pub mod workload;
 
 pub use workload::Body;

@@ -9,11 +9,11 @@
 //!
 //! Three variants are provided:
 //!
-//! * [`run_shared`] — the DIVA version: blocks are global variables, the read
+//! * [`run_shared_prototype`] — the DIVA version: blocks are global variables, the read
 //!   phase uses the staggered schedule of the paper (`k = (k' + i + j) mod
 //!   √P`, so at most two processors read the same block in the same step), a
 //!   barrier separates it from the write phase.
-//! * [`run_hand_optimized`] — the message-passing baseline: every processor
+//! * [`run_hand_optimized_prototype`] — the message-passing baseline: every processor
 //!   pipelines its block along its row and column (neighbour-to-neighbour
 //!   forwarding), which achieves minimal congestion `m · √P`.
 //! * [`reference_square`] — a sequential implementation used to verify both.
@@ -128,12 +128,12 @@ fn grid_side(diva: &Diva) -> usize {
 }
 
 /// Run the matrix square through the DIVA shared-variable interface.
-pub fn run_shared(mut diva: Diva, params: MatmulParams) -> MatmulOutcome {
+pub fn run_shared_prototype(mut diva: Diva, params: MatmulParams) -> MatmulOutcome {
     let q = grid_side(&diva);
     let side = params.block_side();
     let vars = Arc::new(allocate_blocks(&mut diva, &params, q));
     let include_compute = params.include_compute;
-    let outcome = diva.run(move |ctx| {
+    let outcome = diva.run_prototype(move |ctx| {
         let p = ctx.proc_id();
         let (i, j) = (p / q, p % q);
         let mut h = vec![0i64; side * side];
@@ -179,7 +179,7 @@ enum MmState {
     Finish,
 }
 
-/// The event-driven twin of the [`run_shared`] closure: one explicit state
+/// The event-driven twin of the [`run_shared_prototype`] closure: one explicit state
 /// machine per processor performing the staggered read schedule, the barrier
 /// and the write phase. Operation-for-operation equivalent to the threaded
 /// version, so both modes produce bit-identical run reports.
@@ -278,7 +278,7 @@ impl ProcProgram for MatmulProgram {
 }
 
 /// Run the matrix square through the DIVA shared-variable interface under the
-/// event-driven execution mode — the same simulated run as [`run_shared`]
+/// event-driven execution mode — the same simulated run as [`run_shared_prototype`]
 /// (bit-identical report), orders of magnitude faster to simulate on large
 /// meshes.
 pub fn run_shared_driven(mut diva: Diva, params: MatmulParams) -> MatmulOutcome {
@@ -304,14 +304,14 @@ const TAG_NORTH: u64 = 4;
 /// Run the matrix square with the hand-optimized message-passing strategy:
 /// every block is pipelined along its row and its column by
 /// neighbour-to-neighbour messages, which achieves minimal congestion.
-pub fn run_hand_optimized(diva: Diva, params: MatmulParams) -> MatmulOutcome {
+pub fn run_hand_optimized_prototype(diva: Diva, params: MatmulParams) -> MatmulOutcome {
     let q = grid_side(&diva);
     let side = params.block_side();
     // The baseline does not use shared variables; blocks live in local memory.
     let word = diva.config().machine.word_bytes as usize;
     let block_bytes = (params.block_ints * word) as u32;
     let include_compute = params.include_compute;
-    let outcome = diva.run(move |ctx| {
+    let outcome = diva.run_prototype(move |ctx| {
         let p = ctx.proc_id();
         let (i, j) = (p / q, p % q);
         let own: Vec<i64> = block_matrix(i, j, side);
@@ -438,7 +438,7 @@ enum HoState {
     Finish,
 }
 
-/// The event-driven twin of the [`run_hand_optimized`] closure: pipelined
+/// The event-driven twin of the [`run_hand_optimized_prototype`] closure: pipelined
 /// neighbour-to-neighbour forwarding as an explicit state machine.
 struct MatmulHandOptProgram {
     q: usize,
@@ -618,7 +618,7 @@ impl ProcProgram for MatmulHandOptProgram {
 }
 
 /// Run the hand-optimized matrix square under the event-driven execution
-/// mode (bit-identical to [`run_hand_optimized`]).
+/// mode (bit-identical to [`run_hand_optimized_prototype`]).
 pub fn run_hand_optimized_driven(diva: Diva, params: MatmulParams) -> MatmulOutcome {
     let q = grid_side(&diva);
     let side = params.block_side();
@@ -679,7 +679,7 @@ mod tests {
             StrategyKind::FixedHome,
         ] {
             let params = MatmulParams::new(16);
-            let out = run_shared(diva(4, strategy), params);
+            let out = run_shared_prototype(diva(4, strategy), params);
             let expected = reference_square(&initial_blocks(4, 4), 4, 4);
             assert_eq!(out.blocks, expected);
         }
@@ -688,7 +688,10 @@ mod tests {
     #[test]
     fn hand_optimized_version_computes_the_correct_square() {
         let params = MatmulParams::new(16);
-        let out = run_hand_optimized(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params);
+        let out = run_hand_optimized_prototype(
+            diva(4, StrategyKind::AccessTree(TreeShape::quad())),
+            params,
+        );
         let expected = reference_square(&initial_blocks(4, 4), 4, 4);
         assert_eq!(out.blocks, expected);
     }
@@ -696,8 +699,8 @@ mod tests {
     #[test]
     fn shared_and_hand_optimized_agree_on_a_bigger_mesh() {
         let params = MatmulParams::new(64);
-        let a = run_shared(diva(8, StrategyKind::AccessTree(TreeShape::quad())), params);
-        let b = run_hand_optimized(diva(8, StrategyKind::FixedHome), params);
+        let a = run_shared_prototype(diva(8, StrategyKind::AccessTree(TreeShape::quad())), params);
+        let b = run_hand_optimized_prototype(diva(8, StrategyKind::FixedHome), params);
         assert_eq!(a.blocks, b.blocks);
     }
 
@@ -708,7 +711,7 @@ mod tests {
             StrategyKind::FixedHome,
         ] {
             let params = MatmulParams::new(64);
-            let threaded = run_shared(diva(4, strategy), params);
+            let threaded = run_shared_prototype(diva(4, strategy), params);
             let driven = run_shared_driven(diva(4, strategy), params);
             assert_eq!(threaded.blocks, driven.blocks, "{strategy:?}");
             assert_eq!(threaded.report, driven.report, "{strategy:?}");
@@ -721,7 +724,7 @@ mod tests {
             block_ints: 64,
             include_compute: true,
         };
-        let threaded = run_hand_optimized(diva(4, StrategyKind::FixedHome), params);
+        let threaded = run_hand_optimized_prototype(diva(4, StrategyKind::FixedHome), params);
         let driven = run_hand_optimized_driven(diva(4, StrategyKind::FixedHome), params);
         assert_eq!(threaded.blocks, driven.blocks);
         assert_eq!(threaded.report, driven.report);
@@ -732,7 +735,7 @@ mod tests {
         // The paper: the hand-optimized strategy achieves congestion m·√P
         // (in words). Allow protocol headers as slack.
         let params = MatmulParams::new(256);
-        let out = run_hand_optimized(diva(4, StrategyKind::FixedHome), params);
+        let out = run_hand_optimized_prototype(diva(4, StrategyKind::FixedHome), params);
         let word = 4;
         let lower_bound = (256 * word * 4) as u64; // m bytes · √P
         let measured = out.report.congestion_bytes();
@@ -750,8 +753,8 @@ mod tests {
     fn access_tree_produces_less_congestion_than_fixed_home() {
         // The central claim of Figure 3, at small scale.
         let params = MatmulParams::new(256);
-        let at = run_shared(diva(8, StrategyKind::AccessTree(TreeShape::quad())), params);
-        let fh = run_shared(diva(8, StrategyKind::FixedHome), params);
+        let at = run_shared_prototype(diva(8, StrategyKind::AccessTree(TreeShape::quad())), params);
+        let fh = run_shared_prototype(diva(8, StrategyKind::FixedHome), params);
         assert!(
             at.report.congestion_bytes() < fh.report.congestion_bytes(),
             "access tree {} vs fixed home {}",
@@ -763,7 +766,8 @@ mod tests {
     #[test]
     fn read_phase_carries_almost_all_the_traffic() {
         let params = MatmulParams::new(256);
-        let out = run_shared(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params);
+        let out =
+            run_shared_prototype(diva(4, StrategyKind::AccessTree(TreeShape::quad())), params);
         let read = out.report.region("read-phase").unwrap();
         let write = out.report.region("write-phase").unwrap();
         assert!(read.total_bytes > 5 * write.total_bytes);

@@ -4,12 +4,15 @@
 //! the *simulated* quantities. Both execution backends are measured so the
 //! speedup of the event-driven driver stays visible over time.
 
-use dm_apps::barnes_hut::{run_shared as bh_run, run_shared_driven as bh_driven, BhParams};
+use dm_apps::barnes_hut::{
+    run_shared_driven as bh_driven, run_shared_prototype as bh_run, BhParams,
+};
 use dm_apps::bitonic::{
-    run_shared as bitonic_run, run_shared_driven as bitonic_driven, BitonicParams,
+    run_shared_driven as bitonic_driven, run_shared_prototype as bitonic_run, BitonicParams,
 };
 use dm_apps::matmul::{
-    run_hand_optimized, run_shared as matmul_run, run_shared_driven as matmul_driven, MatmulParams,
+    run_hand_optimized_prototype, run_shared_driven as matmul_driven,
+    run_shared_prototype as matmul_run, MatmulParams,
 };
 use dm_apps::workload::plummer_bodies;
 use dm_bench::timing::bench;
@@ -42,7 +45,7 @@ fn bench_matmul() {
             .total_time
     });
     bench("matmul_4x4_block256/hand-optimized (threaded)", 10, || {
-        run_hand_optimized(diva(4, StrategyKind::FixedHome), params)
+        run_hand_optimized_prototype(diva(4, StrategyKind::FixedHome), params)
             .report
             .total_time
     });

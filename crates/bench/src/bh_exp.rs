@@ -1,6 +1,11 @@
 //! Barnes-Hut experiments (Figures 8, 9, 10 and 11).
+//!
+//! Every sweep returns a [`BhSweep`]: the measured rows plus the sweep
+//! metadata (scale tier, time-step count, θ, seed) that the JSON output
+//! carries so downstream tooling can tell sweep points from different tiers
+//! apart.
 
-use crate::{barnes_hut_shapes, make_diva, HarnessOpts};
+use crate::{barnes_hut_shapes, make_diva, HarnessOpts, Scale};
 use dm_apps::barnes_hut::{run_shared_driven, BhParams};
 use dm_apps::workload::plummer_bodies;
 use dm_diva::{RunReport, StrategyKind};
@@ -101,22 +106,87 @@ pub fn run_point(
     )
 }
 
+/// Metadata describing a sweep: which tier produced the rows and the
+/// simulation parameters all rows share.
+#[derive(Debug, Clone)]
+pub struct SweepMeta {
+    /// Scale tier name (`smoke`/`default`/`paper`/`mega`).
+    pub scale: String,
+    /// Simulated time steps per run.
+    pub timesteps: usize,
+    /// Leading steps excluded from the measurement.
+    pub warmup_steps: usize,
+    /// Opening criterion θ.
+    pub theta: f64,
+    /// Seed of the run.
+    pub seed: u64,
+}
+
+crate::impl_to_json!(SweepMeta {
+    scale,
+    timesteps,
+    warmup_steps,
+    theta,
+    seed,
+});
+
+/// A Barnes-Hut sweep: metadata plus measured rows.
+#[derive(Debug, Clone)]
+pub struct BhSweep {
+    /// The sweep's shared parameters.
+    pub meta: SweepMeta,
+    /// One row per (configuration, strategy) point.
+    pub rows: Vec<BhRow>,
+}
+
+crate::impl_to_json!(BhSweep { meta, rows });
+
+fn sweep_meta(opts: &HarnessOpts, params: &BhParams) -> SweepMeta {
+    SweepMeta {
+        scale: opts.scale().name().to_string(),
+        timesteps: params.timesteps,
+        warmup_steps: params.warmup_steps,
+        theta: params.theta,
+        seed: opts.seed,
+    }
+}
+
 /// The body-count sweep of Figures 8–10: a fixed mesh, all five strategies.
-pub fn body_sweep(opts: &HarnessOpts) -> Vec<BhRow> {
-    let mesh = if opts.paper { (16, 16) } else { (8, 8) };
-    let body_counts: Vec<usize> = if opts.paper {
-        vec![10_000, 20_000, 30_000, 40_000, 50_000, 60_000]
-    } else {
-        vec![1_000, 2_000, 4_000]
+///
+/// Tiers (all on the event-driven backend):
+/// * smoke — 4×4 mesh, hundreds of bodies, seconds;
+/// * default — 16×16 mesh, 2 000–8 000 bodies (re-tuned upwards from the
+///   threaded-era 8×8/4 000 now that the driven backend is ~6× faster);
+/// * paper — the paper's 16×16 mesh with 10 000–60 000 bodies and 7 steps;
+/// * mega — beyond-paper: a 64×64 mesh (4 096 processors) with up to
+///   100 000 bodies.
+pub fn body_sweep(opts: &HarnessOpts) -> BhSweep {
+    let (mesh, body_counts): ((usize, usize), Vec<usize>) = match opts.scale() {
+        Scale::Smoke => ((4, 4), vec![192, 384]),
+        Scale::Default => ((16, 16), vec![2_000, 4_000, 8_000]),
+        Scale::Paper => (
+            (16, 16),
+            vec![10_000, 20_000, 30_000, 40_000, 50_000, 60_000],
+        ),
+        Scale::Mega => ((64, 64), vec![50_000, 100_000]),
     };
-    let mut params_proto = if opts.paper {
-        BhParams::new(0)
-    } else {
-        BhParams {
+    let mut params_proto = match opts.scale() {
+        Scale::Paper => BhParams::new(0),
+        Scale::Mega => BhParams {
+            timesteps: 5,
+            warmup_steps: 1,
+            ..BhParams::new(0)
+        },
+        Scale::Default => BhParams {
             timesteps: 3,
             warmup_steps: 1,
             ..BhParams::new(0)
-        }
+        },
+        Scale::Smoke => BhParams {
+            timesteps: 2,
+            warmup_steps: 1,
+            ..BhParams::new(0)
+        },
     };
     let mut rows = Vec::new();
     for &n in &body_counts {
@@ -125,27 +195,38 @@ pub fn body_sweep(opts: &HarnessOpts) -> Vec<BhRow> {
             rows.push(run_point(mesh, n, &name, strategy, params_proto, opts.seed));
         }
     }
-    rows
+    BhSweep {
+        meta: sweep_meta(opts, &params_proto),
+        rows,
+    }
 }
 
 /// The network-size sweep of Figure 11: the number of bodies grows with the
 /// number of processors (the paper uses N = 200·P), comparing the fixed home
 /// against the 4-8-ary access tree.
-pub fn scaling_sweep(opts: &HarnessOpts) -> Vec<BhRow> {
-    let meshes: Vec<(usize, usize)> = if opts.paper {
-        vec![(8, 8), (8, 16), (16, 16), (16, 32)]
-    } else {
-        vec![(4, 4), (4, 8), (8, 8)]
+///
+/// The mega tier scales the mesh axis to 64×64 (4 096 processors — 8× the
+/// paper's largest network) with 25 bodies per processor, so its last point
+/// runs 102 400 bodies.
+pub fn scaling_sweep(opts: &HarnessOpts) -> BhSweep {
+    let (meshes, bodies_per_proc): (Vec<(usize, usize)>, usize) = match opts.scale() {
+        Scale::Smoke => (vec![(2, 2), (2, 4), (4, 4)], 12),
+        Scale::Default => (vec![(8, 8), (8, 16), (16, 16)], 100),
+        Scale::Paper => (vec![(8, 8), (8, 16), (16, 16), (16, 32)], 200),
+        Scale::Mega => (vec![(16, 16), (16, 32), (32, 32), (32, 64), (64, 64)], 25),
     };
-    let bodies_per_proc = if opts.paper { 200 } else { 50 };
-    let params_proto = if opts.paper {
-        BhParams::new(0)
-    } else {
-        BhParams {
+    let params_proto = match opts.scale() {
+        Scale::Paper => BhParams::new(0),
+        Scale::Mega | Scale::Default => BhParams {
             timesteps: 3,
             warmup_steps: 1,
             ..BhParams::new(0)
-        }
+        },
+        Scale::Smoke => BhParams {
+            timesteps: 2,
+            warmup_steps: 1,
+            ..BhParams::new(0)
+        },
     };
     let strategies = vec![
         ("fixed home".to_string(), StrategyKind::FixedHome),
@@ -163,7 +244,10 @@ pub fn scaling_sweep(opts: &HarnessOpts) -> Vec<BhRow> {
             rows.push(run_point(mesh, n, name, *strategy, params, opts.seed));
         }
     }
-    rows
+    BhSweep {
+        meta: sweep_meta(opts, &params_proto),
+        rows,
+    }
 }
 
 #[cfg(test)]

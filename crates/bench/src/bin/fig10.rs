@@ -1,5 +1,7 @@
 //! Figure 10: Barnes-Hut N-body simulation — congestion, execution time and
 //! local computation time of the force-computation phase.
+//!
+//! Runs on the event-driven backend; see `fig8` for the sweep tiers.
 
 use dm_bench::bh_exp::body_sweep;
 use dm_bench::table::{secs, Table};
@@ -7,7 +9,7 @@ use dm_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let rows = body_sweep(&opts);
+    let sweep = body_sweep(&opts);
     let mut table = Table::new(&[
         "bodies",
         "strategy",
@@ -15,7 +17,7 @@ fn main() {
         "force time[s]",
         "local compute[s]",
     ]);
-    for r in &rows {
+    for r in &sweep.rows {
         table.row(vec![
             r.n_bodies.to_string(),
             r.strategy.clone(),
@@ -25,9 +27,9 @@ fn main() {
         ]);
     }
     println!(
-        "Figure 10 — Barnes-Hut force-computation phase on a {}x{} mesh",
-        rows[0].mesh.0, rows[0].mesh.1
+        "Figure 10 — Barnes-Hut force-computation phase on a {}x{} mesh ({} scale)",
+        sweep.rows[0].mesh.0, sweep.rows[0].mesh.1, sweep.meta.scale
     );
     println!("{}", table.render());
-    opts.write_json(&rows);
+    opts.write_json(&sweep);
 }

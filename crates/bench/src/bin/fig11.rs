@@ -2,6 +2,9 @@
 //! when the network is scaled and the number of bodies grows with the number
 //! of processors, comparing the fixed-home strategy with the 4-8-ary access
 //! tree.
+//!
+//! Runs on the event-driven backend. `--mega` scales the mesh axis to 64×64
+//! (4 096 processors), whose last point simulates 102 400 bodies.
 
 use dm_bench::bh_exp::scaling_sweep;
 use dm_bench::table::{secs, Table};
@@ -9,7 +12,7 @@ use dm_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let rows = scaling_sweep(&opts);
+    let sweep = scaling_sweep(&opts);
     let mut table = Table::new(&[
         "mesh",
         "bodies",
@@ -18,7 +21,7 @@ fn main() {
         "exec time[s]",
         "force local compute[s]",
     ]);
-    for r in &rows {
+    for r in &sweep.rows {
         table.row(vec![
             format!("{}x{}", r.mesh.0, r.mesh.1),
             r.n_bodies.to_string(),
@@ -28,7 +31,10 @@ fn main() {
             secs(r.force_compute_ns),
         ]);
     }
-    println!("Figure 11 — Barnes-Hut scaling the network size (N = bodies grows with P)");
+    println!(
+        "Figure 11 — Barnes-Hut scaling the network size (N grows with P, {} scale)",
+        sweep.meta.scale
+    );
     println!("{}", table.render());
-    opts.write_json(&rows);
+    opts.write_json(&sweep);
 }

@@ -6,14 +6,18 @@
 
 use dm_bench::matmul_exp::{arity_strategies, figure3, run_point};
 use dm_bench::table::{f2, secs, Table};
-use dm_bench::HarnessOpts;
+use dm_bench::{HarnessOpts, Scale};
 
 fn main() {
-    let opts = HarnessOpts::from_args();
+    let opts = HarnessOpts::from_args_allowing(&["--arity-sweep"]);
     let arity_sweep = std::env::args().any(|a| a == "--arity-sweep");
     let rows = if arity_sweep {
-        let mesh = if opts.paper { 16 } else { 8 };
-        let block = if opts.paper { 4096 } else { 1024 };
+        let (mesh, block) = match opts.scale() {
+            Scale::Smoke => (4, 256),
+            Scale::Default => (8, 1024),
+            Scale::Paper => (16, 4096),
+            Scale::Mega => (32, 4096),
+        };
         run_point(mesh, block, &arity_strategies(), opts.seed)
     } else {
         figure3(&opts)

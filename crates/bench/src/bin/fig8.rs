@@ -1,6 +1,10 @@
 //! Figure 8: Barnes-Hut N-body simulation — total congestion (in messages)
 //! and execution time of the measured time steps, vs the number of bodies,
 //! for the fixed-home strategy and the 2/4/16-ary and 4-16-ary access trees.
+//!
+//! Runs on the event-driven backend. `--mega` extends the body-count axis to
+//! 100 000 bodies on a 64×64 mesh (4 096 processors — 16× the paper's
+//! platform).
 
 use dm_bench::bh_exp::body_sweep;
 use dm_bench::table::{secs, Table};
@@ -8,9 +12,9 @@ use dm_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let rows = body_sweep(&opts);
+    let sweep = body_sweep(&opts);
     let mut table = Table::new(&["bodies", "strategy", "congestion[msgs]", "exec time[s]"]);
-    for r in &rows {
+    for r in &sweep.rows {
         table.row(vec![
             r.n_bodies.to_string(),
             r.strategy.clone(),
@@ -19,9 +23,9 @@ fn main() {
         ]);
     }
     println!(
-        "Figure 8 — Barnes-Hut on a {}x{} mesh (measured steps only)",
-        rows[0].mesh.0, rows[0].mesh.1
+        "Figure 8 — Barnes-Hut on a {}x{} mesh (measured steps only, {} scale)",
+        sweep.rows[0].mesh.0, sweep.rows[0].mesh.1, sweep.meta.scale
     );
     println!("{}", table.render());
-    opts.write_json(&rows);
+    opts.write_json(&sweep);
 }

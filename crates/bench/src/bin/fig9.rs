@@ -1,6 +1,8 @@
 //! Figure 9: Barnes-Hut N-body simulation — congestion and execution time of
 //! the tree-building phase (the phase in which the fixed home of the root
 //! cell becomes a serial bottleneck).
+//!
+//! Runs on the event-driven backend; see `fig8` for the sweep tiers.
 
 use dm_bench::bh_exp::body_sweep;
 use dm_bench::table::{secs, Table};
@@ -8,14 +10,14 @@ use dm_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let rows = body_sweep(&opts);
+    let sweep = body_sweep(&opts);
     let mut table = Table::new(&[
         "bodies",
         "strategy",
         "tree-build congestion[msgs]",
         "tree-build time[s]",
     ]);
-    for r in &rows {
+    for r in &sweep.rows {
         table.row(vec![
             r.n_bodies.to_string(),
             r.strategy.clone(),
@@ -24,9 +26,9 @@ fn main() {
         ]);
     }
     println!(
-        "Figure 9 — Barnes-Hut tree-building phase on a {}x{} mesh",
-        rows[0].mesh.0, rows[0].mesh.1
+        "Figure 9 — Barnes-Hut tree-building phase on a {}x{} mesh ({} scale)",
+        sweep.rows[0].mesh.0, sweep.rows[0].mesh.1, sweep.meta.scale
     );
     println!("{}", table.render());
-    opts.write_json(&rows);
+    opts.write_json(&sweep);
 }

@@ -1,6 +1,6 @@
-//! Beyond-paper scaling: Figure-4/7-style network-size sweeps extended to
-//! mesh sizes the paper's platform could never reach (64×64 = 4096 and
-//! 128×128 = 16384 processors).
+//! Beyond-paper scaling: network-size sweeps extended to mesh sizes the
+//! paper's platform could never reach (64×64 = 4096 and 128×128 = 16384
+//! processors).
 //!
 //! The thread-per-processor backend cannot run these sizes at all (16384 OS
 //! threads); the event-driven backend completes the whole sweep in minutes.
@@ -9,37 +9,130 @@
 //! grows — the regime where the congestion-ratio curves of Figures 4 and 7
 //! are interesting.
 //!
-//! `--mega` adds the 128×128 points (the default stops at 64×64).
+//! Modes:
+//! * default — Figure-4/7-style matmul and bitonic sweeps up to 64×64;
+//! * `--bh` — a Figure-11-style Barnes-Hut sweep instead (25 bodies per
+//!   processor, so the 64×64 point simulates 102 400 bodies);
+//! * `--mega` — adds the 128×128 points to either mode (for `--bh` that is
+//!   409 600 bodies — expect ~20 minutes for the two strategies);
+//! * `--smoke` — 4×4 and 8×8 only, for the CI figure-suite gate.
 
+use dm_apps::barnes_hut::BhParams;
+use dm_bench::bh_exp::{self, BhRow};
 use dm_bench::bitonic_exp::{self, BitonicRow};
 use dm_bench::matmul_exp::{self, MatmulRow};
 use dm_bench::table::{f2, secs, Table};
 use dm_bench::{impl_to_json, HarnessOpts};
+use dm_diva::StrategyKind;
+use dm_mesh::TreeShape;
 use std::time::Instant;
 
-/// The `--json` payload: both sweeps of the scaling scenario.
+/// The `--json` payload: every sweep the scaling scenario ran.
 struct ScaleRows {
     matmul: Vec<MatmulRow>,
     bitonic: Vec<BitonicRow>,
+    barnes_hut: Vec<BhRow>,
 }
 
-impl_to_json!(ScaleRows { matmul, bitonic });
+impl_to_json!(ScaleRows {
+    matmul,
+    bitonic,
+    barnes_hut,
+});
+
+fn run_barnes_hut(opts: &HarnessOpts, sides: &[usize]) -> Vec<BhRow> {
+    // Figure-11-style: the body count grows with the processor count. 25
+    // bodies per processor keeps the per-point runtime in minutes while the
+    // 64×64 point still simulates ≥100 000 bodies.
+    let bodies_per_proc = 25;
+    let params_proto = BhParams {
+        timesteps: 3,
+        warmup_steps: 1,
+        ..BhParams::new(0)
+    };
+    let strategies = [
+        ("fixed home".to_string(), StrategyKind::FixedHome),
+        (
+            "4-8-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::lk(4, 8)),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for &side in sides {
+        let n = bodies_per_proc * side * side;
+        let mut params = params_proto;
+        params.n_bodies = n;
+        for (name, strategy) in &strategies {
+            let t = Instant::now();
+            rows.push(bh_exp::run_point(
+                (side, side),
+                n,
+                name,
+                *strategy,
+                params,
+                opts.seed,
+            ));
+            eprintln!(
+                "barnes-hut {side}x{side} n={n} {name} done in {:.1?}",
+                t.elapsed()
+            );
+        }
+    }
+    rows
+}
 
 fn main() {
-    let opts = HarnessOpts::from_args_allowing(&["--mega"]);
-    let mega = std::env::args().any(|a| a == "--mega");
-    let sides: Vec<usize> = if mega {
+    let opts = HarnessOpts::from_args_allowing(&["--bh"]);
+    let bh = std::env::args().any(|a| a == "--bh");
+    if opts.paper && !opts.mega {
+        eprintln!("note: scale has no --paper tier (it is beyond-paper by design); running the default sweep");
+    }
+    let sides: Vec<usize> = if opts.mega {
         vec![16, 32, 64, 128]
+    } else if opts.smoke {
+        // CI tier: exercise the sweep machinery, not the scale.
+        vec![4, 8]
     } else {
         vec![16, 32, 64]
     };
 
+    let mut payload = ScaleRows {
+        matmul: Vec::new(),
+        bitonic: Vec::new(),
+        barnes_hut: Vec::new(),
+    };
+
+    if bh {
+        payload.barnes_hut = run_barnes_hut(&opts, &sides);
+        let mut table = Table::new(&[
+            "mesh",
+            "bodies",
+            "strategy",
+            "congestion[msgs]",
+            "exec time[s]",
+            "force local compute[s]",
+        ]);
+        for r in &payload.barnes_hut {
+            table.row(vec![
+                format!("{}x{}", r.mesh.0, r.mesh.1),
+                r.n_bodies.to_string(),
+                r.strategy.clone(),
+                r.congestion_msgs.to_string(),
+                secs(r.exec_time_ns),
+                secs(r.force_compute_ns),
+            ]);
+        }
+        println!("Beyond-paper scaling — Barnes-Hut, 25 bodies per processor");
+        println!("{}", table.render());
+        opts.write_json(&payload);
+        return;
+    }
+
     // Matrix square, Figure-4 style: fixed block size, growing mesh.
     let block = 256;
-    let mut mm_rows = Vec::new();
     for &side in &sides {
         let t = Instant::now();
-        mm_rows.extend(matmul_exp::run_point(
+        payload.matmul.extend(matmul_exp::run_point(
             side,
             block,
             &matmul_exp::figure_strategies(),
@@ -55,7 +148,7 @@ fn main() {
         "comm time[s]",
         "time ratio",
     ]);
-    for r in &mm_rows {
+    for r in &payload.matmul {
         table.row(vec![
             format!("{0}x{0}", r.mesh_side),
             r.strategy.clone(),
@@ -70,10 +163,9 @@ fn main() {
 
     // Bitonic sorting, Figure-7 style: fixed keys per processor, growing mesh.
     let keys = 256;
-    let mut bt_rows = Vec::new();
     for &side in &sides {
         let t = Instant::now();
-        bt_rows.extend(bitonic_exp::run_point(
+        payload.bitonic.extend(bitonic_exp::run_point(
             side,
             keys,
             &bitonic_exp::figure_strategies(),
@@ -89,7 +181,7 @@ fn main() {
         "exec time[s]",
         "time ratio",
     ]);
-    for r in &bt_rows {
+    for r in &payload.bitonic {
         table.row(vec![
             format!("{0}x{0}", r.mesh_side),
             r.strategy.clone(),
@@ -102,8 +194,5 @@ fn main() {
     println!("Beyond-paper scaling — bitonic sorting, {keys} keys per processor");
     println!("{}", table.render());
 
-    opts.write_json(&ScaleRows {
-        matmul: mm_rows,
-        bitonic: bt_rows,
-    });
+    opts.write_json(&payload);
 }

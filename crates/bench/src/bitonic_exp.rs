@@ -1,7 +1,7 @@
 //! Bitonic-sorting experiments (Figures 6 and 7 and the arity comparison of
 //! Section 3.2).
 
-use crate::{make_diva, ratio, HarnessOpts};
+use crate::{make_diva, ratio, HarnessOpts, Scale};
 use dm_apps::bitonic::{run_hand_optimized_driven, run_shared_driven, BitonicParams};
 use dm_diva::StrategyKind;
 use dm_mesh::TreeShape;
@@ -107,11 +107,11 @@ pub fn run_point(
 
 /// Figure 6: fixed mesh, keys-per-processor sweep.
 pub fn figure6(opts: &HarnessOpts) -> Vec<BitonicRow> {
-    let mesh_side = if opts.paper { 16 } else { 8 };
-    let keys: Vec<usize> = if opts.paper {
-        vec![256, 1024, 4096, 16384]
-    } else {
-        vec![256, 1024, 4096]
+    let (mesh_side, keys): (usize, Vec<usize>) = match opts.scale() {
+        Scale::Smoke => (4, vec![64, 256]),
+        Scale::Default => (8, vec![256, 1024, 4096]),
+        Scale::Paper => (16, vec![256, 1024, 4096, 16384]),
+        Scale::Mega => (32, vec![1024, 4096]),
     };
     let strategies = figure_strategies();
     keys.into_iter()
@@ -121,12 +121,12 @@ pub fn figure6(opts: &HarnessOpts) -> Vec<BitonicRow> {
 
 /// Figure 7: fixed keys per processor, network size sweep.
 pub fn figure7(opts: &HarnessOpts) -> Vec<BitonicRow> {
-    let sides: Vec<usize> = if opts.paper {
-        vec![4, 8, 16, 32]
-    } else {
-        vec![4, 8, 16]
+    let (sides, keys): (Vec<usize>, usize) = match opts.scale() {
+        Scale::Smoke => (vec![2, 4], 256),
+        Scale::Default => (vec![4, 8, 16], 1024),
+        Scale::Paper => (vec![4, 8, 16, 32], 4096),
+        Scale::Mega => (vec![16, 32, 64], 1024),
     };
-    let keys = if opts.paper { 4096 } else { 1024 };
     let strategies = figure_strategies();
     sides
         .into_iter()

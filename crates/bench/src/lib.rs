@@ -14,12 +14,15 @@
 //! | `fig9`  | Figure 9     | Barnes-Hut: tree-building phase congestion and time |
 //! | `fig10` | Figure 10    | Barnes-Hut: force-computation phase congestion, time and local computation |
 //! | `fig11` | Figure 11    | Barnes-Hut: scaling the network size with N = bodies-per-processor · P |
+//! | `scale` | (beyond paper) | network-size sweeps at 64×64/128×128: matmul + bitonic, or Barnes-Hut with `--bh` |
 //!
-//! All binaries accept `--paper` to run at the paper's full scale (a 16×16 or
-//! 32×32 mesh and up to 60 000 bodies — minutes to hours of simulation) and
-//! default to a reduced scale that finishes in seconds to a few minutes while
-//! preserving the qualitative shape of every result. `--json FILE` writes the
-//! rows as JSON (used to fill `EXPERIMENTS.md`).
+//! All binaries run on the event-driven backend and accept four scale tiers
+//! (see [`Scale`]): `--smoke` (seconds — the CI figure-suite gate), the
+//! default (reduced scale preserving the qualitative shape of every result),
+//! `--paper` (the paper's full scale) and `--mega` (beyond-paper scale:
+//! 64×64 meshes, ≥100 000-body Barnes-Hut sweeps). `--json FILE` writes the
+//! rows — plus sweep metadata for the Barnes-Hut figures — as JSON. See
+//! `crates/bench/README.md` for per-binary flags and expected runtimes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,11 +39,46 @@ use dm_engine::MachineConfig;
 use dm_mesh::{Mesh, TreeShape};
 use json::ToJson;
 
+/// The scale tier of a figure run. Every `fig*` binary supports all four
+/// (the `scale` binary, already beyond-paper by design, has `--smoke` and
+/// `--mega` tiers only); the exact sweep points per tier live next to the
+/// figure's sweep function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast CI tier: tiny meshes and inputs, used by the figure-suite
+    /// smoke gate which diffs the rendered tables against checked-in goldens.
+    Smoke,
+    /// The default: reduced scale preserving the qualitative shape of every
+    /// result, re-tuned upwards for the event-driven backend.
+    Default,
+    /// The paper's full scale (16×16/32×32 meshes, up to 60 000 bodies).
+    Paper,
+    /// Beyond-paper scale: 64×64+ meshes and ≥100 000-body Barnes-Hut
+    /// sweeps, only reachable on the event-driven backend.
+    Mega,
+}
+
+impl Scale {
+    /// Tier name as printed in figure titles and JSON metadata.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+            Scale::Mega => "mega",
+        }
+    }
+}
+
 /// Command-line options shared by all figure binaries.
 #[derive(Debug, Clone)]
 pub struct HarnessOpts {
-    /// Run at the paper's full scale.
+    /// Run at the paper's full scale (`--paper`).
     pub paper: bool,
+    /// Run at the tiny CI smoke scale (`--smoke`).
+    pub smoke: bool,
+    /// Run at beyond-paper scale (`--mega`; implies neither of the above).
+    pub mega: bool,
     /// Optional path to write the result rows as JSON.
     pub json: Option<String>,
     /// Optional seed override.
@@ -51,6 +89,8 @@ impl Default for HarnessOpts {
     fn default() -> Self {
         HarnessOpts {
             paper: false,
+            smoke: false,
+            mega: false,
             json: None,
             seed: 0x5EED,
         }
@@ -58,6 +98,20 @@ impl Default for HarnessOpts {
 }
 
 impl HarnessOpts {
+    /// The selected scale tier. When several tier flags are given the
+    /// largest wins (`--mega` > `--paper` > `--smoke`).
+    pub fn scale(&self) -> Scale {
+        if self.mega {
+            Scale::Mega
+        } else if self.paper {
+            Scale::Paper
+        } else if self.smoke {
+            Scale::Smoke
+        } else {
+            Scale::Default
+        }
+    }
+
     /// Parse the options from command-line arguments (warns about unknown
     /// flags). Binaries with extra flags of their own list them in
     /// [`HarnessOpts::from_args_allowing`].
@@ -75,6 +129,8 @@ impl HarnessOpts {
         while i < args.len() {
             match args[i].as_str() {
                 "--paper" => opts.paper = true,
+                "--smoke" => opts.smoke = true,
+                "--mega" => opts.mega = true,
                 flag if extra_flags.contains(&flag) => {}
                 "--json" => {
                     i += 1;
@@ -88,7 +144,7 @@ impl HarnessOpts {
                         .unwrap_or(opts.seed);
                 }
                 "--help" | "-h" => {
-                    eprintln!("usage: <fig> [--paper] [--json FILE] [--seed N]");
+                    eprintln!("usage: <fig> [--smoke|--paper|--mega] [--json FILE] [--seed N]");
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown argument {other}"),

@@ -1,7 +1,7 @@
 //! Matrix-multiplication experiments (Figures 3 and 4 and the arity sweep of
 //! Section 3.1).
 
-use crate::{make_diva, ratio, HarnessOpts};
+use crate::{make_diva, ratio, HarnessOpts, Scale};
 use dm_apps::matmul::{run_hand_optimized_driven, run_shared_driven, MatmulParams};
 use dm_diva::StrategyKind;
 use dm_mesh::TreeShape;
@@ -117,11 +117,11 @@ pub fn arity_strategies() -> Vec<(String, StrategyKind)> {
 
 /// Figure 3: fixed mesh, block size sweep.
 pub fn figure3(opts: &HarnessOpts) -> Vec<MatmulRow> {
-    let mesh_side = if opts.paper { 16 } else { 8 };
-    let blocks: Vec<usize> = if opts.paper {
-        vec![64, 256, 1024, 4096]
-    } else {
-        vec![64, 256, 1024]
+    let (mesh_side, blocks): (usize, Vec<usize>) = match opts.scale() {
+        Scale::Smoke => (4, vec![64, 256]),
+        Scale::Default => (8, vec![64, 256, 1024]),
+        Scale::Paper => (16, vec![64, 256, 1024, 4096]),
+        Scale::Mega => (32, vec![256, 1024, 4096]),
     };
     let strategies = figure_strategies();
     blocks
@@ -132,12 +132,12 @@ pub fn figure3(opts: &HarnessOpts) -> Vec<MatmulRow> {
 
 /// Figure 4: fixed block size, network size sweep.
 pub fn figure4(opts: &HarnessOpts) -> Vec<MatmulRow> {
-    let sides: Vec<usize> = if opts.paper {
-        vec![4, 8, 16, 32]
-    } else {
-        vec![4, 8, 16]
+    let (sides, block): (Vec<usize>, usize) = match opts.scale() {
+        Scale::Smoke => (vec![2, 4], 256),
+        Scale::Default => (vec![4, 8, 16], 1024),
+        Scale::Paper => (vec![4, 8, 16, 32], 4096),
+        Scale::Mega => (vec![16, 32, 64], 1024),
     };
-    let block = if opts.paper { 4096 } else { 1024 };
     let strategies = figure_strategies();
     sides
         .into_iter()

@@ -1,0 +1,95 @@
+//! The figure-suite smoke gate: every figure binary runs at `--smoke` scale
+//! and its rendered table must match the checked-in golden byte for byte.
+//!
+//! The tables contain only *simulated* quantities (virtual nanoseconds,
+//! messages, bytes), which the single-threaded event-driven backend produces
+//! deterministically — so the goldens are stable across machines and any
+//! diff is a real behaviour change. CI runs the same comparison via
+//! `.github/workflows/ci.yml` and uploads the JSON rows as artifacts.
+//!
+//! To update the goldens after an intentional change:
+//!
+//! ```sh
+//! UPDATE_GOLDENS=1 cargo test -p dm-bench --test golden_smoke
+//! git diff crates/bench/goldens/   # review before committing
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+/// Run `bin` with `args` and return its stdout.
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("running {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed with {}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("figure output is UTF-8")
+}
+
+fn check_golden(name: &str, bin: &str, args: &[&str]) {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("goldens")
+        .join(format!("{name}.txt"));
+    let got = run(bin, args);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&golden_path, &got).expect("writing golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {golden_path:?} ({e}); run UPDATE_GOLDENS=1 cargo test -p dm-bench \
+             --test golden_smoke"
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{name}: smoke output diverged from {golden_path:?} — if intentional, regenerate with \
+         UPDATE_GOLDENS=1"
+    );
+}
+
+macro_rules! golden {
+    ($test:ident, $name:literal, $bin:expr, $args:expr) => {
+        #[test]
+        fn $test() {
+            check_golden($name, $bin, $args);
+        }
+    };
+}
+
+golden!(fig3_smoke, "fig3", env!("CARGO_BIN_EXE_fig3"), &["--smoke"]);
+golden!(fig4_smoke, "fig4", env!("CARGO_BIN_EXE_fig4"), &["--smoke"]);
+golden!(fig6_smoke, "fig6", env!("CARGO_BIN_EXE_fig6"), &["--smoke"]);
+golden!(fig7_smoke, "fig7", env!("CARGO_BIN_EXE_fig7"), &["--smoke"]);
+golden!(fig8_smoke, "fig8", env!("CARGO_BIN_EXE_fig8"), &["--smoke"]);
+golden!(fig9_smoke, "fig9", env!("CARGO_BIN_EXE_fig9"), &["--smoke"]);
+golden!(
+    fig10_smoke,
+    "fig10",
+    env!("CARGO_BIN_EXE_fig10"),
+    &["--smoke"]
+);
+golden!(
+    fig11_smoke,
+    "fig11",
+    env!("CARGO_BIN_EXE_fig11"),
+    &["--smoke"]
+);
+golden!(
+    scale_smoke,
+    "scale",
+    env!("CARGO_BIN_EXE_scale"),
+    &["--smoke"]
+);
+golden!(
+    scale_bh_smoke,
+    "scale_bh",
+    env!("CARGO_BIN_EXE_scale"),
+    &["--smoke", "--bh"]
+);

@@ -13,35 +13,40 @@
 //! * [`Diva`] / [`DivaConfig`] — a simulated mesh machine with a configurable
 //!   data-management strategy, runnable in either of two execution modes
 //!   (see below).
-//! * The **threaded mode** ([`Diva::run`]): programs are ordinary Rust
-//!   closures, executed once per simulated processor on its own OS thread,
-//!   that access shared data through [`ProcCtx`]: typed [`ProcCtx::read`] /
-//!   [`ProcCtx::write`] on [`VarHandle`]s, [`ProcCtx::barrier`],
-//!   per-variable [`ProcCtx::lock`] / [`ProcCtx::unlock`], modelled local
-//!   computation via [`ProcCtx::compute`], and explicit
-//!   [`ProcCtx::send_msg`] / [`ProcCtx::recv_msg`] message passing for
-//!   hand-optimized baselines.
 //! * The **event-driven mode** ([`Diva::run_driven`]): programs are explicit
 //!   [`ProcProgram`] state machines that yield [`Op`]s, driven inline by the
-//!   coordinator — zero OS threads, zero channel hops.
+//!   coordinator — zero OS threads, zero channel hops. This is the execution
+//!   mode of every experiment.
+//! * The **threaded prototyping mode** ([`Diva::run_prototype`]): programs
+//!   are ordinary Rust closures, executed once per simulated processor on
+//!   its own OS thread, that access shared data through [`ProcCtx`]: typed
+//!   [`ProcCtx::read`] / [`ProcCtx::write`] on [`VarHandle`]s,
+//!   [`ProcCtx::barrier`], per-variable [`ProcCtx::lock`] /
+//!   [`ProcCtx::unlock`], modelled local computation via
+//!   [`ProcCtx::compute`], and explicit [`ProcCtx::send_msg`] /
+//!   [`ProcCtx::recv_msg`] message passing for hand-optimized baselines.
 //!
 //! ## Choosing an execution mode
 //!
 //! Both modes simulate the same machine and, for operation-equivalent
 //! programs, produce **bit-identical** [`RunReport`]s (enforced by parity
-//! tests). The difference is purely how fast the simulation itself runs:
+//! tests). The difference is how fast — and how predictably — the simulation
+//! itself runs:
 //!
-//! * Use the **threaded** mode for exploration and small meshes — ordinary
-//!   control flow (loops, recursion, early returns) makes programs easy to
-//!   write, but every simulated processor costs an OS thread and every
-//!   blocking operation two channel hops. A 32×32 mesh already needs 1024
-//!   threads.
-//! * Use the **driven** mode for experiments and large meshes — the
+//! * Use the **driven** mode for every experiment and for large meshes — the
 //!   coordinator steps each program state machine directly off its event
-//!   queue. The protocol microbench runs ≥5× faster at 16×16, and meshes of
-//!   64×64 and beyond (impossible to even spawn under the threaded mode)
-//!   complete in minutes. All `dm-bench` experiments use this mode; the
-//!   paper applications in `dm-apps` provide `run_*_driven` variants.
+//!   queue on a single thread, so the execution is deterministic by
+//!   construction. The protocol microbench runs ≥5× faster at 16×16; meshes
+//!   of 64×64 and beyond (impossible to even spawn under the threaded mode)
+//!   complete in minutes, including Barnes-Hut sweeps at ≥100 000 bodies.
+//!   All `dm-bench` experiments and examples use this mode; the paper
+//!   applications in `dm-apps` provide `run_*_driven` variants.
+//! * Use the **threaded** mode only to prototype — ordinary control flow
+//!   (loops, recursion, early returns) makes a first version easy to write,
+//!   but every simulated processor costs an OS thread and every blocking
+//!   operation two channel hops (a 32×32 mesh already needs 1024 threads).
+//!   Once the algorithm settles, port it to a [`ProcProgram`] and keep the
+//!   prototype around as the reference side of a parity test.
 //! * The **access-tree strategy**
 //!   ([`policy::access_tree::AccessTreePolicy`]): per-variable access trees
 //!   derived from the hierarchical mesh decomposition, embedded randomly but
@@ -72,7 +77,7 @@
 //! ));
 //! // One shared object, initially cached at processor 0.
 //! let shared = diva.alloc(0, 1024, vec![0u32; 256]);
-//! let outcome = diva.run(|ctx| {
+//! let outcome = diva.run_prototype(|ctx| {
 //!     // Every processor reads the object; the access tree distributes
 //!     // copies along its branches.
 //!     let data = ctx.read::<Vec<u32>>(shared);

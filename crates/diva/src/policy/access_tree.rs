@@ -37,17 +37,27 @@ use std::sync::Arc;
 /// Membership tests run on the hot path of every request step and every
 /// invalidation BFS, so the set is a flat bit vector (word `n / 64`, bit
 /// `n % 64`) instead of a hash set.
+///
+/// The size is computed by popcount instead of a cached counter: a cached
+/// `len += usize::from(fresh)` next to the `|=` store miscompiled under
+/// `opt-level >= 2` on rustc 1.95 (the counter silently stopped advancing
+/// once `insert` was inlined into `on_data_step`), which made release builds
+/// take the "sole copy at the writer" write fast path spuriously and
+/// simulate a *different* — wrong — protocol run than debug builds. The
+/// figure-suite goldens (generated in release, checked by `cargo test` in
+/// debug) gate against any such cross-profile divergence recurring. The
+/// per-write "is the writer's leaf the sole copy" test uses the early-exit
+/// [`CopySet::sole_copy`] so its cost stays O(1) words in the common
+/// multi-copy case even on 128×128 trees (~350 words).
 #[derive(Debug, Clone)]
 pub struct CopySet {
     words: Vec<u64>,
-    len: usize,
 }
 
 impl CopySet {
     fn new(tree_len: usize) -> Self {
         CopySet {
             words: vec![0; tree_len.div_ceil(64)],
-            len: 0,
         }
     }
 
@@ -59,12 +69,25 @@ impl CopySet {
 
     /// Number of tree nodes holding a copy.
     pub fn len(&self) -> usize {
-        self.len
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether no node holds a copy (never true between operations).
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether exactly one node holds a copy. Early-exits on the second set
+    /// bit, so the hot multi-copy case touches O(1) words.
+    pub fn sole_copy(&self) -> bool {
+        let mut total = 0u32;
+        for w in &self.words {
+            total += w.count_ones();
+            if total > 1 {
+                return false;
+            }
+        }
+        total == 1
     }
 
     /// Insert `node`; returns whether it was newly inserted.
@@ -73,7 +96,6 @@ impl CopySet {
         let bit = 1u64 << (node.0 % 64);
         let fresh = *w & bit == 0;
         *w |= bit;
-        self.len += usize::from(fresh);
         fresh
     }
 
@@ -83,7 +105,6 @@ impl CopySet {
         let bit = 1u64 << (node.0 % 64);
         let present = *w & bit != 0;
         *w &= !bit;
-        self.len -= usize::from(present);
         present
     }
 
@@ -334,7 +355,7 @@ impl AccessTreePolicy {
                 self.forward_request(env, tx, var, leaf, proc, kind);
             }
             AccessKind::Write => {
-                let only_copy_at_writer = holds_leaf && self.var(var).copies.len() == 1;
+                let only_copy_at_writer = holds_leaf && self.var(var).copies.sole_copy();
                 if only_copy_at_writer {
                     env.bump(Counter::WriteLocal, 1);
                     env.complete_at(tx, env.now() + env.config().local_access_ns());

@@ -101,7 +101,7 @@ pub struct RunOutcome<R> {
     /// Timing, congestion and protocol statistics of the run.
     pub report: RunReport,
     /// Per-processor results, indexed by processor id: the closure return
-    /// values under [`Diva::run`], the final program states under
+    /// values under [`Diva::run_prototype`], the final program states under
     /// [`Diva::run_driven`].
     pub results: Vec<R>,
 }
@@ -118,7 +118,7 @@ pub struct RunOutcome<R> {
 ///     StrategyKind::AccessTree(TreeShape::quad()),
 /// ));
 /// let counter = diva.alloc(0, 8, 0u64);
-/// let outcome = diva.run(|ctx| {
+/// let outcome = diva.run_prototype(|ctx| {
 ///     // every processor reads the shared counter once
 ///     let v = ctx.read::<u64>(counter);
 ///     ctx.barrier();
@@ -212,14 +212,23 @@ impl Diva {
     /// Run `program` on every simulated processor and return the per-processor
     /// results together with the run report.
     ///
-    /// This is the *threaded* execution mode: the closure is invoked once per
-    /// processor (with a [`ProcCtx`] whose `proc_id()` identifies the
-    /// processor) on its own OS thread; the coordinator thread serialises
-    /// their blocking operations deterministically and advances virtual time.
-    /// Maximum ergonomics — ordinary Rust control flow — at the cost of one
-    /// OS thread plus two channel hops per blocking operation. For large
-    /// meshes use [`Diva::run_driven`] instead.
-    pub fn run<F, R>(self, program: F) -> RunOutcome<R>
+    /// This is the *threaded* execution mode, kept as an explicit
+    /// **prototyping API**: the closure is invoked once per processor (with a
+    /// [`ProcCtx`] whose `proc_id()` identifies the processor) on its own OS
+    /// thread; the coordinator thread serialises their blocking operations
+    /// deterministically and advances virtual time. Maximum ergonomics —
+    /// ordinary Rust control flow — at the cost of one OS thread plus two
+    /// channel hops per blocking operation.
+    ///
+    /// All experiments run under [`Diva::run_driven`], the only execution
+    /// mode that is *provably* deterministic (the coordinator steps every
+    /// program inline, so there is no OS scheduler in the loop at all) and
+    /// the only one that reaches large meshes. Use this entry point to
+    /// prototype a new application with ordinary control flow, port it to a
+    /// [`ProcProgram`] state machine, and pin the port with a parity test
+    /// asserting bit-identical [`RunReport`]s — the workflow every `dm-apps`
+    /// application followed.
+    pub fn run_prototype<F, R>(self, program: F) -> RunOutcome<R>
     where
         F: Fn(&mut ProcCtx) -> R + Send + Sync,
         R: Send,

@@ -13,7 +13,7 @@ use std::sync::Arc;
 /// messages.
 ///
 /// One `ProcCtx` is handed to the program closure of every simulated
-/// processor by [`Diva::run`](crate::Diva::run). All methods account virtual
+/// processor by [`Diva::run_prototype`](crate::Diva::run_prototype). All methods account virtual
 /// time: local cache hits and `compute()` calls accumulate locally and are
 /// charged at the next blocking operation; everything else blocks the
 /// simulated processor until the simulated operation completes.

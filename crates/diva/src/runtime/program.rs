@@ -1,6 +1,6 @@
 //! Coroutine-style processor programs for the event-driven execution mode.
 //!
-//! The classic [`Diva::run`](crate::Diva::run) API executes the program
+//! The classic [`Diva::run_prototype`](crate::Diva::run_prototype) API executes the program
 //! closure of every simulated processor on its own OS thread and serialises
 //! their blocking operations through channels. That is ergonomic but costs
 //! one thread plus two channel hops per simulated operation — prohibitive for

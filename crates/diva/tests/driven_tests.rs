@@ -11,7 +11,7 @@ fn config(side: usize, strategy: StrategyKind) -> DivaConfig {
 }
 
 /// A program that reads one shared variable, synchronises, and finishes —
-/// the driven twin of the doc example of `Diva::run`.
+/// the driven twin of the doc example of `Diva::run_prototype`.
 struct ReadOnce {
     var: VarHandle,
     state: u8,
@@ -112,7 +112,7 @@ fn uniform_threaded(
     let nprocs = diva.num_procs();
     let vars: Vec<VarHandle> = (0..nprocs).map(|p| diva.alloc(p, 512, 0u64)).collect();
     let vars = Arc::new(vars);
-    let outcome = diva.run(move |ctx| {
+    let outcome = diva.run_prototype(move |ctx| {
         let mut rng = 0x9E3779B97F4A7C15u64 ^ (ctx.proc_id() as u64) << 17;
         for round in 1..=cfg.rounds {
             ctx.compute_int_ops(5);

@@ -29,7 +29,7 @@ fn every_processor_reads_the_initial_value() {
     for cfg in all_strategies(4) {
         let mut diva = Diva::new(cfg);
         let v = diva.alloc(3, 400, vec![7u32; 100]);
-        let outcome = diva.run(|ctx| ctx.read::<Vec<u32>>(v)[0]);
+        let outcome = diva.run_prototype(|ctx| ctx.read::<Vec<u32>>(v)[0]);
         assert_eq!(outcome.results, vec![7u32; 16]);
         assert!(outcome.report.total_time > 0);
         // 15 processors missed, one (the owner) may hit via the fast path.
@@ -43,7 +43,7 @@ fn writes_are_visible_after_a_barrier() {
         let name = cfg.strategy.name();
         let mut diva = Diva::new(cfg);
         let v = diva.alloc(0, 64, 0u64);
-        let outcome = diva.run(|ctx| {
+        let outcome = diva.run_prototype(|ctx| {
             if ctx.proc_id() == 5 {
                 ctx.write(v, 42u64);
             }
@@ -61,7 +61,7 @@ fn successive_write_read_phases_stay_consistent() {
     for cfg in [at_config(4, TreeShape::quad()), fh_config(4)] {
         let mut diva = Diva::new(cfg);
         let v = diva.alloc(0, 64, 0u64);
-        let outcome = diva.run(|ctx| {
+        let outcome = diva.run_prototype(|ctx| {
             let mut seen = Vec::new();
             for round in 1..=4u64 {
                 let writer = (round as usize * 3) % ctx.num_procs();
@@ -87,7 +87,7 @@ fn barrier_separates_virtual_time() {
     // processor's pre-barrier time.
     let mut diva = Diva::new(at_config(4, TreeShape::quad()));
     let v = diva.alloc(0, 8, 0u8);
-    let outcome = diva.run(|ctx| {
+    let outcome = diva.run_prototype(|ctx| {
         if ctx.proc_id() == 7 {
             ctx.compute(1_000_000.0); // one virtual second
         }
@@ -109,7 +109,7 @@ fn locks_provide_mutual_exclusion_on_read_modify_write() {
         let mut diva = Diva::new(cfg);
         let counter = diva.alloc(0, 8, 0u64);
         let increments = 3u64;
-        let outcome = diva.run(|ctx| {
+        let outcome = diva.run_prototype(|ctx| {
             for _ in 0..increments {
                 ctx.lock(counter);
                 let v = *ctx.read::<u64>(counter);
@@ -132,7 +132,7 @@ fn explicit_message_passing_round_trip() {
     // Ring communication: each processor sends its id to the next and receives
     // from the previous.
     let diva = Diva::new(at_config(4, TreeShape::quad()));
-    let outcome = diva.run(|ctx| {
+    let outcome = diva.run_prototype(|ctx| {
         let p = ctx.proc_id();
         let n = ctx.num_procs();
         let next = (p + 1) % n;
@@ -150,7 +150,7 @@ fn explicit_message_passing_round_trip() {
 #[test]
 fn message_passing_preserves_fifo_order_per_sender() {
     let diva = Diva::new(at_config(2, TreeShape::quad()));
-    let outcome = diva.run(|ctx| {
+    let outcome = diva.run_prototype(|ctx| {
         if ctx.proc_id() == 0 {
             for i in 0..10u64 {
                 ctx.send_msg(3, 32, 7, i);
@@ -173,7 +173,7 @@ fn variables_can_be_allocated_during_the_run() {
     for cfg in [at_config(4, TreeShape::quad()), fh_config(4)] {
         let mut diva = Diva::new(cfg);
         let pointer = diva.alloc(0, 8, VarHandle(u32::MAX));
-        let outcome = diva.run(|ctx| {
+        let outcome = diva.run_prototype(|ctx| {
             if ctx.proc_id() == 0 {
                 let data = ctx.alloc(256, vec![13u64; 32]);
                 ctx.write(pointer, data);
@@ -190,7 +190,7 @@ fn variables_can_be_allocated_during_the_run() {
 fn fast_path_hits_do_not_touch_the_network() {
     let mut diva = Diva::new(at_config(4, TreeShape::quad()));
     let v = diva.alloc(0, 1024, vec![1u8; 1024]);
-    let outcome = diva.run(|ctx| {
+    let outcome = diva.run_prototype(|ctx| {
         // First read misses (except on the owner), the remaining 99 hit.
         let mut sum = 0u64;
         for _ in 0..100 {
@@ -214,7 +214,7 @@ fn runs_are_deterministic() {
             .collect();
         let vars = Arc::new(vars);
         let vars2 = Arc::clone(&vars);
-        let outcome = diva.run(move |ctx| {
+        let outcome = diva.run_prototype(move |ctx| {
             let mut acc = 0u64;
             for (k, &v) in vars2.iter().enumerate() {
                 if (ctx.proc_id() + k) % 3 == 0 {
@@ -245,7 +245,7 @@ fn different_seeds_change_placement_but_not_results() {
     let run = |seed: u64| {
         let mut diva = Diva::new(fh_config(4).with_seed(seed));
         let v = diva.alloc(0, 2048, vec![5u64; 256]);
-        let outcome = diva.run(|ctx| *ctx.read::<Vec<u64>>(v).last().unwrap());
+        let outcome = diva.run_prototype(|ctx| *ctx.read::<Vec<u64>>(v).last().unwrap());
         (outcome.results, outcome.report.congestion_bytes())
     };
     let (r1, c1) = run(1);
@@ -260,7 +260,7 @@ fn different_seeds_change_placement_but_not_results() {
 fn regions_attribute_time_and_traffic_to_phases() {
     let mut diva = Diva::new(at_config(4, TreeShape::quad()));
     let v = diva.alloc(0, 4096, vec![0u8; 4096]);
-    let outcome = diva.run(|ctx| {
+    let outcome = diva.run_prototype(|ctx| {
         ctx.region("warmup");
         ctx.compute(100.0);
         ctx.barrier();
@@ -296,7 +296,7 @@ fn access_tree_beats_fixed_home_on_a_hot_shared_object() {
             .map(|i| diva.alloc(i, 16384, vec![1u8; 16384]))
             .collect();
         let vars = Arc::new(vars);
-        let outcome = diva.run(move |ctx| {
+        let outcome = diva.run_prototype(move |ctx| {
             for &v in vars.iter() {
                 let _ = ctx.read::<Vec<u8>>(v);
             }
@@ -337,7 +337,7 @@ fn random_embedding_mode_also_works_end_to_end() {
     cfg.embedding = EmbeddingMode::Random;
     let mut diva = Diva::new(cfg);
     let v = diva.alloc(0, 128, 3u32);
-    let outcome = diva.run(|ctx| *ctx.read::<u32>(v));
+    let outcome = diva.run_prototype(|ctx| *ctx.read::<u32>(v));
     assert_eq!(outcome.results, vec![3u32; 16]);
 }
 
@@ -345,7 +345,7 @@ fn random_embedding_mode_also_works_end_to_end() {
 fn single_processor_mesh_degenerates_gracefully() {
     let mut diva = Diva::new(at_config(1, TreeShape::quad()));
     let v = diva.alloc(0, 64, 10u32);
-    let outcome = diva.run(|ctx| {
+    let outcome = diva.run_prototype(|ctx| {
         ctx.write(v, 11u32);
         ctx.barrier();
         *ctx.read::<u32>(v)
@@ -358,7 +358,7 @@ fn single_processor_mesh_degenerates_gracefully() {
 fn report_counters_are_consistent() {
     let mut diva = Diva::new(fh_config(4));
     let v = diva.alloc(0, 256, vec![0u32; 64]);
-    let outcome = diva.run(|ctx| {
+    let outcome = diva.run_prototype(|ctx| {
         let _ = ctx.read::<Vec<u32>>(v);
         ctx.barrier();
         if ctx.proc_id() == 1 {
@@ -381,7 +381,7 @@ fn report_counters_are_consistent() {
 #[should_panic(expected = "deadlock")]
 fn missing_send_is_reported_as_deadlock() {
     let diva = Diva::new(at_config(2, TreeShape::quad()));
-    let _ = diva.run(|ctx| {
+    let _ = diva.run_prototype(|ctx| {
         if ctx.proc_id() == 0 {
             // Waits forever: nobody sends with tag 9.
             let _ = ctx.recv_msg::<u64>(1, 9);

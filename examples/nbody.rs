@@ -5,7 +5,7 @@
 //! cargo run --release --example nbody
 //! ```
 
-use diva_repro::apps::barnes_hut::{run_shared, BhParams};
+use diva_repro::apps::barnes_hut::{run_shared_driven, BhParams};
 use diva_repro::apps::workload::plummer_bodies;
 use diva_repro::diva::{Diva, DivaConfig, StrategyKind};
 use diva_repro::mesh::{Mesh, TreeShape};
@@ -29,7 +29,7 @@ fn main() {
         ("fixed home", StrategyKind::FixedHome),
     ] {
         let diva = Diva::new(DivaConfig::new(Mesh::square(8), strategy));
-        let out = run_shared(diva, params, &bodies);
+        let out = run_shared_driven(diva, params, &bodies);
         println!("== {} ==", name);
         println!(
             "total: {:.2} s simulated, congestion {} messages, {} interactions",

@@ -21,7 +21,7 @@ fn main() {
     let counter = diva.alloc(0, 8, 0u64);
     let table = diva.alloc(0, 4096, vec![0u32; 1024]);
 
-    let outcome = diva.run(|ctx| {
+    let outcome = diva.run_prototype(|ctx| {
         // Every processor reads the shared table (the access tree distributes
         // copies along its branches), then atomically increments the counter
         // under its lock.

@@ -7,7 +7,7 @@
 //! cargo run --release --example strategy_comparison
 //! ```
 
-use diva_repro::apps::matmul::{run_hand_optimized, run_shared, MatmulParams};
+use diva_repro::apps::matmul::{run_hand_optimized_driven, run_shared_driven, MatmulParams};
 use diva_repro::diva::{Diva, DivaConfig, StrategyKind};
 use diva_repro::mesh::{Mesh, TreeShape};
 
@@ -17,7 +17,7 @@ fn main() {
 
     let make = |strategy| Diva::new(DivaConfig::new(Mesh::square(mesh_side), strategy));
 
-    let baseline = run_hand_optimized(make(StrategyKind::FixedHome), params);
+    let baseline = run_hand_optimized_driven(make(StrategyKind::FixedHome), params);
     let base_congestion = baseline.report.congestion_bytes();
     let base_time = baseline.report.comm_time();
 
@@ -58,7 +58,7 @@ fn main() {
         ),
     ];
     for (name, strategy) in strategies {
-        let out = run_shared(make(strategy), params);
+        let out = run_shared_driven(make(strategy), params);
         // The result must be identical no matter which strategy manages the data.
         assert_eq!(out.blocks, baseline.blocks);
         println!(

@@ -8,14 +8,18 @@
 //! * execution time correlates with congestion;
 //! * the per-phase Barnes-Hut behaviour (hot root cell) favours the access
 //!   tree.
+//!
+//! All claims are checked on the event-driven backend (the execution mode of
+//! every experiment; bit-identical to the threaded prototyping mode).
 
-use diva_repro::apps::barnes_hut::{run_shared as bh_run, BhParams};
+use diva_repro::apps::barnes_hut::{run_shared_driven as bh_run, BhParams};
 use diva_repro::apps::bitonic::{
-    run_hand_optimized as bitonic_baseline, run_shared as bitonic_run, verify_sorted, BitonicParams,
+    run_hand_optimized_driven as bitonic_baseline, run_shared_driven as bitonic_run, verify_sorted,
+    BitonicParams,
 };
 use diva_repro::apps::matmul::{
-    initial_blocks, reference_square, run_hand_optimized as matmul_baseline,
-    run_shared as matmul_run, MatmulParams,
+    initial_blocks, reference_square, run_hand_optimized_driven as matmul_baseline,
+    run_shared_driven as matmul_run, MatmulParams,
 };
 use diva_repro::apps::workload::plummer_bodies;
 use diva_repro::diva::{Diva, DivaConfig, StrategyKind};
