@@ -66,8 +66,12 @@ pub struct Cell {
     pub com: [f64; 3],
     /// Total mass (valid after phase 2).
     pub mass: f64,
-    /// Aggregated work of the bodies below this cell (valid after phase 2).
-    pub work: u64,
+    /// Aggregated work of the bodies below this cell (valid after phase 2),
+    /// saturating at `u32::MAX`. A `u32` is part of the compact cell layout:
+    /// per-subtree work stays far below 2³² even at 409 600-body sweeps
+    /// (~10⁹ interactions per step), and the costzones arithmetic widens to
+    /// `u64` before accumulating offsets.
+    pub work: u32,
     /// The eight child slots, packed.
     children: [PackedChild; 8],
     /// Number of bodies below this cell (valid after phase 2).
@@ -119,6 +123,13 @@ impl Cell {
     }
 }
 
+/// Clamp a per-body `u64` work counter into the saturating `u32` cell
+/// aggregate. Shared by the threaded closure and the driven state machine so
+/// both saturate identically.
+fn clamp_work(w: u64) -> u32 {
+    w.min(u64::from(u32::MAX)) as u32
+}
+
 /// Approximate size of a cell variable in bytes (the paper's cells carry a
 /// similar amount of data: geometry, child pointers and mass information).
 const CELL_BYTES: u32 = 160;
@@ -140,11 +151,17 @@ pub struct BhParams {
     pub dt: f64,
     /// Whether to model the force-computation floating-point time.
     pub include_compute: bool,
+    /// Whether to free each step's cell variables at the step barrier
+    /// (`ProcCtx::end_epoch` / [`Op::EndEpoch`]). Reclamation is pure
+    /// bookkeeping — simulated quantities are bit-identical either way — but
+    /// it caps per-variable protocol state at O(cells per step) instead of
+    /// O(steps × cells), which is what makes long mega sweeps possible.
+    pub reclaim: bool,
 }
 
 impl BhParams {
     /// Parameters with the paper's defaults for a given body count (7 steps,
-    /// the last 5 measured, θ = 1.0).
+    /// the last 5 measured, θ = 1.0, per-step reclamation on).
     pub fn new(n_bodies: usize) -> Self {
         BhParams {
             n_bodies,
@@ -153,6 +170,7 @@ impl BhParams {
             theta: 1.0,
             dt: 0.025,
             include_compute: true,
+            reclaim: true,
         }
     }
 
@@ -165,6 +183,7 @@ impl BhParams {
             theta: 0.8,
             dt: 0.0125,
             include_compute: false,
+            reclaim: true,
         }
     }
 }
@@ -306,7 +325,7 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
                         let mut mass = 0.0;
                         let mut com = [0.0f64; 3];
                         let mut count = 0u32;
-                        let mut work = 0u64;
+                        let mut work = 0u32;
                         for idx in 0..8 {
                             match cell.child(idx) {
                                 ChildRef::Empty => {}
@@ -317,7 +336,7 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
                                         com[k] += body.mass * body.pos[k];
                                     }
                                     count += 1;
-                                    work += body.work.max(1);
+                                    work = work.saturating_add(clamp_work(body.work.max(1)));
                                 }
                                 ChildRef::Cell(c) => {
                                     let sub = ctx.read::<Cell>(c);
@@ -326,7 +345,7 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
                                         com[k] += sub.mass * sub.com[k];
                                     }
                                     count += sub.count;
-                                    work += sub.work;
+                                    work = work.saturating_add(sub.work);
                                 }
                             }
                         }
@@ -349,7 +368,14 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
                 // ---- Phase 3: costzones partitioning -----------------------
                 ctx.region(&region("partition"));
                 let root_cell = ctx.read::<Cell>(root);
-                let total_work = root_cell.work.max(1);
+                // A saturated total would silently drop bodies from every
+                // costzones zone (child sums can exceed the clamped root);
+                // fail loudly instead when a sweep outgrows the u32 envelope.
+                assert!(
+                    root_cell.work < u32::MAX,
+                    "total per-step work saturated the u32 cell aggregate"
+                );
+                let total_work = u64::from(root_cell.work).max(1);
                 let lo = total_work * me as u64 / nprocs as u64;
                 let hi = total_work * (me as u64 + 1) / nprocs as u64;
                 assigned.clear();
@@ -421,6 +447,14 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
                     ctx.write(bounds_var, (centre, half));
                 }
                 ctx.barrier();
+
+                // ---- Step barrier reached: retire this step's tree --------
+                // All protocol traffic on the cells has quiesced (every phase
+                // ended in a barrier), so the cells this processor allocated
+                // can be freed in bulk. Costs no simulated time.
+                if params.reclaim {
+                    ctx.end_epoch();
+                }
 
                 if step + 1 == params.timesteps {
                     for &b in &my_bodies {
@@ -591,7 +625,7 @@ fn costzones_collect(
     out: &mut Vec<VarHandle>,
 ) -> u64 {
     let cell = ctx.read::<Cell>(cell_var);
-    let end = offset + cell.work;
+    let end = offset + u64::from(cell.work);
     if end <= lo || offset >= hi {
         return end;
     }
@@ -797,6 +831,8 @@ enum BhSt {
     BndW,
     /// Final barrier of the step passed.
     BndSync2,
+    /// Epoch end issued at the step barrier: this step's cells are retired.
+    StepEpoch,
     /// Read the next owned body's final state (last step only).
     FinNext,
     /// A final body state was read.
@@ -846,7 +882,7 @@ struct BhProgram {
     com_mass: f64,
     com_com: [f64; 3],
     com_count: u32,
-    com_work: u64,
+    com_work: u32,
 
     // Costzones scratch.
     cz_frames: Vec<(Arc<Cell>, usize)>,
@@ -949,6 +985,18 @@ impl BhProgram {
             name.to_string()
         } else {
             "warmup".to_string()
+        }
+    }
+
+    /// Advance past the end of a time step: start the next step, or harvest
+    /// the final body states after the last one.
+    fn finish_step(&mut self) {
+        if self.step_no + 1 == self.params.timesteps {
+            self.body_idx = 0;
+            self.st = BhSt::FinNext;
+        } else {
+            self.step_no += 1;
+            self.st = BhSt::StepBegin;
         }
     }
 
@@ -1227,7 +1275,7 @@ impl BhProgram {
                     self.com_com[k] += body.mass * body.pos[k];
                 }
                 self.com_count += 1;
-                self.com_work += body.work.max(1);
+                self.com_work = self.com_work.saturating_add(clamp_work(body.work.max(1)));
                 self.com_child += 1;
                 self.st = BhSt::ComChild;
                 None
@@ -1239,7 +1287,7 @@ impl BhProgram {
                     self.com_com[k] += sub.mass * sub.com[k];
                 }
                 self.com_count += sub.count;
-                self.com_work += sub.work;
+                self.com_work = self.com_work.saturating_add(sub.work);
                 self.com_child += 1;
                 self.st = BhSt::ComChild;
                 None
@@ -1266,7 +1314,13 @@ impl BhProgram {
             }
             BhSt::PartRoot => {
                 let root_cell = ctx.take::<Cell>();
-                let total_work = root_cell.work.max(1);
+                // Same loud-failure guard as the threaded closure: a
+                // saturated total would silently drop bodies from the zones.
+                assert!(
+                    root_cell.work < u32::MAX,
+                    "total per-step work saturated the u32 cell aggregate"
+                );
+                let total_work = u64::from(root_cell.work).max(1);
                 self.cz_lo = total_work * self.me as u64 / self.nprocs as u64;
                 self.cz_hi = total_work * (self.me as u64 + 1) / self.nprocs as u64;
                 self.cz_off = 0;
@@ -1279,7 +1333,7 @@ impl BhProgram {
             }
             BhSt::CzCell => {
                 let cell = ctx.take::<Cell>();
-                let end = self.cz_off + cell.work;
+                let end = self.cz_off + u64::from(cell.work);
                 if end <= self.cz_lo || self.cz_off >= self.cz_hi {
                     // Whole subtree outside the zone: skip it.
                     self.cz_off = end;
@@ -1521,13 +1575,18 @@ impl BhProgram {
                 Some(Op::Barrier)
             }
             BhSt::BndSync2 => {
-                if self.step_no + 1 == self.params.timesteps {
-                    self.body_idx = 0;
-                    self.st = BhSt::FinNext;
+                if self.params.reclaim {
+                    // Retire this step's cells — the op-stream twin of the
+                    // `ctx.end_epoch()` in the threaded closure.
+                    self.st = BhSt::StepEpoch;
+                    Some(Op::EndEpoch)
                 } else {
-                    self.step_no += 1;
-                    self.st = BhSt::StepBegin;
+                    self.finish_step();
+                    None
                 }
+            }
+            BhSt::StepEpoch => {
+                self.finish_step();
                 None
             }
             BhSt::FinNext => {
@@ -1722,12 +1781,113 @@ mod tests {
 
     #[test]
     fn simulated_cell_stays_compact() {
-        // The packed-children layout is what keeps million-cell sweeps cheap;
-        // a regression here silently doubles the memory of every mega run.
+        // The packed-children + u32-work layout is what keeps million-cell
+        // sweeps cheap; a regression here silently inflates the memory of
+        // every mega run. The payload is 105 bytes (64 geometry/COM + 32
+        // packed children + 4 work + 4 count + 1 depth); f64 alignment pads
+        // the struct to 112.
         assert!(
             std::mem::size_of::<Cell>() <= 112,
             "Cell grew to {} bytes",
             std::mem::size_of::<Cell>()
+        );
+    }
+
+    #[test]
+    fn work_clamp_saturates_at_u32_max() {
+        assert_eq!(clamp_work(0), 0);
+        assert_eq!(clamp_work(12345), 12345);
+        assert_eq!(clamp_work(u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(clamp_work(u64::from(u32::MAX) + 1), u32::MAX);
+        assert_eq!(u32::MAX.saturating_add(clamp_work(u64::MAX)), u32::MAX);
+    }
+
+    #[test]
+    fn reclamation_does_not_change_simulated_quantities() {
+        // The lifecycle acceptance at app level: frees are pure bookkeeping,
+        // so every simulated quantity — time, congestion, traffic, protocol
+        // counters, per-phase regions — is bit-identical with and without
+        // per-step reclamation; only the variable-lifecycle statistics move.
+        let mut params = BhParams {
+            n_bodies: 250,
+            timesteps: 3,
+            warmup_steps: 1,
+            theta: 0.9,
+            dt: 0.01,
+            include_compute: true,
+            reclaim: true,
+        };
+        let bodies = plummer_bodies(31, params.n_bodies);
+        for strategy in [
+            StrategyKind::AccessTree(TreeShape::quad()),
+            StrategyKind::FixedHome,
+        ] {
+            let on = run_shared_driven(diva(4, strategy), params, &bodies);
+            params.reclaim = false;
+            let off = run_shared_driven(diva(4, strategy), params, &bodies);
+            params.reclaim = true;
+            assert_eq!(on.bodies, off.bodies, "{strategy:?}");
+            assert_eq!(on.interactions, off.interactions, "{strategy:?}");
+            let (a, b) = (&on.report, &off.report);
+            assert_eq!(a.total_time, b.total_time, "{strategy:?}");
+            assert_eq!(a.link_stats, b.link_stats, "{strategy:?}");
+            assert_eq!(a.messages_sent, b.messages_sent, "{strategy:?}");
+            assert_eq!(a.bytes_sent, b.bytes_sent, "{strategy:?}");
+            assert_eq!(a.compute_time, b.compute_time, "{strategy:?}");
+            assert_eq!(a.barriers, b.barriers, "{strategy:?}");
+            assert_eq!(a.regions, b.regions, "{strategy:?}");
+            for c in dm_diva::Counter::ALL {
+                assert_eq!(a.counter(c), b.counter(c), "{strategy:?} {}", c.name());
+            }
+            // ... while reclamation itself is observable.
+            assert!(a.vars_freed > 0, "{strategy:?}");
+            assert_eq!(b.vars_freed, 0, "{strategy:?}");
+            assert!(
+                a.live_vars_high_water < b.live_vars_high_water,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn live_var_high_water_stays_flat_across_timesteps_with_reclamation() {
+        // The reclamation acceptance: with per-step frees the live-variable
+        // peak is O(bodies + cells per step) — flat in the step count —
+        // while without them the protocol state grows with every rebuilt
+        // tree.
+        let run = |timesteps: usize, reclaim: bool| {
+            let params = BhParams {
+                n_bodies: 300,
+                timesteps,
+                warmup_steps: 0,
+                theta: 0.9,
+                dt: 0.01,
+                include_compute: false,
+                reclaim,
+            };
+            let bodies = plummer_bodies(47, params.n_bodies);
+            run_shared_driven(
+                diva(4, StrategyKind::AccessTree(TreeShape::quad())),
+                params,
+                &bodies,
+            )
+            .report
+            .live_vars_high_water
+        };
+        let one = run(1, true);
+        let four = run(4, true);
+        // Tree shapes drift as the bodies move, so allow a small margin —
+        // but nothing near another step's worth of cells.
+        assert!(
+            four <= one + one / 4,
+            "live high-water grew with steps despite reclamation: {one} -> {four}"
+        );
+        let four_leaky = run(4, false);
+        // Leaky runs accumulate a fresh tree per step (bodies dominate the
+        // baseline, so the total is ~1.5-2x at four steps and keeps growing).
+        assert!(
+            four_leaky > four * 3 / 2,
+            "without reclamation the peak should grow steeply: {four_leaky} vs {four}"
         );
     }
 
@@ -1740,6 +1900,7 @@ mod tests {
             theta: 0.7,
             dt: 0.01,
             include_compute: false,
+            reclaim: true,
         };
         let bodies = plummer_bodies(5, params.n_bodies);
         let expected = reference_simulation(&bodies, params.theta, params.dt, params.timesteps);
@@ -1774,6 +1935,7 @@ mod tests {
             theta: 0.9,
             dt: 0.01,
             include_compute: true,
+            reclaim: true,
         };
         let bodies = plummer_bodies(13, params.n_bodies);
         for side in [2usize, 4] {
@@ -1806,6 +1968,7 @@ mod tests {
             theta: 1.0,
             dt: 0.025,
             include_compute: true,
+            reclaim: true,
         };
         let bodies = plummer_bodies(99, params.n_bodies);
         let strategy = StrategyKind::AccessTree(TreeShape::lk(4, 8));
@@ -1825,6 +1988,7 @@ mod tests {
             theta: 1.0,
             dt: 0.01,
             include_compute: true,
+            reclaim: true,
         };
         let bodies = plummer_bodies(9, params.n_bodies);
         let out = run_shared_prototype(
@@ -1864,6 +2028,7 @@ mod tests {
             theta: 1.0,
             dt: 0.01,
             include_compute: false,
+            reclaim: true,
         };
         let bodies = plummer_bodies(21, params.n_bodies);
         let at = run_shared_prototype(

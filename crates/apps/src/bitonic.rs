@@ -170,6 +170,11 @@ pub fn run_shared_prototype(mut diva: Diva, params: BitonicParams) -> BitonicOut
             ctx.write(vars[wire], mine.clone());
             ctx.barrier();
         }
+        // All merge&split steps are behind the last barrier: the wire
+        // variables are dead, so each processor frees its own. Pure
+        // bookkeeping — all simulated quantities are bit-identical to a
+        // leaking run; only the variable-lifecycle statistics move.
+        ctx.free(vars[wire]);
         (wire, mine)
     });
     let mut keys_per_wire = vec![Vec::new(); p];
@@ -196,6 +201,8 @@ enum BtState {
     Written,
     /// Post-write barrier passed; start the next step.
     BetweenRounds,
+    /// The own (now dead) wire variable was freed after the last step.
+    Freed,
     /// All steps done.
     Finish,
 }
@@ -214,7 +221,9 @@ struct BitonicProgram {
 }
 
 impl BitonicProgram {
-    /// Issue the partner read of step `step_idx`, or the end of the program.
+    /// Issue the partner read of step `step_idx`, or the end of the program
+    /// (freeing the own, now dead, wire variable first — the op-stream twin
+    /// of the `ctx.free` in the threaded closure).
     fn next_round(&mut self) -> Op {
         match self.schedule[self.wire].get(self.step_idx) {
             Some(&(partner, _)) => {
@@ -222,8 +231,8 @@ impl BitonicProgram {
                 Op::Read(self.vars[partner])
             }
             None => {
-                self.state = BtState::Finish;
-                Op::Done
+                self.state = BtState::Freed;
+                Op::Free(self.var_own)
             }
         }
     }
@@ -267,6 +276,10 @@ impl ProcProgram for BitonicProgram {
                 Op::Barrier
             }
             BtState::BetweenRounds => self.next_round(),
+            BtState::Freed => {
+                self.state = BtState::Finish;
+                Op::Done
+            }
             BtState::Finish => Op::Done,
         }
     }

@@ -151,6 +151,12 @@ pub fn run_shared_prototype(mut diva: Diva, params: MatmulParams) -> MatmulOutco
         ctx.region("write-phase");
         ctx.write(vars[i * q + j], h.clone());
         ctx.barrier();
+        // The blocks are dead after the final barrier: each processor frees
+        // its own, exercising full copy-set teardown (readers of the block
+        // hold copies all over the mesh). Pure bookkeeping — all simulated
+        // quantities are bit-identical to a run that leaks the blocks; only
+        // the report's variable-lifecycle statistics move.
+        ctx.free(vars[i * q + j]);
         h
     });
     MatmulOutcome {
@@ -175,7 +181,9 @@ enum MmState {
     WriteOwn,
     /// Own block written; final barrier.
     FinalBarrier,
-    /// Final barrier passed; finish.
+    /// Final barrier passed; free the own (now dead) block.
+    FreeOwn,
+    /// Block freed; finish.
     Finish,
 }
 
@@ -269,8 +277,12 @@ impl ProcProgram for MatmulProgram {
                 )
             }
             MmState::FinalBarrier => {
-                self.state = MmState::Finish;
+                self.state = MmState::FreeOwn;
                 Op::Barrier
+            }
+            MmState::FreeOwn => {
+                self.state = MmState::Finish;
+                Op::Free(self.vars[self.i * self.q + self.j])
             }
             MmState::Finish => Op::Done,
         }

@@ -92,6 +92,7 @@ fn bench_barnes_hut() {
         theta: 1.0,
         dt: 0.01,
         include_compute: true,
+        reclaim: true,
     };
     let bodies = plummer_bodies(77, params.n_bodies);
     for (name, strategy) in [

@@ -37,6 +37,10 @@ pub struct BhRow {
     pub force_compute_ns: u64,
     /// Total interactions computed (sanity/diagnostics).
     pub interactions: u64,
+    /// Peak number of simultaneously live DIVA variables — flat in the
+    /// time-step count when per-step reclamation is on, growing with every
+    /// rebuilt tree when it is off.
+    pub live_vars_peak: u64,
 }
 
 crate::impl_to_json!(BhRow {
@@ -51,6 +55,7 @@ crate::impl_to_json!(BhRow {
     force_time_ns,
     force_compute_ns,
     interactions,
+    live_vars_peak,
 });
 
 fn report_to_row(
@@ -81,6 +86,7 @@ fn report_to_row(
         force_time_ns: force.as_ref().map(|r| r.wall_time).unwrap_or(0),
         force_compute_ns: force.as_ref().map(|r| r.compute_time).unwrap_or(0),
         interactions,
+        live_vars_peak: report.live_vars_high_water,
     }
 }
 
@@ -120,6 +126,8 @@ pub struct SweepMeta {
     pub theta: f64,
     /// Seed of the run.
     pub seed: u64,
+    /// Whether per-step variable reclamation was on.
+    pub reclaim: bool,
 }
 
 crate::impl_to_json!(SweepMeta {
@@ -128,6 +136,7 @@ crate::impl_to_json!(SweepMeta {
     warmup_steps,
     theta,
     seed,
+    reclaim,
 });
 
 /// A Barnes-Hut sweep: metadata plus measured rows.
@@ -141,6 +150,16 @@ pub struct BhSweep {
 
 crate::impl_to_json!(BhSweep { meta, rows });
 
+/// Apply the harness-level lifecycle options (`--no-reclaim`,
+/// `--timesteps N`) to a sweep's parameter prototype.
+pub fn apply_lifecycle_opts(params: &mut BhParams, opts: &HarnessOpts) {
+    params.reclaim = opts.reclaim;
+    if let Some(t) = opts.timesteps {
+        params.timesteps = t.max(1);
+        params.warmup_steps = params.warmup_steps.min(params.timesteps - 1);
+    }
+}
+
 fn sweep_meta(opts: &HarnessOpts, params: &BhParams) -> SweepMeta {
     SweepMeta {
         scale: opts.scale().name().to_string(),
@@ -148,6 +167,7 @@ fn sweep_meta(opts: &HarnessOpts, params: &BhParams) -> SweepMeta {
         warmup_steps: params.warmup_steps,
         theta: params.theta,
         seed: opts.seed,
+        reclaim: params.reclaim,
     }
 }
 
@@ -188,6 +208,7 @@ pub fn body_sweep(opts: &HarnessOpts) -> BhSweep {
             ..BhParams::new(0)
         },
     };
+    apply_lifecycle_opts(&mut params_proto, opts);
     let mut rows = Vec::new();
     for &n in &body_counts {
         params_proto.n_bodies = n;
@@ -235,6 +256,8 @@ pub fn scaling_sweep(opts: &HarnessOpts) -> BhSweep {
             StrategyKind::AccessTree(TreeShape::lk(4, 8)),
         ),
     ];
+    let mut params_proto = params_proto;
+    apply_lifecycle_opts(&mut params_proto, opts);
     let mut rows = Vec::new();
     for &mesh in &meshes {
         let n = bodies_per_proc * mesh.0 * mesh.1;
@@ -263,6 +286,7 @@ mod tests {
             theta: 1.0,
             dt: 0.01,
             include_compute: true,
+            reclaim: true,
         };
         let row = run_point(
             (4, 4),
@@ -279,6 +303,10 @@ mod tests {
         assert!(row.force_compute_ns > 0);
         assert!(row.force_time_ns >= row.force_compute_ns);
         assert!(row.interactions > 300);
+        assert!(
+            row.live_vars_peak > 300,
+            "bodies alone exceed 300 live vars"
+        );
         // Phase congestion cannot exceed total congestion.
         assert!(row.tree_build_congestion_msgs <= row.congestion_msgs);
         assert!(row.force_congestion_msgs <= row.congestion_msgs);

@@ -16,6 +16,7 @@ fn main() {
         "force congestion[msgs]",
         "force time[s]",
         "local compute[s]",
+        "live vars peak",
     ]);
     for r in &sweep.rows {
         table.row(vec![
@@ -24,6 +25,7 @@ fn main() {
             r.force_congestion_msgs.to_string(),
             secs(r.force_time_ns),
             secs(r.force_compute_ns),
+            r.live_vars_peak.to_string(),
         ]);
     }
     println!(

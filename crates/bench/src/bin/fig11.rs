@@ -20,6 +20,7 @@ fn main() {
         "congestion[msgs]",
         "exec time[s]",
         "force local compute[s]",
+        "live vars peak",
     ]);
     for r in &sweep.rows {
         table.row(vec![
@@ -29,6 +30,7 @@ fn main() {
             r.congestion_msgs.to_string(),
             secs(r.exec_time_ns),
             secs(r.force_compute_ns),
+            r.live_vars_peak.to_string(),
         ]);
     }
     println!(

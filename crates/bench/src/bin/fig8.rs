@@ -13,13 +13,20 @@ use dm_bench::HarnessOpts;
 fn main() {
     let opts = HarnessOpts::from_args();
     let sweep = body_sweep(&opts);
-    let mut table = Table::new(&["bodies", "strategy", "congestion[msgs]", "exec time[s]"]);
+    let mut table = Table::new(&[
+        "bodies",
+        "strategy",
+        "congestion[msgs]",
+        "exec time[s]",
+        "live vars peak",
+    ]);
     for r in &sweep.rows {
         table.row(vec![
             r.n_bodies.to_string(),
             r.strategy.clone(),
             r.congestion_msgs.to_string(),
             secs(r.exec_time_ns),
+            r.live_vars_peak.to_string(),
         ]);
     }
     println!(

@@ -16,6 +16,7 @@ fn main() {
         "strategy",
         "tree-build congestion[msgs]",
         "tree-build time[s]",
+        "live vars peak",
     ]);
     for r in &sweep.rows {
         table.row(vec![
@@ -23,6 +24,7 @@ fn main() {
             r.strategy.clone(),
             r.tree_build_congestion_msgs.to_string(),
             secs(r.tree_build_time_ns),
+            r.live_vars_peak.to_string(),
         ]);
     }
     println!(

@@ -45,11 +45,15 @@ fn run_barnes_hut(opts: &HarnessOpts, sides: &[usize]) -> Vec<BhRow> {
     // bodies per processor keeps the per-point runtime in minutes while the
     // 64×64 point still simulates ≥100 000 bodies.
     let bodies_per_proc = 25;
-    let params_proto = BhParams {
+    let mut params_proto = BhParams {
         timesteps: 3,
         warmup_steps: 1,
         ..BhParams::new(0)
     };
+    // `--timesteps 7` pushes a mega sweep to the paper's step count —
+    // affordable only because per-step reclamation (`reclaim`, on unless
+    // `--no-reclaim`) caps protocol state at O(cells per step).
+    bh_exp::apply_lifecycle_opts(&mut params_proto, opts);
     let strategies = [
         ("fixed home".to_string(), StrategyKind::FixedHome),
         (
@@ -111,6 +115,7 @@ fn main() {
             "congestion[msgs]",
             "exec time[s]",
             "force local compute[s]",
+            "live vars peak",
         ]);
         for r in &payload.barnes_hut {
             table.row(vec![
@@ -120,6 +125,7 @@ fn main() {
                 r.congestion_msgs.to_string(),
                 secs(r.exec_time_ns),
                 secs(r.force_compute_ns),
+                r.live_vars_peak.to_string(),
             ]);
         }
         println!("Beyond-paper scaling — Barnes-Hut, 25 bodies per processor");

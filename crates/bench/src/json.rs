@@ -43,6 +43,12 @@ impl ToJson for String {
     }
 }
 
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
 impl ToJson for u64 {
     fn write_json(&self, out: &mut String) {
         out.push_str(&self.to_string());
@@ -119,6 +125,8 @@ mod tests {
     #[test]
     fn scalars_and_strings_encode() {
         assert_eq!(5u64.to_json(), "5");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(false.to_json(), "false");
         assert_eq!(2.5f64.to_json(), "2.5");
         assert_eq!(f64::NAN.to_json(), "null");
         assert_eq!("a\"b\\c\nd".to_json(), "\"a\\\"b\\\\c\\nd\"");

@@ -83,6 +83,15 @@ pub struct HarnessOpts {
     pub json: Option<String>,
     /// Optional seed override.
     pub seed: u64,
+    /// Per-step variable reclamation for the Barnes-Hut figures
+    /// (`--no-reclaim` turns it off). Simulated quantities are bit-identical
+    /// either way; only the live-variable peak — and the host memory of a
+    /// long sweep — differ.
+    pub reclaim: bool,
+    /// Optional override of the Barnes-Hut time-step count
+    /// (`--timesteps N`); reclamation is what makes large step counts
+    /// affordable at mega scale.
+    pub timesteps: Option<usize>,
 }
 
 impl Default for HarnessOpts {
@@ -93,6 +102,8 @@ impl Default for HarnessOpts {
             mega: false,
             json: None,
             seed: 0x5EED,
+            reclaim: true,
+            timesteps: None,
         }
     }
 }
@@ -131,6 +142,14 @@ impl HarnessOpts {
                 "--paper" => opts.paper = true,
                 "--smoke" => opts.smoke = true,
                 "--mega" => opts.mega = true,
+                "--no-reclaim" => opts.reclaim = false,
+                "--timesteps" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(t) => {
+                        opts.timesteps = Some(t);
+                        i += 1;
+                    }
+                    None => eprintln!("--timesteps needs a positive integer value; ignoring"),
+                },
                 flag if extra_flags.contains(&flag) => {}
                 "--json" => {
                     i += 1;
@@ -144,7 +163,10 @@ impl HarnessOpts {
                         .unwrap_or(opts.seed);
                 }
                 "--help" | "-h" => {
-                    eprintln!("usage: <fig> [--smoke|--paper|--mega] [--json FILE] [--seed N]");
+                    eprintln!(
+                        "usage: <fig> [--smoke|--paper|--mega] [--json FILE] [--seed N] \
+                         [--no-reclaim] [--timesteps N]"
+                    );
                     std::process::exit(0);
                 }
                 other => eprintln!("ignoring unknown argument {other}"),

@@ -93,3 +93,12 @@ golden!(
     env!("CARGO_BIN_EXE_scale"),
     &["--smoke", "--bh"]
 );
+// The lifecycle gate: with reclamation disabled every simulated quantity must
+// match the reclaim-on golden column for column — only the live-variable
+// peak may differ (it grows with the leaked per-step trees).
+golden!(
+    scale_bh_noreclaim_smoke,
+    "scale_bh_noreclaim",
+    env!("CARGO_BIN_EXE_scale"),
+    &["--smoke", "--bh", "--no-reclaim"]
+);

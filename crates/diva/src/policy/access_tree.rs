@@ -99,6 +99,12 @@ impl CopySet {
         fresh
     }
 
+    /// Clear all members (used when a pooled set is recycled for a newly
+    /// registered variable).
+    fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Remove `node`; returns whether it was present.
     fn remove(&mut self, node: &TreeNodeId) -> bool {
         let w = &mut self.words[node.index() / 64];
@@ -219,6 +225,10 @@ pub struct AccessTreePolicy {
     /// Recycled transaction records (path and plan buffers keep their
     /// capacity across transactions).
     tx_pool: Vec<AtTx>,
+    /// Recycled copy-set bit vectors from freed variables: a tree-sized
+    /// allocation is reused instead of reallocated for every registration
+    /// once variables are freed and recycled (the Barnes-Hut cell churn).
+    copyset_pool: Vec<CopySet>,
     /// BFS visit stamps per tree node (generation-tagged so the scratch is
     /// never cleared).
     bfs_seen: Vec<u64>,
@@ -240,6 +250,7 @@ impl AccessTreePolicy {
             txs: FastMap::default(),
             locks: LockTable::new(),
             tx_pool: Vec::new(),
+            copyset_pool: Vec::new(),
             bfs_seen: vec![0; tree_len],
             bfs_gen: 0,
         }
@@ -815,19 +826,58 @@ impl Policy for AccessTreePolicy {
         let root = NodeId(self.rng.gen_range(0..mesh.nodes() as u32));
         let seed = self.rng.next_u64();
         let leaf = self.embedder.tree().leaf_of(owner);
-        let mut copies = CopySet::new(self.embedder.tree().len());
+        // Reuse the bitset allocation of a previously freed variable.
+        let mut copies = match self.copyset_pool.pop() {
+            Some(mut set) => {
+                set.clear();
+                set
+            }
+            None => CopySet::new(self.embedder.tree().len()),
+        };
         copies.insert(leaf);
         let idx = var.index();
         if self.vars.len() <= idx {
             self.vars.resize_with(idx + 1, || None);
         }
         let _ = bytes; // size is tracked by the registry, not per policy
+        debug_assert!(
+            self.vars[idx].is_none(),
+            "slot of {var} was recycled without a free_var teardown"
+        );
         self.vars[idx] = Some(AtVar {
             placement: VarPlacement { root, seed },
             copies,
             top: leaf,
             gate: VarGate::new(),
         });
+    }
+
+    fn free_var(&mut self, env: &mut dyn PolicyEnv, var: VarHandle) {
+        let v = self
+            .vars
+            .get_mut(var.index())
+            .and_then(Option::take)
+            .unwrap_or_else(|| panic!("free of unknown variable {var}"));
+        assert!(
+            v.gate.is_idle(),
+            "freeing {var} with active or queued transactions"
+        );
+        let tree = self.embedder.tree_arc();
+        for node in v.copies.iter() {
+            if let Some(p) = tree.node(node).proc {
+                env.set_presence(p, var, false);
+            }
+        }
+        self.locks.evict(var);
+        self.copyset_pool.push(v.copies);
+    }
+
+    fn end_epoch(&mut self, _env: &mut dyn PolicyEnv) {
+        // Trim the dense per-variable vector back to the live prefix so it
+        // does not keep the high-water length of a past epoch.
+        while self.vars.last().is_some_and(Option::is_none) {
+            self.vars.pop();
+        }
     }
 
     fn on_access(

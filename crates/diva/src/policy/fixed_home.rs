@@ -307,12 +307,42 @@ impl Policy for FixedHomePolicy {
         if self.vars.len() <= idx {
             self.vars.resize_with(idx + 1, || None);
         }
+        debug_assert!(
+            self.vars[idx].is_none(),
+            "slot of {var} was recycled without a free_var teardown"
+        );
         self.vars[idx] = Some(FhVar {
             home,
             owner: Some(owner),
             copies,
             gate: VarGate::new(),
         });
+    }
+
+    fn free_var(&mut self, env: &mut dyn PolicyEnv, var: VarHandle) {
+        let v = self
+            .vars
+            .get_mut(var.index())
+            .and_then(Option::take)
+            .unwrap_or_else(|| panic!("free of unknown variable {var}"));
+        assert!(
+            v.gate.is_idle(),
+            "freeing {var} with active or queued transactions"
+        );
+        // Every presence-true processor is in the copy set (the owner
+        // included), so revoking the copies revokes all fast-path bits.
+        // Iteration order is free to vary: clearing independent bits has no
+        // observable effect beyond the bits themselves.
+        for p in v.copies {
+            env.set_presence(p, var, false);
+        }
+        self.locks.evict(var);
+    }
+
+    fn end_epoch(&mut self, _env: &mut dyn PolicyEnv) {
+        while self.vars.last().is_some_and(Option::is_none) {
+            self.vars.pop();
+        }
     }
 
     fn on_access(

@@ -139,6 +139,23 @@ impl LockTable {
         }
     }
 
+    /// Evict the lock entry of a variable that is being freed. The lock must
+    /// be quiescent: freeing a variable whose lock is still held (which
+    /// includes an unlock whose release message has not yet reached the
+    /// manager) or contended is an application lifecycle bug and fails
+    /// loudly — a silently dropped entry would otherwise be recreated for a
+    /// recycled handle and corrupt an unrelated variable's lock.
+    pub fn evict(&mut self, var: VarHandle) {
+        if let Some(state) = self.locks.remove(&var) {
+            assert!(
+                state.held_by.is_none() && state.queue.is_empty(),
+                "freeing {var} whose lock is held by {:?} with {} waiter(s)",
+                state.held_by,
+                state.queue.len()
+            );
+        }
+    }
+
     /// Current holder of the lock of `var`, if any (for tests and diagnostics).
     pub fn holder(&self, var: VarHandle) -> Option<NodeId> {
         self.locks.get(&var).and_then(|s| s.held_by)

@@ -323,12 +323,37 @@ pub trait PolicyEnv {
 }
 
 /// A data-management strategy.
+///
+/// Besides the protocol callbacks, a policy participates in the **variable
+/// lifecycle** (see [`crate::var`]): `register_var` sets up per-variable
+/// protocol state, `free_var` tears it down again when the runtime retires
+/// the variable, and `end_epoch` lets the policy compact bulk bookkeeping at
+/// application epoch boundaries. Lifecycle calls are pure bookkeeping: they
+/// send no messages and consume no simulated time, so a run with reclamation
+/// produces bit-identical simulated quantities to one without.
 pub trait Policy: Send {
     /// Human-readable strategy name (used in reports and tables).
     fn name(&self) -> String;
 
     /// Register a newly created variable whose only copy lives at `owner`.
+    /// The slot of `var` may be recycled from an earlier freed variable.
     fn register_var(&mut self, var: VarHandle, owner: NodeId, bytes: u32);
+
+    /// Tear down all per-variable protocol state of `var`: clear the copy
+    /// set, revoke every presence bit through
+    /// [`PolicyEnv::set_presence`], and evict the lock entry. The variable
+    /// must be quiescent — no in-flight transactions, no held or queued lock
+    /// (the runtime's applications free at barriers, where this holds).
+    ///
+    /// # Panics
+    /// Panics if the variable is unknown, still gated, or its lock is held.
+    fn free_var(&mut self, env: &mut dyn PolicyEnv, var: VarHandle);
+
+    /// An application epoch ended (a processor executed
+    /// [`crate::Op::EndEpoch`] and the runtime freed its epoch variables).
+    /// Policies use this to compact bulk state — e.g. trimming the dense
+    /// per-variable vectors back to the live prefix.
+    fn end_epoch(&mut self, env: &mut dyn PolicyEnv);
 
     /// A processor issued a read or write that was not satisfied from its
     /// local cache.

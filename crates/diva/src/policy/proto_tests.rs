@@ -438,6 +438,223 @@ fn fh_lock_contention_is_serialised_at_the_home() {
     assert!(env.completed_txs().contains(&TxId(2)));
 }
 
+// ---------------------------------------------------------------------------
+// Variable lifecycle (free / epoch teardown)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn at_free_tears_down_copies_presence_and_locks() {
+    let (mut policy, mut env) = setup_at(TreeShape::quad(), 4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(0), 64);
+    // Spread copies over the tree and take/release the lock so a lock entry
+    // exists.
+    for (i, reader) in [5u32, 10, 15].iter().enumerate() {
+        policy.on_access(
+            &mut env,
+            TxId(i as u64 + 1),
+            NodeId(*reader),
+            var,
+            AccessKind::Read,
+        );
+        env.run(&mut policy);
+    }
+    policy.on_lock(&mut env, TxId(50), NodeId(5), var);
+    env.run(&mut policy);
+    policy.on_unlock(&mut env, TxId(51), NodeId(5), var);
+    env.run(&mut policy);
+    assert!(policy.copy_set(var).unwrap().len() > 1);
+
+    policy.free_var(&mut env, var);
+    assert!(policy.copy_set(var).is_none(), "copy set must be torn down");
+    for p in 0..16u32 {
+        assert!(
+            !env.has_presence(NodeId(p), var),
+            "presence of processor {p} must be revoked"
+        );
+    }
+    // The slot can be recycled by a new registration (a fresh incarnation
+    // reusing the pooled copy-set allocation).
+    policy.register_var(var, NodeId(9), 32);
+    policy.assert_copy_invariants(var);
+    assert_eq!(policy.copy_set(var).unwrap().len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "lock is held")]
+fn at_free_of_a_locked_variable_fails_loudly() {
+    let (mut policy, mut env) = setup_at(TreeShape::quad(), 4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(0), 64);
+    policy.on_lock(&mut env, TxId(1), NodeId(3), var);
+    env.run(&mut policy);
+    policy.free_var(&mut env, var);
+}
+
+#[test]
+fn fh_free_tears_down_copies_and_presence() {
+    let (mut policy, mut env) = setup_fh(4);
+    let var = VarHandle(0);
+    policy.register_var(var, NodeId(2), 64);
+    for (i, r) in [3u32, 7, 11].iter().enumerate() {
+        policy.on_access(
+            &mut env,
+            TxId(i as u64 + 1),
+            NodeId(*r),
+            var,
+            AccessKind::Read,
+        );
+        env.run(&mut policy);
+    }
+    assert_eq!(policy.copy_set(var).len(), 4);
+    policy.free_var(&mut env, var);
+    for p in 0..16u32 {
+        assert!(!env.has_presence(NodeId(p), var));
+    }
+    // Recycled incarnation starts from a clean single-copy state.
+    policy.register_var(var, NodeId(5), 64);
+    assert_eq!(policy.copy_set(var).len(), 1);
+    assert_eq!(policy.owner_of(var), Some(NodeId(5)));
+}
+
+/// The lifecycle property loop: a pseudo-random interleaving of register,
+/// read/write, lock/unlock and free over a pool of slots, for the access-tree
+/// shapes and the fixed-home strategy. After every free the policy must have
+/// torn down the copy set and every presence bit; after every re-register the
+/// recycled slot must start from a clean single-copy state.
+#[test]
+fn lifecycle_property_loop_over_all_policies() {
+    enum P {
+        At(AccessTreePolicy),
+        Fh(FixedHomePolicy),
+    }
+    impl P {
+        fn as_policy(&mut self) -> &mut dyn Policy {
+            match self {
+                P::At(p) => p,
+                P::Fh(p) => p,
+            }
+        }
+        fn copies_len(&self, var: VarHandle) -> usize {
+            match self {
+                P::At(p) => p.copy_set(var).map(|c| c.len()).unwrap_or(0),
+                P::Fh(p) => p.copy_set(var).len(),
+            }
+        }
+        fn check_invariants(&self, var: VarHandle) {
+            if let P::At(p) = self {
+                p.assert_copy_invariants(var);
+            }
+        }
+    }
+
+    let setups: Vec<P> = vec![
+        P::At(AccessTreePolicy::new(
+            &Mesh::square(4),
+            TreeShape::binary(),
+            EmbeddingMode::Modified,
+            7,
+        )),
+        P::At(AccessTreePolicy::new(
+            &Mesh::square(4),
+            TreeShape::quad(),
+            EmbeddingMode::Modified,
+            7,
+        )),
+        P::At(AccessTreePolicy::new(
+            &Mesh::square(4),
+            TreeShape::lk(2, 4),
+            EmbeddingMode::Modified,
+            7,
+        )),
+        P::Fh(FixedHomePolicy::new(&Mesh::square(4), 7)),
+    ];
+    for mut p in setups {
+        let mut env = MockEnv::new(Mesh::square(4));
+        const SLOTS: u32 = 8;
+        // live[s] = Some(locked_by) once slot s is registered.
+        let mut live: Vec<Option<Option<NodeId>>> = vec![None; SLOTS as usize];
+        let mut state = 0xD1CE_5EED_u64;
+        let mut tx = 0u64;
+        for _ in 0..400 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let slot = ((state >> 33) % u64::from(SLOTS)) as usize;
+            let var = VarHandle(slot as u32);
+            let proc = NodeId((state >> 17) as u32 % 16);
+            tx += 1;
+            match (state >> 7) % 6 {
+                // Register (if free) — recycles the slot.
+                0 => {
+                    if live[slot].is_none() {
+                        p.as_policy().register_var(var, proc, 64);
+                        live[slot] = Some(None);
+                        assert_eq!(p.copies_len(var), 1, "fresh incarnation");
+                    }
+                }
+                // Free (if live and unlocked) — full teardown.
+                1 => {
+                    if live[slot] == Some(None) {
+                        p.as_policy().free_var(&mut env, var);
+                        live[slot] = None;
+                        for q in 0..16u32 {
+                            assert!(
+                                !env.has_presence(NodeId(q), var),
+                                "presence left behind after free"
+                            );
+                        }
+                    }
+                }
+                // Read or write.
+                2 | 3 => {
+                    if live[slot].is_some() {
+                        let kind = if (state >> 13) & 1 == 0 {
+                            AccessKind::Read
+                        } else {
+                            AccessKind::Write
+                        };
+                        p.as_policy().on_access(&mut env, TxId(tx), proc, var, kind);
+                        env.run(p.as_policy());
+                        p.check_invariants(var);
+                        assert!(p.copies_len(var) >= 1);
+                    }
+                }
+                // Lock.
+                4 => {
+                    if live[slot] == Some(None) {
+                        p.as_policy().on_lock(&mut env, TxId(tx), proc, var);
+                        env.run(p.as_policy());
+                        live[slot] = Some(Some(proc));
+                    }
+                }
+                // Unlock (frees the slot for future eviction).
+                _ => {
+                    if let Some(Some(holder)) = live[slot] {
+                        p.as_policy().on_unlock(&mut env, TxId(tx), holder, var);
+                        env.run(p.as_policy());
+                        live[slot] = Some(None);
+                    }
+                }
+            }
+        }
+        // Drain: unlock and free everything that is still live — the final
+        // lock-table eviction must find every entry quiescent.
+        for slot in 0..SLOTS as usize {
+            let var = VarHandle(slot as u32);
+            if let Some(Some(holder)) = live[slot] {
+                p.as_policy()
+                    .on_unlock(&mut env, TxId(9000 + slot as u64), holder, var);
+                env.run(p.as_policy());
+                live[slot] = Some(None);
+            }
+            if live[slot].is_some() {
+                p.as_policy().free_var(&mut env, var);
+            }
+        }
+    }
+}
+
 #[test]
 fn fh_many_readers_make_the_home_a_message_hotspot() {
     // Every read miss routes through the home — the congestion offset the

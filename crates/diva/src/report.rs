@@ -58,6 +58,15 @@ pub struct RunReport {
     pub compute_time: SimTime,
     /// Number of barrier synchronisations executed.
     pub barriers: u64,
+    /// Total variable registrations (pre-run and in-run, including slots
+    /// recycled after a free).
+    pub vars_registered: u64,
+    /// Total variables freed (explicitly or through epoch ends).
+    pub vars_freed: u64,
+    /// Highest number of simultaneously live variables — the footprint of
+    /// the per-variable protocol state. With per-step reclamation this stays
+    /// O(live working set) instead of growing with the run length.
+    pub live_vars_high_water: u64,
 }
 
 impl RunReport {
@@ -73,6 +82,9 @@ impl RunReport {
         bytes_sent: u64,
         compute_time: SimTime,
         barriers: u64,
+        vars_registered: u64,
+        vars_freed: u64,
+        live_vars_high_water: u64,
     ) -> Self {
         RunReport {
             strategy,
@@ -84,6 +96,9 @@ impl RunReport {
             bytes_sent,
             compute_time,
             barriers,
+            vars_registered,
+            vars_freed,
+            live_vars_high_water,
         }
     }
 
@@ -145,6 +160,10 @@ impl RunReport {
             self.messages_sent, self.bytes_sent
         ));
         s.push_str(&format!("barriers:            {}\n", self.barriers));
+        s.push_str(&format!(
+            "variables:           {} registered, {} freed, peak live {}\n",
+            self.vars_registered, self.vars_freed, self.live_vars_high_water
+        ));
         for c in Counter::ALL {
             s.push_str(&format!(
                 "{:<20} {}\n",
@@ -202,6 +221,9 @@ mod tests {
             1234,
             500_000_000,
             3,
+            40,
+            30,
+            10,
         );
         assert_eq!(r.congestion_bytes(), 150);
         assert_eq!(r.congestion_msgs(), 2);
@@ -211,9 +233,13 @@ mod tests {
         assert_eq!(r.comm_time(), 1_500_000_000);
         assert_eq!(r.region("force").unwrap().comm_time(), 6_000);
         assert!(r.region("missing").is_none());
+        assert_eq!(r.vars_registered, 40);
+        assert_eq!(r.vars_freed, 30);
+        assert_eq!(r.live_vars_high_water, 10);
         let s = r.summary();
         assert!(s.contains("4-ary access tree"));
         assert!(s.contains("read_hits"));
         assert!(s.contains("region force"));
+        assert!(s.contains("peak live 10"));
     }
 }

@@ -144,6 +144,17 @@ pub(crate) struct Coordinator<F: Frontend> {
     mailbox: FastMap<(usize, usize, u64), VecDeque<(SimTime, Value)>>,
     pending_recv: FastMap<(usize, usize, u64), VecDeque<SimTime>>,
 
+    /// Per-processor epoch lists: variables allocated during the run (with
+    /// the slot generation at registration time) and not yet retired by an
+    /// `EndEpoch`. A generation mismatch at sweep time means the variable was
+    /// already freed explicitly (and its slot possibly recycled), so the
+    /// sweep skips it.
+    epoch_vars: Vec<Vec<(VarHandle, u32)>>,
+    /// Per-processor length threshold at which the epoch list is compacted
+    /// (dead entries dropped); doubled after each compaction so the cost
+    /// stays amortised O(1) per allocation.
+    epoch_compact_at: Vec<usize>,
+
     /// Double buffer for [`Coordinator::flush_completions`] so the drain
     /// loop reuses one allocation.
     completion_scratch: Vec<(TxId, SimTime)>,
@@ -196,9 +207,23 @@ impl<F: Frontend> Coordinator<F> {
             region_compute: vec![vec![0; nprocs]],
             mailbox: FastMap::default(),
             pending_recv: FastMap::default(),
+            epoch_vars: vec![Vec::new(); nprocs],
+            epoch_compact_at: vec![64; nprocs],
             completion_scratch: Vec::new(),
             last_event_time: 0,
         }
+    }
+
+    /// Retire a variable: policy teardown, payload drop, slot recycling.
+    /// Pure bookkeeping — no messages, no simulated time.
+    fn free_variable(&mut self, var: VarHandle) {
+        self.policy.free_var(&mut self.env, var);
+        debug_assert!(
+            !self.env.shared.any_copy(var),
+            "policy teardown left a presence bit set for {var}"
+        );
+        self.env.shared.clear_value(var);
+        self.env.registry.free(var);
     }
 
     /// Run the event loop to completion; produce the report and hand the
@@ -280,12 +305,51 @@ impl<F: Frontend> Coordinator<F> {
             Request::Alloc { bytes, value, .. } => {
                 let owner = NodeId(proc as u32);
                 let var = self.env.registry.register(bytes, owner);
-                let idx = self.env.shared.push_value(value);
-                debug_assert_eq!(idx, var.index(), "value store out of sync with registry");
+                self.env.shared.store_value(var, value);
                 self.policy.register_var(var, owner, bytes);
                 self.env.shared.set_copy(proc, var, true);
+                // In-run allocations are epoch-scoped: an `EndEpoch` by this
+                // processor retires them in bulk. The generation recognises
+                // slots already recycled by an explicit free.
+                let gen = self.env.registry.generation(var);
+                self.epoch_vars[proc].push((var, gen));
                 self.proc_clock[proc] += self.env.machine.local_access_ns();
                 self.respond(proc, Response::Handle(var));
+            }
+            Request::Free { var, .. } => {
+                self.free_variable(var);
+                // Lazily compact the epoch list once it crosses the
+                // per-processor threshold, dropping entries whose slot
+                // generation moved on: a program that reclaims through
+                // explicit frees alone must not grow its list with the
+                // total allocation count. Doubling the threshold after each
+                // compaction keeps the cost amortised O(1) per allocation.
+                let list = &mut self.epoch_vars[proc];
+                if list.len() >= self.epoch_compact_at[proc] {
+                    let registry = &self.env.registry;
+                    list.retain(|&(v, g)| registry.is_live(v) && registry.generation(v) == g);
+                    self.epoch_compact_at[proc] = (list.len() * 2).max(64);
+                }
+                self.respond(proc, Response::Done);
+            }
+            Request::EndEpoch { .. } => {
+                let list = std::mem::take(&mut self.epoch_vars[proc]);
+                for (var, gen) in &list {
+                    // Skip variables freed explicitly since their allocation
+                    // (their slot generation moved on).
+                    if self.env.registry.is_live(*var) && self.env.registry.generation(*var) == *gen
+                    {
+                        self.free_variable(*var);
+                    }
+                }
+                // Hand the (now empty) list back so its allocation is reused
+                // by the next epoch.
+                let mut list = list;
+                list.clear();
+                self.epoch_vars[proc] = list;
+                self.epoch_compact_at[proc] = 64;
+                self.policy.end_epoch(&mut self.env);
+                self.respond(proc, Response::Done);
             }
             Request::Barrier { .. } => {
                 self.barrier_arrivals += 1;
@@ -511,6 +575,9 @@ impl<F: Frontend> Coordinator<F> {
             self.env.network.bytes_sent(),
             compute_time,
             barriers,
+            self.env.registry.registered_count(),
+            self.env.registry.freed_count(),
+            self.env.registry.high_water() as u64,
         )
     }
 }

@@ -184,6 +184,8 @@ impl<P: ProcProgram> DrivenFrontend<P> {
                 Op::Alloc { bytes, value } => break Request::Alloc { proc, bytes, value },
                 Op::Lock(var) => break Request::Lock { proc, var },
                 Op::Unlock(var) => break Request::Unlock { proc, var },
+                Op::Free(var) => break Request::Free { proc, var },
+                Op::EndEpoch => break Request::EndEpoch { proc },
                 Op::Barrier => break Request::Barrier { proc },
                 Op::Region(name) => break Request::Region { proc, name },
                 Op::Send {

@@ -168,6 +168,12 @@ impl Diva {
     /// copy initially resides at processor `owner` (as in the paper's matrix
     /// experiments, where block `A[i][j]` starts out cached at processor
     /// `p_{i,j}`).
+    ///
+    /// Pre-run variables are *not* epoch-scoped: an
+    /// [`ProcCtx::end_epoch`] / [`Op::EndEpoch`] never retires them. They
+    /// can still be freed explicitly with [`ProcCtx::free`] / [`Op::Free`]
+    /// once dead (the matmul and bitonic applications do exactly that after
+    /// their final barrier).
     pub fn alloc<T: Any + Send + Sync>(&mut self, owner: usize, bytes: u32, value: T) -> VarHandle {
         self.alloc_value(owner, bytes, Arc::new(value))
     }

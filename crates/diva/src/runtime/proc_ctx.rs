@@ -141,6 +141,31 @@ impl ProcCtx {
         debug_assert!(matches!(resp, Response::Done));
     }
 
+    /// Free a global variable: tear down its protocol state and recycle its
+    /// slot (see [`crate::var`] for the lifecycle and handle-reuse rules).
+    ///
+    /// Freeing is pure bookkeeping — it sends no messages and consumes no
+    /// simulated time, so a run that frees its dead variables is
+    /// bit-identical (in simulated quantities) to one that leaks them. The
+    /// variable must be quiescent: free after a barrier, never while another
+    /// processor may still access it or while a lock release is in flight.
+    pub fn free(&mut self, var: VarHandle) {
+        let resp = self.request(Request::Free {
+            proc: self.proc,
+            var,
+        });
+        debug_assert!(matches!(resp, Response::Done));
+    }
+
+    /// Free every variable this processor allocated with
+    /// [`ProcCtx::alloc`] (and did not already free) since its previous
+    /// `end_epoch` call — the bulk form of [`ProcCtx::free`] for per-phase
+    /// allocations.
+    pub fn end_epoch(&mut self) {
+        let resp = self.request(Request::EndEpoch { proc: self.proc });
+        debug_assert!(matches!(resp, Response::Done));
+    }
+
     /// Account `us` microseconds of local computation.
     pub fn compute(&mut self, us: f64) {
         debug_assert!(us >= 0.0);

@@ -4,7 +4,7 @@
 use crate::policy::AccessKind;
 use crate::var::{Value, VarHandle};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// State shared (read-mostly) between all simulated processors and the
 /// coordinator.
@@ -78,12 +78,37 @@ impl SharedState {
         self.values.write().expect("values lock poisoned")[var.index()] = value;
     }
 
-    /// Append the value of a newly allocated variable (its handle must equal
-    /// the current length).
-    pub(crate) fn push_value(&self, value: Value) -> usize {
+    /// Store the value of a newly registered variable. The slot index is
+    /// either the current length (a fresh slot) or inside the store (a
+    /// recycled slot whose previous payload was dropped by
+    /// [`SharedState::clear_value`]).
+    pub(crate) fn store_value(&self, var: VarHandle, value: Value) {
         let mut values = self.values.write().expect("values lock poisoned");
-        values.push(value);
-        values.len() - 1
+        let idx = var.index();
+        if idx == values.len() {
+            values.push(value);
+        } else {
+            // Only a recycled slot may be overwritten — it must still hold
+            // the unit tombstone `clear_value` installed at free time.
+            debug_assert!(
+                values[idx].downcast_ref::<()>().is_some(),
+                "value store out of sync with registry: slot {idx} is not a freed tombstone"
+            );
+            values[idx] = value;
+        }
+    }
+
+    /// Drop the payload of a freed variable. The slot keeps a unit tombstone:
+    /// a read through a stale handle then fails its typed downcast loudly
+    /// instead of returning the retired payload.
+    pub(crate) fn clear_value(&self, var: VarHandle) {
+        self.set_value(var, Arc::new(()));
+    }
+
+    /// Whether any processor still holds a presence bit for `var` (used by a
+    /// debug assertion after policy teardown).
+    pub(crate) fn any_copy(&self, var: VarHandle) -> bool {
+        (0..self.presence.len()).any(|p| self.has_copy(p, var))
     }
 }
 
@@ -120,6 +145,12 @@ pub(crate) enum Request {
     },
     /// Explicit message-passing receive (blocks until a matching send arrives).
     Recv { proc: usize, from: usize, tag: u64 },
+    /// Free a global variable: tear down its protocol state and recycle its
+    /// slot. Pure bookkeeping — costs no simulated time.
+    Free { proc: usize, var: VarHandle },
+    /// End the issuing processor's allocation epoch: free every variable it
+    /// allocated (and did not already free) since its previous epoch end.
+    EndEpoch { proc: usize },
     /// Enter a named measurement region.
     Region { proc: usize, name: String },
     /// The worker's program returned.
@@ -137,6 +168,8 @@ impl Request {
             | Request::Unlock { proc, .. }
             | Request::Send { proc, .. }
             | Request::Recv { proc, .. }
+            | Request::Free { proc, .. }
+            | Request::EndEpoch { proc }
             | Request::Region { proc, .. }
             | Request::Finish { proc } => *proc,
         }

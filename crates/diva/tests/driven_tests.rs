@@ -159,6 +159,143 @@ fn uniform_random_access_parity_threaded_vs_driven() {
     }
 }
 
+/// The lifecycle workload: every processor allocates a scratch variable per
+/// round, publishes it through a pre-allocated pointer, reads its right
+/// neighbour's scratch, and retires the round's allocations with an epoch
+/// end at the barrier. Exercises `Op::Free` (odd processors free explicitly)
+/// and `Op::EndEpoch` (even processors) across recycled slots.
+struct LifecycleProgram {
+    ptrs: Arc<Vec<VarHandle>>,
+    rounds: usize,
+    round: usize,
+    scratch: VarHandle,
+    state: u8,
+    sum: u64,
+}
+
+impl ProcProgram for LifecycleProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        let me = ctx.proc_id();
+        let n = ctx.num_procs();
+        match self.state {
+            0 => {
+                if self.round == self.rounds {
+                    self.state = 6;
+                    return Op::Barrier;
+                }
+                self.state = 1;
+                Op::Alloc {
+                    bytes: 128,
+                    value: Arc::new((self.round * 100 + me) as u64),
+                }
+            }
+            1 => {
+                self.scratch = ctx.take_handle();
+                self.state = 2;
+                Op::Write(self.ptrs[me], Arc::new(self.scratch))
+            }
+            2 => {
+                self.state = 3;
+                Op::Barrier
+            }
+            3 => {
+                self.state = 4;
+                Op::Read(self.ptrs[(me + 1) % n])
+            }
+            4 => {
+                let handle = *ctx.take::<VarHandle>();
+                self.state = 5;
+                Op::Read(handle)
+            }
+            5 => {
+                self.sum += *ctx.take::<u64>();
+                // Quiesce before the frees: a neighbour may still have a
+                // read of this processor's scratch in flight.
+                self.state = 7;
+                Op::Barrier
+            }
+            7 => {
+                self.state = 0;
+                self.round += 1;
+                if me % 2 == 1 {
+                    // Explicit free of the own scratch; the epoch list entry
+                    // is skipped at the next EndEpoch via its generation.
+                    Op::Free(self.scratch)
+                } else {
+                    Op::EndEpoch
+                }
+            }
+            _ => Op::Done,
+        }
+    }
+}
+
+#[test]
+fn lifecycle_ops_parity_threaded_vs_driven() {
+    let rounds = 4;
+    for strategy in [
+        StrategyKind::AccessTree(TreeShape::quad()),
+        StrategyKind::FixedHome,
+    ] {
+        let threaded = {
+            let mut diva = Diva::new(config(4, strategy).with_seed(5));
+            let n = diva.num_procs();
+            let ptrs: Vec<VarHandle> = (0..n).map(|p| diva.alloc(p, 8, VarHandle(0))).collect();
+            let ptrs = Arc::new(ptrs);
+            let outcome = diva.run_prototype(move |ctx| {
+                let me = ctx.proc_id();
+                let n = ctx.num_procs();
+                let mut sum = 0u64;
+                for round in 0..rounds {
+                    let scratch = ctx.alloc(128, (round * 100 + me) as u64);
+                    ctx.write(ptrs[me], scratch);
+                    ctx.barrier();
+                    let handle = *ctx.read::<VarHandle>(ptrs[(me + 1) % n]);
+                    sum += *ctx.read::<u64>(handle);
+                    ctx.barrier();
+                    if me % 2 == 1 {
+                        ctx.free(scratch);
+                    } else {
+                        ctx.end_epoch();
+                    }
+                }
+                ctx.barrier();
+                sum
+            });
+            (outcome.results, outcome.report)
+        };
+        let driven = {
+            let mut diva = Diva::new(config(4, strategy).with_seed(5));
+            let n = diva.num_procs();
+            let ptrs: Vec<VarHandle> = (0..n).map(|p| diva.alloc(p, 8, VarHandle(0))).collect();
+            let ptrs = Arc::new(ptrs);
+            let programs: Vec<LifecycleProgram> = (0..n)
+                .map(|_| LifecycleProgram {
+                    ptrs: Arc::clone(&ptrs),
+                    rounds,
+                    round: 0,
+                    scratch: VarHandle(0),
+                    state: 0,
+                    sum: 0,
+                })
+                .collect();
+            let outcome = diva.run_driven(programs);
+            (
+                outcome
+                    .results
+                    .into_iter()
+                    .map(|p| p.sum)
+                    .collect::<Vec<_>>(),
+                outcome.report,
+            )
+        };
+        assert_eq!(threaded.0, driven.0, "{strategy:?}");
+        assert_eq!(threaded.1, driven.1, "{strategy:?}");
+        assert_eq!(threaded.1.vars_freed, 4 * 16, "{strategy:?}");
+        assert!(threaded.1.live_vars_high_water <= 32 + 1, "{strategy:?}");
+    }
+}
+
 #[test]
 fn driven_mode_is_deterministic_across_runs() {
     let cfg = UniformAccess { rounds: 16 };

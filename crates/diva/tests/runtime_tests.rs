@@ -187,6 +187,95 @@ fn variables_can_be_allocated_during_the_run() {
 }
 
 #[test]
+fn freed_variables_are_recycled_and_the_report_shows_it() {
+    // Every processor repeatedly allocates a scratch variable, publishes work
+    // through it, and retires it with end_epoch at the round barrier — the
+    // Barnes-Hut lifecycle in miniature. The live-variable high-water must
+    // stay at one round's worth of variables regardless of the round count.
+    for cfg in [at_config(4, TreeShape::quad()), fh_config(4)] {
+        let name = cfg.strategy.name();
+        let run = |rounds: usize, cfg: DivaConfig| {
+            let mut diva = Diva::new(cfg);
+            let ptrs: Vec<VarHandle> = (0..16)
+                .map(|p| diva.alloc(p, 8, VarHandle(u32::MAX)))
+                .collect();
+            let ptrs = Arc::new(ptrs);
+            diva.run_prototype(move |ctx| {
+                let me = ctx.proc_id();
+                let mut sum = 0u64;
+                for round in 0..rounds {
+                    let scratch = ctx.alloc(128, (round * 100 + me) as u64);
+                    ctx.write(ptrs[me], scratch);
+                    ctx.barrier();
+                    // Read the left neighbour's scratch variable.
+                    let left = (me + 15) % 16;
+                    let handle = *ctx.read::<VarHandle>(ptrs[left]);
+                    sum += *ctx.read::<u64>(handle);
+                    ctx.barrier();
+                    ctx.end_epoch();
+                }
+                sum
+            })
+        };
+        let two = run(2, cfg.clone());
+        let six = run(6, cfg);
+        // Correctness across recycled handles.
+        for (p, &sum) in two.results.iter().enumerate() {
+            let left = (p + 15) % 16;
+            assert_eq!(sum, left as u64 + (100 + left as u64), "{name}");
+        }
+        // Each round allocates 16 scratch vars; all are freed.
+        assert_eq!(two.report.vars_freed, 32, "{name}");
+        assert_eq!(six.report.vars_freed, 96, "{name}");
+        // High-water is flat in the round count: 16 pointers + one round of
+        // scratch variables (recycling keeps later rounds in the same slots).
+        assert_eq!(
+            two.report.live_vars_high_water, six.report.live_vars_high_water,
+            "{name}"
+        );
+        assert!(six.report.live_vars_high_water <= 32, "{name}");
+    }
+}
+
+#[test]
+fn explicit_free_revokes_copies_everywhere() {
+    // A variable read by every processor is freed by its owner; the freed
+    // slot is recycled by a later allocation and must behave like a fresh
+    // variable (no stale fast-path hits from the previous incarnation).
+    for cfg in [at_config(4, TreeShape::quad()), fh_config(4)] {
+        let name = cfg.strategy.name();
+        let mut diva = Diva::new(cfg);
+        let ptr = diva.alloc(0, 8, VarHandle(u32::MAX));
+        let outcome = diva.run_prototype(move |ctx| {
+            let first = if ctx.proc_id() == 0 {
+                let v = ctx.alloc(512, 7u64);
+                ctx.write(ptr, v);
+                v
+            } else {
+                VarHandle(u32::MAX)
+            };
+            ctx.barrier();
+            let v = *ctx.read::<VarHandle>(ptr);
+            let got = *ctx.read::<u64>(v);
+            ctx.barrier();
+            if ctx.proc_id() == 0 {
+                ctx.free(first);
+                // The freed slot is recycled immediately: same handle, new
+                // incarnation with a different value and a clean copy set.
+                let again = ctx.alloc(512, 9u64);
+                assert_eq!(again, first, "slot must be recycled LIFO");
+                ctx.write(ptr, again);
+            }
+            ctx.barrier();
+            let v2 = *ctx.read::<VarHandle>(ptr);
+            got + *ctx.read::<u64>(v2)
+        });
+        assert_eq!(outcome.results, vec![16u64; 16], "{name}");
+        assert_eq!(outcome.report.vars_freed, 1, "{name}");
+    }
+}
+
+#[test]
 fn fast_path_hits_do_not_touch_the_network() {
     let mut diva = Diva::new(at_config(4, TreeShape::quad()));
     let v = diva.alloc(0, 1024, vec![1u8; 1024]);
