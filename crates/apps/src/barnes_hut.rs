@@ -198,6 +198,11 @@ pub struct BhOutcome {
     pub bodies: Vec<Body>,
     /// Total number of body/cell interactions computed in the force phases.
     pub interactions: u64,
+    /// Event-queue push/pop trace of the run — empty unless the [`Diva`] was
+    /// configured with `trace_queue` (see the `event_queue` bench in
+    /// `dm-bench`, which replays a recorded Barnes-Hut trace against
+    /// alternative queue implementations).
+    pub queue_trace: Vec<dm_diva::QueueOp>,
 }
 
 /// The acceleration exerted on a body at `pos` by a point mass at `src`.
@@ -479,6 +484,7 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
         report: outcome.report,
         bodies: final_bodies,
         interactions,
+        queue_trace: outcome.queue_trace,
     }
 }
 
@@ -844,6 +850,10 @@ enum BhSt {
 /// The event-driven twin of the [`run_shared_prototype`] closure. Operation-equivalent
 /// to the threaded version (bit-identical run reports); the recursion of the
 /// tree walks is replaced by the explicit stacks below.
+///
+/// The parallel sweep executor in `dm-bench` moves whole simulations (the
+/// `Diva` plus its programs) across worker threads; `ProcProgram`'s `Send`
+/// supertrait already forces every implementor `Send` at its impl site.
 struct BhProgram {
     params: BhParams,
     me: usize,
@@ -1690,6 +1700,7 @@ pub fn run_shared_driven(mut diva: Diva, params: BhParams, bodies: &[Body]) -> B
         report: outcome.report,
         bodies: final_bodies,
         interactions,
+        queue_trace: outcome.queue_trace,
     }
 }
 

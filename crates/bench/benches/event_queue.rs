@@ -1,0 +1,208 @@
+//! Event-queue micro-benchmark on a *recorded* trace: `BinaryHeap` (the
+//! current `dm_engine::EventQueue` backing store) vs a 4-ary inverted
+//! (min-)heap, replaying the exact push/pop interleaving of a real fig8
+//! Barnes-Hut run instead of a synthetic workload.
+//!
+//! Motivation (ROADMAP, follow-ons from PR 1): heap push/pop is ~25% of
+//! driven-mode time, and a slab-indexed heap already *lost* to the simple
+//! inline heap — measure before believing. A 4-ary heap halves the tree
+//! depth (fewer cache lines touched per sift-down) at the cost of three
+//! extra comparisons per level; whether that wins depends on the real
+//! push/pop mix, which is why the trace is recorded from an actual figure
+//! run (`DivaConfig::trace_queue`).
+//!
+//! Decision rule: adopt the 4-ary variant in `dm_engine::events` only if it
+//! beats `BinaryHeap` by ≥10% median replay time on the trace; otherwise the
+//! bench stays as the documented negative result.
+//!
+//! Measured on the PR's single-core dev container (see
+//! `crates/bench/README.md` for the recorded numbers): the 4-ary heap was
+//! consistently *slower* than `BinaryHeap` on the fig8 trace — the trace's
+//! heap stays shallow (hundreds of pending events), so the depth advantage
+//! never amortises the extra per-level comparisons. Negative result:
+//! `BinaryHeap` stays.
+
+use dm_apps::barnes_hut::{run_shared_driven, BhParams};
+use dm_apps::workload::plummer_bodies;
+use dm_bench::timing::bench;
+use dm_diva::{Diva, DivaConfig, QueueOp, StrategyKind};
+use dm_engine::{EventQueue, SimTime};
+use dm_mesh::{Mesh, TreeShape};
+
+/// Record the coordinator's push/pop trace of one real fig8 point: the
+/// default-tier 16×16 mesh, 2 000 bodies, 3 time steps, 4-ary access tree.
+fn record_fig8_trace() -> Vec<QueueOp> {
+    let params = BhParams {
+        n_bodies: 2_000,
+        timesteps: 3,
+        warmup_steps: 1,
+        ..BhParams::new(0)
+    };
+    let bodies = plummer_bodies(0x5EED ^ params.n_bodies as u64, params.n_bodies);
+    let cfg = DivaConfig::new(
+        Mesh::new(16, 16),
+        StrategyKind::AccessTree(TreeShape::quad()),
+    )
+    .with_seed(0x5EED)
+    .with_queue_trace(true);
+    let out = run_shared_driven(Diva::new(cfg), params, &bodies);
+    assert!(
+        !out.queue_trace.is_empty(),
+        "trace recording produced no operations"
+    );
+    out.queue_trace
+}
+
+/// A 4-ary *inverted* heap: a min-heap (std's `BinaryHeap` is a max-heap,
+/// hence "inverted") with four children per node — children of slot `i` live
+/// at `4i + 1 ..= 4i + 4`. Same deterministic FIFO tie-breaking as
+/// `EventQueue` (per-push sequence numbers).
+struct QuadHeap<T> {
+    v: Vec<(SimTime, u64, T)>,
+    next_seq: u64,
+}
+
+impl<T> QuadHeap<T> {
+    fn with_capacity(cap: usize) -> Self {
+        QuadHeap {
+            v: Vec::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, time: SimTime, item: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.v.push((time, seq, item));
+        // Sift up.
+        let mut i = self.v.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if (self.v[i].0, self.v[i].1) < (self.v[parent].0, self.v[parent].1) {
+                self.v.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        if self.v.is_empty() {
+            return None;
+        }
+        let last = self.v.len() - 1;
+        self.v.swap(0, last);
+        let (time, _, item) = self.v.pop().expect("non-empty");
+        // Sift down over up to four children.
+        let mut i = 0;
+        let len = self.v.len();
+        loop {
+            let first_child = 4 * i + 1;
+            if first_child >= len {
+                break;
+            }
+            let mut best = first_child;
+            for c in (first_child + 1)..(first_child + 4).min(len) {
+                if (self.v[c].0, self.v[c].1) < (self.v[best].0, self.v[best].1) {
+                    best = c;
+                }
+            }
+            if (self.v[best].0, self.v[best].1) < (self.v[i].0, self.v[i].1) {
+                self.v.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+        Some((time, item))
+    }
+}
+
+/// Replay the trace on the production queue; fold popped times into a
+/// checksum so the work cannot be elided.
+fn replay_binary_heap(trace: &[QueueOp]) -> u64 {
+    let mut q: EventQueue<u32> = EventQueue::with_capacity(1024);
+    let mut n = 0u32;
+    let mut acc = 0u64;
+    for op in trace {
+        match op {
+            QueueOp::Push(t) => {
+                q.push(*t, n);
+                n = n.wrapping_add(1);
+            }
+            QueueOp::Pop => {
+                let (t, item) = q.pop().expect("trace pops a non-empty queue");
+                acc = acc.wrapping_mul(31).wrapping_add(t ^ item as u64);
+            }
+        }
+    }
+    acc
+}
+
+/// Replay the trace on the 4-ary inverted heap.
+fn replay_quad_heap(trace: &[QueueOp]) -> u64 {
+    let mut q: QuadHeap<u32> = QuadHeap::with_capacity(1024);
+    let mut n = 0u32;
+    let mut acc = 0u64;
+    for op in trace {
+        match op {
+            QueueOp::Push(t) => {
+                q.push(*t, n);
+                n = n.wrapping_add(1);
+            }
+            QueueOp::Pop => {
+                let (t, item) = q.pop().expect("trace pops a non-empty queue");
+                acc = acc.wrapping_mul(31).wrapping_add(t ^ item as u64);
+            }
+        }
+    }
+    acc
+}
+
+fn main() {
+    eprintln!("recording fig8 trace (16x16 mesh, 2000 bodies, 4-ary access tree)...");
+    let trace = record_fig8_trace();
+    let pushes = trace
+        .iter()
+        .filter(|op| matches!(op, QueueOp::Push(_)))
+        .count();
+    println!(
+        "trace: {} ops ({} pushes, {} pops)",
+        trace.len(),
+        pushes,
+        trace.len() - pushes
+    );
+
+    // Both heaps must pop the identical (deterministically tie-broken)
+    // sequence, otherwise the comparison is meaningless.
+    assert_eq!(
+        replay_binary_heap(&trace),
+        replay_quad_heap(&trace),
+        "4-ary heap diverged from the production queue on the trace"
+    );
+
+    let iters = 30;
+    let binary = bench("event_queue/replay_fig8_trace/BinaryHeap", iters, || {
+        replay_binary_heap(&trace)
+    });
+    let quad = bench(
+        "event_queue/replay_fig8_trace/4-ary inverted heap",
+        iters,
+        || replay_quad_heap(&trace),
+    );
+
+    let speedup = binary.secs() / quad.secs();
+    println!("4-ary speedup over BinaryHeap: {speedup:.3}x (adoption threshold: >=1.10x)");
+    if speedup >= 1.10 {
+        println!(
+            "VERDICT: 4-ary heap wins >=10% on the recorded trace — \
+             adopt it in dm_engine::events"
+        );
+    } else {
+        println!(
+            "VERDICT: negative result — BinaryHeap stays in dm_engine::events \
+             (the fig8 heap is shallow; 4-ary depth savings never amortise)"
+        );
+    }
+}

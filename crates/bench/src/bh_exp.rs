@@ -5,6 +5,7 @@
 //! carries so downstream tooling can tell sweep points from different tiers
 //! apart.
 
+use crate::executor::{run_jobs, Job};
 use crate::{barnes_hut_shapes, make_diva, HarnessOpts, Scale};
 use dm_apps::barnes_hut::{run_shared_driven, BhParams};
 use dm_apps::workload::plummer_bodies;
@@ -41,6 +42,9 @@ pub struct BhRow {
     /// time-step count when per-step reclamation is on, growing with every
     /// rebuilt tree when it is off.
     pub live_vars_peak: u64,
+    /// Host wall-clock milliseconds this run took on its worker (JSON only —
+    /// contention-skewed under high `--jobs`, excluded from goldens).
+    pub host_ms: f64,
 }
 
 crate::impl_to_json!(BhRow {
@@ -56,6 +60,7 @@ crate::impl_to_json!(BhRow {
     force_compute_ns,
     interactions,
     live_vars_peak,
+    host_ms,
 });
 
 fn report_to_row(
@@ -87,6 +92,7 @@ fn report_to_row(
         force_compute_ns: force.as_ref().map(|r| r.compute_time).unwrap_or(0),
         interactions,
         live_vars_peak: report.live_vars_high_water,
+        host_ms: 0.0,
     }
 }
 
@@ -110,6 +116,47 @@ pub fn run_point(
         &out.report,
         out.interactions,
     )
+}
+
+/// Describe one Barnes-Hut point as an executor [`Job`]. The body cloud and
+/// the mesh are built inside the job (both deterministic from the seed), so
+/// a described mega sweep does not hold every point's bodies in memory at
+/// once; mega-scale points (64×64+ meshes or ≥100 000 bodies, whose live
+/// octrees peak at hundreds of thousands of variables) are flagged for the
+/// executor's memory governor.
+pub fn point_job(
+    mesh: (usize, usize),
+    n_bodies: usize,
+    strategy_name: String,
+    strategy: StrategyKind,
+    params: BhParams,
+    seed: u64,
+) -> Job<BhRow> {
+    // Simulation cost scales with bodies × steps, amplified by the mesh the
+    // protocol traffic crosses.
+    let weight = n_bodies as u64 * (params.timesteps as u64).max(1) * (mesh.0 * mesh.1) as u64;
+    let heavy = mesh.0 * mesh.1 >= 64 * 64 || n_bodies >= 100_000;
+    let job = Job::new(weight, move || {
+        run_point(mesh, n_bodies, &strategy_name, strategy, params, seed)
+    });
+    if heavy {
+        job.heavy()
+    } else {
+        job
+    }
+}
+
+/// Run a list of described Barnes-Hut jobs on `workers` executor threads and
+/// attach each job's host time to its row.
+pub fn run_bh_jobs(workers: usize, jobs: Vec<Job<BhRow>>) -> Vec<BhRow> {
+    run_jobs(workers, jobs)
+        .into_iter()
+        .map(|r| {
+            let mut row = r.value;
+            row.host_ms = r.host_ms;
+            row
+        })
+        .collect()
 }
 
 /// Metadata describing a sweep: which tier produced the rows and the
@@ -209,16 +256,16 @@ pub fn body_sweep(opts: &HarnessOpts) -> BhSweep {
         },
     };
     apply_lifecycle_opts(&mut params_proto, opts);
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &n in &body_counts {
         params_proto.n_bodies = n;
         for (name, strategy) in barnes_hut_shapes() {
-            rows.push(run_point(mesh, n, &name, strategy, params_proto, opts.seed));
+            jobs.push(point_job(mesh, n, name, strategy, params_proto, opts.seed));
         }
     }
     BhSweep {
         meta: sweep_meta(opts, &params_proto),
-        rows,
+        rows: run_bh_jobs(opts.jobs(), jobs),
     }
 }
 
@@ -258,18 +305,25 @@ pub fn scaling_sweep(opts: &HarnessOpts) -> BhSweep {
     ];
     let mut params_proto = params_proto;
     apply_lifecycle_opts(&mut params_proto, opts);
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for &mesh in &meshes {
         let n = bodies_per_proc * mesh.0 * mesh.1;
         let mut params = params_proto;
         params.n_bodies = n;
         for (name, strategy) in &strategies {
-            rows.push(run_point(mesh, n, name, *strategy, params, opts.seed));
+            jobs.push(point_job(
+                mesh,
+                n,
+                name.clone(),
+                *strategy,
+                params,
+                opts.seed,
+            ));
         }
     }
     BhSweep {
         meta: sweep_meta(opts, &params_proto),
-        rows,
+        rows: run_bh_jobs(opts.jobs(), jobs),
     }
 }
 

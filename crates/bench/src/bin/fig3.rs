@@ -4,21 +4,25 @@
 //! baseline. `--arity-sweep` additionally reproduces the access-tree arity
 //! comparison discussed in the text of Section 3.1.
 
-use dm_bench::matmul_exp::{arity_strategies, figure3, run_point};
+use dm_bench::matmul_exp::{arity_strategies, figure3, sweep};
 use dm_bench::table::{f2, secs, Table};
 use dm_bench::{HarnessOpts, Scale};
 
 fn main() {
-    let opts = HarnessOpts::from_args_allowing(&["--arity-sweep"]);
-    let arity_sweep = std::env::args().any(|a| a == "--arity-sweep");
-    let rows = if arity_sweep {
+    let (opts, flags) = HarnessOpts::parse(&["--arity-sweep"]);
+    let rows = if flags.has("--arity-sweep") {
         let (mesh, block) = match opts.scale() {
             Scale::Smoke => (4, 256),
             Scale::Default => (8, 1024),
             Scale::Paper => (16, 4096),
             Scale::Mega => (32, 4096),
         };
-        run_point(mesh, block, &arity_strategies(), opts.seed)
+        sweep(
+            &[(mesh, block)],
+            &arity_strategies(),
+            opts.seed,
+            opts.jobs(),
+        )
     } else {
         figure3(&opts)
     };

@@ -3,21 +3,20 @@
 //! access tree relative to the hand-optimized baseline. `--arity-sweep`
 //! reproduces the 2-ary / 2-4-ary / 4-ary comparison of Section 3.2.
 
-use dm_bench::bitonic_exp::{arity_strategies, figure6, run_point};
+use dm_bench::bitonic_exp::{arity_strategies, figure6, sweep};
 use dm_bench::table::{f2, secs, Table};
 use dm_bench::{HarnessOpts, Scale};
 
 fn main() {
-    let opts = HarnessOpts::from_args_allowing(&["--arity-sweep"]);
-    let arity_sweep = std::env::args().any(|a| a == "--arity-sweep");
-    let rows = if arity_sweep {
+    let (opts, flags) = HarnessOpts::parse(&["--arity-sweep"]);
+    let rows = if flags.has("--arity-sweep") {
         let (mesh, keys) = match opts.scale() {
             Scale::Smoke => (4, 256),
             Scale::Default => (8, 1024),
             Scale::Paper => (16, 4096),
             Scale::Mega => (32, 4096),
         };
-        run_point(mesh, keys, &arity_strategies(), opts.seed)
+        sweep(&[(mesh, keys)], &arity_strategies(), opts.seed, opts.jobs())
     } else {
         figure6(&opts)
     };

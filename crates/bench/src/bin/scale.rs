@@ -20,6 +20,7 @@
 use dm_apps::barnes_hut::BhParams;
 use dm_bench::bh_exp::{self, BhRow};
 use dm_bench::bitonic_exp::{self, BitonicRow};
+use dm_bench::executor::Job;
 use dm_bench::matmul_exp::{self, MatmulRow};
 use dm_bench::table::{f2, secs, Table};
 use dm_bench::{impl_to_json, HarnessOpts};
@@ -61,33 +62,38 @@ fn run_barnes_hut(opts: &HarnessOpts, sides: &[usize]) -> Vec<BhRow> {
             StrategyKind::AccessTree(TreeShape::lk(4, 8)),
         ),
     ];
-    let mut rows = Vec::new();
+    // Describe every point as a job; the executor's memory governor keeps at
+    // most two mega (128×128) points in flight regardless of `--jobs`.
+    let mut jobs = Vec::new();
     for &side in sides {
         let n = bodies_per_proc * side * side;
         let mut params = params_proto;
         params.n_bodies = n;
         for (name, strategy) in &strategies {
-            let t = Instant::now();
-            rows.push(bh_exp::run_point(
-                (side, side),
-                n,
-                name,
-                *strategy,
-                params,
-                opts.seed,
-            ));
-            eprintln!(
-                "barnes-hut {side}x{side} n={n} {name} done in {:.1?}",
-                t.elapsed()
-            );
+            let progress_name = name.clone();
+            let inner =
+                bh_exp::point_job((side, side), n, name.clone(), *strategy, params, opts.seed);
+            let (weight, heavy) = (inner.weight, inner.heavy);
+            // Wrap to keep the per-point progress lines on stderr (they are
+            // not part of the golden-diffed stdout).
+            let job = Job::new(weight, move || {
+                let t = Instant::now();
+                let row = inner.call();
+                eprintln!(
+                    "barnes-hut {side}x{side} n={n} {progress_name} done in {:.1?}",
+                    t.elapsed()
+                );
+                row
+            });
+            jobs.push(if heavy { job.heavy() } else { job });
         }
     }
-    rows
+    bh_exp::run_bh_jobs(opts.jobs(), jobs)
 }
 
 fn main() {
-    let opts = HarnessOpts::from_args_allowing(&["--bh"]);
-    let bh = std::env::args().any(|a| a == "--bh");
+    let (opts, flags) = HarnessOpts::parse(&["--bh"]);
+    let bh = flags.has("--bh");
     if opts.paper && !opts.mega {
         eprintln!("note: scale has no --paper tier (it is beyond-paper by design); running the default sweep");
     }
@@ -136,16 +142,15 @@ fn main() {
 
     // Matrix square, Figure-4 style: fixed block size, growing mesh.
     let block = 256;
-    for &side in &sides {
-        let t = Instant::now();
-        payload.matmul.extend(matmul_exp::run_point(
-            side,
-            block,
-            &matmul_exp::figure_strategies(),
-            opts.seed,
-        ));
-        eprintln!("matmul {side}x{side} done in {:.1?}", t.elapsed());
-    }
+    let matmul_points: Vec<(usize, usize)> = sides.iter().map(|&s| (s, block)).collect();
+    let t = Instant::now();
+    payload.matmul = matmul_exp::sweep(
+        &matmul_points,
+        &matmul_exp::figure_strategies(),
+        opts.seed,
+        opts.jobs(),
+    );
+    eprintln!("matmul sweep done in {:.1?}", t.elapsed());
     let mut table = Table::new(&[
         "mesh",
         "strategy",
@@ -169,16 +174,15 @@ fn main() {
 
     // Bitonic sorting, Figure-7 style: fixed keys per processor, growing mesh.
     let keys = 256;
-    for &side in &sides {
-        let t = Instant::now();
-        payload.bitonic.extend(bitonic_exp::run_point(
-            side,
-            keys,
-            &bitonic_exp::figure_strategies(),
-            opts.seed,
-        ));
-        eprintln!("bitonic {side}x{side} done in {:.1?}", t.elapsed());
-    }
+    let bitonic_points: Vec<(usize, usize)> = sides.iter().map(|&s| (s, keys)).collect();
+    let t = Instant::now();
+    payload.bitonic = bitonic_exp::sweep(
+        &bitonic_points,
+        &bitonic_exp::figure_strategies(),
+        opts.seed,
+        opts.jobs(),
+    );
+    eprintln!("bitonic sweep done in {:.1?}", t.elapsed());
     let mut table = Table::new(&[
         "mesh",
         "strategy",

@@ -1,6 +1,13 @@
 //! Bitonic-sorting experiments (Figures 6 and 7 and the arity comparison of
 //! Section 3.2).
+//!
+//! Like `matmul_exp`, every sweep first *describes* its runs as executor
+//! [`Job`]s (one per point × strategy, plus one baseline per point, each
+//! owning its constructed [`Diva`](dm_diva::Diva)) and assembles the ratio
+//! rows from the description-ordered results — byte-identical output for
+//! every `--jobs` value.
 
+use crate::executor::{run_jobs, Job};
 use crate::{make_diva, ratio, HarnessOpts, Scale};
 use dm_apps::bitonic::{run_hand_optimized_driven, run_shared_driven, BitonicParams};
 use dm_diva::StrategyKind;
@@ -23,6 +30,9 @@ pub struct BitonicRow {
     pub congestion_ratio: f64,
     /// Execution-time ratio vs the hand-optimized baseline.
     pub time_ratio: f64,
+    /// Host wall-clock milliseconds this run took on its worker (JSON only —
+    /// contention-skewed under high `--jobs`, excluded from goldens).
+    pub host_ms: f64,
 }
 
 crate::impl_to_json!(BitonicRow {
@@ -33,6 +43,7 @@ crate::impl_to_json!(BitonicRow {
     exec_time_ns,
     congestion_ratio,
     time_ratio,
+    host_ms,
 });
 
 /// The strategies Figure 6/7 compare against the baseline (the paper plots
@@ -65,44 +76,98 @@ pub fn arity_strategies() -> Vec<(String, StrategyKind)> {
     ]
 }
 
-/// Run the bitonic sort for one (mesh, keys) point with the given strategies
-/// plus the baseline.
+/// Describe the runs of one (mesh, keys) point: baseline first, then one job
+/// per strategy, ratios left as `NAN` placeholders for [`finish_points`].
+fn point_jobs(
+    mesh_side: usize,
+    keys_per_proc: usize,
+    strategies: &[(String, StrategyKind)],
+    seed: u64,
+) -> Vec<Job<BitonicRow>> {
+    let params = BitonicParams::new(keys_per_proc);
+    // Cost grows with the processor count and the keys each holds; the
+    // baseline exchanges the same keys without protocol traffic.
+    let weight = (mesh_side * mesh_side) as u64 * keys_per_proc as u64;
+    let mut jobs = Vec::with_capacity(strategies.len() + 1);
+    let baseline_diva = make_diva(mesh_side, mesh_side, StrategyKind::FixedHome, seed);
+    jobs.push(Job::new(weight / 2, move || {
+        // All experiment points run under the event-driven backend.
+        let out = run_hand_optimized_driven(baseline_diva, params);
+        BitonicRow {
+            strategy: "hand-optimized".to_string(),
+            mesh_side,
+            keys_per_proc,
+            congestion_bytes: out.report.congestion_bytes(),
+            exec_time_ns: out.report.total_time,
+            congestion_ratio: 1.0,
+            time_ratio: 1.0,
+            host_ms: 0.0,
+        }
+    }));
+    for (name, strategy) in strategies {
+        let name = name.clone();
+        let diva = make_diva(mesh_side, mesh_side, *strategy, seed);
+        jobs.push(Job::new(weight, move || {
+            let out = run_shared_driven(diva, params);
+            BitonicRow {
+                strategy: name,
+                mesh_side,
+                keys_per_proc,
+                congestion_bytes: out.report.congestion_bytes(),
+                exec_time_ns: out.report.total_time,
+                congestion_ratio: f64::NAN,
+                time_ratio: f64::NAN,
+                host_ms: 0.0,
+            }
+        }));
+    }
+    jobs
+}
+
+/// Fill in the per-point ratios from the baseline row of each point group.
+fn finish_points(rows: &mut [BitonicRow], group: usize) {
+    for point in rows.chunks_mut(group) {
+        let base_congestion = point[0].congestion_bytes;
+        let base_time = point[0].exec_time_ns;
+        for row in &mut point[1..] {
+            row.congestion_ratio = ratio(row.congestion_bytes, base_congestion);
+            row.time_ratio = ratio(row.exec_time_ns, base_time);
+        }
+    }
+}
+
+/// Run the bitonic sort for the given (mesh, keys) points on `workers`
+/// executor threads; rows come back in point order, baseline first.
+pub fn sweep(
+    points: &[(usize, usize)],
+    strategies: &[(String, StrategyKind)],
+    seed: u64,
+    workers: usize,
+) -> Vec<BitonicRow> {
+    let jobs: Vec<Job<BitonicRow>> = points
+        .iter()
+        .flat_map(|&(side, keys)| point_jobs(side, keys, strategies, seed))
+        .collect();
+    let mut rows: Vec<BitonicRow> = run_jobs(workers, jobs)
+        .into_iter()
+        .map(|r| {
+            let mut row = r.value;
+            row.host_ms = r.host_ms;
+            row
+        })
+        .collect();
+    finish_points(&mut rows, strategies.len() + 1);
+    rows
+}
+
+/// Run one (mesh, keys) point serially (the executor with one worker).
 pub fn run_point(
     mesh_side: usize,
     keys_per_proc: usize,
     strategies: &[(String, StrategyKind)],
     seed: u64,
 ) -> Vec<BitonicRow> {
-    let params = BitonicParams::new(keys_per_proc);
-    // All experiment points run under the event-driven backend.
-    let baseline = run_hand_optimized_driven(
-        make_diva(mesh_side, mesh_side, StrategyKind::FixedHome, seed),
-        params,
-    );
-    let base_congestion = baseline.report.congestion_bytes();
-    let base_time = baseline.report.total_time;
-    let mut rows = vec![BitonicRow {
-        strategy: "hand-optimized".to_string(),
-        mesh_side,
-        keys_per_proc,
-        congestion_bytes: base_congestion,
-        exec_time_ns: base_time,
-        congestion_ratio: 1.0,
-        time_ratio: 1.0,
-    }];
-    for (name, strategy) in strategies {
-        let out = run_shared_driven(make_diva(mesh_side, mesh_side, *strategy, seed), params);
-        rows.push(BitonicRow {
-            strategy: name.clone(),
-            mesh_side,
-            keys_per_proc,
-            congestion_bytes: out.report.congestion_bytes(),
-            exec_time_ns: out.report.total_time,
-            congestion_ratio: ratio(out.report.congestion_bytes(), base_congestion),
-            time_ratio: ratio(out.report.total_time, base_time),
-        });
-    }
-    rows
+    sweep(&[(mesh_side, keys_per_proc)], strategies, seed, 1)
 }
 
 /// Figure 6: fixed mesh, keys-per-processor sweep.
@@ -113,10 +178,8 @@ pub fn figure6(opts: &HarnessOpts) -> Vec<BitonicRow> {
         Scale::Paper => (16, vec![256, 1024, 4096, 16384]),
         Scale::Mega => (32, vec![1024, 4096]),
     };
-    let strategies = figure_strategies();
-    keys.into_iter()
-        .flat_map(|k| run_point(mesh_side, k, &strategies, opts.seed))
-        .collect()
+    let points: Vec<(usize, usize)> = keys.into_iter().map(|k| (mesh_side, k)).collect();
+    sweep(&points, &figure_strategies(), opts.seed, opts.jobs())
 }
 
 /// Figure 7: fixed keys per processor, network size sweep.
@@ -127,11 +190,8 @@ pub fn figure7(opts: &HarnessOpts) -> Vec<BitonicRow> {
         Scale::Paper => (vec![4, 8, 16, 32], 4096),
         Scale::Mega => (vec![16, 32, 64], 1024),
     };
-    let strategies = figure_strategies();
-    sides
-        .into_iter()
-        .flat_map(|s| run_point(s, keys, &strategies, opts.seed))
-        .collect()
+    let points: Vec<(usize, usize)> = sides.into_iter().map(|s| (s, keys)).collect();
+    sweep(&points, &figure_strategies(), opts.seed, opts.jobs())
 }
 
 #[cfg(test)]

@@ -1,0 +1,351 @@
+//! The parallel sweep executor: run independent simulation points on a pool
+//! of worker threads.
+//!
+//! Every figure of the evaluation is a grid of *independent* simulation runs
+//! (sweep point × strategy). Since the event-driven backend produces every
+//! simulated quantity deterministically per run, host-level parallelism is
+//! free accuracy-wise: the sweep first *describes* its points as
+//! self-contained [`Job`] values (parameters + strategy + seed, with the
+//! [`Diva`](dm_diva::Diva) instance constructed up front and moved into the
+//! job — the compile-time `Send` audit in `dm-diva` guarantees whole
+//! simulations can cross threads), then hands them to [`run_jobs`].
+//!
+//! Guarantees and mechanics:
+//!
+//! * **Deterministic results** — outputs come back in *description order*
+//!   regardless of completion order, so rendered tables and JSON rows are
+//!   byte-identical for any `--jobs` value (enforced by the
+//!   `jobs_determinism` integration test). Only the per-job host-time
+//!   measurements differ between runs.
+//! * **Longest-job-first scheduling** — jobs are dispatched by decreasing
+//!   [`Job::weight`] (ties in description order), so a mega point does not
+//!   straggle at the tail of the sweep behind a queue of cheap smoke points.
+//! * **Memory governor** — jobs flagged [`Job::heavy`] (mega-scale
+//!   Barnes-Hut points, whose live octrees peak at hundreds of thousands of
+//!   variables) are capped at [`MAX_HEAVY_CONCURRENT`] in flight; workers
+//!   that would exceed the cap pick lighter jobs instead, or wait.
+//! * **Per-job host timing** — each [`JobResult`] carries the wall-clock
+//!   milliseconds the job spent on its worker. Host times are contention-
+//!   skewed under high `--jobs` and are therefore reported only in the JSON
+//!   sidecar, never in the golden-diffed tables.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Maximum number of memory-heavy jobs (mega-scale Barnes-Hut points) in
+/// flight at once, independent of `--jobs`. A 128×128 point keeps >600 000
+/// live variables plus octree scratch per run; two in flight bounds the peak
+/// host footprint while still overlapping the two strategies of a `scale
+/// --bh` sweep.
+pub const MAX_HEAVY_CONCURRENT: usize = 2;
+
+/// A self-contained unit of sweep work: one simulation run (or one figure
+/// point), described up front and executed on an arbitrary worker thread.
+pub struct Job<T> {
+    /// Scheduling weight — an arbitrary monotonic cost estimate (bodies ×
+    /// time steps, mesh nodes × block size, ...). Heavier jobs start first.
+    pub weight: u64,
+    /// Memory-heavy job (mega-scale Barnes-Hut point): capped at
+    /// [`MAX_HEAVY_CONCURRENT`] in flight.
+    pub heavy: bool,
+    run: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T> Job<T> {
+    /// Describe a job with the given scheduling weight.
+    pub fn new(weight: u64, run: impl FnOnce() -> T + Send + 'static) -> Self {
+        Job {
+            weight,
+            heavy: false,
+            run: Box::new(run),
+        }
+    }
+
+    /// Mark the job as memory-heavy (see [`MAX_HEAVY_CONCURRENT`]).
+    pub fn heavy(mut self) -> Self {
+        self.heavy = true;
+        self
+    }
+
+    /// Execute the job's closure on the calling thread. Used by wrappers
+    /// that decorate a described job (progress lines, extra timing) before
+    /// re-describing it with the same weight and heaviness.
+    pub fn call(self) -> T {
+        (self.run)()
+    }
+}
+
+/// The outcome of one [`Job`].
+pub struct JobResult<T> {
+    /// The job's return value.
+    pub value: T,
+    /// Host wall-clock milliseconds the job spent executing (excluding queue
+    /// wait). Contention-skewed under high `--jobs`; excluded from goldens.
+    pub host_ms: f64,
+}
+
+/// Scheduler state shared by the worker threads.
+struct SchedState<T> {
+    /// Indices into `slots`, sorted heaviest-first; workers pop from the
+    /// front (skipping over heavy jobs while the governor cap is reached).
+    queue: Vec<usize>,
+    /// The jobs themselves, taken (`None`) once dispatched.
+    slots: Vec<Option<Job<T>>>,
+    /// Results, written at the job's description index.
+    results: Vec<Option<JobResult<T>>>,
+    /// Number of heavy jobs currently executing.
+    heavy_running: usize,
+}
+
+/// Run `jobs` on up to `workers` threads and return their results in
+/// description order. `workers == 1` executes serially on the calling thread
+/// (no pool, no reordering of side effects) — the baseline the determinism
+/// test compares every parallel run against.
+pub fn run_jobs<T: Send>(workers: usize, jobs: Vec<Job<T>>) -> Vec<JobResult<T>> {
+    let workers = workers.max(1).min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.into_iter().map(execute).collect();
+    }
+
+    let n = jobs.len();
+    // Longest-job-first dispatch order; ties keep description order (sort is
+    // stable), so scheduling itself is deterministic.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(jobs[i].weight));
+
+    let state = Mutex::new(SchedState {
+        queue: order,
+        slots: jobs.into_iter().map(Some).collect(),
+        results: (0..n).map(|_| None).collect(),
+        heavy_running: 0,
+    });
+    let idle = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(&state, &idle));
+        }
+    });
+
+    let results = state
+        .into_inner()
+        .expect("executor state poisoned — a job panicked")
+        .results;
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} produced no result")))
+        .collect()
+}
+
+fn execute<T>(job: Job<T>) -> JobResult<T> {
+    let start = Instant::now();
+    let value = (job.run)();
+    JobResult {
+        value,
+        host_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Releases a heavy job's governor slot on unwind. Without this, a heavy
+/// job that panics would leave `heavy_running` elevated forever: workers
+/// parked on the condvar never wake, `std::thread::scope` blocks joining
+/// them, and the sweep hangs instead of propagating the panic.
+struct HeavySlotGuard<'a, T> {
+    state: &'a Mutex<SchedState<T>>,
+    idle: &'a Condvar,
+    armed: bool,
+}
+
+impl<T> Drop for HeavySlotGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            // Never panic inside this drop (it may already run during a
+            // panic): take the state even if another worker poisoned it.
+            let mut guard = self
+                .state
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.heavy_running -= 1;
+            self.idle.notify_all();
+        }
+    }
+}
+
+fn worker_loop<T: Send>(state: &Mutex<SchedState<T>>, idle: &Condvar) {
+    let mut guard = state.lock().expect("executor state poisoned");
+    loop {
+        // First queued job the governor admits: heavy jobs only while fewer
+        // than the cap are in flight, light jobs always.
+        let admitted = guard
+            .queue
+            .iter()
+            .position(|&i| {
+                let heavy = guard.slots[i].as_ref().is_some_and(|j| j.heavy);
+                !heavy || guard.heavy_running < MAX_HEAVY_CONCURRENT
+            })
+            .map(|pos| guard.queue.remove(pos));
+        match admitted {
+            Some(idx) => {
+                let job = guard.slots[idx].take().expect("job dispatched twice");
+                let heavy = job.heavy;
+                if heavy {
+                    guard.heavy_running += 1;
+                }
+                drop(guard);
+                let mut slot = HeavySlotGuard {
+                    state,
+                    idle,
+                    armed: heavy,
+                };
+                let result = execute(job);
+                // Normal completion: release the slot under the re-taken
+                // lock below instead (one acquisition, not two).
+                slot.armed = false;
+                guard = state.lock().expect("executor state poisoned");
+                guard.results[idx] = Some(result);
+                if heavy {
+                    guard.heavy_running -= 1;
+                    // A governor slot freed up: wake workers parked on it.
+                    idle.notify_all();
+                }
+            }
+            None if guard.queue.is_empty() => return,
+            None => {
+                // Only heavy jobs remain and the governor cap is reached;
+                // wait for a heavy job to finish.
+                guard = idle.wait(guard).expect("executor state poisoned");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn results_come_back_in_description_order() {
+        // Weights force the *execution* order to be the reverse of the
+        // description order; results must still come back as described.
+        for workers in [1, 2, 4] {
+            let jobs: Vec<Job<usize>> = (0..16)
+                .map(|i| Job::new(i as u64, move || i * 10))
+                .collect();
+            let out = run_jobs(workers, jobs);
+            let values: Vec<usize> = out.iter().map(|r| r.value).collect();
+            assert_eq!(values, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+            assert!(out.iter().all(|r| r.host_ms >= 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        assert!(run_jobs(4, Vec::<Job<u8>>::new()).is_empty());
+    }
+
+    #[test]
+    fn serial_path_runs_in_description_order() {
+        // workers == 1 must not apply longest-first reordering to side
+        // effects: progress output of a serial sweep reads top to bottom.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let jobs: Vec<Job<()>> = (0..4)
+            .map(|i| {
+                let log = Arc::clone(&log);
+                Job::new(i as u64, move || log.lock().unwrap().push(i))
+            })
+            .collect();
+        run_jobs(1, jobs);
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn governor_caps_concurrent_heavy_jobs() {
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job<()>> = (0..8)
+            .map(|_| {
+                let running = Arc::clone(&running);
+                let peak = Arc::clone(&peak);
+                Job::new(1, move || {
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                })
+                .heavy()
+            })
+            .collect();
+        run_jobs(8, jobs);
+        assert!(
+            peak.load(Ordering::SeqCst) <= MAX_HEAVY_CONCURRENT,
+            "governor admitted {} heavy jobs at once",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn light_jobs_overtake_capped_heavy_jobs() {
+        // With the governor saturated by heavy jobs, a spare worker must
+        // pick up light jobs instead of idling behind them.
+        let jobs: Vec<Job<u32>> = vec![
+            Job::new(100, || 0).heavy(),
+            Job::new(99, || 1).heavy(),
+            Job::new(98, || 2).heavy(),
+            Job::new(1, || 3),
+        ];
+        let out = run_jobs(4, jobs);
+        assert_eq!(
+            out.iter().map(|r| r.value).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn panicking_heavy_job_propagates_instead_of_hanging() {
+        // Regression: a heavy job that panics must release its governor
+        // slot (HeavySlotGuard), so workers parked on the condvar wake up
+        // and the panic propagates out of run_jobs — in any interleaving —
+        // rather than the scope join hanging forever.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let result = std::panic::catch_unwind(|| {
+            let jobs: Vec<Job<u32>> = vec![
+                Job::new(3, || panic!("simulated point failure")).heavy(),
+                Job::new(2, || {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    1
+                })
+                .heavy(),
+                Job::new(1, || 2).heavy(),
+                Job::new(0, || 3).heavy(),
+            ];
+            run_jobs(3, jobs)
+        });
+        std::panic::set_hook(prev_hook);
+        assert!(result.is_err(), "the job panic must propagate");
+    }
+
+    #[test]
+    fn moves_whole_simulations_across_threads() {
+        // The point of the Send audit: a described job owns a full Diva
+        // instance and its report crosses back.
+        use dm_diva::{Diva, DivaConfig, StrategyKind};
+        use dm_mesh::Mesh;
+        let jobs: Vec<Job<u64>> = (0..2)
+            .map(|seed| {
+                let diva = Diva::new(
+                    DivaConfig::new(Mesh::square(2), StrategyKind::FixedHome).with_seed(seed),
+                );
+                Job::new(1, move || {
+                    let outcome = diva.run_prototype(|ctx| ctx.barrier());
+                    outcome.report.total_time
+                })
+            })
+            .collect();
+        let out = run_jobs(2, jobs);
+        assert!(out.iter().all(|r| r.value > 0));
+    }
+}

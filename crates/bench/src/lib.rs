@@ -29,6 +29,7 @@
 
 pub mod bh_exp;
 pub mod bitonic_exp;
+pub mod executor;
 pub mod json;
 pub mod matmul_exp;
 pub mod table;
@@ -92,6 +93,12 @@ pub struct HarnessOpts {
     /// (`--timesteps N`); reclamation is what makes large step counts
     /// affordable at mega scale.
     pub timesteps: Option<usize>,
+    /// Worker-thread count of the parallel sweep executor (`--jobs N`).
+    /// `None` uses the host's available parallelism; `1` runs the sweep
+    /// serially on the calling thread. Every simulated quantity is identical
+    /// for every value — only host wall-clock (and the per-job host-ms
+    /// fields of the JSON sidecar) changes.
+    pub jobs: Option<usize>,
 }
 
 impl Default for HarnessOpts {
@@ -104,6 +111,27 @@ impl Default for HarnessOpts {
             seed: 0x5EED,
             reclaim: true,
             timesteps: None,
+            jobs: None,
+        }
+    }
+}
+
+/// Which of a binary's extra boolean flags were present on the command line
+/// (second half of [`HarnessOpts::parse`]).
+#[derive(Debug, Clone)]
+pub struct ExtraFlags {
+    names: Vec<&'static str>,
+    seen: Vec<bool>,
+}
+
+impl ExtraFlags {
+    /// Whether `flag` (e.g. `"--bh"`) was given. Panics if the flag was not
+    /// declared in the [`HarnessOpts::parse`] call — a typo in the binary,
+    /// not a user error.
+    pub fn has(&self, flag: &str) -> bool {
+        match self.names.iter().position(|n| *n == flag) {
+            Some(i) => self.seen[i],
+            None => panic!("flag {flag} was not declared in HarnessOpts::parse"),
         }
     }
 }
@@ -123,18 +151,35 @@ impl HarnessOpts {
         }
     }
 
-    /// Parse the options from command-line arguments (warns about unknown
-    /// flags). Binaries with extra flags of their own list them in
-    /// [`HarnessOpts::from_args_allowing`].
-    pub fn from_args() -> Self {
-        Self::from_args_allowing(&[])
+    /// The worker-thread count of the sweep executor: `--jobs N` if given,
+    /// the host's available parallelism otherwise.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     }
 
-    /// Parse the options, additionally accepting (and ignoring) the listed
-    /// binary-specific flags — the binary itself is responsible for
-    /// consuming them.
-    pub fn from_args_allowing(extra_flags: &[&str]) -> Self {
+    /// Parse the options from command-line arguments (warns about unknown
+    /// flags). Binaries with extra boolean flags of their own use
+    /// [`HarnessOpts::parse`].
+    pub fn from_args() -> Self {
+        Self::parse(&[]).0
+    }
+
+    /// Parse the shared harness options plus the listed binary-specific
+    /// boolean flags, in one pass. This is *the* flag parser of the figure
+    /// suite: every binary shares the `--smoke/--paper/--mega/--json/--seed/
+    /// --jobs/--no-reclaim/--timesteps` handling (and the `--help` text),
+    /// and gets its extra flags back through [`ExtraFlags::has`] instead of
+    /// re-scanning `std::env::args` itself.
+    pub fn parse(extra_flags: &[&'static str]) -> (Self, ExtraFlags) {
         let mut opts = HarnessOpts::default();
+        let mut extra = ExtraFlags {
+            names: extra_flags.to_vec(),
+            seen: vec![false; extra_flags.len()],
+        };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -143,14 +188,32 @@ impl HarnessOpts {
                 "--smoke" => opts.smoke = true,
                 "--mega" => opts.mega = true,
                 "--no-reclaim" => opts.reclaim = false,
-                "--timesteps" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    Some(t) => {
-                        opts.timesteps = Some(t);
+                "--timesteps" => {
+                    let value = args.get(i + 1);
+                    match value.and_then(|s| s.parse().ok()) {
+                        Some(t) => opts.timesteps = Some(t),
+                        None => eprintln!("--timesteps needs a positive integer value; ignoring"),
+                    }
+                    // Consume the value token even when it failed to parse,
+                    // so it is not re-reported as an unknown argument.
+                    if value.is_some_and(|v| !v.starts_with("--")) {
                         i += 1;
                     }
-                    None => eprintln!("--timesteps needs a positive integer value; ignoring"),
-                },
-                flag if extra_flags.contains(&flag) => {}
+                }
+                "--jobs" => {
+                    let value = args.get(i + 1);
+                    match value.and_then(|s| s.parse::<usize>().ok()) {
+                        Some(j) if j > 0 => opts.jobs = Some(j),
+                        _ => eprintln!("--jobs needs a positive integer value; ignoring"),
+                    }
+                    if value.is_some_and(|v| !v.starts_with("--")) {
+                        i += 1;
+                    }
+                }
+                flag if extra_flags.contains(&flag) => {
+                    let idx = extra_flags.iter().position(|f| *f == flag).unwrap();
+                    extra.seen[idx] = true;
+                }
                 "--json" => {
                     i += 1;
                     opts.json = args.get(i).cloned();
@@ -165,7 +228,13 @@ impl HarnessOpts {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <fig> [--smoke|--paper|--mega] [--json FILE] [--seed N] \
-                         [--no-reclaim] [--timesteps N]"
+                         [--jobs N] [--no-reclaim] [--timesteps N]{}{}",
+                        if extra_flags.is_empty() { "" } else { " " },
+                        extra_flags
+                            .iter()
+                            .map(|f| format!("[{f}]"))
+                            .collect::<Vec<_>>()
+                            .join(" ")
                     );
                     std::process::exit(0);
                 }
@@ -173,7 +242,7 @@ impl HarnessOpts {
             }
             i += 1;
         }
-        opts
+        (opts, extra)
     }
 
     /// Write `rows` to the JSON file if one was requested.

@@ -1,6 +1,14 @@
 //! Matrix-multiplication experiments (Figures 3 and 4 and the arity sweep of
 //! Section 3.1).
+//!
+//! Every sweep *describes* its runs as executor [`Job`]s first — one job per
+//! (point, strategy) plus one per baseline, each owning a fully constructed
+//! [`Diva`](dm_diva::Diva) — and hands them to [`run_jobs`]; the ratios
+//! against the hand-optimized baseline are assembled afterwards from the
+//! description-ordered results, so tables and JSON are byte-identical for
+//! every `--jobs` value.
 
+use crate::executor::{run_jobs, Job};
 use crate::{make_diva, ratio, HarnessOpts, Scale};
 use dm_apps::matmul::{run_hand_optimized_driven, run_shared_driven, MatmulParams};
 use dm_diva::StrategyKind;
@@ -25,6 +33,9 @@ pub struct MatmulRow {
     pub congestion_ratio: f64,
     /// Communication-time ratio vs the hand-optimized baseline.
     pub time_ratio: f64,
+    /// Host wall-clock milliseconds this run took on its worker (JSON only —
+    /// contention-skewed under high `--jobs`, excluded from goldens).
+    pub host_ms: f64,
 }
 
 crate::impl_to_json!(MatmulRow {
@@ -35,47 +46,110 @@ crate::impl_to_json!(MatmulRow {
     comm_time_ns,
     congestion_ratio,
     time_ratio,
+    host_ms,
 });
 
-/// Run the matrix square for one (mesh, block size) point with the two
-/// dynamic strategies of Figure 3/4 plus the baseline, and return the rows.
+/// Describe the runs of one (mesh, block size) point: the hand-optimized
+/// baseline first, then one job per dynamic strategy. Ratios are left at
+/// `NAN` placeholders; [`finish_points`] fills them in once the
+/// description-ordered results are back.
+fn point_jobs(
+    mesh_side: usize,
+    block_ints: usize,
+    strategies: &[(String, StrategyKind)],
+    seed: u64,
+) -> Vec<Job<MatmulRow>> {
+    let params = MatmulParams::new(block_ints);
+    // Simulation cost grows with the mesh area and the block volume; the
+    // baseline moves strictly less data than any dynamic strategy.
+    let weight = (mesh_side * mesh_side) as u64 * block_ints as u64;
+    let mut jobs = Vec::with_capacity(strategies.len() + 1);
+    // The Diva instances are constructed *here*, at description time, and
+    // move into their jobs — whole simulations crossing worker threads is
+    // exactly what the compile-time `Send` audit in dm-diva guarantees.
+    let baseline_diva = make_diva(mesh_side, mesh_side, StrategyKind::FixedHome, seed);
+    jobs.push(Job::new(weight / 2, move || {
+        // All experiment points run under the event-driven backend
+        // (bit-identical reports to the threaded one, orders of magnitude
+        // faster to simulate).
+        let out = run_hand_optimized_driven(baseline_diva, params);
+        MatmulRow {
+            strategy: "hand-optimized".to_string(),
+            mesh_side,
+            block_ints,
+            congestion_bytes: out.report.congestion_bytes(),
+            comm_time_ns: out.report.comm_time(),
+            congestion_ratio: 1.0,
+            time_ratio: 1.0,
+            host_ms: 0.0,
+        }
+    }));
+    for (name, strategy) in strategies {
+        let name = name.clone();
+        let diva = make_diva(mesh_side, mesh_side, *strategy, seed);
+        jobs.push(Job::new(weight, move || {
+            let out = run_shared_driven(diva, params);
+            MatmulRow {
+                strategy: name,
+                mesh_side,
+                block_ints,
+                congestion_bytes: out.report.congestion_bytes(),
+                comm_time_ns: out.report.comm_time(),
+                congestion_ratio: f64::NAN,
+                time_ratio: f64::NAN,
+                host_ms: 0.0,
+            }
+        }));
+    }
+    jobs
+}
+
+/// Fill in the per-point ratios: `rows` is the description-ordered result of
+/// the jobs of whole points, `group` rows per point with the baseline first.
+fn finish_points(rows: &mut [MatmulRow], group: usize) {
+    for point in rows.chunks_mut(group) {
+        let base_congestion = point[0].congestion_bytes;
+        let base_time = point[0].comm_time_ns;
+        for row in &mut point[1..] {
+            row.congestion_ratio = ratio(row.congestion_bytes, base_congestion);
+            row.time_ratio = ratio(row.comm_time_ns, base_time);
+        }
+    }
+}
+
+/// Run the matrix square for the given (mesh, block size) points with the
+/// given dynamic strategies plus the baseline, on `workers` executor
+/// threads, and return the rows in point order (baseline first per point).
+pub fn sweep(
+    points: &[(usize, usize)],
+    strategies: &[(String, StrategyKind)],
+    seed: u64,
+    workers: usize,
+) -> Vec<MatmulRow> {
+    let jobs: Vec<Job<MatmulRow>> = points
+        .iter()
+        .flat_map(|&(side, block)| point_jobs(side, block, strategies, seed))
+        .collect();
+    let mut rows: Vec<MatmulRow> = run_jobs(workers, jobs)
+        .into_iter()
+        .map(|r| {
+            let mut row = r.value;
+            row.host_ms = r.host_ms;
+            row
+        })
+        .collect();
+    finish_points(&mut rows, strategies.len() + 1);
+    rows
+}
+
+/// Run one (mesh, block size) point serially (the executor with one worker).
 pub fn run_point(
     mesh_side: usize,
     block_ints: usize,
     strategies: &[(String, StrategyKind)],
     seed: u64,
 ) -> Vec<MatmulRow> {
-    let params = MatmulParams::new(block_ints);
-    // All experiment points run under the event-driven backend (bit-identical
-    // reports to the threaded one, orders of magnitude faster to simulate).
-    let baseline = run_hand_optimized_driven(
-        make_diva(mesh_side, mesh_side, StrategyKind::FixedHome, seed),
-        params,
-    );
-    let base_congestion = baseline.report.congestion_bytes();
-    let base_time = baseline.report.comm_time();
-    let mut rows = vec![MatmulRow {
-        strategy: "hand-optimized".to_string(),
-        mesh_side,
-        block_ints,
-        congestion_bytes: base_congestion,
-        comm_time_ns: base_time,
-        congestion_ratio: 1.0,
-        time_ratio: 1.0,
-    }];
-    for (name, strategy) in strategies {
-        let out = run_shared_driven(make_diva(mesh_side, mesh_side, *strategy, seed), params);
-        rows.push(MatmulRow {
-            strategy: name.clone(),
-            mesh_side,
-            block_ints,
-            congestion_bytes: out.report.congestion_bytes(),
-            comm_time_ns: out.report.comm_time(),
-            congestion_ratio: ratio(out.report.congestion_bytes(), base_congestion),
-            time_ratio: ratio(out.report.comm_time(), base_time),
-        });
-    }
-    rows
+    sweep(&[(mesh_side, block_ints)], strategies, seed, 1)
 }
 
 /// The two strategies Figure 3 and 4 compare against the baseline.
@@ -123,11 +197,8 @@ pub fn figure3(opts: &HarnessOpts) -> Vec<MatmulRow> {
         Scale::Paper => (16, vec![64, 256, 1024, 4096]),
         Scale::Mega => (32, vec![256, 1024, 4096]),
     };
-    let strategies = figure_strategies();
-    blocks
-        .into_iter()
-        .flat_map(|b| run_point(mesh_side, b, &strategies, opts.seed))
-        .collect()
+    let points: Vec<(usize, usize)> = blocks.into_iter().map(|b| (mesh_side, b)).collect();
+    sweep(&points, &figure_strategies(), opts.seed, opts.jobs())
 }
 
 /// Figure 4: fixed block size, network size sweep.
@@ -138,11 +209,8 @@ pub fn figure4(opts: &HarnessOpts) -> Vec<MatmulRow> {
         Scale::Paper => (vec![4, 8, 16, 32], 4096),
         Scale::Mega => (vec![16, 32, 64], 1024),
     };
-    let strategies = figure_strategies();
-    sides
-        .into_iter()
-        .flat_map(|s| run_point(s, block, &strategies, opts.seed))
-        .collect()
+    let points: Vec<(usize, usize)> = sides.into_iter().map(|s| (s, block)).collect();
+    sweep(&points, &figure_strategies(), opts.seed, opts.jobs())
 }
 
 #[cfg(test)]

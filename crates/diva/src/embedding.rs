@@ -51,7 +51,12 @@ pub struct Embedder {
     /// on collision. Embedding runs a few times per simulated protocol
     /// message, and protocol traffic revisits the same tree edges over and
     /// over. Interior mutability keeps the lookup API `&self`; the simulator
-    /// drives each policy from a single thread.
+    /// drives each policy from a single thread. `RefCell` is `Send` (the
+    /// parallel sweep executor moves whole simulations between worker
+    /// threads, each owned by one thread at a time) but deliberately not
+    /// `Sync` — sharing one embedder across threads is not a supported use,
+    /// and the compile-time `Send` assertions in `runtime` pin exactly this
+    /// contract.
     cache: RefCell<Vec<(u64, NodeId)>>,
 }
 

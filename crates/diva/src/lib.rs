@@ -109,6 +109,7 @@ pub mod report;
 mod runtime;
 pub mod var;
 
+pub use dm_engine::QueueOp;
 pub use embedding::{Embedder, EmbeddingMode, VarPlacement};
 pub use policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId};
 pub use report::{RegionReport, RunReport};

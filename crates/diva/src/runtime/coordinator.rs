@@ -182,7 +182,12 @@ impl<F: Frontend> Coordinator<F> {
                 machine,
                 mesh,
                 network,
-                events: EventQueue::new(),
+                // Pre-size from the processor count: the opening barrier /
+                // first request round schedules O(nprocs) arrivals at once,
+                // and regrowing the heap there costs more than the whole
+                // queue is worth. 4 slots per processor covers the steady
+                // state of every figure workload.
+                events: EventQueue::with_capacity(4 * nprocs),
                 registry,
                 shared,
                 counters: [0; COUNTER_COUNT],
@@ -226,9 +231,11 @@ impl<F: Frontend> Coordinator<F> {
         self.env.registry.free(var);
     }
 
-    /// Run the event loop to completion; produce the report and hand the
-    /// frontend back (the driven frontend owns the final program states).
-    pub(crate) fn run(mut self) -> (RunReport, F) {
+    /// Run the event loop to completion; produce the report, the recorded
+    /// queue trace (empty unless [`crate::DivaConfig::trace_queue`] enabled
+    /// it) and hand the frontend back (the driven frontend owns the final
+    /// program states).
+    pub(crate) fn run(mut self) -> (RunReport, F, Vec<dm_engine::QueueOp>) {
         let mut batch = Vec::new();
         loop {
             // 1. Gather one round of requests: one blocking operation per
@@ -258,7 +265,8 @@ impl<F: Frontend> Coordinator<F> {
             }
         }
         let report = self.build_report();
-        (report, self.frontend)
+        let trace = self.env.events.take_trace();
+        (report, self.frontend, trace)
     }
 
     /// Issue time of a request: the processor's clock plus the locally

@@ -65,6 +65,12 @@ pub struct DivaConfig {
     pub fast_path: bool,
     /// Shape of the combining tree used for barrier synchronisation.
     pub barrier_shape: TreeShape,
+    /// Record the coordinator's event-queue push/pop trace into
+    /// [`RunOutcome::queue_trace`]. Off by default (the trace costs memory
+    /// proportional to the event count); used by the offline `event_queue`
+    /// bench of `dm-bench` to compare priority-queue implementations on real
+    /// workloads. Recording does not perturb any simulated quantity.
+    pub trace_queue: bool,
 }
 
 impl DivaConfig {
@@ -80,12 +86,20 @@ impl DivaConfig {
             seed: 0x19990604, // SPAA'99
             fast_path: true,
             barrier_shape: TreeShape::quad(),
+            trace_queue: false,
         }
     }
 
     /// Replace the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable or disable event-queue trace recording (see
+    /// [`DivaConfig::trace_queue`]).
+    pub fn with_queue_trace(mut self, on: bool) -> Self {
+        self.trace_queue = on;
         self
     }
 
@@ -104,6 +118,10 @@ pub struct RunOutcome<R> {
     /// values under [`Diva::run_prototype`], the final program states under
     /// [`Diva::run_driven`].
     pub results: Vec<R>,
+    /// Push/pop trace of the coordinator's event queue — empty unless
+    /// [`DivaConfig::trace_queue`] was set (see the `event_queue` bench in
+    /// `dm-bench`).
+    pub queue_trace: Vec<dm_engine::QueueOp>,
 }
 
 /// A DIVA instance: a simulated mesh machine with a data-management strategy,
@@ -271,7 +289,7 @@ impl Diva {
         drop(req_tx);
 
         let barrier = TreeBarrier::new(&cfg.mesh, cfg.barrier_shape);
-        let coordinator = Coordinator::new(
+        let mut coordinator = Coordinator::new(
             cfg.mesh.clone(),
             cfg.machine,
             barrier,
@@ -280,6 +298,9 @@ impl Diva {
             Arc::clone(&shared),
             ThreadedFrontend::new(req_rx, resp_senders, nprocs),
         );
+        if cfg.trace_queue {
+            coordinator.env.events.record_trace();
+        }
 
         let program = &program;
         std::thread::scope(move |scope| {
@@ -298,7 +319,7 @@ impl Diva {
                     })
                 })
                 .collect();
-            let (report, _frontend) = coordinator.run();
+            let (report, _frontend, queue_trace) = coordinator.run();
             let results = handles
                 .into_iter()
                 .map(|h| match h.join() {
@@ -306,7 +327,11 @@ impl Diva {
                     Err(e) => resume_unwind(e),
                 })
                 .collect();
-            RunOutcome { report, results }
+            RunOutcome {
+                report,
+                results,
+                queue_trace,
+            }
         })
     }
 
@@ -338,7 +363,7 @@ impl Diva {
         let shared = Self::setup_shared(&cfg, &registry, values);
         let barrier = TreeBarrier::new(&cfg.mesh, cfg.barrier_shape);
         let mesh_dims = (cfg.mesh.rows(), cfg.mesh.cols());
-        let coordinator = Coordinator::new(
+        let mut coordinator = Coordinator::new(
             cfg.mesh.clone(),
             cfg.machine,
             barrier,
@@ -347,10 +372,41 @@ impl Diva {
             Arc::clone(&shared),
             DrivenFrontend::new(programs, shared, cfg.machine, mesh_dims),
         );
-        let (report, frontend) = coordinator.run();
+        if cfg.trace_queue {
+            coordinator.env.events.record_trace();
+        }
+        let (report, frontend, queue_trace) = coordinator.run();
         RunOutcome {
             report,
             results: frontend.into_programs(),
+            queue_trace,
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Send audit (compile-time).
+//
+// The parallel sweep executor in `dm-bench` moves *whole simulations* —
+// a [`Diva`] instance (configuration, registry, pre-allocated values and the
+// boxed policy), the per-processor programs and the produced [`RunReport`] —
+// across worker threads. `Send` is guaranteed structurally: `Policy` and
+// `ProcProgram` have `Send` supertraits, values are `Arc<dyn Any + Send +
+// Sync>`, and the only interior mutability in the tree (the `RefCell`
+// position cache of [`crate::Embedder`]) is `Send`-compatible because each
+// simulation is owned by exactly one thread at a time (the cache is per
+// instance, never shared). These assertions turn any future regression —
+// an `Rc`, a raw pointer, a non-`Send` trait object — into a compile error
+// instead of a failure at the executor's spawn site.
+// ---------------------------------------------------------------------------
+fn _assert_send<T: Send>() {}
+const _: fn() = _assert_send::<Diva>;
+const _: fn() = _assert_send::<DivaConfig>;
+const _: fn() = _assert_send::<RunReport>;
+const _: fn() = _assert_send::<RunOutcome<()>>;
+const _: fn() = _assert_send::<Box<dyn Policy>>;
+const _: fn() = _assert_send::<Box<dyn ProcProgram>>;
+const _: fn() = _assert_send::<crate::Embedder>;
+const _: fn() = _assert_send::<VarRegistry>;
+const _: fn() = _assert_send::<AccessTreePolicy>;
+const _: fn() = _assert_send::<FixedHomePolicy>;

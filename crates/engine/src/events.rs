@@ -30,6 +30,20 @@ impl<T> Ord for Entry<T> {
     }
 }
 
+/// One operation of a recorded queue trace (see [`EventQueue::record_trace`]).
+///
+/// Traces capture the exact push/pop interleaving (and push times) of a real
+/// simulation, so alternative priority-queue implementations can be compared
+/// offline on genuine workloads instead of synthetic ones — the
+/// `event_queue` bench in `dm-bench` replays a Barnes-Hut (fig8) trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOp {
+    /// An event was scheduled at the given virtual time.
+    Push(SimTime),
+    /// The earliest event was removed.
+    Pop,
+}
+
 /// A min-heap of timestamped events with deterministic FIFO tie-breaking.
 ///
 /// Events scheduled at the same virtual time pop in the order they were
@@ -38,19 +52,58 @@ impl<T> Ord for Entry<T> {
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
+    /// Optional push/pop trace; `None` (the default) keeps the hot path to a
+    /// single well-predicted branch per operation.
+    trace: Option<Vec<QueueOp>>,
 }
 
 impl<T> EventQueue<T> {
     /// Create an empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Create an empty queue with room for `cap` pending events before the
+    /// backing storage has to grow. The coordinator pre-sizes its queue from
+    /// the processor count so the first simulated microseconds (when every
+    /// processor issues its opening requests at once) do not regrow the heap
+    /// repeatedly.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
+            trace: None,
         }
+    }
+
+    /// Reserve room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Start recording every push/pop into a trace retrievable with
+    /// [`EventQueue::take_trace`]. Recording costs one branch per operation
+    /// plus the trace memory; it exists for offline queue benchmarking and is
+    /// never enabled in experiments.
+    pub fn record_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace (empty if recording was never enabled).
+    pub fn take_trace(&mut self) -> Vec<QueueOp> {
+        self.trace.take().unwrap_or_default()
     }
 
     /// Schedule `item` at virtual time `time`.
     pub fn push(&mut self, time: SimTime, item: T) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(QueueOp::Push(time));
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, item });
@@ -58,7 +111,13 @@ impl<T> EventQueue<T> {
 
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|e| (e.time, e.item))
+        let popped = self.heap.pop().map(|e| (e.time, e.item));
+        if popped.is_some() {
+            if let Some(trace) = &mut self.trace {
+                trace.push(QueueOp::Pop);
+            }
+        }
+        popped
     }
 
     /// The time of the earliest event without removing it.
@@ -121,6 +180,44 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_presizes_and_reserve_grows() {
+        let mut q: EventQueue<u8> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        q.reserve(128);
+        assert!(q.capacity() >= 128);
+        // A pre-sized queue behaves like a fresh one.
+        q.push(2, 2);
+        q.push(1, 1);
+        assert_eq!(q.pop(), Some((1, 1)));
+    }
+
+    #[test]
+    fn trace_records_pushes_and_pops_in_order() {
+        let mut q = EventQueue::new();
+        q.push(9, 'x'); // before recording: not traced
+        q.record_trace();
+        q.push(5, 'a');
+        q.push(3, 'b');
+        q.pop();
+        q.pop();
+        q.pop();
+        q.pop(); // empty pops are not traced
+        assert_eq!(
+            q.take_trace(),
+            vec![
+                QueueOp::Push(5),
+                QueueOp::Push(3),
+                QueueOp::Pop,
+                QueueOp::Pop,
+                QueueOp::Pop,
+            ]
+        );
+        // Taking the trace stops recording.
+        q.push(1, 'c');
+        assert_eq!(q.take_trace(), Vec::new());
     }
 
     #[test]
