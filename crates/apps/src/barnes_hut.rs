@@ -226,11 +226,12 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
     // block distribution over the decomposition-tree leaf order (bodies are
     // generated in no particular spatial order, so this mirrors the paper's
     // "each processor initially holds about an equal number of bodies").
-    let leaf_order: Vec<usize> = DecompositionTree::build(&diva.config().mesh, TreeShape::binary())
-        .leaf_order()
-        .iter()
-        .map(|p| p.index())
-        .collect();
+    let leaf_order: Vec<usize> =
+        DecompositionTree::build_on(&diva.config().topology, TreeShape::binary())
+            .leaf_order()
+            .iter()
+            .map(|p| p.index())
+            .collect();
     let mut body_vars = Vec::with_capacity(n);
     let mut initial_assignment: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
     for (i, b) in bodies.iter().enumerate() {
@@ -1641,11 +1642,12 @@ pub fn run_shared_driven(mut diva: Diva, params: BhParams, bodies: &[Body]) -> B
     assert!(n >= nprocs, "need at least one body per processor");
 
     // Identical pre-allocation to `run_shared_prototype`.
-    let leaf_order: Vec<usize> = DecompositionTree::build(&diva.config().mesh, TreeShape::binary())
-        .leaf_order()
-        .iter()
-        .map(|p| p.index())
-        .collect();
+    let leaf_order: Vec<usize> =
+        DecompositionTree::build_on(&diva.config().topology, TreeShape::binary())
+            .leaf_order()
+            .iter()
+            .map(|p| p.index())
+            .collect();
     let mut body_vars = Vec::with_capacity(n);
     let mut initial_assignment: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
     for (i, b) in bodies.iter().enumerate() {

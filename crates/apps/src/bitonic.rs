@@ -126,7 +126,7 @@ fn merge_ops(m: usize) -> u64 {
 /// The wire → processor assignment: wire `w` is simulated by the `w`-th
 /// processor in the left-to-right leaf order of the mesh decomposition tree.
 pub fn wire_to_proc(diva: &Diva) -> Vec<usize> {
-    let tree = DecompositionTree::build(&diva.config().mesh, TreeShape::binary());
+    let tree = DecompositionTree::build_on(&diva.config().topology, TreeShape::binary());
     tree.leaf_order().iter().map(|n| n.index()).collect()
 }
 

@@ -15,6 +15,9 @@
 //!   integration (Figures 8–11).
 //! * [`octree`] — arena-allocated octrees: the packed child encoding shared
 //!   by the simulated Barnes-Hut cells and the sequential reference tree.
+//! * [`uniform`] — the uniform-random shared-variable workload: the
+//!   locality-free probe the `fig12` cross-topology sweep runs next to
+//!   Barnes-Hut on the mesh, torus, hypercube and fat tree.
 //! * [`workload`] — deterministic input generators (matrix blocks, sort keys,
 //!   Plummer bodies).
 //!
@@ -28,6 +31,7 @@ pub mod barnes_hut;
 pub mod bitonic;
 pub mod matmul;
 pub mod octree;
+pub mod uniform;
 pub mod workload;
 
 pub use workload::Body;

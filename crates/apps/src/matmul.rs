@@ -116,15 +116,18 @@ fn allocate_blocks(diva: &mut Diva, params: &MatmulParams, q: usize) -> Vec<VarH
         .collect()
 }
 
-/// Check that the mesh is square and return its side length `√P`.
+/// Check that the network is a square grid and return its side length `√P`.
 fn grid_side(diva: &Diva) -> usize {
-    let mesh = &diva.config().mesh;
+    let (rows, cols) = diva
+        .config()
+        .topology
+        .grid_dims()
+        .expect("the matrix-square experiment requires a grid topology");
     assert_eq!(
-        mesh.rows(),
-        mesh.cols(),
-        "the matrix-square experiment requires a square mesh"
+        rows, cols,
+        "the matrix-square experiment requires a square grid"
     );
-    mesh.rows()
+    rows
 }
 
 /// Run the matrix square through the DIVA shared-variable interface.

@@ -118,12 +118,25 @@ pub fn run_point(
     )
 }
 
+/// Memory proxy (bodies × network nodes) at which a Barnes-Hut point is
+/// flagged for the executor's memory governor regardless of its scheduling
+/// weight. The live-variable peak of a reclaiming run is O(bodies) and the
+/// per-variable protocol state scales with the tree/network size — but
+/// *not* with `--timesteps`, so heaviness must not ride on the
+/// timestep-scaled CPU weight alone (`fig8 --mega --timesteps 4` would
+/// silently uncap). Calibrated like [`crate::executor::HEAVY_WEIGHT`]: the
+/// lightest historically-capped point (fig8 `--mega`, 50 000 bodies on
+/// 4 096 nodes) scores 2.0e8; the heaviest never-capped points (paper tier,
+/// fig11 `--mega` at 32×64) stay below 1.1e8.
+pub const BH_HEAVY_MEM: u64 = 150_000_000;
+
 /// Describe one Barnes-Hut point as an executor [`Job`]. The body cloud and
 /// the mesh are built inside the job (both deterministic from the seed), so
 /// a described mega sweep does not hold every point's bodies in memory at
-/// once; mega-scale points (64×64+ meshes or ≥100 000 bodies, whose live
-/// octrees peak at hundreds of thousands of variables) are flagged for the
-/// executor's memory governor.
+/// once. Mega-scale points are capped by the executor's memory governor
+/// through their scheduling weight (see [`crate::executor::HEAVY_WEIGHT`])
+/// or, independently of the timestep count, through the [`BH_HEAVY_MEM`]
+/// memory proxy — both topology-agnostic.
 pub fn point_job(
     mesh: (usize, usize),
     n_bodies: usize,
@@ -135,11 +148,11 @@ pub fn point_job(
     // Simulation cost scales with bodies × steps, amplified by the mesh the
     // protocol traffic crosses.
     let weight = n_bodies as u64 * (params.timesteps as u64).max(1) * (mesh.0 * mesh.1) as u64;
-    let heavy = mesh.0 * mesh.1 >= 64 * 64 || n_bodies >= 100_000;
+    let mem = n_bodies as u64 * (mesh.0 * mesh.1) as u64;
     let job = Job::new(weight, move || {
         run_point(mesh, n_bodies, &strategy_name, strategy, params, seed)
     });
-    if heavy {
+    if mem >= BH_HEAVY_MEM {
         job.heavy()
     } else {
         job
@@ -330,6 +343,39 @@ pub fn scaling_sweep(opts: &HarnessOpts) -> BhSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mega_points_stay_heavy_regardless_of_timesteps() {
+        // The governor caps memory, and the live-variable peak does not
+        // shrink with the timestep count — a short mega run must stay
+        // capped even though its timestep-scaled weight drops below
+        // HEAVY_WEIGHT.
+        let params = BhParams {
+            n_bodies: 50_000,
+            timesteps: 2,
+            warmup_steps: 1,
+            ..BhParams::new(0)
+        };
+        let mega = point_job(
+            (64, 64),
+            50_000,
+            "fixed home".into(),
+            StrategyKind::FixedHome,
+            params,
+            1,
+        );
+        assert!(mega.weight < crate::executor::HEAVY_WEIGHT);
+        assert!(mega.heavy, "mega point uncapped at a low timestep count");
+        let light = point_job(
+            (16, 16),
+            10_000,
+            "fixed home".into(),
+            StrategyKind::FixedHome,
+            params,
+            1,
+        );
+        assert!(!light.heavy, "paper-tier point spuriously capped");
+    }
 
     #[test]
     fn small_point_produces_sensible_phase_breakdown() {

@@ -1,0 +1,42 @@
+//! Figure 12 (beyond the paper): the five strategies of the Barnes-Hut
+//! figures across the four topologies — mesh, torus, hypercube, fat tree —
+//! at matched node counts, under the uniform-random and Barnes-Hut
+//! workloads.
+//!
+//! The access tree of every variable is built from the *topology's own*
+//! recursive decomposition (the paper's construction for general networks),
+//! so this figure is the first direct measurement of the strategy beyond
+//! meshes in this reproduction.
+
+use dm_bench::table::{secs, Table};
+use dm_bench::topo_exp::cross_topology_sweep;
+use dm_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let sweep = cross_topology_sweep(&opts);
+    let mut table = Table::new(&[
+        "topology",
+        "workload",
+        "strategy",
+        "congestion[msgs]",
+        "exec time[s]",
+        "total msgs",
+    ]);
+    for r in &sweep.rows {
+        table.row(vec![
+            r.topology.clone(),
+            r.workload.clone(),
+            r.strategy.clone(),
+            r.congestion_msgs.to_string(),
+            secs(r.exec_time_ns),
+            r.total_msgs.to_string(),
+        ]);
+    }
+    println!(
+        "Figure 12 — strategies across topologies at {} nodes ({} scale)",
+        sweep.meta.nodes, sweep.meta.scale
+    );
+    println!("{}", table.render());
+    opts.write_json(&sweep);
+}

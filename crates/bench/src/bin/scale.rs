@@ -73,6 +73,10 @@ fn run_barnes_hut(opts: &HarnessOpts, sides: &[usize]) -> Vec<BhRow> {
             let progress_name = name.clone();
             let inner =
                 bh_exp::point_job((side, side), n, name.clone(), *strategy, params, opts.seed);
+            // Propagate the inner job's heaviness: it can exceed what the
+            // wrapper's `Job::new` derives from the weight alone (the
+            // Barnes-Hut memory proxy flags big points independently of the
+            // timestep-scaled weight).
             let (weight, heavy) = (inner.weight, inner.heavy);
             // Wrap to keep the per-point progress lines on stderr (they are
             // not part of the golden-diffed stdout).

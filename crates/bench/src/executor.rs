@@ -20,10 +20,11 @@
 //! * **Longest-job-first scheduling** — jobs are dispatched by decreasing
 //!   [`Job::weight`] (ties in description order), so a mega point does not
 //!   straggle at the tail of the sweep behind a queue of cheap smoke points.
-//! * **Memory governor** — jobs flagged [`Job::heavy`] (mega-scale
-//!   Barnes-Hut points, whose live octrees peak at hundreds of thousands of
-//!   variables) are capped at [`MAX_HEAVY_CONCURRENT`] in flight; workers
-//!   that would exceed the cap pick lighter jobs instead, or wait.
+//! * **Memory governor** — jobs whose scheduling weight reaches
+//!   [`HEAVY_WEIGHT`] (mega-scale points, whose live octrees peak at
+//!   hundreds of thousands of variables — on any topology) are capped at
+//!   [`MAX_HEAVY_CONCURRENT`] in flight; workers that would exceed the cap
+//!   pick lighter jobs instead, or wait.
 //! * **Per-job host timing** — each [`JobResult`] carries the wall-clock
 //!   milliseconds the job spent on its worker. Host times are contention-
 //!   skewed under high `--jobs` and are therefore reported only in the JSON
@@ -39,29 +40,43 @@ use std::time::Instant;
 /// --bh` sweep.
 pub const MAX_HEAVY_CONCURRENT: usize = 2;
 
+/// Scheduling weight at which a job counts as memory-heavy. Weights are the
+/// sweeps' cost estimates (bodies × time steps × network nodes for
+/// Barnes-Hut, nodes × block size for matmul, ...), so the threshold is
+/// topology-agnostic: a mega fat-tree or hypercube point trips it exactly
+/// like the 64×64-mesh points it was calibrated on (the lightest
+/// historically-capped point, fig8 `--mega` at 50 000 bodies × 5 steps ×
+/// 4 096 nodes, weighs 1.02e9; the heaviest never-capped paper point weighs
+/// ~1e8).
+pub const HEAVY_WEIGHT: u64 = 1_000_000_000;
+
 /// A self-contained unit of sweep work: one simulation run (or one figure
 /// point), described up front and executed on an arbitrary worker thread.
 pub struct Job<T> {
     /// Scheduling weight — an arbitrary monotonic cost estimate (bodies ×
-    /// time steps, mesh nodes × block size, ...). Heavier jobs start first.
+    /// time steps × network nodes, nodes × block size, ...). Heavier jobs
+    /// start first.
     pub weight: u64,
-    /// Memory-heavy job (mega-scale Barnes-Hut point): capped at
-    /// [`MAX_HEAVY_CONCURRENT`] in flight.
+    /// Memory-heavy job (weight ≥ [`HEAVY_WEIGHT`], or flagged explicitly):
+    /// capped at [`MAX_HEAVY_CONCURRENT`] in flight.
     pub heavy: bool,
     run: Box<dyn FnOnce() -> T + Send>,
 }
 
 impl<T> Job<T> {
-    /// Describe a job with the given scheduling weight.
+    /// Describe a job with the given scheduling weight. Jobs whose weight
+    /// reaches [`HEAVY_WEIGHT`] are automatically treated as memory-heavy
+    /// (see [`MAX_HEAVY_CONCURRENT`]).
     pub fn new(weight: u64, run: impl FnOnce() -> T + Send + 'static) -> Self {
         Job {
             weight,
-            heavy: false,
+            heavy: weight >= HEAVY_WEIGHT,
             run: Box::new(run),
         }
     }
 
-    /// Mark the job as memory-heavy (see [`MAX_HEAVY_CONCURRENT`]).
+    /// Mark the job as memory-heavy regardless of its weight (see
+    /// [`MAX_HEAVY_CONCURRENT`]).
     pub fn heavy(mut self) -> Self {
         self.heavy = true;
         self
@@ -259,6 +274,15 @@ mod tests {
             .collect();
         run_jobs(1, jobs);
         assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn heavy_flag_derives_from_the_weight() {
+        assert!(!Job::new(HEAVY_WEIGHT - 1, || ()).heavy);
+        assert!(Job::new(HEAVY_WEIGHT, || ()).heavy);
+        // Explicit flagging still works for weight-light but memory-heavy
+        // special cases.
+        assert!(Job::new(1, || ()).heavy().heavy);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `fig9`  | Figure 9     | Barnes-Hut: tree-building phase congestion and time |
 //! | `fig10` | Figure 10    | Barnes-Hut: force-computation phase congestion, time and local computation |
 //! | `fig11` | Figure 11    | Barnes-Hut: scaling the network size with N = bodies-per-processor · P |
+//! | `fig12` | (beyond paper) | all five strategies across the four topologies (mesh, torus, hypercube, fat tree) at matched node counts, uniform-random + Barnes-Hut workloads |
 //! | `scale` | (beyond paper) | network-size sweeps at 64×64/128×128: matmul + bitonic, or Barnes-Hut with `--bh` |
 //!
 //! All binaries run on the event-driven backend and accept four scale tiers
@@ -34,10 +35,11 @@ pub mod json;
 pub mod matmul_exp;
 pub mod table;
 pub mod timing;
+pub mod topo_exp;
 
 use dm_diva::{Diva, DivaConfig, StrategyKind};
 use dm_engine::MachineConfig;
-use dm_mesh::{Mesh, TreeShape};
+use dm_mesh::{AnyTopology, Mesh, TreeShape};
 use json::ToJson;
 
 /// The scale tier of a figure run. Every `fig*` binary supports all four
@@ -254,9 +256,18 @@ impl HarnessOpts {
     }
 }
 
-/// Construct a DIVA instance for an experiment.
+/// Construct a DIVA instance for a mesh experiment.
 pub fn make_diva(side_rows: usize, side_cols: usize, strategy: StrategyKind, seed: u64) -> Diva {
-    let cfg = DivaConfig::new(Mesh::new(side_rows, side_cols), strategy)
+    make_diva_on(
+        AnyTopology::Mesh(Mesh::new(side_rows, side_cols)),
+        strategy,
+        seed,
+    )
+}
+
+/// Construct a DIVA instance for an experiment on an arbitrary topology.
+pub fn make_diva_on(topology: AnyTopology, strategy: StrategyKind, seed: u64) -> Diva {
+    let cfg = DivaConfig::on(topology, strategy)
         .with_seed(seed)
         .with_machine(MachineConfig::parsytec_gcel());
     Diva::new(cfg)

@@ -81,6 +81,14 @@ golden!(
     env!("CARGO_BIN_EXE_fig11"),
     &["--smoke"]
 );
+// The cross-topology gate: the strategies must simulate identically on the
+// mesh, torus, hypercube and fat tree from one PR to the next.
+golden!(
+    fig12_smoke,
+    "fig12",
+    env!("CARGO_BIN_EXE_fig12"),
+    &["--smoke"]
+);
 golden!(
     scale_smoke,
     "scale",

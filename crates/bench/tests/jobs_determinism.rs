@@ -87,6 +87,13 @@ fn fig3_ratio_assembly_is_jobs_invariant() {
 }
 
 #[test]
+fn fig12_cross_topology_sweep_is_jobs_invariant() {
+    // The new sweep mixes two workloads and four topologies per strategy —
+    // its description-order guarantee must hold like the mesh figures'.
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_fig12"));
+}
+
+#[test]
 fn strip_host_ms_removes_only_the_field() {
     let row = r#"[{"a":1,"host_ms":12.5},{"a":2,"host_ms":3e-2}]"#;
     assert_eq!(strip_host_ms(row), r#"[{"a":1},{"a":2}]"#);

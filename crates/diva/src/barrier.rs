@@ -9,11 +9,12 @@
 //! messages, so barriers contribute (a small amount of) traffic and latency,
 //! identically for every data-management strategy.
 //!
-//! The barrier tree uses a fixed, deterministic embedding (every tree node is
-//! simulated by the centre processor of its submesh), since there is exactly
+//! The barrier tree uses a fixed, deterministic embedding (every tree node
+//! is simulated by the centre processor of its submesh on grid topologies,
+//! by the middle processor of its region elsewhere), since there is exactly
 //! one barrier object shared by all processors.
 
-use dm_mesh::{DecompositionTree, Mesh, NodeId, TreeNodeId, TreeShape};
+use dm_mesh::{AnyTopology, DecompositionTree, Mesh, NodeId, TreeNodeId, TreeShape};
 use std::sync::Arc;
 
 /// A barrier protocol message.
@@ -68,12 +69,24 @@ pub struct TreeBarrier {
 impl TreeBarrier {
     /// Build a barrier over `mesh` using a combining tree of the given shape.
     pub fn new(mesh: &Mesh, shape: TreeShape) -> Self {
-        let tree = Arc::new(DecompositionTree::build(mesh, shape));
+        Self::new_on(&AnyTopology::Mesh(mesh.clone()), shape)
+    }
+
+    /// Build a barrier over an arbitrary topology using a combining tree of
+    /// the given shape.
+    pub fn new_on(topo: &AnyTopology, shape: TreeShape) -> Self {
+        let tree = Arc::new(DecompositionTree::build_on(topo, shape));
         let pos = tree
             .node_ids()
             .map(|id| {
-                let s = tree.submesh(id);
-                mesh.node_at(s.row0 + s.rows / 2, s.col0 + s.cols / 2)
+                if tree.has_grid() {
+                    let s = tree.submesh(id);
+                    tree.mesh()
+                        .node_at(s.row0 + s.rows / 2, s.col0 + s.cols / 2)
+                } else {
+                    let region = tree.region(id);
+                    region[region.len() / 2]
+                }
             })
             .collect();
         let arrived = vec![0; tree.len()];
@@ -262,6 +275,36 @@ mod tests {
         let mut barrier = TreeBarrier::new(&mesh, TreeShape::quad());
         let acts = barrier.arrive(NodeId(0));
         assert_eq!(acts, vec![BarrierAction::Wake { proc: NodeId(0) }]);
+    }
+
+    #[test]
+    fn barrier_over_a_hypercube_releases_everyone() {
+        let topo = AnyTopology::from(dm_mesh::Hypercube::new(4));
+        let mut barrier = TreeBarrier::new_on(&topo, TreeShape::quad());
+        let mut queue: VecDeque<BarrierMsg> = VecDeque::new();
+        let mut woken = HashSet::new();
+        let handle = |actions: Vec<BarrierAction>,
+                      queue: &mut VecDeque<BarrierMsg>,
+                      woken: &mut HashSet<u32>| {
+            for a in actions {
+                match a {
+                    BarrierAction::Send { msg, .. } => queue.push_back(msg),
+                    BarrierAction::Wake { proc } => {
+                        woken.insert(proc.0);
+                    }
+                }
+            }
+        };
+        for p in 0..16u32 {
+            let acts = barrier.arrive(NodeId(p));
+            handle(acts, &mut queue, &mut woken);
+        }
+        assert!(woken.is_empty(), "nobody released before the last arrival");
+        while let Some(msg) = queue.pop_front() {
+            let acts = barrier.on_message(msg);
+            handle(acts, &mut queue, &mut woken);
+        }
+        assert_eq!(woken.len(), 16);
     }
 
     #[test]

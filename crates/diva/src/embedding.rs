@@ -1,15 +1,23 @@
-//! Embedding of access trees into the mesh.
+//! Embedding of access trees into the network.
 //!
 //! Every global variable has its own *access tree* — a copy of the
-//! decomposition tree — whose nodes must be mapped to processors of the mesh.
-//! The theoretical analysis uses a fully random embedding (every tree node is
-//! mapped to a uniformly random processor of its submesh). The DIVA library
-//! uses the *modified* (regular) embedding described in Section 2 of the
-//! paper: only the root is placed at random; every other node copies the
-//! relative position of its parent, reduced modulo its own submesh size. The
-//! modified embedding shortens expected distances between neighbouring tree
-//! nodes at the price of correlations the theory does not cover — the paper
-//! reports no adverse effects, and both variants are available here.
+//! decomposition tree — whose nodes must be mapped to processors of the
+//! network. The theoretical analysis uses a fully random embedding (every
+//! tree node is mapped to a uniformly random processor of its submesh). The
+//! DIVA library uses the *modified* (regular) embedding described in Section
+//! 2 of the paper: only the root is placed at random; every other node
+//! copies the relative position of its parent, reduced modulo its own
+//! submesh size. The modified embedding shortens expected distances between
+//! neighbouring tree nodes at the price of correlations the theory does not
+//! cover — the paper reports no adverse effects, and both variants are
+//! available here.
+//!
+//! On grid topologies (mesh, torus) the rules operate on 2-D submesh
+//! coordinates, exactly as in the paper (and bit-identically to the
+//! pre-topology-abstraction code on meshes). On the other topologies the
+//! same rules operate on each tree node's *region* in decomposition order:
+//! the modified embedding reduces the parent's relative rank modulo the
+//! region size, the random embedding picks a pseudo-random rank.
 
 use dm_mesh::{DecompositionTree, Mesh, NodeId, TreeNodeId};
 use dm_rng::splitmix64;
@@ -80,7 +88,8 @@ impl Embedder {
         Arc::clone(&self.tree)
     }
 
-    /// The mesh the trees are embedded into.
+    /// The coordinate mesh the trees are embedded into (grid topologies
+    /// only — panics otherwise; see [`DecompositionTree::mesh`]).
     pub fn mesh(&self) -> &Mesh {
         self.tree.mesh()
     }
@@ -123,16 +132,37 @@ impl Embedder {
 
     /// Modified embedding: fold the root position down the path from the root
     /// to `node`, taking the parent's relative coordinates modulo the child's
-    /// submesh dimensions at every step.
+    /// submesh dimensions at every step (grid topologies), or the parent's
+    /// relative rank modulo the child's region size (other topologies).
     ///
     /// `position` is called several times per simulated protocol message, so
     /// the root-to-node fold recurses along the parent chain (depth is
-    /// logarithmic in the mesh size) instead of materialising the path.
+    /// logarithmic in the network size) instead of materialising the path.
     fn position_modified(&self, placement: VarPlacement, node: TreeNodeId) -> NodeId {
+        if !self.tree.has_grid() {
+            let rel = self.rel_rank_modified(placement, node);
+            let (lo, _) = self.tree.leaf_range(node);
+            return self.tree.leaf_order()[lo + rel];
+        }
         let mesh = self.tree.mesh();
         let (rel_r, rel_c) = self.rel_pos_modified(placement, node);
         let sub = self.tree.submesh(node);
         mesh.node_at(sub.row0 + rel_r, sub.col0 + rel_c)
+    }
+
+    /// Relative rank of the modified embedding within `node`'s region
+    /// (non-grid topologies).
+    fn rel_rank_modified(&self, placement: VarPlacement, node: TreeNodeId) -> usize {
+        match self.tree.parent(node) {
+            // The root's region is the whole network: its relative rank is
+            // the root processor's rank in decomposition order.
+            None => self.tree.leaf_rank(placement.root),
+            Some(parent) => {
+                let rel = self.rel_rank_modified(placement, parent);
+                let (lo, hi) = self.tree.leaf_range(node);
+                rel % (hi - lo)
+            }
+        }
     }
 
     /// Relative coordinates of the modified embedding within `node`'s submesh.
@@ -152,14 +182,19 @@ impl Embedder {
     }
 
     /// Random embedding: an independent pseudo-random processor of the node's
-    /// submesh, derived from the variable seed and the tree-node id.
+    /// submesh (or region), derived from the variable seed and the tree-node
+    /// id.
     fn position_random(&self, placement: VarPlacement, node: TreeNodeId) -> NodeId {
         if node == self.tree.root() {
             return placement.root;
         }
+        let h = splitmix64(placement.seed ^ ((node.0 as u64) << 32 | 0xA5A5_5A5A));
+        if !self.tree.has_grid() {
+            let (lo, hi) = self.tree.leaf_range(node);
+            return self.tree.leaf_order()[lo + (h % (hi - lo) as u64) as usize];
+        }
         let mesh = self.tree.mesh();
         let sub = self.tree.submesh(node);
-        let h = splitmix64(placement.seed ^ ((node.0 as u64) << 32 | 0xA5A5_5A5A));
         let idx = (h % sub.size() as u64) as usize;
         let dr = idx / sub.cols;
         let dc = idx % sub.cols;
@@ -296,6 +331,36 @@ mod tests {
             }
         }
         assert!(differs, "different seeds should give different embeddings");
+    }
+
+    #[test]
+    fn non_grid_embeddings_land_in_their_region() {
+        use dm_mesh::{AnyTopology, FatTree, Hypercube};
+        for topo in [
+            AnyTopology::from(Hypercube::new(5)),
+            AnyTopology::from(FatTree::new(32)),
+        ] {
+            for mode in [EmbeddingMode::Modified, EmbeddingMode::Random] {
+                for shape in [TreeShape::binary(), TreeShape::quad(), TreeShape::lk(2, 4)] {
+                    let tree = Arc::new(DecompositionTree::build_on(&topo, shape));
+                    let e = Embedder::new(Arc::clone(&tree), mode);
+                    for placement in placements(topo.nodes()).into_iter().step_by(5) {
+                        assert_eq!(e.position(placement, tree.root()), placement.root);
+                        for t in tree.node_ids() {
+                            let pos = e.position(placement, t);
+                            assert!(
+                                tree.region(t).contains(&pos),
+                                "{mode:?} {shape:?} node {t:?} mapped outside its region"
+                            );
+                        }
+                        for p in 0..topo.nodes() as u32 {
+                            let leaf = tree.leaf_of(NodeId(p));
+                            assert_eq!(e.position(placement, leaf), NodeId(p));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use super::{AccessKind, Counter, LockTable, Policy, PolicyEnv, PolicyMsg, TxId, 
 use crate::embedding::{Embedder, EmbeddingMode, VarPlacement};
 use crate::fasthash::FastMap;
 use crate::var::VarHandle;
-use dm_mesh::{DecompositionTree, Mesh, NodeId, TreeNodeId, TreeShape};
+use dm_mesh::{AnyTopology, DecompositionTree, Mesh, NodeId, TreeNodeId, TreeShape};
 use dm_rng::ChaCha8Rng;
 use std::sync::Arc;
 
@@ -240,7 +240,14 @@ impl AccessTreePolicy {
     /// Create an access-tree policy for `mesh` with trees of the given shape
     /// and embedding mode. `seed` drives the random placement of tree roots.
     pub fn new(mesh: &Mesh, shape: TreeShape, mode: EmbeddingMode, seed: u64) -> Self {
-        let tree = Arc::new(DecompositionTree::build(mesh, shape));
+        Self::new_on(&AnyTopology::Mesh(mesh.clone()), shape, mode, seed)
+    }
+
+    /// Create an access-tree policy for an arbitrary topology: the access
+    /// trees are copies of the topology's recursive decomposition (see
+    /// [`DecompositionTree::build_on`]).
+    pub fn new_on(topo: &AnyTopology, shape: TreeShape, mode: EmbeddingMode, seed: u64) -> Self {
+        let tree = Arc::new(DecompositionTree::build_on(topo, shape));
         let tree_len = tree.len();
         AccessTreePolicy {
             embedder: Embedder::new(tree, mode),
@@ -822,8 +829,8 @@ impl Policy for AccessTreePolicy {
     }
 
     fn register_var(&mut self, var: VarHandle, owner: NodeId, bytes: u32) {
-        let mesh = self.embedder.mesh().clone();
-        let root = NodeId(self.rng.gen_range(0..mesh.nodes() as u32));
+        let nprocs = self.embedder.tree().topology().nodes();
+        let root = NodeId(self.rng.gen_range(0..nprocs as u32));
         let seed = self.rng.next_u64();
         let leaf = self.embedder.tree().leaf_of(owner);
         // Reuse the bitset allocation of a previously freed variable.

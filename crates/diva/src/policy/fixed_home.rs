@@ -25,7 +25,7 @@
 use super::{AccessKind, Counter, LockTable, Policy, PolicyEnv, PolicyMsg, TxId, VarGate};
 use crate::fasthash::FastMap;
 use crate::var::VarHandle;
-use dm_mesh::{Mesh, NodeId};
+use dm_mesh::{AnyTopology, Mesh, NodeId};
 use dm_rng::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
 
@@ -50,7 +50,9 @@ struct FhTx {
 
 /// The fixed-home / ownership data-management policy.
 pub struct FixedHomePolicy {
-    mesh: Mesh,
+    /// Number of processors of the network (homes are drawn uniformly from
+    /// them — the policy needs nothing else from the topology).
+    nprocs: usize,
     rng: ChaCha8Rng,
     vars: Vec<Option<FhVar>>,
     txs: FastMap<TxId, FhTx>,
@@ -61,8 +63,13 @@ impl FixedHomePolicy {
     /// Create a fixed-home policy for `mesh`; `seed` drives the random home
     /// assignment.
     pub fn new(mesh: &Mesh, seed: u64) -> Self {
+        Self::new_on(&AnyTopology::Mesh(mesh.clone()), seed)
+    }
+
+    /// Create a fixed-home policy for an arbitrary topology.
+    pub fn new_on(topo: &AnyTopology, seed: u64) -> Self {
         FixedHomePolicy {
-            mesh: mesh.clone(),
+            nprocs: topo.nodes(),
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x00F1_0ED0_0E00_u64),
             vars: Vec::new(),
             txs: FastMap::default(),
@@ -300,7 +307,7 @@ impl Policy for FixedHomePolicy {
     }
 
     fn register_var(&mut self, var: VarHandle, owner: NodeId, _bytes: u32) {
-        let home = NodeId(self.rng.gen_range(0..self.mesh.nodes() as u32));
+        let home = NodeId(self.rng.gen_range(0..self.nprocs as u32));
         let mut copies = HashSet::new();
         copies.insert(owner);
         let idx = var.index();

@@ -28,7 +28,7 @@ pub use lock_table::LockTable;
 
 use crate::var::VarHandle;
 use dm_engine::{MachineConfig, SimTime};
-use dm_mesh::{Mesh, NodeId, TreeNodeId};
+use dm_mesh::{AnyTopology, NodeId, TreeNodeId};
 
 /// Identifier of an in-flight transaction (one blocked processor operation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -291,8 +291,8 @@ pub enum PolicyMsg {
 
 /// The interface through which a policy interacts with the runtime.
 ///
-/// All sends are routed along dimension-order paths, timed by the
-/// [`dm_engine::LinkNetwork`] model, and counted towards the congestion
+/// All sends are routed along the topology's deterministic paths, timed by
+/// the [`dm_engine::LinkNetwork`] model, and counted towards the congestion
 /// statistics. `complete` wakes the processor whose operation started the
 /// transaction.
 pub trait PolicyEnv {
@@ -301,8 +301,8 @@ pub trait PolicyEnv {
     fn now(&self) -> SimTime;
     /// The machine parameters.
     fn config(&self) -> &MachineConfig;
-    /// The mesh.
-    fn mesh(&self) -> &Mesh;
+    /// The network topology.
+    fn topology(&self) -> &AnyTopology;
     /// Size of a variable in bytes.
     fn var_bytes(&self, var: VarHandle) -> u32;
     /// Send a protocol message of `bytes` bytes from mesh node `from` to mesh

@@ -8,14 +8,14 @@ use super::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId, COUNTER_COU
 use crate::embedding::EmbeddingMode;
 use crate::var::VarHandle;
 use dm_engine::{MachineConfig, SimTime};
-use dm_mesh::{Mesh, NodeId, TreeShape};
+use dm_mesh::{AnyTopology, Mesh, NodeId, TreeShape};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A deterministic mock of the runtime environment: messages are queued and
 /// delivered in FIFO order with a fixed latency of 1 time unit per hop-free
 /// message; no link model, no port model.
 struct MockEnv {
-    mesh: Mesh,
+    topo: AnyTopology,
     cfg: MachineConfig,
     now: SimTime,
     queue: VecDeque<(NodeId, PolicyMsg)>,
@@ -30,7 +30,7 @@ struct MockEnv {
 impl MockEnv {
     fn new(mesh: Mesh) -> Self {
         MockEnv {
-            mesh,
+            topo: AnyTopology::Mesh(mesh),
             cfg: MachineConfig::parsytec_gcel(),
             now: 0,
             queue: VecDeque::new(),
@@ -74,8 +74,8 @@ impl PolicyEnv for MockEnv {
     fn config(&self) -> &MachineConfig {
         &self.cfg
     }
-    fn mesh(&self) -> &Mesh {
-        &self.mesh
+    fn topology(&self) -> &AnyTopology {
+        &self.topo
     }
     fn var_bytes(&self, var: VarHandle) -> u32 {
         *self.var_sizes.get(&var).unwrap_or(&64)

@@ -11,7 +11,7 @@ use crate::policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId, COU
 use crate::report::{RegionReport, RunReport};
 use crate::var::{Value, VarHandle, VarRegistry};
 use dm_engine::{EventQueue, LinkNetwork, MachineConfig, RegionId, SimTime};
-use dm_mesh::{Mesh, NodeId};
+use dm_mesh::{AnyTopology, NodeId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -53,7 +53,7 @@ pub(crate) enum Event {
 pub(crate) struct EnvState {
     pub now: SimTime,
     pub machine: MachineConfig,
-    pub mesh: Mesh,
+    pub topo: AnyTopology,
     pub network: LinkNetwork,
     pub events: EventQueue<Event>,
     pub registry: VarRegistry,
@@ -83,8 +83,8 @@ impl PolicyEnv for EnvState {
         &self.machine
     }
 
-    fn mesh(&self) -> &Mesh {
-        &self.mesh
+    fn topology(&self) -> &AnyTopology {
+        &self.topo
     }
 
     fn var_bytes(&self, var: VarHandle) -> u32 {
@@ -165,7 +165,7 @@ pub(crate) struct Coordinator<F: Frontend> {
 impl<F: Frontend> Coordinator<F> {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
-        mesh: Mesh,
+        topo: AnyTopology,
         machine: MachineConfig,
         barrier: TreeBarrier,
         policy: Box<dyn Policy>,
@@ -173,14 +173,14 @@ impl<F: Frontend> Coordinator<F> {
         shared: Arc<SharedState>,
         frontend: F,
     ) -> Self {
-        let nprocs = mesh.nodes();
+        let nprocs = topo.nodes();
         let strategy_name = policy.name();
-        let network = LinkNetwork::new(mesh.clone(), machine);
+        let network = LinkNetwork::new(topo.clone(), machine);
         Coordinator {
             env: EnvState {
                 now: 0,
                 machine,
-                mesh,
+                topo,
                 network,
                 // Pre-size from the processor count: the opening barrier /
                 // first request round schedules O(nprocs) arrivals at once,

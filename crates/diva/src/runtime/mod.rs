@@ -19,7 +19,7 @@ use crate::report::RunReport;
 use crate::var::{Value, VarHandle, VarRegistry};
 use coordinator::Coordinator;
 use dm_engine::MachineConfig;
-use dm_mesh::{Mesh, NodeId, TreeShape};
+use dm_mesh::{AnyTopology, Mesh, NodeId, TreeShape};
 use frontend::{DrivenFrontend, ThreadedFrontend};
 use shared::SharedState;
 use std::any::Any;
@@ -50,13 +50,13 @@ impl StrategyKind {
 /// Configuration of a DIVA instance.
 #[derive(Debug, Clone)]
 pub struct DivaConfig {
-    /// The mesh of processors.
-    pub mesh: Mesh,
+    /// The network of processors (mesh, torus, hypercube or fat tree).
+    pub topology: AnyTopology,
     /// Hardware parameters of the simulated machine.
     pub machine: MachineConfig,
     /// The data-management strategy.
     pub strategy: StrategyKind,
-    /// How access trees are embedded into the mesh.
+    /// How access trees are embedded into the network.
     pub embedding: EmbeddingMode,
     /// Seed for all randomized placement decisions (homes, tree roots).
     pub seed: u64,
@@ -78,8 +78,14 @@ impl DivaConfig {
     /// experiments: GCel machine parameters, the modified embedding, a 4-ary
     /// barrier tree and the fast path enabled.
     pub fn new(mesh: Mesh, strategy: StrategyKind) -> Self {
+        Self::on(AnyTopology::Mesh(mesh), strategy)
+    }
+
+    /// The same defaults over an arbitrary topology (torus, hypercube, fat
+    /// tree — or a mesh, in which case this equals [`DivaConfig::new`]).
+    pub fn on(topology: impl Into<AnyTopology>, strategy: StrategyKind) -> Self {
         DivaConfig {
-            mesh,
+            topology: topology.into(),
             machine: MachineConfig::parsytec_gcel(),
             strategy,
             embedding: EmbeddingMode::Modified,
@@ -88,6 +94,15 @@ impl DivaConfig {
             barrier_shape: TreeShape::quad(),
             trace_queue: false,
         }
+    }
+
+    /// The dimensions programs see through
+    /// [`ProcCtx::mesh_dims`] / [`StepCtx::mesh_dims`]: the grid dimensions
+    /// for grid topologies, `(1, nprocs)` otherwise.
+    fn program_dims(&self) -> (usize, usize) {
+        self.topology
+            .grid_dims()
+            .unwrap_or((1, self.topology.nodes()))
     }
 
     /// Replace the seed.
@@ -156,13 +171,13 @@ impl Diva {
     /// Create a DIVA instance from a configuration.
     pub fn new(cfg: DivaConfig) -> Self {
         let policy: Box<dyn Policy> = match cfg.strategy {
-            StrategyKind::AccessTree(shape) => Box::new(AccessTreePolicy::new(
-                &cfg.mesh,
+            StrategyKind::AccessTree(shape) => Box::new(AccessTreePolicy::new_on(
+                &cfg.topology,
                 shape,
                 cfg.embedding,
                 cfg.seed,
             )),
-            StrategyKind::FixedHome => Box::new(FixedHomePolicy::new(&cfg.mesh, cfg.seed)),
+            StrategyKind::FixedHome => Box::new(FixedHomePolicy::new_on(&cfg.topology, cfg.seed)),
         };
         Diva {
             cfg,
@@ -179,7 +194,7 @@ impl Diva {
 
     /// Number of processors.
     pub fn num_procs(&self) -> usize {
-        self.cfg.mesh.nodes()
+        self.cfg.topology.nodes()
     }
 
     /// Allocate a global variable of `bytes` bytes before the run. Its only
@@ -215,7 +230,7 @@ impl Diva {
         registry: &VarRegistry,
         values: Vec<Value>,
     ) -> Arc<SharedState> {
-        let nprocs = cfg.mesh.nodes();
+        let nprocs = cfg.topology.nodes();
         let shared = Arc::new(SharedState::new(
             nprocs,
             cfg.fast_path,
@@ -263,7 +278,7 @@ impl Diva {
             values,
             policy,
         } = self;
-        let nprocs = cfg.mesh.nodes();
+        let nprocs = cfg.topology.nodes();
         let shared = Self::setup_shared(&cfg, &registry, values);
 
         let (req_tx, req_rx) = mpsc::channel();
@@ -275,7 +290,7 @@ impl Diva {
             ctxs.push(ProcCtx {
                 proc,
                 nprocs,
-                mesh_dims: (cfg.mesh.rows(), cfg.mesh.cols()),
+                mesh_dims: cfg.program_dims(),
                 shared: Arc::clone(&shared),
                 req_tx: req_tx.clone(),
                 resp_rx: rx,
@@ -288,9 +303,9 @@ impl Diva {
         }
         drop(req_tx);
 
-        let barrier = TreeBarrier::new(&cfg.mesh, cfg.barrier_shape);
+        let barrier = TreeBarrier::new_on(&cfg.topology, cfg.barrier_shape);
         let mut coordinator = Coordinator::new(
-            cfg.mesh.clone(),
+            cfg.topology.clone(),
             cfg.machine,
             barrier,
             policy,
@@ -354,17 +369,17 @@ impl Diva {
             values,
             policy,
         } = self;
-        let nprocs = cfg.mesh.nodes();
+        let nprocs = cfg.topology.nodes();
         assert_eq!(
             programs.len(),
             nprocs,
             "run_driven needs exactly one program per processor"
         );
         let shared = Self::setup_shared(&cfg, &registry, values);
-        let barrier = TreeBarrier::new(&cfg.mesh, cfg.barrier_shape);
-        let mesh_dims = (cfg.mesh.rows(), cfg.mesh.cols());
+        let barrier = TreeBarrier::new_on(&cfg.topology, cfg.barrier_shape);
+        let mesh_dims = cfg.program_dims();
         let mut coordinator = Coordinator::new(
-            cfg.mesh.clone(),
+            cfg.topology.clone(),
             cfg.machine,
             barrier,
             policy,

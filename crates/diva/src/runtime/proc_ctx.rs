@@ -42,7 +42,8 @@ impl ProcCtx {
         self.nprocs
     }
 
-    /// Mesh dimensions `(rows, cols)`.
+    /// Grid dimensions `(rows, cols)` for grid topologies (mesh, torus);
+    /// `(1, nprocs)` for topologies without a 2-D layout.
     pub fn mesh_dims(&self) -> (usize, usize) {
         self.mesh_dims
     }

@@ -1,8 +1,8 @@
-//! Timing and accounting model of the mesh interconnect.
+//! Timing and accounting model of the interconnect.
 
 use crate::config::MachineConfig;
 use crate::time::SimTime;
-use dm_mesh::{LinkStats, Mesh, NodeId};
+use dm_mesh::{AnyTopology, LinkStats, Mesh, NodeId};
 
 /// A measurement region messages can be attributed to (e.g. the Barnes-Hut
 /// "tree build" or "force computation" phase). Region 0 is the implicit
@@ -26,8 +26,11 @@ pub struct Delivery {
     pub hops: usize,
 }
 
-/// The mesh interconnect: per-link bandwidth occupancy, per-node
-/// communication-port occupancy, and traffic statistics.
+/// The interconnect: per-link bandwidth occupancy, per-node
+/// communication-port occupancy, and traffic statistics, over any
+/// [`AnyTopology`] (the reference mesh, torus, hypercube or fat tree — the
+/// topology supplies the deterministic route, the network model supplies the
+/// timing).
 ///
 /// ## Timing model
 ///
@@ -38,11 +41,12 @@ pub struct Delivery {
 ///    no earlier than the issue time and no earlier than the port being free
 ///    (per-node serialisation of sends — this is what makes a single "home"
 ///    node distributing many copies a bottleneck).
-/// 2. The message head then advances hop by hop along the dimension-order
-///    path. On each link it waits until the link is free, then occupies the
-///    link for `b / bandwidth`; the head moves on after `per_hop_latency`
-///    while the body streams behind it (virtual cut-through approximation of
-///    wormhole routing; upstream blocking of stalled worms is not modelled).
+/// 2. The message head then advances hop by hop along the topology's
+///    deterministic route. On each link it waits until the link is free,
+///    then occupies the link for `b / bandwidth`; the head moves on after
+///    `per_hop_latency` while the body streams behind it (virtual
+///    cut-through approximation of wormhole routing; upstream blocking of
+///    stalled worms is not modelled).
 /// 3. At the destination the message occupies the receiver's communication
 ///    port for `startup_recv`; the returned arrival time is when that
 ///    processing has finished.
@@ -54,7 +58,7 @@ pub struct Delivery {
 /// [`RegionId`]. Congestion — the paper's key metric — is the maximum counter
 /// over all links.
 pub struct LinkNetwork {
-    mesh: Mesh,
+    topo: AnyTopology,
     cfg: MachineConfig,
     /// Fixed per-message costs in ns, precomputed from `cfg` — `transmit`
     /// runs once per simulated message, so the float conversions are hoisted
@@ -78,13 +82,14 @@ pub struct LinkNetwork {
 }
 
 impl LinkNetwork {
-    /// Create an idle network for `mesh` with hardware parameters `cfg`.
-    pub fn new(mesh: Mesh, cfg: MachineConfig) -> Self {
-        let links = mesh.link_slots();
-        let nodes = mesh.nodes();
-        let global = LinkStats::new(&mesh);
+    /// Create an idle network for `topo` with hardware parameters `cfg`.
+    pub fn new(topo: impl Into<AnyTopology>, cfg: MachineConfig) -> Self {
+        let topo = topo.into();
+        let links = topo.link_slots();
+        let nodes = topo.nodes();
+        let global = LinkStats::with_slots(links);
         LinkNetwork {
-            mesh,
+            topo,
             cfg,
             send_ns: cfg.startup_send_ns(),
             recv_ns: cfg.startup_recv_ns(),
@@ -99,9 +104,19 @@ impl LinkNetwork {
         }
     }
 
-    /// The mesh this network connects.
+    /// The topology this network connects.
+    pub fn topology(&self) -> &AnyTopology {
+        &self.topo
+    }
+
+    /// The underlying mesh (convenience for mesh-based tests and tools).
+    ///
+    /// # Panics
+    /// Panics if the network connects a non-mesh topology.
     pub fn mesh(&self) -> &Mesh {
-        &self.mesh
+        self.topo
+            .mesh()
+            .expect("network connects a non-mesh topology")
     }
 
     /// The machine parameters.
@@ -139,7 +154,10 @@ impl LinkNetwork {
         // 2. Hop-by-hop head propagation with per-link bandwidth occupancy.
         //    The route is visited link by link without materialising it —
         //    `transmit` runs once per simulated message, so a per-call
-        //    `Vec<LinkId>` allocation would dominate the simulator's profile.
+        //    `Vec<LinkId>` allocation would dominate the simulator's
+        //    profile. `AnyTopology::for_each_route_link` dispatches on the
+        //    topology once per message (static match, monomorphized
+        //    closure).
         let transfer = self.cfg.transfer_ns(bytes);
         let hop_latency = self.hop_ns;
         let mut head_ready = sender_free;
@@ -151,13 +169,13 @@ impl LinkNetwork {
             self.region_stats_mut(region);
         }
         let Self {
-            mesh,
+            topo,
             link_free,
             global,
             regions,
             ..
         } = self;
-        mesh.for_each_route_link(from, to, |l| {
+        topo.for_each_route_link(from, to, |l| {
             let idx = l.index();
             let depart = head_ready.max(link_free[idx]);
             link_free[idx] = depart + transfer;
@@ -198,7 +216,8 @@ impl LinkNetwork {
     fn region_stats_mut(&mut self, region: RegionId) -> &mut LinkStats {
         let idx = region.0 as usize;
         while self.regions.len() <= idx {
-            self.regions.push(LinkStats::new(&self.mesh));
+            self.regions
+                .push(LinkStats::with_slots(self.topo.link_slots()));
         }
         &mut self.regions[idx]
     }
@@ -217,7 +236,7 @@ impl LinkNetwork {
         self.regions
             .get(region.0 as usize)
             .cloned()
-            .unwrap_or_else(|| LinkStats::new(&self.mesh))
+            .unwrap_or_else(|| LinkStats::with_slots(self.topo.link_slots()))
     }
 
     /// Number of messages handed to the network (including local ones).
@@ -357,6 +376,39 @@ mod tests {
         let b = n.mesh().node_at(0, 1);
         let d = n.transmit(1_000_000, a, b, 100, GLOBAL_REGION);
         assert!(d.arrival >= 1_000_000 + cfg.transfer_ns(100));
+    }
+
+    #[test]
+    fn torus_transmit_takes_the_wraparound_link() {
+        use dm_mesh::Torus;
+        // GCel parameters: per-hop latency is non-zero, so the 1-hop
+        // wraparound route arrives strictly earlier than the 7-hop mesh
+        // route (under bandwidth_only the cut-through pipeline makes the
+        // two arrivals equal).
+        let cfg = MachineConfig::parsytec_gcel();
+        let mut n = LinkNetwork::new(Torus::new(1, 8), cfg);
+        // (0,0) → (0,7): one wraparound hop on the torus, 7 on the mesh.
+        let d = n.transmit(0, NodeId(0), NodeId(7), 500, GLOBAL_REGION);
+        assert_eq!(d.hops, 1);
+        assert_eq!(n.stats().total_msgs(), 1);
+        let mut mesh_net = LinkNetwork::new(Mesh::new(1, 8), cfg);
+        let dm = mesh_net.transmit(0, NodeId(0), NodeId(7), 500, GLOBAL_REGION);
+        assert_eq!(dm.hops, 7);
+        assert!(d.arrival < dm.arrival);
+    }
+
+    #[test]
+    fn fat_tree_transmit_crosses_up_and_down_edges() {
+        use dm_mesh::{FatTree, Topology};
+        let ft = FatTree::new(8);
+        let diameter = Topology::diameter(&ft);
+        let mut n = LinkNetwork::new(ft, MachineConfig::parsytec_gcel());
+        let d = n.transmit(0, NodeId(0), NodeId(7), 64, GLOBAL_REGION);
+        assert_eq!(d.hops, diameter);
+        assert_eq!(n.stats().total_msgs(), diameter as u64);
+        // Sibling leaves: 2 hops through the shared switch.
+        let d2 = n.transmit(d.arrival, NodeId(0), NodeId(1), 64, GLOBAL_REGION);
+        assert_eq!(d2.hops, 2);
     }
 
     #[test]

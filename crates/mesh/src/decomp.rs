@@ -18,8 +18,19 @@
 //!
 //! All of these are produced by [`DecompositionTree::build`] with the
 //! appropriate [`TreeShape`].
+//!
+//! Since PR 5 the decomposition is defined for every [`AnyTopology`], not
+//! just the mesh: [`DecompositionTree::build_on`] recursively bisects the
+//! node set through [`crate::Topology::split_region`]. Grid topologies (mesh,
+//! torus) keep the exact rectangle-based construction — and therefore
+//! bit-identical trees, embeddings and goldens on meshes — while the
+//! hypercube and fat tree decompose into aligned id ranges. Every tree node
+//! additionally records its *leaf range*: the contiguous slice of
+//! [`DecompositionTree::leaf_order`] covered by its subtree, which is the
+//! topology-agnostic region representation the embedding uses where no
+//! rectangle exists.
 
-use crate::{Mesh, NodeId, Submesh};
+use crate::{AnyTopology, Mesh, NodeId, Submesh};
 
 /// Identifier of a node within a [`DecompositionTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -109,8 +120,9 @@ impl TreeShape {
 /// One node of a [`DecompositionTree`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecompNode {
-    /// The submesh this tree node represents.
-    pub submesh: Submesh,
+    /// The submesh this tree node represents — `Some` for trees built over a
+    /// grid topology (mesh, torus), `None` otherwise (use the leaf range).
+    pub submesh: Option<Submesh>,
     /// Parent node (`None` for the root).
     pub parent: Option<TreeNodeId>,
     /// Children, ordered by the decomposition (first/"ceil" half first).
@@ -119,6 +131,12 @@ pub struct DecompNode {
     pub level: usize,
     /// For leaves: the processor this leaf represents.
     pub proc: Option<NodeId>,
+    /// First index of this node's subtree in
+    /// [`DecompositionTree::leaf_order`].
+    pub leaf_lo: u32,
+    /// One past the last index of this node's subtree in
+    /// [`DecompositionTree::leaf_order`].
+    pub leaf_hi: u32,
 }
 
 impl DecompNode {
@@ -133,7 +151,11 @@ impl DecompNode {
 /// a given mesh and tree shape.
 #[derive(Debug, Clone)]
 pub struct DecompositionTree {
-    mesh: Mesh,
+    topo: AnyTopology,
+    /// Coordinate grid of the topology, for grid topologies (mesh, torus):
+    /// the rectangle-based construction and the 2-D embedding rules read
+    /// row/column geometry through it.
+    grid: Option<Mesh>,
     shape: TreeShape,
     nodes: Vec<DecompNode>,
     /// Leaf tree node of each processor, indexed by `NodeId::index()`.
@@ -147,19 +169,43 @@ pub struct DecompositionTree {
 }
 
 impl DecompositionTree {
-    /// Build the decomposition tree of `mesh` with the given shape.
+    /// Build the decomposition tree of `mesh` with the given shape — the
+    /// paper's reference construction, equivalent to
+    /// [`DecompositionTree::build_on`] with a mesh topology.
     pub fn build(mesh: &Mesh, shape: TreeShape) -> Self {
+        Self::build_on(&AnyTopology::Mesh(mesh.clone()), shape)
+    }
+
+    /// Build the decomposition tree of an arbitrary topology with the given
+    /// shape, per the paper's construction for general networks: recursively
+    /// bisect the node set ([`crate::Topology::split_region`]), contracting
+    /// `levels_per_step` binary levels per tree level and terminating at
+    /// regions of at most `leaf_submesh` processors.
+    ///
+    /// Grid topologies (mesh, torus) take the rectangle-based path, which is
+    /// bit-identical to the pre-abstraction mesh construction.
+    pub fn build_on(topo: &AnyTopology, shape: TreeShape) -> Self {
+        let grid = topo.grid_dims().map(|(r, c)| Mesh::new(r, c));
         let mut tree = DecompositionTree {
-            mesh: mesh.clone(),
+            topo: topo.clone(),
+            grid,
             shape,
             nodes: Vec::new(),
-            leaf_of_proc: vec![TreeNodeId(0); mesh.nodes()],
+            leaf_of_proc: vec![TreeNodeId(0); topo.nodes()],
             leaf_order: Vec::new(),
             tin: Vec::new(),
             tout: Vec::new(),
         };
-        tree.expand(mesh.full(), None, 0);
-        debug_assert_eq!(tree.leaf_order.len(), mesh.nodes());
+        match tree.grid.clone() {
+            Some(grid) => {
+                tree.expand(&grid, grid.full(), None, 0);
+            }
+            None => {
+                let full: Vec<NodeId> = (0..topo.nodes() as u32).map(NodeId).collect();
+                tree.expand_region(topo, full, None, 0);
+            }
+        }
+        debug_assert_eq!(tree.leaf_order.len(), topo.nodes());
         tree.number_euler_tour();
         tree
     }
@@ -186,24 +232,35 @@ impl DecompositionTree {
         }
     }
 
-    /// Recursively create the node for `submesh` and its descendants.
-    fn expand(&mut self, submesh: Submesh, parent: Option<TreeNodeId>, level: usize) -> TreeNodeId {
+    /// Recursively create the node for `submesh` and its descendants (grid
+    /// topologies).
+    fn expand(
+        &mut self,
+        grid: &Mesh,
+        submesh: Submesh,
+        parent: Option<TreeNodeId>,
+        level: usize,
+    ) -> TreeNodeId {
         let id = TreeNodeId(self.nodes.len() as u32);
+        let leaf_lo = self.leaf_order.len() as u32;
         let proc = if submesh.is_single() {
-            Some(submesh.node_at(&self.mesh, 0, 0))
+            Some(submesh.node_at(grid, 0, 0))
         } else {
             None
         };
         self.nodes.push(DecompNode {
-            submesh,
+            submesh: Some(submesh),
             parent,
             children: Vec::new(),
             level,
             proc,
+            leaf_lo,
+            leaf_hi: leaf_lo,
         });
         if let Some(p) = proc {
             self.leaf_of_proc[p.index()] = id;
             self.leaf_order.push(p);
+            self.nodes[id.index()].leaf_hi = leaf_lo + 1;
             return id;
         }
         let child_submeshes = if submesh.size() <= self.shape.leaf_submesh {
@@ -219,15 +276,85 @@ impl DecompositionTree {
         };
         let children: Vec<TreeNodeId> = child_submeshes
             .into_iter()
-            .map(|s| self.expand(s, Some(id), level + 1))
+            .map(|s| self.expand(grid, s, Some(id), level + 1))
             .collect();
         self.nodes[id.index()].children = children;
+        self.nodes[id.index()].leaf_hi = self.leaf_order.len() as u32;
         id
     }
 
-    /// The mesh this tree decomposes.
+    /// Recursively create the node for `region` and its descendants
+    /// (non-grid topologies; regions come from
+    /// [`crate::Topology::split_region`]).
+    fn expand_region(
+        &mut self,
+        topo: &AnyTopology,
+        region: Vec<NodeId>,
+        parent: Option<TreeNodeId>,
+        level: usize,
+    ) -> TreeNodeId {
+        let id = TreeNodeId(self.nodes.len() as u32);
+        let leaf_lo = self.leaf_order.len() as u32;
+        let proc = if region.len() == 1 {
+            Some(region[0])
+        } else {
+            None
+        };
+        self.nodes.push(DecompNode {
+            submesh: None,
+            parent,
+            children: Vec::new(),
+            level,
+            proc,
+            leaf_lo,
+            leaf_hi: leaf_lo,
+        });
+        if let Some(p) = proc {
+            self.leaf_of_proc[p.index()] = id;
+            self.leaf_order.push(p);
+            self.nodes[id.index()].leaf_hi = leaf_lo + 1;
+            return id;
+        }
+        let child_regions = if region.len() <= self.shape.leaf_submesh {
+            // Terminal region of an ℓ-k-ary tree: one child per processor,
+            // in decomposition order (for split_region-produced regions the
+            // binary leaf order is the region order itself).
+            region.iter().map(|&n| vec![n]).collect()
+        } else {
+            let mut subs = Vec::with_capacity(self.shape.max_fanout());
+            split_region_levels(topo, region, self.shape.levels_per_step, &mut subs);
+            subs
+        };
+        let children: Vec<TreeNodeId> = child_regions
+            .into_iter()
+            .map(|r| self.expand_region(topo, r, Some(id), level + 1))
+            .collect();
+        self.nodes[id.index()].children = children;
+        self.nodes[id.index()].leaf_hi = self.leaf_order.len() as u32;
+        id
+    }
+
+    /// The topology this tree decomposes.
+    pub fn topology(&self) -> &AnyTopology {
+        &self.topo
+    }
+
+    /// Whether the tree was built over a grid topology (mesh, torus) and
+    /// therefore carries submesh rectangles and a coordinate grid.
+    pub fn has_grid(&self) -> bool {
+        self.grid.is_some()
+    }
+
+    /// The coordinate grid the submeshes refer to. For a mesh topology this
+    /// is the mesh itself; for a torus it is the same `rows × cols`
+    /// row-major grid.
+    ///
+    /// # Panics
+    /// Panics for trees over non-grid topologies (hypercube, fat tree).
     pub fn mesh(&self) -> &Mesh {
-        &self.mesh
+        self.grid
+            .as_ref()
+            .expect("decomposition tree of a non-grid topology has no coordinate mesh")
     }
 
     /// The shape the tree was built with.
@@ -270,9 +397,35 @@ impl DecompositionTree {
         self.node(id).level
     }
 
-    /// The submesh represented by a node.
+    /// The submesh represented by a node (grid topologies only).
+    ///
+    /// # Panics
+    /// Panics for trees over non-grid topologies; use
+    /// [`DecompositionTree::region`] there.
     pub fn submesh(&self, id: TreeNodeId) -> Submesh {
-        self.node(id).submesh
+        self.node(id)
+            .submesh
+            .expect("tree node of a non-grid topology has no submesh")
+    }
+
+    /// The processors of the node's region, in decomposition (leaf) order.
+    /// Works for every topology; for grid topologies this is the node's
+    /// submesh in binary-decomposition order.
+    pub fn region(&self, id: TreeNodeId) -> &[NodeId] {
+        let n = self.node(id);
+        &self.leaf_order[n.leaf_lo as usize..n.leaf_hi as usize]
+    }
+
+    /// The node's subtree as a `lo..hi` range into
+    /// [`DecompositionTree::leaf_order`].
+    pub fn leaf_range(&self, id: TreeNodeId) -> (usize, usize) {
+        let n = self.node(id);
+        (n.leaf_lo as usize, n.leaf_hi as usize)
+    }
+
+    /// The rank of processor `p` in [`DecompositionTree::leaf_order`].
+    pub fn leaf_rank(&self, p: NodeId) -> usize {
+        self.node(self.leaf_of(p)).leaf_lo as usize
     }
 
     /// Whether the node is a leaf.
@@ -385,6 +538,28 @@ fn collect_binary_leaves(submesh: Submesh, out: &mut Vec<Submesh>) {
     }
 }
 
+/// Split `region` through `levels` binary decomposition levels of `topo`,
+/// collecting the resulting regions in decomposition order — the
+/// [`crate::Topology::split_region`] twin of [`split_levels`].
+fn split_region_levels(
+    topo: &AnyTopology,
+    region: Vec<NodeId>,
+    levels: u32,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if levels == 0 {
+        out.push(region);
+        return;
+    }
+    match topo.split_region(&region) {
+        None => out.push(region),
+        Some((a, b)) => {
+            split_region_levels(topo, a, levels - 1, out);
+            split_region_levels(topo, b, levels - 1, out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,19 +572,19 @@ mod tests {
         // Children partition their parent.
         for id in tree.node_ids() {
             let n = tree.node(id);
+            let sub = tree.submesh(id);
+            // The leaf range covers exactly the submesh's processors.
+            assert_eq!(tree.region(id).len(), sub.size());
+            assert!(tree.region(id).iter().all(|&p| sub.contains(&mesh, p)));
             if n.is_leaf() {
                 assert!(n.children.is_empty());
-                assert_eq!(n.submesh.size(), 1);
+                assert_eq!(sub.size(), 1);
             } else {
                 assert!(!n.children.is_empty());
                 let total: usize = n.children.iter().map(|&c| tree.submesh(c).size()).sum();
-                assert_eq!(
-                    total,
-                    n.submesh.size(),
-                    "children must partition the parent"
-                );
+                assert_eq!(total, sub.size(), "children must partition the parent");
                 for &c in &n.children {
-                    assert!(n.submesh.contains_submesh(&tree.submesh(c)));
+                    assert!(sub.contains_submesh(&tree.submesh(c)));
                     assert_eq!(tree.parent(c), Some(id));
                     assert_eq!(tree.level(c), n.level + 1);
                 }
@@ -492,8 +667,8 @@ mod tests {
         for id in tree.node_ids() {
             let n = tree.node(id);
             if !n.is_leaf() && tree.children(id).iter().all(|&c| tree.is_leaf(c)) {
-                assert!(n.submesh.size() <= 4);
-                assert_eq!(n.children.len(), n.submesh.size());
+                assert!(tree.submesh(id).size() <= 4);
+                assert_eq!(n.children.len(), tree.submesh(id).size());
             }
         }
         // 2-4-ary is flatter than plain 2-ary.

@@ -29,12 +29,16 @@ impl std::fmt::Display for NodeId {
     }
 }
 
-/// Identifier of a *directed* mesh link.
+/// Identifier of a *directed* network link.
 ///
-/// Every node owns four link slots, one per [`Direction`]; the link id of the
-/// link leaving node `n` in direction `d` is `4 * n + d`. Slots that would
-/// leave the mesh (e.g. the eastern link of the last column) are never used,
-/// which wastes a few indices but keeps the mapping trivially invertible.
+/// Every topology numbers its links densely from 0 (see
+/// [`crate::Topology::link_slots`]). On the mesh and torus every node owns
+/// four link slots, one per [`Direction`]: the link leaving node `n` in
+/// direction `d` has id `4 * n + d`. Mesh slots that would leave the grid
+/// (e.g. the eastern link of the last column) are never used, which wastes a
+/// few indices but keeps the mapping trivially invertible.
+/// [`LinkId::source`] and [`LinkId::direction`] decode this 4-slot grid
+/// encoding and are meaningless for hypercube / fat-tree link ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 

@@ -7,6 +7,12 @@
 //!   numbering, bidirectional links between orthogonal neighbours, and
 //!   dimension-by-dimension order ("X-Y") routing, exactly the routing
 //!   discipline of the Parsytec GCel wormhole router assumed by the paper.
+//! * [`Topology`] — the network abstraction (node/link enumeration,
+//!   deterministic routing, bisection-aware decomposition) with three
+//!   further instantiations beyond the reference mesh: [`Torus`] (wraparound
+//!   links), [`Hypercube`] (e-cube routing) and [`FatTree`] (switch-based,
+//!   capacities doubling towards the root). [`AnyTopology`] is the closed
+//!   sum the simulator configurations carry.
 //! * [`Submesh`] — rectangular sub-regions of a mesh.
 //! * [`DecompositionTree`] — the recursive hierarchical mesh decomposition of
 //!   Section 2 of the paper, in its 2-ary form and in the flattened 4-ary,
@@ -27,9 +33,11 @@ mod ids;
 mod mesh;
 mod stats;
 mod submesh;
+mod topology;
 
 pub use decomp::{DecompNode, DecompositionTree, TreeNodeId, TreeShape};
 pub use ids::{Direction, LinkId, NodeId};
 pub use mesh::Mesh;
 pub use stats::LinkStats;
 pub use submesh::Submesh;
+pub use topology::{AnyTopology, FatTree, Hypercube, Topology, Torus};

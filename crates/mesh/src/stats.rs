@@ -28,8 +28,14 @@ pub struct LinkStats {
 impl LinkStats {
     /// Create zeroed statistics for `mesh`.
     pub fn new(mesh: &Mesh) -> Self {
+        Self::with_slots(mesh.link_slots())
+    }
+
+    /// Create zeroed statistics with the given number of directed-link
+    /// slots ([`crate::Topology::link_slots`] of the network in question).
+    pub fn with_slots(slots: usize) -> Self {
         LinkStats {
-            loads: vec![LinkLoad::default(); mesh.link_slots()],
+            loads: vec![LinkLoad::default(); slots],
         }
     }
 

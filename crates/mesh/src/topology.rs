@@ -1,0 +1,1010 @@
+//! The topology abstraction: run the data-management strategies on networks
+//! beyond the 2-D mesh.
+//!
+//! The paper defines the access-tree strategy for *arbitrary* networks via a
+//! hierarchical decomposition, but its experiments (and the first four PRs of
+//! this reproduction) only ever instantiate 2-D meshes. This module turns the
+//! network layer into an abstraction:
+//!
+//! * [`Topology`] — the trait every network implements: node/link
+//!   enumeration, deterministic routing, pairwise distance, and a
+//!   bisection-aware recursive decomposition step ([`Topology::split_region`])
+//!   from which the access trees are built.
+//! * [`Mesh`] — the reference implementation (unchanged semantics; the mesh
+//!   figure goldens are bit-identical to the pre-abstraction code).
+//! * [`Torus`] — the 2-D torus: a mesh with wraparound links and
+//!   shortest-way dimension-order routing.
+//! * [`Hypercube`] — the binary hypercube with LSB-first e-cube routing.
+//! * [`FatTree`] — a binary fat tree: processors at the leaves, switches
+//!   inside, edge capacities growing towards the root (modelled as parallel
+//!   physical links).
+//! * [`AnyTopology`] — a closed enum over the four implementations, used by
+//!   the simulator's hot paths (static dispatch per message) and cheap to
+//!   clone into configurations.
+//!
+//! ## Link identifiers
+//!
+//! Every topology numbers its directed links densely from 0 and sizes the
+//! per-link statistics via [`Topology::link_slots`]. The mesh and torus use
+//! the classic `4·node + direction` encoding (so [`LinkId::source`] /
+//! [`LinkId::direction`] remain meaningful); the hypercube uses
+//! `dim·node + bit`; the fat tree numbers its switch-to-switch channels
+//! sequentially at construction time.
+
+use crate::{Direction, LinkId, Mesh, NodeId, Submesh};
+
+/// A network of processors: enumeration, routing and recursive decomposition.
+///
+/// The simulator only needs combinatorial answers from a topology — which
+/// links a message crosses, how many link slots the statistics need, how a
+/// region of processors bisects. All methods must be deterministic: the
+/// entire reproduction rests on runs being bit-identical across hosts and
+/// thread counts.
+pub trait Topology: std::fmt::Debug + Send + Sync {
+    /// Short human-readable name (used in tables, e.g. `mesh 8x8`,
+    /// `hypercube-6`).
+    fn name(&self) -> String;
+
+    /// Number of processors.
+    fn nodes(&self) -> usize;
+
+    /// Size of the dense directed-link index space (some slots may be
+    /// unused, e.g. the mesh's edge slots).
+    fn link_slots(&self) -> usize;
+
+    /// Number of directed links that actually exist.
+    fn links(&self) -> usize;
+
+    /// All existing directed links.
+    fn link_ids(&self) -> Vec<LinkId>;
+
+    /// Processors directly connected to `n`. Empty for indirect topologies
+    /// (the fat tree routes every message through switches).
+    fn neighbors(&self, n: NodeId) -> Vec<NodeId>;
+
+    /// Number of links crossed by a message from `a` to `b` under the
+    /// topology's deterministic routing.
+    fn distance(&self, a: NodeId, b: NodeId) -> usize;
+
+    /// Visit every directed link crossed by the deterministic route from
+    /// `from` to `to`, in order. Calls `f` zero times when `from == to`.
+    fn route_links(&self, from: NodeId, to: NodeId, f: &mut dyn FnMut(LinkId));
+
+    /// Row/column geometry for topologies laid out on a 2-D grid with
+    /// row-major node numbering (mesh, torus); `None` otherwise.
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Maximum routing distance between any two processors.
+    fn diameter(&self) -> usize;
+
+    /// One step of the hierarchical decomposition: split a region produced
+    /// by earlier splits (initially all nodes, in id order) into two
+    /// connected, non-empty halves along the topology's bisection. Returns
+    /// `None` for single-processor regions.
+    ///
+    /// The split is the topology-specific generalisation of the paper's
+    /// "halve the longer side" rule: the mesh and torus split their bounding
+    /// rectangle, the hypercube splits off its highest dimension, the fat
+    /// tree splits at the subtree root.
+    fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)>;
+}
+
+/// Node ids of a grid rectangle in row-major order.
+fn rect_nodes(cols: usize, sub: Submesh) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(sub.size());
+    for r in sub.row0..sub.row0 + sub.rows {
+        for c in sub.col0..sub.col0 + sub.cols {
+            out.push(NodeId((r * cols + c) as u32));
+        }
+    }
+    out
+}
+
+/// Shared decomposition step of the grid topologies (mesh, torus): recover
+/// the region's bounding rectangle and split it along its longer side,
+/// exactly like [`Submesh::split`].
+fn grid_split_region(cols: usize, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+    if region.len() <= 1 {
+        return None;
+    }
+    let (mut r0, mut c0, mut r1, mut c1) = (usize::MAX, usize::MAX, 0, 0);
+    for n in region {
+        let (r, c) = (n.index() / cols, n.index() % cols);
+        r0 = r0.min(r);
+        c0 = c0.min(c);
+        r1 = r1.max(r);
+        c1 = c1.max(c);
+    }
+    let sub = Submesh::new(r0, c0, r1 - r0 + 1, c1 - c0 + 1);
+    debug_assert_eq!(
+        sub.size(),
+        region.len(),
+        "grid decomposition regions are full rectangles"
+    );
+    let (a, b) = sub.split()?;
+    Some((rect_nodes(cols, a), rect_nodes(cols, b)))
+}
+
+impl Topology for Mesh {
+    fn name(&self) -> String {
+        format!("mesh {}x{}", self.rows(), self.cols())
+    }
+
+    fn nodes(&self) -> usize {
+        Mesh::nodes(self)
+    }
+
+    fn link_slots(&self) -> usize {
+        Mesh::link_slots(self)
+    }
+
+    fn links(&self) -> usize {
+        Mesh::links(self)
+    }
+
+    fn link_ids(&self) -> Vec<LinkId> {
+        Mesh::link_ids(self).collect()
+    }
+
+    fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        Direction::ALL
+            .into_iter()
+            .filter_map(|d| self.neighbor(n, d))
+            .collect()
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        Mesh::distance(self, a, b)
+    }
+
+    fn route_links(&self, from: NodeId, to: NodeId, f: &mut dyn FnMut(LinkId)) {
+        self.for_each_route_link(from, to, f);
+    }
+
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        Some((self.rows(), self.cols()))
+    }
+
+    fn diameter(&self) -> usize {
+        self.rows() - 1 + self.cols() - 1
+    }
+
+    fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+        grid_split_region(self.cols(), region)
+    }
+}
+
+/// A 2-dimensional torus: the mesh plus wraparound links in both dimensions.
+///
+/// Node numbering, coordinates and the `4·node + direction` link encoding are
+/// identical to [`Mesh`]; every node additionally owns wraparound links, so
+/// all four link slots exist whenever the corresponding dimension has at
+/// least two lines. Routing is dimension-order (columns first, like the
+/// mesh's X-Y routing) but takes the shorter way around each ring; ties
+/// (exactly half the ring) deterministically go east/south.
+///
+/// The hierarchical decomposition reuses the mesh's rectangle splits — a
+/// contiguous rectangle of a torus is connected through its internal mesh
+/// links — so torus access trees are structurally identical to mesh access
+/// trees; only routing (and therefore congestion and timing) differs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Torus {
+    rows: usize,
+    cols: usize,
+}
+
+impl Torus {
+    /// Create a torus with the given number of rows and columns.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "torus dimensions must be positive");
+        Torus { rows, cols }
+    }
+
+    /// Create a square `side × side` torus.
+    pub fn square(side: usize) -> Self {
+        Self::new(side, side)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row/column coordinate of a node (row-major numbering, like the mesh).
+    #[inline]
+    pub fn coord(&self, n: NodeId) -> (usize, usize) {
+        let i = n.index();
+        debug_assert!(i < self.rows * self.cols);
+        (i / self.cols, i % self.cols)
+    }
+
+    /// Node id of the processor in row `r`, column `c`.
+    #[inline]
+    pub fn node_at(&self, r: usize, c: usize) -> NodeId {
+        assert!(r < self.rows && c < self.cols, "coordinate out of range");
+        NodeId((r * self.cols + c) as u32)
+    }
+
+    /// Ring distance (shorter way around) between two lines of a dimension
+    /// of length `len`.
+    #[inline]
+    fn ring_dist(len: usize, a: usize, b: usize) -> usize {
+        let fwd = (b + len - a) % len;
+        fwd.min(len - fwd)
+    }
+
+    /// Call `f` for every directed link crossed by the shortest-way
+    /// dimension-order route from `from` to `to` (columns first, then rows).
+    /// Monomorphic twin of [`Topology::route_links`] for the simulator's
+    /// per-message hot path.
+    pub fn for_each_route_link<F: FnMut(LinkId)>(&self, from: NodeId, to: NodeId, mut f: F) {
+        let (fr, fc) = self.coord(from);
+        let (tr, tc) = self.coord(to);
+        let cols = self.cols;
+        let rows = self.rows;
+        // Dimension 1: move along the row ring at row `fr`.
+        let mut c = fc;
+        if fc != tc {
+            let fwd = (tc + cols - fc) % cols;
+            let east = fwd <= cols - fwd; // tie → east
+            let steps = fwd.min(cols - fwd);
+            for _ in 0..steps {
+                let cur = (fr * cols + c) as u32;
+                let d = if east {
+                    Direction::East
+                } else {
+                    Direction::West
+                };
+                f(LinkId(cur * 4 + d.index() as u32));
+                c = if east {
+                    (c + 1) % cols
+                } else {
+                    (c + cols - 1) % cols
+                };
+            }
+        }
+        // Dimension 2: move along the column ring at column `tc`.
+        let mut r = fr;
+        if fr != tr {
+            let fwd = (tr + rows - fr) % rows;
+            let south = fwd <= rows - fwd; // tie → south
+            let steps = fwd.min(rows - fwd);
+            for _ in 0..steps {
+                let cur = (r * cols + tc) as u32;
+                let d = if south {
+                    Direction::South
+                } else {
+                    Direction::North
+                };
+                f(LinkId(cur * 4 + d.index() as u32));
+                r = if south {
+                    (r + 1) % rows
+                } else {
+                    (r + rows - 1) % rows
+                };
+            }
+        }
+    }
+}
+
+impl Topology for Torus {
+    fn name(&self) -> String {
+        format!("torus {}x{}", self.rows, self.cols)
+    }
+
+    fn nodes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn link_slots(&self) -> usize {
+        self.rows * self.cols * 4
+    }
+
+    fn links(&self) -> usize {
+        let horizontal = if self.cols > 1 {
+            self.rows * 2 * self.cols
+        } else {
+            0
+        };
+        let vertical = if self.rows > 1 {
+            self.cols * 2 * self.rows
+        } else {
+            0
+        };
+        horizontal + vertical
+    }
+
+    fn link_ids(&self) -> Vec<LinkId> {
+        let mut out = Vec::with_capacity(Topology::links(self));
+        for n in 0..self.rows * self.cols {
+            for d in Direction::ALL {
+                let exists = match d {
+                    Direction::East | Direction::West => self.cols > 1,
+                    Direction::South | Direction::North => self.rows > 1,
+                };
+                if exists {
+                    out.push(LinkId((n * 4 + d.index()) as u32));
+                }
+            }
+        }
+        out
+    }
+
+    fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        let (r, c) = self.coord(n);
+        let mut out = Vec::with_capacity(4);
+        if self.cols > 1 {
+            out.push(self.node_at(r, (c + 1) % self.cols));
+            out.push(self.node_at(r, (c + self.cols - 1) % self.cols));
+        }
+        if self.rows > 1 {
+            out.push(self.node_at((r + 1) % self.rows, c));
+            out.push(self.node_at((r + self.rows - 1) % self.rows, c));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ar, ac) = self.coord(a);
+        let (br, bc) = self.coord(b);
+        Self::ring_dist(self.rows, ar, br) + Self::ring_dist(self.cols, ac, bc)
+    }
+
+    fn route_links(&self, from: NodeId, to: NodeId, f: &mut dyn FnMut(LinkId)) {
+        self.for_each_route_link(from, to, f);
+    }
+
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        Some((self.rows, self.cols))
+    }
+
+    fn diameter(&self) -> usize {
+        self.rows / 2 + self.cols / 2
+    }
+
+    fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+        grid_split_region(self.cols, region)
+    }
+}
+
+/// A binary hypercube of `2^dim` processors.
+///
+/// Node `n` is adjacent to `n ^ (1 << b)` for every dimension `b`; the link
+/// leaving `n` along dimension `b` has id `n·dim + b`. Routing is the
+/// deterministic e-cube order: differing address bits are corrected from the
+/// lowest dimension to the highest.
+///
+/// The hierarchical decomposition splits off the highest remaining
+/// dimension, so every region is a subcube — a contiguous, aligned id range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Create a hypercube of dimension `dim` (`2^dim` processors).
+    ///
+    /// # Panics
+    /// Panics if `dim > 24` (the id spaces throughout the simulator are
+    /// `u32`-based).
+    pub fn new(dim: u32) -> Self {
+        assert!(dim <= 24, "hypercube dimension {dim} out of range");
+        Hypercube { dim }
+    }
+
+    /// The dimension.
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Monomorphic routing twin of [`Topology::route_links`] (see
+    /// [`Torus::for_each_route_link`]).
+    pub fn for_each_route_link<F: FnMut(LinkId)>(&self, from: NodeId, to: NodeId, mut f: F) {
+        let mut cur = from.0;
+        let diff = from.0 ^ to.0;
+        for b in 0..self.dim {
+            if diff >> b & 1 == 1 {
+                f(LinkId(cur * self.dim + b));
+                cur ^= 1 << b;
+            }
+        }
+    }
+}
+
+impl Topology for Hypercube {
+    fn name(&self) -> String {
+        format!("hypercube-{}", self.dim)
+    }
+
+    fn nodes(&self) -> usize {
+        1usize << self.dim
+    }
+
+    fn link_slots(&self) -> usize {
+        Topology::nodes(self) * self.dim as usize
+    }
+
+    fn links(&self) -> usize {
+        Topology::nodes(self) * self.dim as usize
+    }
+
+    fn link_ids(&self) -> Vec<LinkId> {
+        (0..Topology::link_slots(self) as u32).map(LinkId).collect()
+    }
+
+    fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        (0..self.dim).map(|b| NodeId(n.0 ^ (1 << b))).collect()
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        (a.0 ^ b.0).count_ones() as usize
+    }
+
+    fn route_links(&self, from: NodeId, to: NodeId, f: &mut dyn FnMut(LinkId)) {
+        self.for_each_route_link(from, to, f);
+    }
+
+    fn diameter(&self) -> usize {
+        self.dim as usize
+    }
+
+    fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+        if region.len() <= 1 {
+            return None;
+        }
+        debug_assert!(
+            region.len().is_power_of_two()
+                && region[0].index().is_multiple_of(region.len())
+                && region[region.len() - 1].index() == region[0].index() + region.len() - 1,
+            "hypercube decomposition regions are aligned subcubes"
+        );
+        let mid = region.len() / 2;
+        Some((region[..mid].to_vec(), region[mid..].to_vec()))
+    }
+}
+
+/// A binary fat tree over `2^h` processors.
+///
+/// The processors sit at the leaves of a complete binary tree of switches;
+/// a message from leaf `a` to leaf `b` climbs to their lowest common
+/// ancestor switch and descends again. Following Leiserson's construction,
+/// edge capacity grows towards the root: the edge above a subtree of `L ≥ 2`
+/// leaves consists of `L/2` parallel physical links (its bisection width),
+/// leaf edges are single links. A flow picks its channel deterministically
+/// by `(a ⊕ b) mod multiplicity`, so distinct flows spread across the
+/// parallel links while every run stays reproducible.
+///
+/// There are no direct processor-to-processor links
+/// ([`Topology::neighbors`] is empty); decomposition regions are subtrees —
+/// contiguous aligned leaf ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FatTree {
+    leaves: usize,
+    levels: u32,
+    /// Channel multiplicity of the up-edge of each tree vertex, indexed by
+    /// heap id (`1` = root, vertex `v` has children `2v` and `2v+1`, leaf
+    /// `i` is vertex `leaves + i`). Entries 0 and 1 are unused.
+    mult: Vec<u32>,
+    /// First link id of each vertex's up-channel group; the down-channel
+    /// group (parent → vertex) follows at `up_base + mult`.
+    up_base: Vec<u32>,
+    total_links: u32,
+}
+
+impl FatTree {
+    /// Create a binary fat tree with the given number of leaf processors.
+    ///
+    /// # Panics
+    /// Panics if `leaves` is not a power of two, zero, or exceeds `2^24`
+    /// (mirroring [`Hypercube::new`]: the link-id space is `u32`-based, and
+    /// a fat tree of `2^24` leaves already owns ~2^28 directed channels).
+    pub fn new(leaves: usize) -> Self {
+        assert!(
+            leaves.is_power_of_two(),
+            "fat tree needs a power-of-two leaf count, got {leaves}"
+        );
+        assert!(
+            leaves <= 1 << 24,
+            "fat tree leaf count {leaves} out of range"
+        );
+        let levels = leaves.trailing_zeros();
+        let size = 2 * leaves;
+        let mut mult = vec![0u32; size];
+        let mut up_base = vec![0u32; size];
+        let mut next = 0u32;
+        for v in 2..size {
+            let depth = (v as u32).ilog2();
+            let under = leaves >> depth;
+            let m = (under / 2).max(1) as u32;
+            mult[v] = m;
+            up_base[v] = next;
+            next += 2 * m;
+        }
+        FatTree {
+            leaves,
+            levels,
+            mult,
+            up_base,
+            total_links: next,
+        }
+    }
+
+    /// Number of leaf processors.
+    #[inline]
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Number of switch levels between a leaf and the root.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Channel multiplicity of the edge above a subtree of `sub_leaves`
+    /// leaves (its bisection width, with a floor of one link).
+    pub fn edge_multiplicity(sub_leaves: usize) -> usize {
+        (sub_leaves / 2).max(1)
+    }
+
+    #[inline]
+    fn leaf_vertex(&self, n: NodeId) -> usize {
+        self.leaves + n.index()
+    }
+
+    /// Deterministic per-flow channel choice on an edge of multiplicity `m`.
+    #[inline]
+    fn channel(from: NodeId, to: NodeId, m: u32) -> u32 {
+        (from.0 ^ to.0) % m
+    }
+
+    /// Monomorphic routing twin of [`Topology::route_links`] (see
+    /// [`Torus::for_each_route_link`]): up-edges from `from`'s leaf to the
+    /// LCA switch, then down-edges to `to`'s leaf.
+    pub fn for_each_route_link<F: FnMut(LinkId)>(&self, from: NodeId, to: NodeId, mut f: F) {
+        if from == to {
+            return;
+        }
+        let mut va = self.leaf_vertex(from);
+        let mut vb = self.leaf_vertex(to);
+        // Both endpoints are leaves, hence at equal depth: climb in lockstep.
+        // The tree has at most 25 levels (u32 ids), so the down path fits a
+        // fixed stack buffer — no per-message allocation.
+        let mut down = [0usize; 32];
+        let mut nd = 0;
+        while va != vb {
+            f(LinkId(
+                self.up_base[va] + Self::channel(from, to, self.mult[va]),
+            ));
+            down[nd] = vb;
+            nd += 1;
+            va /= 2;
+            vb /= 2;
+        }
+        for &v in down[..nd].iter().rev() {
+            f(LinkId(
+                self.up_base[v] + self.mult[v] + Self::channel(from, to, self.mult[v]),
+            ));
+        }
+    }
+}
+
+impl Topology for FatTree {
+    fn name(&self) -> String {
+        format!("fat-tree-{}", self.leaves)
+    }
+
+    fn nodes(&self) -> usize {
+        self.leaves
+    }
+
+    fn link_slots(&self) -> usize {
+        self.total_links as usize
+    }
+
+    fn links(&self) -> usize {
+        self.total_links as usize
+    }
+
+    fn link_ids(&self) -> Vec<LinkId> {
+        (0..self.total_links).map(LinkId).collect()
+    }
+
+    fn neighbors(&self, _n: NodeId) -> Vec<NodeId> {
+        Vec::new() // indirect topology: all links connect switches
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        if a == b {
+            return 0;
+        }
+        let mut va = self.leaf_vertex(a);
+        let mut vb = self.leaf_vertex(b);
+        let mut hops = 0;
+        while va != vb {
+            va /= 2;
+            vb /= 2;
+            hops += 2; // one up-edge and one down-edge per climbed level
+        }
+        hops
+    }
+
+    fn route_links(&self, from: NodeId, to: NodeId, f: &mut dyn FnMut(LinkId)) {
+        self.for_each_route_link(from, to, f);
+    }
+
+    fn diameter(&self) -> usize {
+        2 * self.levels as usize
+    }
+
+    fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+        if region.len() <= 1 {
+            return None;
+        }
+        debug_assert!(
+            region.len().is_power_of_two() && region[0].index().is_multiple_of(region.len()),
+            "fat-tree decomposition regions are aligned subtrees"
+        );
+        let mid = region.len() / 2;
+        Some((region[..mid].to_vec(), region[mid..].to_vec()))
+    }
+}
+
+/// A closed sum over the provided topologies.
+///
+/// The simulator's configurations and hot paths hold an `AnyTopology` (cheap
+/// to clone, statically dispatched per message); generic code — the
+/// decomposition builder, the property tests — goes through the [`Topology`]
+/// trait, which `AnyTopology` also implements by delegation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyTopology {
+    /// The reference 2-D mesh.
+    Mesh(Mesh),
+    /// The 2-D torus (wraparound links).
+    Torus(Torus),
+    /// The binary hypercube.
+    Hypercube(Hypercube),
+    /// The binary fat tree.
+    FatTree(FatTree),
+}
+
+/// Forward one method of the [`Topology`] trait through the enum.
+macro_rules! dispatch {
+    ($self:ident, $t:ident => $e:expr) => {
+        match $self {
+            AnyTopology::Mesh($t) => $e,
+            AnyTopology::Torus($t) => $e,
+            AnyTopology::Hypercube($t) => $e,
+            AnyTopology::FatTree($t) => $e,
+        }
+    };
+}
+
+impl AnyTopology {
+    /// The underlying mesh, when this topology is one.
+    pub fn mesh(&self) -> Option<&Mesh> {
+        match self {
+            AnyTopology::Mesh(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Visit every directed link crossed by the deterministic route from
+    /// `from` to `to` — the monomorphic (statically dispatched) twin of
+    /// [`Topology::route_links`], used once per simulated message.
+    #[inline]
+    pub fn for_each_route_link<F: FnMut(LinkId)>(&self, from: NodeId, to: NodeId, f: F) {
+        match self {
+            AnyTopology::Mesh(m) => m.for_each_route_link(from, to, f),
+            AnyTopology::Torus(t) => t.for_each_route_link(from, to, f),
+            AnyTopology::Hypercube(h) => h.for_each_route_link(from, to, f),
+            AnyTopology::FatTree(ft) => ft.for_each_route_link(from, to, f),
+        }
+    }
+
+    /// See [`Topology::name`].
+    pub fn name(&self) -> String {
+        dispatch!(self, t => Topology::name(t))
+    }
+
+    /// See [`Topology::nodes`].
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        dispatch!(self, t => Topology::nodes(t))
+    }
+
+    /// See [`Topology::link_slots`].
+    pub fn link_slots(&self) -> usize {
+        dispatch!(self, t => Topology::link_slots(t))
+    }
+
+    /// See [`Topology::links`].
+    pub fn links(&self) -> usize {
+        dispatch!(self, t => Topology::links(t))
+    }
+
+    /// See [`Topology::link_ids`].
+    pub fn link_ids(&self) -> Vec<LinkId> {
+        dispatch!(self, t => Topology::link_ids(t))
+    }
+
+    /// See [`Topology::neighbors`].
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        dispatch!(self, t => Topology::neighbors(t, n))
+    }
+
+    /// See [`Topology::distance`].
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        dispatch!(self, t => Topology::distance(t, a, b))
+    }
+
+    /// See [`Topology::grid_dims`].
+    pub fn grid_dims(&self) -> Option<(usize, usize)> {
+        dispatch!(self, t => Topology::grid_dims(t))
+    }
+
+    /// See [`Topology::diameter`].
+    pub fn diameter(&self) -> usize {
+        dispatch!(self, t => Topology::diameter(t))
+    }
+
+    /// See [`Topology::split_region`].
+    pub fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+        dispatch!(self, t => Topology::split_region(t, region))
+    }
+}
+
+impl Topology for AnyTopology {
+    fn name(&self) -> String {
+        AnyTopology::name(self)
+    }
+    fn nodes(&self) -> usize {
+        AnyTopology::nodes(self)
+    }
+    fn link_slots(&self) -> usize {
+        AnyTopology::link_slots(self)
+    }
+    fn links(&self) -> usize {
+        AnyTopology::links(self)
+    }
+    fn link_ids(&self) -> Vec<LinkId> {
+        AnyTopology::link_ids(self)
+    }
+    fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        AnyTopology::neighbors(self, n)
+    }
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        AnyTopology::distance(self, a, b)
+    }
+    fn route_links(&self, from: NodeId, to: NodeId, f: &mut dyn FnMut(LinkId)) {
+        AnyTopology::for_each_route_link(self, from, to, f);
+    }
+    fn grid_dims(&self) -> Option<(usize, usize)> {
+        AnyTopology::grid_dims(self)
+    }
+    fn diameter(&self) -> usize {
+        AnyTopology::diameter(self)
+    }
+    fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+        AnyTopology::split_region(self, region)
+    }
+}
+
+impl From<Mesh> for AnyTopology {
+    fn from(m: Mesh) -> Self {
+        AnyTopology::Mesh(m)
+    }
+}
+
+impl From<Torus> for AnyTopology {
+    fn from(t: Torus) -> Self {
+        AnyTopology::Torus(t)
+    }
+}
+
+impl From<Hypercube> for AnyTopology {
+    fn from(h: Hypercube) -> Self {
+        AnyTopology::Hypercube(h)
+    }
+}
+
+impl From<FatTree> for AnyTopology {
+    fn from(f: FatTree) -> Self {
+        AnyTopology::FatTree(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Routes must cross exactly `distance` links, stay within the link
+    /// index space, and be deterministic.
+    fn check_routing(topo: &dyn Topology) {
+        let n = topo.nodes();
+        let slots = topo.link_slots();
+        let probes: Vec<usize> = vec![0, 1, n / 3, n / 2, n - 1];
+        for &a in &probes {
+            for &b in &probes {
+                let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+                let mut route = Vec::new();
+                topo.route_links(a, b, &mut |l| route.push(l));
+                assert_eq!(route.len(), topo.distance(a, b), "{} {a}->{b}", topo.name());
+                assert!(route.iter().all(|l| l.index() < slots));
+                let mut again = Vec::new();
+                topo.route_links(a, b, &mut |l| again.push(l));
+                assert_eq!(route, again, "routing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_routing_through_the_trait() {
+        check_routing(&Mesh::new(4, 6));
+    }
+
+    #[test]
+    fn torus_routing_takes_the_short_way_around() {
+        let t = Torus::new(8, 8);
+        check_routing(&t);
+        // Opposite corners: 2 hops on the torus (one wraparound step per
+        // dimension), 14 on the mesh.
+        let a = t.node_at(0, 0);
+        let b = t.node_at(7, 7);
+        assert_eq!(Topology::distance(&t, a, b), 2);
+        assert_eq!(Mesh::square(8).distance(a, b), 14);
+        // One step west of the origin wraps to the last column.
+        let c = t.node_at(0, 7);
+        let mut route = Vec::new();
+        t.for_each_route_link(a, c, |l| route.push(l));
+        assert_eq!(route.len(), 1);
+        assert_eq!(route[0], LinkId(Direction::West.index() as u32));
+    }
+
+    #[test]
+    fn torus_tie_goes_east_and_south() {
+        let t = Torus::new(4, 4);
+        let a = t.node_at(0, 0);
+        let b = t.node_at(0, 2); // exactly half the ring either way
+        let mut route = Vec::new();
+        t.for_each_route_link(a, b, |l| route.push(l));
+        assert_eq!(route[0].direction(), Direction::East);
+        let c = t.node_at(2, 0);
+        route.clear();
+        t.for_each_route_link(a, c, |l| route.push(l));
+        assert_eq!(route[0].direction(), Direction::South);
+    }
+
+    #[test]
+    fn torus_link_counts() {
+        let t = Torus::new(4, 4);
+        assert_eq!(Topology::links(&t), 64); // 4 links per node, all used
+        assert_eq!(Topology::link_ids(&t).len(), 64);
+        let line = Torus::new(1, 4);
+        assert_eq!(Topology::links(&line), 8); // one ring of 4, both ways
+    }
+
+    #[test]
+    fn hypercube_routing_is_ecube() {
+        let h = Hypercube::new(6);
+        check_routing(&h);
+        let a = NodeId(0b000000);
+        let b = NodeId(0b101001);
+        let mut route = Vec::new();
+        h.for_each_route_link(a, b, |l| route.push(l));
+        // LSB-first: dimension 0, then 3, then 5.
+        assert_eq!(route.len(), 3);
+        assert_eq!(route[0], LinkId(0)); // node 0, bit 0
+        assert_eq!(route[1], LinkId(6 + 3)); // node 0b1, bit 3
+        assert_eq!(route[2], LinkId(0b001001 * 6 + 5));
+    }
+
+    #[test]
+    fn hypercube_neighbors_are_bit_flips() {
+        let h = Hypercube::new(4);
+        let n = Topology::neighbors(&h, NodeId(0b0101));
+        assert_eq!(n.len(), 4);
+        for m in n {
+            assert_eq!(Topology::distance(&h, NodeId(0b0101), m), 1);
+        }
+    }
+
+    #[test]
+    fn fat_tree_distances_and_routes() {
+        let ft = FatTree::new(16);
+        check_routing(&ft);
+        // Sibling leaves meet at their parent switch: 2 hops.
+        assert_eq!(Topology::distance(&ft, NodeId(0), NodeId(1)), 2);
+        // Opposite halves meet at the root: 2·levels hops.
+        assert_eq!(
+            Topology::distance(&ft, NodeId(0), NodeId(15)),
+            2 * ft.levels() as usize
+        );
+        assert_eq!(Topology::diameter(&ft), 8);
+    }
+
+    #[test]
+    fn fat_tree_edge_multiplicity_grows_towards_the_root() {
+        let ft = FatTree::new(16);
+        // Root children cover 8 leaves each → 4 parallel links; leaf edges
+        // are single links.
+        assert_eq!(ft.mult[2], 4);
+        assert_eq!(ft.mult[3], 4);
+        assert_eq!(ft.mult[16], 1);
+        // Total: per root child 2·4, per depth-2 vertex 2·2, per depth-3
+        // vertex 2·1, per leaf 2·1 = 16 + 16 + 16 + 32 = 80.
+        assert_eq!(Topology::links(&ft), 80);
+    }
+
+    #[test]
+    fn fat_tree_flows_spread_over_parallel_channels() {
+        let ft = FatTree::new(16);
+        // Distinct flows crossing the root must not all share one channel.
+        let mut first_links = std::collections::HashSet::new();
+        for a in 0..8u32 {
+            let mut route = Vec::new();
+            ft.for_each_route_link(NodeId(a), NodeId(15), |l| route.push(l));
+            assert_eq!(route.len(), 8);
+            first_links.insert(route[3]); // the up-edge into the root
+        }
+        assert!(
+            first_links.len() > 1,
+            "all flows collapsed onto one channel"
+        );
+    }
+
+    #[test]
+    fn split_region_halves_every_topology() {
+        let topos: Vec<AnyTopology> = vec![
+            Mesh::new(4, 8).into(),
+            Torus::new(4, 8).into(),
+            Hypercube::new(5).into(),
+            FatTree::new(32).into(),
+        ];
+        for topo in &topos {
+            let full: Vec<NodeId> = (0..topo.nodes() as u32).map(NodeId).collect();
+            let (a, b) = topo.split_region(&full).expect("splittable");
+            assert_eq!(a.len() + b.len(), full.len(), "{}", topo.name());
+            assert!(!a.is_empty() && !b.is_empty());
+            let mut merged: Vec<NodeId> = a.iter().chain(b.iter()).copied().collect();
+            merged.sort_unstable();
+            assert_eq!(merged, full, "{}: halves must partition", topo.name());
+            assert!(topo.split_region(&full[..1]).is_none());
+        }
+    }
+
+    #[test]
+    fn names_and_grid_dims() {
+        assert_eq!(AnyTopology::from(Mesh::new(2, 3)).name(), "mesh 2x3");
+        assert_eq!(AnyTopology::from(Torus::new(4, 4)).name(), "torus 4x4");
+        assert_eq!(AnyTopology::from(Hypercube::new(3)).name(), "hypercube-3");
+        assert_eq!(AnyTopology::from(FatTree::new(8)).name(), "fat-tree-8");
+        assert_eq!(
+            AnyTopology::from(Torus::new(4, 6)).grid_dims(),
+            Some((4, 6))
+        );
+        assert_eq!(AnyTopology::from(Hypercube::new(3)).grid_dims(), None);
+        assert_eq!(AnyTopology::from(FatTree::new(8)).grid_dims(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fat_tree_rejects_non_power_of_two() {
+        FatTree::new(12);
+    }
+}

@@ -95,7 +95,7 @@ fn decomposition_tree_invariants() {
                 let n = tree.node(id);
                 if !n.is_leaf() {
                     let total: usize = n.children.iter().map(|&c| tree.submesh(c).size()).sum();
-                    assert_eq!(total, n.submesh.size(), "{mesh:?} {shape:?}");
+                    assert_eq!(total, tree.submesh(id).size(), "{mesh:?} {shape:?}");
                     assert!(
                         n.children.len() <= shape.max_fanout().max(shape.leaf_submesh),
                         "{mesh:?} {shape:?}: fanout {}",

@@ -16,7 +16,7 @@ fn main() {
     for id in tree.node_ids() {
         let n = tree.node(id);
         let indent = "  ".repeat(n.level);
-        let s = n.submesh;
+        let s = tree.submesh(id);
         println!(
             "{indent}level {} — rows {}..{} cols {}..{} ({} processor{})",
             n.level,
