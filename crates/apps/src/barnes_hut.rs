@@ -469,7 +469,7 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
                 }
             }
             (final_bodies, interactions_total)
-        })
+        }).expect_completed()
     };
 
     let mut final_bodies = bodies.to_vec();
@@ -1635,7 +1635,25 @@ impl ProcProgram for BhProgram {
 /// Run the Barnes-Hut simulation under the event-driven execution mode — the
 /// same simulated run as [`run_shared_prototype`] (bit-identical report), practical on
 /// much larger meshes.
-pub fn run_shared_driven(mut diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcome {
+pub fn run_shared_driven(diva: Diva, params: BhParams, bodies: &[Body]) -> BhOutcome {
+    match try_run_shared_driven(diva, params, bodies) {
+        Ok(out) => out,
+        Err(p) => panic!(
+            "Barnes-Hut run partitioned at {} ns (node {} unreachable)",
+            p.at, p.unreachable
+        ),
+    }
+}
+
+/// Like [`run_shared_driven`], but a fault plan that disconnects the network
+/// yields `Err` (with the partial report) instead of panicking — the
+/// graceful-degradation sweep (`fig13`) reports such points as partitioned
+/// rows.
+pub fn try_run_shared_driven(
+    mut diva: Diva,
+    params: BhParams,
+    bodies: &[Body],
+) -> Result<BhOutcome, dm_diva::Partitioned> {
     assert_eq!(bodies.len(), params.n_bodies);
     let nprocs = diva.num_procs();
     let n = params.n_bodies;
@@ -1688,7 +1706,10 @@ pub fn run_shared_driven(mut diva: Diva, params: BhParams, bodies: &[Body]) -> B
         })
         .collect();
 
-    let outcome = diva.run_driven(programs);
+    let outcome = match diva.run_driven(programs) {
+        dm_diva::RunOutcome::Completed(done) => done,
+        dm_diva::RunOutcome::Partitioned(p) => return Err(p),
+    };
     let mut final_bodies = bodies.to_vec();
     let mut interactions = 0u64;
     for prog in outcome.results {
@@ -1698,12 +1719,12 @@ pub fn run_shared_driven(mut diva: Diva, params: BhParams, bodies: &[Body]) -> B
             final_bodies[idx] = body;
         }
     }
-    BhOutcome {
+    Ok(BhOutcome {
         report: outcome.report,
         bodies: final_bodies,
         interactions,
         queue_trace: outcome.queue_trace,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -176,7 +176,7 @@ pub fn run_shared_prototype(mut diva: Diva, params: BitonicParams) -> BitonicOut
         // leaking run; only the variable-lifecycle statistics move.
         ctx.free(vars[wire]);
         (wire, mine)
-    });
+    }).expect_completed();
     let mut keys_per_wire = vec![Vec::new(); p];
     for (wire, keys) in outcome.results {
         keys_per_wire[wire] = keys;
@@ -319,7 +319,7 @@ pub fn run_shared_driven(mut diva: Diva, params: BitonicParams) -> BitonicOutcom
             }
         })
         .collect();
-    let outcome = diva.run_driven(programs);
+    let outcome = diva.run_driven(programs).expect_completed();
     let mut keys_per_wire = vec![Vec::new(); p];
     for prog in outcome.results {
         keys_per_wire[prog.wire] = prog.mine;
@@ -430,7 +430,7 @@ pub fn run_hand_optimized_driven(diva: Diva, params: BitonicParams) -> BitonicOu
             }
         })
         .collect();
-    let outcome = diva.run_driven(programs);
+    let outcome = diva.run_driven(programs).expect_completed();
     let mut keys_per_wire = vec![Vec::new(); p];
     for prog in outcome.results {
         keys_per_wire[prog.wire] = prog.mine;
@@ -470,7 +470,7 @@ pub fn run_hand_optimized_prototype(diva: Diva, params: BitonicParams) -> Bitoni
         }
         ctx.barrier();
         (wire, mine)
-    });
+    }).expect_completed();
     let mut keys_per_wire = vec![Vec::new(); p];
     for (wire, keys) in outcome.results {
         keys_per_wire[wire] = keys;

@@ -161,7 +161,7 @@ pub fn run_shared_prototype(mut diva: Diva, params: MatmulParams) -> MatmulOutco
         // the report's variable-lifecycle statistics move.
         ctx.free(vars[i * q + j]);
         h
-    });
+    }).expect_completed();
     MatmulOutcome {
         report: outcome.report,
         blocks: outcome.results,
@@ -303,7 +303,7 @@ pub fn run_shared_driven(mut diva: Diva, params: MatmulParams) -> MatmulOutcome 
     let programs: Vec<MatmulProgram> = (0..q * q)
         .map(|p| MatmulProgram::new(p, q, side, params.include_compute, Arc::clone(&vars)))
         .collect();
-    let outcome = diva.run_driven(programs);
+    let outcome = diva.run_driven(programs).expect_completed();
     MatmulOutcome {
         report: outcome.report,
         blocks: outcome.results.into_iter().map(|p| p.h).collect(),
@@ -434,7 +434,7 @@ pub fn run_hand_optimized_prototype(diva: Diva, params: MatmulParams) -> MatmulO
         }
         ctx.barrier();
         h
-    });
+    }).expect_completed();
     MatmulOutcome {
         report: outcome.report,
         blocks: outcome.results,
@@ -642,7 +642,7 @@ pub fn run_hand_optimized_driven(diva: Diva, params: MatmulParams) -> MatmulOutc
     let programs: Vec<MatmulHandOptProgram> = (0..q * q)
         .map(|p| MatmulHandOptProgram::new(p, q, side, params.include_compute, block_bytes))
         .collect();
-    let outcome = diva.run_driven(programs);
+    let outcome = diva.run_driven(programs).expect_completed();
     MatmulOutcome {
         report: outcome.report,
         blocks: outcome.results.into_iter().map(|p| p.h).collect(),
@@ -730,6 +730,41 @@ mod tests {
             let driven = run_shared_driven(diva(4, strategy), params);
             assert_eq!(threaded.blocks, driven.blocks, "{strategy:?}");
             assert_eq!(threaded.report, driven.report, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn driven_and_threaded_shared_runs_agree_under_an_active_fault_plan() {
+        // A seeded plan that degrades links and kills directory roles
+        // mid-run (without disconnecting the mesh) must leave the two
+        // backends bit-identical: fault application is an event like any
+        // other.
+        use dm_diva::FaultPlan;
+        use dm_mesh::NodeId;
+        for strategy in [
+            StrategyKind::AccessTree(TreeShape::quad()),
+            StrategyKind::FixedHome,
+        ] {
+            let plan = FaultPlan::new(0xFA01)
+                .degrade_links(0.2, 0.5, 200_000)
+                .fail_node(NodeId(6), 600_000)
+                .fail_random_nodes(2, 1_000_000);
+            let mk = |s| {
+                Diva::new(
+                    DivaConfig::new(Mesh::square(4), s).with_fault_plan(plan.clone()),
+                )
+            };
+            let params = MatmulParams::new(64);
+            let threaded = run_shared_prototype(mk(strategy), params);
+            let driven = run_shared_driven(mk(strategy), params);
+            assert_eq!(threaded.blocks, driven.blocks, "{strategy:?}");
+            assert_eq!(threaded.report, driven.report, "{strategy:?}");
+            // The result is still correct despite the re-homing.
+            let side = params.block_side();
+            let expected = reference_square(&initial_blocks(4, side), 4, side);
+            assert_eq!(driven.blocks, expected, "{strategy:?}");
+            assert_eq!(driven.report.faults.nodes_failed, 3, "{strategy:?}");
+            assert!(driven.report.faults.links_degraded > 0, "{strategy:?}");
         }
     }
 

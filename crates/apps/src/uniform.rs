@@ -12,7 +12,7 @@
 //! The workload is topology-agnostic by construction (it never looks at
 //! coordinates) and runs on the event-driven backend only.
 
-use dm_diva::{Diva, Op, ProcProgram, RunReport, StepCtx, VarHandle};
+use dm_diva::{Diva, Op, Partitioned, ProcProgram, RunOutcome, RunReport, StepCtx, VarHandle};
 use dm_rng::ChaCha8Rng;
 use std::sync::Arc;
 
@@ -129,7 +129,24 @@ impl ProcProgram for UniformProgram {
 /// Run the uniform-random workload on the event-driven backend: allocate the
 /// variable pool (round-robin owners, deterministic initial values), run one
 /// access stream per processor, close with a barrier.
-pub fn run_uniform_driven(mut diva: Diva, params: UniformParams) -> UniformOutcome {
+pub fn run_uniform_driven(diva: Diva, params: UniformParams) -> UniformOutcome {
+    match try_run_uniform_driven(diva, params) {
+        Ok(out) => out,
+        Err(p) => panic!(
+            "uniform workload partitioned at {} ns (node {} unreachable)",
+            p.at, p.unreachable
+        ),
+    }
+}
+
+/// Like [`run_uniform_driven`], but a fault plan that disconnects the
+/// network yields `Err` (with the partial report) instead of panicking —
+/// the graceful-degradation sweep (`fig13`) reports such points as
+/// partitioned rows.
+pub fn try_run_uniform_driven(
+    mut diva: Diva,
+    params: UniformParams,
+) -> Result<UniformOutcome, Partitioned> {
     assert!(
         params.n_vars > 0,
         "the workload needs at least one variable"
@@ -149,15 +166,18 @@ pub fn run_uniform_driven(mut diva: Diva, params: UniformParams) -> UniformOutco
     let programs: Vec<UniformProgram> = (0..nprocs)
         .map(|p| UniformProgram::new(p, &params, Arc::clone(&vars)))
         .collect();
-    let outcome = diva.run_driven(programs);
+    let outcome = match diva.run_driven(programs) {
+        RunOutcome::Completed(done) => done,
+        RunOutcome::Partitioned(p) => return Err(p),
+    };
     let checksum = outcome
         .results
         .iter()
         .fold(0u64, |acc, p| acc.rotate_left(13) ^ p.checksum);
-    UniformOutcome {
+    Ok(UniformOutcome {
         report: outcome.report,
         checksum,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ fn run_threaded() -> RunReport {
             }
         }
         ctx.barrier();
-    });
+    }).expect_completed();
     outcome.report
 }
 
@@ -99,7 +99,7 @@ fn run_driven() -> RunReport {
             done: false,
         })
         .collect();
-    diva.run_driven(programs).report
+    diva.run_driven(programs).expect_completed().report
 }
 
 fn main() {

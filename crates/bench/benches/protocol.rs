@@ -64,7 +64,7 @@ fn bench_protocol_round() {
             let outcome = diva.run_prototype(|ctx| {
                 let _ = ctx.read::<Vec<u8>>(v);
                 ctx.barrier();
-            });
+            }).expect_completed();
             outcome.report.congestion_bytes()
         });
     }

@@ -1,0 +1,62 @@
+//! Figure 13 (beyond the paper): graceful degradation under faults.
+//!
+//! Each (topology, strategy, workload) group runs a fixed scenario ladder —
+//! intact, 20% of links degraded to quarter bandwidth, 10%/20% of links
+//! failed, one node failed, four nodes failed — under a seeded
+//! [`dm_diva::FaultPlan`], and every faulted row reports its congestion and
+//! completion-time deltas against the intact baseline of its own group.
+//! Scenarios that disconnect the network render as `partitioned@<node>`
+//! instead of aborting the sweep: a clean partition diagnosis is part of
+//! the robustness contract being measured.
+
+use dm_bench::fault_exp::graceful_degradation_sweep;
+use dm_bench::table::{secs, Table};
+use dm_bench::HarnessOpts;
+
+/// A signed percent delta, or a dash for rows it does not apply to (the
+/// intact baseline and partitioned rows).
+fn pct(value: f64, applies: bool) -> String {
+    if applies {
+        format!("{value:+.1}%")
+    } else {
+        "—".to_string()
+    }
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let sweep = graceful_degradation_sweep(&opts);
+    let mut table = Table::new(&[
+        "topology",
+        "workload",
+        "strategy",
+        "scenario",
+        "outcome",
+        "congestion[msgs]",
+        "Δcongestion",
+        "exec time[s]",
+        "Δtime",
+        "rehomed[B]",
+    ]);
+    for r in &sweep.rows {
+        let faulted_ok = r.scenario != "intact" && r.outcome == "ok";
+        table.row(vec![
+            r.topology.clone(),
+            r.workload.clone(),
+            r.strategy.clone(),
+            r.scenario.clone(),
+            r.outcome.clone(),
+            r.congestion_msgs.to_string(),
+            pct(r.congestion_delta_pct, faulted_ok),
+            secs(r.exec_time_ns),
+            pct(r.time_delta_pct, faulted_ok),
+            r.rehome_bytes.to_string(),
+        ]);
+    }
+    println!(
+        "Figure 13 — graceful degradation under faults at {} nodes ({} scale, {} scenarios)",
+        sweep.meta.nodes, sweep.meta.scale, sweep.meta.scenarios
+    );
+    println!("{}", table.render());
+    opts.write_json(&sweep);
+}

@@ -23,8 +23,9 @@
 //! * **Memory governor** — jobs whose scheduling weight reaches
 //!   [`HEAVY_WEIGHT`] (mega-scale points, whose live octrees peak at
 //!   hundreds of thousands of variables — on any topology) are capped at
-//!   [`MAX_HEAVY_CONCURRENT`] in flight; workers that would exceed the cap
-//!   pick lighter jobs instead, or wait.
+//!   [`max_heavy_concurrent`] in flight, a cap sized from the host's
+//!   available memory; workers that would exceed the cap pick lighter jobs
+//!   instead, or wait.
 //! * **Per-job host timing** — each [`JobResult`] carries the wall-clock
 //!   milliseconds the job spent on its worker. Host times are contention-
 //!   skewed under high `--jobs` and are therefore reported only in the JSON
@@ -33,12 +34,52 @@
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-/// Maximum number of memory-heavy jobs (mega-scale Barnes-Hut points) in
-/// flight at once, independent of `--jobs`. A 128×128 point keeps >600 000
-/// live variables plus octree scratch per run; two in flight bounds the peak
-/// host footprint while still overlapping the two strategies of a `scale
-/// --bh` sweep.
-pub const MAX_HEAVY_CONCURRENT: usize = 2;
+/// Host-memory budget assumed per memory-heavy job (mega-scale Barnes-Hut
+/// points keep >600 000 live variables plus octree scratch per run). The
+/// governor cap is `MemAvailable / HEAVY_JOB_BYTES`, so a 16 GiB box admits
+/// four heavy points, an 8 GiB one two — see [`max_heavy_concurrent`].
+pub const HEAVY_JOB_BYTES: u64 = 4 << 30;
+
+/// Fallback heavy-job cap when host memory cannot be determined (no
+/// `/proc/meminfo`, unparsable content). Two in flight bounds the peak
+/// footprint while still overlapping the two strategies of a `scale --bh`
+/// sweep — the historical fixed cap.
+pub const FALLBACK_HEAVY_CONCURRENT: usize = 2;
+
+/// Maximum number of memory-heavy jobs in flight at once, independent of
+/// `--jobs`: available host memory divided by the per-job budget
+/// [`HEAVY_JOB_BYTES`], clamped to `[1, 8]` (at least one heavy job must
+/// always be admissible or the sweep deadlocks; above eight the working
+/// sets thrash the shared caches long before memory runs out). Falls back
+/// to [`FALLBACK_HEAVY_CONCURRENT`] when `/proc/meminfo` is unavailable.
+/// Computed once per process.
+pub fn max_heavy_concurrent() -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::fs::read_to_string("/proc/meminfo")
+            .ok()
+            .and_then(|text| heavy_cap_from_meminfo(&text))
+            .unwrap_or(FALLBACK_HEAVY_CONCURRENT)
+    })
+}
+
+/// The governor cap for a given `/proc/meminfo` content: prefers
+/// `MemAvailable` (free + reclaimable page cache), falls back to `MemTotal`,
+/// divides by [`HEAVY_JOB_BYTES`] and clamps to `[1, 8]`. `None` when
+/// neither field parses.
+fn heavy_cap_from_meminfo(text: &str) -> Option<usize> {
+    let bytes = meminfo_field(text, "MemAvailable").or_else(|| meminfo_field(text, "MemTotal"))?;
+    Some(((bytes / HEAVY_JOB_BYTES) as usize).clamp(1, 8))
+}
+
+/// One `/proc/meminfo` field in bytes (the file reports kB).
+fn meminfo_field(text: &str, field: &str) -> Option<u64> {
+    text.lines()
+        .find_map(|line| line.strip_prefix(field)?.strip_prefix(':'))
+        .and_then(|rest| rest.trim().split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+}
 
 /// Scheduling weight at which a job counts as memory-heavy. Weights are the
 /// sweeps' cost estimates (bodies × time steps × network nodes for
@@ -58,7 +99,7 @@ pub struct Job<T> {
     /// start first.
     pub weight: u64,
     /// Memory-heavy job (weight ≥ [`HEAVY_WEIGHT`], or flagged explicitly):
-    /// capped at [`MAX_HEAVY_CONCURRENT`] in flight.
+    /// capped at [`max_heavy_concurrent`] in flight.
     pub heavy: bool,
     run: Box<dyn FnOnce() -> T + Send>,
 }
@@ -66,7 +107,7 @@ pub struct Job<T> {
 impl<T> Job<T> {
     /// Describe a job with the given scheduling weight. Jobs whose weight
     /// reaches [`HEAVY_WEIGHT`] are automatically treated as memory-heavy
-    /// (see [`MAX_HEAVY_CONCURRENT`]).
+    /// (see [`max_heavy_concurrent`]).
     pub fn new(weight: u64, run: impl FnOnce() -> T + Send + 'static) -> Self {
         Job {
             weight,
@@ -76,7 +117,7 @@ impl<T> Job<T> {
     }
 
     /// Mark the job as memory-heavy regardless of its weight (see
-    /// [`MAX_HEAVY_CONCURRENT`]).
+    /// [`max_heavy_concurrent`]).
     pub fn heavy(mut self) -> Self {
         self.heavy = true;
         self
@@ -188,6 +229,7 @@ impl<T> Drop for HeavySlotGuard<'_, T> {
 }
 
 fn worker_loop<T: Send>(state: &Mutex<SchedState<T>>, idle: &Condvar) {
+    let heavy_cap = max_heavy_concurrent();
     let mut guard = state.lock().expect("executor state poisoned");
     loop {
         // First queued job the governor admits: heavy jobs only while fewer
@@ -197,7 +239,7 @@ fn worker_loop<T: Send>(state: &Mutex<SchedState<T>>, idle: &Condvar) {
             .iter()
             .position(|&i| {
                 let heavy = guard.slots[i].as_ref().is_some_and(|j| j.heavy);
-                !heavy || guard.heavy_running < MAX_HEAVY_CONCURRENT
+                !heavy || guard.heavy_running < heavy_cap
             })
             .map(|pos| guard.queue.remove(pos));
         match admitted {
@@ -304,10 +346,33 @@ mod tests {
             .collect();
         run_jobs(8, jobs);
         assert!(
-            peak.load(Ordering::SeqCst) <= MAX_HEAVY_CONCURRENT,
-            "governor admitted {} heavy jobs at once",
-            peak.load(Ordering::SeqCst)
+            peak.load(Ordering::SeqCst) <= max_heavy_concurrent(),
+            "governor admitted {} heavy jobs at once (cap {})",
+            peak.load(Ordering::SeqCst),
+            max_heavy_concurrent()
         );
+    }
+
+    #[test]
+    fn heavy_cap_derives_from_available_memory() {
+        // 20 GiB available → five 4 GiB heavy jobs.
+        let text = "MemTotal:       32000000 kB\nMemAvailable:   20971520 kB\n";
+        assert_eq!(heavy_cap_from_meminfo(text), Some(5));
+        // MemAvailable missing (pre-3.14 kernels): fall back to MemTotal.
+        let total_only = "MemTotal:       8388608 kB\nMemFree:        1024 kB\n";
+        assert_eq!(heavy_cap_from_meminfo(total_only), Some(2));
+        // Tiny hosts still admit one heavy job — a zero cap would deadlock.
+        assert_eq!(heavy_cap_from_meminfo("MemAvailable: 512 kB\n"), Some(1));
+        // Huge hosts are clamped: beyond eight the caches thrash first.
+        assert_eq!(
+            heavy_cap_from_meminfo("MemAvailable: 999999999 kB\n"),
+            Some(8)
+        );
+        // Garbage in, None out (the caller falls back to the fixed cap).
+        assert_eq!(heavy_cap_from_meminfo("SwapTotal: 0 kB\n"), None);
+        assert_eq!(heavy_cap_from_meminfo("MemAvailable: lots\n"), None);
+        // The process-wide cap is always usable, whatever the host.
+        assert!((1..=8).contains(&max_heavy_concurrent()));
     }
 
     #[test]
@@ -364,7 +429,7 @@ mod tests {
                     DivaConfig::new(Mesh::square(2), StrategyKind::FixedHome).with_seed(seed),
                 );
                 Job::new(1, move || {
-                    let outcome = diva.run_prototype(|ctx| ctx.barrier());
+                    let outcome = diva.run_prototype(|ctx| ctx.barrier()).expect_completed();
                     outcome.report.total_time
                 })
             })

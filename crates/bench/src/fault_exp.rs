@@ -1,0 +1,474 @@
+//! The graceful-degradation experiment (Figure 13, beyond the paper).
+//!
+//! The paper proves the access-tree strategy competitive on an *intact*
+//! network; this sweep asks how each strategy's congestion and completion
+//! time decay when the network is not. Every (topology, strategy, workload)
+//! group runs a fixed scenario ladder — intact, degraded links, failed
+//! links, failed nodes — under a seeded [`FaultPlan`], and each faulted row
+//! reports its deltas against the intact baseline of its own group, in the
+//! degradation-metric style of the replication-in-data-grids literature.
+//!
+//! Scenarios that disconnect the network (random link loss can sever a fat
+//! tree's leaf uplinks) are *reported*, not failed: the row renders as
+//! `partitioned@<node>` with the partial measurements, because a clean
+//! partition diagnosis is exactly the graceful behaviour being tested.
+//!
+//! Every point is an independent executor [`Job`], so `--jobs N`
+//! parallelises the sweep with byte-identical tables and JSON for every `N`
+//! (the `jobs_determinism` gate covers `fig13`; deltas are assembled after
+//! the executor returns, like fig3's ratios).
+
+use crate::executor::Job;
+use crate::{HarnessOpts, Scale};
+use dm_apps::barnes_hut::{try_run_shared_driven, BhParams};
+use dm_apps::uniform::{try_run_uniform_driven, UniformParams};
+use dm_apps::workload::plummer_bodies;
+use dm_diva::{Diva, DivaConfig, FaultPlan, Partitioned, RunReport, StrategyKind};
+use dm_engine::MachineConfig;
+use dm_mesh::{AnyTopology, NodeId, TreeShape};
+
+/// [`crate::make_diva_on`] plus an optional fault plan.
+fn make_faulty_diva(
+    topo: AnyTopology,
+    strategy: StrategyKind,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> Diva {
+    let mut cfg = DivaConfig::on(topo, strategy)
+        .with_seed(seed)
+        .with_machine(MachineConfig::parsytec_gcel());
+    if let Some(plan) = plan {
+        cfg = cfg.with_fault_plan(plan);
+    }
+    Diva::new(cfg)
+}
+
+/// Measurements of one (topology, strategy, workload, scenario) point.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Topology name (`mesh 4x4`, `torus 4x4`, `hypercube-4`, `fat-tree-16`).
+    pub topology: String,
+    /// Workload name (`uniform` or `barnes-hut`).
+    pub workload: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Failure scenario name (`intact`, `fail 10% links`, ...).
+    pub scenario: String,
+    /// `ok`, or `partitioned@<node>` when the scenario disconnected the
+    /// network (partial measurements up to the partition).
+    pub outcome: String,
+    /// Congestion in messages over the measured part of the run.
+    pub congestion_msgs: u64,
+    /// Congestion in bytes over the measured part of the run.
+    pub congestion_bytes: u64,
+    /// Execution time of the measured part of the run in ns.
+    pub exec_time_ns: u64,
+    /// Links degraded / failed and nodes failed by the scenario.
+    pub links_degraded: u64,
+    /// Links failed by the scenario.
+    pub links_failed: u64,
+    /// Nodes whose data-management role the scenario killed.
+    pub nodes_failed: u64,
+    /// Re-homing migration messages charged by node failures.
+    pub rehome_msgs: u64,
+    /// Re-homing migration bytes charged by node failures.
+    pub rehome_bytes: u64,
+    /// Congestion delta vs. the group's intact baseline, in percent
+    /// (0 for the baseline itself and for partitioned rows).
+    pub congestion_delta_pct: f64,
+    /// Execution-time delta vs. the group's intact baseline, in percent
+    /// (0 for the baseline itself and for partitioned rows).
+    pub time_delta_pct: f64,
+    /// Host wall-clock milliseconds of this point (JSON sidecar only).
+    pub host_ms: f64,
+}
+
+crate::impl_to_json!(FaultRow {
+    topology,
+    workload,
+    strategy,
+    scenario,
+    outcome,
+    congestion_msgs,
+    congestion_bytes,
+    exec_time_ns,
+    links_degraded,
+    links_failed,
+    nodes_failed,
+    rehome_msgs,
+    rehome_bytes,
+    congestion_delta_pct,
+    time_delta_pct,
+    host_ms,
+});
+
+/// Shared parameters of a graceful-degradation sweep.
+#[derive(Debug, Clone)]
+pub struct FaultMeta {
+    /// Scale tier name.
+    pub scale: String,
+    /// Matched node count.
+    pub nodes: usize,
+    /// Uniform workload: accesses per processor.
+    pub uniform_ops: usize,
+    /// Barnes-Hut workload: body count.
+    pub bh_bodies: usize,
+    /// Barnes-Hut workload: simulated time steps.
+    pub bh_timesteps: usize,
+    /// Number of scenarios per (topology, strategy, workload) group.
+    pub scenarios: usize,
+    /// Seed of the sweep (workloads and fault plans).
+    pub seed: u64,
+}
+
+crate::impl_to_json!(FaultMeta {
+    scale,
+    nodes,
+    uniform_ops,
+    bh_bodies,
+    bh_timesteps,
+    scenarios,
+    seed,
+});
+
+/// A graceful-degradation sweep: metadata plus measured rows.
+#[derive(Debug, Clone)]
+pub struct FaultSweep {
+    /// The sweep's shared parameters.
+    pub meta: FaultMeta,
+    /// One row per (topology, strategy, workload, scenario) point, scenario
+    /// innermost; the first row of each group is the intact baseline.
+    pub rows: Vec<FaultRow>,
+}
+
+crate::impl_to_json!(FaultSweep { meta, rows });
+
+/// The scenario ladder: the intact baseline first, then link degradation,
+/// link failure at two rates, and node failures — the 0–20% link / 0–4 node
+/// grid of the issue. All faults strike at t=0 so every scenario measures a
+/// whole run under the fault (mid-run strikes would make the comparison
+/// depend on each workload's phase structure). Plans are seeded from the
+/// sweep seed, so victim sampling is deterministic per scenario.
+fn scenarios(seed: u64, nodes: usize) -> Vec<(String, Option<FaultPlan>)> {
+    vec![
+        ("intact".to_string(), None),
+        (
+            "degrade 20% links to 25% bw".to_string(),
+            Some(FaultPlan::new(seed).degrade_links(0.20, 0.25, 0)),
+        ),
+        (
+            "fail 10% links".to_string(),
+            Some(FaultPlan::new(seed ^ 1).fail_links(0.10, 0)),
+        ),
+        (
+            "fail 20% links".to_string(),
+            Some(FaultPlan::new(seed ^ 2).fail_links(0.20, 0)),
+        ),
+        (
+            "fail 1 node".to_string(),
+            Some(FaultPlan::new(seed ^ 3).fail_node(NodeId((nodes / 2) as u32), 0)),
+        ),
+        (
+            "fail 4 nodes".to_string(),
+            Some(FaultPlan::new(seed ^ 4).fail_random_nodes(4, 0)),
+        ),
+    ]
+}
+
+/// The strategy panel of the degradation sweep: the fixed-home reference and
+/// the two access-tree arities the mesh figures single out.
+fn fault_strategies() -> Vec<(String, StrategyKind)> {
+    vec![
+        ("fixed home".to_string(), StrategyKind::FixedHome),
+        (
+            "4-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
+        (
+            "16-ary access tree".to_string(),
+            StrategyKind::AccessTree(TreeShape::hex16()),
+        ),
+    ]
+}
+
+/// Reduce a run's outcome to a [`FaultRow`] (deltas filled in later): the
+/// whole run for uniform, everything outside the `warmup` region for
+/// Barnes-Hut — the fig12 conventions, so intact fig13 rows are comparable
+/// with fig12 numbers.
+fn fill_row(
+    topo: &AnyTopology,
+    workload: &str,
+    strategy: &str,
+    scenario: &str,
+    outcome: Result<&RunReport, &Partitioned>,
+) -> FaultRow {
+    let (report, outcome_str) = match outcome {
+        Ok(report) => (report, "ok".to_string()),
+        Err(p) => (&p.report, format!("partitioned@{}", p.unreachable.0)),
+    };
+    let warmup_wall = report.region("warmup").map(|r| r.wall_time).unwrap_or(0);
+    FaultRow {
+        topology: topo.name(),
+        workload: workload.to_string(),
+        strategy: strategy.to_string(),
+        scenario: scenario.to_string(),
+        outcome: outcome_str,
+        congestion_msgs: report.congestion_msgs(),
+        congestion_bytes: report.congestion_bytes(),
+        exec_time_ns: report.total_time.saturating_sub(warmup_wall),
+        links_degraded: report.faults.links_degraded,
+        links_failed: report.faults.links_failed,
+        nodes_failed: report.faults.nodes_failed,
+        rehome_msgs: report.faults.rehome_msgs,
+        rehome_bytes: report.faults.rehome_bytes,
+        congestion_delta_pct: 0.0,
+        time_delta_pct: 0.0,
+        host_ms: 0.0,
+    }
+}
+
+/// Describe one uniform-workload point as an executor job.
+fn uniform_job(
+    topo: AnyTopology,
+    strategy_name: String,
+    strategy: StrategyKind,
+    scenario: String,
+    plan: Option<FaultPlan>,
+    params: UniformParams,
+) -> Job<FaultRow> {
+    let weight = (params.ops_per_proc * topo.nodes()) as u64;
+    Job::new(weight, move || {
+        let diva = make_faulty_diva(topo.clone(), strategy, params.seed, plan);
+        let out = try_run_uniform_driven(diva, params);
+        let outcome = match &out {
+            Ok(o) => Ok(&o.report),
+            Err(p) => Err(p),
+        };
+        fill_row(&topo, "uniform", &strategy_name, &scenario, outcome)
+    })
+}
+
+/// Describe one Barnes-Hut point as an executor job. Mega points trip the
+/// executor's memory governor exactly like the fig12 jobs.
+fn bh_job(
+    topo: AnyTopology,
+    strategy_name: String,
+    strategy: StrategyKind,
+    scenario: String,
+    plan: Option<FaultPlan>,
+    params: BhParams,
+    seed: u64,
+) -> Job<FaultRow> {
+    let weight = params.n_bodies as u64 * (params.timesteps as u64).max(1) * topo.nodes() as u64;
+    let mem = params.n_bodies as u64 * topo.nodes() as u64;
+    let job = Job::new(weight, move || {
+        let bodies = plummer_bodies(seed ^ params.n_bodies as u64, params.n_bodies);
+        let diva = make_faulty_diva(topo.clone(), strategy, seed, plan);
+        let out = try_run_shared_driven(diva, params, &bodies);
+        let outcome = match &out {
+            Ok(o) => Ok(&o.report),
+            Err(p) => Err(p),
+        };
+        fill_row(&topo, "barnes-hut", &strategy_name, &scenario, outcome)
+    });
+    if mem >= crate::bh_exp::BH_HEAVY_MEM {
+        job.heavy()
+    } else {
+        job
+    }
+}
+
+/// Percentage delta of `value` against `base` (0 when the baseline is 0).
+fn delta_pct(value: u64, base: u64) -> f64 {
+    if base == 0 {
+        0.0
+    } else {
+        (value as f64 - base as f64) / base as f64 * 100.0
+    }
+}
+
+/// Fill each row's deltas against the intact baseline of its scenario group.
+/// Rows arrive in description order, scenario innermost, so every group is a
+/// contiguous `group_len` chunk whose first row is the intact run.
+fn fill_deltas(rows: &mut [FaultRow], group_len: usize) {
+    for group in rows.chunks_mut(group_len) {
+        debug_assert_eq!(group[0].scenario, "intact");
+        let (base_msgs, base_time) = (group[0].congestion_msgs, group[0].exec_time_ns);
+        for row in &mut group[1..] {
+            if row.outcome == "ok" {
+                row.congestion_delta_pct = delta_pct(row.congestion_msgs, base_msgs);
+                row.time_delta_pct = delta_pct(row.exec_time_ns, base_time);
+            }
+        }
+    }
+}
+
+/// The Figure-13 sweep: the scenario ladder across all four topologies and
+/// the degradation strategy panel, under both workloads, at one matched node
+/// count per scale tier.
+pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> FaultSweep {
+    let (nodes, uniform_ops, bh_bodies) = match opts.scale() {
+        Scale::Smoke => (16, 24, 192),
+        Scale::Default => (64, 64, 2_000),
+        Scale::Paper => (256, 128, 10_000),
+        Scale::Mega => (4_096, 128, 50_000),
+    };
+    let mut bh_params = BhParams {
+        n_bodies: bh_bodies,
+        timesteps: if opts.scale() == Scale::Mega { 5 } else { 2 },
+        warmup_steps: 1,
+        ..BhParams::new(0)
+    };
+    crate::bh_exp::apply_lifecycle_opts(&mut bh_params, opts);
+    let mut uniform_params = UniformParams::new(nodes);
+    uniform_params.ops_per_proc = uniform_ops;
+    uniform_params.seed = opts.seed;
+
+    let scenario_list = scenarios(opts.seed, nodes);
+    let mut jobs = Vec::new();
+    for topo in crate::topo_exp::topologies_at(nodes) {
+        for (strategy_name, strategy) in fault_strategies() {
+            for workload in ["uniform", "barnes-hut"] {
+                for (scenario, plan) in &scenario_list {
+                    jobs.push(match workload {
+                        "uniform" => uniform_job(
+                            topo.clone(),
+                            strategy_name.clone(),
+                            strategy,
+                            scenario.clone(),
+                            plan.clone(),
+                            uniform_params,
+                        ),
+                        _ => bh_job(
+                            topo.clone(),
+                            strategy_name.clone(),
+                            strategy,
+                            scenario.clone(),
+                            plan.clone(),
+                            bh_params,
+                            opts.seed,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    let mut rows: Vec<FaultRow> = crate::executor::run_jobs(opts.jobs(), jobs)
+        .into_iter()
+        .map(|r| {
+            let mut row = r.value;
+            row.host_ms = r.host_ms;
+            row
+        })
+        .collect();
+    fill_deltas(&mut rows, scenario_list.len());
+    FaultSweep {
+        meta: FaultMeta {
+            scale: opts.scale().name().to_string(),
+            nodes,
+            uniform_ops,
+            bh_bodies,
+            bh_timesteps: bh_params.timesteps,
+            scenarios: scenario_list.len(),
+            seed: opts.seed,
+        },
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_mesh::{FatTree, Torus};
+
+    #[test]
+    fn the_ladder_starts_intact() {
+        let list = scenarios(7, 16);
+        assert_eq!(list[0].0, "intact");
+        assert!(list[0].1.is_none());
+        assert!(list[1..].iter().all(|(_, p)| p.is_some()));
+    }
+
+    #[test]
+    fn a_faulted_uniform_point_reports_its_tally() {
+        let topo: AnyTopology = Torus::square(4).into();
+        let params = UniformParams {
+            ops_per_proc: 8,
+            ..UniformParams::new(16)
+        };
+        let plan = FaultPlan::new(5).fail_node(NodeId(8), 0);
+        let row = uniform_job(
+            topo,
+            "fixed home".into(),
+            StrategyKind::FixedHome,
+            "fail 1 node".into(),
+            Some(plan),
+            params,
+        )
+        .call();
+        assert_eq!(row.outcome, "ok");
+        assert_eq!(row.nodes_failed, 1);
+        assert!(row.rehome_msgs > 0);
+        assert!(row.exec_time_ns > 0);
+    }
+
+    #[test]
+    fn a_partitioning_point_renders_instead_of_failing() {
+        // Severing every link cannot complete; the row must say so.
+        let topo: AnyTopology = FatTree::new(16).into();
+        let params = UniformParams {
+            ops_per_proc: 8,
+            ..UniformParams::new(16)
+        };
+        let plan = FaultPlan::new(5).fail_links(1.0, 0);
+        let row = uniform_job(
+            topo,
+            "fixed home".into(),
+            StrategyKind::FixedHome,
+            "fail all links".into(),
+            Some(plan),
+            params,
+        )
+        .call();
+        assert!(row.outcome.starts_with("partitioned@"), "{}", row.outcome);
+        assert!(row.links_failed > 0);
+    }
+
+    #[test]
+    fn deltas_compare_each_row_to_its_own_intact_baseline() {
+        let mk = |scenario: &str, outcome: &str, msgs: u64, time: u64| FaultRow {
+            topology: "t".into(),
+            workload: "w".into(),
+            strategy: "s".into(),
+            scenario: scenario.into(),
+            outcome: outcome.into(),
+            congestion_msgs: msgs,
+            congestion_bytes: 0,
+            exec_time_ns: time,
+            links_degraded: 0,
+            links_failed: 0,
+            nodes_failed: 0,
+            rehome_msgs: 0,
+            rehome_bytes: 0,
+            congestion_delta_pct: 0.0,
+            time_delta_pct: 0.0,
+            host_ms: 0.0,
+        };
+        let mut rows = vec![
+            mk("intact", "ok", 100, 1_000),
+            mk("fail", "ok", 150, 1_200),
+            mk("sever", "partitioned@3", 10, 50),
+            mk("intact", "ok", 200, 2_000),
+            mk("fail", "ok", 100, 2_000),
+            mk("sever", "ok", 300, 3_000),
+        ];
+        fill_deltas(&mut rows, 3);
+        assert_eq!(rows[1].congestion_delta_pct, 50.0);
+        assert_eq!(rows[1].time_delta_pct, 20.0);
+        // Partitioned rows keep zero deltas: partial runs are not comparable.
+        assert_eq!(rows[2].congestion_delta_pct, 0.0);
+        // The second group compares against its own baseline.
+        assert_eq!(rows[4].congestion_delta_pct, -50.0);
+        assert_eq!(rows[5].time_delta_pct, 50.0);
+    }
+}

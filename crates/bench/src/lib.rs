@@ -15,6 +15,7 @@
 //! | `fig10` | Figure 10    | Barnes-Hut: force-computation phase congestion, time and local computation |
 //! | `fig11` | Figure 11    | Barnes-Hut: scaling the network size with N = bodies-per-processor · P |
 //! | `fig12` | (beyond paper) | all five strategies across the four topologies (mesh, torus, hypercube, fat tree) at matched node counts, uniform-random + Barnes-Hut workloads |
+//! | `fig13` | (beyond paper) | graceful degradation: the strategies under a seeded fault-scenario ladder (degraded links, failed links, failed nodes) with deltas vs the intact baseline |
 //! | `scale` | (beyond paper) | network-size sweeps at 64×64/128×128: matmul + bitonic, or Barnes-Hut with `--bh` |
 //!
 //! All binaries run on the event-driven backend and accept four scale tiers
@@ -31,6 +32,7 @@
 pub mod bh_exp;
 pub mod bitonic_exp;
 pub mod executor;
+pub mod fault_exp;
 pub mod json;
 pub mod matmul_exp;
 pub mod table;

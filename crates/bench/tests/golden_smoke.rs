@@ -89,6 +89,15 @@ golden!(
     env!("CARGO_BIN_EXE_fig12"),
     &["--smoke"]
 );
+// The graceful-degradation gate: fault sampling, detour routing and
+// re-homing charges must stay deterministic from one PR to the next —
+// including the rows that diagnose a partition.
+golden!(
+    fig13_smoke,
+    "fig13",
+    env!("CARGO_BIN_EXE_fig13"),
+    &["--smoke"]
+);
 golden!(
     scale_smoke,
     "scale",

@@ -94,6 +94,14 @@ fn fig12_cross_topology_sweep_is_jobs_invariant() {
 }
 
 #[test]
+fn fig13_delta_assembly_is_jobs_invariant() {
+    // The degradation sweep assembles per-group deltas after the executor
+    // returns (like fig3's ratios) and renders partitioned rows from
+    // partial reports — both must be independent of worker interleaving.
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_fig13"));
+}
+
+#[test]
 fn strip_host_ms_removes_only_the_field() {
     let row = r#"[{"a":1,"host_ms":12.5},{"a":2,"host_ms":3e-2}]"#;
     assert_eq!(strip_host_ms(row), r#"[{"a":1},{"a":2}]"#);

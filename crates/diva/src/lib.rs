@@ -71,8 +71,16 @@
 //!   reclaiming run is bit-identical (in simulated quantities) to a leaking
 //!   one.
 //! * A [`RunReport`] with execution time, congestion (in messages and bytes),
-//!   protocol counters, per-region (per-phase) statistics and
-//!   variable-lifecycle statistics (registrations, frees, live high-water).
+//!   protocol counters, per-region (per-phase) statistics,
+//!   variable-lifecycle statistics (registrations, frees, live high-water)
+//!   and fault accounting ([`FaultTally`]).
+//! * **Fault injection** (see [`fault`]): a seeded, declarative [`FaultPlan`]
+//!   degrades or fails links and fail-stops nodes' data-management roles at
+//!   scheduled times. Directory state re-homes to deterministic successors
+//!   (migration traffic is charged to the run), dead links are detoured
+//!   around, and a disconnected machine ends the run cleanly as
+//!   [`RunOutcome::Partitioned`]. Both execution modes stay bit-identical
+//!   under any plan.
 //!
 //! ## Example
 //!
@@ -87,13 +95,15 @@
 //! ));
 //! // One shared object, initially cached at processor 0.
 //! let shared = diva.alloc(0, 1024, vec![0u32; 256]);
-//! let outcome = diva.run_prototype(|ctx| {
-//!     // Every processor reads the object; the access tree distributes
-//!     // copies along its branches.
-//!     let data = ctx.read::<Vec<u32>>(shared);
-//!     ctx.barrier();
-//!     data.len()
-//! });
+//! let outcome = diva
+//!     .run_prototype(|ctx| {
+//!         // Every processor reads the object; the access tree distributes
+//!         // copies along its branches.
+//!         let data = ctx.read::<Vec<u32>>(shared);
+//!         ctx.barrier();
+//!         data.len()
+//!     })
+//!     .expect_completed();
 //! assert!(outcome.results.iter().all(|&n| n == 256));
 //! println!("{}", outcome.report.summary());
 //! ```
@@ -104,6 +114,7 @@
 pub mod barrier;
 pub mod embedding;
 mod fasthash;
+pub mod fault;
 pub mod policy;
 pub mod report;
 mod runtime;
@@ -111,9 +122,13 @@ pub mod var;
 
 pub use dm_engine::QueueOp;
 pub use embedding::{Embedder, EmbeddingMode, VarPlacement};
+pub use fault::{FaultPlan, FaultSpec};
 pub use policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId};
-pub use report::{RegionReport, RunReport};
-pub use runtime::{Diva, DivaConfig, Op, ProcCtx, ProcProgram, RunOutcome, StepCtx, StrategyKind};
+pub use report::{FaultTally, RegionReport, RunReport};
+pub use runtime::{
+    Diva, DivaConfig, Op, Partitioned, ProcCtx, ProcProgram, RunDone, RunOutcome, StepCtx,
+    StrategyKind,
+};
 pub use var::{Value, VarHandle, VarRegistry};
 
 /// Convenience re-exports of the substrate crates most callers need.

@@ -234,6 +234,11 @@ pub struct AccessTreePolicy {
     bfs_seen: Vec<u64>,
     /// Current BFS generation.
     bfs_gen: u64,
+    /// Nodes whose data-management role failed, with the successor that
+    /// inherited it, in failure order (a successor may itself fail later —
+    /// the chain is followed). Empty without a fault plan; while empty the
+    /// embedding is byte-identical to a build without the fault subsystem.
+    failed: Vec<(NodeId, NodeId)>,
 }
 
 impl AccessTreePolicy {
@@ -260,6 +265,7 @@ impl AccessTreePolicy {
             copyset_pool: Vec::new(),
             bfs_seen: vec![0; tree_len],
             bfs_gen: 0,
+            failed: Vec::new(),
         }
     }
 
@@ -344,7 +350,26 @@ impl AccessTreePolicy {
     }
 
     fn embed(&self, var: &AtVar, node: TreeNodeId) -> NodeId {
-        self.embedder.position(var.placement, node)
+        let pos = self.embedder.position(var.placement, node);
+        if self.failed.is_empty() {
+            return pos;
+        }
+        // Leaves stay pinned to their own processor — the *application*
+        // processor survives a node failure; only the data-management role
+        // (carried by interior tree nodes and the root) re-homes.
+        if self.embedder.tree().node(node).proc.is_some() {
+            return pos;
+        }
+        self.live_position(pos)
+    }
+
+    /// Resolve an embedded position through the re-homing chain: identity
+    /// while no node failed, otherwise the live inheritor of `p`'s role.
+    fn live_position(&self, mut p: NodeId) -> NodeId {
+        while let Some(&(_, s)) = self.failed.iter().find(|&&(v, _)| v == p) {
+            p = s;
+        }
+        p
     }
 
     fn data_bytes(&self, env: &dyn PolicyEnv, var: VarHandle) -> u32 {
@@ -908,6 +933,69 @@ impl Policy for AccessTreePolicy {
         if self.var_mut(var).gate.admit(tx, proc, kind) {
             self.start_access(env, tx, proc, var, kind);
         }
+    }
+
+    fn on_node_fail(&mut self, env: &mut dyn PolicyEnv, victim: NodeId, successor: NodeId) {
+        // Fail-stop of the victim's data-management role. Interior tree
+        // nodes embedded at the victim re-home to the successor (the
+        // `embed` remap takes effect once the failure is recorded below);
+        // here the migration traffic is charged against the *old* embedding
+        // and the victim's own leaf copies are dropped. Iteration is in
+        // variable index order, so both backends charge identically.
+        let control = env.config().control_msg_bytes;
+        let tree = self.embedder.tree_arc();
+        let leaf = tree.leaf_of(victim);
+        let root = tree.root();
+        for idx in 0..self.vars.len() {
+            let var = VarHandle(idx as u32);
+            if self.vars[idx].is_none() {
+                continue;
+            }
+            let v = self.var(var);
+            // Did the victim hold cached values for interior tree nodes?
+            let interior_at_victim = v
+                .copies
+                .iter()
+                .any(|c| tree.node(c).proc.is_none() && self.embed(v, c) == victim);
+            let root_at_victim = self.embed(v, root) == victim;
+            let had_leaf_copy = v.copies.contains(&leaf);
+            // The victim's leaf was the whole copy component: the value must
+            // survive, so it climbs to the leaf's parent before the leaf
+            // copy is dropped.
+            let climb = if had_leaf_copy && v.top == leaf {
+                let parent = tree
+                    .parent(leaf)
+                    .expect("sole leaf copy in a single-node tree");
+                let pos = self.embed(v, parent);
+                Some((parent, if pos == victim { successor } else { pos }))
+            } else {
+                None
+            };
+            if interior_at_victim {
+                // The victim's interior caches move to the successor in one
+                // migration message per variable.
+                let bytes = self.data_bytes(env, var);
+                env.charge_rehome(victim, successor, bytes);
+            } else if root_at_victim {
+                // No cached value to move, but the root's directory role
+                // (lock management, request routing) migrates.
+                env.charge_rehome(victim, successor, control);
+            }
+            if had_leaf_copy {
+                let vm = self.var_mut(var);
+                if let Some((parent, _)) = climb {
+                    vm.copies.insert(parent);
+                    vm.top = parent;
+                }
+                vm.copies.remove(&leaf);
+                env.set_presence(victim, var, false);
+                if let Some((_, parent_pos)) = climb {
+                    let bytes = self.data_bytes(env, var);
+                    env.charge_rehome(victim, parent_pos, bytes);
+                }
+            }
+        }
+        self.failed.push((victim, successor));
     }
 
     fn on_lock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle) {

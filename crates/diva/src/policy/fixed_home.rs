@@ -57,6 +57,11 @@ pub struct FixedHomePolicy {
     vars: Vec<Option<FhVar>>,
     txs: FastMap<TxId, FhTx>,
     locks: LockTable,
+    /// Nodes whose data-management role failed, with the successor that
+    /// inherited it, in failure order (a successor may itself fail later —
+    /// [`FixedHomePolicy::live_home`] follows the chain). Empty without a
+    /// fault plan.
+    failed: Vec<(NodeId, NodeId)>,
 }
 
 impl FixedHomePolicy {
@@ -74,7 +79,18 @@ impl FixedHomePolicy {
             vars: Vec::new(),
             txs: FastMap::default(),
             locks: LockTable::new(),
+            failed: Vec::new(),
         }
+    }
+
+    /// Resolve a drawn home through the re-homing chain: the identity while
+    /// no node failed (so the rng stream and all placements are untouched by
+    /// the fault subsystem), otherwise the live inheritor of `h`'s role.
+    fn live_home(&self, mut h: NodeId) -> NodeId {
+        while let Some(&(_, s)) = self.failed.iter().find(|&&(v, _)| v == h) {
+            h = s;
+        }
+        h
     }
 
     /// The home processor of `var` (for tests).
@@ -307,7 +323,8 @@ impl Policy for FixedHomePolicy {
     }
 
     fn register_var(&mut self, var: VarHandle, owner: NodeId, _bytes: u32) {
-        let home = NodeId(self.rng.gen_range(0..self.nprocs as u32));
+        let drawn = NodeId(self.rng.gen_range(0..self.nprocs as u32));
+        let home = self.live_home(drawn);
         let mut copies = HashSet::new();
         copies.insert(owner);
         let idx = var.index();
@@ -368,6 +385,57 @@ impl Policy for FixedHomePolicy {
         if self.var_mut(var).gate.admit(tx, proc, kind) {
             self.start_access(env, tx, proc, var, kind);
         }
+    }
+
+    fn on_node_fail(&mut self, env: &mut dyn PolicyEnv, victim: NodeId, successor: NodeId) {
+        // Fail-stop of the victim's data-management role: every home it
+        // served moves to the successor, its owned values flush back to main
+        // memory, its cached copies vanish. The migration traffic is real —
+        // charged per variable through `charge_rehome`. Iteration is in
+        // variable index order, so both backends charge identically.
+        let control = env.config().control_msg_bytes;
+        for idx in 0..self.vars.len() {
+            let var = VarHandle(idx as u32);
+            let Some(v) = self.vars[idx].as_mut() else {
+                continue;
+            };
+            let was_home = v.home == victim;
+            let was_owner = v.owner == Some(victim);
+            let had_copy = v.copies.contains(&victim);
+            if !(was_home || was_owner || had_copy) {
+                continue;
+            }
+            if was_owner {
+                // The victim held the only up-to-date value: it flushes to
+                // main memory (at the surviving home) on its way out.
+                v.owner = None;
+            }
+            if had_copy {
+                v.copies.remove(&victim);
+            }
+            if was_home {
+                v.home = successor;
+            }
+            let new_home = v.home;
+            let owner_elsewhere = v.owner.is_some();
+            if was_owner {
+                let bytes = self.data_bytes(env, var);
+                env.charge_rehome(victim, new_home, bytes);
+            } else if was_home {
+                // The directory record migrates; the main-memory value rides
+                // along only when it is the valid copy.
+                let bytes = if owner_elsewhere {
+                    control
+                } else {
+                    self.data_bytes(env, var)
+                };
+                env.charge_rehome(victim, successor, bytes);
+            }
+            if had_copy {
+                env.set_presence(victim, var, false);
+            }
+        }
+        self.failed.push((victim, successor));
     }
 
     fn on_lock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle) {

@@ -320,6 +320,13 @@ pub trait PolicyEnv {
     fn set_presence(&mut self, proc: NodeId, var: VarHandle, present: bool);
     /// Bump a statistics counter by `n`.
     fn bump(&mut self, counter: Counter, n: u64);
+    /// Charge one re-homing migration message of `bytes` bytes from the
+    /// failed node to its successor: the traffic is routed, timed and counted
+    /// like any message (so robustness costs show up in congestion) and
+    /// tallied in the report's [`FaultTally`](crate::FaultTally), but
+    /// delivers to no handler — re-homing mutates directory state in place.
+    /// Default no-op so protocol test harnesses need not model faults.
+    fn charge_rehome(&mut self, _from: NodeId, _to: NodeId, _bytes: u32) {}
 }
 
 /// A data-management strategy.
@@ -375,6 +382,14 @@ pub trait Policy: Send {
     /// A protocol message previously sent via [`PolicyEnv::send`] arrived at
     /// mesh node `at`.
     fn on_message(&mut self, env: &mut dyn PolicyEnv, at: NodeId, msg: PolicyMsg);
+
+    /// Node `victim`'s data-management role failed (fail-stop): migrate every
+    /// directory/home/lock responsibility it held to `successor`, charging
+    /// the migration traffic through [`PolicyEnv::charge_rehome`]. The
+    /// victim's *application* processor keeps running — only the strategy's
+    /// state held at the victim moves. Default no-op: a policy that ignores
+    /// node failures keeps routing protocol traffic through the victim.
+    fn on_node_fail(&mut self, _env: &mut dyn PolicyEnv, _victim: NodeId, _successor: NodeId) {}
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use super::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId, COUNTER_COU
 use crate::embedding::EmbeddingMode;
 use crate::var::VarHandle;
 use dm_engine::{MachineConfig, SimTime};
-use dm_mesh::{AnyTopology, Mesh, NodeId, TreeShape};
+use dm_mesh::{AnyTopology, FatTree, Hypercube, Mesh, NodeId, Torus, TreeShape};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A deterministic mock of the runtime environment: messages are queued and
@@ -25,12 +25,17 @@ struct MockEnv {
     var_sizes: HashMap<VarHandle, u32>,
     messages_sent: u64,
     bytes_sent: u64,
+    rehomes: Vec<(NodeId, NodeId, u32)>,
 }
 
 impl MockEnv {
     fn new(mesh: Mesh) -> Self {
+        Self::new_on(AnyTopology::Mesh(mesh))
+    }
+
+    fn new_on(topo: AnyTopology) -> Self {
         MockEnv {
-            topo: AnyTopology::Mesh(mesh),
+            topo,
             cfg: MachineConfig::parsytec_gcel(),
             now: 0,
             queue: VecDeque::new(),
@@ -40,6 +45,7 @@ impl MockEnv {
             var_sizes: HashMap::new(),
             messages_sent: 0,
             bytes_sent: 0,
+            rehomes: Vec::new(),
         }
     }
 
@@ -97,6 +103,9 @@ impl PolicyEnv for MockEnv {
     }
     fn bump(&mut self, counter: Counter, n: u64) {
         self.counters[counter.index()] += n;
+    }
+    fn charge_rehome(&mut self, from: NodeId, to: NodeId, bytes: u32) {
+        self.rehomes.push((from, to, bytes));
     }
 }
 
@@ -653,6 +662,178 @@ fn lifecycle_property_loop_over_all_policies() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Node failure / re-homing
+// ---------------------------------------------------------------------------
+
+fn topologies16() -> Vec<AnyTopology> {
+    vec![
+        Mesh::square(4).into(),
+        Torus::square(4).into(),
+        Hypercube::new(4).into(),
+        FatTree::new(16).into(),
+    ]
+}
+
+fn lcg(state: u64) -> u64 {
+    state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+#[test]
+fn fh_node_fail_migrates_homes_ownership_and_copies() {
+    for topo in topologies16() {
+        let name = topo.name();
+        let mut policy = FixedHomePolicy::new_on(&topo, 7);
+        let mut env = MockEnv::new_on(topo.clone());
+        for i in 0..8u32 {
+            policy.register_var(VarHandle(i), NodeId((2 * i) % 16), 64);
+        }
+        // Spread copies and move some ownership around first.
+        let mut tx = 0u64;
+        for i in 0..8u32 {
+            let var = VarHandle(i);
+            tx += 1;
+            policy.on_access(&mut env, TxId(tx), NodeId((i + 5) % 16), var, AccessKind::Read);
+            env.run(&mut policy);
+            if i % 2 == 0 {
+                tx += 1;
+                policy.on_access(&mut env, TxId(tx), NodeId((i + 9) % 16), var, AccessKind::Write);
+                env.run(&mut policy);
+            }
+        }
+        // Fail the node that is home to variable 0.
+        let victim = policy.home_of(VarHandle(0));
+        let successor = NodeId((victim.0 + 1) % 16);
+        policy.on_node_fail(&mut env, victim, successor);
+        for i in 0..8u32 {
+            let var = VarHandle(i);
+            assert_ne!(policy.home_of(var), victim, "{name}: home must migrate");
+            assert_ne!(policy.owner_of(var), Some(victim), "{name}: ownership must not survive");
+            assert!(!policy.copy_set(var).contains(&victim), "{name}: copies must be dropped");
+            assert!(!env.has_presence(victim, var), "{name}: presence must be revoked");
+        }
+        assert!(
+            !env.rehomes.is_empty(),
+            "{name}: the victim was a home — migration traffic must be charged"
+        );
+        assert!(env.rehomes.iter().all(|&(from, to, _)| from == victim && to != victim));
+        // Newly registered variables never home at the fallen node.
+        for i in 8..40u32 {
+            policy.register_var(VarHandle(i), NodeId(0), 64);
+            assert_ne!(policy.home_of(VarHandle(i)), victim, "{name}");
+        }
+        // The protocol still serves every variable — including requests from
+        // the victim's (surviving) application processor.
+        for i in 0..40u32 {
+            tx += 1;
+            let reader = if i % 4 == 0 { victim } else { NodeId((i + 3) % 16) };
+            policy.on_access(&mut env, TxId(tx), reader, VarHandle(i % 8), AccessKind::Read);
+            env.run(&mut policy);
+        }
+    }
+}
+
+#[test]
+fn at_node_fail_preserves_copy_invariants_on_every_topology() {
+    let mut total_rehomes = 0usize;
+    for topo in topologies16() {
+        for shape in [TreeShape::binary(), TreeShape::quad()] {
+            let name = format!("{} / {}", topo.name(), shape.name());
+            let mut policy = AccessTreePolicy::new_on(&topo, shape, EmbeddingMode::Modified, 7);
+            let mut env = MockEnv::new_on(topo.clone());
+            for i in 0..6u32 {
+                policy.register_var(VarHandle(i), NodeId((3 * i) % 16), 64);
+            }
+            let mut state = 0xFA17_5EED_u64;
+            let mut tx = 0u64;
+            let mut alive = [true; 16];
+            for (round, &victim) in [NodeId(5), NodeId(6), NodeId(0)].iter().enumerate() {
+                // A burst of pseudo-random accesses (victims of earlier
+                // rounds keep issuing: the application processor survives a
+                // DM-role failure)...
+                for _ in 0..40 {
+                    state = lcg(state);
+                    let var = VarHandle((state >> 33) as u32 % 6);
+                    let proc = NodeId((state >> 17) as u32 % 16);
+                    let kind = if (state >> 7) & 3 == 0 {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    tx += 1;
+                    policy.on_access(&mut env, TxId(tx), proc, var, kind);
+                    env.run(&mut policy);
+                    policy.assert_copy_invariants(var);
+                }
+                // ...then one more node loses its data-management role.
+                alive[victim.index()] = false;
+                let successor = {
+                    let mut s = (victim.index() + 1) % 16;
+                    while !alive[s] {
+                        s = (s + 1) % 16;
+                    }
+                    NodeId(s as u32)
+                };
+                policy.on_node_fail(&mut env, victim, successor);
+                let leaf = policy.tree().leaf_of(victim);
+                for i in 0..6u32 {
+                    let var = VarHandle(i);
+                    policy.assert_copy_invariants(var);
+                    assert!(
+                        !policy.copy_set(var).unwrap().contains(&leaf),
+                        "{name} round {round}: the victim's leaf copy must be dropped"
+                    );
+                    assert!(!env.has_presence(victim, var), "{name} round {round}");
+                }
+                // Locks still work (the manager may just have re-homed).
+                tx += 1;
+                let locker = TxId(tx);
+                policy.on_lock(&mut env, locker, NodeId(2), VarHandle(0));
+                env.run(&mut policy);
+                tx += 1;
+                policy.on_unlock(&mut env, TxId(tx), NodeId(2), VarHandle(0));
+                env.run(&mut policy);
+            }
+            total_rehomes += env.rehomes.len();
+        }
+    }
+    assert!(
+        total_rehomes > 0,
+        "across 8 configurations and 3 failures each, some directory state must have migrated"
+    );
+}
+
+#[test]
+fn at_sole_leaf_copy_climbs_to_the_parent_when_its_node_fails() {
+    let mesh = Mesh::square(4);
+    let mut policy = AccessTreePolicy::new(&mesh, TreeShape::quad(), EmbeddingMode::Modified, 7);
+    let mut env = MockEnv::new(mesh);
+    let var = VarHandle(0);
+    let victim = NodeId(9);
+    // The victim's leaf holds the only copy.
+    policy.register_var(var, victim, 64);
+    let leaf = policy.tree().leaf_of(victim);
+    assert_eq!(policy.copy_set(var).unwrap().len(), 1);
+    assert!(policy.copy_set(var).unwrap().contains(&leaf));
+
+    policy.on_node_fail(&mut env, victim, NodeId(10));
+    policy.assert_copy_invariants(var);
+    let copies = policy.copy_set(var).unwrap();
+    assert!(!copies.contains(&leaf), "the failed leaf must not keep the copy");
+    let parent = policy.tree().parent(leaf).unwrap();
+    assert!(copies.contains(&parent), "the value must climb to the parent");
+    // The climb is charged as migration traffic, not regular protocol load.
+    // Exactly one data-sized migration (the climbing value) leaves the
+    // victim; the root's directory role may add a small control-sized
+    // charge if it happens to embed there.
+    assert!(env.rehomes.iter().all(|r| r.0 == victim));
+    let data: Vec<_> = env.rehomes.iter().filter(|r| r.2 >= 64).collect();
+    assert_eq!(data.len(), 1, "rehomes: {:?}", env.rehomes);
+    assert_eq!(env.messages_sent, 0);
 }
 
 #[test]

@@ -36,6 +36,30 @@ impl RegionReport {
     }
 }
 
+/// Fault accounting of a run: what the [`FaultPlan`](crate::FaultPlan)
+/// injected and what recovery cost. All fields stay zero when no plan is set,
+/// so fault-free reports (and their JSON) are unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Links whose bandwidth was degraded.
+    pub links_degraded: u64,
+    /// Links taken out of service.
+    pub links_failed: u64,
+    /// Nodes whose data-management role failed.
+    pub nodes_failed: u64,
+    /// Migration messages charged for re-homing directory state.
+    pub rehome_msgs: u64,
+    /// Migration bytes charged for re-homing directory state.
+    pub rehome_bytes: u64,
+}
+
+impl FaultTally {
+    /// Whether any fault was injected or any recovery traffic charged.
+    pub fn any(&self) -> bool {
+        *self != FaultTally::default()
+    }
+}
+
 /// The outcome of a simulated execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -67,6 +91,8 @@ pub struct RunReport {
     /// the per-variable protocol state. With per-step reclamation this stays
     /// O(live working set) instead of growing with the run length.
     pub live_vars_high_water: u64,
+    /// Fault accounting — all zero unless a `FaultPlan` was active.
+    pub faults: FaultTally,
 }
 
 impl RunReport {
@@ -85,6 +111,7 @@ impl RunReport {
         vars_registered: u64,
         vars_freed: u64,
         live_vars_high_water: u64,
+        faults: FaultTally,
     ) -> Self {
         RunReport {
             strategy,
@@ -99,6 +126,7 @@ impl RunReport {
             vars_registered,
             vars_freed,
             live_vars_high_water,
+            faults,
         }
     }
 
@@ -164,6 +192,16 @@ impl RunReport {
             "variables:           {} registered, {} freed, peak live {}\n",
             self.vars_registered, self.vars_freed, self.live_vars_high_water
         ));
+        if self.faults.any() {
+            s.push_str(&format!(
+                "faults:              {} links degraded, {} links failed, {} nodes failed, re-homing {} msgs / {} bytes\n",
+                self.faults.links_degraded,
+                self.faults.links_failed,
+                self.faults.nodes_failed,
+                self.faults.rehome_msgs,
+                self.faults.rehome_bytes
+            ));
+        }
         for c in Counter::ALL {
             s.push_str(&format!(
                 "{:<20} {}\n",
@@ -224,6 +262,7 @@ mod tests {
             40,
             30,
             10,
+            FaultTally::default(),
         );
         assert_eq!(r.congestion_bytes(), 150);
         assert_eq!(r.congestion_msgs(), 2);
@@ -241,5 +280,13 @@ mod tests {
         assert!(s.contains("read_hits"));
         assert!(s.contains("region force"));
         assert!(s.contains("peak live 10"));
+        // Fault-free runs keep the summary free of fault lines.
+        assert!(!r.faults.any());
+        assert!(!s.contains("faults:"));
+        let mut faulty = r.clone();
+        faulty.faults.links_failed = 2;
+        faulty.faults.rehome_bytes = 640;
+        assert!(faulty.faults.any());
+        assert!(faulty.summary().contains("2 links failed"));
     }
 }

@@ -7,8 +7,9 @@ use super::frontend::Frontend;
 use super::shared::{Request, Response, SharedState, TimedRequest};
 use crate::barrier::{BarrierAction, BarrierMsg, TreeBarrier};
 use crate::fasthash::FastMap;
+use crate::fault::{FaultAction, TimedFault};
 use crate::policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId, COUNTER_COUNT};
-use crate::report::{RegionReport, RunReport};
+use crate::report::{FaultTally, RegionReport, RunReport};
 use crate::var::{Value, VarHandle, VarRegistry};
 use dm_engine::{EventQueue, LinkNetwork, MachineConfig, RegionId, SimTime};
 use dm_mesh::{AnyTopology, NodeId};
@@ -33,7 +34,6 @@ pub(crate) struct TxRec {
 }
 
 /// Events of the coordinator's discrete-event loop.
-#[allow(clippy::enum_variant_names)] // the "Deliver" suffix is the point: all events are arrivals
 pub(crate) enum Event {
     /// A protocol message arrives at mesh node `at`.
     PolicyDeliver { at: NodeId, msg: PolicyMsg },
@@ -46,6 +46,11 @@ pub(crate) enum Event {
         tag: u64,
         value: Value,
     },
+    /// A scheduled fault fires. Fault events are enqueued at construction,
+    /// before any protocol traffic, so the FIFO tie-break of the event queue
+    /// applies them ahead of same-time arrivals — identically in both
+    /// backends.
+    Fault(FaultAction),
 }
 
 /// The part of the coordinator state the policy is allowed to see
@@ -62,6 +67,11 @@ pub(crate) struct EnvState {
     pub tx_table: FastMap<TxId, TxRec>,
     pub completions: Vec<(TxId, SimTime)>,
     pub proc_region: Vec<RegionId>,
+    /// Fault accounting for the report (all zero without a fault plan).
+    pub faults: FaultTally,
+    /// Latest arrival of any re-homing migration message: folded into the
+    /// total time so recovery traffic extends the run like protocol traffic.
+    pub rehome_quiesce: SimTime,
     next_tx: u64,
 }
 
@@ -115,6 +125,17 @@ impl PolicyEnv for EnvState {
     fn bump(&mut self, counter: Counter, n: u64) {
         self.counters[counter.index()] += n;
     }
+
+    fn charge_rehome(&mut self, from: NodeId, to: NodeId, bytes: u32) {
+        // Routed, timed and counted like any message (the congestion cost of
+        // recovery is the point), but delivered to no handler: re-homing
+        // mutates directory state in place at fault time.
+        let region = self.proc_region[from.index()];
+        let d = self.network.transmit(self.now, from, to, bytes, region);
+        self.faults.rehome_msgs += 1;
+        self.faults.rehome_bytes += bytes as u64;
+        self.rehome_quiesce = self.rehome_quiesce.max(d.arrival);
+    }
 }
 
 /// The coordinator of a [`Diva::run`](crate::Diva::run) /
@@ -159,6 +180,13 @@ pub(crate) struct Coordinator<F: Frontend> {
     /// loop reuses one allocation.
     completion_scratch: Vec<(TxId, SimTime)>,
 
+    /// Which nodes still carry their data-management role (all true without
+    /// a fault plan; node failure is fail-stop of that role only).
+    node_alive: Vec<bool>,
+    /// Set when link failures disconnect the surviving network: `(time,
+    /// first unreachable node)`. Ends the run cleanly.
+    partitioned: Option<(SimTime, NodeId)>,
+
     last_event_time: SimTime,
 }
 
@@ -172,11 +200,12 @@ impl<F: Frontend> Coordinator<F> {
         registry: VarRegistry,
         shared: Arc<SharedState>,
         frontend: F,
+        faults: Vec<TimedFault>,
     ) -> Self {
         let nprocs = topo.nodes();
         let strategy_name = policy.name();
         let network = LinkNetwork::new(topo.clone(), machine);
-        Coordinator {
+        let mut coord = Coordinator {
             env: EnvState {
                 now: 0,
                 machine,
@@ -194,6 +223,8 @@ impl<F: Frontend> Coordinator<F> {
                 tx_table: FastMap::default(),
                 completions: Vec::new(),
                 proc_region: vec![dm_engine::GLOBAL_REGION; nprocs],
+                faults: FaultTally::default(),
+                rehome_quiesce: 0,
                 next_tx: 0,
             },
             policy,
@@ -215,8 +246,17 @@ impl<F: Frontend> Coordinator<F> {
             epoch_vars: vec![Vec::new(); nprocs],
             epoch_compact_at: vec![64; nprocs],
             completion_scratch: Vec::new(),
+            node_alive: vec![true; nprocs],
+            partitioned: None,
             last_event_time: 0,
+        };
+        // Enqueue the fault schedule before any protocol traffic: the
+        // event queue's FIFO tie-break then applies a fault ahead of every
+        // same-time message arrival, identically in both backends.
+        for f in faults {
+            coord.env.events.push(f.at, Event::Fault(f.action));
         }
+        coord
     }
 
     /// Retire a variable: policy teardown, payload drop, slot recycling.
@@ -233,9 +273,17 @@ impl<F: Frontend> Coordinator<F> {
 
     /// Run the event loop to completion; produce the report, the recorded
     /// queue trace (empty unless [`crate::DivaConfig::trace_queue`] enabled
-    /// it) and hand the frontend back (the driven frontend owns the final
-    /// program states).
-    pub(crate) fn run(mut self) -> (RunReport, F, Vec<dm_engine::QueueOp>) {
+    /// it), the frontend (the driven frontend owns the final program states),
+    /// and — if link failures disconnected the machine — the partition that
+    /// ended the run early.
+    pub(crate) fn run(
+        mut self,
+    ) -> (
+        RunReport,
+        F,
+        Vec<dm_engine::QueueOp>,
+        Option<(SimTime, NodeId)>,
+    ) {
         let mut batch = Vec::new();
         loop {
             // 1. Gather one round of requests: one blocking operation per
@@ -260,13 +308,20 @@ impl<F: Frontend> Coordinator<F> {
                     self.last_event_time = self.last_event_time.max(t);
                     self.handle_event(ev);
                     self.flush_completions();
+                    // A partition means some pending traffic can never be
+                    // delivered: stop cleanly (before the next gather would
+                    // block on it) instead of hanging or panicking deep in
+                    // the network.
+                    if self.partitioned.is_some() {
+                        break;
+                    }
                 }
                 None => self.report_deadlock(),
             }
         }
         let report = self.build_report();
         let trace = self.env.events.take_trace();
-        (report, self.frontend, trace)
+        (report, self.frontend, trace, self.partitioned)
     }
 
     /// Issue time of a request: the processor's clock plus the locally
@@ -449,7 +504,55 @@ impl<F: Frontend> Coordinator<F> {
                     self.mailbox.entry(key).or_default().push_back((now, value));
                 }
             }
+            Event::Fault(action) => self.apply_fault(action),
         }
+    }
+
+    /// Apply one scheduled fault to the network and the protocol state.
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::DegradeLinks(victims) => {
+                for (link, factor) in victims {
+                    self.env.network.degrade_link(link, factor);
+                    self.env.faults.links_degraded += 1;
+                }
+            }
+            FaultAction::FailLinks(victims) => {
+                for link in victims {
+                    if self.env.network.fail_link(link) {
+                        self.env.faults.links_failed += 1;
+                    }
+                }
+                // One connectivity check per batch: if the survivors no
+                // longer connect the machine, record the partition — the run
+                // loop ends cleanly at the next iteration.
+                if let Err(unreachable) = self.env.network.check_connected() {
+                    self.partitioned = Some((self.env.now, unreachable));
+                }
+            }
+            FaultAction::FailNode(victim) => {
+                if !self.node_alive[victim.index()] {
+                    return;
+                }
+                self.node_alive[victim.index()] = false;
+                self.env.faults.nodes_failed += 1;
+                let successor = self.successor_of(victim);
+                self.policy.on_node_fail(&mut self.env, victim, successor);
+            }
+        }
+    }
+
+    /// Deterministic successor for a failed node's data-management role: the
+    /// next alive node id, wrapping. The fault plan guarantees at least one
+    /// survivor.
+    fn successor_of(&self, victim: NodeId) -> NodeId {
+        let n = self.nprocs;
+        let mut i = (victim.index() + 1) % n;
+        while !self.node_alive[i] {
+            i = (i + 1) % n;
+            debug_assert_ne!(i, victim.index(), "no alive successor");
+        }
+        NodeId(i as u32)
     }
 
     fn apply_barrier_actions(&mut self, actions: Vec<BarrierAction>, now: SimTime) {
@@ -537,7 +640,9 @@ impl<F: Frontend> Coordinator<F> {
 
     fn build_report(&mut self) -> RunReport {
         let proc_max = self.proc_clock.iter().copied().max().unwrap_or(0);
-        let total_time = proc_max.max(self.last_event_time);
+        let total_time = proc_max
+            .max(self.last_event_time)
+            .max(self.env.rehome_quiesce);
         let compute_time = self.proc_compute.iter().copied().max().unwrap_or(0);
         // Close the current region of every processor at its final clock so
         // per-region wall times are complete even without explicit region
@@ -586,6 +691,7 @@ impl<F: Frontend> Coordinator<F> {
             self.env.registry.registered_count(),
             self.env.registry.freed_count(),
             self.env.registry.high_water() as u64,
+            self.env.faults,
         )
     }
 }

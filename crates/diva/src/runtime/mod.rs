@@ -12,13 +12,14 @@ pub use program::{Op, ProcProgram, StepCtx};
 
 use crate::barrier::TreeBarrier;
 use crate::embedding::EmbeddingMode;
+use crate::fault::FaultPlan;
 use crate::policy::access_tree::AccessTreePolicy;
 use crate::policy::fixed_home::FixedHomePolicy;
 use crate::policy::Policy;
 use crate::report::RunReport;
 use crate::var::{Value, VarHandle, VarRegistry};
 use coordinator::Coordinator;
-use dm_engine::MachineConfig;
+use dm_engine::{MachineConfig, SimTime};
 use dm_mesh::{AnyTopology, Mesh, NodeId, TreeShape};
 use frontend::{DrivenFrontend, ThreadedFrontend};
 use shared::SharedState;
@@ -66,11 +67,15 @@ pub struct DivaConfig {
     /// Shape of the combining tree used for barrier synchronisation.
     pub barrier_shape: TreeShape,
     /// Record the coordinator's event-queue push/pop trace into
-    /// [`RunOutcome::queue_trace`]. Off by default (the trace costs memory
+    /// [`RunDone::queue_trace`]. Off by default (the trace costs memory
     /// proportional to the event count); used by the offline `event_queue`
     /// bench of `dm-bench` to compare priority-queue implementations on real
     /// workloads. Recording does not perturb any simulated quantity.
     pub trace_queue: bool,
+    /// Optional deterministic failure schedule (see [`crate::fault`]). `None`
+    /// (the default) is guaranteed bit-identical to a build without the fault
+    /// subsystem — the fault-free goldens gate this.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl DivaConfig {
@@ -93,6 +98,7 @@ impl DivaConfig {
             fast_path: true,
             barrier_shape: TreeShape::quad(),
             trace_queue: false,
+            fault_plan: None,
         }
     }
 
@@ -123,10 +129,16 @@ impl DivaConfig {
         self.machine = machine;
         self
     }
+
+    /// Attach a deterministic failure schedule (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
-/// The result of running a program on a [`Diva`] instance.
-pub struct RunOutcome<R> {
+/// The payload of a run that completed normally.
+pub struct RunDone<R> {
     /// Timing, congestion and protocol statistics of the run.
     pub report: RunReport,
     /// Per-processor results, indexed by processor id: the closure return
@@ -137,6 +149,65 @@ pub struct RunOutcome<R> {
     /// [`DivaConfig::trace_queue`] was set (see the `event_queue` bench in
     /// `dm-bench`).
     pub queue_trace: Vec<dm_engine::QueueOp>,
+}
+
+/// The payload of a run that a [`FaultPlan`] cut short by disconnecting the
+/// network. No per-processor results exist — the machine could no longer
+/// deliver the traffic the programs were blocked on.
+pub struct Partitioned {
+    /// Virtual time at which the fatal link-failure batch was applied.
+    pub at: SimTime,
+    /// A node the connectivity check found unreachable from node 0.
+    pub unreachable: NodeId,
+    /// Statistics accumulated up to the partition.
+    pub report: RunReport,
+}
+
+/// The result of running a program on a [`Diva`] instance.
+///
+/// Without a [`DivaConfig::fault_plan`] (or with one that never disconnects
+/// the machine) the outcome is always [`RunOutcome::Completed`];
+/// [`RunOutcome::expect_completed`] unwraps it.
+pub enum RunOutcome<R> {
+    /// The run finished normally.
+    Completed(RunDone<R>),
+    /// Link failures disconnected the machine; the run ended early.
+    Partitioned(Partitioned),
+}
+
+impl<R> RunOutcome<R> {
+    /// The run report, whether the run completed or was cut short.
+    pub fn report(&self) -> &RunReport {
+        match self {
+            RunOutcome::Completed(done) => &done.report,
+            RunOutcome::Partitioned(p) => &p.report,
+        }
+    }
+
+    /// Whether a fault plan disconnected the machine.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self, RunOutcome::Partitioned(_))
+    }
+
+    /// The partition details, if the run was cut short.
+    pub fn partitioned(&self) -> Option<&Partitioned> {
+        match self {
+            RunOutcome::Completed(_) => None,
+            RunOutcome::Partitioned(p) => Some(p),
+        }
+    }
+
+    /// Unwrap a completed run; panics (with the partition time and witness
+    /// node) if the network was disconnected.
+    pub fn expect_completed(self) -> RunDone<R> {
+        match self {
+            RunOutcome::Completed(done) => done,
+            RunOutcome::Partitioned(p) => panic!(
+                "run partitioned at {} ns (node {} unreachable) — handle RunOutcome::Partitioned",
+                p.at, p.unreachable
+            ),
+        }
+    }
 }
 
 /// A DIVA instance: a simulated mesh machine with a data-management strategy,
@@ -151,12 +222,14 @@ pub struct RunOutcome<R> {
 ///     StrategyKind::AccessTree(TreeShape::quad()),
 /// ));
 /// let counter = diva.alloc(0, 8, 0u64);
-/// let outcome = diva.run_prototype(|ctx| {
-///     // every processor reads the shared counter once
-///     let v = ctx.read::<u64>(counter);
-///     ctx.barrier();
-///     *v
-/// });
+/// let outcome = diva
+///     .run_prototype(|ctx| {
+///         // every processor reads the shared counter once
+///         let v = ctx.read::<u64>(counter);
+///         ctx.barrier();
+///         *v
+///     })
+///     .expect_completed();
 /// assert!(outcome.results.iter().all(|&v| v == 0));
 /// assert!(outcome.report.total_time > 0);
 /// ```
@@ -304,6 +377,11 @@ impl Diva {
         drop(req_tx);
 
         let barrier = TreeBarrier::new_on(&cfg.topology, cfg.barrier_shape);
+        let faults = cfg
+            .fault_plan
+            .as_ref()
+            .map(|p| p.resolve(&cfg.topology))
+            .unwrap_or_default();
         let mut coordinator = Coordinator::new(
             cfg.topology.clone(),
             cfg.machine,
@@ -312,6 +390,7 @@ impl Diva {
             registry,
             Arc::clone(&shared),
             ThreadedFrontend::new(req_rx, resp_senders, nprocs),
+            faults,
         );
         if cfg.trace_queue {
             coordinator.env.events.record_trace();
@@ -327,26 +406,39 @@ impl Diva {
                         // Always tell the coordinator we are done, even when the
                         // program panicked, so the simulation can unwind cleanly.
                         ctx.finish();
-                        match result {
-                            Ok(r) => r,
-                            Err(e) => resume_unwind(e),
-                        }
+                        result
                     })
                 })
                 .collect();
-            let (report, _frontend, queue_trace) = coordinator.run();
+            let (report, frontend, queue_trace, partitioned) = coordinator.run();
+            if let Some((at, unreachable)) = partitioned {
+                // The run ended early: workers are still blocked in their
+                // response channels. Dropping the frontend severs those
+                // channels, which unwinds each worker (silently — the severed
+                // channel raises via `resume_unwind`, not the panic hook);
+                // their unwind payloads are expected and dropped.
+                drop(frontend);
+                for h in handles {
+                    let _ = h.join();
+                }
+                return RunOutcome::Partitioned(Partitioned {
+                    at,
+                    unreachable,
+                    report,
+                });
+            }
             let results = handles
                 .into_iter()
                 .map(|h| match h.join() {
-                    Ok(r) => r,
-                    Err(e) => resume_unwind(e),
+                    Ok(Ok(r)) => r,
+                    Ok(Err(e)) | Err(e) => resume_unwind(e),
                 })
                 .collect();
-            RunOutcome {
+            RunOutcome::Completed(RunDone {
                 report,
                 results,
                 queue_trace,
-            }
+            })
         })
     }
 
@@ -378,6 +470,11 @@ impl Diva {
         let shared = Self::setup_shared(&cfg, &registry, values);
         let barrier = TreeBarrier::new_on(&cfg.topology, cfg.barrier_shape);
         let mesh_dims = cfg.program_dims();
+        let faults = cfg
+            .fault_plan
+            .as_ref()
+            .map(|p| p.resolve(&cfg.topology))
+            .unwrap_or_default();
         let mut coordinator = Coordinator::new(
             cfg.topology.clone(),
             cfg.machine,
@@ -386,16 +483,24 @@ impl Diva {
             registry,
             Arc::clone(&shared),
             DrivenFrontend::new(programs, shared, cfg.machine, mesh_dims),
+            faults,
         );
         if cfg.trace_queue {
             coordinator.env.events.record_trace();
         }
-        let (report, frontend, queue_trace) = coordinator.run();
-        RunOutcome {
+        let (report, frontend, queue_trace, partitioned) = coordinator.run();
+        if let Some((at, unreachable)) = partitioned {
+            return RunOutcome::Partitioned(Partitioned {
+                at,
+                unreachable,
+                report,
+            });
+        }
+        RunOutcome::Completed(RunDone {
             report,
             results: frontend.into_programs(),
             queue_trace,
-        }
+        })
     }
 }
 

@@ -245,12 +245,25 @@ impl ProcCtx {
             overhead_ns: std::mem::take(&mut self.pending_overhead_ns),
             hits: std::mem::take(&mut self.pending_hits),
         };
-        self.req_tx
-            .send(timed)
-            .expect("coordinator terminated before the program finished");
-        self.resp_rx
-            .recv()
-            .expect("coordinator terminated before responding")
+        if self.req_tx.send(timed).is_err() {
+            self.coordinator_gone();
+        }
+        match self.resp_rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => self.coordinator_gone(),
+        }
+    }
+
+    /// Unwind this worker because the coordinator dropped its channels — it
+    /// either partitioned the network mid-run (the expected case, handled by
+    /// [`crate::Diva::run_prototype`]) or crashed. `resume_unwind` skips the
+    /// panic hook, so the expected case stays silent; the runtime rethrows
+    /// the payload if the run did *not* end in a partition.
+    fn coordinator_gone(&self) -> ! {
+        std::panic::resume_unwind(Box::new(format!(
+            "coordinator terminated before processor {} finished",
+            self.proc
+        )))
     }
 
     /// Notify the coordinator that this processor's program has finished.

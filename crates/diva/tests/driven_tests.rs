@@ -46,7 +46,7 @@ fn driven_mode_runs_a_simple_program() {
             seen: None,
         })
         .collect();
-    let outcome = diva.run_driven(programs);
+    let outcome = diva.run_driven(programs).expect_completed();
     assert!(outcome.results.iter().all(|p| p.seen == Some(256)));
     assert!(outcome.report.total_time > 0);
     assert!(outcome.report.congestion_bytes() > 0);
@@ -125,7 +125,7 @@ fn uniform_threaded(
             }
         }
         ctx.barrier();
-    });
+    }).expect_completed();
     outcome.report
 }
 
@@ -143,7 +143,7 @@ fn uniform_driven(strategy: StrategyKind, side: usize, cfg: UniformAccess, seed:
             state: 0,
         })
         .collect();
-    diva.run_driven(programs).report
+    diva.run_driven(programs).expect_completed().report
 }
 
 #[test]
@@ -261,7 +261,7 @@ fn lifecycle_ops_parity_threaded_vs_driven() {
                 }
                 ctx.barrier();
                 sum
-            });
+            }).expect_completed();
             (outcome.results, outcome.report)
         };
         let driven = {
@@ -279,7 +279,7 @@ fn lifecycle_ops_parity_threaded_vs_driven() {
                     sum: 0,
                 })
                 .collect();
-            let outcome = diva.run_driven(programs);
+            let outcome = diva.run_driven(programs).expect_completed();
             (
                 outcome
                     .results

@@ -1,0 +1,174 @@
+//! End-to-end tests of the fault-injection subsystem: empty plans are
+//! non-perturbing, degradations slow the clock, node failures re-home
+//! directory state, and disconnecting plans yield a clean partitioned
+//! outcome in both backends.
+
+use dm_diva::{
+    Diva, DivaConfig, FaultPlan, FaultTally, Op, ProcProgram, RunOutcome, StepCtx, StrategyKind,
+    VarHandle,
+};
+use dm_mesh::{Hypercube, Mesh, NodeId, Torus, TreeShape};
+use std::sync::Arc;
+
+fn configs(side: usize) -> Vec<DivaConfig> {
+    vec![
+        DivaConfig::new(Mesh::square(side), StrategyKind::AccessTree(TreeShape::quad())),
+        DivaConfig::new(Mesh::square(side), StrategyKind::FixedHome),
+    ]
+}
+
+/// Every processor reads each shared variable once, synchronises, done.
+struct ReadAll {
+    vars: Arc<Vec<VarHandle>>,
+    next: usize,
+    state: u8,
+}
+
+impl ProcProgram for ReadAll {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Op {
+        match self.state {
+            0 => {
+                if self.next == self.vars.len() {
+                    self.state = 1;
+                    return Op::Barrier;
+                }
+                let var = self.vars[self.next];
+                self.next += 1;
+                Op::Read(var)
+            }
+            _ => Op::Done,
+        }
+    }
+}
+
+fn run_read_all(cfg: DivaConfig) -> RunOutcome<ReadAll> {
+    let mut diva = Diva::new(cfg);
+    let vars: Vec<VarHandle> = (0..8)
+        .map(|i| diva.alloc(i % diva.num_procs(), 256, vec![i as u32; 64]))
+        .collect();
+    let vars = Arc::new(vars);
+    let programs: Vec<ReadAll> = (0..diva.num_procs())
+        .map(|_| ReadAll {
+            vars: Arc::clone(&vars),
+            next: 0,
+            state: 0,
+        })
+        .collect();
+    diva.run_driven(programs)
+}
+
+#[test]
+fn an_empty_plan_is_bit_identical_to_no_plan() {
+    for cfg in configs(4) {
+        let name = cfg.strategy.name();
+        let base = run_read_all(cfg.clone()).expect_completed();
+        let with_plan =
+            run_read_all(cfg.with_fault_plan(FaultPlan::new(42))).expect_completed();
+        assert_eq!(base.report, with_plan.report, "strategy {name}");
+        assert_eq!(with_plan.report.faults, FaultTally::default());
+    }
+}
+
+#[test]
+fn degrading_every_link_slows_the_run_and_is_tallied() {
+    for cfg in configs(4) {
+        let name = cfg.strategy.name();
+        let base = run_read_all(cfg.clone()).expect_completed();
+        let plan = FaultPlan::new(7).degrade_links(1.0, 0.25, 0);
+        let degraded = run_read_all(cfg.with_fault_plan(plan)).expect_completed();
+        assert!(
+            degraded.report.total_time > base.report.total_time,
+            "strategy {name}: {} !> {}",
+            degraded.report.total_time,
+            base.report.total_time
+        );
+        assert!(degraded.report.faults.links_degraded > 0, "strategy {name}");
+        assert_eq!(degraded.report.faults.links_failed, 0);
+        assert_eq!(degraded.report.faults.nodes_failed, 0);
+        // Degradation slows links but never reroutes or migrates state.
+        assert_eq!(degraded.report.faults.rehome_msgs, 0, "strategy {name}");
+    }
+}
+
+#[test]
+fn a_node_failure_rehomes_directory_state() {
+    for cfg in configs(4) {
+        let name = cfg.strategy.name();
+        let plan = FaultPlan::new(7).fail_node(NodeId(3), 0);
+        let out = run_read_all(cfg.with_fault_plan(plan)).expect_completed();
+        assert_eq!(out.report.faults.nodes_failed, 1, "strategy {name}");
+        assert!(out.report.faults.rehome_msgs > 0, "strategy {name}");
+        assert!(out.report.faults.rehome_bytes > 0, "strategy {name}");
+        assert!(out.report.total_time > 0, "strategy {name}");
+    }
+}
+
+#[test]
+fn node_failures_never_partition_and_runs_stay_deterministic() {
+    // Links survive a node failure (only the DM role stops), so even many
+    // failed nodes leave the network connected — and repeated runs of the
+    // same plan are bit-identical.
+    for cfg in configs(4) {
+        let name = cfg.strategy.name();
+        let plan = FaultPlan::new(11).fail_random_nodes(4, 0).fail_node(NodeId(9), 500_000);
+        let a = run_read_all(cfg.clone().with_fault_plan(plan.clone())).expect_completed();
+        let b = run_read_all(cfg.with_fault_plan(plan)).expect_completed();
+        assert_eq!(a.report, b.report, "strategy {name}");
+        assert_eq!(a.report.faults.nodes_failed, 5, "strategy {name}");
+    }
+}
+
+#[test]
+fn failing_every_link_partitions_both_backends_identically() {
+    let plan = FaultPlan::new(3).fail_links(1.0, 0);
+    let cfg = DivaConfig::new(Mesh::square(4), StrategyKind::FixedHome)
+        .with_fault_plan(plan.clone());
+
+    let driven = run_read_all(cfg);
+    let p_driven = driven
+        .partitioned()
+        .expect("failing every link must partition the driven run");
+
+    let mut diva = Diva::new(
+        DivaConfig::new(Mesh::square(4), StrategyKind::FixedHome).with_fault_plan(plan),
+    );
+    let v = diva.alloc(0, 256, vec![1u32; 64]);
+    let proto = diva.run_prototype(move |ctx| ctx.read::<Vec<u32>>(v).len());
+    let p_proto = proto
+        .partitioned()
+        .expect("failing every link must partition the prototype run");
+
+    assert_eq!(p_driven.at, p_proto.at);
+    assert_eq!(p_driven.unreachable, p_proto.unreachable);
+    assert!(p_driven.report.faults.links_failed > 0);
+    assert_eq!(
+        p_driven.report.faults.links_failed,
+        p_proto.report.faults.links_failed
+    );
+}
+
+#[test]
+fn partial_link_failure_reroutes_instead_of_partitioning() {
+    // A torus or hypercube has enough path diversity that losing a modest
+    // fraction of links leaves it connected: traffic takes detours and the
+    // run completes. (A fat tree is excluded — its leaf uplinks are single
+    // points of failure, so random link loss can legitimately partition it.)
+    for topo in [
+        dm_mesh::AnyTopology::from(Torus::square(4)),
+        Hypercube::new(4).into(),
+    ] {
+        let name = topo.name();
+        let plan = FaultPlan::new(5).fail_links(0.1, 0);
+        let cfg = DivaConfig::on(topo, StrategyKind::FixedHome).with_fault_plan(plan);
+        let out = run_read_all(cfg);
+        let done = match out {
+            RunOutcome::Completed(done) => done,
+            RunOutcome::Partitioned(p) => panic!(
+                "{name}: 10% link loss should reroute, but partitioned at {} (node {})",
+                p.at, p.unreachable.0
+            ),
+        };
+        assert!(done.report.faults.links_failed > 0, "{name}");
+        assert!(done.report.total_time > 0, "{name}");
+    }
+}

@@ -29,7 +29,7 @@ fn every_processor_reads_the_initial_value() {
     for cfg in all_strategies(4) {
         let mut diva = Diva::new(cfg);
         let v = diva.alloc(3, 400, vec![7u32; 100]);
-        let outcome = diva.run_prototype(|ctx| ctx.read::<Vec<u32>>(v)[0]);
+        let outcome = diva.run_prototype(|ctx| ctx.read::<Vec<u32>>(v)[0]).expect_completed();
         assert_eq!(outcome.results, vec![7u32; 16]);
         assert!(outcome.report.total_time > 0);
         // 15 processors missed, one (the owner) may hit via the fast path.
@@ -49,7 +49,7 @@ fn writes_are_visible_after_a_barrier() {
             }
             ctx.barrier();
             *ctx.read::<u64>(v)
-        });
+        }).expect_completed();
         assert_eq!(outcome.results, vec![42u64; 16], "strategy {name}");
     }
 }
@@ -73,7 +73,7 @@ fn successive_write_read_phases_stay_consistent() {
                 ctx.barrier();
             }
             seen
-        });
+        }).expect_completed();
         for seen in outcome.results {
             assert_eq!(seen, vec![100, 200, 300, 400]);
         }
@@ -95,7 +95,7 @@ fn barrier_separates_virtual_time() {
         // Touch the variable so every processor does something measurable after
         // the barrier.
         let _ = ctx.read::<u8>(v);
-    });
+    }).expect_completed();
     assert!(outcome.report.total_time >= 1_000_000_000);
 }
 
@@ -118,7 +118,7 @@ fn locks_provide_mutual_exclusion_on_read_modify_write() {
             }
             ctx.barrier();
             *ctx.read::<u64>(counter)
-        });
+        }).expect_completed();
         let expected = increments * 16;
         for v in outcome.results {
             assert_eq!(v, expected, "strategy {name}");
@@ -140,7 +140,7 @@ fn explicit_message_passing_round_trip() {
         ctx.send_msg(next, 64, 1, p as u64);
 
         *ctx.recv_msg::<u64>(prev, 1)
-    });
+    }).expect_completed();
     for (p, got) in outcome.results.iter().enumerate() {
         assert_eq!(*got as usize, (p + 16 - 1) % 16);
     }
@@ -161,7 +161,7 @@ fn message_passing_preserves_fifo_order_per_sender() {
         } else {
             Vec::new()
         }
-    });
+    }).expect_completed();
     assert_eq!(outcome.results[3], (0..10).collect::<Vec<u64>>());
 }
 
@@ -181,7 +181,7 @@ fn variables_can_be_allocated_during_the_run() {
             ctx.barrier();
             let handle = *ctx.read::<VarHandle>(pointer);
             ctx.read::<Vec<u64>>(handle)[31]
-        });
+        }).expect_completed();
         assert_eq!(outcome.results, vec![13u64; 16]);
     }
 }
@@ -215,7 +215,7 @@ fn freed_variables_are_recycled_and_the_report_shows_it() {
                     ctx.end_epoch();
                 }
                 sum
-            })
+            }).expect_completed()
         };
         let two = run(2, cfg.clone());
         let six = run(6, cfg);
@@ -269,7 +269,7 @@ fn explicit_free_revokes_copies_everywhere() {
             ctx.barrier();
             let v2 = *ctx.read::<VarHandle>(ptr);
             got + *ctx.read::<u64>(v2)
-        });
+        }).expect_completed();
         assert_eq!(outcome.results, vec![16u64; 16], "{name}");
         assert_eq!(outcome.report.vars_freed, 1, "{name}");
     }
@@ -286,7 +286,7 @@ fn fast_path_hits_do_not_touch_the_network() {
             sum += ctx.read::<Vec<u8>>(v)[0] as u64;
         }
         sum
-    });
+    }).expect_completed();
     assert_eq!(outcome.results, vec![100u64; 16]);
     let hits = outcome.report.counter(Counter::ReadHit);
     let misses = outcome.report.counter(Counter::ReadMiss);
@@ -316,7 +316,7 @@ fn runs_are_deterministic() {
             }
             ctx.barrier();
             acc
-        });
+        }).expect_completed();
         (
             outcome.report.total_time,
             outcome.report.congestion_bytes(),
@@ -334,7 +334,7 @@ fn different_seeds_change_placement_but_not_results() {
     let run = |seed: u64| {
         let mut diva = Diva::new(fh_config(4).with_seed(seed));
         let v = diva.alloc(0, 2048, vec![5u64; 256]);
-        let outcome = diva.run_prototype(|ctx| *ctx.read::<Vec<u64>>(v).last().unwrap());
+        let outcome = diva.run_prototype(|ctx| *ctx.read::<Vec<u64>>(v).last().unwrap()).expect_completed();
         (outcome.results, outcome.report.congestion_bytes())
     };
     let (r1, c1) = run(1);
@@ -358,7 +358,7 @@ fn regions_attribute_time_and_traffic_to_phases() {
         ctx.barrier();
         ctx.region("idle");
         ctx.barrier();
-    });
+    }).expect_completed();
     let report = outcome.report;
     let reads = report.region("reads").expect("reads region missing");
     let warmup = report.region("warmup").expect("warmup region missing");
@@ -390,7 +390,7 @@ fn access_tree_beats_fixed_home_on_a_hot_shared_object() {
                 let _ = ctx.read::<Vec<u8>>(v);
             }
             ctx.barrier();
-        });
+        }).expect_completed();
         outcome.report
     };
     let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
@@ -426,7 +426,7 @@ fn random_embedding_mode_also_works_end_to_end() {
     cfg.embedding = EmbeddingMode::Random;
     let mut diva = Diva::new(cfg);
     let v = diva.alloc(0, 128, 3u32);
-    let outcome = diva.run_prototype(|ctx| *ctx.read::<u32>(v));
+    let outcome = diva.run_prototype(|ctx| *ctx.read::<u32>(v)).expect_completed();
     assert_eq!(outcome.results, vec![3u32; 16]);
 }
 
@@ -438,7 +438,7 @@ fn single_processor_mesh_degenerates_gracefully() {
         ctx.write(v, 11u32);
         ctx.barrier();
         *ctx.read::<u32>(v)
-    });
+    }).expect_completed();
     assert_eq!(outcome.results, vec![11]);
     assert_eq!(outcome.report.congestion_bytes(), 0);
 }
@@ -454,7 +454,7 @@ fn report_counters_are_consistent() {
             ctx.write(v, vec![1u32; 64]);
         }
         ctx.barrier();
-    });
+    }).expect_completed();
     let r = outcome.report;
     assert_eq!(r.barriers, 2);
     assert!(r.counter(Counter::CopiesCreated) >= 15);
@@ -475,5 +475,5 @@ fn missing_send_is_reported_as_deadlock() {
             // Waits forever: nobody sends with tag 9.
             let _ = ctx.recv_msg::<u64>(1, 9);
         }
-    });
+    }).expect_completed();
 }

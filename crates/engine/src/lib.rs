@@ -22,6 +22,30 @@
 //! The crate knows nothing about data-management strategies or shared
 //! variables; it only answers "when does this message arrive and what did it
 //! cost".
+//!
+//! ## Fault model
+//!
+//! [`LinkCostTable`] generalises the machine-wide link bandwidth and hop
+//! latency to per-link values, which makes degraded and dead links
+//! expressible:
+//!
+//! * **No table** (the default) or a **uniform table**: bit-identical timing
+//!   to the original single-constant code path — the fault-free goldens gate
+//!   this parity.
+//! * **Degraded links** keep carrying traffic over their unchanged routes
+//!   (the dimension-order hardware router is oblivious to bandwidth); only
+//!   their transfer times stretch.
+//! * **Dead links** ([`LinkNetwork::fail_link`]) carry nothing. Routes are
+//!   recomputed deterministically around them through the topology's detour
+//!   search (`Topology::route_links_avoiding` in `dm-mesh`) and memoised per
+//!   endpoint pair; pairs whose default route is fully alive keep it, so a
+//!   fault perturbs exactly the traffic that crossed it.
+//! * **Partitions** must be caught up front with
+//!   [`LinkNetwork::check_connected`]; transmitting across a partitioned
+//!   pair is a programming error and panics rather than hanging.
+//!
+//! Failure *schedules* — what dies when, and how directory state re-homes
+//! after a node loss — live one layer up, in `dm-diva`'s `FaultPlan`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +57,5 @@ mod time;
 
 pub use config::MachineConfig;
 pub use events::{EventQueue, QueueOp};
-pub use network::{Delivery, LinkNetwork, RegionId, GLOBAL_REGION};
+pub use network::{Delivery, LinkCostTable, LinkNetwork, RegionId, GLOBAL_REGION};
 pub use time::{ns_to_secs, secs_to_ns, us_to_ns, SimTime};

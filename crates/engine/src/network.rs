@@ -1,8 +1,9 @@
 //! Timing and accounting model of the interconnect.
 
 use crate::config::MachineConfig;
-use crate::time::SimTime;
-use dm_mesh::{AnyTopology, LinkStats, Mesh, NodeId};
+use crate::time::{us_to_ns, SimTime};
+use dm_mesh::{AnyTopology, LinkId, LinkStats, Mesh, NodeId};
+use std::collections::HashMap;
 
 /// A measurement region messages can be attributed to (e.g. the Barnes-Hut
 /// "tree build" or "force computation" phase). Region 0 is the implicit
@@ -12,6 +13,65 @@ pub struct RegionId(pub u16);
 
 /// The implicit region covering the whole run.
 pub const GLOBAL_REGION: RegionId = RegionId(0);
+
+/// Per-link cost and liveness table: the fault-injection generalisation of
+/// [`MachineConfig`]'s single link bandwidth and hop latency.
+///
+/// A fresh network has no table at all — every link shares the machine-wide
+/// constants, and `transmit` stays on its precomputed fast path. The table is
+/// materialised (uniform, from the same constants) on the first per-link
+/// override, so a uniform table is cost-for-cost identical to no table: the
+/// per-link values are initialised from the very same `f64` expressions the
+/// fast path evaluates, which keeps all fault-free goldens byte-identical.
+///
+/// Dead links (see [`LinkNetwork::fail_link`]) carry no traffic; routes are
+/// recomputed around them via [`dm_mesh::Topology::route_links_avoiding`].
+/// Degraded links keep routing unchanged — routing is oblivious to bandwidth,
+/// like the dimension-order hardware router being modelled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkCostTable {
+    /// Bandwidth of each link slot in bytes per µs.
+    bandwidth: Vec<f64>,
+    /// Head latency of each link slot in ns.
+    hop_ns: Vec<SimTime>,
+    /// Liveness of each link slot.
+    alive: Vec<bool>,
+    /// Number of links marked dead.
+    dead: usize,
+}
+
+impl LinkCostTable {
+    /// A uniform table over `slots` link slots, replicating the machine-wide
+    /// constants of `cfg`.
+    pub fn uniform(cfg: &MachineConfig, slots: usize) -> Self {
+        LinkCostTable {
+            bandwidth: vec![cfg.link_bandwidth_bytes_per_us; slots],
+            hop_ns: vec![cfg.hop_latency_ns(); slots],
+            alive: vec![true; slots],
+            dead: 0,
+        }
+    }
+
+    /// Bandwidth of a link in bytes per µs.
+    pub fn bandwidth(&self, l: LinkId) -> f64 {
+        self.bandwidth[l.index()]
+    }
+
+    /// Head latency of a link in ns.
+    pub fn hop_latency_ns(&self, l: LinkId) -> SimTime {
+        self.hop_ns[l.index()]
+    }
+
+    /// Whether a link is alive.
+    pub fn alive(&self, l: LinkId) -> bool {
+        self.alive[l.index()]
+    }
+
+    /// Number of links marked dead.
+    pub fn dead_links(&self) -> usize {
+        self.dead
+    }
+}
 
 /// Result of scheduling a message on the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +127,12 @@ pub struct LinkNetwork {
     recv_ns: SimTime,
     hop_ns: SimTime,
     local_ns: SimTime,
+    /// Per-link cost overrides; `None` (the default) keeps every link on the
+    /// machine-wide constants and `transmit` on its fast path.
+    costs: Option<Box<LinkCostTable>>,
+    /// Memoised routes around dead links, keyed by `(from, to)`; `None`
+    /// entries record partitioned pairs. Invalidated whenever a link dies.
+    detours: HashMap<(u32, u32), Option<Box<[LinkId]>>>,
     /// Time at which each directed link becomes free.
     link_free: Vec<SimTime>,
     /// Time at which each node's communication port becomes free.
@@ -95,6 +161,8 @@ impl LinkNetwork {
             recv_ns: cfg.startup_recv_ns(),
             hop_ns: cfg.hop_latency_ns(),
             local_ns: cfg.local_msg_ns(),
+            costs: None,
+            detours: HashMap::new(),
             link_free: vec![0; links],
             port_free: vec![0; nodes],
             global,
@@ -144,6 +212,10 @@ impl LinkNetwork {
                 sender_free: done,
                 hops: 0,
             };
+        }
+        if self.costs.is_some() {
+            // Per-link overrides present: take the tabled path.
+            return self.transmit_tabled(now, from, to, bytes, region);
         }
 
         // 1. Sender startup (serialised on the sender's communication port).
@@ -203,6 +275,196 @@ impl LinkNetwork {
         }
     }
 
+    /// The tabled twin of the `transmit` hot path: identical structure, but
+    /// per-link bandwidth/latency come from the [`LinkCostTable`] and routes
+    /// detour around dead links (memoised per `(from, to)` pair).
+    ///
+    /// # Panics
+    /// Panics if `to` is unreachable from `from` — callers must gate runs
+    /// through [`LinkNetwork::check_connected`] after killing links.
+    fn transmit_tabled(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u32,
+        region: RegionId,
+    ) -> Delivery {
+        if region != GLOBAL_REGION {
+            self.region_stats_mut(region);
+        }
+        let send_ns = self.send_ns;
+        let recv_ns = self.recv_ns;
+        let Self {
+            topo,
+            costs,
+            detours,
+            link_free,
+            port_free,
+            global,
+            regions,
+            ..
+        } = self;
+        let table = costs.as_deref().expect("tabled transmit without a table");
+
+        let send_start = now.max(port_free[from.index()]);
+        let sender_free = send_start + send_ns;
+        port_free[from.index()] = sender_free;
+
+        let mut head_ready = sender_free;
+        let mut hops = 0usize;
+        let mut last_link_free = head_ready;
+        let mut visit = |l: LinkId| {
+            let idx = l.index();
+            debug_assert!(table.alive[idx], "message routed across a dead link");
+            let transfer = us_to_ns(bytes as f64 / table.bandwidth[idx]);
+            let depart = head_ready.max(link_free[idx]);
+            link_free[idx] = depart + transfer;
+            head_ready = depart + table.hop_ns[idx];
+            last_link_free = link_free[idx];
+            hops += 1;
+            global.record(l, bytes as u64);
+            if region != GLOBAL_REGION {
+                regions[region.0 as usize].record(l, bytes as u64);
+            }
+        };
+        if table.dead == 0 {
+            topo.for_each_route_link(from, to, &mut visit);
+        } else {
+            let route = detours
+                .entry((from.0, to.0))
+                .or_insert_with(|| alive_route(topo, table, from, to));
+            let route = route
+                .as_deref()
+                .expect("transmit across a partitioned network (check_connected not honoured)");
+            for &l in route {
+                visit(l);
+            }
+        }
+        let body_arrived = last_link_free.max(head_ready);
+
+        let recv_start = body_arrived.max(port_free[to.index()]);
+        let arrival = recv_start + recv_ns;
+        port_free[to.index()] = arrival;
+
+        Delivery {
+            arrival,
+            sender_free,
+            hops,
+        }
+    }
+
+    /// The per-link cost table, materialised (uniform) on first use. The
+    /// switch from the fast path to the tabled path is cost-neutral: a
+    /// uniform table reproduces the fast path's timings bit for bit.
+    pub fn costs_mut(&mut self) -> &mut LinkCostTable {
+        let Self { costs, cfg, topo, .. } = self;
+        costs.get_or_insert_with(|| Box::new(LinkCostTable::uniform(cfg, topo.link_slots())))
+    }
+
+    /// The per-link cost table, if any overrides were ever applied.
+    pub fn costs(&self) -> Option<&LinkCostTable> {
+        self.costs.as_deref()
+    }
+
+    /// Override one link's bandwidth (bytes per µs).
+    ///
+    /// # Panics
+    /// Panics on a non-positive bandwidth — use [`LinkNetwork::fail_link`]
+    /// to take a link out of service entirely.
+    pub fn set_link_bandwidth(&mut self, l: LinkId, bytes_per_us: f64) {
+        assert!(
+            bytes_per_us > 0.0,
+            "bandwidth must stay positive; fail_link removes a link"
+        );
+        self.costs_mut().bandwidth[l.index()] = bytes_per_us;
+    }
+
+    /// Override one link's head latency (µs).
+    pub fn set_link_hop_latency_us(&mut self, l: LinkId, us: f64) {
+        self.costs_mut().hop_ns[l.index()] = us_to_ns(us);
+    }
+
+    /// Degrade one link to `factor` (0 < factor ≤ 1) of its current
+    /// bandwidth. Routing is unchanged: the hardware router is oblivious to
+    /// bandwidth, so traffic keeps crossing slow links.
+    pub fn degrade_link(&mut self, l: LinkId, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degradation factor {factor} out of range"
+        );
+        let table = self.costs_mut();
+        table.bandwidth[l.index()] *= factor;
+    }
+
+    /// Take a link out of service. Returns whether the link was alive (the
+    /// second failure of one link is a no-op). Memoised detours are
+    /// invalidated; subsequent messages route around all dead links.
+    pub fn fail_link(&mut self, l: LinkId) -> bool {
+        let table = self.costs_mut();
+        let was_alive = std::mem::replace(&mut table.alive[l.index()], false);
+        if was_alive {
+            table.dead += 1;
+            self.detours.clear();
+        }
+        was_alive
+    }
+
+    /// Whether a link is alive (trivially true without a cost table).
+    pub fn link_alive(&self, l: LinkId) -> bool {
+        self.costs.as_deref().is_none_or(|t| t.alive[l.index()])
+    }
+
+    /// Number of links taken out of service.
+    pub fn dead_links(&self) -> usize {
+        self.costs.as_deref().map_or(0, |t| t.dead)
+    }
+
+    /// The route messages from `from` to `to` currently take: the topology's
+    /// default route while every link on it is alive, otherwise the memoised
+    /// detour. `None` when the pair is partitioned.
+    pub fn route_of(&mut self, from: NodeId, to: NodeId) -> Option<Vec<LinkId>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        let Self {
+            topo,
+            costs,
+            detours,
+            ..
+        } = self;
+        match costs.as_deref() {
+            Some(table) if table.dead > 0 => detours
+                .entry((from.0, to.0))
+                .or_insert_with(|| alive_route(topo, table, from, to))
+                .as_deref()
+                .map(<[LinkId]>::to_vec),
+            _ => {
+                let mut route = Vec::new();
+                topo.for_each_route_link(from, to, |l| route.push(l));
+                Some(route)
+            }
+        }
+    }
+
+    /// Verify that every node can still reach and be reached by node 0 (and
+    /// therefore, routes being composable through node 0's position in the
+    /// strongly connected alive component, every other node). Returns the
+    /// first unreachable node. Cheap when no link is dead.
+    pub fn check_connected(&mut self) -> Result<(), NodeId> {
+        if self.dead_links() == 0 {
+            return Ok(());
+        }
+        let origin = NodeId(0);
+        for n in 1..self.topo.nodes() as u32 {
+            let n = NodeId(n);
+            if self.route_of(origin, n).is_none() || self.route_of(n, origin).is_none() {
+                return Err(n);
+            }
+        }
+        Ok(())
+    }
+
     /// Occupy the communication port of `node` starting at `now` for `dur`
     /// nanoseconds (used for protocol processing at intermediate nodes that is
     /// not already covered by a send or receive startup).
@@ -248,6 +510,29 @@ impl LinkNetwork {
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
     }
+}
+
+/// The route a pair uses once links have died: the topology's default route
+/// when it is fully alive (so unaffected pairs keep their exact pre-fault
+/// behaviour), otherwise the deterministic detour of
+/// [`dm_mesh::Topology::route_links_avoiding`]; `None` when partitioned.
+fn alive_route(
+    topo: &AnyTopology,
+    table: &LinkCostTable,
+    from: NodeId,
+    to: NodeId,
+) -> Option<Box<[LinkId]>> {
+    let mut route = Vec::new();
+    let mut hit_dead = false;
+    topo.for_each_route_link(from, to, |l| {
+        route.push(l);
+        hit_dead |= !table.alive[l.index()];
+    });
+    if !hit_dead {
+        return Some(route.into_boxed_slice());
+    }
+    topo.route_links_avoiding(from, to, &|l| !table.alive[l.index()])
+        .map(Vec::into_boxed_slice)
 }
 
 #[cfg(test)]
@@ -420,5 +705,101 @@ mod tests {
         n.transmit(0, a, a, 100, GLOBAL_REGION);
         assert_eq!(n.messages_sent(), 2);
         assert_eq!(n.bytes_sent(), 200);
+    }
+
+    #[test]
+    fn uniform_cost_table_is_bit_identical_to_the_fast_path() {
+        // The gate behind the fault-free golden guarantee: materialising a
+        // uniform table must not change a single delivery time.
+        let cfg = MachineConfig::parsytec_gcel();
+        let mut fast = net(4, cfg);
+        let mut tabled = net(4, cfg);
+        tabled.costs_mut(); // uniform table, no overrides
+        let pairs = [(0u32, 15u32), (3, 12), (5, 5), (0, 15), (7, 8), (15, 0)];
+        for (i, (a, b)) in pairs.into_iter().enumerate() {
+            let now = i as SimTime * 1000;
+            let bytes = 64 + 100 * i as u32;
+            let region = RegionId((i % 3) as u16);
+            let df = fast.transmit(now, NodeId(a), NodeId(b), bytes, region);
+            let dt = tabled.transmit(now, NodeId(a), NodeId(b), bytes, region);
+            assert_eq!(df, dt);
+        }
+        assert_eq!(
+            fast.stats().congestion_bytes(),
+            tabled.stats().congestion_bytes()
+        );
+        assert_eq!(
+            fast.region_stats(RegionId(1)).total_msgs(),
+            tabled.region_stats(RegionId(1)).total_msgs()
+        );
+    }
+
+    #[test]
+    fn degraded_link_slows_transfers_but_keeps_the_route() {
+        let cfg = MachineConfig::bandwidth_only();
+        let mut n = net(4, cfg);
+        let a = n.mesh().node_at(0, 0);
+        let b = n.mesh().node_at(0, 2);
+        // Degrade the route's *last* link: under the cut-through
+        // approximation the body is charged on the final link, so the slow
+        // link shows up whole in this message's arrival (a slow intermediate
+        // link would only delay later traffic via its occupancy).
+        let last_link = n.mesh().link(n.mesh().node_at(0, 1), dm_mesh::Direction::East);
+        let baseline = net(4, cfg).transmit(0, a, b, 1000, GLOBAL_REGION);
+        n.degrade_link(last_link, 0.25);
+        let d = n.transmit(0, a, b, 1000, GLOBAL_REGION);
+        assert_eq!(d.hops, baseline.hops, "degradation must not reroute");
+        assert_eq!(
+            d.arrival,
+            baseline.arrival + 3 * cfg.transfer_ns(1000),
+            "quarter bandwidth on the last link adds 3 extra transfer times"
+        );
+        assert_eq!(n.costs().unwrap().bandwidth(last_link), 0.25);
+    }
+
+    #[test]
+    fn failed_link_reroutes_and_partition_is_detected() {
+        let cfg = MachineConfig::bandwidth_only();
+        let mut n = net(2, cfg);
+        let a = n.mesh().node_at(0, 0);
+        let b = n.mesh().node_at(0, 1);
+        let east = n.mesh().link(a, dm_mesh::Direction::East);
+        assert!(n.link_alive(east));
+        assert!(n.fail_link(east));
+        assert!(!n.fail_link(east), "second failure is a no-op");
+        assert!(!n.link_alive(east));
+        assert_eq!(n.dead_links(), 1);
+        assert_eq!(n.check_connected(), Ok(()));
+        // The 1-hop route is gone; the detour goes south, east, north.
+        let d = n.transmit(0, a, b, 100, GLOBAL_REGION);
+        assert_eq!(d.hops, 3);
+        let route = n.route_of(a, b).unwrap();
+        assert_eq!(route.len(), 3);
+        assert!(!route.contains(&east));
+        // Unaffected pairs keep their default route.
+        assert_eq!(n.route_of(b, a).unwrap().len(), 1);
+        // Killing the remaining out-links of node 0 partitions it.
+        let south = n.mesh().link(a, dm_mesh::Direction::South);
+        assert!(n.fail_link(south));
+        assert_eq!(n.check_connected(), Err(NodeId(1)));
+        assert_eq!(n.route_of(a, b), None);
+    }
+
+    #[test]
+    fn per_link_hop_latency_override_applies() {
+        let cfg = MachineConfig::parsytec_gcel();
+        let mut n = net(2, cfg);
+        let a = n.mesh().node_at(0, 0);
+        let b = n.mesh().node_at(0, 1);
+        let east = n.mesh().link(a, dm_mesh::Direction::East);
+        let baseline = net(2, cfg).transmit(0, a, b, 16, GLOBAL_REGION);
+        // A 16-byte transfer takes 16 µs; raise the link's head latency to
+        // 50 µs so the head (not the body) governs the arrival.
+        n.set_link_hop_latency_us(east, 50.0);
+        let d = n.transmit(0, a, b, 16, GLOBAL_REGION);
+        assert_eq!(
+            d.arrival,
+            baseline.arrival - cfg.transfer_ns(16) + us_to_ns(50.0)
+        );
     }
 }

@@ -89,6 +89,72 @@ pub trait Topology: std::fmt::Debug + Send + Sync {
     /// rectangle, the hypercube splits off its highest dimension, the fat
     /// tree splits at the subtree root.
     fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)>;
+
+    /// A deterministic detour route from `from` to `to` that crosses no link
+    /// for which `dead` returns true, or `None` when every path is cut (the
+    /// network is partitioned for this pair).
+    ///
+    /// When no link on the pair's default route is dead the caller should
+    /// prefer [`Topology::route_links`]; this method exists for fault
+    /// injection and makes no effort to match the default route. Direct
+    /// topologies answer with a breadth-first search over alive links
+    /// (shortest alive path, deterministic through the fixed neighbor
+    /// enumeration order); the fat tree keeps its unique switch path and
+    /// falls back to the lowest alive parallel channel per edge.
+    fn route_links_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        dead: &dyn Fn(LinkId) -> bool,
+    ) -> Option<Vec<LinkId>>;
+}
+
+/// Shortest alive path by breadth-first search, shared by the direct
+/// topologies. `edges` enumerates the out-links of one node in a fixed
+/// deterministic order; together with the FIFO frontier that makes the
+/// returned route a pure function of the inputs.
+fn bfs_route(
+    nodes: usize,
+    from: NodeId,
+    to: NodeId,
+    dead: &dyn Fn(LinkId) -> bool,
+    edges: &dyn Fn(NodeId, &mut dyn FnMut(LinkId, NodeId)),
+) -> Option<Vec<LinkId>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let mut pred: Vec<Option<(NodeId, LinkId)>> = vec![None; nodes];
+    let mut seen = vec![false; nodes];
+    let mut queue = std::collections::VecDeque::new();
+    seen[from.index()] = true;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        let mut reached = false;
+        edges(v, &mut |l, next| {
+            if reached || seen[next.index()] || dead(l) {
+                return;
+            }
+            seen[next.index()] = true;
+            pred[next.index()] = Some((v, l));
+            if next == to {
+                reached = true;
+            } else {
+                queue.push_back(next);
+            }
+        });
+        if reached {
+            let mut route = Vec::new();
+            let mut cur = to;
+            while cur != from {
+                let (p, l) = pred[cur.index()].expect("BFS predecessor chain broken");
+                route.push(l);
+                cur = p;
+            }
+            route.reverse();
+            return Some(route);
+        }
+    }
+    None
 }
 
 /// Node ids of a grid rectangle in row-major order.
@@ -173,6 +239,21 @@ impl Topology for Mesh {
 
     fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
         grid_split_region(self.cols(), region)
+    }
+
+    fn route_links_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        dead: &dyn Fn(LinkId) -> bool,
+    ) -> Option<Vec<LinkId>> {
+        bfs_route(Mesh::nodes(self), from, to, dead, &|v, f| {
+            for d in Direction::ALL {
+                if let Some(nb) = self.neighbor(v, d) {
+                    f(LinkId(v.0 * 4 + d.index() as u32), nb);
+                }
+            }
+        })
     }
 }
 
@@ -379,6 +460,34 @@ impl Topology for Torus {
     fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
         grid_split_region(self.cols, region)
     }
+
+    fn route_links_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        dead: &dyn Fn(LinkId) -> bool,
+    ) -> Option<Vec<LinkId>> {
+        let (rows, cols) = (self.rows, self.cols);
+        bfs_route(rows * cols, from, to, dead, &|v, f| {
+            let (r, c) = self.coord(v);
+            for d in Direction::ALL {
+                let exists = match d {
+                    Direction::East | Direction::West => cols > 1,
+                    Direction::South | Direction::North => rows > 1,
+                };
+                if !exists {
+                    continue;
+                }
+                let nb = match d {
+                    Direction::East => self.node_at(r, (c + 1) % cols),
+                    Direction::West => self.node_at(r, (c + cols - 1) % cols),
+                    Direction::South => self.node_at((r + 1) % rows, c),
+                    Direction::North => self.node_at((r + rows - 1) % rows, c),
+                };
+                f(LinkId(v.0 * 4 + d.index() as u32), nb);
+            }
+        })
+    }
 }
 
 /// A binary hypercube of `2^dim` processors.
@@ -475,6 +584,20 @@ impl Topology for Hypercube {
         );
         let mid = region.len() / 2;
         Some((region[..mid].to_vec(), region[mid..].to_vec()))
+    }
+
+    fn route_links_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        dead: &dyn Fn(LinkId) -> bool,
+    ) -> Option<Vec<LinkId>> {
+        let dim = self.dim;
+        bfs_route(Topology::nodes(self), from, to, dead, &|v, f| {
+            for b in 0..dim {
+                f(LinkId(v.0 * dim + b), NodeId(v.0 ^ (1 << b)));
+            }
+        })
     }
 }
 
@@ -663,6 +786,45 @@ impl Topology for FatTree {
         let mid = region.len() / 2;
         Some((region[..mid].to_vec(), region[mid..].to_vec()))
     }
+
+    fn route_links_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        dead: &dyn Fn(LinkId) -> bool,
+    ) -> Option<Vec<LinkId>> {
+        // The switch path of a fat-tree flow is unique; only the channel
+        // choice on each edge is free. Keep the default channel where it is
+        // alive, otherwise fall back to the lowest alive parallel channel.
+        let pick = |base: u32, m: u32, preferred: u32| -> Option<LinkId> {
+            let l = LinkId(base + preferred);
+            if !dead(l) {
+                return Some(l);
+            }
+            (0..m).map(|c| LinkId(base + c)).find(|&l| !dead(l))
+        };
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut va = self.leaf_vertex(from);
+        let mut vb = self.leaf_vertex(to);
+        let mut route = Vec::new();
+        let mut down = [0usize; 32];
+        let mut nd = 0;
+        while va != vb {
+            let m = self.mult[va];
+            route.push(pick(self.up_base[va], m, Self::channel(from, to, m))?);
+            down[nd] = vb;
+            nd += 1;
+            va /= 2;
+            vb /= 2;
+        }
+        for &v in down[..nd].iter().rev() {
+            let m = self.mult[v];
+            route.push(pick(self.up_base[v] + m, m, Self::channel(from, to, m))?);
+        }
+        Some(route)
+    }
 }
 
 /// A closed sum over the provided topologies.
@@ -767,6 +929,16 @@ impl AnyTopology {
     pub fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
         dispatch!(self, t => Topology::split_region(t, region))
     }
+
+    /// See [`Topology::route_links_avoiding`].
+    pub fn route_links_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        dead: &dyn Fn(LinkId) -> bool,
+    ) -> Option<Vec<LinkId>> {
+        dispatch!(self, t => Topology::route_links_avoiding(t, from, to, dead))
+    }
 }
 
 impl Topology for AnyTopology {
@@ -802,6 +974,14 @@ impl Topology for AnyTopology {
     }
     fn split_region(&self, region: &[NodeId]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
         AnyTopology::split_region(self, region)
+    }
+    fn route_links_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        dead: &dyn Fn(LinkId) -> bool,
+    ) -> Option<Vec<LinkId>> {
+        AnyTopology::route_links_avoiding(self, from, to, dead)
     }
 }
 
@@ -1006,5 +1186,108 @@ mod tests {
     #[should_panic]
     fn fat_tree_rejects_non_power_of_two() {
         FatTree::new(12);
+    }
+
+    /// With no dead links the detour search must find routes of the default
+    /// length; with the default route's links killed it must find an alive
+    /// detour (or detect the partition), deterministically.
+    fn check_avoiding(topo: &dyn Topology) {
+        let n = topo.nodes();
+        let slots = topo.link_slots();
+        let probes: Vec<usize> = vec![0, 1, n / 3, n / 2, n - 1];
+        for &a in &probes {
+            for &b in &probes {
+                let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+                let intact = topo
+                    .route_links_avoiding(a, b, &|_| false)
+                    .expect("intact network cannot be partitioned");
+                assert_eq!(
+                    intact.len(),
+                    topo.distance(a, b),
+                    "{} {a}->{b}",
+                    topo.name()
+                );
+                // Kill the whole default route and ask for a detour.
+                let mut dead = std::collections::HashSet::new();
+                topo.route_links(a, b, &mut |l| {
+                    dead.insert(l);
+                });
+                if dead.is_empty() {
+                    continue;
+                }
+                let detour = topo.route_links_avoiding(a, b, &|l| dead.contains(&l));
+                if let Some(route) = &detour {
+                    assert!(!route.is_empty());
+                    assert!(route.iter().all(|l| !dead.contains(l)), "{}", topo.name());
+                    assert!(route.iter().all(|l| l.index() < slots));
+                    let again = topo.route_links_avoiding(a, b, &|l| dead.contains(&l));
+                    assert_eq!(detour, again, "detours must be deterministic");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detours_avoid_dead_links_on_every_topology() {
+        check_avoiding(&Mesh::new(4, 6));
+        check_avoiding(&Torus::new(4, 4));
+        check_avoiding(&Hypercube::new(4));
+        check_avoiding(&FatTree::new(16));
+    }
+
+    #[test]
+    fn mesh_detour_walks_adjacent_links() {
+        // Kill the first link of the default (0,0) -> (0,3) route; the BFS
+        // detour must still be a chain of adjacent alive links ending at the
+        // destination.
+        let m = Mesh::new(4, 4);
+        let (a, b) = (m.node_at(0, 0), m.node_at(0, 3));
+        let killed = m.link(a, Direction::East);
+        let route = Topology::route_links_avoiding(&m, a, b, &|l| l == killed)
+            .expect("a 4x4 mesh minus one link stays connected");
+        let mut cur = a;
+        for l in &route {
+            assert_ne!(*l, killed);
+            let (src, dst) = m.link_endpoints(*l);
+            assert_eq!(src, cur);
+            cur = dst;
+        }
+        assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn isolated_node_reports_partition() {
+        let m = Mesh::new(2, 2);
+        // Both out-links of node 0 dead: nothing is reachable from it.
+        let dead = |l: LinkId| l.source() == NodeId(0);
+        assert_eq!(
+            Topology::route_links_avoiding(&m, NodeId(0), NodeId(3), &dead),
+            None
+        );
+        // The reverse direction still works (directed links die independently).
+        assert!(Topology::route_links_avoiding(&m, NodeId(3), NodeId(0), &dead).is_some());
+    }
+
+    #[test]
+    fn fat_tree_falls_back_to_alive_channels() {
+        let ft = FatTree::new(16);
+        let (a, b) = (NodeId(0), NodeId(15));
+        let mut default_route = Vec::new();
+        ft.for_each_route_link(a, b, |l| default_route.push(l));
+        // Kill the default channels of the multi-channel edges (the two top
+        // up-edges and the two top down-edges of the 8-link route); the
+        // detour must fall back to a parallel channel on each.
+        let switch_dead: std::collections::HashSet<LinkId> =
+            default_route[2..=5].iter().copied().collect();
+        let detour = Topology::route_links_avoiding(&ft, a, b, &|l| switch_dead.contains(&l))
+            .expect("parallel channels keep the fat tree connected");
+        assert_eq!(detour.len(), default_route.len());
+        assert!(detour.iter().all(|l| !switch_dead.contains(l)));
+        // Killing a leaf's only up-link cuts it off.
+        let leaf_dead = default_route[0];
+        assert_eq!(
+            Topology::route_links_avoiding(&ft, a, b, &|l| l == leaf_dead),
+            None
+        );
     }
 }

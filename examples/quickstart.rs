@@ -35,7 +35,7 @@ fn main() {
 
         ctx.barrier();
         *ctx.read::<u64>(counter)
-    });
+    }).expect_completed();
 
     // All 64 processors saw the final value 64.
     assert!(outcome.results.iter().all(|&v| v == 64));
