@@ -469,7 +469,8 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
                 }
             }
             (final_bodies, interactions_total)
-        }).expect_completed()
+        })
+        .expect_completed()
     };
 
     let mut final_bodies = bodies.to_vec();

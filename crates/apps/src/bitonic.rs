@@ -150,33 +150,37 @@ pub fn run_shared_prototype(mut diva: Diva, params: BitonicParams) -> BitonicOut
     let wire_of_proc = Arc::new(wire_of_proc);
     let schedule = Arc::new(per_wire_schedule(p));
     let include_compute = params.include_compute;
-    let outcome = diva.run_prototype(move |ctx| {
-        let wire = wire_of_proc[ctx.proc_id()];
-        let mut mine: Vec<u64> = (*ctx.read::<Vec<u64>>(vars[wire])).clone();
-        if include_compute {
-            // Initial local sort: m log m comparisons (already sorted here,
-            // but the real algorithm pays for it).
-            ctx.compute_int_ops((mine.len() as u64) * (mine.len().max(2) as u64).ilog2() as u64);
-        }
-        for &(partner, keep_low) in schedule[wire].iter() {
-            // Read the partner's current keys, then wait until everybody has
-            // read before overwriting our own variable.
-            let other = ctx.read::<Vec<u64>>(vars[partner]);
-            ctx.barrier();
+    let outcome = diva
+        .run_prototype(move |ctx| {
+            let wire = wire_of_proc[ctx.proc_id()];
+            let mut mine: Vec<u64> = (*ctx.read::<Vec<u64>>(vars[wire])).clone();
             if include_compute {
-                ctx.compute_int_ops(merge_ops(mine.len()));
+                // Initial local sort: m log m comparisons (already sorted here,
+                // but the real algorithm pays for it).
+                ctx.compute_int_ops(
+                    (mine.len() as u64) * (mine.len().max(2) as u64).ilog2() as u64,
+                );
             }
-            mine = merge_split(&mine, &other, keep_low);
-            ctx.write(vars[wire], mine.clone());
-            ctx.barrier();
-        }
-        // All merge&split steps are behind the last barrier: the wire
-        // variables are dead, so each processor frees its own. Pure
-        // bookkeeping — all simulated quantities are bit-identical to a
-        // leaking run; only the variable-lifecycle statistics move.
-        ctx.free(vars[wire]);
-        (wire, mine)
-    }).expect_completed();
+            for &(partner, keep_low) in schedule[wire].iter() {
+                // Read the partner's current keys, then wait until everybody has
+                // read before overwriting our own variable.
+                let other = ctx.read::<Vec<u64>>(vars[partner]);
+                ctx.barrier();
+                if include_compute {
+                    ctx.compute_int_ops(merge_ops(mine.len()));
+                }
+                mine = merge_split(&mine, &other, keep_low);
+                ctx.write(vars[wire], mine.clone());
+                ctx.barrier();
+            }
+            // All merge&split steps are behind the last barrier: the wire
+            // variables are dead, so each processor frees its own. Pure
+            // bookkeeping — all simulated quantities are bit-identical to a
+            // leaking run; only the variable-lifecycle statistics move.
+            ctx.free(vars[wire]);
+            (wire, mine)
+        })
+        .expect_completed();
     let mut keys_per_wire = vec![Vec::new(); p];
     for (wire, keys) in outcome.results {
         keys_per_wire[wire] = keys;
@@ -452,25 +456,29 @@ pub fn run_hand_optimized_prototype(diva: Diva, params: BitonicParams) -> Bitoni
     let schedule = Arc::new(per_wire_schedule(p));
     let include_compute = params.include_compute;
     let seed = params.seed;
-    let outcome = diva.run_prototype(move |ctx| {
-        let wire = wire_of_proc[ctx.proc_id()];
-        let mut mine = sort_keys(seed, wire, m);
-        mine.sort_unstable();
-        if include_compute {
-            ctx.compute_int_ops((mine.len() as u64) * (mine.len().max(2) as u64).ilog2() as u64);
-        }
-        for (step, &(partner, keep_low)) in schedule[wire].iter().enumerate() {
-            let partner_proc = proc_of_wire[partner];
-            ctx.send_msg(partner_proc, bytes, step as u64, mine.clone());
-            let other = ctx.recv_msg::<Vec<u64>>(partner_proc, step as u64);
+    let outcome = diva
+        .run_prototype(move |ctx| {
+            let wire = wire_of_proc[ctx.proc_id()];
+            let mut mine = sort_keys(seed, wire, m);
+            mine.sort_unstable();
             if include_compute {
-                ctx.compute_int_ops(merge_ops(mine.len()));
+                ctx.compute_int_ops(
+                    (mine.len() as u64) * (mine.len().max(2) as u64).ilog2() as u64,
+                );
             }
-            mine = merge_split(&mine, &other, keep_low);
-        }
-        ctx.barrier();
-        (wire, mine)
-    }).expect_completed();
+            for (step, &(partner, keep_low)) in schedule[wire].iter().enumerate() {
+                let partner_proc = proc_of_wire[partner];
+                ctx.send_msg(partner_proc, bytes, step as u64, mine.clone());
+                let other = ctx.recv_msg::<Vec<u64>>(partner_proc, step as u64);
+                if include_compute {
+                    ctx.compute_int_ops(merge_ops(mine.len()));
+                }
+                mine = merge_split(&mine, &other, keep_low);
+            }
+            ctx.barrier();
+            (wire, mine)
+        })
+        .expect_completed();
     let mut keys_per_wire = vec![Vec::new(); p];
     for (wire, keys) in outcome.results {
         keys_per_wire[wire] = keys;

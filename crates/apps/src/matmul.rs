@@ -136,32 +136,34 @@ pub fn run_shared_prototype(mut diva: Diva, params: MatmulParams) -> MatmulOutco
     let side = params.block_side();
     let vars = Arc::new(allocate_blocks(&mut diva, &params, q));
     let include_compute = params.include_compute;
-    let outcome = diva.run_prototype(move |ctx| {
-        let p = ctx.proc_id();
-        let (i, j) = (p / q, p % q);
-        let mut h = vec![0i64; side * side];
-        ctx.region("read-phase");
-        for kp in 0..q {
-            let k = (kp + i + j) % q;
-            let a = ctx.read::<Vec<i64>>(vars[i * q + k]);
-            let b = ctx.read::<Vec<i64>>(vars[k * q + j]);
-            if include_compute {
-                ctx.compute_int_ops(block_multiply_ops(side));
+    let outcome = diva
+        .run_prototype(move |ctx| {
+            let p = ctx.proc_id();
+            let (i, j) = (p / q, p % q);
+            let mut h = vec![0i64; side * side];
+            ctx.region("read-phase");
+            for kp in 0..q {
+                let k = (kp + i + j) % q;
+                let a = ctx.read::<Vec<i64>>(vars[i * q + k]);
+                let b = ctx.read::<Vec<i64>>(vars[k * q + j]);
+                if include_compute {
+                    ctx.compute_int_ops(block_multiply_ops(side));
+                }
+                block_multiply_add(&mut h, &a, &b, side);
             }
-            block_multiply_add(&mut h, &a, &b, side);
-        }
-        ctx.barrier();
-        ctx.region("write-phase");
-        ctx.write(vars[i * q + j], h.clone());
-        ctx.barrier();
-        // The blocks are dead after the final barrier: each processor frees
-        // its own, exercising full copy-set teardown (readers of the block
-        // hold copies all over the mesh). Pure bookkeeping — all simulated
-        // quantities are bit-identical to a run that leaks the blocks; only
-        // the report's variable-lifecycle statistics move.
-        ctx.free(vars[i * q + j]);
-        h
-    }).expect_completed();
+            ctx.barrier();
+            ctx.region("write-phase");
+            ctx.write(vars[i * q + j], h.clone());
+            ctx.barrier();
+            // The blocks are dead after the final barrier: each processor frees
+            // its own, exercising full copy-set teardown (readers of the block
+            // hold copies all over the mesh). Pure bookkeeping — all simulated
+            // quantities are bit-identical to a run that leaks the blocks; only
+            // the report's variable-lifecycle statistics move.
+            ctx.free(vars[i * q + j]);
+            h
+        })
+        .expect_completed();
     MatmulOutcome {
         report: outcome.report,
         blocks: outcome.results,
@@ -326,115 +328,121 @@ pub fn run_hand_optimized_prototype(diva: Diva, params: MatmulParams) -> MatmulO
     let word = diva.config().machine.word_bytes as usize;
     let block_bytes = (params.block_ints * word) as u32;
     let include_compute = params.include_compute;
-    let outcome = diva.run_prototype(move |ctx| {
-        let p = ctx.proc_id();
-        let (i, j) = (p / q, p % q);
-        let own: Vec<i64> = block_matrix(i, j, side);
-        // Blocks of my row (indexed by column) and my column (indexed by row).
-        let mut row_blocks: Vec<Option<Vec<i64>>> = vec![None; q];
-        let mut col_blocks: Vec<Option<Vec<i64>>> = vec![None; q];
-        row_blocks[j] = Some(own.clone());
-        col_blocks[i] = Some(own.clone());
+    let outcome = diva
+        .run_prototype(move |ctx| {
+            let p = ctx.proc_id();
+            let (i, j) = (p / q, p % q);
+            let own: Vec<i64> = block_matrix(i, j, side);
+            // Blocks of my row (indexed by column) and my column (indexed by row).
+            let mut row_blocks: Vec<Option<Vec<i64>>> = vec![None; q];
+            let mut col_blocks: Vec<Option<Vec<i64>>> = vec![None; q];
+            row_blocks[j] = Some(own.clone());
+            col_blocks[i] = Some(own.clone());
 
-        let proc_of = |r: usize, c: usize| r * q + c;
-        // Kick off the four pipelines with the processor's own block.
-        if j + 1 < q {
-            ctx.send_msg(proc_of(i, j + 1), block_bytes, TAG_EAST, (j, own.clone()));
-        }
-        if j > 0 {
-            ctx.send_msg(proc_of(i, j - 1), block_bytes, TAG_WEST, (j, own.clone()));
-        }
-        if i + 1 < q {
-            ctx.send_msg(proc_of(i + 1, j), block_bytes, TAG_SOUTH, (i, own.clone()));
-        }
-        if i > 0 {
-            ctx.send_msg(proc_of(i - 1, j), block_bytes, TAG_NORTH, (i, own.clone()));
-        }
-        // Expected number of blocks from each direction.
-        let mut remaining = [j, q - 1 - j, i, q - 1 - i]; // east←west, west←east, south←north, north←south
-        loop {
-            let mut progressed = false;
-            // Round-robin over the four directions to keep all pipelines moving.
-            for dir in 0..4 {
-                if remaining[dir] == 0 {
-                    continue;
+            let proc_of = |r: usize, c: usize| r * q + c;
+            // Kick off the four pipelines with the processor's own block.
+            if j + 1 < q {
+                ctx.send_msg(proc_of(i, j + 1), block_bytes, TAG_EAST, (j, own.clone()));
+            }
+            if j > 0 {
+                ctx.send_msg(proc_of(i, j - 1), block_bytes, TAG_WEST, (j, own.clone()));
+            }
+            if i + 1 < q {
+                ctx.send_msg(proc_of(i + 1, j), block_bytes, TAG_SOUTH, (i, own.clone()));
+            }
+            if i > 0 {
+                ctx.send_msg(proc_of(i - 1, j), block_bytes, TAG_NORTH, (i, own.clone()));
+            }
+            // Expected number of blocks from each direction.
+            let mut remaining = [j, q - 1 - j, i, q - 1 - i]; // east←west, west←east, south←north, north←south
+            loop {
+                let mut progressed = false;
+                // Round-robin over the four directions to keep all pipelines moving.
+                for dir in 0..4 {
+                    if remaining[dir] == 0 {
+                        continue;
+                    }
+                    progressed = true;
+                    remaining[dir] -= 1;
+                    match dir {
+                        0 => {
+                            // Block travelling east, received from the west neighbour.
+                            let msg =
+                                ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i, j - 1), TAG_EAST);
+                            let (col, block) = (*msg).clone();
+                            if j + 1 < q {
+                                ctx.send_msg(
+                                    proc_of(i, j + 1),
+                                    block_bytes,
+                                    TAG_EAST,
+                                    (col, block.clone()),
+                                );
+                            }
+                            row_blocks[col] = Some(block);
+                        }
+                        1 => {
+                            let msg =
+                                ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i, j + 1), TAG_WEST);
+                            let (col, block) = (*msg).clone();
+                            if j > 0 {
+                                ctx.send_msg(
+                                    proc_of(i, j - 1),
+                                    block_bytes,
+                                    TAG_WEST,
+                                    (col, block.clone()),
+                                );
+                            }
+                            row_blocks[col] = Some(block);
+                        }
+                        2 => {
+                            let msg =
+                                ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i - 1, j), TAG_SOUTH);
+                            let (row, block) = (*msg).clone();
+                            if i + 1 < q {
+                                ctx.send_msg(
+                                    proc_of(i + 1, j),
+                                    block_bytes,
+                                    TAG_SOUTH,
+                                    (row, block.clone()),
+                                );
+                            }
+                            col_blocks[row] = Some(block);
+                        }
+                        3 => {
+                            let msg =
+                                ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i + 1, j), TAG_NORTH);
+                            let (row, block) = (*msg).clone();
+                            if i > 0 {
+                                ctx.send_msg(
+                                    proc_of(i - 1, j),
+                                    block_bytes,
+                                    TAG_NORTH,
+                                    (row, block.clone()),
+                                );
+                            }
+                            col_blocks[row] = Some(block);
+                        }
+                        _ => unreachable!(),
+                    }
                 }
-                progressed = true;
-                remaining[dir] -= 1;
-                match dir {
-                    0 => {
-                        // Block travelling east, received from the west neighbour.
-                        let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i, j - 1), TAG_EAST);
-                        let (col, block) = (*msg).clone();
-                        if j + 1 < q {
-                            ctx.send_msg(
-                                proc_of(i, j + 1),
-                                block_bytes,
-                                TAG_EAST,
-                                (col, block.clone()),
-                            );
-                        }
-                        row_blocks[col] = Some(block);
-                    }
-                    1 => {
-                        let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i, j + 1), TAG_WEST);
-                        let (col, block) = (*msg).clone();
-                        if j > 0 {
-                            ctx.send_msg(
-                                proc_of(i, j - 1),
-                                block_bytes,
-                                TAG_WEST,
-                                (col, block.clone()),
-                            );
-                        }
-                        row_blocks[col] = Some(block);
-                    }
-                    2 => {
-                        let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i - 1, j), TAG_SOUTH);
-                        let (row, block) = (*msg).clone();
-                        if i + 1 < q {
-                            ctx.send_msg(
-                                proc_of(i + 1, j),
-                                block_bytes,
-                                TAG_SOUTH,
-                                (row, block.clone()),
-                            );
-                        }
-                        col_blocks[row] = Some(block);
-                    }
-                    3 => {
-                        let msg = ctx.recv_msg::<(usize, Vec<i64>)>(proc_of(i + 1, j), TAG_NORTH);
-                        let (row, block) = (*msg).clone();
-                        if i > 0 {
-                            ctx.send_msg(
-                                proc_of(i - 1, j),
-                                block_bytes,
-                                TAG_NORTH,
-                                (row, block.clone()),
-                            );
-                        }
-                        col_blocks[row] = Some(block);
-                    }
-                    _ => unreachable!(),
+                if !progressed {
+                    break;
                 }
             }
-            if !progressed {
-                break;
+            // All blocks of row i and column j are local: compute the new block.
+            let mut h = vec![0i64; side * side];
+            for k in 0..q {
+                let a = row_blocks[k].as_ref().expect("missing row block");
+                let b = col_blocks[k].as_ref().expect("missing column block");
+                if include_compute {
+                    ctx.compute_int_ops(block_multiply_ops(side));
+                }
+                block_multiply_add(&mut h, a, b, side);
             }
-        }
-        // All blocks of row i and column j are local: compute the new block.
-        let mut h = vec![0i64; side * side];
-        for k in 0..q {
-            let a = row_blocks[k].as_ref().expect("missing row block");
-            let b = col_blocks[k].as_ref().expect("missing column block");
-            if include_compute {
-                ctx.compute_int_ops(block_multiply_ops(side));
-            }
-            block_multiply_add(&mut h, a, b, side);
-        }
-        ctx.barrier();
-        h
-    }).expect_completed();
+            ctx.barrier();
+            h
+        })
+        .expect_completed();
     MatmulOutcome {
         report: outcome.report,
         blocks: outcome.results,
@@ -749,11 +757,8 @@ mod tests {
                 .degrade_links(0.2, 0.5, 200_000)
                 .fail_node(NodeId(6), 600_000)
                 .fail_random_nodes(2, 1_000_000);
-            let mk = |s| {
-                Diva::new(
-                    DivaConfig::new(Mesh::square(4), s).with_fault_plan(plan.clone()),
-                )
-            };
+            let mk =
+                |s| Diva::new(DivaConfig::new(Mesh::square(4), s).with_fault_plan(plan.clone()));
             let params = MatmulParams::new(64);
             let threaded = run_shared_prototype(mk(strategy), params);
             let driven = run_shared_driven(mk(strategy), params);

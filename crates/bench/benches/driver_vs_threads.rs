@@ -44,20 +44,22 @@ fn make_diva() -> (Diva, Arc<Vec<VarHandle>>) {
 
 fn run_threaded() -> RunReport {
     let (diva, vars) = make_diva();
-    let outcome = diva.run_prototype(move |ctx| {
-        let mut rng = seed_of(ctx.proc_id());
-        for round in 1..=ROUNDS {
-            ctx.compute_int_ops(5);
-            let r = lcg_next(&mut rng);
-            let var = vars[(r % vars.len() as u64) as usize];
-            if r & 1 == 0 {
-                let _ = ctx.read::<u64>(var);
-            } else {
-                ctx.write(var, round as u64);
+    let outcome = diva
+        .run_prototype(move |ctx| {
+            let mut rng = seed_of(ctx.proc_id());
+            for round in 1..=ROUNDS {
+                ctx.compute_int_ops(5);
+                let r = lcg_next(&mut rng);
+                let var = vars[(r % vars.len() as u64) as usize];
+                if r & 1 == 0 {
+                    let _ = ctx.read::<u64>(var);
+                } else {
+                    ctx.write(var, round as u64);
+                }
             }
-        }
-        ctx.barrier();
-    }).expect_completed();
+            ctx.barrier();
+        })
+        .expect_completed();
     outcome.report
 }
 

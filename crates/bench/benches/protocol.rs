@@ -61,10 +61,12 @@ fn bench_protocol_round() {
         bench(&format!("protocol/hot_read_8x8/{name}"), 10, || {
             let mut diva = Diva::new(DivaConfig::new(Mesh::square(8), strategy));
             let v = diva.alloc(0, 4096, vec![0u8; 4096]);
-            let outcome = diva.run_prototype(|ctx| {
-                let _ = ctx.read::<Vec<u8>>(v);
-                ctx.barrier();
-            }).expect_completed();
+            let outcome = diva
+                .run_prototype(|ctx| {
+                    let _ = ctx.read::<Vec<u8>>(v);
+                    ctx.barrier();
+                })
+                .expect_completed();
             outcome.report.congestion_bytes()
         });
     }

@@ -5,7 +5,7 @@
 //! carries so downstream tooling can tell sweep points from different tiers
 //! apart.
 
-use crate::executor::{run_jobs, Job};
+use crate::executor::Job;
 use crate::{barnes_hut_shapes, make_diva, HarnessOpts, Scale};
 use dm_apps::barnes_hut::{run_shared_driven, BhParams};
 use dm_apps::workload::plummer_bodies;
@@ -48,6 +48,22 @@ pub struct BhRow {
 }
 
 crate::impl_to_json!(BhRow {
+    strategy,
+    mesh,
+    n_bodies,
+    congestion_msgs,
+    exec_time_ns,
+    tree_build_congestion_msgs,
+    tree_build_time_ns,
+    force_congestion_msgs,
+    force_time_ns,
+    force_compute_ns,
+    interactions,
+    live_vars_peak,
+    host_ms,
+});
+
+crate::impl_from_json!(BhRow {
     strategy,
     mesh,
     n_bodies,
@@ -159,17 +175,16 @@ pub fn point_job(
     }
 }
 
-/// Run a list of described Barnes-Hut jobs on `workers` executor threads and
-/// attach each job's host time to its row.
-pub fn run_bh_jobs(workers: usize, jobs: Vec<Job<BhRow>>) -> Vec<BhRow> {
-    run_jobs(workers, jobs)
-        .into_iter()
-        .map(|r| {
-            let mut row = r.value;
-            row.host_ms = r.host_ms;
-            row
-        })
-        .collect()
+/// Run a list of described Barnes-Hut jobs through the checkpointed sweep
+/// engine (see [`crate::stream::run_sweep`]) and attach each job's host
+/// time to its row. `None` means the sweep is incomplete — a shard run or a
+/// cut-short run whose completed jobs are checkpointed in the sidecar — and
+/// the caller must not render.
+pub fn run_bh_jobs(opts: &HarnessOpts, tag: &str, jobs: Vec<Job<BhRow>>) -> Option<Vec<BhRow>> {
+    let results = crate::stream::run_sweep(opts, tag, jobs)?;
+    Some(crate::stream::rows_with_host_ms(results, |row, ms| {
+        row.host_ms = ms;
+    }))
 }
 
 /// Metadata describing a sweep: which tier produced the rows and the
@@ -240,7 +255,7 @@ fn sweep_meta(opts: &HarnessOpts, params: &BhParams) -> SweepMeta {
 /// * paper — the paper's 16×16 mesh with 10 000–60 000 bodies and 7 steps;
 /// * mega — beyond-paper: a 64×64 mesh (4 096 processors) with up to
 ///   100 000 bodies.
-pub fn body_sweep(opts: &HarnessOpts) -> BhSweep {
+pub fn body_sweep(opts: &HarnessOpts) -> Option<BhSweep> {
     let (mesh, body_counts): ((usize, usize), Vec<usize>) = match opts.scale() {
         Scale::Smoke => ((4, 4), vec![192, 384]),
         Scale::Default => ((16, 16), vec![2_000, 4_000, 8_000]),
@@ -276,10 +291,10 @@ pub fn body_sweep(opts: &HarnessOpts) -> BhSweep {
             jobs.push(point_job(mesh, n, name, strategy, params_proto, opts.seed));
         }
     }
-    BhSweep {
+    Some(BhSweep {
         meta: sweep_meta(opts, &params_proto),
-        rows: run_bh_jobs(opts.jobs(), jobs),
-    }
+        rows: run_bh_jobs(opts, "", jobs)?,
+    })
 }
 
 /// The network-size sweep of Figure 11: the number of bodies grows with the
@@ -289,7 +304,7 @@ pub fn body_sweep(opts: &HarnessOpts) -> BhSweep {
 /// The mega tier scales the mesh axis to 64×64 (4 096 processors — 8× the
 /// paper's largest network) with 25 bodies per processor, so its last point
 /// runs 102 400 bodies.
-pub fn scaling_sweep(opts: &HarnessOpts) -> BhSweep {
+pub fn scaling_sweep(opts: &HarnessOpts) -> Option<BhSweep> {
     let (meshes, bodies_per_proc): (Vec<(usize, usize)>, usize) = match opts.scale() {
         Scale::Smoke => (vec![(2, 2), (2, 4), (4, 4)], 12),
         Scale::Default => (vec![(8, 8), (8, 16), (16, 16)], 100),
@@ -334,10 +349,10 @@ pub fn scaling_sweep(opts: &HarnessOpts) -> BhSweep {
             ));
         }
     }
-    BhSweep {
+    Some(BhSweep {
         meta: sweep_meta(opts, &params_proto),
-        rows: run_bh_jobs(opts.jobs(), jobs),
-    }
+        rows: run_bh_jobs(opts, "", jobs)?,
+    })
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@ use dm_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let sweep = body_sweep(&opts);
+    let Some(sweep) = body_sweep(&opts) else {
+        return;
+    };
     let mut table = Table::new(&[
         "bodies",
         "strategy",
@@ -34,4 +36,5 @@ fn main() {
     );
     println!("{}", table.render());
     opts.write_json(&sweep);
+    opts.write_snapshot("fig10", &sweep);
 }

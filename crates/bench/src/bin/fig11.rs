@@ -12,7 +12,9 @@ use dm_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let sweep = scaling_sweep(&opts);
+    let Some(sweep) = scaling_sweep(&opts) else {
+        return;
+    };
     let mut table = Table::new(&[
         "mesh",
         "bodies",
@@ -39,4 +41,5 @@ fn main() {
     );
     println!("{}", table.render());
     opts.write_json(&sweep);
+    opts.write_snapshot("fig11", &sweep);
 }

@@ -14,7 +14,9 @@ use dm_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let sweep = cross_topology_sweep(&opts);
+    let Some(sweep) = cross_topology_sweep(&opts) else {
+        return;
+    };
     let mut table = Table::new(&[
         "topology",
         "workload",
@@ -39,4 +41,5 @@ fn main() {
     );
     println!("{}", table.render());
     opts.write_json(&sweep);
+    opts.write_snapshot("fig12", &sweep);
 }

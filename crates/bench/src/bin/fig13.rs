@@ -25,7 +25,9 @@ fn pct(value: f64, applies: bool) -> String {
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let sweep = graceful_degradation_sweep(&opts);
+    let Some(sweep) = graceful_degradation_sweep(&opts) else {
+        return;
+    };
     let mut table = Table::new(&[
         "topology",
         "workload",
@@ -59,4 +61,5 @@ fn main() {
     );
     println!("{}", table.render());
     opts.write_json(&sweep);
+    opts.write_snapshot("fig13", &sweep);
 }

@@ -17,15 +17,11 @@ fn main() {
             Scale::Paper => (16, 4096),
             Scale::Mega => (32, 4096),
         };
-        sweep(
-            &[(mesh, block)],
-            &arity_strategies(),
-            opts.seed,
-            opts.jobs(),
-        )
+        sweep(&[(mesh, block)], &arity_strategies(), &opts, "")
     } else {
         figure3(&opts)
     };
+    let Some(rows) = rows else { return };
     let mut table = Table::new(&[
         "block",
         "strategy",
@@ -50,4 +46,5 @@ fn main() {
     );
     println!("{}", table.render());
     opts.write_json(&rows);
+    opts.write_snapshot("fig3", &rows);
 }

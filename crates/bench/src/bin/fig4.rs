@@ -7,7 +7,7 @@ use dm_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let rows = figure4(&opts);
+    let Some(rows) = figure4(&opts) else { return };
     let mut table = Table::new(&[
         "mesh",
         "strategy",
@@ -32,4 +32,5 @@ fn main() {
     );
     println!("{}", table.render());
     opts.write_json(&rows);
+    opts.write_snapshot("fig4", &rows);
 }

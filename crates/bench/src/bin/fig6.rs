@@ -16,10 +16,11 @@ fn main() {
             Scale::Paper => (16, 4096),
             Scale::Mega => (32, 4096),
         };
-        sweep(&[(mesh, keys)], &arity_strategies(), opts.seed, opts.jobs())
+        sweep(&[(mesh, keys)], &arity_strategies(), &opts, "")
     } else {
         figure6(&opts)
     };
+    let Some(rows) = rows else { return };
     let mut table = Table::new(&[
         "keys/proc",
         "strategy",
@@ -44,4 +45,5 @@ fn main() {
     );
     println!("{}", table.render());
     opts.write_json(&rows);
+    opts.write_snapshot("fig6", &rows);
 }

@@ -12,7 +12,9 @@ use dm_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let sweep = body_sweep(&opts);
+    let Some(sweep) = body_sweep(&opts) else {
+        return;
+    };
     let mut table = Table::new(&[
         "bodies",
         "strategy",
@@ -35,4 +37,5 @@ fn main() {
     );
     println!("{}", table.render());
     opts.write_json(&sweep);
+    opts.write_snapshot("fig8", &sweep);
 }

@@ -41,7 +41,7 @@ impl_to_json!(ScaleRows {
     barnes_hut,
 });
 
-fn run_barnes_hut(opts: &HarnessOpts, sides: &[usize]) -> Vec<BhRow> {
+fn run_barnes_hut(opts: &HarnessOpts, sides: &[usize]) -> Option<Vec<BhRow>> {
     // Figure-11-style: the body count grows with the processor count. 25
     // bodies per processor keeps the per-point runtime in minutes while the
     // 64×64 point still simulates ≥100 000 bodies.
@@ -92,7 +92,7 @@ fn run_barnes_hut(opts: &HarnessOpts, sides: &[usize]) -> Vec<BhRow> {
             jobs.push(if heavy { job.heavy() } else { job });
         }
     }
-    bh_exp::run_bh_jobs(opts.jobs(), jobs)
+    bh_exp::run_bh_jobs(opts, "bh", jobs)
 }
 
 fn main() {
@@ -117,7 +117,10 @@ fn main() {
     };
 
     if bh {
-        payload.barnes_hut = run_barnes_hut(&opts, &sides);
+        let Some(rows) = run_barnes_hut(&opts, &sides) else {
+            return;
+        };
+        payload.barnes_hut = rows;
         let mut table = Table::new(&[
             "mesh",
             "bodies",
@@ -141,6 +144,7 @@ fn main() {
         println!("Beyond-paper scaling — Barnes-Hut, 25 bodies per processor");
         println!("{}", table.render());
         opts.write_json(&payload);
+        opts.write_snapshot("scale", &payload);
         return;
     }
 
@@ -148,12 +152,18 @@ fn main() {
     let block = 256;
     let matmul_points: Vec<(usize, usize)> = sides.iter().map(|&s| (s, block)).collect();
     let t = Instant::now();
-    payload.matmul = matmul_exp::sweep(
+    // A shard or cut-short run checkpoints each sweep into its own tagged
+    // sidecar and renders nothing; `--resume` finishes both and renders.
+    let Some(matmul_rows) = matmul_exp::sweep(
         &matmul_points,
         &matmul_exp::figure_strategies(),
-        opts.seed,
-        opts.jobs(),
-    );
+        &opts,
+        "matmul",
+    ) else {
+        finish_bitonic(&opts, &sides);
+        return;
+    };
+    payload.matmul = matmul_rows;
     eprintln!("matmul sweep done in {:.1?}", t.elapsed());
     let mut table = Table::new(&[
         "mesh",
@@ -180,12 +190,15 @@ fn main() {
     let keys = 256;
     let bitonic_points: Vec<(usize, usize)> = sides.iter().map(|&s| (s, keys)).collect();
     let t = Instant::now();
-    payload.bitonic = bitonic_exp::sweep(
+    let Some(bitonic_rows) = bitonic_exp::sweep(
         &bitonic_points,
         &bitonic_exp::figure_strategies(),
-        opts.seed,
-        opts.jobs(),
-    );
+        &opts,
+        "bitonic",
+    ) else {
+        return;
+    };
+    payload.bitonic = bitonic_rows;
     eprintln!("bitonic sweep done in {:.1?}", t.elapsed());
     let mut table = Table::new(&[
         "mesh",
@@ -209,4 +222,14 @@ fn main() {
     println!("{}", table.render());
 
     opts.write_json(&payload);
+    opts.write_snapshot("scale", &payload);
+}
+
+/// When the matmul sweep of a shard run came back incomplete, still push the
+/// bitonic shard through its own sidecar so one `scale --shard i/n`
+/// invocation advances both sweeps.
+fn finish_bitonic(opts: &HarnessOpts, sides: &[usize]) {
+    let keys = 256;
+    let points: Vec<(usize, usize)> = sides.iter().map(|&s| (s, keys)).collect();
+    let _ = bitonic_exp::sweep(&points, &bitonic_exp::figure_strategies(), opts, "bitonic");
 }

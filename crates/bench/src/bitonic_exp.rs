@@ -5,9 +5,9 @@
 //! [`Job`]s (one per point × strategy, plus one baseline per point, each
 //! owning its constructed [`Diva`](dm_diva::Diva)) and assembles the ratio
 //! rows from the description-ordered results — byte-identical output for
-//! every `--jobs` value.
+//! every `--jobs` value, across `--resume`, and across shard/merge.
 
-use crate::executor::{run_jobs, Job};
+use crate::executor::Job;
 use crate::{make_diva, ratio, HarnessOpts, Scale};
 use dm_apps::bitonic::{run_hand_optimized_driven, run_shared_driven, BitonicParams};
 use dm_diva::StrategyKind;
@@ -36,6 +36,17 @@ pub struct BitonicRow {
 }
 
 crate::impl_to_json!(BitonicRow {
+    strategy,
+    mesh_side,
+    keys_per_proc,
+    congestion_bytes,
+    exec_time_ns,
+    congestion_ratio,
+    time_ratio,
+    host_ms,
+});
+
+crate::impl_from_json!(BitonicRow {
     strategy,
     mesh_side,
     keys_per_proc,
@@ -136,28 +147,26 @@ fn finish_points(rows: &mut [BitonicRow], group: usize) {
     }
 }
 
-/// Run the bitonic sort for the given (mesh, keys) points on `workers`
-/// executor threads; rows come back in point order, baseline first.
+/// Run the bitonic sort for the given (mesh, keys) points through the
+/// checkpointed sweep engine; rows come back in point order, baseline
+/// first. `None` means the sweep is incomplete (shard run or cut-short
+/// run); the sidecar holds the completed jobs.
 pub fn sweep(
     points: &[(usize, usize)],
     strategies: &[(String, StrategyKind)],
-    seed: u64,
-    workers: usize,
-) -> Vec<BitonicRow> {
+    opts: &HarnessOpts,
+    tag: &str,
+) -> Option<Vec<BitonicRow>> {
     let jobs: Vec<Job<BitonicRow>> = points
         .iter()
-        .flat_map(|&(side, keys)| point_jobs(side, keys, strategies, seed))
+        .flat_map(|&(side, keys)| point_jobs(side, keys, strategies, opts.seed))
         .collect();
-    let mut rows: Vec<BitonicRow> = run_jobs(workers, jobs)
-        .into_iter()
-        .map(|r| {
-            let mut row = r.value;
-            row.host_ms = r.host_ms;
-            row
-        })
-        .collect();
+    let results = crate::stream::run_sweep(opts, tag, jobs)?;
+    let mut rows = crate::stream::rows_with_host_ms(results, |row, ms| {
+        row.host_ms = ms;
+    });
     finish_points(&mut rows, strategies.len() + 1);
-    rows
+    Some(rows)
 }
 
 /// Run one (mesh, keys) point serially (the executor with one worker).
@@ -167,11 +176,17 @@ pub fn run_point(
     strategies: &[(String, StrategyKind)],
     seed: u64,
 ) -> Vec<BitonicRow> {
-    sweep(&[(mesh_side, keys_per_proc)], strategies, seed, 1)
+    let opts = HarnessOpts {
+        seed,
+        jobs: Some(1),
+        ..HarnessOpts::default()
+    };
+    sweep(&[(mesh_side, keys_per_proc)], strategies, &opts, "")
+        .expect("un-checkpointed sweep is always complete")
 }
 
 /// Figure 6: fixed mesh, keys-per-processor sweep.
-pub fn figure6(opts: &HarnessOpts) -> Vec<BitonicRow> {
+pub fn figure6(opts: &HarnessOpts) -> Option<Vec<BitonicRow>> {
     let (mesh_side, keys): (usize, Vec<usize>) = match opts.scale() {
         Scale::Smoke => (4, vec![64, 256]),
         Scale::Default => (8, vec![256, 1024, 4096]),
@@ -179,11 +194,11 @@ pub fn figure6(opts: &HarnessOpts) -> Vec<BitonicRow> {
         Scale::Mega => (32, vec![1024, 4096]),
     };
     let points: Vec<(usize, usize)> = keys.into_iter().map(|k| (mesh_side, k)).collect();
-    sweep(&points, &figure_strategies(), opts.seed, opts.jobs())
+    sweep(&points, &figure_strategies(), opts, "")
 }
 
 /// Figure 7: fixed keys per processor, network size sweep.
-pub fn figure7(opts: &HarnessOpts) -> Vec<BitonicRow> {
+pub fn figure7(opts: &HarnessOpts) -> Option<Vec<BitonicRow>> {
     let (sides, keys): (Vec<usize>, usize) = match opts.scale() {
         Scale::Smoke => (vec![2, 4], 256),
         Scale::Default => (vec![4, 8, 16], 1024),
@@ -191,7 +206,7 @@ pub fn figure7(opts: &HarnessOpts) -> Vec<BitonicRow> {
         Scale::Mega => (vec![16, 32, 64], 1024),
     };
     let points: Vec<(usize, usize)> = sides.into_iter().map(|s| (s, keys)).collect();
-    sweep(&points, &figure_strategies(), opts.seed, opts.jobs())
+    sweep(&points, &figure_strategies(), opts, "")
 }
 
 #[cfg(test)]

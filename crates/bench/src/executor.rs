@@ -30,6 +30,14 @@
 //!   milliseconds the job spent on its worker. Host times are contention-
 //!   skewed under high `--jobs` and are therefore reported only in the JSON
 //!   sidecar, never in the golden-diffed tables.
+//! * **Streaming completion** — [`run_jobs_streamed`] invokes a caller sink
+//!   as each job finishes (in completion order, serialized under a lock),
+//!   which is what the resumable sweep engine (`crate::stream`) uses to
+//!   append every finished point to its append-only JSONL checkpoint the
+//!   moment it exists, instead of buffering a 40-minute sweep in memory
+//!   until the end. The streamed variant also accepts a completion budget
+//!   (stop after N newly executed jobs) — the deterministic crash-injection
+//!   hook the resume tests kill sweeps with.
 
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -76,7 +84,7 @@ fn heavy_cap_from_meminfo(text: &str) -> Option<usize> {
 fn meminfo_field(text: &str, field: &str) -> Option<u64> {
     text.lines()
         .find_map(|line| line.strip_prefix(field)?.strip_prefix(':'))
-        .and_then(|rest| rest.trim().split_whitespace().next())
+        .and_then(|rest| rest.split_whitespace().next())
         .and_then(|kb| kb.parse::<u64>().ok())
         .map(|kb| kb * 1024)
 }
@@ -151,16 +159,68 @@ struct SchedState<T> {
     results: Vec<Option<JobResult<T>>>,
     /// Number of heavy jobs currently executing.
     heavy_running: usize,
+    /// Remaining completion budget (`None` = unlimited). Decremented at
+    /// dispatch time — every dispatched job runs to completion, so the
+    /// budget bounds *newly executed* jobs exactly.
+    budget: Option<usize>,
 }
+
+/// A streaming completion sink: called with the job's description index and
+/// its result as each job finishes (completion order, serialized — workers
+/// take a lock around the call, so the sink may hold a file handle).
+pub type Sink<'a, T> = Box<dyn FnMut(usize, &JobResult<T>) + Send + 'a>;
 
 /// Run `jobs` on up to `workers` threads and return their results in
 /// description order. `workers == 1` executes serially on the calling thread
 /// (no pool, no reordering of side effects) — the baseline the determinism
 /// test compares every parallel run against.
 pub fn run_jobs<T: Send>(workers: usize, jobs: Vec<Job<T>>) -> Vec<JobResult<T>> {
+    run_jobs_streamed(workers, jobs, None, None)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} produced no result")))
+        .collect()
+}
+
+/// [`run_jobs`] with streaming completion and an optional completion budget.
+///
+/// * `sink` — invoked as each job finishes with `(description_index,
+///   &result)`, before `run_jobs_streamed` returns; calls are serialized
+///   under a lock, in completion order (nondeterministic under `workers >
+///   1` — sidecar records are self-describing precisely so this never
+///   matters).
+/// * `max_new` — stop dispatching after this many jobs have been started
+///   (every started job still completes and reaches the sink). Used by the
+///   resume tests to simulate a killed sweep at a deterministic point; the
+///   remaining slots come back as `None`.
+///
+/// Results are in description order; `None` marks jobs the budget cut off.
+pub fn run_jobs_streamed<T: Send>(
+    workers: usize,
+    jobs: Vec<Job<T>>,
+    sink: Option<Sink<'_, T>>,
+    max_new: Option<usize>,
+) -> Vec<Option<JobResult<T>>> {
     let workers = workers.max(1).min(jobs.len().max(1));
     if workers <= 1 {
-        return jobs.into_iter().map(execute).collect();
+        let mut sink = sink;
+        let mut results: Vec<Option<JobResult<T>>> = Vec::with_capacity(jobs.len());
+        let mut budget = max_new;
+        for (i, job) in jobs.into_iter().enumerate() {
+            if budget == Some(0) {
+                results.push(None);
+                continue;
+            }
+            if let Some(b) = &mut budget {
+                *b -= 1;
+            }
+            let result = execute(job);
+            if let Some(cb) = sink.as_mut() {
+                cb(i, &result);
+            }
+            results.push(Some(result));
+        }
+        return results;
     }
 
     let n = jobs.len();
@@ -174,24 +234,21 @@ pub fn run_jobs<T: Send>(workers: usize, jobs: Vec<Job<T>>) -> Vec<JobResult<T>>
         slots: jobs.into_iter().map(Some).collect(),
         results: (0..n).map(|_| None).collect(),
         heavy_running: 0,
+        budget: max_new,
     });
     let idle = Condvar::new();
+    let sink = Mutex::new(sink);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker_loop(&state, &idle));
+            scope.spawn(|| worker_loop(&state, &idle, &sink));
         }
     });
 
-    let results = state
+    state
         .into_inner()
         .expect("executor state poisoned — a job panicked")
-        .results;
-    results
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} produced no result")))
-        .collect()
+        .results
 }
 
 fn execute<T>(job: Job<T>) -> JobResult<T> {
@@ -228,10 +285,22 @@ impl<T> Drop for HeavySlotGuard<'_, T> {
     }
 }
 
-fn worker_loop<T: Send>(state: &Mutex<SchedState<T>>, idle: &Condvar) {
+fn worker_loop<T: Send>(
+    state: &Mutex<SchedState<T>>,
+    idle: &Condvar,
+    sink: &Mutex<Option<Sink<'_, T>>>,
+) {
     let heavy_cap = max_heavy_concurrent();
     let mut guard = state.lock().expect("executor state poisoned");
     loop {
+        // The completion budget is exhausted: leave the rest of the queue
+        // undispatched (the streamed caller reports them as None). Wake any
+        // parked workers so they observe the same cutoff and exit too.
+        if guard.budget == Some(0) {
+            guard.queue.clear();
+            idle.notify_all();
+            return;
+        }
         // First queued job the governor admits: heavy jobs only while fewer
         // than the cap are in flight, light jobs always.
         let admitted = guard
@@ -249,6 +318,9 @@ fn worker_loop<T: Send>(state: &Mutex<SchedState<T>>, idle: &Condvar) {
                 if heavy {
                     guard.heavy_running += 1;
                 }
+                if let Some(b) = &mut guard.budget {
+                    *b -= 1;
+                }
                 drop(guard);
                 let mut slot = HeavySlotGuard {
                     state,
@@ -259,6 +331,12 @@ fn worker_loop<T: Send>(state: &Mutex<SchedState<T>>, idle: &Condvar) {
                 // Normal completion: release the slot under the re-taken
                 // lock below instead (one acquisition, not two).
                 slot.armed = false;
+                // Stream the completion before recording it, outside the
+                // scheduler lock: a slow fsync in the sink must not stall
+                // other workers' dispatching, only other sinks.
+                if let Some(cb) = sink.lock().expect("sink poisoned").as_mut() {
+                    cb(idx, &result);
+                }
                 guard = state.lock().expect("executor state poisoned");
                 guard.results[idx] = Some(result);
                 if heavy {
@@ -415,6 +493,57 @@ mod tests {
         });
         std::panic::set_hook(prev_hook);
         assert!(result.is_err(), "the job panic must propagate");
+    }
+
+    #[test]
+    fn streaming_sink_sees_every_completion_with_its_index() {
+        for workers in [1, 4] {
+            let seen = Mutex::new(Vec::new());
+            let jobs: Vec<Job<usize>> = (0..12).map(|i| Job::new(i as u64, move || i)).collect();
+            let results = run_jobs_streamed(
+                workers,
+                jobs,
+                Some(Box::new(|idx, r: &JobResult<usize>| {
+                    seen.lock().unwrap().push((idx, r.value));
+                })),
+                None,
+            );
+            assert!(results.iter().all(|r| r.is_some()));
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort();
+            assert_eq!(seen, (0..12).map(|i| (i, i)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn completion_budget_cuts_the_sweep_short() {
+        // The crash-injection hook: with a budget of 3, exactly 3 jobs run
+        // (serial path — deterministic: the first three in description
+        // order), the rest come back as None, and the sink saw only the
+        // executed ones.
+        let executed = Mutex::new(0usize);
+        let jobs: Vec<Job<usize>> = (0..8).map(|i| Job::new(1, move || i)).collect();
+        let results = run_jobs_streamed(
+            1,
+            jobs,
+            Some(Box::new(|_, _: &JobResult<usize>| {
+                *executed.lock().unwrap() += 1;
+            })),
+            Some(3),
+        );
+        assert_eq!(*executed.lock().unwrap(), 3);
+        assert_eq!(results.iter().filter(|r| r.is_some()).count(), 3);
+        assert!(results[..3].iter().all(|r| r.is_some()));
+        assert!(results[3..].iter().all(|r| r.is_none()));
+        // Parallel path: the budget still bounds executions exactly, though
+        // longest-first scheduling picks which jobs run.
+        let jobs: Vec<Job<usize>> = (0..8).map(|i| Job::new(i as u64, move || i)).collect();
+        let results = run_jobs_streamed(4, jobs, None, Some(5));
+        assert_eq!(results.iter().filter(|r| r.is_some()).count(), 5);
+        // A zero budget executes nothing and terminates.
+        let jobs: Vec<Job<usize>> = (0..4).map(|i| Job::new(1, move || i)).collect();
+        let results = run_jobs_streamed(4, jobs, None, Some(0));
+        assert!(results.iter().all(|r| r.is_none()));
     }
 
     #[test]

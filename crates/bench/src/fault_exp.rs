@@ -102,6 +102,25 @@ crate::impl_to_json!(FaultRow {
     host_ms,
 });
 
+crate::impl_from_json!(FaultRow {
+    topology,
+    workload,
+    strategy,
+    scenario,
+    outcome,
+    congestion_msgs,
+    congestion_bytes,
+    exec_time_ns,
+    links_degraded,
+    links_failed,
+    nodes_failed,
+    rehome_msgs,
+    rehome_bytes,
+    congestion_delta_pct,
+    time_delta_pct,
+    host_ms,
+});
+
 /// Shared parameters of a graceful-degradation sweep.
 #[derive(Debug, Clone)]
 pub struct FaultMeta {
@@ -305,8 +324,10 @@ fn fill_deltas(rows: &mut [FaultRow], group_len: usize) {
 
 /// The Figure-13 sweep: the scenario ladder across all four topologies and
 /// the degradation strategy panel, under both workloads, at one matched node
-/// count per scale tier.
-pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> FaultSweep {
+/// count per scale tier. `None` means the sweep is incomplete (shard run or
+/// cut-short run); the sidecar holds the completed jobs. Deltas are always
+/// recomputed at assembly, so they never ride stale through a resume.
+pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> Option<FaultSweep> {
     let (nodes, uniform_ops, bh_bodies) = match opts.scale() {
         Scale::Smoke => (16, 24, 192),
         Scale::Default => (64, 64, 2_000),
@@ -353,16 +374,12 @@ pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> FaultSweep {
             }
         }
     }
-    let mut rows: Vec<FaultRow> = crate::executor::run_jobs(opts.jobs(), jobs)
-        .into_iter()
-        .map(|r| {
-            let mut row = r.value;
-            row.host_ms = r.host_ms;
-            row
-        })
-        .collect();
+    let results = crate::stream::run_sweep(opts, "", jobs)?;
+    let mut rows = crate::stream::rows_with_host_ms(results, |row, ms| {
+        row.host_ms = ms;
+    });
     fill_deltas(&mut rows, scenario_list.len());
-    FaultSweep {
+    Some(FaultSweep {
         meta: FaultMeta {
             scale: opts.scale().name().to_string(),
             nodes,
@@ -373,7 +390,7 @@ pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> FaultSweep {
             seed: opts.seed,
         },
         rows,
-    }
+    })
 }
 
 #[cfg(test)]

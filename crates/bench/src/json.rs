@@ -1,10 +1,24 @@
-//! Minimal hand-rolled JSON output.
+//! Minimal hand-rolled JSON output — and, since the streaming sweep engine,
+//! input.
 //!
 //! The repository builds offline and therefore cannot depend on `serde` /
 //! `serde_json`; the experiment harness only ever serializes flat row structs
 //! of numbers and short strings, so a small writer trait is all that is
 //! needed. Output is valid JSON (RFC 8259): strings are escaped, non-finite
 //! floats become `null`.
+//!
+//! The reader side ([`parse`], [`JsonValue`], [`FromJson`]) exists for the
+//! resumable sweep sidecars (`crate::stream`): a checkpointed run must read
+//! its own records back and reassemble rows **byte-identically** to a fresh
+//! run. Two representation choices make that exactness cheap:
+//!
+//! * numbers are kept as their *raw source text* ([`JsonValue::Num`]) and
+//!   only parsed at field-extraction time, so a `u64` beyond 2^53 survives
+//!   the round trip without detouring through `f64`;
+//! * `f64` fields re-parse the shortest-representation text Rust's `{}`
+//!   formatting emitted, which round-trips bit-exactly for every finite
+//!   value, and `null` maps back to `NAN` (matching the writer, which emits
+//!   `null` for non-finite floats).
 
 /// A value that can write itself as JSON.
 pub trait ToJson {
@@ -94,6 +108,285 @@ impl<T: ToJson> ToJson for Vec<T> {
     }
 }
 
+/// A parsed JSON value. Numbers keep their raw source text so integer and
+/// float fields can be extracted without a lossy `f64` round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as the exact text that appeared in the input.
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, fields in source order (the harness never emits duplicate
+    /// keys).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a field of an object by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry the byte offset they occurred at —
+/// enough to diagnose a corrupt sidecar record; this is a reader for the
+/// harness's own output, not a general-purpose validator.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", ch as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+            // Validate once so extraction errors cannot hide a corrupt file.
+            text.parse::<f64>()
+                .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))?;
+            Ok(JsonValue::Num(text.to_string()))
+        }
+        Some(c) => Err(format!("unexpected byte '{}' at {pos}", *c as char)),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16)
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar (the writer never escapes
+                // non-ASCII, so multi-byte sequences appear verbatim).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+/// A value that can reconstruct itself from parsed JSON — the inverse of
+/// [`ToJson`] for the row types the resumable sweep sidecars store.
+pub trait FromJson: Sized {
+    /// Build `Self` from a parsed value.
+    fn from_json(v: &JsonValue) -> Result<Self, String>;
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Num(s) => s.parse().map_err(|e| format!("u64 {s:?}: {e}")),
+            other => Err(format!("expected u64, got {other:?}")),
+        }
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Num(s) => s.parse().map_err(|e| format!("usize {s:?}: {e}")),
+            other => Err(format!("expected usize, got {other:?}")),
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Num(s) => s.parse().map_err(|e| format!("f64 {s:?}: {e}")),
+            // The writer emits null for non-finite floats; NAN is the only
+            // non-finite value the harness produces (ratio placeholders).
+            JsonValue::Null => Ok(f64::NAN),
+            other => Err(format!("expected f64, got {other:?}")),
+        }
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        match v {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl FromJson for (usize, usize) {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| format!("expected pair, got {v:?}"))?;
+        match items {
+            [a, b] => Ok((usize::from_json(a)?, usize::from_json(b)?)),
+            _ => Err(format!(
+                "expected 2-element array, got {} elements",
+                items.len()
+            )),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        v.as_arr()
+            .ok_or_else(|| format!("expected array, got {v:?}"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+/// Extract and convert one object field (helper for [`crate::impl_from_json!`]).
+pub fn field<T: FromJson>(v: &JsonValue, name: &str) -> Result<T, String> {
+    let field = v
+        .get(name)
+        .ok_or_else(|| format!("missing field {name:?}"))?;
+    T::from_json(field).map_err(|e| format!("field {name:?}: {e}"))
+}
+
 /// Implement [`ToJson`] for a plain struct by listing its fields.
 #[macro_export]
 macro_rules! impl_to_json {
@@ -113,6 +406,22 @@ macro_rules! impl_to_json {
                     $crate::json::ToJson::write_json(&self.$field, out);
                 )+
                 out.push('}');
+            }
+        }
+    };
+}
+
+/// Implement [`FromJson`] for a plain struct by listing its fields — the
+/// mirror of [`impl_to_json!`], used by the row types the resumable sweep
+/// sidecars restore.
+#[macro_export]
+macro_rules! impl_from_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::FromJson for $ty {
+            fn from_json(v: &$crate::json::JsonValue) -> Result<Self, String> {
+                Ok(Self {
+                    $($field: $crate::json::field(v, stringify!($field))?,)+
+                })
             }
         }
     };
@@ -159,5 +468,65 @@ mod tests {
             json,
             "[{\"name\":\"a\",\"count\":1,\"ratio\":0.5},\n {\"name\":\"b\",\"count\":2,\"ratio\":null}]"
         );
+    }
+
+    impl_from_json!(Row { name, count, ratio });
+
+    #[test]
+    fn structs_round_trip_byte_identically() {
+        // The resume invariant in miniature: serialize → parse → restore →
+        // re-serialize must reproduce the exact bytes, including a u64 above
+        // 2^53 (which would corrupt through an f64 detour), a
+        // shortest-representation float, and a NAN→null placeholder.
+        let row = Row {
+            name: "mesh 4x4 \"q\"\n".into(),
+            count: 9_007_199_254_740_993, // 2^53 + 1
+            ratio: 0.1,
+        };
+        let json = row.to_json();
+        let back = Row::from_json(&parse(&json).unwrap()).unwrap();
+        assert_eq!(back.to_json(), json);
+        let nan = Row {
+            name: "x".into(),
+            count: 1,
+            ratio: f64::NAN,
+        };
+        let json = nan.to_json();
+        let back = Row::from_json(&parse(&json).unwrap()).unwrap();
+        assert!(back.ratio.is_nan());
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn parser_handles_the_harness_shapes() {
+        let v = parse("{\"a\":[1,2.5,null],\"b\":\"x\\u0041\",\"c\":true,\"d\":{}}").unwrap();
+        assert_eq!(v.get("b"), Some(&JsonValue::Str("xA".into())));
+        assert_eq!(v.get("c"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("d"), Some(&JsonValue::Obj(vec![])));
+        // Whitespace and the row-separator the Vec writer emits.
+        parse("[{\"a\":1},\n {\"a\":2}]").unwrap();
+        // Errors, not panics, on garbage.
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn field_extraction_reports_what_is_missing() {
+        let v = parse("{\"a\":1}").unwrap();
+        assert_eq!(field::<u64>(&v, "a").unwrap(), 1);
+        let err = field::<u64>(&v, "b").unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+        let err = field::<String>(&v, "a").unwrap_err();
+        assert!(err.contains("expected string"), "{err}");
+    }
+
+    #[test]
+    fn pairs_round_trip() {
+        let v = parse("[3,4]").unwrap();
+        assert_eq!(<(usize, usize)>::from_json(&v).unwrap(), (3, 4));
+        assert!(<(usize, usize)>::from_json(&parse("[3]").unwrap()).is_err());
     }
 }

@@ -23,8 +23,14 @@
 //! default (reduced scale preserving the qualitative shape of every result),
 //! `--paper` (the paper's full scale) and `--mega` (beyond-paper scale:
 //! 64×64 meshes, ≥100 000-body Barnes-Hut sweeps). `--json FILE` writes the
-//! rows — plus sweep metadata for the Barnes-Hut figures — as JSON. See
-//! `crates/bench/README.md` for per-binary flags and expected runtimes.
+//! rows — plus sweep metadata for the Barnes-Hut figures — as JSON, and
+//! turns on streaming JSONL checkpoints (`<FILE>.partial.jsonl`): a killed
+//! sweep resumes with `--resume`, splits across machines with
+//! `--shard i/n` + the `merge` binary, and `--snapshot FILE` emits the
+//! normalized `BENCH_<fig>.json` snapshot the `trajectory` binary diffs
+//! across commits (see [`stream`]). See `crates/bench/README.md` and
+//! `docs/running-experiments.md` for per-binary flags and expected
+//! runtimes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +41,7 @@ pub mod executor;
 pub mod fault_exp;
 pub mod json;
 pub mod matmul_exp;
+pub mod stream;
 pub mod table;
 pub mod timing;
 pub mod topo_exp;
@@ -103,6 +110,23 @@ pub struct HarnessOpts {
     /// for every value — only host wall-clock (and the per-job host-ms
     /// fields of the JSON sidecar) changes.
     pub jobs: Option<usize>,
+    /// Resume from the checkpoint sidecar next to the `--json` output
+    /// (`--resume`): completed jobs are restored from
+    /// `<json>.partial.jsonl` and only the missing ones execute. The
+    /// reassembled tables and JSON are byte-identical to an uninterrupted
+    /// run (modulo per-job `host_ms`). See [`stream`].
+    pub resume: bool,
+    /// Run only shard `i` of `n` (`--shard i/n`): job `j` of the
+    /// deterministic description-order job list belongs to shard `i` iff
+    /// `j % n == i`. A shard run writes its own sidecar and renders
+    /// nothing; the `merge` binary stitches shard sidecars back into the
+    /// canonical one, which a final `--resume` run renders. See [`stream`].
+    pub shard: Option<(usize, usize)>,
+    /// Optional path for a normalized `BENCH_<fig>.json` perf-trajectory
+    /// snapshot (`--snapshot FILE`): figure tag, tier, seed and the full
+    /// result payload, in the shape the `trajectory` binary diffs across
+    /// commits (simulated quantities exactly; `host_ms` informational).
+    pub snapshot: Option<String>,
 }
 
 impl Default for HarnessOpts {
@@ -116,6 +140,9 @@ impl Default for HarnessOpts {
             reclaim: true,
             timesteps: None,
             jobs: None,
+            resume: false,
+            shard: None,
+            snapshot: None,
         }
     }
 }
@@ -222,6 +249,27 @@ impl HarnessOpts {
                     i += 1;
                     opts.json = args.get(i).cloned();
                 }
+                "--snapshot" => {
+                    i += 1;
+                    opts.snapshot = args.get(i).cloned();
+                }
+                "--resume" => opts.resume = true,
+                "--shard" => {
+                    let value = args.get(i + 1);
+                    let parsed = value.and_then(|s| {
+                        let (a, b) = s.split_once('/')?;
+                        let shard: usize = a.parse().ok()?;
+                        let of: usize = b.parse().ok()?;
+                        (of >= 1 && shard < of).then_some((shard, of))
+                    });
+                    match parsed {
+                        Some(pair) => opts.shard = Some(pair),
+                        None => eprintln!("--shard needs i/n with i < n (e.g. 0/2); ignoring"),
+                    }
+                    if value.is_some_and(|v| !v.starts_with("--")) {
+                        i += 1;
+                    }
+                }
                 "--seed" => {
                     i += 1;
                     opts.seed = args
@@ -232,7 +280,8 @@ impl HarnessOpts {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <fig> [--smoke|--paper|--mega] [--json FILE] [--seed N] \
-                         [--jobs N] [--no-reclaim] [--timesteps N]{}{}",
+                         [--jobs N] [--resume] [--shard I/N] [--snapshot FILE] \
+                         [--no-reclaim] [--timesteps N]{}{}",
                         if extra_flags.is_empty() { "" } else { " " },
                         extra_flags
                             .iter()
@@ -253,6 +302,27 @@ impl HarnessOpts {
     pub fn write_json<T: ToJson>(&self, rows: &T) {
         if let Some(path) = &self.json {
             std::fs::write(path, rows.to_json()).expect("writing JSON output");
+            eprintln!("wrote {path}");
+        }
+    }
+
+    /// Write a normalized perf-trajectory snapshot (`BENCH_<fig>.json`) if
+    /// `--snapshot FILE` was given: the figure tag, scale tier and seed,
+    /// plus the full result payload. The `trajectory` binary diffs two such
+    /// snapshots, comparing every simulated quantity exactly and reporting
+    /// `host_ms` drift informationally.
+    pub fn write_snapshot<T: ToJson>(&self, fig: &str, payload: &T) {
+        if let Some(path) = &self.snapshot {
+            let mut out = String::from("{\"fig\":");
+            fig.write_json(&mut out);
+            out.push_str(",\"tier\":");
+            self.scale().name().write_json(&mut out);
+            out.push_str(",\"seed\":");
+            self.seed.write_json(&mut out);
+            out.push_str(",\"payload\":");
+            payload.write_json(&mut out);
+            out.push('}');
+            std::fs::write(path, out).expect("writing snapshot");
             eprintln!("wrote {path}");
         }
     }

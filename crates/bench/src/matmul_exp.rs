@@ -3,12 +3,14 @@
 //!
 //! Every sweep *describes* its runs as executor [`Job`]s first — one job per
 //! (point, strategy) plus one per baseline, each owning a fully constructed
-//! [`Diva`](dm_diva::Diva) — and hands them to [`run_jobs`]; the ratios
-//! against the hand-optimized baseline are assembled afterwards from the
-//! description-ordered results, so tables and JSON are byte-identical for
-//! every `--jobs` value.
+//! [`Diva`](dm_diva::Diva) — and hands them to the checkpointed sweep engine
+//! ([`crate::stream::run_sweep`]); the ratios against the hand-optimized
+//! baseline are assembled afterwards from the description-ordered results,
+//! so tables and JSON are byte-identical for every `--jobs` value, across
+//! `--resume`, and across shard/merge. The sidecar stores the pre-ratio
+//! rows; ratios are always recomputed at assembly.
 
-use crate::executor::{run_jobs, Job};
+use crate::executor::Job;
 use crate::{make_diva, ratio, HarnessOpts, Scale};
 use dm_apps::matmul::{run_hand_optimized_driven, run_shared_driven, MatmulParams};
 use dm_diva::StrategyKind;
@@ -39,6 +41,17 @@ pub struct MatmulRow {
 }
 
 crate::impl_to_json!(MatmulRow {
+    strategy,
+    mesh_side,
+    block_ints,
+    congestion_bytes,
+    comm_time_ns,
+    congestion_ratio,
+    time_ratio,
+    host_ms,
+});
+
+crate::impl_from_json!(MatmulRow {
     strategy,
     mesh_side,
     block_ints,
@@ -118,28 +131,26 @@ fn finish_points(rows: &mut [MatmulRow], group: usize) {
 }
 
 /// Run the matrix square for the given (mesh, block size) points with the
-/// given dynamic strategies plus the baseline, on `workers` executor
-/// threads, and return the rows in point order (baseline first per point).
+/// given dynamic strategies plus the baseline, through the checkpointed
+/// sweep engine, and return the rows in point order (baseline first per
+/// point). `None` means the sweep is incomplete (shard run or cut-short
+/// run); the sidecar holds the completed jobs.
 pub fn sweep(
     points: &[(usize, usize)],
     strategies: &[(String, StrategyKind)],
-    seed: u64,
-    workers: usize,
-) -> Vec<MatmulRow> {
+    opts: &HarnessOpts,
+    tag: &str,
+) -> Option<Vec<MatmulRow>> {
     let jobs: Vec<Job<MatmulRow>> = points
         .iter()
-        .flat_map(|&(side, block)| point_jobs(side, block, strategies, seed))
+        .flat_map(|&(side, block)| point_jobs(side, block, strategies, opts.seed))
         .collect();
-    let mut rows: Vec<MatmulRow> = run_jobs(workers, jobs)
-        .into_iter()
-        .map(|r| {
-            let mut row = r.value;
-            row.host_ms = r.host_ms;
-            row
-        })
-        .collect();
+    let results = crate::stream::run_sweep(opts, tag, jobs)?;
+    let mut rows = crate::stream::rows_with_host_ms(results, |row, ms| {
+        row.host_ms = ms;
+    });
     finish_points(&mut rows, strategies.len() + 1);
-    rows
+    Some(rows)
 }
 
 /// Run one (mesh, block size) point serially (the executor with one worker).
@@ -149,7 +160,13 @@ pub fn run_point(
     strategies: &[(String, StrategyKind)],
     seed: u64,
 ) -> Vec<MatmulRow> {
-    sweep(&[(mesh_side, block_ints)], strategies, seed, 1)
+    let opts = HarnessOpts {
+        seed,
+        jobs: Some(1),
+        ..HarnessOpts::default()
+    };
+    sweep(&[(mesh_side, block_ints)], strategies, &opts, "")
+        .expect("un-checkpointed sweep is always complete")
 }
 
 /// The two strategies Figure 3 and 4 compare against the baseline.
@@ -190,7 +207,7 @@ pub fn arity_strategies() -> Vec<(String, StrategyKind)> {
 }
 
 /// Figure 3: fixed mesh, block size sweep.
-pub fn figure3(opts: &HarnessOpts) -> Vec<MatmulRow> {
+pub fn figure3(opts: &HarnessOpts) -> Option<Vec<MatmulRow>> {
     let (mesh_side, blocks): (usize, Vec<usize>) = match opts.scale() {
         Scale::Smoke => (4, vec![64, 256]),
         Scale::Default => (8, vec![64, 256, 1024]),
@@ -198,11 +215,11 @@ pub fn figure3(opts: &HarnessOpts) -> Vec<MatmulRow> {
         Scale::Mega => (32, vec![256, 1024, 4096]),
     };
     let points: Vec<(usize, usize)> = blocks.into_iter().map(|b| (mesh_side, b)).collect();
-    sweep(&points, &figure_strategies(), opts.seed, opts.jobs())
+    sweep(&points, &figure_strategies(), opts, "")
 }
 
 /// Figure 4: fixed block size, network size sweep.
-pub fn figure4(opts: &HarnessOpts) -> Vec<MatmulRow> {
+pub fn figure4(opts: &HarnessOpts) -> Option<Vec<MatmulRow>> {
     let (sides, block): (Vec<usize>, usize) = match opts.scale() {
         Scale::Smoke => (vec![2, 4], 256),
         Scale::Default => (vec![4, 8, 16], 1024),
@@ -210,7 +227,7 @@ pub fn figure4(opts: &HarnessOpts) -> Vec<MatmulRow> {
         Scale::Mega => (vec![16, 32, 64], 1024),
     };
     let points: Vec<(usize, usize)> = sides.into_iter().map(|s| (s, block)).collect();
-    sweep(&points, &figure_strategies(), opts.seed, opts.jobs())
+    sweep(&points, &figure_strategies(), opts, "")
 }
 
 #[cfg(test)]

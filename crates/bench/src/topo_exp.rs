@@ -64,6 +64,20 @@ crate::impl_to_json!(TopoRow {
     host_ms,
 });
 
+crate::impl_from_json!(TopoRow {
+    topology,
+    workload,
+    strategy,
+    nodes,
+    links,
+    diameter,
+    congestion_msgs,
+    congestion_bytes,
+    total_msgs,
+    exec_time_ns,
+    host_ms,
+});
+
 /// Shared parameters of a cross-topology sweep.
 #[derive(Debug, Clone)]
 pub struct TopoMeta {
@@ -183,8 +197,10 @@ fn bh_job(
 }
 
 /// The Figure-12 sweep: all five strategies × four topologies × two
-/// workloads at one matched node count per scale tier.
-pub fn cross_topology_sweep(opts: &HarnessOpts) -> TopoSweep {
+/// workloads at one matched node count per scale tier. `None` means the
+/// sweep is incomplete (shard run or cut-short run); the sidecar holds the
+/// completed jobs.
+pub fn cross_topology_sweep(opts: &HarnessOpts) -> Option<TopoSweep> {
     let (nodes, uniform_ops, bh_bodies) = match opts.scale() {
         Scale::Smoke => (16, 24, 192),
         Scale::Default => (64, 64, 2_000),
@@ -214,15 +230,11 @@ pub fn cross_topology_sweep(opts: &HarnessOpts) -> TopoSweep {
             jobs.push(bh_job(topo.clone(), name, strategy, bh_params, opts.seed));
         }
     }
-    let rows = crate::executor::run_jobs(opts.jobs(), jobs)
-        .into_iter()
-        .map(|r| {
-            let mut row = r.value;
-            row.host_ms = r.host_ms;
-            row
-        })
-        .collect();
-    TopoSweep {
+    let results = crate::stream::run_sweep(opts, "", jobs)?;
+    let rows = crate::stream::rows_with_host_ms(results, |row, ms| {
+        row.host_ms = ms;
+    });
+    Some(TopoSweep {
         meta: TopoMeta {
             scale: opts.scale().name().to_string(),
             nodes,
@@ -233,7 +245,7 @@ pub fn cross_topology_sweep(opts: &HarnessOpts) -> TopoSweep {
             seed: opts.seed,
         },
         rows,
-    }
+    })
 }
 
 #[cfg(test)]

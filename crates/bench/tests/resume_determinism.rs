@@ -1,0 +1,174 @@
+//! Resume/shard determinism gate for the streaming sweep engine.
+//!
+//! Three ways of producing a figure must emit byte-identical rendered
+//! tables and JSON (modulo the per-job `host_ms` sidecar field, the only
+//! run-dependent quantity):
+//!
+//! 1. a fresh uninterrupted run;
+//! 2. a run killed mid-sweep (via the deterministic `DM_SWEEP_KILL_AFTER`
+//!    crash-injection hook) and finished with `--resume`;
+//! 3. two `--shard i/2` runs stitched together by the `merge` binary and
+//!    rendered by a final `--resume` pass that executes nothing.
+//!
+//! Covers the direct-row Barnes-Hut path (`fig8`) and the delta-assembled
+//! fault path (`fig13`, whose deltas are recomputed at assembly from
+//! checkpointed pre-delta rows), at smoke scale like the `--jobs` gate.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+/// Run `bin --smoke --jobs 2 --json <json>` with extra args and env;
+/// return (status ok, stdout, stderr).
+fn run(bin: &str, json: &PathBuf, extra: &[&str], env: &[(&str, &str)]) -> (bool, String, String) {
+    let mut cmd = Command::new(bin);
+    cmd.args(["--smoke", "--jobs", "2", "--json"]).arg(json);
+    cmd.args(extra);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("running {bin}: {e}"));
+    (
+        out.status.success(),
+        String::from_utf8(out.stdout).expect("figure stdout is UTF-8"),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Drop every `,"host_ms":<number>` field (same helper as the `--jobs`
+/// gate; `host_ms` is serialized last in each record).
+fn strip_host_ms(json: &str) -> String {
+    let marker = ",\"host_ms\":";
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(i) = rest.find(marker) {
+        out.push_str(&rest[..i]);
+        let tail = &rest[i + marker.len()..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(tail.len());
+        assert!(end > 0, "host_ms field without a numeric value");
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn read(path: &PathBuf) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+}
+
+fn assert_resume_invariant(bin: &str, fig: &str) {
+    // 1. The fresh, uninterrupted baseline.
+    let fresh_json = tmp(&format!("{fig}_fresh.json"));
+    let (ok, fresh_table, err) = run(bin, &fresh_json, &[], &[]);
+    assert!(ok, "{fig} fresh run failed:\n{err}");
+    assert!(!fresh_table.is_empty(), "{fig} fresh run rendered nothing");
+    let fresh = strip_host_ms(&read(&fresh_json));
+
+    // 2. Kill after 3 completed jobs, then resume. The cut-short run must
+    //    exit cleanly, render nothing, and leave a resumable checkpoint.
+    let cut_json = tmp(&format!("{fig}_cut.json"));
+    let (ok, cut_table, err) = run(bin, &cut_json, &[], &[("DM_SWEEP_KILL_AFTER", "3")]);
+    assert!(ok, "{fig} cut-short run failed:\n{err}");
+    assert!(
+        cut_table.is_empty(),
+        "{fig} cut-short run rendered a table:\n{cut_table}"
+    );
+    assert!(
+        err.contains("checkpoint:"),
+        "{fig} cut-short run printed no checkpoint note:\n{err}"
+    );
+    let (ok, resumed_table, err) = run(bin, &cut_json, &["--resume"], &[]);
+    assert!(ok, "{fig} resume run failed:\n{err}");
+    assert!(
+        err.contains("resumed 3/"),
+        "{fig} resume did not restore the 3 checkpointed jobs:\n{err}"
+    );
+    assert_eq!(
+        fresh_table, resumed_table,
+        "{fig}: resumed table differs from the fresh run"
+    );
+    assert_eq!(
+        fresh,
+        strip_host_ms(&read(&cut_json)),
+        "{fig}: resumed JSON differs from the fresh run beyond host_ms"
+    );
+
+    // 3. Two shards, merged, rendered by a final --resume pass.
+    let shard_json = tmp(&format!("{fig}_shard.json"));
+    for shard in ["0/2", "1/2"] {
+        let (ok, table, err) = run(bin, &shard_json, &["--shard", shard], &[]);
+        assert!(ok, "{fig} shard {shard} failed:\n{err}");
+        assert!(
+            table.is_empty(),
+            "{fig} shard {shard} rendered a table:\n{table}"
+        );
+    }
+    let canonical = format!("{}.partial.jsonl", shard_json.display());
+    let merge = Command::new(env!("CARGO_BIN_EXE_merge"))
+        .arg(&canonical)
+        .arg(format!("{}.shard0of2.partial.jsonl", shard_json.display()))
+        .arg(format!("{}.shard1of2.partial.jsonl", shard_json.display()))
+        .output()
+        .expect("running merge");
+    assert!(
+        merge.status.success(),
+        "merge failed:\n{}",
+        String::from_utf8_lossy(&merge.stderr)
+    );
+    let (ok, merged_table, err) = run(bin, &shard_json, &["--resume"], &[]);
+    assert!(ok, "{fig} post-merge render failed:\n{err}");
+    assert!(
+        err.contains("executed 0"),
+        "{fig} post-merge render re-executed jobs:\n{err}"
+    );
+    assert_eq!(
+        fresh_table, merged_table,
+        "{fig}: shard-merged table differs from the fresh run"
+    );
+    assert_eq!(
+        fresh,
+        strip_host_ms(&read(&shard_json)),
+        "{fig}: shard-merged JSON differs from the fresh run beyond host_ms"
+    );
+}
+
+#[test]
+fn fig8_survives_kill_resume_and_shard_merge() {
+    assert_resume_invariant(env!("CARGO_BIN_EXE_fig8"), "fig8");
+}
+
+#[test]
+fn fig13_delta_assembly_survives_kill_resume_and_shard_merge() {
+    assert_resume_invariant(env!("CARGO_BIN_EXE_fig13"), "fig13");
+}
+
+#[test]
+fn resuming_a_mismatched_checkpoint_is_refused() {
+    // A fig8 smoke checkpoint must not resume a fig8 default-tier run: the
+    // header pins tier, seed and job count.
+    let json = tmp("mismatch.json");
+    let bin = env!("CARGO_BIN_EXE_fig8");
+    let (ok, _, err) = run(bin, &json, &[], &[("DM_SWEEP_KILL_AFTER", "2")]);
+    assert!(ok, "cut-short smoke run failed:\n{err}");
+    let out = Command::new(bin)
+        .args(["--jobs", "2", "--resume", "--json"]) // default tier
+        .arg(&json)
+        .output()
+        .expect("running fig8");
+    assert!(
+        !out.status.success(),
+        "default-tier resume from a smoke checkpoint was accepted"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("refusing to resume"),
+        "unexpected refusal message:\n{err}"
+    );
+}

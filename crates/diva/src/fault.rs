@@ -175,7 +175,10 @@ impl FaultPlan {
                     });
                 }
                 FaultSpec::FailNode { node, at } => {
-                    assert!(node.index() < nprocs, "fault plan names node {node} outside the topology");
+                    assert!(
+                        node.index() < nprocs,
+                        "fault plan names node {node} outside the topology"
+                    );
                     if !fallen_nodes.contains(&node) && fallen_nodes.len() + 1 < nprocs {
                         fallen_nodes.push(node);
                         out.push(TimedFault {

@@ -697,11 +697,23 @@ fn fh_node_fail_migrates_homes_ownership_and_copies() {
         for i in 0..8u32 {
             let var = VarHandle(i);
             tx += 1;
-            policy.on_access(&mut env, TxId(tx), NodeId((i + 5) % 16), var, AccessKind::Read);
+            policy.on_access(
+                &mut env,
+                TxId(tx),
+                NodeId((i + 5) % 16),
+                var,
+                AccessKind::Read,
+            );
             env.run(&mut policy);
             if i % 2 == 0 {
                 tx += 1;
-                policy.on_access(&mut env, TxId(tx), NodeId((i + 9) % 16), var, AccessKind::Write);
+                policy.on_access(
+                    &mut env,
+                    TxId(tx),
+                    NodeId((i + 9) % 16),
+                    var,
+                    AccessKind::Write,
+                );
                 env.run(&mut policy);
             }
         }
@@ -712,15 +724,28 @@ fn fh_node_fail_migrates_homes_ownership_and_copies() {
         for i in 0..8u32 {
             let var = VarHandle(i);
             assert_ne!(policy.home_of(var), victim, "{name}: home must migrate");
-            assert_ne!(policy.owner_of(var), Some(victim), "{name}: ownership must not survive");
-            assert!(!policy.copy_set(var).contains(&victim), "{name}: copies must be dropped");
-            assert!(!env.has_presence(victim, var), "{name}: presence must be revoked");
+            assert_ne!(
+                policy.owner_of(var),
+                Some(victim),
+                "{name}: ownership must not survive"
+            );
+            assert!(
+                !policy.copy_set(var).contains(&victim),
+                "{name}: copies must be dropped"
+            );
+            assert!(
+                !env.has_presence(victim, var),
+                "{name}: presence must be revoked"
+            );
         }
         assert!(
             !env.rehomes.is_empty(),
             "{name}: the victim was a home — migration traffic must be charged"
         );
-        assert!(env.rehomes.iter().all(|&(from, to, _)| from == victim && to != victim));
+        assert!(env
+            .rehomes
+            .iter()
+            .all(|&(from, to, _)| from == victim && to != victim));
         // Newly registered variables never home at the fallen node.
         for i in 8..40u32 {
             policy.register_var(VarHandle(i), NodeId(0), 64);
@@ -730,8 +755,18 @@ fn fh_node_fail_migrates_homes_ownership_and_copies() {
         // the victim's (surviving) application processor.
         for i in 0..40u32 {
             tx += 1;
-            let reader = if i % 4 == 0 { victim } else { NodeId((i + 3) % 16) };
-            policy.on_access(&mut env, TxId(tx), reader, VarHandle(i % 8), AccessKind::Read);
+            let reader = if i % 4 == 0 {
+                victim
+            } else {
+                NodeId((i + 3) % 16)
+            };
+            policy.on_access(
+                &mut env,
+                TxId(tx),
+                reader,
+                VarHandle(i % 8),
+                AccessKind::Read,
+            );
             env.run(&mut policy);
         }
     }
@@ -823,9 +858,15 @@ fn at_sole_leaf_copy_climbs_to_the_parent_when_its_node_fails() {
     policy.on_node_fail(&mut env, victim, NodeId(10));
     policy.assert_copy_invariants(var);
     let copies = policy.copy_set(var).unwrap();
-    assert!(!copies.contains(&leaf), "the failed leaf must not keep the copy");
+    assert!(
+        !copies.contains(&leaf),
+        "the failed leaf must not keep the copy"
+    );
     let parent = policy.tree().parent(leaf).unwrap();
-    assert!(copies.contains(&parent), "the value must climb to the parent");
+    assert!(
+        copies.contains(&parent),
+        "the value must climb to the parent"
+    );
     // The climb is charged as migration traffic, not regular protocol load.
     // Exactly one data-sized migration (the climbing value) leaves the
     // victim; the root's directory role may add a small control-sized

@@ -112,20 +112,22 @@ fn uniform_threaded(
     let nprocs = diva.num_procs();
     let vars: Vec<VarHandle> = (0..nprocs).map(|p| diva.alloc(p, 512, 0u64)).collect();
     let vars = Arc::new(vars);
-    let outcome = diva.run_prototype(move |ctx| {
-        let mut rng = 0x9E3779B97F4A7C15u64 ^ (ctx.proc_id() as u64) << 17;
-        for round in 1..=cfg.rounds {
-            ctx.compute_int_ops(5);
-            let r = lcg_next(&mut rng);
-            let var = vars[(r % vars.len() as u64) as usize];
-            if r & 1 == 0 {
-                let _ = ctx.read::<u64>(var);
-            } else {
-                ctx.write(var, round as u64);
+    let outcome = diva
+        .run_prototype(move |ctx| {
+            let mut rng = 0x9E3779B97F4A7C15u64 ^ (ctx.proc_id() as u64) << 17;
+            for round in 1..=cfg.rounds {
+                ctx.compute_int_ops(5);
+                let r = lcg_next(&mut rng);
+                let var = vars[(r % vars.len() as u64) as usize];
+                if r & 1 == 0 {
+                    let _ = ctx.read::<u64>(var);
+                } else {
+                    ctx.write(var, round as u64);
+                }
             }
-        }
-        ctx.barrier();
-    }).expect_completed();
+            ctx.barrier();
+        })
+        .expect_completed();
     outcome.report
 }
 
@@ -242,26 +244,28 @@ fn lifecycle_ops_parity_threaded_vs_driven() {
             let n = diva.num_procs();
             let ptrs: Vec<VarHandle> = (0..n).map(|p| diva.alloc(p, 8, VarHandle(0))).collect();
             let ptrs = Arc::new(ptrs);
-            let outcome = diva.run_prototype(move |ctx| {
-                let me = ctx.proc_id();
-                let n = ctx.num_procs();
-                let mut sum = 0u64;
-                for round in 0..rounds {
-                    let scratch = ctx.alloc(128, (round * 100 + me) as u64);
-                    ctx.write(ptrs[me], scratch);
-                    ctx.barrier();
-                    let handle = *ctx.read::<VarHandle>(ptrs[(me + 1) % n]);
-                    sum += *ctx.read::<u64>(handle);
-                    ctx.barrier();
-                    if me % 2 == 1 {
-                        ctx.free(scratch);
-                    } else {
-                        ctx.end_epoch();
+            let outcome = diva
+                .run_prototype(move |ctx| {
+                    let me = ctx.proc_id();
+                    let n = ctx.num_procs();
+                    let mut sum = 0u64;
+                    for round in 0..rounds {
+                        let scratch = ctx.alloc(128, (round * 100 + me) as u64);
+                        ctx.write(ptrs[me], scratch);
+                        ctx.barrier();
+                        let handle = *ctx.read::<VarHandle>(ptrs[(me + 1) % n]);
+                        sum += *ctx.read::<u64>(handle);
+                        ctx.barrier();
+                        if me % 2 == 1 {
+                            ctx.free(scratch);
+                        } else {
+                            ctx.end_epoch();
+                        }
                     }
-                }
-                ctx.barrier();
-                sum
-            }).expect_completed();
+                    ctx.barrier();
+                    sum
+                })
+                .expect_completed();
             (outcome.results, outcome.report)
         };
         let driven = {

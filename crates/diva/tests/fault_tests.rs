@@ -12,7 +12,10 @@ use std::sync::Arc;
 
 fn configs(side: usize) -> Vec<DivaConfig> {
     vec![
-        DivaConfig::new(Mesh::square(side), StrategyKind::AccessTree(TreeShape::quad())),
+        DivaConfig::new(
+            Mesh::square(side),
+            StrategyKind::AccessTree(TreeShape::quad()),
+        ),
         DivaConfig::new(Mesh::square(side), StrategyKind::FixedHome),
     ]
 }
@@ -62,8 +65,7 @@ fn an_empty_plan_is_bit_identical_to_no_plan() {
     for cfg in configs(4) {
         let name = cfg.strategy.name();
         let base = run_read_all(cfg.clone()).expect_completed();
-        let with_plan =
-            run_read_all(cfg.with_fault_plan(FaultPlan::new(42))).expect_completed();
+        let with_plan = run_read_all(cfg.with_fault_plan(FaultPlan::new(42))).expect_completed();
         assert_eq!(base.report, with_plan.report, "strategy {name}");
         assert_eq!(with_plan.report.faults, FaultTally::default());
     }
@@ -110,7 +112,9 @@ fn node_failures_never_partition_and_runs_stay_deterministic() {
     // same plan are bit-identical.
     for cfg in configs(4) {
         let name = cfg.strategy.name();
-        let plan = FaultPlan::new(11).fail_random_nodes(4, 0).fail_node(NodeId(9), 500_000);
+        let plan = FaultPlan::new(11)
+            .fail_random_nodes(4, 0)
+            .fail_node(NodeId(9), 500_000);
         let a = run_read_all(cfg.clone().with_fault_plan(plan.clone())).expect_completed();
         let b = run_read_all(cfg.with_fault_plan(plan)).expect_completed();
         assert_eq!(a.report, b.report, "strategy {name}");
@@ -121,17 +125,16 @@ fn node_failures_never_partition_and_runs_stay_deterministic() {
 #[test]
 fn failing_every_link_partitions_both_backends_identically() {
     let plan = FaultPlan::new(3).fail_links(1.0, 0);
-    let cfg = DivaConfig::new(Mesh::square(4), StrategyKind::FixedHome)
-        .with_fault_plan(plan.clone());
+    let cfg =
+        DivaConfig::new(Mesh::square(4), StrategyKind::FixedHome).with_fault_plan(plan.clone());
 
     let driven = run_read_all(cfg);
     let p_driven = driven
         .partitioned()
         .expect("failing every link must partition the driven run");
 
-    let mut diva = Diva::new(
-        DivaConfig::new(Mesh::square(4), StrategyKind::FixedHome).with_fault_plan(plan),
-    );
+    let mut diva =
+        Diva::new(DivaConfig::new(Mesh::square(4), StrategyKind::FixedHome).with_fault_plan(plan));
     let v = diva.alloc(0, 256, vec![1u32; 64]);
     let proto = diva.run_prototype(move |ctx| ctx.read::<Vec<u32>>(v).len());
     let p_proto = proto

@@ -29,7 +29,9 @@ fn every_processor_reads_the_initial_value() {
     for cfg in all_strategies(4) {
         let mut diva = Diva::new(cfg);
         let v = diva.alloc(3, 400, vec![7u32; 100]);
-        let outcome = diva.run_prototype(|ctx| ctx.read::<Vec<u32>>(v)[0]).expect_completed();
+        let outcome = diva
+            .run_prototype(|ctx| ctx.read::<Vec<u32>>(v)[0])
+            .expect_completed();
         assert_eq!(outcome.results, vec![7u32; 16]);
         assert!(outcome.report.total_time > 0);
         // 15 processors missed, one (the owner) may hit via the fast path.
@@ -43,13 +45,15 @@ fn writes_are_visible_after_a_barrier() {
         let name = cfg.strategy.name();
         let mut diva = Diva::new(cfg);
         let v = diva.alloc(0, 64, 0u64);
-        let outcome = diva.run_prototype(|ctx| {
-            if ctx.proc_id() == 5 {
-                ctx.write(v, 42u64);
-            }
-            ctx.barrier();
-            *ctx.read::<u64>(v)
-        }).expect_completed();
+        let outcome = diva
+            .run_prototype(|ctx| {
+                if ctx.proc_id() == 5 {
+                    ctx.write(v, 42u64);
+                }
+                ctx.barrier();
+                *ctx.read::<u64>(v)
+            })
+            .expect_completed();
         assert_eq!(outcome.results, vec![42u64; 16], "strategy {name}");
     }
 }
@@ -61,19 +65,21 @@ fn successive_write_read_phases_stay_consistent() {
     for cfg in [at_config(4, TreeShape::quad()), fh_config(4)] {
         let mut diva = Diva::new(cfg);
         let v = diva.alloc(0, 64, 0u64);
-        let outcome = diva.run_prototype(|ctx| {
-            let mut seen = Vec::new();
-            for round in 1..=4u64 {
-                let writer = (round as usize * 3) % ctx.num_procs();
-                if ctx.proc_id() == writer {
-                    ctx.write(v, round * 100);
+        let outcome = diva
+            .run_prototype(|ctx| {
+                let mut seen = Vec::new();
+                for round in 1..=4u64 {
+                    let writer = (round as usize * 3) % ctx.num_procs();
+                    if ctx.proc_id() == writer {
+                        ctx.write(v, round * 100);
+                    }
+                    ctx.barrier();
+                    seen.push(*ctx.read::<u64>(v));
+                    ctx.barrier();
                 }
-                ctx.barrier();
-                seen.push(*ctx.read::<u64>(v));
-                ctx.barrier();
-            }
-            seen
-        }).expect_completed();
+                seen
+            })
+            .expect_completed();
         for seen in outcome.results {
             assert_eq!(seen, vec![100, 200, 300, 400]);
         }
@@ -87,15 +93,17 @@ fn barrier_separates_virtual_time() {
     // processor's pre-barrier time.
     let mut diva = Diva::new(at_config(4, TreeShape::quad()));
     let v = diva.alloc(0, 8, 0u8);
-    let outcome = diva.run_prototype(|ctx| {
-        if ctx.proc_id() == 7 {
-            ctx.compute(1_000_000.0); // one virtual second
-        }
-        ctx.barrier();
-        // Touch the variable so every processor does something measurable after
-        // the barrier.
-        let _ = ctx.read::<u8>(v);
-    }).expect_completed();
+    let outcome = diva
+        .run_prototype(|ctx| {
+            if ctx.proc_id() == 7 {
+                ctx.compute(1_000_000.0); // one virtual second
+            }
+            ctx.barrier();
+            // Touch the variable so every processor does something measurable after
+            // the barrier.
+            let _ = ctx.read::<u8>(v);
+        })
+        .expect_completed();
     assert!(outcome.report.total_time >= 1_000_000_000);
 }
 
@@ -109,16 +117,18 @@ fn locks_provide_mutual_exclusion_on_read_modify_write() {
         let mut diva = Diva::new(cfg);
         let counter = diva.alloc(0, 8, 0u64);
         let increments = 3u64;
-        let outcome = diva.run_prototype(|ctx| {
-            for _ in 0..increments {
-                ctx.lock(counter);
-                let v = *ctx.read::<u64>(counter);
-                ctx.write(counter, v + 1);
-                ctx.unlock(counter);
-            }
-            ctx.barrier();
-            *ctx.read::<u64>(counter)
-        }).expect_completed();
+        let outcome = diva
+            .run_prototype(|ctx| {
+                for _ in 0..increments {
+                    ctx.lock(counter);
+                    let v = *ctx.read::<u64>(counter);
+                    ctx.write(counter, v + 1);
+                    ctx.unlock(counter);
+                }
+                ctx.barrier();
+                *ctx.read::<u64>(counter)
+            })
+            .expect_completed();
         let expected = increments * 16;
         for v in outcome.results {
             assert_eq!(v, expected, "strategy {name}");
@@ -132,15 +142,17 @@ fn explicit_message_passing_round_trip() {
     // Ring communication: each processor sends its id to the next and receives
     // from the previous.
     let diva = Diva::new(at_config(4, TreeShape::quad()));
-    let outcome = diva.run_prototype(|ctx| {
-        let p = ctx.proc_id();
-        let n = ctx.num_procs();
-        let next = (p + 1) % n;
-        let prev = (p + n - 1) % n;
-        ctx.send_msg(next, 64, 1, p as u64);
+    let outcome = diva
+        .run_prototype(|ctx| {
+            let p = ctx.proc_id();
+            let n = ctx.num_procs();
+            let next = (p + 1) % n;
+            let prev = (p + n - 1) % n;
+            ctx.send_msg(next, 64, 1, p as u64);
 
-        *ctx.recv_msg::<u64>(prev, 1)
-    }).expect_completed();
+            *ctx.recv_msg::<u64>(prev, 1)
+        })
+        .expect_completed();
     for (p, got) in outcome.results.iter().enumerate() {
         assert_eq!(*got as usize, (p + 16 - 1) % 16);
     }
@@ -150,18 +162,20 @@ fn explicit_message_passing_round_trip() {
 #[test]
 fn message_passing_preserves_fifo_order_per_sender() {
     let diva = Diva::new(at_config(2, TreeShape::quad()));
-    let outcome = diva.run_prototype(|ctx| {
-        if ctx.proc_id() == 0 {
-            for i in 0..10u64 {
-                ctx.send_msg(3, 32, 7, i);
+    let outcome = diva
+        .run_prototype(|ctx| {
+            if ctx.proc_id() == 0 {
+                for i in 0..10u64 {
+                    ctx.send_msg(3, 32, 7, i);
+                }
+                Vec::new()
+            } else if ctx.proc_id() == 3 {
+                (0..10).map(|_| *ctx.recv_msg::<u64>(0, 7)).collect()
+            } else {
+                Vec::new()
             }
-            Vec::new()
-        } else if ctx.proc_id() == 3 {
-            (0..10).map(|_| *ctx.recv_msg::<u64>(0, 7)).collect()
-        } else {
-            Vec::new()
-        }
-    }).expect_completed();
+        })
+        .expect_completed();
     assert_eq!(outcome.results[3], (0..10).collect::<Vec<u64>>());
 }
 
@@ -173,15 +187,17 @@ fn variables_can_be_allocated_during_the_run() {
     for cfg in [at_config(4, TreeShape::quad()), fh_config(4)] {
         let mut diva = Diva::new(cfg);
         let pointer = diva.alloc(0, 8, VarHandle(u32::MAX));
-        let outcome = diva.run_prototype(|ctx| {
-            if ctx.proc_id() == 0 {
-                let data = ctx.alloc(256, vec![13u64; 32]);
-                ctx.write(pointer, data);
-            }
-            ctx.barrier();
-            let handle = *ctx.read::<VarHandle>(pointer);
-            ctx.read::<Vec<u64>>(handle)[31]
-        }).expect_completed();
+        let outcome = diva
+            .run_prototype(|ctx| {
+                if ctx.proc_id() == 0 {
+                    let data = ctx.alloc(256, vec![13u64; 32]);
+                    ctx.write(pointer, data);
+                }
+                ctx.barrier();
+                let handle = *ctx.read::<VarHandle>(pointer);
+                ctx.read::<Vec<u64>>(handle)[31]
+            })
+            .expect_completed();
         assert_eq!(outcome.results, vec![13u64; 16]);
     }
 }
@@ -215,7 +231,8 @@ fn freed_variables_are_recycled_and_the_report_shows_it() {
                     ctx.end_epoch();
                 }
                 sum
-            }).expect_completed()
+            })
+            .expect_completed()
         };
         let two = run(2, cfg.clone());
         let six = run(6, cfg);
@@ -246,30 +263,32 @@ fn explicit_free_revokes_copies_everywhere() {
         let name = cfg.strategy.name();
         let mut diva = Diva::new(cfg);
         let ptr = diva.alloc(0, 8, VarHandle(u32::MAX));
-        let outcome = diva.run_prototype(move |ctx| {
-            let first = if ctx.proc_id() == 0 {
-                let v = ctx.alloc(512, 7u64);
-                ctx.write(ptr, v);
-                v
-            } else {
-                VarHandle(u32::MAX)
-            };
-            ctx.barrier();
-            let v = *ctx.read::<VarHandle>(ptr);
-            let got = *ctx.read::<u64>(v);
-            ctx.barrier();
-            if ctx.proc_id() == 0 {
-                ctx.free(first);
-                // The freed slot is recycled immediately: same handle, new
-                // incarnation with a different value and a clean copy set.
-                let again = ctx.alloc(512, 9u64);
-                assert_eq!(again, first, "slot must be recycled LIFO");
-                ctx.write(ptr, again);
-            }
-            ctx.barrier();
-            let v2 = *ctx.read::<VarHandle>(ptr);
-            got + *ctx.read::<u64>(v2)
-        }).expect_completed();
+        let outcome = diva
+            .run_prototype(move |ctx| {
+                let first = if ctx.proc_id() == 0 {
+                    let v = ctx.alloc(512, 7u64);
+                    ctx.write(ptr, v);
+                    v
+                } else {
+                    VarHandle(u32::MAX)
+                };
+                ctx.barrier();
+                let v = *ctx.read::<VarHandle>(ptr);
+                let got = *ctx.read::<u64>(v);
+                ctx.barrier();
+                if ctx.proc_id() == 0 {
+                    ctx.free(first);
+                    // The freed slot is recycled immediately: same handle, new
+                    // incarnation with a different value and a clean copy set.
+                    let again = ctx.alloc(512, 9u64);
+                    assert_eq!(again, first, "slot must be recycled LIFO");
+                    ctx.write(ptr, again);
+                }
+                ctx.barrier();
+                let v2 = *ctx.read::<VarHandle>(ptr);
+                got + *ctx.read::<u64>(v2)
+            })
+            .expect_completed();
         assert_eq!(outcome.results, vec![16u64; 16], "{name}");
         assert_eq!(outcome.report.vars_freed, 1, "{name}");
     }
@@ -279,14 +298,16 @@ fn explicit_free_revokes_copies_everywhere() {
 fn fast_path_hits_do_not_touch_the_network() {
     let mut diva = Diva::new(at_config(4, TreeShape::quad()));
     let v = diva.alloc(0, 1024, vec![1u8; 1024]);
-    let outcome = diva.run_prototype(|ctx| {
-        // First read misses (except on the owner), the remaining 99 hit.
-        let mut sum = 0u64;
-        for _ in 0..100 {
-            sum += ctx.read::<Vec<u8>>(v)[0] as u64;
-        }
-        sum
-    }).expect_completed();
+    let outcome = diva
+        .run_prototype(|ctx| {
+            // First read misses (except on the owner), the remaining 99 hit.
+            let mut sum = 0u64;
+            for _ in 0..100 {
+                sum += ctx.read::<Vec<u8>>(v)[0] as u64;
+            }
+            sum
+        })
+        .expect_completed();
     assert_eq!(outcome.results, vec![100u64; 16]);
     let hits = outcome.report.counter(Counter::ReadHit);
     let misses = outcome.report.counter(Counter::ReadMiss);
@@ -303,20 +324,22 @@ fn runs_are_deterministic() {
             .collect();
         let vars = Arc::new(vars);
         let vars2 = Arc::clone(&vars);
-        let outcome = diva.run_prototype(move |ctx| {
-            let mut acc = 0u64;
-            for (k, &v) in vars2.iter().enumerate() {
-                if (ctx.proc_id() + k) % 3 == 0 {
-                    acc += ctx.read::<Vec<u32>>(v)[0] as u64;
+        let outcome = diva
+            .run_prototype(move |ctx| {
+                let mut acc = 0u64;
+                for (k, &v) in vars2.iter().enumerate() {
+                    if (ctx.proc_id() + k) % 3 == 0 {
+                        acc += ctx.read::<Vec<u32>>(v)[0] as u64;
+                    }
                 }
-            }
-            ctx.barrier();
-            if ctx.proc_id() < 8 {
-                ctx.write(vars2[ctx.proc_id()], vec![99u32; 128]);
-            }
-            ctx.barrier();
-            acc
-        }).expect_completed();
+                ctx.barrier();
+                if ctx.proc_id() < 8 {
+                    ctx.write(vars2[ctx.proc_id()], vec![99u32; 128]);
+                }
+                ctx.barrier();
+                acc
+            })
+            .expect_completed();
         (
             outcome.report.total_time,
             outcome.report.congestion_bytes(),
@@ -334,7 +357,9 @@ fn different_seeds_change_placement_but_not_results() {
     let run = |seed: u64| {
         let mut diva = Diva::new(fh_config(4).with_seed(seed));
         let v = diva.alloc(0, 2048, vec![5u64; 256]);
-        let outcome = diva.run_prototype(|ctx| *ctx.read::<Vec<u64>>(v).last().unwrap()).expect_completed();
+        let outcome = diva
+            .run_prototype(|ctx| *ctx.read::<Vec<u64>>(v).last().unwrap())
+            .expect_completed();
         (outcome.results, outcome.report.congestion_bytes())
     };
     let (r1, c1) = run(1);
@@ -349,16 +374,18 @@ fn different_seeds_change_placement_but_not_results() {
 fn regions_attribute_time_and_traffic_to_phases() {
     let mut diva = Diva::new(at_config(4, TreeShape::quad()));
     let v = diva.alloc(0, 4096, vec![0u8; 4096]);
-    let outcome = diva.run_prototype(|ctx| {
-        ctx.region("warmup");
-        ctx.compute(100.0);
-        ctx.barrier();
-        ctx.region("reads");
-        let _ = ctx.read::<Vec<u8>>(v);
-        ctx.barrier();
-        ctx.region("idle");
-        ctx.barrier();
-    }).expect_completed();
+    let outcome = diva
+        .run_prototype(|ctx| {
+            ctx.region("warmup");
+            ctx.compute(100.0);
+            ctx.barrier();
+            ctx.region("reads");
+            let _ = ctx.read::<Vec<u8>>(v);
+            ctx.barrier();
+            ctx.region("idle");
+            ctx.barrier();
+        })
+        .expect_completed();
     let report = outcome.report;
     let reads = report.region("reads").expect("reads region missing");
     let warmup = report.region("warmup").expect("warmup region missing");
@@ -385,12 +412,14 @@ fn access_tree_beats_fixed_home_on_a_hot_shared_object() {
             .map(|i| diva.alloc(i, 16384, vec![1u8; 16384]))
             .collect();
         let vars = Arc::new(vars);
-        let outcome = diva.run_prototype(move |ctx| {
-            for &v in vars.iter() {
-                let _ = ctx.read::<Vec<u8>>(v);
-            }
-            ctx.barrier();
-        }).expect_completed();
+        let outcome = diva
+            .run_prototype(move |ctx| {
+                for &v in vars.iter() {
+                    let _ = ctx.read::<Vec<u8>>(v);
+                }
+                ctx.barrier();
+            })
+            .expect_completed();
         outcome.report
     };
     let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
@@ -426,7 +455,9 @@ fn random_embedding_mode_also_works_end_to_end() {
     cfg.embedding = EmbeddingMode::Random;
     let mut diva = Diva::new(cfg);
     let v = diva.alloc(0, 128, 3u32);
-    let outcome = diva.run_prototype(|ctx| *ctx.read::<u32>(v)).expect_completed();
+    let outcome = diva
+        .run_prototype(|ctx| *ctx.read::<u32>(v))
+        .expect_completed();
     assert_eq!(outcome.results, vec![3u32; 16]);
 }
 
@@ -434,11 +465,13 @@ fn random_embedding_mode_also_works_end_to_end() {
 fn single_processor_mesh_degenerates_gracefully() {
     let mut diva = Diva::new(at_config(1, TreeShape::quad()));
     let v = diva.alloc(0, 64, 10u32);
-    let outcome = diva.run_prototype(|ctx| {
-        ctx.write(v, 11u32);
-        ctx.barrier();
-        *ctx.read::<u32>(v)
-    }).expect_completed();
+    let outcome = diva
+        .run_prototype(|ctx| {
+            ctx.write(v, 11u32);
+            ctx.barrier();
+            *ctx.read::<u32>(v)
+        })
+        .expect_completed();
     assert_eq!(outcome.results, vec![11]);
     assert_eq!(outcome.report.congestion_bytes(), 0);
 }
@@ -447,14 +480,16 @@ fn single_processor_mesh_degenerates_gracefully() {
 fn report_counters_are_consistent() {
     let mut diva = Diva::new(fh_config(4));
     let v = diva.alloc(0, 256, vec![0u32; 64]);
-    let outcome = diva.run_prototype(|ctx| {
-        let _ = ctx.read::<Vec<u32>>(v);
-        ctx.barrier();
-        if ctx.proc_id() == 1 {
-            ctx.write(v, vec![1u32; 64]);
-        }
-        ctx.barrier();
-    }).expect_completed();
+    let outcome = diva
+        .run_prototype(|ctx| {
+            let _ = ctx.read::<Vec<u32>>(v);
+            ctx.barrier();
+            if ctx.proc_id() == 1 {
+                ctx.write(v, vec![1u32; 64]);
+            }
+            ctx.barrier();
+        })
+        .expect_completed();
     let r = outcome.report;
     assert_eq!(r.barriers, 2);
     assert!(r.counter(Counter::CopiesCreated) >= 15);
@@ -470,10 +505,12 @@ fn report_counters_are_consistent() {
 #[should_panic(expected = "deadlock")]
 fn missing_send_is_reported_as_deadlock() {
     let diva = Diva::new(at_config(2, TreeShape::quad()));
-    let _ = diva.run_prototype(|ctx| {
-        if ctx.proc_id() == 0 {
-            // Waits forever: nobody sends with tag 9.
-            let _ = ctx.recv_msg::<u64>(1, 9);
-        }
-    }).expect_completed();
+    let _ = diva
+        .run_prototype(|ctx| {
+            if ctx.proc_id() == 0 {
+                // Waits forever: nobody sends with tag 9.
+                let _ = ctx.recv_msg::<u64>(1, 9);
+            }
+        })
+        .expect_completed();
 }

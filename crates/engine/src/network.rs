@@ -358,7 +358,9 @@ impl LinkNetwork {
     /// switch from the fast path to the tabled path is cost-neutral: a
     /// uniform table reproduces the fast path's timings bit for bit.
     pub fn costs_mut(&mut self) -> &mut LinkCostTable {
-        let Self { costs, cfg, topo, .. } = self;
+        let Self {
+            costs, cfg, topo, ..
+        } = self;
         costs.get_or_insert_with(|| Box::new(LinkCostTable::uniform(cfg, topo.link_slots())))
     }
 
@@ -744,7 +746,9 @@ mod tests {
         // approximation the body is charged on the final link, so the slow
         // link shows up whole in this message's arrival (a slow intermediate
         // link would only delay later traffic via its occupancy).
-        let last_link = n.mesh().link(n.mesh().node_at(0, 1), dm_mesh::Direction::East);
+        let last_link = n
+            .mesh()
+            .link(n.mesh().node_at(0, 1), dm_mesh::Direction::East);
         let baseline = net(4, cfg).transmit(0, a, b, 1000, GLOBAL_REGION);
         n.degrade_link(last_link, 0.25);
         let d = n.transmit(0, a, b, 1000, GLOBAL_REGION);

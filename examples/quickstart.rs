@@ -21,21 +21,23 @@ fn main() {
     let counter = diva.alloc(0, 8, 0u64);
     let table = diva.alloc(0, 4096, vec![0u32; 1024]);
 
-    let outcome = diva.run_prototype(|ctx| {
-        // Every processor reads the shared table (the access tree distributes
-        // copies along its branches), then atomically increments the counter
-        // under its lock.
-        let data = ctx.read::<Vec<u32>>(table);
-        assert_eq!(data.len(), 1024);
+    let outcome = diva
+        .run_prototype(|ctx| {
+            // Every processor reads the shared table (the access tree distributes
+            // copies along its branches), then atomically increments the counter
+            // under its lock.
+            let data = ctx.read::<Vec<u32>>(table);
+            assert_eq!(data.len(), 1024);
 
-        ctx.lock(counter);
-        let value = *ctx.read::<u64>(counter);
-        ctx.write(counter, value + 1);
-        ctx.unlock(counter);
+            ctx.lock(counter);
+            let value = *ctx.read::<u64>(counter);
+            ctx.write(counter, value + 1);
+            ctx.unlock(counter);
 
-        ctx.barrier();
-        *ctx.read::<u64>(counter)
-    }).expect_completed();
+            ctx.barrier();
+            *ctx.read::<u64>(counter)
+        })
+        .expect_completed();
 
     // All 64 processors saw the final value 64.
     assert!(outcome.results.iter().all(|&v| v == 64));
