@@ -1,0 +1,410 @@
+//! Governor calibration: fit the executor's heavy-job heuristics from the
+//! `host_ms` sidecar data recorded in `BENCH_*.json` snapshots.
+//!
+//! The sweep executor's memory governor historically ran on two hard-coded
+//! constants: a job counts as memory-heavy at a scheduling weight of
+//! [`HEAVY_WEIGHT`] (1e9), and each heavy job is assumed to need
+//! [`HEAVY_JOB_BYTES`] (4 GiB) of host memory. Both were calibrated *by hand* from a handful of
+//! historical runs. But every `--snapshot` run records, for each sweep
+//! point, the actual host milliseconds the point took and (for the
+//! Barnes-Hut rows) its live-variable peak — exactly the data the constants
+//! were eyeballed from. This module closes the loop:
+//!
+//! * [`fit_ms_per_weight`] — a weighted least-squares fit through the origin
+//!   of `host_ms ≈ slope · weight` over `(scheduling weight, host_ms)`
+//!   pairs. Through the origin because a zero-weight job costs nothing;
+//!   weighted by the scheduling weight so the fit is anchored by the
+//!   expensive points the governor actually cares about, not the sub-ms
+//!   smoke points whose timings are mostly noise.
+//! * [`snapshot_weight_pairs`] — reconstructs the `(weight, host_ms)` pairs
+//!   from a `BENCH_*.json` snapshot by re-deriving each row's scheduling
+//!   weight from its recorded parameters (the same formulas the sweep
+//!   descriptions use).
+//! * [`governor`] — the process-wide calibration: scans the working
+//!   directory for `BENCH_*.json` snapshots once, fits, and derives the two
+//!   governor thresholds. **Without snapshots (or with too few samples) the
+//!   historical constants are used unchanged** — calibration is an
+//!   adjustment, never a requirement.
+//!
+//! Calibration affects *scheduling only*. Every simulated quantity is
+//! bit-identical whatever thresholds the governor runs with; what changes is
+//! how many memory-heavy points the executor admits at once.
+
+use crate::executor::{HEAVY_JOB_BYTES, HEAVY_WEIGHT};
+use crate::json::{self, FromJson, JsonValue};
+use std::path::Path;
+
+/// Minimum number of usable `(weight, host_ms)` pairs before a fit replaces
+/// the historical constants. Below this the slope is dominated by noise
+/// (scheduling jitter, cache state) rather than workload cost.
+pub const MIN_FIT_SAMPLES: usize = 8;
+
+/// Host time a job at the heavy-weight threshold is expected to take. This
+/// anchors the calibrated threshold to the historical one: under the shipped
+/// snapshots' cost rate, a weight-1e9 point (the historical
+/// [`HEAVY_WEIGHT`]) runs for minutes, and "runs for minutes" — i.e. holds
+/// its working set live for minutes — is what being memory-heavy has always
+/// meant operationally.
+pub const HEAVY_HOST_MS: f64 = 240_000.0;
+
+/// Live-variable peak the 4 GiB-per-job budget was originally sized for
+/// (mega-scale Barnes-Hut points keep >600 000 live variables plus octree
+/// scratch — see the executor docs). The calibrated byte budget scales the
+/// 4 GiB proportionally to the peaks actually observed in the snapshots.
+pub const CALIBRATION_PEAK_VARS: u64 = 600_000;
+
+/// A fitted linear cost model `host_ms ≈ ms_per_weight · weight`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Host milliseconds per unit of scheduling weight.
+    pub ms_per_weight: f64,
+    /// Number of pairs the fit used.
+    pub samples: usize,
+}
+
+/// The memory governor's calibrated thresholds (see [`governor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorCalibration {
+    /// Scheduling weight at which a job counts as memory-heavy.
+    pub heavy_weight: u64,
+    /// Assumed host-memory budget per heavy job, in bytes.
+    pub heavy_job_bytes: u64,
+}
+
+impl Default for GovernorCalibration {
+    /// The historical constants — what the governor runs with when no
+    /// snapshot data is available.
+    fn default() -> Self {
+        GovernorCalibration {
+            heavy_weight: HEAVY_WEIGHT,
+            heavy_job_bytes: HEAVY_JOB_BYTES,
+        }
+    }
+}
+
+/// Weighted least-squares fit of `host_ms ≈ slope · weight` through the
+/// origin. Pairs with a zero weight or a non-finite/non-positive `host_ms`
+/// are ignored (placeholder rows, torn records). Returns `None` when fewer
+/// than [`MIN_FIT_SAMPLES`] usable pairs remain or the slope degenerates.
+pub fn fit_ms_per_weight(pairs: &[(u64, f64)]) -> Option<CostModel> {
+    // Through-origin WLS with per-pair weight w: slope = Σ w·ms·w / Σ w·w²
+    // reduces (with the pair's own weight as the fit weight) to
+    // Σ w²·ms / Σ w³ — heavier points anchor the slope.
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    let mut samples = 0usize;
+    for &(w, ms) in pairs {
+        if w == 0 || !ms.is_finite() || ms <= 0.0 {
+            continue;
+        }
+        let w = w as f64;
+        num += w * w * ms;
+        den += w * w * w;
+        samples += 1;
+    }
+    if samples < MIN_FIT_SAMPLES || den == 0.0 {
+        return None;
+    }
+    let slope = num / den;
+    if !slope.is_finite() || slope <= 0.0 {
+        return None;
+    }
+    Some(CostModel {
+        ms_per_weight: slope,
+        samples,
+    })
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Option<u64> {
+    u64::from_json(v.get(key)?).ok()
+}
+
+fn field_f64(v: &JsonValue, key: &str) -> Option<f64> {
+    f64::from_json(v.get(key)?).ok()
+}
+
+fn field_str<'a>(v: &'a JsonValue, key: &str) -> Option<&'a str> {
+    match v.get(key)? {
+        JsonValue::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Re-derive one snapshot row's scheduling weight from its recorded
+/// parameters, using the same formulas the sweep descriptions use. Returns
+/// `None` for row shapes without a known weight formula.
+fn row_weight(row: &JsonValue, meta: &JsonValue) -> Option<u64> {
+    // Barnes-Hut mesh rows (fig8–11, scale --bh): bodies × steps × nodes.
+    if let (Some(mesh), Some(n_bodies)) = (row.get("mesh"), field_u64(row, "n_bodies")) {
+        let (rows, cols) = <(usize, usize)>::from_json(mesh).ok()?;
+        let steps = field_u64(meta, "timesteps").unwrap_or(1).max(1);
+        return Some(n_bodies * steps * (rows * cols) as u64);
+    }
+    // Cross-topology rows (fig12/fig13): the workload picks the formula.
+    if let (Some(workload), Some(nodes)) = (field_str(row, "workload"), field_u64(row, "nodes")) {
+        return match workload {
+            "uniform" => Some(field_u64(meta, "uniform_ops")? * nodes),
+            "barnes-hut" => {
+                let steps = field_u64(meta, "bh_timesteps").unwrap_or(1).max(1);
+                Some(field_u64(meta, "bh_bodies")? * steps * nodes)
+            }
+            _ => None,
+        };
+    }
+    // Matmul (fig3/fig4) and bitonic (fig6/fig7) rows: nodes × volume, the
+    // hand-optimized baseline at half weight (as described).
+    if let Some(side) = field_u64(row, "mesh_side") {
+        let volume = field_u64(row, "block_ints").or_else(|| field_u64(row, "keys_per_proc"))?;
+        let weight = side * side * volume;
+        return Some(if field_str(row, "strategy") == Some("hand-optimized") {
+            weight / 2
+        } else {
+            weight
+        });
+    }
+    None
+}
+
+/// Extract the `(scheduling weight, host_ms)` pairs of one `BENCH_*.json`
+/// snapshot (as written by `--snapshot`). Rows whose weight formula is
+/// unknown, or whose `host_ms` is missing or zero, contribute nothing.
+pub fn snapshot_weight_pairs(text: &str) -> Vec<(u64, f64)> {
+    let Ok(v) = json::parse(text) else {
+        return Vec::new();
+    };
+    let Some(payload) = v.get("payload") else {
+        return Vec::new();
+    };
+    let empty = JsonValue::Obj(Vec::new());
+    let meta = payload.get("meta").unwrap_or(&empty);
+    let Some(rows) = payload.get("rows").and_then(|r| r.as_arr()) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|row| {
+            let ms = field_f64(row, "host_ms").filter(|ms| ms.is_finite() && *ms > 0.0)?;
+            Some((row_weight(row, meta)?, ms))
+        })
+        .collect()
+}
+
+/// The maximum `live_vars_peak` across a snapshot's rows (Barnes-Hut rows
+/// record it; other row shapes do not have one).
+fn snapshot_peak_vars(text: &str) -> u64 {
+    let Ok(v) = json::parse(text) else { return 0 };
+    v.get("payload")
+        .and_then(|p| p.get("rows"))
+        .and_then(|r| r.as_arr())
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| field_u64(row, "live_vars_peak"))
+                .max()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+/// Calibrate the governor from every `BENCH_*.json` snapshot in `dir`.
+///
+/// * The heavy-*weight* threshold becomes the weight whose fitted host cost
+///   reaches [`HEAVY_HOST_MS`], clamped to within 10× of the historical
+///   constant either way (a fit can adjust the threshold, not invert the
+///   governor's meaning).
+/// * The per-heavy-job *byte* budget scales the historical 4 GiB by the
+///   ratio of the largest observed live-variable peak (extrapolated to the
+///   heavy threshold linearly in weight) to the [`CALIBRATION_PEAK_VARS`]
+///   the constant was sized for, clamped to `[1 GiB, 8 GiB]`.
+///
+/// Returns `None` (caller keeps the constants) when the directory has no
+/// usable snapshots or the pooled pairs are too few to fit.
+pub fn governor_from_dir(dir: &Path) -> Option<GovernorCalibration> {
+    let mut pairs = Vec::new();
+    let mut peak_vars = 0u64;
+    let mut peak_weight = 0u64;
+    let entries = std::fs::read_dir(dir).ok()?;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let snap = snapshot_weight_pairs(&text);
+        if let Some(&(w, _)) = snap.iter().max_by_key(|(w, _)| *w) {
+            let vars = snapshot_peak_vars(&text);
+            if vars > 0 && w > peak_weight {
+                (peak_vars, peak_weight) = (vars, w);
+            }
+        }
+        pairs.extend(snap);
+    }
+    let model = fit_ms_per_weight(&pairs)?;
+    let heavy_weight = ((HEAVY_HOST_MS / model.ms_per_weight) as u64)
+        .clamp(HEAVY_WEIGHT / 10, HEAVY_WEIGHT.saturating_mul(10));
+    let heavy_job_bytes = if peak_vars > 0 && peak_weight > 0 {
+        // Linear-in-weight extrapolation of the observed peak to the heavy
+        // threshold, then scale the 4 GiB budget by how that compares to
+        // the 600k-var assumption it was sized for.
+        let projected = peak_vars.saturating_mul(heavy_weight) / peak_weight;
+        let scaled =
+            (HEAVY_JOB_BYTES as f64 * projected as f64 / CALIBRATION_PEAK_VARS as f64) as u64;
+        scaled.clamp(1 << 30, 8 << 30)
+    } else {
+        HEAVY_JOB_BYTES
+    };
+    Some(GovernorCalibration {
+        heavy_weight,
+        heavy_job_bytes,
+    })
+}
+
+/// The process-wide governor calibration: [`governor_from_dir`] on the
+/// working directory (where the figure binaries find the repo's shipped
+/// `BENCH_*.json` snapshots), computed once; the historical constants when
+/// no snapshot data is usable. Overridable for tests and reproducibility
+/// with `DM_NO_CALIBRATION=1` (constants, unconditionally).
+pub fn governor() -> GovernorCalibration {
+    static CAL: std::sync::OnceLock<GovernorCalibration> = std::sync::OnceLock::new();
+    *CAL.get_or_init(|| {
+        if std::env::var_os("DM_NO_CALIBRATION").is_some() {
+            return GovernorCalibration::default();
+        }
+        governor_from_dir(Path::new(".")).unwrap_or_default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_an_exact_slope() {
+        // ms = 2e-4 · weight, exactly — the fit must return it exactly.
+        let pairs: Vec<(u64, f64)> = (1..=10u64).map(|i| (i * 1_000, i as f64 * 0.2)).collect();
+        let model = fit_ms_per_weight(&pairs).expect("enough samples");
+        assert_eq!(model.samples, 10);
+        assert!((model.ms_per_weight - 2e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_is_anchored_by_heavy_points() {
+        // Nine consistent heavy points and one wildly-off tiny point: the
+        // weighted fit must stay within a few percent of the heavy slope.
+        let mut pairs: Vec<(u64, f64)> = (1..=9u64)
+            .map(|i| (i * 1_000_000, i as f64 * 100.0))
+            .collect();
+        pairs.push((10, 50.0)); // 50 ms for weight 10: pure noise
+        let model = fit_ms_per_weight(&pairs).expect("enough samples");
+        assert!((model.ms_per_weight - 1e-4).abs() / 1e-4 < 0.05);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(fit_ms_per_weight(&[]).is_none());
+        // Too few usable samples.
+        let few: Vec<(u64, f64)> = (1..MIN_FIT_SAMPLES as u64).map(|i| (i, i as f64)).collect();
+        assert!(fit_ms_per_weight(&few).is_none());
+        // Zero weights and non-positive/non-finite times never count.
+        let junk: Vec<(u64, f64)> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (0, 1.0)
+                } else {
+                    (1_000, [0.0, -1.0, f64::NAN][i % 3])
+                }
+            })
+            .collect();
+        assert!(fit_ms_per_weight(&junk).is_none());
+    }
+
+    /// A miniature fig8-shaped snapshot: two strategies at one body count.
+    const FIG8_SNAPSHOT: &str = r#"{"fig":"fig8","tier":"default","seed":24301,
+      "payload":{"meta":{"scale":"default","timesteps":3,"warmup_steps":1,
+        "theta":0.5,"seed":24301,"reclaim":true},
+      "rows":[
+        {"strategy":"fixed home","mesh":[16,16],"n_bodies":2000,
+         "live_vars_peak":3258,"host_ms":365.5},
+        {"strategy":"4-ary access tree","mesh":[16,16],"n_bodies":2000,
+         "live_vars_peak":3258,"host_ms":420.25}
+      ]}}"#;
+
+    #[test]
+    fn snapshot_pairs_rederive_the_sweep_weights() {
+        let pairs = snapshot_weight_pairs(FIG8_SNAPSHOT);
+        // weight = bodies × steps × nodes = 2000 · 3 · 256.
+        assert_eq!(pairs, vec![(1_536_000, 365.5), (1_536_000, 420.25)]);
+        assert_eq!(snapshot_peak_vars(FIG8_SNAPSHOT), 3258);
+    }
+
+    #[test]
+    fn snapshot_pairs_handle_topology_and_volume_rows() {
+        let topo = r#"{"fig":"fig12","payload":{
+          "meta":{"uniform_ops":64,"bh_bodies":2000,"bh_timesteps":2},
+          "rows":[
+            {"workload":"uniform","nodes":64,"host_ms":6.2},
+            {"workload":"barnes-hut","nodes":64,"host_ms":1200.0},
+            {"workload":"uniform","nodes":64,"host_ms":0.0}
+          ]}}"#;
+        assert_eq!(
+            snapshot_weight_pairs(topo),
+            vec![(64 * 64, 6.2), (2000 * 2 * 64, 1200.0)]
+        );
+        let volume = r#"{"fig":"fig3","payload":{"meta":{},
+          "rows":[
+            {"strategy":"hand-optimized","mesh_side":8,"block_ints":256,"host_ms":10.0},
+            {"strategy":"fixed home","mesh_side":8,"block_ints":256,"host_ms":30.0}
+          ]}}"#;
+        assert_eq!(
+            snapshot_weight_pairs(volume),
+            vec![(8 * 8 * 256 / 2, 10.0), (8 * 8 * 256, 30.0)]
+        );
+        // Garbage and shape-less snapshots contribute nothing.
+        assert!(snapshot_weight_pairs("not json").is_empty());
+        assert!(snapshot_weight_pairs(r#"{"payload":{"rows":[{"host_ms":5.0}]}}"#).is_empty());
+    }
+
+    #[test]
+    fn governor_calibrates_from_a_snapshot_dir_and_falls_back_without_one() {
+        let dir = std::env::temp_dir().join(format!("dm-cal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Empty dir: no fit, caller keeps the constants.
+        assert_eq!(governor_from_dir(&dir), None);
+        // A snapshot with enough consistent samples: ms = 1e-3 · weight, so
+        // the HEAVY_HOST_MS budget is reached at weight 2.4e8 — a *lower*
+        // heavy threshold than the 1e9 constant (this host is slower than
+        // the calibration machine was).
+        let mut rows = String::new();
+        for i in 1..=10u64 {
+            if i > 1 {
+                rows.push(',');
+            }
+            let bodies = i * 1000;
+            // weight = bodies · 1 step · 4 nodes; host_ms = 1e-3 · weight.
+            rows.push_str(&format!(
+                r#"{{"mesh":[2,2],"n_bodies":{bodies},"live_vars_peak":{bodies},"host_ms":{}}}"#,
+                (bodies * 4) as f64 * 1e-3
+            ));
+        }
+        let snap =
+            format!(r#"{{"fig":"fig8","payload":{{"meta":{{"timesteps":1}},"rows":[{rows}]}}}}"#);
+        std::fs::write(dir.join("BENCH_fig8.json"), &snap).unwrap();
+        // Non-snapshot files are ignored.
+        std::fs::write(dir.join("notes.txt"), "not a snapshot").unwrap();
+        let cal = governor_from_dir(&dir).expect("fit succeeds");
+        assert_eq!(cal.heavy_weight, (HEAVY_HOST_MS / 1e-3) as u64);
+        // Peak vars (10 000 at weight 40 000) extrapolate to 60e6 vars at
+        // the threshold — above the 600k assumption, so the byte budget
+        // hits its 8 GiB clamp.
+        assert_eq!(cal.heavy_job_bytes, 8 << 30);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn process_wide_governor_is_always_usable() {
+        let cal = governor();
+        assert!(cal.heavy_weight >= HEAVY_WEIGHT / 10);
+        assert!(cal.heavy_job_bytes >= 1 << 30);
+    }
+}

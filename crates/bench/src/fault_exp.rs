@@ -27,16 +27,19 @@ use dm_diva::{Diva, DivaConfig, FaultPlan, Partitioned, RunReport, StrategyKind}
 use dm_engine::MachineConfig;
 use dm_mesh::{AnyTopology, NodeId, TreeShape};
 
-/// [`crate::make_diva_on`] plus an optional fault plan.
+/// [`crate::make_diva_on_tuned`] plus an optional fault plan.
 fn make_faulty_diva(
     topo: AnyTopology,
     strategy: StrategyKind,
     seed: u64,
     plan: Option<FaultPlan>,
+    tuning: crate::SimTuning,
 ) -> Diva {
     let mut cfg = DivaConfig::on(topo, strategy)
         .with_seed(seed)
-        .with_machine(MachineConfig::parsytec_gcel());
+        .with_machine(MachineConfig::parsytec_gcel())
+        .with_workers(tuning.workers)
+        .with_calibrated_delays(tuning.calibrated_delays);
     if let Some(plan) = plan {
         cfg = cfg.with_fault_plan(plan);
     }
@@ -254,10 +257,11 @@ fn uniform_job(
     scenario: String,
     plan: Option<FaultPlan>,
     params: UniformParams,
+    tuning: crate::SimTuning,
 ) -> Job<FaultRow> {
     let weight = (params.ops_per_proc * topo.nodes()) as u64;
     Job::new(weight, move || {
-        let diva = make_faulty_diva(topo.clone(), strategy, params.seed, plan);
+        let diva = make_faulty_diva(topo.clone(), strategy, params.seed, plan, tuning);
         let out = try_run_uniform_driven(diva, params);
         let outcome = match &out {
             Ok(o) => Ok(&o.report),
@@ -269,6 +273,7 @@ fn uniform_job(
 
 /// Describe one Barnes-Hut point as an executor job. Mega points trip the
 /// executor's memory governor exactly like the fig12 jobs.
+#[allow(clippy::too_many_arguments)]
 fn bh_job(
     topo: AnyTopology,
     strategy_name: String,
@@ -277,12 +282,13 @@ fn bh_job(
     plan: Option<FaultPlan>,
     params: BhParams,
     seed: u64,
+    tuning: crate::SimTuning,
 ) -> Job<FaultRow> {
     let weight = params.n_bodies as u64 * (params.timesteps as u64).max(1) * topo.nodes() as u64;
     let mem = params.n_bodies as u64 * topo.nodes() as u64;
     let job = Job::new(weight, move || {
         let bodies = plummer_bodies(seed ^ params.n_bodies as u64, params.n_bodies);
-        let diva = make_faulty_diva(topo.clone(), strategy, seed, plan);
+        let diva = make_faulty_diva(topo.clone(), strategy, seed, plan, tuning);
         let out = try_run_shared_driven(diva, params, &bodies);
         let outcome = match &out {
             Ok(o) => Ok(&o.report),
@@ -359,6 +365,7 @@ pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> Option<FaultSweep> {
                             scenario.clone(),
                             plan.clone(),
                             uniform_params,
+                            opts.tuning(),
                         ),
                         _ => bh_job(
                             topo.clone(),
@@ -368,6 +375,7 @@ pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> Option<FaultSweep> {
                             plan.clone(),
                             bh_params,
                             opts.seed,
+                            opts.tuning(),
                         ),
                     });
                 }
@@ -421,6 +429,7 @@ mod tests {
             "fail 1 node".into(),
             Some(plan),
             params,
+            crate::SimTuning::default(),
         )
         .call();
         assert_eq!(row.outcome, "ok");
@@ -445,6 +454,7 @@ mod tests {
             "fail all links".into(),
             Some(plan),
             params,
+            crate::SimTuning::default(),
         )
         .call();
         assert!(row.outcome.starts_with("partitioned@"), "{}", row.outcome);

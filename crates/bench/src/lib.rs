@@ -37,6 +37,7 @@
 
 pub mod bh_exp;
 pub mod bitonic_exp;
+pub mod calibration;
 pub mod executor;
 pub mod fault_exp;
 pub mod json;
@@ -127,6 +128,19 @@ pub struct HarnessOpts {
     /// result payload, in the shape the `trajectory` binary diffs across
     /// commits (simulated quantities exactly; `host_ms` informational).
     pub snapshot: Option<String>,
+    /// Worker threads *inside* each simulation (`--workers N`): the parallel
+    /// driven backend partitions the processors across N threads via the
+    /// decomposition tree. `None`/`1` takes the serial driven backend
+    /// untouched; every simulated quantity is bit-identical for every value
+    /// (the `parallel_parity` suite gates this). Composes with `--jobs`
+    /// under a shared thread budget — see [`HarnessOpts::jobs`].
+    pub workers: Option<usize>,
+    /// Apply the per-topology calibrated link-cost presets
+    /// (`--calibrated-delays`): slower torus wrap links, latency growing
+    /// with the bridged dimension on hypercubes, faster upper fat-tree
+    /// stages. Off by default; the default uniform costs are bit-identical
+    /// to the pre-preset behaviour.
+    pub calibrated_delays: bool,
 }
 
 impl Default for HarnessOpts {
@@ -143,6 +157,27 @@ impl Default for HarnessOpts {
             resume: false,
             shard: None,
             snapshot: None,
+            workers: None,
+            calibrated_delays: false,
+        }
+    }
+}
+
+/// Per-simulation tuning knobs, threaded from the harness flags into every
+/// DIVA instance an experiment constructs (see [`HarnessOpts::tuning`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimTuning {
+    /// Worker threads of the parallel driven backend (1 = serial backend).
+    pub workers: usize,
+    /// Apply the per-topology calibrated link-cost presets.
+    pub calibrated_delays: bool,
+}
+
+impl Default for SimTuning {
+    fn default() -> Self {
+        SimTuning {
+            workers: 1,
+            calibrated_delays: false,
         }
     }
 }
@@ -182,14 +217,35 @@ impl HarnessOpts {
         }
     }
 
-    /// The worker-thread count of the sweep executor: `--jobs N` if given,
-    /// the host's available parallelism otherwise.
+    /// The worker-thread count of the sweep executor: `--jobs N` if given.
+    /// Otherwise the host's available parallelism *divided by the per-sim
+    /// worker count*, so that intra-sim (`--workers`) and inter-sim
+    /// (`--jobs`) parallelism compose without oversubscribing the machine:
+    /// `--workers 4` on an 8-core host runs 2 simulations at a time, each
+    /// stepping programs on up to 4 threads. An explicit `--jobs` always
+    /// wins — the budget split is only the default.
     pub fn jobs(&self) -> usize {
         self.jobs.unwrap_or_else(|| {
-            std::thread::available_parallelism()
+            let cores = std::thread::available_parallelism()
                 .map(|n| n.get())
-                .unwrap_or(1)
+                .unwrap_or(1);
+            (cores / self.workers()).max(1)
         })
+    }
+
+    /// The per-simulation worker-thread count: `--workers N` if given, 1
+    /// (the serial driven backend) otherwise.
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or(1)
+    }
+
+    /// The per-simulation tuning knobs as one bundle, for threading through
+    /// an experiment's job-description functions.
+    pub fn tuning(&self) -> SimTuning {
+        SimTuning {
+            workers: self.workers(),
+            calibrated_delays: self.calibrated_delays,
+        }
     }
 
     /// Parse the options from command-line arguments (warns about unknown
@@ -241,6 +297,17 @@ impl HarnessOpts {
                         i += 1;
                     }
                 }
+                "--workers" => {
+                    let value = args.get(i + 1);
+                    match value.and_then(|s| s.parse::<usize>().ok()) {
+                        Some(w) if w > 0 => opts.workers = Some(w),
+                        _ => eprintln!("--workers needs a positive integer value; ignoring"),
+                    }
+                    if value.is_some_and(|v| !v.starts_with("--")) {
+                        i += 1;
+                    }
+                }
+                "--calibrated-delays" => opts.calibrated_delays = true,
                 flag if extra_flags.contains(&flag) => {
                     let idx = extra_flags.iter().position(|f| *f == flag).unwrap();
                     extra.seen[idx] = true;
@@ -280,7 +347,8 @@ impl HarnessOpts {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: <fig> [--smoke|--paper|--mega] [--json FILE] [--seed N] \
-                         [--jobs N] [--resume] [--shard I/N] [--snapshot FILE] \
+                         [--jobs N] [--workers N] [--calibrated-delays] [--resume] \
+                         [--shard I/N] [--snapshot FILE] \
                          [--no-reclaim] [--timesteps N]{}{}",
                         if extra_flags.is_empty() { "" } else { " " },
                         extra_flags
@@ -328,20 +396,46 @@ impl HarnessOpts {
     }
 }
 
-/// Construct a DIVA instance for a mesh experiment.
+/// Construct a DIVA instance for a mesh experiment (default tuning: serial
+/// driven backend, uniform link costs).
 pub fn make_diva(side_rows: usize, side_cols: usize, strategy: StrategyKind, seed: u64) -> Diva {
-    make_diva_on(
+    make_diva_tuned(side_rows, side_cols, strategy, seed, SimTuning::default())
+}
+
+/// [`make_diva`] with explicit per-simulation tuning knobs.
+pub fn make_diva_tuned(
+    side_rows: usize,
+    side_cols: usize,
+    strategy: StrategyKind,
+    seed: u64,
+    tuning: SimTuning,
+) -> Diva {
+    make_diva_on_tuned(
         AnyTopology::Mesh(Mesh::new(side_rows, side_cols)),
         strategy,
         seed,
+        tuning,
     )
 }
 
-/// Construct a DIVA instance for an experiment on an arbitrary topology.
+/// Construct a DIVA instance for an experiment on an arbitrary topology
+/// (default tuning).
 pub fn make_diva_on(topology: AnyTopology, strategy: StrategyKind, seed: u64) -> Diva {
+    make_diva_on_tuned(topology, strategy, seed, SimTuning::default())
+}
+
+/// [`make_diva_on`] with explicit per-simulation tuning knobs.
+pub fn make_diva_on_tuned(
+    topology: AnyTopology,
+    strategy: StrategyKind,
+    seed: u64,
+    tuning: SimTuning,
+) -> Diva {
     let cfg = DivaConfig::on(topology, strategy)
         .with_seed(seed)
-        .with_machine(MachineConfig::parsytec_gcel());
+        .with_machine(MachineConfig::parsytec_gcel())
+        .with_workers(tuning.workers)
+        .with_calibrated_delays(tuning.calibrated_delays);
     Diva::new(cfg)
 }
 
@@ -401,5 +495,36 @@ mod tests {
         let d = make_diva(4, 4, StrategyKind::FixedHome, 1);
         assert_eq!(d.num_procs(), 16);
         assert_eq!(d.config().strategy, StrategyKind::FixedHome);
+        assert_eq!(d.config().workers, 1);
+        assert!(!d.config().calibrated_delays);
+    }
+
+    #[test]
+    fn tuning_knobs_reach_the_diva_config() {
+        let tuning = SimTuning {
+            workers: 4,
+            calibrated_delays: true,
+        };
+        let d = make_diva_tuned(4, 4, StrategyKind::FixedHome, 1, tuning);
+        assert_eq!(d.config().workers, 4);
+        assert!(d.config().calibrated_delays);
+    }
+
+    #[test]
+    fn jobs_budget_respects_the_per_sim_worker_count() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut opts = HarnessOpts::default();
+        assert_eq!(opts.workers(), 1);
+        assert_eq!(opts.jobs(), cores);
+        // Splitting the budget: workers eat into the default job count, but
+        // never below one sweep worker.
+        opts.workers = Some(4);
+        assert_eq!(opts.workers(), 4);
+        assert_eq!(opts.jobs(), (cores / 4).max(1));
+        // An explicit --jobs always wins over the split.
+        opts.jobs = Some(7);
+        assert_eq!(opts.jobs(), 7);
     }
 }

@@ -290,8 +290,14 @@ impl<F: Frontend> Coordinator<F> {
             //    runnable processor.
             self.frontend.gather(&mut batch);
             if !batch.is_empty() {
-                // Deterministic handling order: by issue time, then processor id.
-                batch.sort_by_key(|r| (self.issue_time(r), r.req.proc()));
+                // Deterministic handling order: by issue time, then processor
+                // id — a total order (each processor contributes at most one
+                // request per round), so any gather order produces the same
+                // handling sequence. Steady-state rounds are singletons;
+                // skip the sort machinery for those.
+                if batch.len() > 1 {
+                    batch.sort_by_key(|r| (self.issue_time(r), r.req.proc()));
+                }
                 for r in batch.drain(..) {
                     self.handle_request(r);
                 }

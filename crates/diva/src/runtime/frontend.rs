@@ -82,8 +82,8 @@ impl Frontend for ThreadedFrontend {
     }
 }
 
-/// Per-processor state of the driven frontend.
-struct Slot {
+/// Per-processor state of the driven frontends (serial and parallel).
+pub(super) struct Slot {
     /// Result of the last completed `Read` / `Recv`, until the program takes it.
     value: Option<Value>,
     /// Result of the last completed `Alloc`.
@@ -94,6 +94,121 @@ struct Slot {
     pending_overhead_ns: u64,
     /// Fast-path read hits since the last blocking op.
     pending_hits: u64,
+}
+
+impl Slot {
+    pub(super) fn new() -> Self {
+        Slot {
+            value: None,
+            handle: None,
+            pending_compute_ns: 0,
+            pending_overhead_ns: 0,
+            pending_hits: 0,
+        }
+    }
+
+    /// Absorb a coordinator response into the slot (the processor becomes
+    /// runnable; its next step sees the stored payload).
+    pub(super) fn absorb(&mut self, resp: Response) {
+        match resp {
+            Response::Value(v) => self.value = Some(v),
+            Response::Handle(h) => self.handle = Some(h),
+            Response::Done => {}
+        }
+    }
+}
+
+/// Step one program until it yields a blocking operation (fast-path reads
+/// and `Compute` are absorbed inline) and convert it into a request.
+///
+/// This is the single stepping routine of both driven frontends. It touches
+/// only the processor's own program and slot plus *read-only* shared state
+/// (the coordinator is quiescent while a round is gathered), which is what
+/// makes a round's requests safe to produce on worker threads in any order:
+/// the resulting `TimedRequest`s are identical however the round is
+/// scheduled, and the coordinator's `(issue time, processor id)` sort fixes
+/// the handling order afterwards.
+pub(super) fn step_to_request<P: ProcProgram>(
+    program: &mut P,
+    slot: &mut Slot,
+    proc: usize,
+    nprocs: usize,
+    mesh_dims: (usize, usize),
+    machine: &MachineConfig,
+    shared: &SharedState,
+) -> TimedRequest {
+    let req = loop {
+        let mut ctx = StepCtx {
+            proc,
+            nprocs,
+            mesh_dims,
+            machine,
+            value: &mut slot.value,
+            handle: &mut slot.handle,
+            pending_compute_ns: &mut slot.pending_compute_ns,
+        };
+        match program.step(&mut ctx) {
+            Op::Compute { ns } => slot.pending_compute_ns += ns,
+            Op::Read(var) => {
+                if shared.fast_path && shared.has_copy(proc, var) {
+                    // Same fast path as ProcCtx::read_value: a local hit
+                    // costs only library overhead, charged to the next
+                    // blocking operation.
+                    slot.pending_overhead_ns += shared.local_access_ns;
+                    slot.pending_hits += 1;
+                    slot.value = Some(shared.value(var));
+                    continue;
+                }
+                break Request::Access {
+                    proc,
+                    var,
+                    kind: AccessKind::Read,
+                    value: None,
+                };
+            }
+            Op::Write(var, value) => {
+                break Request::Access {
+                    proc,
+                    var,
+                    kind: AccessKind::Write,
+                    value: Some(value),
+                }
+            }
+            Op::Alloc { bytes, value } => break Request::Alloc { proc, bytes, value },
+            Op::Lock(var) => break Request::Lock { proc, var },
+            Op::Unlock(var) => break Request::Unlock { proc, var },
+            Op::Free(var) => break Request::Free { proc, var },
+            Op::EndEpoch => break Request::EndEpoch { proc },
+            Op::Barrier => break Request::Barrier { proc },
+            Op::Region(name) => break Request::Region { proc, name },
+            Op::Send {
+                to,
+                bytes,
+                tag,
+                value,
+            } => {
+                assert!(to < nprocs, "send to non-existent processor {to}");
+                break Request::Send {
+                    proc,
+                    to,
+                    bytes,
+                    tag,
+                    value,
+                };
+            }
+            Op::Recv { from, tag } => {
+                assert!(from < nprocs, "receive from non-existent processor {from}");
+                break Request::Recv { proc, from, tag };
+            }
+            Op::Done => break Request::Finish { proc },
+        }
+    };
+    TimedRequest {
+        req,
+        compute_ns: std::mem::take(&mut slot.pending_compute_ns),
+        overhead_ns: std::mem::take(&mut slot.pending_overhead_ns),
+        hits: std::mem::take(&mut slot.pending_hits),
+    }
 }
 
 /// The event-driven frontend: [`ProcProgram`] state machines stepped inline.
@@ -118,15 +233,7 @@ impl<P: ProcProgram> DrivenFrontend<P> {
         let nprocs = programs.len();
         DrivenFrontend {
             programs,
-            slots: (0..nprocs)
-                .map(|_| Slot {
-                    value: None,
-                    handle: None,
-                    pending_compute_ns: 0,
-                    pending_overhead_ns: 0,
-                    pending_hits: 0,
-                })
-                .collect(),
+            slots: (0..nprocs).map(|_| Slot::new()).collect(),
             runnable: (0..nprocs).collect(),
             shared,
             machine,
@@ -138,102 +245,27 @@ impl<P: ProcProgram> DrivenFrontend<P> {
     pub(crate) fn into_programs(self) -> Vec<P> {
         self.programs
     }
-
-    /// Step `proc` until it yields a blocking operation (fast-path reads and
-    /// `Compute` are absorbed inline) and convert it into a request.
-    fn next_request(&mut self, proc: usize) -> TimedRequest {
-        let nprocs = self.programs.len();
-        let slot = &mut self.slots[proc];
-        let req = loop {
-            let mut ctx = StepCtx {
-                proc,
-                nprocs,
-                mesh_dims: self.mesh_dims,
-                machine: &self.machine,
-                value: &mut slot.value,
-                handle: &mut slot.handle,
-                pending_compute_ns: &mut slot.pending_compute_ns,
-            };
-            match self.programs[proc].step(&mut ctx) {
-                Op::Compute { ns } => slot.pending_compute_ns += ns,
-                Op::Read(var) => {
-                    if self.shared.fast_path && self.shared.has_copy(proc, var) {
-                        // Same fast path as ProcCtx::read_value: a local hit
-                        // costs only library overhead, charged to the next
-                        // blocking operation.
-                        slot.pending_overhead_ns += self.shared.local_access_ns;
-                        slot.pending_hits += 1;
-                        slot.value = Some(self.shared.value(var));
-                        continue;
-                    }
-                    break Request::Access {
-                        proc,
-                        var,
-                        kind: AccessKind::Read,
-                        value: None,
-                    };
-                }
-                Op::Write(var, value) => {
-                    break Request::Access {
-                        proc,
-                        var,
-                        kind: AccessKind::Write,
-                        value: Some(value),
-                    }
-                }
-                Op::Alloc { bytes, value } => break Request::Alloc { proc, bytes, value },
-                Op::Lock(var) => break Request::Lock { proc, var },
-                Op::Unlock(var) => break Request::Unlock { proc, var },
-                Op::Free(var) => break Request::Free { proc, var },
-                Op::EndEpoch => break Request::EndEpoch { proc },
-                Op::Barrier => break Request::Barrier { proc },
-                Op::Region(name) => break Request::Region { proc, name },
-                Op::Send {
-                    to,
-                    bytes,
-                    tag,
-                    value,
-                } => {
-                    assert!(to < nprocs, "send to non-existent processor {to}");
-                    break Request::Send {
-                        proc,
-                        to,
-                        bytes,
-                        tag,
-                        value,
-                    };
-                }
-                Op::Recv { from, tag } => {
-                    assert!(from < nprocs, "receive from non-existent processor {from}");
-                    break Request::Recv { proc, from, tag };
-                }
-                Op::Done => break Request::Finish { proc },
-            }
-        };
-        TimedRequest {
-            req,
-            compute_ns: std::mem::take(&mut slot.pending_compute_ns),
-            overhead_ns: std::mem::take(&mut slot.pending_overhead_ns),
-            hits: std::mem::take(&mut slot.pending_hits),
-        }
-    }
 }
 
 impl<P: ProcProgram> Frontend for DrivenFrontend<P> {
     fn gather(&mut self, batch: &mut Vec<TimedRequest>) {
+        let nprocs = self.programs.len();
         while let Some(proc) = self.runnable.pop() {
-            let req = self.next_request(proc);
+            let req = step_to_request(
+                &mut self.programs[proc],
+                &mut self.slots[proc],
+                proc,
+                nprocs,
+                self.mesh_dims,
+                &self.machine,
+                &self.shared,
+            );
             batch.push(req);
         }
     }
 
     fn respond(&mut self, proc: usize, resp: Response) {
-        let slot = &mut self.slots[proc];
-        match resp {
-            Response::Value(v) => slot.value = Some(v),
-            Response::Handle(h) => slot.handle = Some(h),
-            Response::Done => {}
-        }
+        self.slots[proc].absorb(resp);
         self.runnable.push(proc);
     }
 }

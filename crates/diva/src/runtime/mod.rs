@@ -3,6 +3,7 @@
 
 mod coordinator;
 mod frontend;
+mod parallel;
 mod proc_ctx;
 mod program;
 mod shared;
@@ -21,7 +22,8 @@ use crate::var::{Value, VarHandle, VarRegistry};
 use coordinator::Coordinator;
 use dm_engine::{MachineConfig, SimTime};
 use dm_mesh::{AnyTopology, Mesh, NodeId, TreeShape};
-use frontend::{DrivenFrontend, ThreadedFrontend};
+use frontend::{DrivenFrontend, Frontend, ThreadedFrontend};
+use parallel::ParallelFrontend;
 use shared::SharedState;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -76,6 +78,19 @@ pub struct DivaConfig {
     /// (the default) is guaranteed bit-identical to a build without the fault
     /// subsystem — the fault-free goldens gate this.
     pub fault_plan: Option<FaultPlan>,
+    /// Number of worker threads the driven backend uses to step programs
+    /// within a request round (see `runtime::parallel`). `1` (the default)
+    /// takes the serial [`Diva::run_driven`] code path unchanged; any value
+    /// produces bit-identical [`RunReport`]s — the `parallel_parity` tests
+    /// in `dm-apps` gate this. Parallelism never changes a simulated
+    /// quantity, only host wall-clock.
+    pub workers: usize,
+    /// Apply per-topology calibrated link-cost presets (longer torus wrap
+    /// links, faster upper fat-tree stages, dimension-scaled hypercube
+    /// wires) on top of the uniform machine constants — see
+    /// [`dm_engine::LinkNetwork::apply_calibrated_costs`]. Off by default;
+    /// the default is bit-identical to builds without the feature.
+    pub calibrated_delays: bool,
 }
 
 impl DivaConfig {
@@ -99,6 +114,8 @@ impl DivaConfig {
             barrier_shape: TreeShape::quad(),
             trace_queue: false,
             fault_plan: None,
+            workers: 1,
+            calibrated_delays: false,
         }
     }
 
@@ -133,6 +150,20 @@ impl DivaConfig {
     /// Attach a deterministic failure schedule (see [`crate::fault`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Set the number of driven-backend worker threads (see
+    /// [`DivaConfig::workers`]). `0` is normalised to `1`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enable per-topology calibrated link delays (see
+    /// [`DivaConfig::calibrated_delays`]).
+    pub fn with_calibrated_delays(mut self, on: bool) -> Self {
+        self.calibrated_delays = on;
         self
     }
 }
@@ -395,6 +426,9 @@ impl Diva {
         if cfg.trace_queue {
             coordinator.env.events.record_trace();
         }
+        if cfg.calibrated_delays {
+            coordinator.env.network.apply_calibrated_costs();
+        }
 
         let program = &program;
         std::thread::scope(move |scope| {
@@ -468,8 +502,52 @@ impl Diva {
             "run_driven needs exactly one program per processor"
         );
         let shared = Self::setup_shared(&cfg, &registry, values);
-        let barrier = TreeBarrier::new_on(&cfg.topology, cfg.barrier_shape);
         let mesh_dims = cfg.program_dims();
+        if cfg.workers > 1 {
+            // Worker count is capped at the processor count: partitions are
+            // non-empty by construction, so extra workers would only idle.
+            let regions = dm_mesh::partition_regions(&cfg.topology, cfg.workers.min(nprocs));
+            let frontend = ParallelFrontend::new(
+                programs,
+                Arc::clone(&shared),
+                cfg.machine,
+                mesh_dims,
+                &regions,
+            );
+            Self::drive(
+                cfg,
+                registry,
+                policy,
+                shared,
+                frontend,
+                ParallelFrontend::into_programs,
+            )
+        } else {
+            let frontend =
+                DrivenFrontend::new(programs, Arc::clone(&shared), cfg.machine, mesh_dims);
+            Self::drive(
+                cfg,
+                registry,
+                policy,
+                shared,
+                frontend,
+                DrivenFrontend::into_programs,
+            )
+        }
+    }
+
+    /// Build the coordinator around a driven frontend, run it to completion
+    /// and package the outcome. `extract` recovers the final program states
+    /// from the frontend.
+    fn drive<P: ProcProgram, F: Frontend>(
+        cfg: DivaConfig,
+        registry: VarRegistry,
+        policy: Box<dyn Policy>,
+        shared: Arc<SharedState>,
+        frontend: F,
+        extract: fn(F) -> Vec<P>,
+    ) -> RunOutcome<P> {
+        let barrier = TreeBarrier::new_on(&cfg.topology, cfg.barrier_shape);
         let faults = cfg
             .fault_plan
             .as_ref()
@@ -481,12 +559,15 @@ impl Diva {
             barrier,
             policy,
             registry,
-            Arc::clone(&shared),
-            DrivenFrontend::new(programs, shared, cfg.machine, mesh_dims),
+            shared,
+            frontend,
             faults,
         );
         if cfg.trace_queue {
             coordinator.env.events.record_trace();
+        }
+        if cfg.calibrated_delays {
+            coordinator.env.network.apply_calibrated_costs();
         }
         let (report, frontend, queue_trace, partitioned) = coordinator.run();
         if let Some((at, unreachable)) = partitioned {
@@ -498,7 +579,7 @@ impl Diva {
         }
         RunOutcome::Completed(RunDone {
             report,
-            results: frontend.into_programs(),
+            results: extract(frontend),
             queue_trace,
         })
     }

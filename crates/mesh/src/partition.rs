@@ -1,0 +1,125 @@
+//! Worker-partition assignment for the parallel driven backend.
+//!
+//! The parallel frontend partitions the processor set across worker threads.
+//! Partitions come from the same recursive bisection that builds the
+//! [`crate::DecompositionTree`] ([`crate::Topology::split_region`]), so a
+//! partition is a decomposition subtree region: geometrically compact, with
+//! the topology's low-bandwidth cuts as its boundary. The assignment is a
+//! pure function of `(topology, parts)` — no randomness, no dependence on
+//! thread scheduling — so every run with the same configuration partitions
+//! identically.
+
+use crate::ids::NodeId;
+use crate::topology::AnyTopology;
+
+/// Split the full processor set of `topo` into at most `parts` disjoint
+/// regions covering every node.
+///
+/// Greedy recursive bisection: repeatedly split the largest remaining region
+/// (ties broken by the smallest contained node id) until `parts` regions
+/// exist or no region can be split further (a region of one processor is
+/// never split; [`crate::Topology::split_region`] may also decline). The
+/// result therefore has between 1 and `parts` regions, each non-empty, and
+/// their union is exactly `0..topo.nodes()`.
+///
+/// `parts == 0` is treated as 1.
+pub fn partition_regions(topo: &AnyTopology, parts: usize) -> Vec<Vec<NodeId>> {
+    let parts = parts.max(1);
+    let full: Vec<NodeId> = (0..topo.nodes() as u32).map(NodeId).collect();
+    let mut regions = vec![full];
+    while regions.len() < parts {
+        // Largest region first; ties by smallest first node id so the order
+        // of equal-sized siblings is stable.
+        let candidate = regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.len() > 1)
+            .max_by_key(|(_, r)| {
+                let first = r.iter().map(|n| n.index()).min().unwrap_or(usize::MAX);
+                (r.len(), std::cmp::Reverse(first))
+            })
+            .map(|(i, _)| i);
+        let Some(i) = candidate else { break };
+        let region = regions.swap_remove(i);
+        match topo.split_region(&region) {
+            Some((a, b)) => {
+                regions.push(a);
+                regions.push(b);
+            }
+            None => {
+                // Unsplittable: put it back and stop — every other region is
+                // no larger, so none of them splits either.
+                regions.push(region);
+                break;
+            }
+        }
+    }
+    // Canonical order: by smallest node id, so partition indices are stable
+    // across runs and the serial fallback enumerates processors in a
+    // predictable sweep.
+    regions.sort_by_key(|r| r.iter().map(|n| n.index()).min().unwrap_or(usize::MAX));
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh;
+    use crate::topology::{FatTree, Hypercube, Torus};
+
+    fn all_topos() -> Vec<AnyTopology> {
+        vec![
+            AnyTopology::Mesh(Mesh::new(4, 8)),
+            AnyTopology::Torus(Torus::new(4, 4)),
+            AnyTopology::Hypercube(Hypercube::new(4)),
+            AnyTopology::FatTree(FatTree::new(16)),
+        ]
+    }
+
+    #[test]
+    fn partitions_cover_all_nodes_exactly_once() {
+        for topo in all_topos() {
+            for parts in 1..=8 {
+                let regions = partition_regions(&topo, parts);
+                assert!(!regions.is_empty() && regions.len() <= parts.max(1));
+                let mut seen = vec![false; topo.nodes()];
+                for r in &regions {
+                    assert!(!r.is_empty(), "{}: empty partition", topo.name());
+                    for n in r {
+                        assert!(!seen[n.index()], "{}: node {n} twice", topo.name());
+                        seen[n.index()] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "{}: node uncovered", topo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_is_deterministic() {
+        for topo in all_topos() {
+            let a = partition_regions(&topo, 4);
+            let b = partition_regions(&topo, 4);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn degenerate_part_counts() {
+        let topo = AnyTopology::Mesh(Mesh::new(2, 2));
+        assert_eq!(partition_regions(&topo, 0).len(), 1);
+        assert_eq!(partition_regions(&topo, 1).len(), 1);
+        // More parts than processors: capped at one processor per partition.
+        let regions = partition_regions(&topo, 64);
+        assert_eq!(regions.len(), 4);
+        assert!(regions.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn balanced_on_power_of_two_grids() {
+        let topo = AnyTopology::Mesh(Mesh::new(8, 8));
+        let regions = partition_regions(&topo, 4);
+        assert_eq!(regions.len(), 4);
+        assert!(regions.iter().all(|r| r.len() == 16));
+    }
+}

@@ -109,6 +109,10 @@ pub trait Topology: std::fmt::Debug + Send + Sync {
     ) -> Option<Vec<LinkId>>;
 }
 
+/// Out-link enumerator of one node: called with a visitor that receives
+/// each `(link, neighbor)` pair in a fixed deterministic order.
+type EdgeEnumerator<'a> = &'a dyn Fn(NodeId, &mut dyn FnMut(LinkId, NodeId));
+
 /// Shortest alive path by breadth-first search, shared by the direct
 /// topologies. `edges` enumerates the out-links of one node in a fixed
 /// deterministic order; together with the FIFO frontier that makes the
@@ -118,7 +122,7 @@ fn bfs_route(
     from: NodeId,
     to: NodeId,
     dead: &dyn Fn(LinkId) -> bool,
-    edges: &dyn Fn(NodeId, &mut dyn FnMut(LinkId, NodeId)),
+    edges: EdgeEnumerator<'_>,
 ) -> Option<Vec<LinkId>> {
     if from == to {
         return Some(Vec::new());
@@ -723,6 +727,19 @@ impl FatTree {
             f(LinkId(
                 self.up_base[v] + self.mult[v] + Self::channel(from, to, self.mult[v]),
             ));
+        }
+    }
+
+    /// Visit every channel group of the tree: for each non-root vertex, the
+    /// contiguous block of directed links of its parent edge (up-channels
+    /// followed by down-channels), together with the vertex's depth (root =
+    /// 0, leaves = [`FatTree::levels`]). Used by the calibrated link-cost
+    /// presets in `dm-engine`, which scale whole stages of the tree.
+    pub fn for_each_channel_group<F: FnMut(u32, LinkId, u32)>(&self, mut f: F) {
+        let size = 2 * self.leaves;
+        for v in 2..size {
+            let depth = (v as u32).ilog2();
+            f(depth, LinkId(self.up_base[v]), 2 * self.mult[v]);
         }
     }
 }
