@@ -203,6 +203,10 @@ pub struct BhOutcome {
     /// `dm-bench`, which replays a recorded Barnes-Hut trace against
     /// alternative queue implementations).
     pub queue_trace: Vec<dm_diva::QueueOp>,
+    /// Processors lost to node failures (empty unless the fault plan failed
+    /// nodes before their programs finished); the run is degraded, and the
+    /// bodies owned by lost processors keep their last committed state.
+    pub procs_lost: Vec<usize>,
 }
 
 /// The acceleration exerted on a body at `pos` by a point mass at `src`.
@@ -487,6 +491,7 @@ pub fn run_shared_prototype(mut diva: Diva, params: BhParams, bodies: &[Body]) -
         bodies: final_bodies,
         interactions,
         queue_trace: outcome.queue_trace,
+        procs_lost: Vec::new(),
     }
 }
 
@@ -1710,13 +1715,20 @@ pub fn try_run_shared_driven(
         })
         .collect();
 
-    let outcome = match diva.run_driven(programs) {
-        dm_diva::RunOutcome::Completed(done) => done,
+    let (report, results, queue_trace, procs_lost) = match diva.run_driven(programs) {
+        dm_diva::RunOutcome::Completed(done) => {
+            let results = done.results.into_iter().map(Some).collect::<Vec<_>>();
+            (done.report, results, done.queue_trace, Vec::new())
+        }
+        dm_diva::RunOutcome::Degraded(d) => {
+            let lost = d.lost_procs.iter().map(|n| n.index()).collect();
+            (d.report, d.results, Vec::new(), lost)
+        }
         dm_diva::RunOutcome::Partitioned(p) => return Err(p),
     };
     let mut final_bodies = bodies.to_vec();
     let mut interactions = 0u64;
-    for prog in outcome.results {
+    for prog in results.into_iter().flatten() {
         interactions += prog.interactions_total;
         for (handle, body) in prog.final_bodies {
             let idx = handle_to_index[&handle];
@@ -1724,10 +1736,11 @@ pub fn try_run_shared_driven(
         }
     }
     Ok(BhOutcome {
-        report: outcome.report,
+        report,
         bodies: final_bodies,
         interactions,
-        queue_trace: outcome.queue_trace,
+        queue_trace,
+        procs_lost,
     })
 }
 

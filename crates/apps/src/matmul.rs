@@ -743,20 +743,20 @@ mod tests {
 
     #[test]
     fn driven_and_threaded_shared_runs_agree_under_an_active_fault_plan() {
-        // A seeded plan that degrades links and kills directory roles
-        // mid-run (without disconnecting the mesh) must leave the two
-        // backends bit-identical: fault application is an event like any
-        // other.
+        // A seeded plan that degrades links mid-run — permanently and
+        // through a transient window that heals — must leave the two
+        // backends bit-identical: fault and recovery application are events
+        // like any other. (Node-failure plans fail-stop programs and are
+        // parity-gated separately; here every program completes, so the
+        // numeric result must still be exact.)
         use dm_diva::FaultPlan;
-        use dm_mesh::NodeId;
         for strategy in [
             StrategyKind::AccessTree(TreeShape::quad()),
             StrategyKind::FixedHome,
         ] {
             let plan = FaultPlan::new(0xFA01)
                 .degrade_links(0.2, 0.5, 200_000)
-                .fail_node(NodeId(6), 600_000)
-                .fail_random_nodes(2, 1_000_000);
+                .degrade_links_for(0.3, 0.25, 600_000, 400_000);
             let mk =
                 |s| Diva::new(DivaConfig::new(Mesh::square(4), s).with_fault_plan(plan.clone()));
             let params = MatmulParams::new(64);
@@ -764,12 +764,13 @@ mod tests {
             let driven = run_shared_driven(mk(strategy), params);
             assert_eq!(threaded.blocks, driven.blocks, "{strategy:?}");
             assert_eq!(threaded.report, driven.report, "{strategy:?}");
-            // The result is still correct despite the re-homing.
+            // The result is still correct despite the turbulence.
             let side = params.block_side();
             let expected = reference_square(&initial_blocks(4, side), 4, side);
             assert_eq!(driven.blocks, expected, "{strategy:?}");
-            assert_eq!(driven.report.faults.nodes_failed, 3, "{strategy:?}");
             assert!(driven.report.faults.links_degraded > 0, "{strategy:?}");
+            assert!(driven.report.faults.links_healed > 0, "{strategy:?}");
+            assert_eq!(driven.report.faults.nodes_failed, 0, "{strategy:?}");
         }
     }
 

@@ -50,8 +50,12 @@ pub struct UniformOutcome {
     /// Timing, congestion and protocol statistics.
     pub report: RunReport,
     /// Order-independent fold over every value read — equal across repeated
-    /// runs of the same configuration (determinism check).
+    /// runs of the same configuration (determinism check). In a degraded
+    /// run this is the *partial* checksum over surviving processors.
     pub checksum: u64,
+    /// Processors lost to node failures (empty unless the fault plan failed
+    /// nodes before their programs finished); the run is degraded.
+    pub procs_lost: Vec<usize>,
 }
 
 /// Execution state of a [`UniformProgram`].
@@ -142,7 +146,10 @@ pub fn run_uniform_driven(diva: Diva, params: UniformParams) -> UniformOutcome {
 /// Like [`run_uniform_driven`], but a fault plan that disconnects the
 /// network yields `Err` (with the partial report) instead of panicking —
 /// the graceful-degradation sweep (`fig13`) reports such points as
-/// partitioned rows.
+/// partitioned rows. A plan that fails nodes degrades the run instead:
+/// `Ok` with [`UniformOutcome::procs_lost`] set and the checksum folded
+/// over the surviving processors only (lost processors contribute an empty
+/// slot, deterministically in every backend).
 // The Err carries the partial report by value; these run once per
 // simulation, so the lint's by-value-return cost is irrelevant here.
 #[allow(clippy::result_large_err)]
@@ -169,17 +176,27 @@ pub fn try_run_uniform_driven(
     let programs: Vec<UniformProgram> = (0..nprocs)
         .map(|p| UniformProgram::new(p, &params, Arc::clone(&vars)))
         .collect();
-    let outcome = match diva.run_driven(programs) {
-        RunOutcome::Completed(done) => done,
+    let (report, results, procs_lost) = match diva.run_driven(programs) {
+        RunOutcome::Completed(done) => {
+            let results = done.results.into_iter().map(Some).collect::<Vec<_>>();
+            (done.report, results, Vec::new())
+        }
+        RunOutcome::Degraded(d) => {
+            let lost = d.lost_procs.iter().map(|n| n.index()).collect();
+            (d.report, d.results, lost)
+        }
         RunOutcome::Partitioned(p) => return Err(p),
     };
-    let checksum = outcome
-        .results
-        .iter()
-        .fold(0u64, |acc, p| acc.rotate_left(13) ^ p.checksum);
+    // Lost processors contribute an empty slot so the partial checksum
+    // stays position-dependent (and bit-identical across backends).
+    let checksum = results.iter().fold(0u64, |acc, p| match p {
+        Some(p) => acc.rotate_left(13) ^ p.checksum,
+        None => acc.rotate_left(13),
+    });
     Ok(UniformOutcome {
-        report: outcome.report,
+        report,
         checksum,
+        procs_lost,
     })
 }
 

@@ -2,12 +2,17 @@
 //!
 //! Each (topology, strategy, workload) group runs a fixed scenario ladder —
 //! intact, 20% of links degraded to quarter bandwidth, 10%/20% of links
-//! failed, one node failed, four nodes failed — under a seeded
-//! [`dm_diva::FaultPlan`], and every faulted row reports its congestion and
-//! completion-time deltas against the intact baseline of its own group.
-//! Scenarios that disconnect the network render as `partitioned@<node>`
-//! instead of aborting the sweep: a clean partition diagnosis is part of
-//! the robustness contract being measured.
+//! failed, a transient 1 ms link flap, one node failed and restored, four
+//! nodes failed — under a seeded [`dm_diva::FaultPlan`], and every faulted
+//! row reports its congestion and completion-time deltas against the intact
+//! baseline of its own group. `--strike-at 0,25,50,75` repeats every
+//! faulted rung at each strike time, expressed as a percent of the group's
+//! intact run length (mid-run strikes hit warmed-up routes and directory
+//! state). Scenarios that disconnect the network render as
+//! `partitioned@<node>` instead of aborting the sweep, and node failures
+//! render as `degraded@<n>` with the survivors' measurements: clean
+//! degradation diagnoses are part of the robustness contract being
+//! measured.
 
 use dm_bench::fault_exp::graceful_degradation_sweep;
 use dm_bench::table::{secs, Table};
@@ -33,6 +38,7 @@ fn main() {
         "workload",
         "strategy",
         "scenario",
+        "strike",
         "outcome",
         "congestion[msgs]",
         "Δcongestion",
@@ -41,23 +47,37 @@ fn main() {
         "rehomed[B]",
     ]);
     for r in &sweep.rows {
-        let faulted_ok = r.scenario != "intact" && r.outcome == "ok";
+        let faulted = r.scenario != "intact";
+        let comparable = faulted && !r.outcome.starts_with("partitioned");
         table.row(vec![
             r.topology.clone(),
             r.workload.clone(),
             r.strategy.clone(),
             r.scenario.clone(),
+            if faulted {
+                format!("{}%", r.strike_pct)
+            } else {
+                "—".to_string()
+            },
             r.outcome.clone(),
             r.congestion_msgs.to_string(),
-            pct(r.congestion_delta_pct, faulted_ok),
+            pct(r.congestion_delta_pct, comparable),
             secs(r.exec_time_ns),
-            pct(r.time_delta_pct, faulted_ok),
+            pct(r.time_delta_pct, comparable),
             r.rehome_bytes.to_string(),
         ]);
     }
+    let strikes = sweep
+        .meta
+        .strikes
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
     println!(
-        "Figure 13 — graceful degradation under faults at {} nodes ({} scale, {} scenarios)",
-        sweep.meta.nodes, sweep.meta.scale, sweep.meta.scenarios
+        "Figure 13 — graceful degradation under faults at {} nodes ({} scale, {} scenarios, \
+         strikes at {}% of the intact run)",
+        sweep.meta.nodes, sweep.meta.scale, sweep.meta.scenarios, strikes
     );
     println!("{}", table.render());
     opts.write_json(&sweep);

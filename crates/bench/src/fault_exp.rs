@@ -4,14 +4,25 @@
 //! network; this sweep asks how each strategy's congestion and completion
 //! time decay when the network is not. Every (topology, strategy, workload)
 //! group runs a fixed scenario ladder — intact, degraded links, failed
-//! links, failed nodes — under a seeded [`FaultPlan`], and each faulted row
-//! reports its deltas against the intact baseline of its own group, in the
-//! degradation-metric style of the replication-in-data-grids literature.
+//! links, a transient link flap, failed nodes — under a seeded
+//! [`FaultPlan`], and each faulted row reports its deltas against the
+//! intact baseline of its own group, in the degradation-metric style of the
+//! replication-in-data-grids literature.
+//!
+//! Faults need not strike at t=0: `--strike-at 0,25,50,75` runs every
+//! faulted scenario once per strike time, expressed as a percent of the
+//! group's *intact* run length. A non-zero strike makes the job run an
+//! intact calibration copy first (jobs stay pure, so `--resume`/`--shard`
+//! keep working) and the fault lands mid-run, after routes and directory
+//! state have warmed up.
 //!
 //! Scenarios that disconnect the network (random link loss can sever a fat
 //! tree's leaf uplinks) are *reported*, not failed: the row renders as
 //! `partitioned@<node>` with the partial measurements, because a clean
 //! partition diagnosis is exactly the graceful behaviour being tested.
+//! Scenarios that fail nodes fail-stop the resident programs and render as
+//! `degraded@<n>` (n programs lost); the survivors complete, so such rows
+//! keep their deltas — partial completion cost *is* the degradation metric.
 //!
 //! Every point is an independent executor [`Job`], so `--jobs N`
 //! parallelises the sweep with byte-identical tables and JSON for every `N`
@@ -46,7 +57,8 @@ fn make_faulty_diva(
     Diva::new(cfg)
 }
 
-/// Measurements of one (topology, strategy, workload, scenario) point.
+/// Measurements of one (topology, strategy, workload, scenario, strike)
+/// point.
 #[derive(Debug, Clone)]
 pub struct FaultRow {
     /// Topology name (`mesh 4x4`, `torus 4x4`, `hypercube-4`, `fat-tree-16`).
@@ -57,8 +69,13 @@ pub struct FaultRow {
     pub strategy: String,
     /// Failure scenario name (`intact`, `fail 10% links`, ...).
     pub scenario: String,
-    /// `ok`, or `partitioned@<node>` when the scenario disconnected the
-    /// network (partial measurements up to the partition).
+    /// Strike time of the scenario's faults as a percent of the group's
+    /// intact run length (0 = at t=0; always 0 for the intact baseline).
+    pub strike_pct: u64,
+    /// `ok`; `degraded@<n>` when node failures fail-stopped `n` resident
+    /// programs (survivors completed); or `partitioned@<node>` when the
+    /// scenario disconnected the network (partial measurements up to the
+    /// partition).
     pub outcome: String,
     /// Congestion in messages over the measured part of the run.
     pub congestion_msgs: u64,
@@ -70,12 +87,20 @@ pub struct FaultRow {
     pub links_degraded: u64,
     /// Links failed by the scenario.
     pub links_failed: u64,
+    /// Links healed back to their pristine cost by the scenario.
+    pub links_healed: u64,
     /// Nodes whose data-management role the scenario killed.
     pub nodes_failed: u64,
+    /// Nodes restored as fresh data-management successors.
+    pub nodes_restored: u64,
     /// Re-homing migration messages charged by node failures.
     pub rehome_msgs: u64,
     /// Re-homing migration bytes charged by node failures.
     pub rehome_bytes: u64,
+    /// Locks force-released from fail-stopped programs.
+    pub locks_force_released: u64,
+    /// Resident programs lost to node failures.
+    pub procs_lost: u64,
     /// Congestion delta vs. the group's intact baseline, in percent
     /// (0 for the baseline itself and for partitioned rows).
     pub congestion_delta_pct: f64,
@@ -91,15 +116,20 @@ crate::impl_to_json!(FaultRow {
     workload,
     strategy,
     scenario,
+    strike_pct,
     outcome,
     congestion_msgs,
     congestion_bytes,
     exec_time_ns,
     links_degraded,
     links_failed,
+    links_healed,
     nodes_failed,
+    nodes_restored,
     rehome_msgs,
     rehome_bytes,
+    locks_force_released,
+    procs_lost,
     congestion_delta_pct,
     time_delta_pct,
     host_ms,
@@ -110,15 +140,20 @@ crate::impl_from_json!(FaultRow {
     workload,
     strategy,
     scenario,
+    strike_pct,
     outcome,
     congestion_msgs,
     congestion_bytes,
     exec_time_ns,
     links_degraded,
     links_failed,
+    links_healed,
     nodes_failed,
+    nodes_restored,
     rehome_msgs,
     rehome_bytes,
+    locks_force_released,
+    procs_lost,
     congestion_delta_pct,
     time_delta_pct,
     host_ms,
@@ -137,8 +172,11 @@ pub struct FaultMeta {
     pub bh_bodies: usize,
     /// Barnes-Hut workload: simulated time steps.
     pub bh_timesteps: usize,
-    /// Number of scenarios per (topology, strategy, workload) group.
+    /// Number of scenarios in the ladder (the intact baseline included).
     pub scenarios: usize,
+    /// Strike times of the faulted scenarios, as percents of each group's
+    /// intact run length.
+    pub strikes: Vec<u64>,
     /// Seed of the sweep (workloads and fault plans).
     pub seed: u64,
 }
@@ -150,6 +188,7 @@ crate::impl_to_json!(FaultMeta {
     bh_bodies,
     bh_timesteps,
     scenarios,
+    strikes,
     seed,
 });
 
@@ -158,42 +197,62 @@ crate::impl_to_json!(FaultMeta {
 pub struct FaultSweep {
     /// The sweep's shared parameters.
     pub meta: FaultMeta,
-    /// One row per (topology, strategy, workload, scenario) point, scenario
-    /// innermost; the first row of each group is the intact baseline.
+    /// One row per (topology, strategy, workload, scenario, strike) point,
+    /// strike innermost within scenario; the first row of each group is the
+    /// intact baseline.
     pub rows: Vec<FaultRow>,
 }
 
 crate::impl_to_json!(FaultSweep { meta, rows });
 
+/// Constructor of one faulted rung of the scenario ladder: given the sweep
+/// seed, the node count and the strike time (ns), build the rung's plan.
+/// Plain function pointers so jobs stay `Send` and cheaply cloneable.
+type PlanCtor = fn(u64, usize, u64) -> FaultPlan;
+
+fn sc_degrade(seed: u64, _nodes: usize, at: u64) -> FaultPlan {
+    FaultPlan::new(seed).degrade_links(0.20, 0.25, at)
+}
+
+fn sc_fail_10(seed: u64, _nodes: usize, at: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ 1).fail_links(0.10, at)
+}
+
+fn sc_fail_20(seed: u64, _nodes: usize, at: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ 2).fail_links(0.20, at)
+}
+
+fn sc_flap(seed: u64, _nodes: usize, at: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ 5).fail_links_for(0.10, at, 1_000_000)
+}
+
+fn sc_fail_node(seed: u64, nodes: usize, at: u64) -> FaultPlan {
+    let victim = NodeId((nodes / 2) as u32);
+    FaultPlan::new(seed ^ 3)
+        .fail_node(victim, at)
+        .restore_node(victim, at + 1_000_000)
+}
+
+fn sc_fail_4_nodes(seed: u64, _nodes: usize, at: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ 4).fail_random_nodes(4, at)
+}
+
 /// The scenario ladder: the intact baseline first, then link degradation,
-/// link failure at two rates, and node failures — the 0–20% link / 0–4 node
-/// grid of the issue. All faults strike at t=0 so every scenario measures a
-/// whole run under the fault (mid-run strikes would make the comparison
-/// depend on each workload's phase structure). Plans are seeded from the
-/// sweep seed, so victim sampling is deterministic per scenario.
-fn scenarios(seed: u64, nodes: usize) -> Vec<(String, Option<FaultPlan>)> {
+/// link failure at two rates, a transient 1 ms link flap (failed links heal
+/// and routes revert), and node failures — including a failed node restored
+/// 1 ms later as a fresh successor (its program stays lost, so the row is
+/// degraded). Each rung is a constructor taking the strike time, so the
+/// same ladder runs at every `--strike-at` percent; plans are seeded from
+/// the sweep seed, so victim sampling is deterministic per scenario.
+fn scenarios() -> Vec<(&'static str, Option<PlanCtor>)> {
     vec![
-        ("intact".to_string(), None),
-        (
-            "degrade 20% links to 25% bw".to_string(),
-            Some(FaultPlan::new(seed).degrade_links(0.20, 0.25, 0)),
-        ),
-        (
-            "fail 10% links".to_string(),
-            Some(FaultPlan::new(seed ^ 1).fail_links(0.10, 0)),
-        ),
-        (
-            "fail 20% links".to_string(),
-            Some(FaultPlan::new(seed ^ 2).fail_links(0.20, 0)),
-        ),
-        (
-            "fail 1 node".to_string(),
-            Some(FaultPlan::new(seed ^ 3).fail_node(NodeId((nodes / 2) as u32), 0)),
-        ),
-        (
-            "fail 4 nodes".to_string(),
-            Some(FaultPlan::new(seed ^ 4).fail_random_nodes(4, 0)),
-        ),
+        ("intact", None),
+        ("degrade 20% links to 25% bw", Some(sc_degrade as PlanCtor)),
+        ("fail 10% links", Some(sc_fail_10)),
+        ("fail 20% links", Some(sc_fail_20)),
+        ("flap 10% links for 1ms", Some(sc_flap)),
+        ("fail 1 node (restore +1ms)", Some(sc_fail_node)),
+        ("fail 4 nodes", Some(sc_fail_4_nodes)),
     ]
 }
 
@@ -213,6 +272,17 @@ fn fault_strategies() -> Vec<(String, StrategyKind)> {
     ]
 }
 
+/// The absolute strike time of a `strike_pct` percent: 0 stays 0 with no
+/// calibration needed; otherwise `intact_len` measures the intact run's
+/// length and the faults land at that fraction of it.
+fn strike_time(strike_pct: u64, intact_len: impl FnOnce() -> u64) -> u64 {
+    if strike_pct == 0 {
+        0
+    } else {
+        intact_len() * strike_pct / 100
+    }
+}
+
 /// Reduce a run's outcome to a [`FaultRow`] (deltas filled in later): the
 /// whole run for uniform, everything outside the `warmup` region for
 /// Barnes-Hut — the fig12 conventions, so intact fig13 rows are comparable
@@ -222,9 +292,13 @@ fn fill_row(
     workload: &str,
     strategy: &str,
     scenario: &str,
+    strike_pct: u64,
     outcome: Result<&RunReport, &Partitioned>,
 ) -> FaultRow {
     let (report, outcome_str) = match outcome {
+        Ok(report) if report.faults.procs_lost > 0 => {
+            (report, format!("degraded@{}", report.faults.procs_lost))
+        }
         Ok(report) => (report, "ok".to_string()),
         Err(p) => (&p.report, format!("partitioned@{}", p.unreachable.0)),
     };
@@ -234,67 +308,111 @@ fn fill_row(
         workload: workload.to_string(),
         strategy: strategy.to_string(),
         scenario: scenario.to_string(),
+        strike_pct,
         outcome: outcome_str,
         congestion_msgs: report.congestion_msgs(),
         congestion_bytes: report.congestion_bytes(),
         exec_time_ns: report.total_time.saturating_sub(warmup_wall),
         links_degraded: report.faults.links_degraded,
         links_failed: report.faults.links_failed,
+        links_healed: report.faults.links_healed,
         nodes_failed: report.faults.nodes_failed,
+        nodes_restored: report.faults.nodes_restored,
         rehome_msgs: report.faults.rehome_msgs,
         rehome_bytes: report.faults.rehome_bytes,
+        locks_force_released: report.faults.locks_force_released,
+        procs_lost: report.faults.procs_lost,
         congestion_delta_pct: 0.0,
         time_delta_pct: 0.0,
         host_ms: 0.0,
     }
 }
 
-/// Describe one uniform-workload point as an executor job.
+/// Describe one uniform-workload point as an executor job. A non-zero
+/// strike runs an intact calibration copy inside the job (doubling its
+/// weight) to convert the percent into an absolute time.
+#[allow(clippy::too_many_arguments)]
 fn uniform_job(
     topo: AnyTopology,
     strategy_name: String,
     strategy: StrategyKind,
     scenario: String,
-    plan: Option<FaultPlan>,
+    plan: Option<PlanCtor>,
+    strike_pct: u64,
     params: UniformParams,
     tuning: crate::SimTuning,
 ) -> Job<FaultRow> {
-    let weight = (params.ops_per_proc * topo.nodes()) as u64;
+    let runs = if strike_pct == 0 { 1 } else { 2 };
+    let weight = runs * (params.ops_per_proc * topo.nodes()) as u64;
     Job::new(weight, move || {
+        let at = strike_time(strike_pct, || {
+            let diva = make_faulty_diva(topo.clone(), strategy, params.seed, None, tuning);
+            match try_run_uniform_driven(diva, params) {
+                Ok(intact) => intact.report.total_time,
+                Err(_) => unreachable!("the intact calibration run cannot partition"),
+            }
+        });
+        let plan = plan.map(|ctor| ctor(params.seed, topo.nodes(), at));
         let diva = make_faulty_diva(topo.clone(), strategy, params.seed, plan, tuning);
         let out = try_run_uniform_driven(diva, params);
         let outcome = match &out {
             Ok(o) => Ok(&o.report),
             Err(p) => Err(p),
         };
-        fill_row(&topo, "uniform", &strategy_name, &scenario, outcome)
+        fill_row(
+            &topo,
+            "uniform",
+            &strategy_name,
+            &scenario,
+            strike_pct,
+            outcome,
+        )
     })
 }
 
 /// Describe one Barnes-Hut point as an executor job. Mega points trip the
-/// executor's memory governor exactly like the fig12 jobs.
+/// executor's memory governor exactly like the fig12 jobs; a non-zero
+/// strike adds an intact calibration run sharing the same body set.
 #[allow(clippy::too_many_arguments)]
 fn bh_job(
     topo: AnyTopology,
     strategy_name: String,
     strategy: StrategyKind,
     scenario: String,
-    plan: Option<FaultPlan>,
+    plan: Option<PlanCtor>,
+    strike_pct: u64,
     params: BhParams,
     seed: u64,
     tuning: crate::SimTuning,
 ) -> Job<FaultRow> {
-    let weight = params.n_bodies as u64 * (params.timesteps as u64).max(1) * topo.nodes() as u64;
+    let runs = if strike_pct == 0 { 1 } else { 2 };
+    let weight =
+        runs * params.n_bodies as u64 * (params.timesteps as u64).max(1) * topo.nodes() as u64;
     let mem = params.n_bodies as u64 * topo.nodes() as u64;
     let job = Job::new(weight, move || {
         let bodies = plummer_bodies(seed ^ params.n_bodies as u64, params.n_bodies);
+        let at = strike_time(strike_pct, || {
+            let diva = make_faulty_diva(topo.clone(), strategy, seed, None, tuning);
+            match try_run_shared_driven(diva, params, &bodies) {
+                Ok(intact) => intact.report.total_time,
+                Err(_) => unreachable!("the intact calibration run cannot partition"),
+            }
+        });
+        let plan = plan.map(|ctor| ctor(seed, topo.nodes(), at));
         let diva = make_faulty_diva(topo.clone(), strategy, seed, plan, tuning);
         let out = try_run_shared_driven(diva, params, &bodies);
         let outcome = match &out {
             Ok(o) => Ok(&o.report),
             Err(p) => Err(p),
         };
-        fill_row(&topo, "barnes-hut", &strategy_name, &scenario, outcome)
+        fill_row(
+            &topo,
+            "barnes-hut",
+            &strategy_name,
+            &scenario,
+            strike_pct,
+            outcome,
+        )
     });
     if mem >= crate::bh_exp::BH_HEAVY_MEM {
         job.heavy()
@@ -312,15 +430,24 @@ fn delta_pct(value: u64, base: u64) -> f64 {
     }
 }
 
-/// Fill each row's deltas against the intact baseline of its scenario group.
-/// Rows arrive in description order, scenario innermost, so every group is a
-/// contiguous `group_len` chunk whose first row is the intact run.
+/// Whether a row's measurements cover a completed run and are comparable
+/// with the intact baseline: `ok` rows, and `degraded@<n>` rows — the
+/// survivors ran to completion, and their cost *is* the degradation being
+/// measured. Partitioned rows are partial and keep zero deltas.
+fn comparable(outcome: &str) -> bool {
+    outcome == "ok" || outcome.starts_with("degraded@")
+}
+
+/// Fill each row's deltas against the intact baseline of its scenario×strike
+/// group. Rows arrive in description order, strike innermost within
+/// scenario, so every group is a contiguous `group_len` chunk whose first
+/// row is the intact run.
 fn fill_deltas(rows: &mut [FaultRow], group_len: usize) {
     for group in rows.chunks_mut(group_len) {
         debug_assert_eq!(group[0].scenario, "intact");
         let (base_msgs, base_time) = (group[0].congestion_msgs, group[0].exec_time_ns);
         for row in &mut group[1..] {
-            if row.outcome == "ok" {
+            if comparable(&row.outcome) {
                 row.congestion_delta_pct = delta_pct(row.congestion_msgs, base_msgs);
                 row.time_delta_pct = delta_pct(row.exec_time_ns, base_time);
             }
@@ -329,10 +456,11 @@ fn fill_deltas(rows: &mut [FaultRow], group_len: usize) {
 }
 
 /// The Figure-13 sweep: the scenario ladder across all four topologies and
-/// the degradation strategy panel, under both workloads, at one matched node
-/// count per scale tier. `None` means the sweep is incomplete (shard run or
-/// cut-short run); the sidecar holds the completed jobs. Deltas are always
-/// recomputed at assembly, so they never ride stale through a resume.
+/// the degradation strategy panel, under both workloads and every
+/// `--strike-at` strike time, at one matched node count per scale tier.
+/// `None` means the sweep is incomplete (shard run or cut-short run); the
+/// sidecar holds the completed jobs. Deltas are always recomputed at
+/// assembly, so they never ride stale through a resume.
 pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> Option<FaultSweep> {
     let (nodes, uniform_ops, bh_bodies) = match opts.scale() {
         Scale::Smoke => (16, 24, 192),
@@ -351,33 +479,45 @@ pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> Option<FaultSweep> {
     uniform_params.ops_per_proc = uniform_ops;
     uniform_params.seed = opts.seed;
 
-    let scenario_list = scenarios(opts.seed, nodes);
+    let scenario_list = scenarios();
+    let strikes = opts.strikes();
+    // One intact baseline per group (the strike axis is meaningless without
+    // faults), then every faulted rung once per strike time.
+    let group_len = 1 + (scenario_list.len() - 1) * strikes.len();
     let mut jobs = Vec::new();
     for topo in crate::topo_exp::topologies_at(nodes) {
         for (strategy_name, strategy) in fault_strategies() {
             for workload in ["uniform", "barnes-hut"] {
-                for (scenario, plan) in &scenario_list {
-                    jobs.push(match workload {
-                        "uniform" => uniform_job(
-                            topo.clone(),
-                            strategy_name.clone(),
-                            strategy,
-                            scenario.clone(),
-                            plan.clone(),
-                            uniform_params,
-                            opts.tuning(),
-                        ),
-                        _ => bh_job(
-                            topo.clone(),
-                            strategy_name.clone(),
-                            strategy,
-                            scenario.clone(),
-                            plan.clone(),
-                            bh_params,
-                            opts.seed,
-                            opts.tuning(),
-                        ),
-                    });
+                for (scenario, ctor) in &scenario_list {
+                    let points: Vec<u64> = match ctor {
+                        None => vec![0],
+                        Some(_) => strikes.clone(),
+                    };
+                    for strike in points {
+                        jobs.push(match workload {
+                            "uniform" => uniform_job(
+                                topo.clone(),
+                                strategy_name.clone(),
+                                strategy,
+                                scenario.to_string(),
+                                *ctor,
+                                strike,
+                                uniform_params,
+                                opts.tuning(),
+                            ),
+                            _ => bh_job(
+                                topo.clone(),
+                                strategy_name.clone(),
+                                strategy,
+                                scenario.to_string(),
+                                *ctor,
+                                strike,
+                                bh_params,
+                                opts.seed,
+                                opts.tuning(),
+                            ),
+                        });
+                    }
                 }
             }
         }
@@ -386,7 +526,7 @@ pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> Option<FaultSweep> {
     let mut rows = crate::stream::rows_with_host_ms(results, |row, ms| {
         row.host_ms = ms;
     });
-    fill_deltas(&mut rows, scenario_list.len());
+    fill_deltas(&mut rows, group_len);
     Some(FaultSweep {
         meta: FaultMeta {
             scale: opts.scale().name().to_string(),
@@ -395,6 +535,7 @@ pub fn graceful_degradation_sweep(opts: &HarnessOpts) -> Option<FaultSweep> {
             bh_bodies,
             bh_timesteps: bh_params.timesteps,
             scenarios: scenario_list.len(),
+            strikes,
             seed: opts.seed,
         },
         rows,
@@ -408,51 +549,88 @@ mod tests {
 
     #[test]
     fn the_ladder_starts_intact() {
-        let list = scenarios(7, 16);
+        let list = scenarios();
         assert_eq!(list[0].0, "intact");
         assert!(list[0].1.is_none());
         assert!(list[1..].iter().all(|(_, p)| p.is_some()));
+        // Every faulted rung builds a plan at an arbitrary strike time.
+        for (_, ctor) in list[1..].iter() {
+            let _ = ctor.unwrap()(7, 16, 123_456);
+        }
     }
 
     #[test]
-    fn a_faulted_uniform_point_reports_its_tally() {
+    fn a_node_failure_point_reports_a_degraded_outcome_and_its_tally() {
         let topo: AnyTopology = Torus::square(4).into();
         let params = UniformParams {
             ops_per_proc: 8,
             ..UniformParams::new(16)
         };
-        let plan = FaultPlan::new(5).fail_node(NodeId(8), 0);
         let row = uniform_job(
             topo,
             "fixed home".into(),
             StrategyKind::FixedHome,
-            "fail 1 node".into(),
-            Some(plan),
+            "fail 1 node (restore +1ms)".into(),
+            Some(sc_fail_node),
+            0,
             params,
             crate::SimTuning::default(),
         )
         .call();
-        assert_eq!(row.outcome, "ok");
+        assert_eq!(row.outcome, "degraded@1");
         assert_eq!(row.nodes_failed, 1);
+        assert_eq!(row.nodes_restored, 1);
+        assert_eq!(row.procs_lost, 1);
+        assert_eq!(row.strike_pct, 0);
         assert!(row.rehome_msgs > 0);
         assert!(row.exec_time_ns > 0);
     }
 
     #[test]
+    fn a_mid_run_strike_calibrates_against_the_intact_run() {
+        // At strike 50 the faults land halfway through the intact run
+        // length: the flap scenario must still fail and heal links, and the
+        // row must carry its strike percent.
+        let topo: AnyTopology = Torus::square(4).into();
+        let params = UniformParams {
+            ops_per_proc: 8,
+            ..UniformParams::new(16)
+        };
+        let row = uniform_job(
+            topo,
+            "fixed home".into(),
+            StrategyKind::FixedHome,
+            "flap 10% links for 1ms".into(),
+            Some(sc_flap),
+            50,
+            params,
+            crate::SimTuning::default(),
+        )
+        .call();
+        assert_eq!(row.strike_pct, 50);
+        assert_eq!(row.outcome, "ok");
+        assert!(row.links_failed > 0);
+        assert_eq!(row.links_failed, row.links_healed);
+    }
+
+    #[test]
     fn a_partitioning_point_renders_instead_of_failing() {
         // Severing every link cannot complete; the row must say so.
+        fn sever(seed: u64, _nodes: usize, at: u64) -> FaultPlan {
+            FaultPlan::new(seed).fail_links(1.0, at)
+        }
         let topo: AnyTopology = FatTree::new(16).into();
         let params = UniformParams {
             ops_per_proc: 8,
             ..UniformParams::new(16)
         };
-        let plan = FaultPlan::new(5).fail_links(1.0, 0);
         let row = uniform_job(
             topo,
             "fixed home".into(),
             StrategyKind::FixedHome,
             "fail all links".into(),
-            Some(plan),
+            Some(sever),
+            0,
             params,
             crate::SimTuning::default(),
         )
@@ -468,15 +646,20 @@ mod tests {
             workload: "w".into(),
             strategy: "s".into(),
             scenario: scenario.into(),
+            strike_pct: 0,
             outcome: outcome.into(),
             congestion_msgs: msgs,
             congestion_bytes: 0,
             exec_time_ns: time,
             links_degraded: 0,
             links_failed: 0,
+            links_healed: 0,
             nodes_failed: 0,
+            nodes_restored: 0,
             rehome_msgs: 0,
             rehome_bytes: 0,
+            locks_force_released: 0,
+            procs_lost: 0,
             congestion_delta_pct: 0.0,
             time_delta_pct: 0.0,
             host_ms: 0.0,
@@ -486,7 +669,7 @@ mod tests {
             mk("fail", "ok", 150, 1_200),
             mk("sever", "partitioned@3", 10, 50),
             mk("intact", "ok", 200, 2_000),
-            mk("fail", "ok", 100, 2_000),
+            mk("fail", "degraded@1", 100, 2_000),
             mk("sever", "ok", 300, 3_000),
         ];
         fill_deltas(&mut rows, 3);
@@ -494,7 +677,9 @@ mod tests {
         assert_eq!(rows[1].time_delta_pct, 20.0);
         // Partitioned rows keep zero deltas: partial runs are not comparable.
         assert_eq!(rows[2].congestion_delta_pct, 0.0);
-        // The second group compares against its own baseline.
+        // The second group compares against its own baseline — and degraded
+        // rows keep their deltas (survivors completed; their cost is the
+        // degradation being measured).
         assert_eq!(rows[4].congestion_delta_pct, -50.0);
         assert_eq!(rows[5].time_delta_pct, 50.0);
     }

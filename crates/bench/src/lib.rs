@@ -141,6 +141,13 @@ pub struct HarnessOpts {
     /// stages. Off by default; the default uniform costs are bit-identical
     /// to the pre-preset behaviour.
     pub calibrated_delays: bool,
+    /// Strike times of the fig13 fault scenarios (`--strike-at 0,25,50,75`),
+    /// as percents of the group's *intact* run length. Empty means `[0]`
+    /// (every fault strikes at t=0). A non-zero strike makes each faulted
+    /// job run an intact calibration copy first to convert the percent into
+    /// an absolute simulated time — jobs stay pure, so `--resume`/`--shard`
+    /// keep working, at the cost of one extra run per non-zero-strike point.
+    pub strike_at: Vec<u64>,
 }
 
 impl Default for HarnessOpts {
@@ -159,6 +166,7 @@ impl Default for HarnessOpts {
             snapshot: None,
             workers: None,
             calibrated_delays: false,
+            strike_at: Vec::new(),
         }
     }
 }
@@ -239,6 +247,16 @@ impl HarnessOpts {
         self.workers.unwrap_or(1)
     }
 
+    /// The fig13 strike-time axis: the `--strike-at` percents, or `[0]`
+    /// when the flag was not given (all faults strike at t=0).
+    pub fn strikes(&self) -> Vec<u64> {
+        if self.strike_at.is_empty() {
+            vec![0]
+        } else {
+            self.strike_at.clone()
+        }
+    }
+
     /// The per-simulation tuning knobs as one bundle, for threading through
     /// an experiment's job-description functions.
     pub fn tuning(&self) -> SimTuning {
@@ -308,6 +326,24 @@ impl HarnessOpts {
                     }
                 }
                 "--calibrated-delays" => opts.calibrated_delays = true,
+                "--strike-at" => {
+                    let value = args.get(i + 1);
+                    let parsed = value.and_then(|s| {
+                        s.split(',')
+                            .map(|t| t.trim().parse::<u64>().ok().filter(|p| *p < 100))
+                            .collect::<Option<Vec<u64>>>()
+                    });
+                    match parsed {
+                        Some(list) if !list.is_empty() => opts.strike_at = list,
+                        _ => eprintln!(
+                            "--strike-at needs a comma-separated list of percents below 100 \
+                             (e.g. 0,25,50,75); ignoring"
+                        ),
+                    }
+                    if value.is_some_and(|v| !v.starts_with("--")) {
+                        i += 1;
+                    }
+                }
                 flag if extra_flags.contains(&flag) => {
                     let idx = extra_flags.iter().position(|f| *f == flag).unwrap();
                     extra.seen[idx] = true;
@@ -348,7 +384,7 @@ impl HarnessOpts {
                     eprintln!(
                         "usage: <fig> [--smoke|--paper|--mega] [--json FILE] [--seed N] \
                          [--jobs N] [--workers N] [--calibrated-delays] [--resume] \
-                         [--shard I/N] [--snapshot FILE] \
+                         [--shard I/N] [--snapshot FILE] [--strike-at P1,P2,...] \
                          [--no-reclaim] [--timesteps N]{}{}",
                         if extra_flags.is_empty() { "" } else { " " },
                         extra_flags
@@ -508,6 +544,14 @@ mod tests {
         let d = make_diva_tuned(4, 4, StrategyKind::FixedHome, 1, tuning);
         assert_eq!(d.config().workers, 4);
         assert!(d.config().calibrated_delays);
+    }
+
+    #[test]
+    fn strike_axis_defaults_to_time_zero() {
+        let mut opts = HarnessOpts::default();
+        assert_eq!(opts.strikes(), vec![0]);
+        opts.strike_at = vec![0, 25, 50, 75];
+        assert_eq!(opts.strikes(), vec![0, 25, 50, 75]);
     }
 
     #[test]

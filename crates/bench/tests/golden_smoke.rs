@@ -89,14 +89,17 @@ golden!(
     env!("CARGO_BIN_EXE_fig12"),
     &["--smoke"]
 );
-// The graceful-degradation gate: fault sampling, detour routing and
-// re-homing charges must stay deterministic from one PR to the next —
-// including the rows that diagnose a partition.
+// The graceful-degradation gate: fault sampling, detour routing, healing,
+// re-homing charges and app-loss bookkeeping must stay deterministic from
+// one PR to the next — including the rows that diagnose a partition or a
+// degraded (programs-lost) run. The second strike time exercises the
+// mid-run fault path: a 50% strike calibrates against the intact run and
+// lands the faults on warmed-up routes and directory state.
 golden!(
     fig13_smoke,
     "fig13",
     env!("CARGO_BIN_EXE_fig13"),
-    &["--smoke"]
+    &["--smoke", "--strike-at", "0,50"]
 );
 golden!(
     scale_smoke,

@@ -64,6 +64,11 @@ pub struct TreeBarrier {
     pos: Vec<NodeId>,
     /// Arrivals seen so far per internal tree node.
     arrived: Vec<u32>,
+    /// Arrivals each tree node still expects per round: the child count for
+    /// internal nodes, 1 for leaves whose processor is an active member.
+    /// [`TreeBarrier::remove`] decrements along the victim's path; a node at
+    /// 0 has no active processor below it and drops out of both waves.
+    expected: Vec<u32>,
 }
 
 impl TreeBarrier {
@@ -90,7 +95,22 @@ impl TreeBarrier {
             })
             .collect();
         let arrived = vec![0; tree.len()];
-        TreeBarrier { tree, pos, arrived }
+        let expected = tree
+            .node_ids()
+            .map(|id| {
+                if tree.node(id).proc.is_some() {
+                    1
+                } else {
+                    tree.children(id).len() as u32
+                }
+            })
+            .collect();
+        TreeBarrier {
+            tree,
+            pos,
+            arrived,
+            expected,
+        }
     }
 
     /// Mesh node simulating tree node `id`.
@@ -115,20 +135,8 @@ impl TreeBarrier {
     pub fn on_message(&mut self, msg: BarrierMsg) -> Vec<BarrierAction> {
         match msg {
             BarrierMsg::Arrive { node } => {
-                let idx = node.index();
-                self.arrived[idx] += 1;
-                if self.arrived[idx] < self.tree.children(node).len() as u32 {
-                    return Vec::new();
-                }
-                self.arrived[idx] = 0;
-                match self.tree.parent(node) {
-                    Some(parent) => vec![BarrierAction::Send {
-                        from: self.position(node),
-                        to: self.position(parent),
-                        msg: BarrierMsg::Arrive { node: parent },
-                    }],
-                    None => self.release(node),
-                }
+                self.arrived[node.index()] += 1;
+                self.check_fire(node)
             }
             BarrierMsg::Release { node } => {
                 if let Some(proc) = self.tree.node(node).proc {
@@ -140,11 +148,63 @@ impl TreeBarrier {
         }
     }
 
-    /// Broadcast the release wave from `node` to its children.
+    /// Deterministically remove `proc` from the barrier membership: its leaf
+    /// stops counting towards (and receiving) both waves, empty subtrees
+    /// drop out entirely, and a round that was only waiting for the victim
+    /// fires immediately (the returned actions carry the wave onward).
+    /// Idempotent. Must not be called while `proc` is *inside* the barrier —
+    /// its arrival is already counted then, so the runtime defers the
+    /// removal until the victim's wake (which it drops).
+    pub fn remove(&mut self, proc: NodeId) -> Vec<BarrierAction> {
+        let leaf = self.tree.leaf_of(proc);
+        if self.expected[leaf.index()] == 0 {
+            return Vec::new();
+        }
+        self.expected[leaf.index()] = 0;
+        let mut node = leaf;
+        while let Some(parent) = self.tree.parent(node) {
+            let idx = parent.index();
+            self.expected[idx] -= 1;
+            if self.expected[idx] > 0 {
+                // The parent keeps active members; the round may now be
+                // complete without the victim.
+                return self.check_fire(parent);
+            }
+            // The whole subtree under `parent` is empty: it can hold no
+            // pending arrivals (a fired subtree's processors are inside the
+            // barrier, where removal is deferred), so it drops out of its
+            // own parent's expectation.
+            debug_assert_eq!(self.arrived[idx], 0, "empty subtree with arrivals");
+            node = parent;
+        }
+        Vec::new()
+    }
+
+    /// Fire `node`'s arrival upward (or release at the root) if every
+    /// remaining member below it has arrived.
+    fn check_fire(&mut self, node: TreeNodeId) -> Vec<BarrierAction> {
+        let idx = node.index();
+        if self.expected[idx] == 0 || self.arrived[idx] < self.expected[idx] {
+            return Vec::new();
+        }
+        self.arrived[idx] = 0;
+        match self.tree.parent(node) {
+            Some(parent) => vec![BarrierAction::Send {
+                from: self.position(node),
+                to: self.position(parent),
+                msg: BarrierMsg::Arrive { node: parent },
+            }],
+            None => self.release(node),
+        }
+    }
+
+    /// Broadcast the release wave from `node` to its children (skipping
+    /// subtrees with no active member left).
     fn release(&self, node: TreeNodeId) -> Vec<BarrierAction> {
         self.tree
             .children(node)
             .iter()
+            .filter(|&&c| self.expected[c.index()] > 0)
             .map(|&c| {
                 if let Some(proc) = self.tree.node(c).proc {
                     // Leaf children that are simulated by the same processor as
@@ -267,6 +327,107 @@ mod tests {
             }
             assert_eq!(woken.len(), 4);
         }
+    }
+
+    #[test]
+    fn removing_the_last_straggler_fires_the_round() {
+        // 15 of 16 processors arrive; the 16th is removed (app-processor
+        // loss) — the round must complete and wake exactly the survivors.
+        let mesh = Mesh::square(4);
+        let mut barrier = TreeBarrier::new(&mesh, TreeShape::quad());
+        let mut queue: VecDeque<BarrierMsg> = VecDeque::new();
+        let mut woken = HashSet::new();
+        let drain = |actions: Vec<BarrierAction>,
+                     queue: &mut VecDeque<BarrierMsg>,
+                     woken: &mut HashSet<u32>| {
+            for a in actions {
+                match a {
+                    BarrierAction::Send { msg, .. } => queue.push_back(msg),
+                    BarrierAction::Wake { proc } => {
+                        woken.insert(proc.0);
+                    }
+                }
+            }
+        };
+        for p in 0..15u32 {
+            let acts = barrier.arrive(NodeId(p));
+            drain(acts, &mut queue, &mut woken);
+        }
+        while let Some(msg) = queue.pop_front() {
+            let acts = barrier.on_message(msg);
+            drain(acts, &mut queue, &mut woken);
+        }
+        assert!(woken.is_empty(), "stuck on the straggler");
+        let acts = barrier.remove(NodeId(15));
+        drain(acts, &mut queue, &mut woken);
+        drain(barrier.remove(NodeId(15)), &mut queue, &mut woken); // idempotent
+        while let Some(msg) = queue.pop_front() {
+            let acts = barrier.on_message(msg);
+            drain(acts, &mut queue, &mut woken);
+        }
+        assert_eq!(woken, (0..15u32).collect::<HashSet<_>>());
+        // The next round works without the removed member.
+        woken.clear();
+        for p in 0..15u32 {
+            let acts = barrier.arrive(NodeId(p));
+            drain(acts, &mut queue, &mut woken);
+        }
+        while let Some(msg) = queue.pop_front() {
+            let acts = barrier.on_message(msg);
+            drain(acts, &mut queue, &mut woken);
+        }
+        assert_eq!(woken.len(), 15);
+    }
+
+    #[test]
+    fn removing_a_whole_subtree_drops_it_from_both_waves() {
+        // Remove all four processors of one quad-tree subtree before anyone
+        // arrives: the remaining 12 must synchronise among themselves, and
+        // no message may target the empty subtree.
+        let mesh = Mesh::square(4);
+        let mut barrier = TreeBarrier::new(&mesh, TreeShape::quad());
+        let tree = DecompositionTree::build(&mesh, TreeShape::quad());
+        let removed: Vec<u32> = tree
+            .region(tree.children(tree.root())[0])
+            .iter()
+            .map(|n| n.0)
+            .collect();
+        assert_eq!(removed.len(), 4);
+        for &p in &removed {
+            assert!(barrier.remove(NodeId(p)).is_empty());
+        }
+        let survivors: Vec<u32> = (0..16).filter(|p| !removed.contains(p)).collect();
+        let (woken, _) = {
+            let mut queue: VecDeque<BarrierMsg> = VecDeque::new();
+            let mut woken = HashSet::new();
+            let mut messages = 0usize;
+            let drain = |actions: Vec<BarrierAction>,
+                         queue: &mut VecDeque<BarrierMsg>,
+                         woken: &mut HashSet<u32>,
+                         messages: &mut usize| {
+                for a in actions {
+                    match a {
+                        BarrierAction::Send { msg, .. } => {
+                            *messages += 1;
+                            queue.push_back(msg);
+                        }
+                        BarrierAction::Wake { proc } => {
+                            woken.insert(proc.0);
+                        }
+                    }
+                }
+            };
+            for &p in &survivors {
+                let acts = barrier.arrive(NodeId(p));
+                drain(acts, &mut queue, &mut woken, &mut messages);
+            }
+            while let Some(msg) = queue.pop_front() {
+                let acts = barrier.on_message(msg);
+                drain(acts, &mut queue, &mut woken, &mut messages);
+            }
+            (woken, messages)
+        };
+        assert_eq!(woken, survivors.iter().copied().collect::<HashSet<_>>());
     }
 
     #[test]

@@ -17,18 +17,41 @@
 //!   via the engine's cost table). If the surviving links no longer connect
 //!   the machine, the run ends cleanly as
 //!   [`RunOutcome::Partitioned`](crate::RunOutcome) instead of hanging.
-//! * **Node failure** is fail-stop of the node's *data-management role*:
-//!   every directory/home/lock responsibility the victim held migrates to a
-//!   deterministic successor (the next alive node id, wrapping), and the
-//!   migration traffic is charged to the simulation
-//!   ([`FaultTally`](crate::FaultTally) tallies it). The victim's
-//!   application processor keeps computing and synchronising — the paper's
-//!   strategies place *data*, not threads — and its physical links stay up,
-//!   so node failures never partition the network.
+//! * **Node failure** is fail-stop of the *whole node*. Its
+//!   data-management role: every directory/home/lock responsibility the
+//!   victim held migrates to a deterministic successor (the next alive
+//!   node id, wrapping), and the migration traffic is charged to the
+//!   simulation ([`FaultTally`](crate::FaultTally) tallies it). And its
+//!   resident application program: the program is killed at the fault
+//!   time, its in-flight requests drained, its held locks force-released
+//!   (tallied, never leaked into a wedge), and its barrier membership
+//!   removed deterministically; the survivors run to completion and the
+//!   run ends as [`RunOutcome::Degraded`](crate::RunOutcome) with a
+//!   partial survivor checksum. The victim's physical links stay up, so
+//!   node failures never partition the network.
+//!
+//! * **Link healing** returns a link to service at its pristine cost
+//!   (calibrated preset if one was applied): bandwidth snaps back, the
+//!   detour memo is invalidated, and routes deterministically revert to
+//!   what an intact network would use. The windowed forms
+//!   ([`FaultPlan::degrade_links_for`] / [`FaultPlan::fail_links_for`])
+//!   sample their victims *once* and schedule the matching heal
+//!   `duration` ns later, so a flapping link fails and heals as the same
+//!   physical link.
+//! * **Node restoration** brings a failed node back as a *fresh* DM
+//!   successor: it inherits no directory state (what it held was already
+//!   re-homed at failure time, and pulling it back would cost a second
+//!   migration for no benefit — see `docs/architecture.md`), but it is
+//!   eligible again as a successor for future failures, and it may itself
+//!   fail again later. The application processor lost at failure time does
+//!   **not** come back — fail-stop loses its program state permanently.
 //!
 //! Faults injected at time `t` apply before any same-time protocol message is
 //! processed (the coordinator enqueues them first, and the event queue breaks
-//! time ties by insertion order). Requests a processor issued before `t` may
+//! time ties by insertion order). Destructive actions at time `t` apply
+//! before recovery actions at the same `t` (resolution stable-sorts by
+//! `(time, destructive-before-recovery)`), so a zero-duration window still
+//! tallies both edges. Requests a processor issued before `t` may
 //! still have been costed against the pre-fault network — exactly like real
 //! traffic already in flight when a link dies — and this boundary is
 //! identical in the driven and prototype backends, keeping them
@@ -71,6 +94,45 @@ pub enum FaultSpec {
         count: usize,
         /// Injection time in ns.
         at: SimTime,
+    },
+    /// At time `at`, return one specific link to service at its pristine
+    /// cost (no-op if the link is healthy).
+    HealLink {
+        /// The link to heal.
+        link: LinkId,
+        /// Injection time in ns.
+        at: SimTime,
+    },
+    /// At time `at`, bring one failed node back as a fresh DM successor
+    /// (no-op if the node is alive; its lost application processor does not
+    /// come back).
+    RestoreNode {
+        /// The node to restore.
+        node: NodeId,
+        /// Injection time in ns.
+        at: SimTime,
+    },
+    /// At time `at`, degrade a sampled `fraction` of all links to `factor`
+    /// of their bandwidth, healing the *same* links `duration` ns later.
+    DegradeLinksFor {
+        /// Fraction of all links to degrade (0.0–1.0).
+        fraction: f64,
+        /// Remaining bandwidth multiplier (0 < factor ≤ 1).
+        factor: f64,
+        /// Injection time in ns.
+        at: SimTime,
+        /// Window length in ns; the heal fires at `at + duration`.
+        duration: SimTime,
+    },
+    /// At time `at`, take a sampled `fraction` of all links out of service,
+    /// healing the *same* links `duration` ns later.
+    FailLinksFor {
+        /// Fraction of all links to fail (0.0–1.0).
+        fraction: f64,
+        /// Injection time in ns.
+        at: SimTime,
+        /// Window length in ns; the heal fires at `at + duration`.
+        duration: SimTime,
     },
 }
 
@@ -123,6 +185,56 @@ impl FaultPlan {
     /// Fail `count` sampled distinct nodes at time `at`.
     pub fn fail_random_nodes(mut self, count: usize, at: SimTime) -> Self {
         self.specs.push(FaultSpec::FailRandomNodes { count, at });
+        self
+    }
+
+    /// Return one specific link to service at its pristine cost at time
+    /// `at` (no-op if the link is healthy at that point).
+    pub fn heal_link(mut self, link: LinkId, at: SimTime) -> Self {
+        self.specs.push(FaultSpec::HealLink { link, at });
+        self
+    }
+
+    /// Bring one failed node back as a fresh DM successor at time `at`.
+    ///
+    /// Dropped at resolution time unless an earlier spec (in builder order)
+    /// failed that node: fail/restore pairs are matched in the order the
+    /// plan was built, like the duplicate-victim rule of
+    /// [`FaultPlan::fail_node`].
+    pub fn restore_node(mut self, node: NodeId, at: SimTime) -> Self {
+        self.specs.push(FaultSpec::RestoreNode { node, at });
+        self
+    }
+
+    /// Degrade a sampled `fraction` of all links to `factor` of their
+    /// bandwidth at time `at`, healing the same links at `at + duration`.
+    pub fn degrade_links_for(
+        mut self,
+        fraction: f64,
+        factor: f64,
+        at: SimTime,
+        duration: SimTime,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        assert!(factor > 0.0 && factor <= 1.0, "factor out of range");
+        self.specs.push(FaultSpec::DegradeLinksFor {
+            fraction,
+            factor,
+            at,
+            duration,
+        });
+        self
+    }
+
+    /// Fail a sampled `fraction` of all links at time `at`, healing the
+    /// same links at `at + duration`.
+    pub fn fail_links_for(mut self, fraction: f64, at: SimTime, duration: SimTime) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        self.specs.push(FaultSpec::FailLinksFor {
+            fraction,
+            at,
+            duration,
+        });
         self
     }
 
@@ -207,8 +319,74 @@ impl FaultPlan {
                         });
                     }
                 }
+                FaultSpec::HealLink { link, at } => {
+                    assert!(
+                        link.index() < topo.link_slots(),
+                        "fault plan names link {link:?} outside the topology"
+                    );
+                    out.push(TimedFault {
+                        at,
+                        action: FaultAction::HealLinks(vec![link]),
+                    });
+                }
+                FaultSpec::RestoreNode { node, at } => {
+                    assert!(
+                        node.index() < nprocs,
+                        "fault plan names node {node} outside the topology"
+                    );
+                    // Only a currently fallen node can be restored; removing
+                    // it from the fallen list makes it eligible to fail
+                    // again (and frees its slot under the survivor cap).
+                    if let Some(pos) = fallen_nodes.iter().position(|&n| n == node) {
+                        fallen_nodes.remove(pos);
+                        out.push(TimedFault {
+                            at,
+                            action: FaultAction::RestoreNode(node),
+                        });
+                    }
+                }
+                FaultSpec::DegradeLinksFor {
+                    fraction,
+                    factor,
+                    at,
+                    duration,
+                } => {
+                    // Sample once: the heal targets the exact links that
+                    // degraded, whatever else the plan does in between.
+                    let victims = sample_links(&mut rng, topo, fraction);
+                    out.push(TimedFault {
+                        at,
+                        action: FaultAction::DegradeLinks(
+                            victims.iter().map(|&l| (l, factor)).collect(),
+                        ),
+                    });
+                    out.push(TimedFault {
+                        at: at + duration,
+                        action: FaultAction::HealLinks(victims),
+                    });
+                }
+                FaultSpec::FailLinksFor {
+                    fraction,
+                    at,
+                    duration,
+                } => {
+                    let victims = sample_links(&mut rng, topo, fraction);
+                    out.push(TimedFault {
+                        at,
+                        action: FaultAction::FailLinks(victims.clone()),
+                    });
+                    out.push(TimedFault {
+                        at: at + duration,
+                        action: FaultAction::HealLinks(victims),
+                    });
+                }
             }
         }
+        // Chronological order with fault-before-heal at equal times; the
+        // stable sort preserves builder order within each (time, kind)
+        // class, so plans without recovery events resolve exactly as
+        // before.
+        out.sort_by_key(|f| (f.at, f.action.recovery_rank()));
         out
     }
 }
@@ -241,8 +419,26 @@ pub(crate) enum FaultAction {
     DegradeLinks(Vec<(LinkId, f64)>),
     /// Take every listed link out of service, then re-check connectivity.
     FailLinks(Vec<LinkId>),
-    /// Fail one node's data-management role.
+    /// Fail one node's data-management role and fail-stop its resident
+    /// application processor.
     FailNode(NodeId),
+    /// Return every listed link to service at its pristine cost.
+    HealLinks(Vec<LinkId>),
+    /// Bring one failed node back as a fresh DM successor.
+    RestoreNode(NodeId),
+}
+
+impl FaultAction {
+    /// Ordering class at equal times: destructive actions before recovery
+    /// actions.
+    fn recovery_rank(&self) -> u8 {
+        match self {
+            FaultAction::DegradeLinks(_) | FaultAction::FailLinks(_) | FaultAction::FailNode(_) => {
+                0
+            }
+            FaultAction::HealLinks(_) | FaultAction::RestoreNode(_) => 1,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -316,5 +512,67 @@ mod tests {
         let plan = FaultPlan::new(0);
         assert!(plan.is_empty());
         assert!(plan.resolve(&mesh4()).is_empty());
+    }
+
+    #[test]
+    fn windowed_failure_heals_the_same_links() {
+        let plan = FaultPlan::new(9).fail_links_for(0.25, 1_000, 500);
+        let faults = plan.resolve(&mesh4());
+        assert_eq!(faults.len(), 2);
+        let failed = match &faults[0].action {
+            FaultAction::FailLinks(links) => links.clone(),
+            other => panic!("expected FailLinks, got {other:?}"),
+        };
+        let healed = match &faults[1].action {
+            FaultAction::HealLinks(links) => links.clone(),
+            other => panic!("expected HealLinks, got {other:?}"),
+        };
+        assert_eq!(faults[0].at, 1_000);
+        assert_eq!(faults[1].at, 1_500);
+        assert_eq!(failed, healed, "the heal must target the failed links");
+    }
+
+    #[test]
+    fn restore_requires_a_preceding_failure_and_permits_refailure() {
+        let plan = FaultPlan::new(4)
+            .restore_node(NodeId(2), 50) // never failed: dropped
+            .fail_node(NodeId(2), 100)
+            .restore_node(NodeId(2), 200)
+            .fail_node(NodeId(2), 300); // fallen slot freed: fails again
+        let faults = plan.resolve(&mesh4());
+        let kinds: Vec<_> = faults
+            .iter()
+            .map(|f| match f.action {
+                FaultAction::FailNode(n) => ("fail", n, f.at),
+                FaultAction::RestoreNode(n) => ("restore", n, f.at),
+                ref other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("fail", NodeId(2), 100),
+                ("restore", NodeId(2), 200),
+                ("fail", NodeId(2), 300),
+            ]
+        );
+    }
+
+    #[test]
+    fn resolution_orders_by_time_with_faults_before_heals() {
+        // A zero-length window plus a later out-of-order spec: the resolved
+        // schedule is chronological, and at the shared instant the failure
+        // precedes the heal.
+        let plan = FaultPlan::new(6)
+            .fail_links_for(0.1, 2_000, 0)
+            .degrade_links(0.1, 0.5, 1_000);
+        let faults = plan.resolve(&mesh4());
+        assert_eq!(faults.len(), 3);
+        assert!(matches!(faults[0].action, FaultAction::DegradeLinks(_)));
+        assert_eq!(faults[0].at, 1_000);
+        assert!(matches!(faults[1].action, FaultAction::FailLinks(_)));
+        assert!(matches!(faults[2].action, FaultAction::HealLinks(_)));
+        assert_eq!(faults[1].at, 2_000);
+        assert_eq!(faults[2].at, 2_000);
     }
 }

@@ -126,8 +126,8 @@ pub use fault::{FaultPlan, FaultSpec};
 pub use policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId};
 pub use report::{FaultTally, RegionReport, RunReport};
 pub use runtime::{
-    Diva, DivaConfig, Op, Partitioned, ProcCtx, ProcProgram, RunDone, RunOutcome, StepCtx,
-    StrategyKind,
+    Degraded, Diva, DivaConfig, Op, Partitioned, ProcCtx, ProcProgram, RunDone, RunOutcome,
+    StepCtx, StrategyKind,
 };
 pub use var::{Value, VarHandle, VarRegistry};
 

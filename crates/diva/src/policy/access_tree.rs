@@ -234,10 +234,13 @@ pub struct AccessTreePolicy {
     bfs_seen: Vec<u64>,
     /// Current BFS generation.
     bfs_gen: u64,
-    /// Nodes whose data-management role failed, with the successor that
-    /// inherited it, in failure order (a successor may itself fail later —
-    /// the chain is followed). Empty without a fault plan; while empty the
-    /// embedding is byte-identical to a build without the fault subsystem.
+    /// Nodes whose data-management role failed, paired with the *live* node
+    /// currently holding that role: when a successor itself fails, every
+    /// redirect pointing at it is rewritten to the new successor, so lookup
+    /// is a single scan and fail→restore→fail cycles cannot form a loop.
+    /// Restoring a node removes its entry. Empty without a fault plan; while
+    /// empty the embedding is byte-identical to a build without the fault
+    /// subsystem.
     failed: Vec<(NodeId, NodeId)>,
 }
 
@@ -363,13 +366,15 @@ impl AccessTreePolicy {
         self.live_position(pos)
     }
 
-    /// Resolve an embedded position through the re-homing chain: identity
-    /// while no node failed, otherwise the live inheritor of `p`'s role.
-    fn live_position(&self, mut p: NodeId) -> NodeId {
-        while let Some(&(_, s)) = self.failed.iter().find(|&&(v, _)| v == p) {
-            p = s;
-        }
-        p
+    /// Resolve an embedded position through the re-homing redirects:
+    /// identity while no node failed, otherwise the live inheritor of `p`'s
+    /// role.
+    fn live_position(&self, p: NodeId) -> NodeId {
+        self.failed
+            .iter()
+            .find(|&&(v, _)| v == p)
+            .map(|&(_, s)| s)
+            .unwrap_or(p)
     }
 
     fn data_bytes(&self, env: &dyn PolicyEnv, var: VarHandle) -> u32 {
@@ -995,7 +1000,39 @@ impl Policy for AccessTreePolicy {
                 }
             }
         }
+        // Keep every redirect pointing at a live node: roles the victim
+        // inherited from earlier failures move on to its successor. Done
+        // after the charging loop above, which must see the pre-failure
+        // embedding.
+        for entry in &mut self.failed {
+            if entry.1 == victim {
+                entry.1 = successor;
+            }
+        }
         self.failed.push((victim, successor));
+    }
+
+    fn on_app_loss(&mut self, env: &mut dyn PolicyEnv, victim: NodeId) {
+        let managers: Vec<(VarHandle, NodeId)> = self
+            .locks
+            .lock_vars()
+            .into_iter()
+            .map(|v| (v, self.lock_manager(v)))
+            .collect();
+        let lookup = move |v: VarHandle| {
+            managers
+                .iter()
+                .find(|(h, _)| *h == v)
+                .map(|(_, m)| *m)
+                .expect("lock manager lookup for unknown variable")
+        };
+        self.locks.force_release(env, victim, lookup);
+    }
+
+    fn on_node_restore(&mut self, victim: NodeId) {
+        // The state it lost stays where it was re-homed; dropping the
+        // redirect makes the node a fresh embedding target again.
+        self.failed.retain(|&(v, _)| v != victim);
     }
 
     fn on_lock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle) {

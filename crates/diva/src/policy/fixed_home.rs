@@ -57,10 +57,11 @@ pub struct FixedHomePolicy {
     vars: Vec<Option<FhVar>>,
     txs: FastMap<TxId, FhTx>,
     locks: LockTable,
-    /// Nodes whose data-management role failed, with the successor that
-    /// inherited it, in failure order (a successor may itself fail later —
-    /// [`FixedHomePolicy::live_home`] follows the chain). Empty without a
-    /// fault plan.
+    /// Nodes whose data-management role failed, paired with the *live* node
+    /// currently holding that role: when a successor itself fails, every
+    /// redirect pointing at it is rewritten to the new successor, so lookup
+    /// is a single scan and fail→restore→fail cycles cannot form a loop.
+    /// Restoring a node removes its entry. Empty without a fault plan.
     failed: Vec<(NodeId, NodeId)>,
 }
 
@@ -83,14 +84,16 @@ impl FixedHomePolicy {
         }
     }
 
-    /// Resolve a drawn home through the re-homing chain: the identity while
-    /// no node failed (so the rng stream and all placements are untouched by
-    /// the fault subsystem), otherwise the live inheritor of `h`'s role.
-    fn live_home(&self, mut h: NodeId) -> NodeId {
-        while let Some(&(_, s)) = self.failed.iter().find(|&&(v, _)| v == h) {
-            h = s;
-        }
-        h
+    /// Resolve a drawn home through the re-homing redirects: the identity
+    /// while no node failed (so the rng stream and all placements are
+    /// untouched by the fault subsystem), otherwise the live inheritor of
+    /// `h`'s role.
+    fn live_home(&self, h: NodeId) -> NodeId {
+        self.failed
+            .iter()
+            .find(|&&(v, _)| v == h)
+            .map(|&(_, s)| s)
+            .unwrap_or(h)
     }
 
     /// The home processor of `var` (for tests).
@@ -435,7 +438,31 @@ impl Policy for FixedHomePolicy {
                 env.set_presence(victim, var, false);
             }
         }
+        // Keep every redirect pointing at a live node: roles the victim
+        // inherited from earlier failures move on to its successor.
+        for entry in &mut self.failed {
+            if entry.1 == victim {
+                entry.1 = successor;
+            }
+        }
         self.failed.push((victim, successor));
+    }
+
+    fn on_app_loss(&mut self, env: &mut dyn PolicyEnv, victim: NodeId) {
+        let homes: HashMap<VarHandle, NodeId> = self
+            .locks
+            .lock_vars()
+            .into_iter()
+            .map(|v| (v, self.var(v).home))
+            .collect();
+        let lookup = move |v: VarHandle| *homes.get(&v).expect("lock manager for unknown variable");
+        self.locks.force_release(env, victim, lookup);
+    }
+
+    fn on_node_restore(&mut self, victim: NodeId) {
+        // The state it lost stays where it was re-homed; dropping the
+        // redirect makes the node a fresh target for new registrations.
+        self.failed.retain(|&(v, _)| v != victim);
     }
 
     fn on_lock(&mut self, env: &mut dyn PolicyEnv, tx: TxId, proc: NodeId, var: VarHandle) {

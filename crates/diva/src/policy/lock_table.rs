@@ -93,6 +93,16 @@ impl LockTable {
         manager_of: impl Fn(VarHandle) -> NodeId,
     ) -> bool {
         match *msg {
+            // In-flight lock traffic from a processor lost to a node failure
+            // is dropped: its held locks were already force-released at
+            // failure time, so a straggling `LockReq` would wedge the lock on
+            // a dead holder and a straggling `LockRelease` would release a
+            // lock the teardown already handed to the next waiter.
+            PolicyMsg::LockReq { proc, .. } | PolicyMsg::LockRelease { proc, .. }
+                if env.app_lost(proc) =>
+            {
+                true
+            }
             PolicyMsg::LockReq { tx, var, proc } => {
                 let state = self.locks.entry(var).or_default();
                 if state.held_by.is_none() {
@@ -137,6 +147,54 @@ impl LockTable {
                 env.send(manager, proc, bytes, PolicyMsg::LockGrant { tx, var });
             }
         }
+    }
+
+    /// Tear down the lock footprint of a processor lost to a node failure:
+    /// purge its queued requests and force-release any lock it holds,
+    /// granting the lock to the next surviving waiter. Unlike
+    /// [`LockTable::evict`] this deliberately operates on held and contended
+    /// entries — a dead holder must never wedge its waiters. Entries are
+    /// visited in variable-handle order so both backends grant identically;
+    /// every forced release is tallied through
+    /// [`PolicyEnv::note_force_release`].
+    pub fn force_release(
+        &mut self,
+        env: &mut dyn PolicyEnv,
+        victim: NodeId,
+        manager_of: impl Fn(VarHandle) -> NodeId,
+    ) {
+        let mut vars: Vec<VarHandle> = self.locks.keys().copied().collect();
+        vars.sort_unstable();
+        for var in vars {
+            let state = self.locks.get_mut(&var).expect("key just listed");
+            // The victim's waiting requests can never be granted — its
+            // processor is gone — so they leave the queue silently.
+            state.queue.retain(|&(_, proc)| proc != victim);
+            if state.held_by != Some(victim) {
+                continue;
+            }
+            env.note_force_release();
+            let next = state.queue.pop_front();
+            state.held_by = next.map(|(_, proc)| proc);
+            if let Some((tx, proc)) = next {
+                let manager = manager_of(var);
+                if proc == manager {
+                    env.complete(tx);
+                } else {
+                    let bytes = env.config().control_msg_bytes;
+                    env.bump(Counter::ControlMessages, 1);
+                    env.send(manager, proc, bytes, PolicyMsg::LockGrant { tx, var });
+                }
+            }
+        }
+    }
+
+    /// Handles of every variable with a lock entry, in variable order (for
+    /// the policies' force-release manager lookup).
+    pub fn lock_vars(&self) -> Vec<VarHandle> {
+        let mut vars: Vec<VarHandle> = self.locks.keys().copied().collect();
+        vars.sort_unstable();
+        vars
     }
 
     /// Evict the lock entry of a variable that is being freed. The lock must

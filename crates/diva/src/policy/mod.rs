@@ -327,6 +327,16 @@ pub trait PolicyEnv {
     /// delivers to no handler — re-homing mutates directory state in place.
     /// Default no-op so protocol test harnesses need not model faults.
     fn charge_rehome(&mut self, _from: NodeId, _to: NodeId, _bytes: u32) {}
+    /// Whether `node`'s application processor has been fail-stopped by a
+    /// node failure. Lock handling consults this to drop in-flight requests
+    /// and releases from dead processors. Default `false`: without the fault
+    /// subsystem no processor is ever lost.
+    fn app_lost(&self, _node: NodeId) -> bool {
+        false
+    }
+    /// Tally one lock force-released because its holder's processor was
+    /// lost. Default no-op so protocol test harnesses need not model faults.
+    fn note_force_release(&mut self) {}
 }
 
 /// A data-management strategy.
@@ -390,6 +400,22 @@ pub trait Policy: Send {
     /// state held at the victim moves. Default no-op: a policy that ignores
     /// node failures keeps routing protocol traffic through the victim.
     fn on_node_fail(&mut self, _env: &mut dyn PolicyEnv, _victim: NodeId, _successor: NodeId) {}
+
+    /// Node `victim`'s *application* processor was fail-stopped (the runtime
+    /// fail-stops resident programs along with the node's DM role). The
+    /// policy must tear down the victim's lock footprint — force-releasing
+    /// held locks so surviving waiters are never wedged — via
+    /// [`LockTable::force_release`](lock_table::LockTable::force_release).
+    /// Called after `on_node_fail` of the same victim. Default no-op.
+    fn on_app_loss(&mut self, _env: &mut dyn PolicyEnv, _victim: NodeId) {}
+
+    /// Node `victim` rejoined as a fresh DM successor. Pure bookkeeping: the
+    /// directory state it lost stays where it was re-homed (pulling it back
+    /// would cost a second migration for no placement benefit — the
+    /// successor is as good a host as the restored node), so the policy only
+    /// drops the victim's re-homing redirect, making it eligible again for
+    /// new registrations and future successions. Default no-op.
+    fn on_node_restore(&mut self, _victim: NodeId) {}
 }
 
 #[cfg(test)]

@@ -26,6 +26,10 @@ struct MockEnv {
     messages_sent: u64,
     bytes_sent: u64,
     rehomes: Vec<(NodeId, NodeId, u32)>,
+    /// Processors whose application was lost to a node failure.
+    lost: HashSet<NodeId>,
+    /// Forced lock releases tallied through `note_force_release`.
+    force_released: u64,
 }
 
 impl MockEnv {
@@ -46,6 +50,8 @@ impl MockEnv {
             messages_sent: 0,
             bytes_sent: 0,
             rehomes: Vec::new(),
+            lost: HashSet::new(),
+            force_released: 0,
         }
     }
 
@@ -106,6 +112,12 @@ impl PolicyEnv for MockEnv {
     }
     fn charge_rehome(&mut self, from: NodeId, to: NodeId, bytes: u32) {
         self.rehomes.push((from, to, bytes));
+    }
+    fn app_lost(&self, node: NodeId) -> bool {
+        self.lost.contains(&node)
+    }
+    fn note_force_release(&mut self) {
+        self.force_released += 1;
     }
 }
 
@@ -321,6 +333,65 @@ fn at_lock_is_mutually_exclusive_and_fifo() {
     policy.on_unlock(&mut env, TxId(12), NodeId(3), var);
     env.run(&mut policy);
     assert_eq!(env.counter(Counter::Locks), 3);
+}
+
+#[test]
+fn a_dead_lock_holder_never_wedges_its_waiters() {
+    // The exact liveness hazard `LockTable::force_release` exists for:
+    // processor 1 holds the lock when its node fails; processors 2 and 3
+    // wait. The dead holder can never send its release (straggling lock
+    // traffic from lost processors is dropped), the entry is held *and*
+    // contended — `evict` would fail loudly — so without intervention the
+    // waiters hang forever. `on_app_loss` must hand the lock to the next
+    // waiter in FIFO order and tally the forced release.
+    for at in [true, false] {
+        let (mut policy, mut env): (Box<dyn Policy>, MockEnv) = if at {
+            let (p, e) = setup_at(TreeShape::quad(), 4);
+            (Box::new(p), e)
+        } else {
+            let (p, e) = setup_fh(4);
+            (Box::new(p), e)
+        };
+        let var = VarHandle(0);
+        policy.register_var(var, NodeId(0), 64);
+        policy.on_lock(&mut env, TxId(1), NodeId(1), var);
+        policy.on_lock(&mut env, TxId(2), NodeId(2), var);
+        policy.on_lock(&mut env, TxId(3), NodeId(3), var);
+        env.run(policy.as_mut());
+        assert_eq!(env.completed_txs(), vec![TxId(1)], "at={at}");
+
+        // The holder's node fails mid-critical-section. A straggling
+        // release from the dead processor must be dropped, not unlock on
+        // its behalf.
+        env.lost.insert(NodeId(1));
+        policy.on_message(
+            &mut env,
+            NodeId(0),
+            PolicyMsg::LockRelease {
+                var,
+                proc: NodeId(1),
+            },
+        );
+        env.run(policy.as_mut());
+        assert_eq!(env.completed_txs(), vec![TxId(1)], "at={at}");
+        assert_eq!(env.force_released, 0, "at={at}");
+
+        // The teardown breaks the wedge: processor 2 is granted...
+        policy.on_app_loss(&mut env, NodeId(1));
+        env.run(policy.as_mut());
+        assert_eq!(env.completed_txs(), vec![TxId(1), TxId(2)], "at={at}");
+        assert_eq!(env.force_released, 1, "at={at}");
+
+        // ...and the normal hand-off chain resumes behind it.
+        policy.on_unlock(&mut env, TxId(10), NodeId(2), var);
+        env.run(policy.as_mut());
+        assert!(env.completed_txs().contains(&TxId(3)), "at={at}");
+        policy.on_unlock(&mut env, TxId(11), NodeId(3), var);
+        env.run(policy.as_mut());
+        // The entry is quiescent again: the teardown-on-free path (which
+        // asserts exactly that) accepts it.
+        policy.free_var(&mut env, var);
+    }
 }
 
 // ---------------------------------------------------------------------------

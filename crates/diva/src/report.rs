@@ -51,6 +51,16 @@ pub struct FaultTally {
     pub rehome_msgs: u64,
     /// Migration bytes charged for re-homing directory state.
     pub rehome_bytes: u64,
+    /// Links returned to service at their pristine cost.
+    pub links_healed: u64,
+    /// Failed nodes brought back as fresh DM successors.
+    pub nodes_restored: u64,
+    /// Locks force-released because their holder's processor was lost.
+    pub locks_force_released: u64,
+    /// Application processors fail-stopped (directly by a node failure, or
+    /// transitively because they could only ever be unblocked by a lost
+    /// processor).
+    pub procs_lost: u64,
 }
 
 impl FaultTally {
@@ -201,6 +211,13 @@ impl RunReport {
                 self.faults.rehome_msgs,
                 self.faults.rehome_bytes
             ));
+            let f = &self.faults;
+            if f.links_healed + f.nodes_restored + f.locks_force_released + f.procs_lost > 0 {
+                s.push_str(&format!(
+                    "recovery:            {} links healed, {} nodes restored, {} locks force-released, {} procs lost\n",
+                    f.links_healed, f.nodes_restored, f.locks_force_released, f.procs_lost
+                ));
+            }
         }
         for c in Counter::ALL {
             s.push_str(&format!(
@@ -288,5 +305,14 @@ mod tests {
         faulty.faults.rehome_bytes = 640;
         assert!(faulty.faults.any());
         assert!(faulty.summary().contains("2 links failed"));
+        // Recovery counters stay off the summary until one is non-zero.
+        assert!(!faulty.summary().contains("recovery:"));
+        faulty.faults.links_healed = 2;
+        faulty.faults.locks_force_released = 1;
+        faulty.faults.procs_lost = 1;
+        let s = faulty.summary();
+        assert!(s.contains("2 links healed"));
+        assert!(s.contains("1 locks force-released"));
+        assert!(s.contains("1 procs lost"));
     }
 }

@@ -69,6 +69,11 @@ pub(crate) struct EnvState {
     pub proc_region: Vec<RegionId>,
     /// Fault accounting for the report (all zero without a fault plan).
     pub faults: FaultTally,
+    /// Which application processors were fail-stopped by a node failure
+    /// (all false without a fault plan). Lives in the env so policy code
+    /// can drop straggling traffic from dead processors (see
+    /// [`PolicyEnv::app_lost`]).
+    pub app_lost: Vec<bool>,
     /// Latest arrival of any re-homing migration message: folded into the
     /// total time so recovery traffic extends the run like protocol traffic.
     pub rehome_quiesce: SimTime,
@@ -126,6 +131,14 @@ impl PolicyEnv for EnvState {
         self.counters[counter.index()] += n;
     }
 
+    fn app_lost(&self, node: NodeId) -> bool {
+        self.app_lost[node.index()]
+    }
+
+    fn note_force_release(&mut self) {
+        self.faults.locks_force_released += 1;
+    }
+
     fn charge_rehome(&mut self, from: NodeId, to: NodeId, bytes: u32) {
         // Routed, timed and counted like any message (the congestion cost of
         // recovery is the point), but delivered to no handler: re-homing
@@ -137,6 +150,31 @@ impl PolicyEnv for EnvState {
         self.rehome_quiesce = self.rehome_quiesce.max(d.arrival);
     }
 }
+
+/// Summary of application-processor losses in a run: produced when node
+/// failures fail-stopped one or more resident programs but the survivors
+/// still ran to completion (the degraded outcome).
+pub(crate) struct AppLoss {
+    /// Virtual time of the first loss.
+    pub at: SimTime,
+    /// The lost processors, in loss order.
+    pub lost: Vec<NodeId>,
+    /// FNV-1a digest over `(processor id, final clock)` of every surviving
+    /// processor — a cheap cross-backend parity witness for degraded runs.
+    pub survivor_checksum: u64,
+}
+
+/// What [`Coordinator::run`] returns: the report, the frontend (it owns the
+/// final program states), the recorded queue trace, the partition that ended
+/// the run early (if any), and the app losses node failures inflicted (if
+/// any).
+pub(crate) type RunArtifacts<F> = (
+    RunReport,
+    F,
+    Vec<dm_engine::QueueOp>,
+    Option<(SimTime, NodeId)>,
+    Option<AppLoss>,
+);
 
 /// The coordinator of a [`Diva::run`](crate::Diva::run) /
 /// [`Diva::run_driven`](crate::Diva::run_driven) execution.
@@ -180,9 +218,22 @@ pub(crate) struct Coordinator<F: Frontend> {
     /// loop reuses one allocation.
     completion_scratch: Vec<(TxId, SimTime)>,
 
-    /// Which nodes still carry their data-management role (all true without
-    /// a fault plan; node failure is fail-stop of that role only).
+    /// Which nodes currently carry their data-management role (all true
+    /// without a fault plan; a [`FaultAction::RestoreNode`] flips the bit
+    /// back and the node rejoins as a fresh successor candidate).
     node_alive: Vec<bool>,
+    /// Per-processor "no further requests owed" flag: set on a normal
+    /// `Finish` and when a node failure fail-stops the resident program.
+    proc_done: Vec<bool>,
+    /// Per-processor "arrived at the barrier, awaiting its wake" flag —
+    /// barrier-membership removal of a lost processor must be deferred
+    /// while this is set (its arrival was already counted; see
+    /// [`TreeBarrier::remove`]).
+    in_barrier: Vec<bool>,
+    /// Application processors lost to node failures, in loss order.
+    lost_procs: Vec<NodeId>,
+    /// Virtual time of the first application-processor loss.
+    first_loss: Option<SimTime>,
     /// Set when link failures disconnect the surviving network: `(time,
     /// first unreachable node)`. Ends the run cleanly.
     partitioned: Option<(SimTime, NodeId)>,
@@ -224,6 +275,7 @@ impl<F: Frontend> Coordinator<F> {
                 completions: Vec::new(),
                 proc_region: vec![dm_engine::GLOBAL_REGION; nprocs],
                 faults: FaultTally::default(),
+                app_lost: vec![false; nprocs],
                 rehome_quiesce: 0,
                 next_tx: 0,
             },
@@ -247,6 +299,10 @@ impl<F: Frontend> Coordinator<F> {
             epoch_compact_at: vec![64; nprocs],
             completion_scratch: Vec::new(),
             node_alive: vec![true; nprocs],
+            proc_done: vec![false; nprocs],
+            in_barrier: vec![false; nprocs],
+            lost_procs: Vec::new(),
+            first_loss: None,
             partitioned: None,
             last_event_time: 0,
         };
@@ -276,14 +332,7 @@ impl<F: Frontend> Coordinator<F> {
     /// it), the frontend (the driven frontend owns the final program states),
     /// and — if link failures disconnected the machine — the partition that
     /// ended the run early.
-    pub(crate) fn run(
-        mut self,
-    ) -> (
-        RunReport,
-        F,
-        Vec<dm_engine::QueueOp>,
-        Option<(SimTime, NodeId)>,
-    ) {
+    pub(crate) fn run(mut self) -> RunArtifacts<F> {
         let mut batch = Vec::new();
         loop {
             // 1. Gather one round of requests: one blocking operation per
@@ -322,12 +371,57 @@ impl<F: Frontend> Coordinator<F> {
                         break;
                     }
                 }
-                None => self.report_deadlock(),
+                None => {
+                    // No runnable processor and no pending event. Without
+                    // losses this is an application bug (missing send/recv,
+                    // barrier or unlock). With lost application processors
+                    // it is starvation, not a bug: a survivor blocked on a
+                    // dead peer (say, a receive whose sender was lost) can
+                    // never be woken — it is transitively lost, and the run
+                    // ends degraded instead of hanging.
+                    if self.lost_procs.is_empty() {
+                        self.report_deadlock();
+                    }
+                    self.starvation_kill();
+                }
             }
         }
+        let loss = self.app_loss_summary();
         let report = self.build_report();
         let trace = self.env.events.take_trace();
-        (report, self.frontend, trace, self.partitioned)
+        (report, self.frontend, trace, self.partitioned, loss)
+    }
+
+    /// Package the loss bookkeeping for the degraded outcome (`None` when no
+    /// application processor was lost).
+    fn app_loss_summary(&self) -> Option<AppLoss> {
+        if self.lost_procs.is_empty() {
+            return None;
+        }
+        // FNV-1a over (processor id, final clock) of the survivors: both
+        // quantities are bit-identical across backends, so the digest is a
+        // compact parity witness for degraded runs.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for p in 0..self.nprocs {
+            if self.env.app_lost[p] {
+                continue;
+            }
+            for byte in (p as u64)
+                .to_le_bytes()
+                .into_iter()
+                .chain(self.proc_clock[p].to_le_bytes())
+            {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        Some(AppLoss {
+            at: self
+                .first_loss
+                .expect("lost processors without a loss time"),
+            lost: self.lost_procs.clone(),
+            survivor_checksum: hash,
+        })
     }
 
     /// Issue time of a request: the processor's clock plus the locally
@@ -337,6 +431,11 @@ impl<F: Frontend> Coordinator<F> {
     }
 
     fn respond(&mut self, proc: usize, resp: Response) {
+        // Whatever would have woken a lost processor evaporates: its program
+        // is fail-stopped and must never become runnable again.
+        if self.env.app_lost[proc] {
+            return;
+        }
         self.frontend.respond(proc, resp);
     }
 
@@ -422,6 +521,7 @@ impl<F: Frontend> Coordinator<F> {
             }
             Request::Barrier { .. } => {
                 self.barrier_arrivals += 1;
+                self.in_barrier[proc] = true;
                 let actions = self.barrier.arrive(NodeId(proc as u32));
                 self.apply_barrier_actions(actions, now);
             }
@@ -480,6 +580,7 @@ impl<F: Frontend> Coordinator<F> {
             }
             Request::Finish { .. } => {
                 self.flush_region_time(proc, now);
+                self.proc_done[proc] = true;
                 self.finished += 1;
             }
         }
@@ -501,6 +602,12 @@ impl<F: Frontend> Coordinator<F> {
                 tag,
                 value,
             } => {
+                // A payload that was in flight when its destination
+                // processor was lost evaporates (and must not advance the
+                // dead processor's frozen clock).
+                if self.env.app_lost[to] {
+                    return;
+                }
                 let key = (to, from, tag);
                 let now = self.env.now;
                 if let Some(issue) = self.pending_recv.get_mut(&key).and_then(|q| q.pop_front()) {
@@ -540,11 +647,100 @@ impl<F: Frontend> Coordinator<F> {
                 if !self.node_alive[victim.index()] {
                     return;
                 }
+                // Liveness backstop for hand-written or randomized plans:
+                // the last alive node never fails (there would be no
+                // successor for its data-management role).
+                if self.node_alive.iter().filter(|&&a| a).count() == 1 {
+                    return;
+                }
                 self.node_alive[victim.index()] = false;
                 self.env.faults.nodes_failed += 1;
                 let successor = self.successor_of(victim);
                 self.policy.on_node_fail(&mut self.env, victim, successor);
+                // Node failure is fail-stop of the *whole* node: the
+                // resident application processor dies with its
+                // data-management role.
+                self.kill_app(victim);
             }
+            FaultAction::HealLinks(links) => {
+                for link in links {
+                    if self.env.network.heal_link(link) {
+                        self.env.faults.links_healed += 1;
+                    }
+                }
+            }
+            FaultAction::RestoreNode(victim) => {
+                if self.node_alive[victim.index()] {
+                    return;
+                }
+                self.node_alive[victim.index()] = true;
+                self.env.faults.nodes_restored += 1;
+                // The node rejoins as a *fresh* successor candidate: it is
+                // again eligible to inherit roles from future failures, but
+                // directory state re-homed away from it stays where it is
+                // and its lost application processor does not come back
+                // (fail-stop) — see docs/architecture.md for the rationale.
+                self.policy.on_node_restore(victim);
+            }
+        }
+    }
+
+    /// Fail-stop the application processor resident on a failed node: drain
+    /// its in-flight work so the run completes (degraded) instead of
+    /// hanging. A program that already finished keeps its result — only the
+    /// node's data-management role was lost.
+    fn kill_app(&mut self, victim: NodeId) {
+        let p = victim.index();
+        if self.proc_done[p] {
+            return;
+        }
+        let now = self.env.now;
+        self.env.app_lost[p] = true;
+        self.lost_procs.push(victim);
+        self.env.faults.procs_lost += 1;
+        self.first_loss.get_or_insert(now);
+        // The victim counts as finished for the termination condition; its
+        // region wall time closes at its last known local clock (the clock
+        // of a dead processor never advances again).
+        let clock = self.proc_clock[p];
+        self.flush_region_time(p, clock);
+        self.proc_done[p] = true;
+        self.finished += 1;
+        // Never step (or wait for) the victim's program again.
+        self.frontend.kill(p);
+        // Receives the victim posted can never complete; payloads already
+        // in flight towards it evaporate in `MpDeliver`.
+        self.pending_recv.retain(|&(to, _, _), _| to != p);
+        // Locks: purge the victim's queued requests and force-release any
+        // lock it holds so a dead holder never wedges its waiters (the next
+        // waiter is granted; straggling lock traffic from the victim is
+        // dropped by the `LockTable`).
+        self.policy.on_app_loss(&mut self.env, victim);
+        // Barrier membership: if the victim is waiting inside the barrier
+        // its arrival was already counted, so removal is deferred until the
+        // round completes and its wake is dropped (see
+        // `apply_barrier_actions`); otherwise rounds stop expecting it now.
+        if !self.in_barrier[p] {
+            let actions = self.barrier.remove(victim);
+            self.apply_barrier_actions(actions, now);
+        }
+    }
+
+    /// Kill every still-blocked unfinished processor: they are transitively
+    /// lost (blocked on a dead peer), the simulation has no event left that
+    /// could wake them. Only called when at least one processor was already
+    /// lost to a node failure.
+    fn starvation_kill(&mut self) {
+        let stalled: Vec<NodeId> = (0..self.nprocs)
+            .filter(|&p| !self.proc_done[p])
+            .map(|p| NodeId(p as u32))
+            .collect();
+        debug_assert!(
+            !stalled.is_empty(),
+            "starvation kill with every processor finished"
+        );
+        for victim in stalled {
+            self.kill_app(victim);
         }
     }
 
@@ -574,6 +770,17 @@ impl<F: Frontend> Coordinator<F> {
                 }
                 BarrierAction::Wake { proc } => {
                     let p = proc.index();
+                    self.in_barrier[p] = false;
+                    if self.env.app_lost[p] {
+                        // The processor died while waiting inside the
+                        // barrier: its arrival was counted and the round
+                        // completed normally. Its wake is dropped, and only
+                        // now — with no in-flight arrival left — is its
+                        // membership removed for future rounds.
+                        let removal = self.barrier.remove(proc);
+                        self.apply_barrier_actions(removal, now);
+                        continue;
+                    }
                     self.proc_clock[p] = self.proc_clock[p].max(now);
                     self.respond(p, Response::Done);
                 }
@@ -593,6 +800,11 @@ impl<F: Frontend> Coordinator<F> {
                     .remove(&tx)
                     .expect("completion of an unknown transaction");
                 let proc = rec.proc;
+                if self.env.app_lost[proc] {
+                    // The transaction outlived its processor; the result
+                    // evaporates and the dead clock stays frozen.
+                    continue;
+                }
                 self.proc_clock[proc] = self.proc_clock[proc].max(at);
                 let resp = match rec.kind {
                     TxKind::Read => {

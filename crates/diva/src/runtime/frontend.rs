@@ -37,15 +37,27 @@ pub(crate) trait Frontend {
     /// Deliver the result of a blocking operation, unblocking `proc` so its
     /// next request appears in a subsequent round.
     fn respond(&mut self, proc: usize, resp: Response);
+
+    /// Permanently remove `proc` from the schedule: its program is never
+    /// stepped (or waited for) again and it owes no further requests.
+    /// Called when a node failure fail-stops the resident application
+    /// processor; the coordinator guarantees `respond` is never called for
+    /// a killed processor afterwards.
+    fn kill(&mut self, proc: usize);
 }
 
 /// The thread-per-processor frontend (the classic DIVA execution mode).
 pub(crate) struct ThreadedFrontend {
     req_rx: Receiver<TimedRequest>,
-    resp_tx: Vec<Sender<Response>>,
+    /// Per-processor response channels; `None` once the processor was
+    /// killed (dropping the sender is what unwinds its blocked thread).
+    resp_tx: Vec<Option<Sender<Response>>>,
     /// Number of worker threads currently running (i.e. that will send one
     /// more request).
     active: usize,
+    /// Processors killed by a node failure: their parting requests (the
+    /// unwinding thread's `finish` notification) are discarded by `gather`.
+    killed: Vec<bool>,
 }
 
 impl ThreadedFrontend {
@@ -56,8 +68,9 @@ impl ThreadedFrontend {
     ) -> Self {
         ThreadedFrontend {
             req_rx,
-            resp_tx,
+            resp_tx: resp_tx.into_iter().map(Some).collect(),
             active: nprocs,
+            killed: vec![false; nprocs],
         }
     }
 }
@@ -69,6 +82,13 @@ impl Frontend for ThreadedFrontend {
                 .req_rx
                 .recv()
                 .expect("a worker thread terminated without notifying the coordinator");
+            if self.killed[req.req.proc()] {
+                // The parting `Finish` a killed worker sends while
+                // unwinding. The victim was blocked (outside the active
+                // count) when it was killed, so this owes the round
+                // nothing and is dropped without touching `active`.
+                continue;
+            }
             self.active -= 1;
             batch.push(req);
         }
@@ -76,9 +96,20 @@ impl Frontend for ThreadedFrontend {
 
     fn respond(&mut self, proc: usize, resp: Response) {
         self.resp_tx[proc]
+            .as_ref()
+            .expect("response to a killed processor")
             .send(resp)
             .expect("worker thread terminated while waiting for a response");
         self.active += 1;
+    }
+
+    fn kill(&mut self, proc: usize) {
+        self.killed[proc] = true;
+        // Sever the response channel: the victim's thread — blocked in its
+        // response receive, since faults only fire while every live worker
+        // is blocked — unwinds on the disconnect (silently, via
+        // `resume_unwind`, not the panic hook).
+        self.resp_tx[proc] = None;
     }
 }
 
@@ -267,5 +298,12 @@ impl<P: ProcProgram> Frontend for DrivenFrontend<P> {
     fn respond(&mut self, proc: usize, resp: Response) {
         self.slots[proc].absorb(resp);
         self.runnable.push(proc);
+    }
+
+    fn kill(&mut self, proc: usize) {
+        // Faults fire only while every processor is blocked, so the victim
+        // cannot be runnable; the retain is a cheap safety net. Its program
+        // stays owned (frozen mid-operation) until `into_programs`.
+        self.runnable.retain(|&p| p != proc);
     }
 }

@@ -194,16 +194,40 @@ pub struct Partitioned {
     pub report: RunReport,
 }
 
+/// The payload of a run that lost one or more application processors to
+/// node failures but still ran to completion. Node failure is fail-stop of
+/// the *whole* node: with its data-management role, the resident program
+/// dies too. The runtime drains the victim's in-flight work — held locks
+/// are force-released, barrier membership is removed, posted receives are
+/// cancelled — so the survivors finish instead of hanging.
+pub struct Degraded<R> {
+    /// Virtual time of the first application-processor loss.
+    pub at: SimTime,
+    /// The lost processors, in loss order (includes processors transitively
+    /// starved by a loss, e.g. blocked on a receive whose sender died).
+    pub lost_procs: Vec<NodeId>,
+    /// FNV-1a digest over `(processor id, final clock)` of every surviving
+    /// processor — a compact cross-backend parity witness for degraded runs
+    /// (bit-identical across the threaded, driven and parallel backends).
+    pub survivor_checksum: u64,
+    /// Statistics of the whole (degraded) run.
+    pub report: RunReport,
+    /// Per-processor results, `None` for lost processors.
+    pub results: Vec<Option<R>>,
+}
+
 /// The result of running a program on a [`Diva`] instance.
 ///
-/// Without a [`DivaConfig::fault_plan`] (or with one that never disconnects
-/// the machine) the outcome is always [`RunOutcome::Completed`];
-/// [`RunOutcome::expect_completed`] unwraps it.
+/// Without a [`DivaConfig::fault_plan`] (or with one that neither
+/// disconnects the machine nor fails a node) the outcome is always
+/// [`RunOutcome::Completed`]; [`RunOutcome::expect_completed`] unwraps it.
 pub enum RunOutcome<R> {
     /// The run finished normally.
     Completed(RunDone<R>),
     /// Link failures disconnected the machine; the run ended early.
     Partitioned(Partitioned),
+    /// Node failures lost application processors; the survivors completed.
+    Degraded(Degraded<R>),
 }
 
 impl<R> RunOutcome<R> {
@@ -212,6 +236,7 @@ impl<R> RunOutcome<R> {
         match self {
             RunOutcome::Completed(done) => &done.report,
             RunOutcome::Partitioned(p) => &p.report,
+            RunOutcome::Degraded(d) => &d.report,
         }
     }
 
@@ -223,19 +248,37 @@ impl<R> RunOutcome<R> {
     /// The partition details, if the run was cut short.
     pub fn partitioned(&self) -> Option<&Partitioned> {
         match self {
-            RunOutcome::Completed(_) => None,
             RunOutcome::Partitioned(p) => Some(p),
+            _ => None,
         }
     }
 
-    /// Unwrap a completed run; panics (with the partition time and witness
-    /// node) if the network was disconnected.
+    /// Whether node failures lost application processors.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunOutcome::Degraded(_))
+    }
+
+    /// The loss details, if the run was degraded.
+    pub fn degraded(&self) -> Option<&Degraded<R>> {
+        match self {
+            RunOutcome::Degraded(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Unwrap a completed run; panics (with the fault details) if the
+    /// network was disconnected or application processors were lost.
     pub fn expect_completed(self) -> RunDone<R> {
         match self {
             RunOutcome::Completed(done) => done,
             RunOutcome::Partitioned(p) => panic!(
                 "run partitioned at {} ns (node {} unreachable) — handle RunOutcome::Partitioned",
                 p.at, p.unreachable
+            ),
+            RunOutcome::Degraded(d) => panic!(
+                "run degraded at {} ns ({} processor(s) lost) — handle RunOutcome::Degraded",
+                d.at,
+                d.lost_procs.len()
             ),
         }
     }
@@ -444,7 +487,7 @@ impl Diva {
                     })
                 })
                 .collect();
-            let (report, frontend, queue_trace, partitioned) = coordinator.run();
+            let (report, frontend, queue_trace, partitioned, loss) = coordinator.run();
             if let Some((at, unreachable)) = partitioned {
                 // The run ended early: workers are still blocked in their
                 // response channels. Dropping the frontend severs those
@@ -459,6 +502,33 @@ impl Diva {
                     at,
                     unreachable,
                     report,
+                });
+            }
+            if let Some(loss) = loss {
+                // Degraded run: the killed workers' channels were severed at
+                // fault time and their threads already unwound; their unwind
+                // payloads are expected and dropped. Survivor panics still
+                // propagate.
+                let results = handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(p, h)| match h.join() {
+                        Ok(Ok(r)) => Some(r),
+                        Ok(Err(e)) | Err(e) => {
+                            if loss.lost.iter().any(|n| n.index() == p) {
+                                None
+                            } else {
+                                resume_unwind(e)
+                            }
+                        }
+                    })
+                    .collect();
+                return RunOutcome::Degraded(Degraded {
+                    at: loss.at,
+                    lost_procs: loss.lost,
+                    survivor_checksum: loss.survivor_checksum,
+                    report,
+                    results,
                 });
             }
             let results = handles
@@ -569,12 +639,34 @@ impl Diva {
         if cfg.calibrated_delays {
             coordinator.env.network.apply_calibrated_costs();
         }
-        let (report, frontend, queue_trace, partitioned) = coordinator.run();
+        let (report, frontend, queue_trace, partitioned, loss) = coordinator.run();
         if let Some((at, unreachable)) = partitioned {
             return RunOutcome::Partitioned(Partitioned {
                 at,
                 unreachable,
                 report,
+            });
+        }
+        if let Some(loss) = loss {
+            // Lost programs are frozen mid-operation; their final states are
+            // meaningless and withheld as `None`.
+            let results = extract(frontend)
+                .into_iter()
+                .enumerate()
+                .map(|(p, r)| {
+                    if loss.lost.iter().any(|n| n.index() == p) {
+                        None
+                    } else {
+                        Some(r)
+                    }
+                })
+                .collect();
+            return RunOutcome::Degraded(Degraded {
+                at: loss.at,
+                lost_procs: loss.lost,
+                survivor_checksum: loss.survivor_checksum,
+                report,
+                results,
             });
         }
         RunOutcome::Completed(RunDone {

@@ -223,4 +223,16 @@ impl<P: ProcProgram> Frontend for ParallelFrontend<P> {
         part.runnable.push(li);
         self.runnable_total += 1;
     }
+
+    fn kill(&mut self, proc: usize) {
+        // Faults fire only while every processor is blocked, so the victim
+        // cannot be runnable; the sweep is a cheap safety net (removal
+        // order is irrelevant — the coordinator sorts every round).
+        let (pi, li) = self.locate[proc];
+        let part = &mut self.parts[pi as usize];
+        if let Some(pos) = part.runnable.iter().position(|&x| x == li) {
+            part.runnable.swap_remove(pos);
+            self.runnable_total -= 1;
+        }
+    }
 }

@@ -1,7 +1,8 @@
 //! End-to-end tests of the fault-injection subsystem: empty plans are
 //! non-perturbing, degradations slow the clock, node failures re-home
-//! directory state, and disconnecting plans yield a clean partitioned
-//! outcome in both backends.
+//! directory state and fail-stop the resident program (degraded outcome),
+//! healed links revert routes exactly, and disconnecting plans yield a
+//! clean partitioned outcome in both backends.
 
 use dm_diva::{
     Diva, DivaConfig, FaultPlan, FaultTally, Op, ProcProgram, RunOutcome, StepCtx, StrategyKind,
@@ -44,12 +45,18 @@ impl ProcProgram for ReadAll {
     }
 }
 
-fn run_read_all(cfg: DivaConfig) -> RunOutcome<ReadAll> {
+/// Build the instance and its 8 shared variables (one per owner, round
+/// robin), shared by the driven and prototype harnesses.
+fn setup(cfg: DivaConfig) -> (Diva, Arc<Vec<VarHandle>>) {
     let mut diva = Diva::new(cfg);
     let vars: Vec<VarHandle> = (0..8)
         .map(|i| diva.alloc(i % diva.num_procs(), 256, vec![i as u32; 64]))
         .collect();
-    let vars = Arc::new(vars);
+    (diva, Arc::new(vars))
+}
+
+fn run_read_all(cfg: DivaConfig) -> RunOutcome<ReadAll> {
+    let (diva, vars) = setup(cfg);
     let programs: Vec<ReadAll> = (0..diva.num_procs())
         .map(|_| ReadAll {
             vars: Arc::clone(&vars),
@@ -58,6 +65,17 @@ fn run_read_all(cfg: DivaConfig) -> RunOutcome<ReadAll> {
         })
         .collect();
     diva.run_driven(programs)
+}
+
+/// The closure twin of [`ReadAll`] for cross-backend parity checks.
+fn run_read_all_prototype(cfg: DivaConfig) -> RunOutcome<()> {
+    let (diva, vars) = setup(cfg);
+    diva.run_prototype(move |ctx| {
+        for &v in vars.iter() {
+            ctx.read::<Vec<u32>>(v);
+        }
+        ctx.barrier();
+    })
 }
 
 #[test]
@@ -93,32 +111,136 @@ fn degrading_every_link_slows_the_run_and_is_tallied() {
 }
 
 #[test]
-fn a_node_failure_rehomes_directory_state() {
+fn a_node_failure_rehomes_directory_state_and_degrades_the_run() {
     for cfg in configs(4) {
         let name = cfg.strategy.name();
         let plan = FaultPlan::new(7).fail_node(NodeId(3), 0);
-        let out = run_read_all(cfg.with_fault_plan(plan)).expect_completed();
-        assert_eq!(out.report.faults.nodes_failed, 1, "strategy {name}");
-        assert!(out.report.faults.rehome_msgs > 0, "strategy {name}");
-        assert!(out.report.faults.rehome_bytes > 0, "strategy {name}");
-        assert!(out.report.total_time > 0, "strategy {name}");
+        let out = run_read_all(cfg.with_fault_plan(plan));
+        let d = out
+            .degraded()
+            .expect("failing a node fail-stops its program: the run degrades");
+        assert_eq!(d.report.faults.nodes_failed, 1, "strategy {name}");
+        assert!(d.report.faults.rehome_msgs > 0, "strategy {name}");
+        assert!(d.report.faults.rehome_bytes > 0, "strategy {name}");
+        assert!(d.report.total_time > 0, "strategy {name}");
+        // Only the resident program is lost; the survivors complete and
+        // keep their results.
+        assert_eq!(d.lost_procs, vec![NodeId(3)], "strategy {name}");
+        assert_eq!(d.report.faults.procs_lost, 1, "strategy {name}");
+        assert!(d.results[3].is_none(), "strategy {name}");
+        assert_eq!(
+            d.results.iter().filter(|r| r.is_some()).count(),
+            15,
+            "strategy {name}"
+        );
     }
 }
 
 #[test]
 fn node_failures_never_partition_and_runs_stay_deterministic() {
-    // Links survive a node failure (only the DM role stops), so even many
-    // failed nodes leave the network connected — and repeated runs of the
-    // same plan are bit-identical.
+    // Links survive a node failure (only the node's roles stop), so even
+    // many failed nodes leave the network connected — and repeated runs of
+    // the same plan are bit-identical, down to the loss bookkeeping.
     for cfg in configs(4) {
         let name = cfg.strategy.name();
         let plan = FaultPlan::new(11)
             .fail_random_nodes(4, 0)
             .fail_node(NodeId(9), 500_000);
-        let a = run_read_all(cfg.clone().with_fault_plan(plan.clone())).expect_completed();
-        let b = run_read_all(cfg.with_fault_plan(plan)).expect_completed();
-        assert_eq!(a.report, b.report, "strategy {name}");
-        assert_eq!(a.report.faults.nodes_failed, 5, "strategy {name}");
+        let a = run_read_all(cfg.clone().with_fault_plan(plan.clone()));
+        let b = run_read_all(cfg.with_fault_plan(plan));
+        let (da, db) = (
+            a.degraded().expect("node failures degrade the run"),
+            b.degraded().expect("node failures degrade the run"),
+        );
+        assert_eq!(da.report, db.report, "strategy {name}");
+        assert_eq!(da.at, db.at, "strategy {name}");
+        assert_eq!(da.lost_procs, db.lost_procs, "strategy {name}");
+        assert_eq!(
+            da.survivor_checksum, db.survivor_checksum,
+            "strategy {name}"
+        );
+        assert_eq!(da.report.faults.nodes_failed, 5, "strategy {name}");
+        assert!(da.report.faults.procs_lost >= 4, "strategy {name}");
+    }
+}
+
+#[test]
+fn healing_failed_links_reverts_routes_exactly() {
+    // Fail a batch of links at t=0 and heal them 1 ns later: the window is
+    // too short for any message to be routed over the broken network (link
+    // latencies are orders of magnitude larger), so after the heal every
+    // simulated quantity must revert exactly — post-heal routes are
+    // byte-equal to pre-fault routes — leaving only the fault tally as a
+    // witness that the window existed.
+    for cfg in configs(4) {
+        let name = cfg.strategy.name();
+        let base = run_read_all(cfg.clone()).expect_completed();
+        let plan = FaultPlan::new(13).fail_links_for(0.1, 0, 1);
+        let healed = run_read_all(cfg.with_fault_plan(plan)).expect_completed();
+        assert!(healed.report.faults.links_failed > 0, "strategy {name}");
+        assert_eq!(
+            healed.report.faults.links_failed, healed.report.faults.links_healed,
+            "strategy {name}"
+        );
+        let mut scrubbed = healed.report.clone();
+        scrubbed.faults = base.report.faults;
+        assert_eq!(scrubbed, base.report, "strategy {name}");
+    }
+}
+
+#[test]
+fn degraded_runs_with_heals_are_bit_identical_across_backends_and_workers() {
+    // An active plan — node loss at t=0, a transient link-failure window
+    // mid-run, and a later restore of the failed node — must produce
+    // bit-identical degraded outcomes under the serial driven backend,
+    // worker counts 2–4, and the threaded prototype backend.
+    let plan = FaultPlan::new(21)
+        .fail_node(NodeId(5), 0)
+        .fail_links_for(0.1, 200_000, 300_000)
+        .restore_node(NodeId(5), 600_000);
+    for cfg in configs(4) {
+        let name = cfg.strategy.name();
+        let outcomes: Vec<_> = (1..=4)
+            .map(|w| run_read_all(cfg.clone().with_fault_plan(plan.clone()).with_workers(w)))
+            .collect();
+        let d1 = outcomes[0]
+            .degraded()
+            .expect("losing node 5's program degrades the run");
+        assert_eq!(d1.lost_procs, vec![NodeId(5)], "strategy {name}");
+        assert_eq!(d1.report.faults.nodes_restored, 1, "strategy {name}");
+        assert_eq!(
+            d1.report.faults.links_failed, d1.report.faults.links_healed,
+            "strategy {name}"
+        );
+        for (i, out) in outcomes.iter().enumerate().skip(1) {
+            let d = out.degraded().expect("parallel run must degrade too");
+            assert_eq!(d1.report, d.report, "strategy {name} workers {}", i + 1);
+            assert_eq!(d1.at, d.at, "strategy {name} workers {}", i + 1);
+            assert_eq!(
+                d1.lost_procs,
+                d.lost_procs,
+                "strategy {name} workers {}",
+                i + 1
+            );
+            assert_eq!(
+                d1.survivor_checksum,
+                d.survivor_checksum,
+                "strategy {name} workers {}",
+                i + 1
+            );
+        }
+        let proto = run_read_all_prototype(cfg.with_fault_plan(plan.clone()));
+        let dp = proto
+            .degraded()
+            .expect("the prototype backend must degrade identically");
+        assert_eq!(d1.report, dp.report, "strategy {name} prototype");
+        assert_eq!(d1.at, dp.at, "strategy {name} prototype");
+        assert_eq!(d1.lost_procs, dp.lost_procs, "strategy {name} prototype");
+        assert_eq!(
+            d1.survivor_checksum, dp.survivor_checksum,
+            "strategy {name} prototype"
+        );
+        assert!(dp.results[5].is_none(), "strategy {name} prototype");
     }
 }
 
@@ -169,6 +291,10 @@ fn partial_link_failure_reroutes_instead_of_partitioning() {
             RunOutcome::Partitioned(p) => panic!(
                 "{name}: 10% link loss should reroute, but partitioned at {} (node {})",
                 p.at, p.unreachable.0
+            ),
+            RunOutcome::Degraded(d) => panic!(
+                "{name}: link loss fails no node, yet {} processor(s) were lost",
+                d.lost_procs.len()
             ),
         };
         assert!(done.report.faults.links_failed > 0, "{name}");

@@ -32,6 +32,11 @@ pub const GLOBAL_REGION: RegionId = RegionId(0);
 pub struct LinkCostTable {
     /// Bandwidth of each link slot in bytes per µs.
     bandwidth: Vec<f64>,
+    /// Pristine bandwidth each link reverts to when healed: the uniform
+    /// baseline, rebased by [`LinkNetwork::apply_calibrated_costs`] and
+    /// explicit [`LinkNetwork::set_link_bandwidth`] overrides, but never
+    /// touched by transient faults ([`LinkNetwork::degrade_link`]).
+    base_bandwidth: Vec<f64>,
     /// Head latency of each link slot in ns.
     hop_ns: Vec<SimTime>,
     /// Liveness of each link slot.
@@ -46,6 +51,7 @@ impl LinkCostTable {
     pub fn uniform(cfg: &MachineConfig, slots: usize) -> Self {
         LinkCostTable {
             bandwidth: vec![cfg.link_bandwidth_bytes_per_us; slots],
+            base_bandwidth: vec![cfg.link_bandwidth_bytes_per_us; slots],
             hop_ns: vec![cfg.hop_latency_ns(); slots],
             alive: vec![true; slots],
             dead: 0,
@@ -379,7 +385,11 @@ impl LinkNetwork {
             bytes_per_us > 0.0,
             "bandwidth must stay positive; fail_link removes a link"
         );
-        self.costs_mut().bandwidth[l.index()] = bytes_per_us;
+        let table = self.costs_mut();
+        table.bandwidth[l.index()] = bytes_per_us;
+        // Deliberate overrides are part of the machine description, not a
+        // fault: a later heal reverts to this value, not the uniform default.
+        table.base_bandwidth[l.index()] = bytes_per_us;
     }
 
     /// Override one link's head latency (µs).
@@ -459,6 +469,13 @@ impl LinkNetwork {
                 });
             }
         }
+        // The calibrated preset redefines what "intact" means for this
+        // network: rebase the heal target so transient faults revert to the
+        // calibrated values, not the uniform ones.
+        if let Some(table) = self.costs.as_deref_mut() {
+            let bw = table.bandwidth.clone();
+            table.base_bandwidth = bw;
+        }
     }
 
     /// Degrade one link to `factor` (0 < factor ≤ 1) of its current
@@ -484,6 +501,30 @@ impl LinkNetwork {
             self.detours.clear();
         }
         was_alive
+    }
+
+    /// Return a link to service at its pristine cost: a dead link comes back
+    /// alive, a degraded link snaps back to its baseline bandwidth (the
+    /// calibrated preset if one was applied, the uniform constants
+    /// otherwise). Memoised detours are invalidated, so subsequent messages
+    /// deterministically revert to the routes an intact network would use.
+    /// Returns whether the link was actually faulty (healing a healthy link
+    /// is a no-op).
+    pub fn heal_link(&mut self, l: LinkId) -> bool {
+        let table = self.costs_mut();
+        let idx = l.index();
+        let was_dead = !std::mem::replace(&mut table.alive[idx], true);
+        let was_degraded = table.bandwidth[idx] != table.base_bandwidth[idx];
+        table.bandwidth[idx] = table.base_bandwidth[idx];
+        if was_dead {
+            table.dead -= 1;
+        }
+        if was_dead || was_degraded {
+            // Routes must revert (or stop detouring around a link that is
+            // alive again) exactly as deterministically as they changed.
+            self.detours.clear();
+        }
+        was_dead || was_degraded
     }
 
     /// Whether a link is alive (trivially true without a cost table).
@@ -861,6 +902,54 @@ mod tests {
         assert!(n.fail_link(south));
         assert_eq!(n.check_connected(), Err(NodeId(1)));
         assert_eq!(n.route_of(a, b), None);
+    }
+
+    #[test]
+    fn healed_link_reverts_routes_and_bandwidth() {
+        let cfg = MachineConfig::bandwidth_only();
+        let mut n = net(2, cfg);
+        let a = n.mesh().node_at(0, 0);
+        let b = n.mesh().node_at(0, 1);
+        let east = n.mesh().link(a, dm_mesh::Direction::East);
+        let pre_fault = n.route_of(a, b).unwrap();
+        n.fail_link(east);
+        n.degrade_link(east, 0.25);
+        assert_eq!(n.route_of(a, b).unwrap().len(), 3, "detour while dead");
+        assert!(n.heal_link(east));
+        assert!(!n.heal_link(east), "healing a healthy link is a no-op");
+        assert!(n.link_alive(east));
+        assert_eq!(n.dead_links(), 0);
+        assert_eq!(
+            n.route_of(a, b).unwrap(),
+            pre_fault,
+            "post-heal routes must be byte-equal to the pre-fault routes"
+        );
+        assert_eq!(
+            n.costs().unwrap().bandwidth(east),
+            cfg.link_bandwidth_bytes_per_us,
+            "degradation snaps back to the baseline"
+        );
+        // Healed timing matches an intact network exactly.
+        let fresh = net(2, cfg).transmit(0, a, b, 1000, GLOBAL_REGION);
+        assert_eq!(n.transmit(0, a, b, 1000, GLOBAL_REGION), fresh);
+    }
+
+    #[test]
+    fn heal_restores_the_calibrated_baseline_not_the_uniform_one() {
+        use dm_mesh::{Direction, Torus};
+        let cfg = MachineConfig::parsytec_gcel();
+        let mut n = LinkNetwork::new(Torus::new(4, 4), cfg);
+        n.apply_calibrated_costs();
+        let t = Torus::new(4, 4);
+        let wrap = LinkId(t.node_at(0, 3).0 * 4 + Direction::East.index() as u32);
+        let calibrated = n.costs().unwrap().bandwidth(wrap);
+        n.degrade_link(wrap, 0.5);
+        assert!(n.heal_link(wrap));
+        assert_eq!(
+            n.costs().unwrap().bandwidth(wrap),
+            calibrated,
+            "heal must revert to the calibrated preset, not the uniform value"
+        );
     }
 
     #[test]
