@@ -1,0 +1,609 @@
+//! A trace-driven KV/cache serving tier over DIVA global variables.
+//!
+//! The paper proves the access-tree strategy competitive for *arbitrary*
+//! access patterns, but the structured applications (matrix square, bitonic,
+//! Barnes-Hut) and the uniform-random microbench all lack the skewed,
+//! time-varying traffic a production replication tier actually serves. This
+//! module closes that gap: every client processor runs a request stream
+//! against a shared key space with
+//!
+//! * **Zipf-skewed popularity** ([`KeyDist::Zipf`]) — deterministic
+//!   inverse-CDF sampling off `dm-rng` ([`crate::workload::ZipfSampler`]);
+//! * **migrating hotspots** ([`KeyDist::Hotspot`]) — a popular window that
+//!   jumps across the key space at percent-of-op-stream boundaries
+//!   ([`crate::workload::HotspotSchedule`], the `--strike-at` timing convention);
+//! * a configurable **read/write mix**; and
+//! * **client churn** ([`ChurnParams`]) — clients arrive late, depart and
+//!   re-arrive on a seeded per-client schedule ([`crate::workload::churn_gaps`]).
+//!   A departed client is simply *silent* (its processor idles), which is
+//!   the application-level half of churn; node-level churn composes
+//!   orthogonally through the existing [`FaultPlan`](dm_diva::FaultPlan)
+//!   machinery rather than duplicating it (the `fig14` sweep's churn axis
+//!   does both).
+//!
+//! Serving-side metrics (hit ratio, bytes moved, response-time histogram,
+//! replication-degree high-water) are tallied centrally by the runtime — see
+//! [`dm_diva::ServingReport`] — so both strategies and all backends report
+//! them bit-identically.
+//!
+//! Like the other applications, the workload provides the event-driven
+//! engine ([`run_kv_driven`]) used by every experiment plus a threaded
+//! prototype twin ([`run_kv_prototype`]) kept as the reference side of a
+//! parity test.
+
+use crate::workload::{churn_gaps, HotspotSchedule, ZipfSampler};
+use dm_diva::{Diva, Op, Partitioned, ProcProgram, RunOutcome, RunReport, StepCtx, VarHandle};
+use dm_rng::ChaCha8Rng;
+use std::sync::Arc;
+
+/// The popularity distribution of the key space.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Every key equally popular.
+    Uniform,
+    /// Zipf-skewed popularity with the given exponent (key 0 hottest).
+    Zipf(f64),
+    /// A migrating hotspot: `hot_permille`/1000 of the traffic aims at a
+    /// window of `n_keys/16` keys whose position jumps at each listed
+    /// percent of the op stream (the `--strike-at` timing convention).
+    Hotspot {
+        /// Migration points in percent of the op stream, each `< 100`.
+        migrate_at: Vec<u64>,
+        /// Per-mille of the traffic aimed at the hot window.
+        hot_permille: u32,
+    },
+}
+
+impl KeyDist {
+    /// A short stable label for tables and JSON rows.
+    pub fn label(&self) -> String {
+        match self {
+            KeyDist::Uniform => "uniform".to_string(),
+            KeyDist::Zipf(s) => format!("zipf-{s}"),
+            KeyDist::Hotspot { .. } => "hotspot".to_string(),
+        }
+    }
+}
+
+/// Client-churn parameters: each client's op stream is cut into `sessions`
+/// seeded sessions separated by idle gaps of roughly `idle_us` microseconds
+/// (plus a staggered seeded arrival delay before its first op).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnParams {
+    /// Sessions per client (1 = a single arrival delay, no mid-run churn).
+    pub sessions: usize,
+    /// Nominal idle time between sessions, in whole microseconds.
+    pub idle_us: u64,
+}
+
+/// Parameters of the KV serving workload.
+#[derive(Debug, Clone)]
+pub struct KvParams {
+    /// Number of keys (shared variables; owners assigned round-robin).
+    pub n_keys: usize,
+    /// Requests issued by every client processor.
+    pub ops_per_client: usize,
+    /// Percentage of requests that are writes (`0..=100`).
+    pub write_percent: u32,
+    /// Size of every value in bytes (determines data-message sizes).
+    pub val_bytes: u32,
+    /// Seed of the per-client request streams (and the hotspot placement).
+    pub seed: u64,
+    /// Popularity distribution of the key space.
+    pub dist: KeyDist,
+    /// Client churn; `None` keeps every client active for the whole run.
+    pub churn: Option<ChurnParams>,
+}
+
+impl KvParams {
+    /// A read-mostly serving default: `8·nprocs` keys, 64 requests per
+    /// client, 10% writes, 256-byte values, uniform popularity, no churn.
+    pub fn new(nprocs: usize) -> Self {
+        KvParams {
+            n_keys: 8 * nprocs,
+            ops_per_client: 64,
+            write_percent: 10,
+            val_bytes: 256,
+            seed: 0x0C_AFFE,
+            dist: KeyDist::Uniform,
+            churn: None,
+        }
+    }
+}
+
+/// Result of a KV workload run.
+pub struct KvOutcome {
+    /// Timing, congestion, protocol and serving statistics.
+    pub report: RunReport,
+    /// Order-dependent fold over every value read — equal across repeated
+    /// runs and backends (determinism witness). Partial over survivors in a
+    /// degraded run.
+    pub checksum: u64,
+    /// Processors lost to node failures (empty without a fault plan).
+    pub procs_lost: Vec<usize>,
+}
+
+/// The per-client key picker, resolved once per run.
+#[derive(Clone)]
+enum Picker {
+    Uniform { n_keys: usize },
+    Zipf(Arc<ZipfSampler>),
+    Hotspot(Arc<HotspotSchedule>),
+}
+
+impl Picker {
+    fn resolve(params: &KvParams) -> Picker {
+        match &params.dist {
+            KeyDist::Uniform => Picker::Uniform {
+                n_keys: params.n_keys,
+            },
+            KeyDist::Zipf(s) => Picker::Zipf(Arc::new(ZipfSampler::new(params.n_keys, *s))),
+            KeyDist::Hotspot {
+                migrate_at,
+                hot_permille,
+            } => Picker::Hotspot(Arc::new(HotspotSchedule::new(
+                params.n_keys,
+                migrate_at,
+                *hot_permille,
+                params.seed,
+            ))),
+        }
+    }
+
+    /// Draw the key of op `op_idx` out of `total_ops`. The rng draw count
+    /// depends only on the distribution, never on the backend, so the
+    /// driven and prototype engines consume identical streams.
+    fn pick(&self, rng: &mut ChaCha8Rng, op_idx: usize, total_ops: usize) -> usize {
+        match self {
+            Picker::Uniform { n_keys } => rng.gen_range(0..*n_keys),
+            Picker::Zipf(z) => z.sample(rng),
+            Picker::Hotspot(h) => h.key_for(rng, op_idx, total_ops),
+        }
+    }
+}
+
+/// Execution state of a [`KvProgram`].
+enum KvState {
+    /// Issuing requests.
+    Running,
+    /// All requests issued; waiting at the closing barrier.
+    AtBarrier,
+    /// Barrier passed.
+    Finished,
+}
+
+/// One client of the KV workload: an explicit state machine for the
+/// event-driven backend.
+struct KvProgram {
+    keys: Arc<Vec<VarHandle>>,
+    picker: Picker,
+    rng: ChaCha8Rng,
+    op_idx: usize,
+    total_ops: usize,
+    write_percent: u32,
+    /// Sorted churn gaps `(op index, idle µs)`; `next_gap` indexes the first
+    /// not yet slept.
+    gaps: Vec<(usize, u64)>,
+    next_gap: usize,
+    /// The previous op was a read whose value arrives before this step.
+    pending_read: bool,
+    checksum: u64,
+    state: KvState,
+}
+
+impl KvProgram {
+    fn new(proc: usize, params: &KvParams, keys: Arc<Vec<VarHandle>>, picker: Picker) -> Self {
+        KvProgram {
+            keys,
+            picker,
+            rng: client_rng(params.seed, proc),
+            op_idx: 0,
+            total_ops: params.ops_per_client,
+            write_percent: params.write_percent,
+            gaps: client_gaps(params, proc),
+            next_gap: 0,
+            pending_read: false,
+            checksum: 0,
+            state: KvState::Running,
+        }
+    }
+}
+
+impl ProcProgram for KvProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Op {
+        if self.pending_read {
+            self.pending_read = false;
+            self.checksum = self
+                .checksum
+                .rotate_left(7)
+                .wrapping_add(*ctx.take::<u64>());
+        }
+        match self.state {
+            KvState::Running => {
+                // Sleep any churn gap scheduled before the next request; a
+                // departed client is silent, its processor merely idles.
+                if let Some(&(at, idle_us)) = self.gaps.get(self.next_gap) {
+                    if at == self.op_idx {
+                        self.next_gap += 1;
+                        return Op::Compute {
+                            ns: idle_us * 1_000,
+                        };
+                    }
+                }
+                if self.op_idx == self.total_ops {
+                    self.state = KvState::AtBarrier;
+                    return Op::Barrier;
+                }
+                let key = self.picker.pick(&mut self.rng, self.op_idx, self.total_ops);
+                self.op_idx += 1;
+                let var = self.keys[key];
+                if self.rng.gen_range(0..100u32) < self.write_percent {
+                    Op::Write(var, Arc::new(self.rng.next_u64()))
+                } else {
+                    self.pending_read = true;
+                    Op::Read(var)
+                }
+            }
+            KvState::AtBarrier => {
+                self.state = KvState::Finished;
+                Op::Done
+            }
+            KvState::Finished => Op::Done,
+        }
+    }
+}
+
+/// The per-client request rng (same derivation as the other workloads).
+fn client_rng(seed: u64, proc: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ (proc as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The per-client churn gap schedule (empty without churn).
+fn client_gaps(params: &KvParams, proc: usize) -> Vec<(usize, u64)> {
+    match params.churn {
+        Some(c) => churn_gaps(
+            params.seed,
+            proc,
+            params.ops_per_client,
+            c.sessions,
+            c.idle_us,
+        ),
+        None => Vec::new(),
+    }
+}
+
+/// Allocate the key space: round-robin owners, deterministic initial values.
+fn alloc_keys(diva: &mut Diva, params: &KvParams) -> Arc<Vec<VarHandle>> {
+    let nprocs = diva.num_procs();
+    let keys: Vec<VarHandle> = (0..params.n_keys)
+        .map(|i| {
+            diva.alloc(
+                i % nprocs,
+                params.val_bytes,
+                (i as u64).wrapping_mul(0x9D8F_3B1D) ^ params.seed,
+            )
+        })
+        .collect();
+    Arc::new(keys)
+}
+
+/// Run the KV workload on the event-driven backend. Panics if a fault plan
+/// partitions the network; see [`try_run_kv_driven`] for the fallible form.
+pub fn run_kv_driven(diva: Diva, params: KvParams) -> KvOutcome {
+    match try_run_kv_driven(diva, params) {
+        Ok(out) => out,
+        Err(p) => panic!(
+            "KV workload partitioned at {} ns (node {} unreachable)",
+            p.at, p.unreachable
+        ),
+    }
+}
+
+/// Like [`run_kv_driven`], but a fault plan that disconnects the network
+/// yields `Err` (with the partial report) instead of panicking. A plan that
+/// fails nodes degrades the run instead: `Ok` with
+/// [`KvOutcome::procs_lost`] set and the checksum folded over the surviving
+/// clients only (lost clients contribute an empty slot, deterministically in
+/// every backend).
+// The Err carries the partial report by value; these run once per
+// simulation, so the lint's by-value-return cost is irrelevant here.
+#[allow(clippy::result_large_err)]
+pub fn try_run_kv_driven(mut diva: Diva, params: KvParams) -> Result<KvOutcome, Partitioned> {
+    validate(&params);
+    let nprocs = diva.num_procs();
+    let keys = alloc_keys(&mut diva, &params);
+    let picker = Picker::resolve(&params);
+    let programs: Vec<KvProgram> = (0..nprocs)
+        .map(|p| KvProgram::new(p, &params, Arc::clone(&keys), picker.clone()))
+        .collect();
+    let (report, results, procs_lost) = match diva.run_driven(programs) {
+        RunOutcome::Completed(done) => {
+            let results = done.results.into_iter().map(Some).collect::<Vec<_>>();
+            (done.report, results, Vec::new())
+        }
+        RunOutcome::Degraded(d) => {
+            let lost = d.lost_procs.iter().map(|n| n.index()).collect();
+            (d.report, d.results, lost)
+        }
+        RunOutcome::Partitioned(p) => return Err(p),
+    };
+    // Lost clients contribute an empty slot so the partial checksum stays
+    // position-dependent (and bit-identical across backends).
+    let checksum = results.iter().fold(0u64, |acc, p| match p {
+        Some(p) => acc.rotate_left(13) ^ p.checksum,
+        None => acc.rotate_left(13),
+    });
+    Ok(KvOutcome {
+        report,
+        checksum,
+        procs_lost,
+    })
+}
+
+/// The threaded prototype twin of [`run_kv_driven`]: ordinary control flow
+/// over [`ProcCtx`](dm_diva::ProcCtx), operation-equivalent to the driven
+/// state machine (same rng stream, same gap schedule, same fold), kept as
+/// the reference side of the backend parity test. Only suitable for small
+/// meshes — every client costs an OS thread.
+pub fn run_kv_prototype(mut diva: Diva, params: KvParams) -> KvOutcome {
+    validate(&params);
+    let keys = alloc_keys(&mut diva, &params);
+    let picker = Picker::resolve(&params);
+    let outcome = diva.run_prototype(move |ctx| {
+        let proc = ctx.proc_id();
+        let mut rng = client_rng(params.seed, proc);
+        let gaps = client_gaps(&params, proc);
+        let mut next_gap = 0;
+        let mut checksum = 0u64;
+        for op_idx in 0..params.ops_per_client {
+            while next_gap < gaps.len() && gaps[next_gap].0 == op_idx {
+                // Whole microseconds convert losslessly, matching the
+                // driven engine's Op::Compute nanosecond count exactly.
+                ctx.compute(gaps[next_gap].1 as f64);
+                next_gap += 1;
+            }
+            let key = picker.pick(&mut rng, op_idx, params.ops_per_client);
+            let var = keys[key];
+            if rng.gen_range(0..100u32) < params.write_percent {
+                ctx.write(var, rng.next_u64());
+            } else {
+                checksum = checksum.rotate_left(7).wrapping_add(*ctx.read::<u64>(var));
+            }
+        }
+        ctx.barrier();
+        checksum
+    });
+    let done = outcome.expect_completed();
+    let checksum = done
+        .results
+        .iter()
+        .fold(0u64, |acc, c| acc.rotate_left(13) ^ c);
+    KvOutcome {
+        report: done.report,
+        checksum,
+        procs_lost: Vec::new(),
+    }
+}
+
+fn validate(params: &KvParams) {
+    assert!(params.n_keys > 0, "the KV workload needs at least one key");
+    assert!(params.write_percent <= 100);
+    if let Some(c) = &params.churn {
+        assert!(c.sessions > 0 && c.idle_us > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dm_diva::{DivaConfig, FaultPlan, StrategyKind};
+    use dm_mesh::{AnyTopology, FatTree, Hypercube, Mesh, Torus, TreeShape};
+
+    fn params(nprocs: usize, dist: KeyDist, churn: Option<ChurnParams>) -> KvParams {
+        KvParams {
+            ops_per_client: 24,
+            dist,
+            churn,
+            ..KvParams::new(nprocs)
+        }
+    }
+
+    fn run(topo: AnyTopology, strategy: StrategyKind, dist: KeyDist) -> KvOutcome {
+        let nprocs = topo.nodes();
+        let diva = Diva::new(DivaConfig::on(topo, strategy));
+        run_kv_driven(diva, params(nprocs, dist, None))
+    }
+
+    fn dists() -> Vec<KeyDist> {
+        vec![
+            KeyDist::Uniform,
+            KeyDist::Zipf(0.9),
+            KeyDist::Zipf(1.2),
+            KeyDist::Hotspot {
+                migrate_at: vec![25, 50, 75],
+                hot_permille: 900,
+            },
+        ]
+    }
+
+    #[test]
+    fn runs_on_every_topology_under_both_strategies() {
+        for topo in [
+            AnyTopology::from(Mesh::square(4)),
+            Torus::square(4).into(),
+            Hypercube::new(4).into(),
+            FatTree::new(16).into(),
+        ] {
+            for strategy in [
+                StrategyKind::AccessTree(TreeShape::quad()),
+                StrategyKind::FixedHome,
+            ] {
+                let name = topo.name();
+                let out = run(topo.clone(), strategy, KeyDist::Zipf(0.9));
+                assert!(out.report.total_time > 0, "{name} {strategy:?}");
+                let s = &out.report.serving;
+                assert_eq!(s.requests, 16 * 24, "{name} {strategy:?}");
+                // Every request of a completed run got a response.
+                assert_eq!(s.responses(), s.requests, "{name} {strategy:?}");
+                assert!(s.bytes_moved > 0, "{name} {strategy:?}");
+                assert!(s.replication_high_water >= 1, "{name} {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical_for_every_distribution() {
+        for dist in dists() {
+            let a = run(
+                Mesh::square(4).into(),
+                StrategyKind::AccessTree(TreeShape::quad()),
+                dist.clone(),
+            );
+            let b = run(
+                Mesh::square(4).into(),
+                StrategyKind::AccessTree(TreeShape::quad()),
+                dist.clone(),
+            );
+            assert_eq!(a.checksum, b.checksum, "{}", dist.label());
+            assert_eq!(a.report, b.report, "{}", dist.label());
+        }
+    }
+
+    #[test]
+    fn skew_raises_the_local_hit_ratio_under_caching() {
+        // Zipf-1.2 concentrates reads on a few hot keys; the access-tree
+        // strategy replicates them towards the readers, so the local-hit
+        // ratio must beat the uniform workload's.
+        let uniform = run(
+            Mesh::square(4).into(),
+            StrategyKind::AccessTree(TreeShape::quad()),
+            KeyDist::Uniform,
+        );
+        let zipf = run(
+            Mesh::square(4).into(),
+            StrategyKind::AccessTree(TreeShape::quad()),
+            KeyDist::Zipf(1.2),
+        );
+        assert!(
+            zipf.report.serving.hit_ratio() > uniform.report.serving.hit_ratio(),
+            "zipf {} <= uniform {}",
+            zipf.report.serving.hit_ratio(),
+            uniform.report.serving.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn churn_stretches_the_run_without_changing_the_request_count() {
+        let nprocs = 16;
+        let steady = run_kv_driven(
+            Diva::new(DivaConfig::on(
+                Mesh::square(4),
+                StrategyKind::AccessTree(TreeShape::quad()),
+            )),
+            params(nprocs, KeyDist::Uniform, None),
+        );
+        let churned = run_kv_driven(
+            Diva::new(DivaConfig::on(
+                Mesh::square(4),
+                StrategyKind::AccessTree(TreeShape::quad()),
+            )),
+            params(
+                nprocs,
+                KeyDist::Uniform,
+                Some(ChurnParams {
+                    sessions: 3,
+                    idle_us: 2_000,
+                }),
+            ),
+        );
+        assert_eq!(
+            steady.report.serving.requests,
+            churned.report.serving.requests
+        );
+        assert!(
+            churned.report.total_time > steady.report.total_time,
+            "idle sessions must stretch the run"
+        );
+        // Deterministic under repetition, like everything else.
+        let again = run_kv_driven(
+            Diva::new(DivaConfig::on(
+                Mesh::square(4),
+                StrategyKind::AccessTree(TreeShape::quad()),
+            )),
+            params(
+                nprocs,
+                KeyDist::Uniform,
+                Some(ChurnParams {
+                    sessions: 3,
+                    idle_us: 2_000,
+                }),
+            ),
+        );
+        assert_eq!(churned.report, again.report);
+        assert_eq!(churned.checksum, again.checksum);
+    }
+
+    #[test]
+    fn driven_and_prototype_backends_are_bit_identical() {
+        // The full parity matrix (distributions × churn) on a small mesh:
+        // the threaded prototype is operation-equivalent by construction,
+        // so reports and checksums must match bit for bit.
+        for dist in dists() {
+            for churn in [
+                None,
+                Some(ChurnParams {
+                    sessions: 2,
+                    idle_us: 1_500,
+                }),
+            ] {
+                let p = params(16, dist.clone(), churn);
+                let driven = run_kv_driven(
+                    Diva::new(DivaConfig::on(
+                        Mesh::square(4),
+                        StrategyKind::AccessTree(TreeShape::quad()),
+                    )),
+                    p.clone(),
+                );
+                let proto = run_kv_prototype(
+                    Diva::new(DivaConfig::on(
+                        Mesh::square(4),
+                        StrategyKind::AccessTree(TreeShape::quad()),
+                    )),
+                    p,
+                );
+                assert_eq!(driven.checksum, proto.checksum, "{}", dist.label());
+                assert_eq!(driven.report, proto.report, "{}", dist.label());
+            }
+        }
+    }
+
+    #[test]
+    fn app_churn_composes_with_node_faults() {
+        // Client churn (app-level) and a transient link-degradation window
+        // (PR 9 fault machinery) in one run: completes, stays deterministic,
+        // and tallies both the serving metrics and the fault edges.
+        let mk = || {
+            let cfg = DivaConfig::on(Mesh::square(4), StrategyKind::AccessTree(TreeShape::quad()))
+                .with_fault_plan(FaultPlan::new(5).degrade_links_for(0.25, 0.25, 50_000, 400_000));
+            run_kv_driven(
+                Diva::new(cfg),
+                params(
+                    16,
+                    KeyDist::Zipf(0.9),
+                    Some(ChurnParams {
+                        sessions: 2,
+                        idle_us: 1_000,
+                    }),
+                ),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.checksum, b.checksum);
+        assert!(a.procs_lost.is_empty());
+        assert_eq!(a.report.faults.links_degraded, a.report.faults.links_healed);
+        assert!(a.report.faults.links_degraded > 0);
+        assert!(a.report.serving.requests > 0);
+    }
+}

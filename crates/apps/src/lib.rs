@@ -18,8 +18,11 @@
 //! * [`uniform`] — the uniform-random shared-variable workload: the
 //!   locality-free probe the `fig12` cross-topology sweep runs next to
 //!   Barnes-Hut on the mesh, torus, hypercube and fat tree.
+//! * [`kv`] — the trace-driven KV/cache serving tier: Zipf-skewed and
+//!   migrating-hotspot request streams with configurable read/write mix and
+//!   seeded client churn, the workload of the `fig14` serving sweep.
 //! * [`workload`] — deterministic input generators (matrix blocks, sort keys,
-//!   Plummer bodies).
+//!   Plummer bodies, Zipf/hotspot/churn request schedules).
 //!
 //! Every application comes with a sequential reference implementation used by
 //! the test suite to verify that the parallel runs compute correct results.
@@ -29,6 +32,7 @@
 
 pub mod barnes_hut;
 pub mod bitonic;
+pub mod kv;
 pub mod matmul;
 pub mod octree;
 pub mod uniform;

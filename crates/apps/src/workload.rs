@@ -1,7 +1,14 @@
 //! Deterministic workload generators shared by the applications and the
 //! experiment harness.
+//!
+//! Besides the scientific-kernel inputs (matrix blocks, sort keys, Plummer
+//! bodies) this module holds the request-workload building blocks of the KV
+//! serving tier ([`crate::kv`]): a Zipf sampler with a precomputed
+//! inverse-CDF table, a migrating-hotspot key schedule keyed on the op index
+//! (never on virtual time, so every backend and every sharding of a sweep
+//! samples identically), and seeded client-churn gap schedules.
 
-use dm_rng::ChaCha8Rng;
+use dm_rng::{splitmix64, ChaCha8Rng};
 
 /// The deterministic initial matrix block for block row `i`, block column `j`
 /// with side length `side`. Entries are small so that repeated squaring stays
@@ -114,6 +121,155 @@ pub fn bounding_cube(bodies: &[Body]) -> ([f64; 3], f64) {
     (centre, half)
 }
 
+/// A Zipf(s) sampler over ranks `0..n` (rank 0 most popular), built on a
+/// precomputed inverse-CDF table and sampled by binary search off one
+/// uniform draw — deterministic for a given `(n, s)` and rng stream on every
+/// platform. `s = 0` degenerates to the uniform distribution.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Normalised cumulative probabilities; entry `k` is `P(rank <= k)`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build the inverse-CDF table for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "a Zipf sampler needs at least one rank");
+        assert!(s >= 0.0, "negative Zipf exponents are not meaningful here");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The expected probability mass of rank `k` (used by the chi-square
+    /// distribution test).
+    pub fn expected(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw one rank: a single uniform draw inverted through the table.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        let u = rng.gen_range(0.0..1.0);
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// A migrating-hotspot key schedule: a fraction of the traffic concentrates
+/// on a contiguous window of the key space, and the window jumps to a new
+/// seeded position at configurable *percent-of-op-stream* boundaries (the
+/// `--strike-at` convention of the fault sweeps). Phases are a pure function
+/// of the op index, never of virtual time, so the schedule is bit-identical
+/// across backends, `--jobs`, `--workers` and resumed runs by construction.
+#[derive(Debug, Clone)]
+pub struct HotspotSchedule {
+    n_keys: usize,
+    /// Hot-window width in keys.
+    hot_keys: usize,
+    /// Per-mille of the traffic aimed at the hot window.
+    hot_permille: u32,
+    /// Migration points in percent of the op stream, sorted, each `< 100`.
+    migrate_at: Vec<u64>,
+    seed: u64,
+}
+
+impl HotspotSchedule {
+    /// Build a schedule over `n_keys` keys: `hot_permille`/1000 of the
+    /// traffic hits a window of `max(1, n_keys/16)` keys whose position
+    /// migrates at each percent boundary of `migrate_at`.
+    pub fn new(n_keys: usize, migrate_at: &[u64], hot_permille: u32, seed: u64) -> Self {
+        assert!(n_keys > 0, "the hotspot schedule needs a key space");
+        assert!(hot_permille <= 1000, "hot_permille is a per-mille fraction");
+        let mut migrate_at = migrate_at.to_vec();
+        migrate_at.sort_unstable();
+        migrate_at.dedup();
+        assert!(
+            migrate_at.iter().all(|&p| p < 100),
+            "migration points are percents of the op stream and must be < 100"
+        );
+        HotspotSchedule {
+            n_keys,
+            hot_keys: (n_keys / 16).max(1),
+            hot_permille,
+            migrate_at,
+            seed,
+        }
+    }
+
+    /// The phase index of op `op_idx` out of `total_ops`: the number of
+    /// migration boundaries at or below its percent position.
+    pub fn phase_of(&self, op_idx: usize, total_ops: usize) -> usize {
+        let pct = (op_idx as u64 * 100) / (total_ops.max(1) as u64);
+        self.migrate_at.iter().filter(|&&b| b <= pct).count()
+    }
+
+    /// The seeded start of the hot window in phase `phase`.
+    pub fn hot_start(&self, phase: usize) -> usize {
+        let h = splitmix64(self.seed ^ (phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (h % self.n_keys as u64) as usize
+    }
+
+    /// Draw the key of op `op_idx` (two uniform draws: aim, then position).
+    pub fn key_for(&self, rng: &mut ChaCha8Rng, op_idx: usize, total_ops: usize) -> usize {
+        let aim = rng.gen_range(0..1000u32);
+        if aim < self.hot_permille {
+            let start = self.hot_start(self.phase_of(op_idx, total_ops));
+            (start + rng.gen_range(0..self.hot_keys)) % self.n_keys
+        } else {
+            rng.gen_range(0..self.n_keys)
+        }
+    }
+}
+
+/// The seeded arrive/depart gap schedule of one churning client: a sorted
+/// list of `(op index, idle microseconds)` pairs. The client sits out the
+/// gap *before* issuing the op at that index — a staggered seeded arrival at
+/// op 0, then one departure/re-arrival gap per session boundary. Gaps are
+/// whole microseconds so both execution backends account the identical
+/// nanosecond count.
+pub fn churn_gaps(
+    seed: u64,
+    client: usize,
+    ops: usize,
+    sessions: usize,
+    idle_us: u64,
+) -> Vec<(usize, u64)> {
+    assert!(sessions > 0, "a churning client needs at least one session");
+    assert!(idle_us > 0, "idle gaps of zero length are not churn");
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        seed ^ 0xC4_12_2E ^ (client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let mut gaps = Vec::with_capacity(sessions);
+    // Staggered arrival: the client joins after a seeded initial delay.
+    gaps.push((0, rng.gen_range(0..idle_us)));
+    let per_session = (ops / sessions).max(1);
+    let mut at = per_session;
+    while at < ops {
+        // Depart and re-arrive: a seeded gap of idle_us/2 .. idle_us*3/2.
+        gaps.push((at, idle_us / 2 + rng.gen_range(0..idle_us)));
+        at += per_session;
+    }
+    gaps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +330,103 @@ mod tests {
                 assert!((b.pos[d] - centre[d]).abs() <= half + 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_degenerate_at_zero() {
+        let z = ZipfSampler::new(64, 0.9);
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let mut b = ChaCha8Rng::seed_from_u64(11);
+        let xs: Vec<usize> = (0..500).map(|_| z.sample(&mut a)).collect();
+        let ys: Vec<usize> = (0..500).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|&k| k < 64));
+        // s = 0 is the uniform distribution: every expected mass is 1/n.
+        let u = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((u.expected(k) - 0.1).abs() < 1e-12);
+        }
+        // The expected masses sum to 1 and decay with the rank.
+        let total: f64 = (0..64).map(|k| z.expected(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.expected(0) > z.expected(1));
+        assert!(z.expected(1) > z.expected(63));
+    }
+
+    #[test]
+    fn zipf_sample_frequencies_pass_chi_square() {
+        // Chi-square goodness-of-fit of the sampler against its own
+        // expected masses, over a key space small enough that every cell's
+        // expected count is comfortably above 5. With 15 degrees of freedom
+        // the 99.9th percentile of the chi-square distribution is 37.7; the
+        // deterministic stream stays far below it unless the inverse-CDF
+        // inversion is wrong.
+        for s in [0.0, 0.9, 1.2] {
+            let n = 16;
+            let z = ZipfSampler::new(n, s);
+            let mut rng = ChaCha8Rng::seed_from_u64(0x5EED ^ s.to_bits());
+            let draws = 20_000usize;
+            let mut counts = vec![0u64; n];
+            for _ in 0..draws {
+                counts[z.sample(&mut rng)] += 1;
+            }
+            let chi2: f64 = (0..n)
+                .map(|k| {
+                    let expected = z.expected(k) * draws as f64;
+                    let diff = counts[k] as f64 - expected;
+                    diff * diff / expected
+                })
+                .sum();
+            assert!(
+                chi2 < 37.7,
+                "chi-square {chi2} too large for s = {s} (counts {counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn hotspot_phases_follow_the_op_index() {
+        let h = HotspotSchedule::new(256, &[25, 50, 75], 900, 7);
+        assert_eq!(h.phase_of(0, 100), 0);
+        assert_eq!(h.phase_of(24, 100), 0);
+        assert_eq!(h.phase_of(25, 100), 1);
+        assert_eq!(h.phase_of(50, 100), 2);
+        assert_eq!(h.phase_of(99, 100), 3);
+        // Every phase places its window somewhere else (for this seed), and
+        // the placement is a pure function of the phase.
+        let starts: Vec<usize> = (0..4).map(|p| h.hot_start(p)).collect();
+        assert_eq!(starts, (0..4).map(|p| h.hot_start(p)).collect::<Vec<_>>());
+        assert!(starts.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic_in_the_window() {
+        let h = HotspotSchedule::new(256, &[], 900, 3);
+        let start = h.hot_start(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let in_window = (0..2000)
+            .filter(|_| {
+                let k = h.key_for(&mut rng, 0, 2000);
+                (k + 256 - start) % 256 < 16
+            })
+            .count();
+        // 90% aimed at a 16/256 window: well over half of all draws land in
+        // it (the uniform remainder contributes ~6%).
+        assert!(in_window > 1600, "only {in_window} of 2000 in the window");
+    }
+
+    #[test]
+    fn churn_gaps_are_seeded_sorted_and_sized() {
+        let g = churn_gaps(1, 4, 100, 4, 1000);
+        assert_eq!(g, churn_gaps(1, 4, 100, 4, 1000));
+        assert_ne!(g, churn_gaps(1, 5, 100, 4, 1000));
+        assert_ne!(g, churn_gaps(2, 4, 100, 4, 1000));
+        // One arrival gap plus one gap per later session boundary.
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0].0, 0);
+        assert!(g.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(g.iter().all(|&(at, _)| at < 100));
+        // Departure gaps are at least half the configured idle time.
+        assert!(g[1..].iter().all(|&(_, us)| us >= 500));
     }
 }

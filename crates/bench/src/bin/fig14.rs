@@ -1,0 +1,53 @@
+//! Figure 14 (beyond the paper): the five strategies as the replication
+//! layer of a KV serving tier, across the four topologies, under
+//! Internet-scale request workloads — uniform, Zipf-skewed (s = 0.9 and
+//! s = 1.2), and a migrating hotspot — with client churn off and on.
+//!
+//! The paper's competitive guarantee covers arbitrary access patterns; this
+//! figure measures the serving-side quantities a cache operator cares
+//! about: local-hit ratio, bytes moved, response-time p50/p99 (log2-bucket
+//! lower bounds) and the replication-degree high-water mark.
+
+use dm_bench::kv_exp::kv_serving_sweep;
+use dm_bench::table::{secs, Table};
+use dm_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let Some(sweep) = kv_serving_sweep(&opts) else {
+        return;
+    };
+    let mut table = Table::new(&[
+        "topology",
+        "workload",
+        "churn",
+        "strategy",
+        "hit%",
+        "bytes moved",
+        "p50[ns]",
+        "p99[ns]",
+        "repl",
+        "exec time[s]",
+    ]);
+    for r in &sweep.rows {
+        table.row(vec![
+            r.topology.clone(),
+            r.workload.clone(),
+            r.churn.clone(),
+            r.strategy.clone(),
+            format!("{:.1}", r.hit_percent()),
+            r.bytes_moved.to_string(),
+            r.p50_ns.to_string(),
+            r.p99_ns.to_string(),
+            r.repl_high_water.to_string(),
+            secs(r.exec_time_ns),
+        ]);
+    }
+    println!(
+        "Figure 14 — KV serving tier across topologies at {} nodes ({} scale)",
+        sweep.meta.nodes, sweep.meta.scale
+    );
+    println!("{}", table.render());
+    opts.write_json(&sweep);
+    opts.write_snapshot("fig14", &sweep);
+}

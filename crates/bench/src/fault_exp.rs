@@ -39,7 +39,7 @@ use dm_engine::MachineConfig;
 use dm_mesh::{AnyTopology, NodeId, TreeShape};
 
 /// [`crate::make_diva_on_tuned`] plus an optional fault plan.
-fn make_faulty_diva(
+pub(crate) fn make_faulty_diva(
     topo: AnyTopology,
     strategy: StrategyKind,
     seed: u64,

@@ -16,6 +16,7 @@
 //! | `fig11` | Figure 11    | Barnes-Hut: scaling the network size with N = bodies-per-processor · P |
 //! | `fig12` | (beyond paper) | all five strategies across the four topologies (mesh, torus, hypercube, fat tree) at matched node counts, uniform-random + Barnes-Hut workloads |
 //! | `fig13` | (beyond paper) | graceful degradation: the strategies under a seeded fault-scenario ladder (degraded links, failed links, failed nodes) with deltas vs the intact baseline |
+//! | `fig14` | (beyond paper) | KV serving tier: the strategies under Zipf-skewed, migrating-hotspot and churning request workloads, with local-hit ratio, bytes moved, response-time percentiles and replication high-water |
 //! | `scale` | (beyond paper) | network-size sweeps at 64×64/128×128: matmul + bitonic, or Barnes-Hut with `--bh` |
 //!
 //! All binaries run on the event-driven backend and accept four scale tiers
@@ -41,6 +42,7 @@ pub mod calibration;
 pub mod executor;
 pub mod fault_exp;
 pub mod json;
+pub mod kv_exp;
 pub mod matmul_exp;
 pub mod stream;
 pub mod table;

@@ -101,6 +101,16 @@ golden!(
     env!("CARGO_BIN_EXE_fig13"),
     &["--smoke", "--strike-at", "0,50"]
 );
+// The serving gate: Zipf inverse-CDF sampling, hotspot migration phases,
+// churn session gaps and the serving-side tallies (hits, bytes moved,
+// response-time buckets, replication high-water) must stay deterministic
+// from one PR to the next.
+golden!(
+    fig14_smoke,
+    "fig14",
+    env!("CARGO_BIN_EXE_fig14"),
+    &["--smoke"]
+);
 golden!(
     scale_smoke,
     "scale",

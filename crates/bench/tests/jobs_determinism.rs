@@ -102,6 +102,14 @@ fn fig13_delta_assembly_is_jobs_invariant() {
 }
 
 #[test]
+fn fig14_serving_sweep_is_jobs_invariant() {
+    // The serving sweep's rows carry the new ServingReport tallies and the
+    // hotspot/churn machinery — their description-order assembly must be
+    // independent of executor interleaving like every other figure's.
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_fig14"));
+}
+
+#[test]
 fn strip_host_ms_removes_only_the_field() {
     let row = r#"[{"a":1,"host_ms":12.5},{"a":2,"host_ms":3e-2}]"#;
     assert_eq!(strip_host_ms(row), r#"[{"a":1},{"a":2}]"#);

@@ -14,6 +14,7 @@
 //! run would stay on the inline path and the parity would be vacuous.
 
 use dm_apps::barnes_hut::{run_shared_driven, BhParams};
+use dm_apps::kv::{run_kv_driven, ChurnParams, KeyDist, KvParams};
 use dm_apps::uniform::{run_uniform_driven, try_run_uniform_driven, UniformParams};
 use dm_apps::workload::plummer_bodies;
 use dm_bench::topo_exp::topologies_at;
@@ -114,6 +115,41 @@ fn fault_plans_fire_at_identical_simulated_times_under_workers() {
                 parallel.is_ok()
             ),
         }
+    }
+}
+
+#[test]
+fn kv_hotspot_with_churn_is_bit_identical_under_workers() {
+    // The fig14 request workload with every moving part switched on: a
+    // migrating hotspot (phase boundaries keyed on op index), Zipf-free
+    // skew, client churn idle gaps and the serving-side tallies (hits,
+    // bytes moved, response-time buckets, replication high-water) — all of
+    // it must survive intra-sim parallelism bit for bit.
+    let mesh: AnyTopology = dm_mesh::Mesh::square(8).into();
+    let params = KvParams {
+        ops_per_client: 24,
+        seed: SEED,
+        dist: KeyDist::Hotspot {
+            migrate_at: vec![25, 50, 75],
+            hot_permille: 900,
+        },
+        churn: Some(ChurnParams {
+            sessions: 2,
+            idle_us: 1_500,
+        }),
+        ..KvParams::new(64)
+    };
+    let strategy = StrategyKind::AccessTree(dm_mesh::TreeShape::quad());
+    let run = |workers: usize| {
+        let diva = make_diva_on_tuned(mesh.clone(), strategy, SEED, tuned(workers));
+        run_kv_driven(diva, params.clone())
+    };
+    let serial = run(1);
+    assert!(serial.report.serving.requests > 0);
+    for workers in [2, 4] {
+        let parallel = run(workers);
+        assert_eq!(serial.report, parallel.report, "{workers} workers");
+        assert_eq!(serial.checksum, parallel.checksum, "{workers} workers");
     }
 }
 

@@ -150,6 +150,14 @@ fn fig13_delta_assembly_survives_kill_resume_and_shard_merge() {
 }
 
 #[test]
+fn fig14_serving_sweep_survives_kill_resume_and_shard_merge() {
+    // The serving sweep's hotspot phases are keyed on op index (never
+    // virtual time) and its churn gaps are seeded per client, so a killed,
+    // resumed or sharded run must reproduce the fresh tables byte for byte.
+    assert_resume_invariant(env!("CARGO_BIN_EXE_fig14"), "fig14");
+}
+
+#[test]
 fn resuming_a_mismatched_checkpoint_is_refused() {
     // A fig8 smoke checkpoint must not resume a fig8 default-tier run: the
     // header pins tier, seed and job count.

@@ -124,7 +124,7 @@ pub use dm_engine::QueueOp;
 pub use embedding::{Embedder, EmbeddingMode, VarPlacement};
 pub use fault::{FaultPlan, FaultSpec};
 pub use policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId};
-pub use report::{FaultTally, RegionReport, RunReport};
+pub use report::{FaultTally, RegionReport, RunReport, ServingReport, RESPONSE_BUCKETS};
 pub use runtime::{
     Degraded, Diva, DivaConfig, Op, Partitioned, ProcCtx, ProcProgram, RunDone, RunOutcome,
     StepCtx, StrategyKind,

@@ -70,6 +70,94 @@ impl FaultTally {
     }
 }
 
+/// Number of fixed log2 buckets of the per-request response-time histogram:
+/// bucket `i` counts responses whose virtual latency lies in
+/// `[2^i, 2^(i+1))` ns (bucket 0 also absorbs 0-latency responses, the last
+/// bucket absorbs everything ≥ 2^31 ns ≈ 2.1 s).
+pub const RESPONSE_BUCKETS: usize = 32;
+
+/// Serving-side metrics of a request workload, in the vocabulary of the
+/// replication literature (hit ratio, bytes moved, response time,
+/// replication degree).
+///
+/// Tallied centrally by the coordinator's [`PolicyEnv`](crate::PolicyEnv)
+/// implementation — not by the policies and not by the frontends — so both
+/// strategies and all execution backends report bit-identical values. All
+/// fields are simulated quantities (no host clocks, no allocation addresses),
+/// which keeps them byte-exact across `--jobs`, `--workers`, debug/release
+/// and resumed runs. Fields stay zero for workloads that never touch shared
+/// variables, so reports of the message-passing baselines are unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingReport {
+    /// Client read/write requests served (fast-path local hits included;
+    /// lock/unlock traffic is synchronisation, not serving, and is excluded).
+    pub requests: u64,
+    /// Requests satisfied from a processor-local copy without any protocol
+    /// transaction (the fast path).
+    pub local_hits: u64,
+    /// Bytes of data-management protocol traffic (control and data) handed
+    /// to the network on behalf of the strategy — the "bytes moved" of the
+    /// replication-metrics literature. Excludes application message passing,
+    /// barrier traffic and fault-recovery migrations (the latter are tallied
+    /// in [`FaultTally`]).
+    pub bytes_moved: u64,
+    /// Per-request response-time histogram over [`RESPONSE_BUCKETS`] fixed
+    /// log2 buckets of virtual nanoseconds. Completions that evaporated
+    /// because their processor was lost to a node failure are not counted.
+    pub response_hist: [u64; RESPONSE_BUCKETS],
+    /// Highest number of simultaneously live copies of any single variable —
+    /// the replication-degree high-water mark.
+    pub replication_high_water: u64,
+}
+
+impl ServingReport {
+    /// The histogram bucket of a response latency of `ns` virtual
+    /// nanoseconds: `floor(log2(ns))`, clamped to the fixed bucket range.
+    pub fn bucket(ns: SimTime) -> usize {
+        (63 - ns.max(1).leading_zeros() as usize).min(RESPONSE_BUCKETS - 1)
+    }
+
+    /// Total responses recorded in the histogram.
+    pub fn responses(&self) -> u64 {
+        self.response_hist.iter().sum()
+    }
+
+    /// Fraction of requests served from a local copy (0 when no request was
+    /// served).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.local_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// The latency quantile `q` (e.g. `0.5`, `0.99`) as the lower bound of
+    /// the histogram bucket in which it falls, in virtual nanoseconds — a
+    /// deterministic integer suitable for golden files. Returns 0 when the
+    /// histogram is empty.
+    pub fn quantile_ns(&self, q: f64) -> SimTime {
+        let total = self.responses();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut acc = 0;
+        for (i, &count) in self.response_hist.iter().enumerate() {
+            acc += count;
+            if acc >= target {
+                return 1 << i;
+            }
+        }
+        1 << (RESPONSE_BUCKETS - 1)
+    }
+
+    /// Whether any serving activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != ServingReport::default()
+    }
+}
+
 /// The outcome of a simulated execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -103,6 +191,9 @@ pub struct RunReport {
     pub live_vars_high_water: u64,
     /// Fault accounting — all zero unless a `FaultPlan` was active.
     pub faults: FaultTally,
+    /// Serving-side metrics (hit ratio, bytes moved, response-time
+    /// histogram, replication degree) — see [`ServingReport`].
+    pub serving: ServingReport,
 }
 
 impl RunReport {
@@ -122,6 +213,7 @@ impl RunReport {
         vars_freed: u64,
         live_vars_high_water: u64,
         faults: FaultTally,
+        serving: ServingReport,
     ) -> Self {
         RunReport {
             strategy,
@@ -137,6 +229,7 @@ impl RunReport {
             vars_freed,
             live_vars_high_water,
             faults,
+            serving,
         }
     }
 
@@ -219,6 +312,17 @@ impl RunReport {
                 ));
             }
         }
+        if self.serving.any() {
+            s.push_str(&format!(
+                "serving:             {} requests, {:.1}% local hits, {} bytes moved, p50 {} ns, p99 {} ns, repl high-water {}\n",
+                self.serving.requests,
+                self.serving.hit_ratio() * 100.0,
+                self.serving.bytes_moved,
+                self.serving.quantile_ns(0.5),
+                self.serving.quantile_ns(0.99),
+                self.serving.replication_high_water
+            ));
+        }
         for c in Counter::ALL {
             s.push_str(&format!(
                 "{:<20} {}\n",
@@ -280,6 +384,7 @@ mod tests {
             30,
             10,
             FaultTally::default(),
+            ServingReport::default(),
         );
         assert_eq!(r.congestion_bytes(), 150);
         assert_eq!(r.congestion_msgs(), 2);
@@ -314,5 +419,43 @@ mod tests {
         assert!(s.contains("2 links healed"));
         assert!(s.contains("1 locks force-released"));
         assert!(s.contains("1 procs lost"));
+        // Workloads without serving activity keep the summary line off.
+        assert!(!r.serving.any());
+        assert!(!r.summary().contains("serving:"));
+        let mut serving = r.clone();
+        serving.serving.requests = 200;
+        serving.serving.local_hits = 50;
+        serving.serving.bytes_moved = 4096;
+        serving.serving.response_hist[ServingReport::bucket(900)] = 200;
+        serving.serving.replication_high_water = 5;
+        let s = serving.summary();
+        assert!(s.contains("200 requests"));
+        assert!(s.contains("25.0% local hits"));
+        assert!(s.contains("repl high-water 5"));
+    }
+
+    #[test]
+    fn serving_buckets_and_quantiles() {
+        // floor(log2(ns)), with 0 absorbed into bucket 0 and a clamped tail.
+        assert_eq!(ServingReport::bucket(0), 0);
+        assert_eq!(ServingReport::bucket(1), 0);
+        assert_eq!(ServingReport::bucket(2), 1);
+        assert_eq!(ServingReport::bucket(3), 1);
+        assert_eq!(ServingReport::bucket(1024), 10);
+        assert_eq!(ServingReport::bucket(u64::MAX), RESPONSE_BUCKETS - 1);
+        let mut s = ServingReport::default();
+        assert_eq!(s.quantile_ns(0.5), 0, "empty histogram has no quantile");
+        assert_eq!(s.hit_ratio(), 0.0);
+        // 90 responses near 1 us, 10 near 1 ms: the median sits in the fast
+        // bucket, the p99 in the slow one.
+        s.response_hist[ServingReport::bucket(1_000)] = 90;
+        s.response_hist[ServingReport::bucket(1_000_000)] = 10;
+        assert_eq!(s.responses(), 100);
+        assert_eq!(s.quantile_ns(0.5), 1 << 9);
+        assert_eq!(s.quantile_ns(0.99), 1 << 19);
+        s.requests = 100;
+        s.local_hits = 25;
+        assert!((s.hit_ratio() - 0.25).abs() < 1e-12);
+        assert!(s.any());
     }
 }

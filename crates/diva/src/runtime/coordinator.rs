@@ -9,7 +9,7 @@ use crate::barrier::{BarrierAction, BarrierMsg, TreeBarrier};
 use crate::fasthash::FastMap;
 use crate::fault::{FaultAction, TimedFault};
 use crate::policy::{AccessKind, Counter, Policy, PolicyEnv, PolicyMsg, TxId, COUNTER_COUNT};
-use crate::report::{FaultTally, RegionReport, RunReport};
+use crate::report::{FaultTally, RegionReport, RunReport, ServingReport};
 use crate::var::{Value, VarHandle, VarRegistry};
 use dm_engine::{EventQueue, LinkNetwork, MachineConfig, RegionId, SimTime};
 use dm_mesh::{AnyTopology, NodeId};
@@ -31,6 +31,10 @@ pub(crate) struct TxRec {
     pub proc: usize,
     pub var: Option<VarHandle>,
     pub kind: TxKind,
+    /// Virtual time at which the processor issued the request; the
+    /// completion time minus this is the per-request response time of the
+    /// serving histogram.
+    pub issued: SimTime,
 }
 
 /// Events of the coordinator's discrete-event loop.
@@ -77,6 +81,13 @@ pub(crate) struct EnvState {
     /// Latest arrival of any re-homing migration message: folded into the
     /// total time so recovery traffic extends the run like protocol traffic.
     pub rehome_quiesce: SimTime,
+    /// Serving-side metrics (requests, hits, bytes moved, response
+    /// histogram, replication high-water), tallied here — and only here — so
+    /// every policy and every frontend reports identically.
+    pub serving: ServingReport,
+    /// Per-variable live-copy counts (indexed by slot), maintained through
+    /// [`EnvState::note_copy`] for the replication-degree high-water mark.
+    copy_counts: Vec<u32>,
     next_tx: u64,
 }
 
@@ -84,8 +95,38 @@ impl EnvState {
     fn new_tx(&mut self, proc: usize, var: Option<VarHandle>, kind: TxKind) -> TxId {
         self.next_tx += 1;
         let tx = TxId(self.next_tx);
-        self.tx_table.insert(tx, TxRec { proc, var, kind });
+        self.tx_table.insert(
+            tx,
+            TxRec {
+                proc,
+                var,
+                kind,
+                issued: self.now,
+            },
+        );
         tx
+    }
+
+    /// Track a presence-bit transition for the replication-degree
+    /// high-water mark. Must be called *before* the bit is mutated in the
+    /// shared state (it reads the old value to recognise real transitions;
+    /// redundant `set_presence` calls must not distort the count).
+    pub(crate) fn note_copy(&mut self, proc: usize, var: VarHandle, present: bool) {
+        let idx = var.index();
+        if self.copy_counts.len() <= idx {
+            self.copy_counts.resize(idx + 1, 0);
+        }
+        if present {
+            if !self.shared.has_copy(proc, var) {
+                self.copy_counts[idx] += 1;
+                let count = self.copy_counts[idx] as u64;
+                if count > self.serving.replication_high_water {
+                    self.serving.replication_high_water = count;
+                }
+            }
+        } else if self.shared.has_copy(proc, var) {
+            self.copy_counts[idx] -= 1;
+        }
     }
 }
 
@@ -107,6 +148,7 @@ impl PolicyEnv for EnvState {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, bytes: u32, msg: PolicyMsg) -> SimTime {
+        self.serving.bytes_moved += bytes as u64;
         let region = self.proc_region[from.index()];
         let d = self.network.transmit(self.now, from, to, bytes, region);
         self.events
@@ -124,6 +166,7 @@ impl PolicyEnv for EnvState {
     }
 
     fn set_presence(&mut self, proc: NodeId, var: VarHandle, present: bool) {
+        self.note_copy(proc.index(), var, present);
         self.shared.set_copy(proc.index(), var, present);
     }
 
@@ -277,6 +320,8 @@ impl<F: Frontend> Coordinator<F> {
                 faults: FaultTally::default(),
                 app_lost: vec![false; nprocs],
                 rehome_quiesce: 0,
+                serving: ServingReport::default(),
+                copy_counts: Vec::new(),
                 next_tx: 0,
             },
             policy,
@@ -306,6 +351,17 @@ impl<F: Frontend> Coordinator<F> {
             partitioned: None,
             last_event_time: 0,
         };
+        // Pre-run allocations hold their only copy at the owner without ever
+        // passing through `set_presence`; seed the replication counts so the
+        // high-water mark reflects them.
+        let prereg = coord.env.registry.len();
+        coord.env.copy_counts = vec![0; prereg];
+        for idx in 0..prereg {
+            if coord.env.registry.is_live(VarHandle(idx as u32)) {
+                coord.env.copy_counts[idx] = 1;
+                coord.env.serving.replication_high_water = 1;
+            }
+        }
         // Enqueue the fault schedule before any protocol traffic: the
         // event queue's FIFO tie-break then applies a fault ahead of every
         // same-time message arrival, identically in both backends.
@@ -452,6 +508,15 @@ impl<F: Frontend> Coordinator<F> {
         self.proc_compute[proc] += compute_ns;
         self.proc_clock[proc] += compute_ns + overhead_ns;
         self.env.counters[Counter::ReadHit.index()] += hits;
+        if hits > 0 {
+            // Fast-path local reads: each was served in one local access
+            // without a protocol transaction. They are requests too, and
+            // their (constant) latency belongs in the response histogram.
+            self.env.serving.requests += hits;
+            self.env.serving.local_hits += hits;
+            let bucket = ServingReport::bucket(self.env.machine.local_access_ns());
+            self.env.serving.response_hist[bucket] += hits;
+        }
         let now = self.proc_clock[proc];
         self.env.now = now;
 
@@ -459,6 +524,7 @@ impl<F: Frontend> Coordinator<F> {
             Request::Access {
                 var, kind, value, ..
             } => {
+                self.env.serving.requests += 1;
                 if let Some(v) = value {
                     self.env.shared.set_value(var, v);
                 }
@@ -475,6 +541,7 @@ impl<F: Frontend> Coordinator<F> {
                 let var = self.env.registry.register(bytes, owner);
                 self.env.shared.store_value(var, value);
                 self.policy.register_var(var, owner, bytes);
+                self.env.note_copy(proc, var, true);
                 self.env.shared.set_copy(proc, var, true);
                 // In-run allocations are epoch-scoped: an `EndEpoch` by this
                 // processor retires them in bulk. The generation recognises
@@ -805,6 +872,10 @@ impl<F: Frontend> Coordinator<F> {
                     // evaporates and the dead clock stays frozen.
                     continue;
                 }
+                if matches!(rec.kind, TxKind::Read | TxKind::Write) {
+                    let bucket = ServingReport::bucket(at.saturating_sub(rec.issued));
+                    self.env.serving.response_hist[bucket] += 1;
+                }
                 self.proc_clock[proc] = self.proc_clock[proc].max(at);
                 let resp = match rec.kind {
                     TxKind::Read => {
@@ -910,6 +981,7 @@ impl<F: Frontend> Coordinator<F> {
             self.env.registry.freed_count(),
             self.env.registry.high_water() as u64,
             self.env.faults,
+            self.env.serving,
         )
     }
 }
